@@ -1,0 +1,227 @@
+//! Convergence-time sweeps: stabilization steps vs ring size, per daemon —
+//! the empirical counterpart of Theorem 2's `O(n²)` bound.
+
+use ssr_core::{RingParams, SsrMin};
+use ssr_daemon::daemons::{
+    CentralFirst, CentralLast, CentralRandom, Daemon, DelayDijkstra, DistributedRandom,
+    RoundRobin, Starver, Synchronous,
+};
+use ssr_daemon::{measure_convergence, random_config};
+
+use crate::stats::{summarize, Summary};
+
+/// The daemon families exercised by the sweep experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DaemonKind {
+    /// Always the lowest-index enabled process.
+    CentralFirst,
+    /// Always the highest-index enabled process.
+    CentralLast,
+    /// Uniformly random single process.
+    CentralRandom,
+    /// Fair rotation.
+    RoundRobin,
+    /// All enabled processes at once.
+    Synchronous,
+    /// Each enabled process with the given probability.
+    DistributedRandom(f64),
+    /// Starve process 0 (and 1 on larger rings).
+    Starver,
+    /// Greedily delay Dijkstra moves (the Lemma 5 adversary).
+    DelayDijkstra,
+}
+
+impl DaemonKind {
+    /// All kinds, for exhaustive sweeps.
+    pub const ALL: [DaemonKind; 8] = [
+        DaemonKind::CentralFirst,
+        DaemonKind::CentralLast,
+        DaemonKind::CentralRandom,
+        DaemonKind::RoundRobin,
+        DaemonKind::Synchronous,
+        DaemonKind::DistributedRandom(0.5),
+        DaemonKind::Starver,
+        DaemonKind::DelayDijkstra,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            DaemonKind::CentralFirst => "central-first".into(),
+            DaemonKind::CentralLast => "central-last".into(),
+            DaemonKind::CentralRandom => "central-random".into(),
+            DaemonKind::RoundRobin => "round-robin".into(),
+            DaemonKind::Synchronous => "synchronous".into(),
+            DaemonKind::DistributedRandom(p) => format!("distributed(p={p})"),
+            DaemonKind::Starver => "starver".into(),
+            DaemonKind::DelayDijkstra => "delay-dijkstra".into(),
+        }
+    }
+
+    /// Instantiate a fresh daemon with the given seed.
+    pub fn build(&self, seed: u64) -> Box<dyn Daemon> {
+        match *self {
+            DaemonKind::CentralFirst => Box::new(CentralFirst),
+            DaemonKind::CentralLast => Box::new(CentralLast),
+            DaemonKind::CentralRandom => Box::new(CentralRandom::seeded(seed)),
+            DaemonKind::RoundRobin => Box::new(RoundRobin::default()),
+            DaemonKind::Synchronous => Box::new(Synchronous),
+            DaemonKind::DistributedRandom(p) => Box::new(DistributedRandom::seeded(seed, p)),
+            DaemonKind::Starver => Box::new(Starver::new(vec![0, 1], seed)),
+            DaemonKind::DelayDijkstra => Box::new(DelayDijkstra::seeded(seed)),
+        }
+    }
+}
+
+/// Which initial-configuration family a sweep samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartKind {
+    /// Uniformly random states.
+    Random,
+    /// A legitimate configuration corrupted by the given number of faults.
+    Corrupted(usize),
+    /// The deterministic adversarial pattern.
+    Adversarial,
+}
+
+/// One sweep point: convergence-step statistics over seeds.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Ring size.
+    pub n: usize,
+    /// Modulus used.
+    pub k: u32,
+    /// Convergence steps, summarized over seeds.
+    pub steps: Summary,
+    /// Convergence rounds (the asynchronous time unit), summarized over seeds.
+    pub rounds: Summary,
+    /// Dijkstra moves until convergence, summarized over seeds.
+    pub dijkstra_moves: Summary,
+}
+
+/// Measure convergence of SSRmin for each ring size in `sizes`, taking
+/// `seeds` samples per size under the given daemon and start family.
+/// `K = n + 1` (the minimal legal modulus — the hardest case).
+///
+/// # Panics
+/// Panics if any run fails to converge within `40·n² + 1000` steps — more
+/// than an order of magnitude above the proof bound's constant, so a panic
+/// means a real bug.
+pub fn ssrmin_convergence_sweep(
+    sizes: &[usize],
+    seeds: u64,
+    daemon: DaemonKind,
+    start: StartKind,
+) -> Vec<SweepPoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let params = RingParams::minimal(n).expect("valid ring size");
+            let algo = SsrMin::new(params);
+            let budget = 40 * (n as u64) * (n as u64) + 1000;
+            let mut steps = Vec::with_capacity(seeds as usize);
+            let mut rounds = Vec::with_capacity(seeds as usize);
+            let mut dmoves = Vec::with_capacity(seeds as usize);
+            for seed in 0..seeds {
+                let initial = match start {
+                    StartKind::Random => random_config::random_ssr_config(params, seed),
+                    StartKind::Corrupted(f) => {
+                        random_config::corrupted_legitimate(params, f, seed)
+                    }
+                    StartKind::Adversarial => random_config::adversarial_ssr_config(params),
+                };
+                let mut d = daemon.build(seed);
+                let report = measure_convergence(algo, initial, d.as_mut(), budget, 0)
+                    .unwrap_or_else(|| {
+                        panic!("n={n} seed={seed} daemon={} did not converge", daemon.label())
+                    });
+                steps.push(report.steps);
+                rounds.push(report.rounds);
+                dmoves.push(report.dijkstra_moves);
+            }
+            SweepPoint {
+                n,
+                k: params.k(),
+                steps: summarize(&steps).expect("seeds >= 1"),
+                rounds: summarize(&rounds).expect("seeds >= 1"),
+                dijkstra_moves: summarize(&dmoves).expect("seeds >= 1"),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::loglog_slope;
+
+    #[test]
+    fn daemon_kinds_build() {
+        for kind in DaemonKind::ALL {
+            let mut d = kind.build(1);
+            let enabled = [ssr_daemon::EnabledProcess { process: 0, rule_tag: 1 }];
+            let picked = d.select(&enabled, 0);
+            assert_eq!(picked, vec![0], "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<String> =
+            DaemonKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), DaemonKind::ALL.len());
+    }
+
+    #[test]
+    fn rounds_never_exceed_steps_in_sweeps() {
+        let pts =
+            ssrmin_convergence_sweep(&[5], 6, DaemonKind::DistributedRandom(0.5), StartKind::Random);
+        assert!(pts[0].rounds.mean <= pts[0].steps.mean + 1e-9);
+    }
+
+    #[test]
+    fn sweep_produces_point_per_size() {
+        let pts =
+            ssrmin_convergence_sweep(&[4, 6], 4, DaemonKind::CentralRandom, StartKind::Random);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].n, 4);
+        assert_eq!(pts[0].k, 5);
+        assert_eq!(pts[0].steps.count, 4);
+    }
+
+    #[test]
+    fn corrupted_starts_converge_fast() {
+        // A single fault near a legitimate configuration stabilizes in a
+        // handful of steps, far below the random-start cost.
+        let few = ssrmin_convergence_sweep(
+            &[8],
+            6,
+            DaemonKind::CentralRandom,
+            StartKind::Corrupted(1),
+        );
+        let random =
+            ssrmin_convergence_sweep(&[8], 6, DaemonKind::CentralRandom, StartKind::Random);
+        assert!(
+            few[0].steps.mean <= random[0].steps.mean + 1.0,
+            "corrupted {} vs random {}",
+            few[0].steps.mean,
+            random[0].steps.mean
+        );
+    }
+
+    /// The empirical growth exponent of convergence steps is at most
+    /// quadratic-ish (Theorem 2): fit on small sizes and demand slope < 2.6.
+    #[test]
+    fn growth_exponent_is_subquadratic_with_slack() {
+        let pts = ssrmin_convergence_sweep(
+            &[4, 6, 8, 12, 16],
+            8,
+            DaemonKind::CentralRandom,
+            StartKind::Random,
+        );
+        let series: Vec<(f64, f64)> =
+            pts.iter().map(|p| (p.n as f64, p.steps.mean.max(1.0))).collect();
+        let (slope, _) = loglog_slope(&series).unwrap();
+        assert!(slope < 2.6, "growth exponent {slope}");
+    }
+}

@@ -1,0 +1,270 @@
+//! Empirical construction of the Lemma 8 domination graph
+//! `H = (W₁₃₅, W₂₄, F)` from a recorded execution.
+//!
+//! The proof of Lemma 8 charges every execution of Rules 1/3/5 (`W₁₃₅`) to a
+//! nearby execution of Rules 2/4 (`W₂₄`, the Dijkstra counter moves), with
+//! the dominating event always located at `P_i`, `P_{i-1}` or `P_{i-2}`
+//! relative to the dominated event's process `P_i`, at most `L = 9` events
+//! charged to one dominator, and the dominator arriving before the next
+//! `M = 2` events at `P_i`. This module rebuilds that graph from actual
+//! traces (the greedy earliest-eligible-dominator assignment) and measures
+//! the realized `L` and `M` — the empirical counterpart of Figures 5–10.
+
+use ssr_daemon::StepRecord;
+
+/// One rule execution, flattened out of the per-step mover sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleEvent {
+    /// Scheduler step at which the event occurred (1-based).
+    pub step: u64,
+    /// Process that moved.
+    pub process: usize,
+    /// SSRmin rule number (1–5).
+    pub rule: u8,
+}
+
+impl RuleEvent {
+    /// True iff the event is a Dijkstra counter move (`W₂₄`).
+    pub fn is_w24(&self) -> bool {
+        self.rule == 2 || self.rule == 4
+    }
+}
+
+/// Flatten step records into individual rule events, in execution order
+/// (step-major, process-minor).
+pub fn extract_events(records: &[StepRecord]) -> Vec<RuleEvent> {
+    let mut out = Vec::new();
+    for r in records {
+        for &(process, rule) in &r.movers {
+            out.push(RuleEvent { step: r.step, process, rule });
+        }
+    }
+    out
+}
+
+/// Length (in scheduler steps) of the longest run of consecutive steps that
+/// contain no `W₂₄` move — the quantity Lemma 5 bounds by `3n`.
+pub fn max_w24_free_run(records: &[StepRecord]) -> u64 {
+    let mut best = 0u64;
+    let mut run = 0u64;
+    for r in records {
+        if r.dijkstra_moves() == 0 {
+            run += 1;
+            best = best.max(run);
+        } else {
+            run = 0;
+        }
+    }
+    best
+}
+
+/// The empirically constructed domination graph.
+#[derive(Debug, Clone)]
+pub struct DominationGraph {
+    /// `W₁₃₅` events (indices referenced by `edges.0`).
+    pub w135: Vec<RuleEvent>,
+    /// `W₂₄` events (indices referenced by `edges.1`).
+    pub w24: Vec<RuleEvent>,
+    /// Edges `(w135 index, w24 index)`.
+    pub edges: Vec<(usize, usize)>,
+    /// `W₁₃₅` events left undominated (no later eligible `W₂₄` event in the
+    /// finite trace — the trailing fringe the proof trims away).
+    pub undominated: usize,
+    /// Largest number of `W₁₃₅` events charged to a single dominator
+    /// (the proof bounds this by `L = 9`).
+    pub max_in_degree: usize,
+    /// Largest number of same-process events strictly between a dominated
+    /// event and its dominator (the proof bounds this by `M = 2`).
+    pub max_delay: usize,
+}
+
+/// Build the graph: each `W₁₃₅` event at `P_i` is charged to the *earliest*
+/// subsequent `W₂₄` event at `P_i`, `P_{i-1}` or `P_{i-2}` (mod `n`).
+///
+/// Greedy-earliest can only tighten the proof's delay bound (the proof's
+/// dominator is eligible, so the earliest eligible one is no later), and
+/// its in-degree obeys the same `L = 9` bound by the per-process budget of
+/// Lemma 5.
+pub fn build_domination(events: &[RuleEvent], n: usize) -> DominationGraph {
+    assert!(n >= 3, "ring of at least 3 processes");
+    let mut w135 = Vec::new();
+    let mut w24 = Vec::new();
+    // Map original order index -> (class, index within class).
+    let mut order: Vec<(bool, usize)> = Vec::with_capacity(events.len());
+    for e in events {
+        if e.is_w24() {
+            order.push((true, w24.len()));
+            w24.push(*e);
+        } else {
+            order.push((false, w135.len()));
+            w135.push(*e);
+        }
+    }
+
+    let mut edges = Vec::with_capacity(w135.len());
+    let mut in_degree = vec![0usize; w24.len()];
+    let mut undominated = 0usize;
+    let mut max_delay = 0usize;
+
+    for (pos, e) in events.iter().enumerate() {
+        if e.is_w24() {
+            continue;
+        }
+        let (_, e_idx) = order[pos];
+        let i = e.process;
+        let eligible = [i, (i + n - 1) % n, (i + n - 2) % n];
+        let mut delay = 0usize;
+        let mut found = false;
+        for (later_pos, f) in events.iter().enumerate().skip(pos + 1) {
+            if f.process == i && !f.is_w24() {
+                delay += 1;
+            }
+            if f.is_w24() && eligible.contains(&f.process) {
+                let (_, f_idx) = order[later_pos];
+                edges.push((e_idx, f_idx));
+                in_degree[f_idx] += 1;
+                max_delay = max_delay.max(delay);
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            undominated += 1;
+        }
+    }
+
+    let max_in_degree = in_degree.iter().copied().max().unwrap_or(0);
+    DominationGraph { w135, w24, edges, undominated, max_in_degree, max_delay }
+}
+
+impl DominationGraph {
+    /// Ratio `|W₁₃₅| / |W₂₄|` — the counting core of Lemma 8 (bounded by a
+    /// constant ≈ `L`).
+    pub fn event_ratio(&self) -> f64 {
+        if self.w24.is_empty() {
+            f64::INFINITY
+        } else {
+            self.w135.len() as f64 / self.w24.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_core::{RingParams, SsrMin};
+    use ssr_daemon::daemons::{CentralRandom, DelayDijkstra, DistributedRandom, Synchronous};
+    use ssr_daemon::{random_config, Engine};
+
+    fn ev(step: u64, process: usize, rule: u8) -> RuleEvent {
+        RuleEvent { step, process, rule }
+    }
+
+    #[test]
+    fn extract_flattens_movers() {
+        let records = vec![
+            StepRecord { step: 1, movers: vec![(0, 1), (3, 3)] },
+            StepRecord { step: 2, movers: vec![(1, 2)] },
+        ];
+        let events = extract_events(&records);
+        assert_eq!(events, vec![ev(1, 0, 1), ev(1, 3, 3), ev(2, 1, 2)]);
+    }
+
+    #[test]
+    fn w24_free_run_measured() {
+        let records = vec![
+            StepRecord { step: 1, movers: vec![(0, 1)] },
+            StepRecord { step: 2, movers: vec![(1, 3)] },
+            StepRecord { step: 3, movers: vec![(0, 2)] },
+            StepRecord { step: 4, movers: vec![(1, 5)] },
+        ];
+        assert_eq!(max_w24_free_run(&records), 2);
+    }
+
+    #[test]
+    fn domination_charges_to_nearest_eligible() {
+        // P1 fires Rule 1 at step 1; P0 (its predecessor) fires Rule 2 at
+        // step 3. Eligible and nearest.
+        let events = vec![ev(1, 1, 1), ev(2, 1, 3), ev(3, 0, 2)];
+        let g = build_domination(&events, 5);
+        assert_eq!(g.w135.len(), 2);
+        assert_eq!(g.w24.len(), 1);
+        assert_eq!(g.edges, vec![(0, 0), (1, 0)]);
+        assert_eq!(g.undominated, 0);
+        assert_eq!(g.max_in_degree, 2);
+        // One P1 event (the Rule 3) sits between the Rule 1 and its
+        // dominator.
+        assert_eq!(g.max_delay, 1);
+    }
+
+    #[test]
+    fn ineligible_dominators_are_skipped() {
+        // Dominator must be at P_i, P_{i-1} or P_{i-2}: an event at P_{i+1}
+        // does not count.
+        let events = vec![ev(1, 1, 1), ev(2, 2, 2)];
+        let g = build_domination(&events, 5);
+        assert_eq!(g.undominated, 1);
+        assert!(g.edges.is_empty());
+    }
+
+    #[test]
+    fn wraparound_eligibility() {
+        // P0's eligible dominators on a 5-ring are P0, P4, P3.
+        let events = vec![ev(1, 0, 5), ev(2, 3, 4)];
+        let g = build_domination(&events, 5);
+        assert_eq!(g.edges, vec![(0, 0)]);
+    }
+
+    /// The Lemma 8 bounds hold on real SSRmin executions from random and
+    /// adversarial starts under several daemons.
+    #[test]
+    fn lemma8_bounds_on_real_traces() {
+        let p = RingParams::new(7, 9).unwrap();
+        let a = SsrMin::new(p);
+        for seed in 0..6u64 {
+            let cfg = random_config::random_ssr_config(p, seed);
+            let traces = [
+                {
+                    let mut e = Engine::new(a, cfg.clone()).unwrap();
+                    e.run_traced(&mut CentralRandom::seeded(seed), 3_000)
+                },
+                {
+                    let mut e = Engine::new(a, cfg.clone()).unwrap();
+                    e.run_traced(&mut Synchronous, 3_000)
+                },
+                {
+                    let mut e = Engine::new(a, cfg.clone()).unwrap();
+                    e.run_traced(&mut DistributedRandom::seeded(seed, 0.4), 3_000)
+                },
+                {
+                    let mut e = Engine::new(a, cfg).unwrap();
+                    e.run_traced(&mut DelayDijkstra::seeded(seed), 3_000)
+                },
+            ];
+            for t in &traces {
+                let events = extract_events(t.records());
+                let g = build_domination(&events, p.n());
+                assert!(
+                    g.max_in_degree <= 9,
+                    "L bound violated: {} (seed {seed})",
+                    g.max_in_degree
+                );
+                assert!(
+                    g.max_delay <= 2,
+                    "M bound violated: {} (seed {seed})",
+                    g.max_delay
+                );
+                assert!(
+                    max_w24_free_run(t.records()) <= 3 * p.n() as u64,
+                    "Lemma 5 bound violated (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn event_ratio_infinite_without_w24() {
+        let g = build_domination(&[ev(1, 0, 1)], 3);
+        assert!(g.event_ratio().is_infinite());
+    }
+}

@@ -1,0 +1,33 @@
+//! # ssr-analysis — measurement and analysis for the reproduction harness
+//!
+//! * [`stats`] — descriptive statistics and log-log growth-exponent fits;
+//! * [`convergence_stats`] — stabilization-time sweeps vs ring size under
+//!   every daemon family (Theorem 2's `O(n²)`);
+//! * [`domination`] — empirical construction of the Lemma 8 domination
+//!   graph with the `L = 9` / `M = 2` bound checks (Figures 5–10);
+//! * [`token_stats`] — zero-token time and privileged-count bounds of
+//!   message-passing runs (Figures 11–13, Theorem 3);
+//! * [`superstab`] — exhaustive single-fault recovery analysis (the
+//!   superstabilization direction of the paper's conclusion);
+//! * [`table`] — plain-text tables for the experiment binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod convergence_stats;
+pub mod domination;
+pub mod stats;
+pub mod superstab;
+pub mod table;
+pub mod token_stats;
+pub mod viz;
+
+pub use adversary::{search_worst_case, steps_under_schedule, AdversaryResult, ScheduleDaemon};
+pub use convergence_stats::{ssrmin_convergence_sweep, DaemonKind, StartKind, SweepPoint};
+pub use domination::{build_domination, extract_events, max_w24_free_run, DominationGraph, RuleEvent};
+pub use stats::{loglog_slope, percentile, summarize, Summary};
+pub use superstab::{single_fault_sweep, SuperstabReport};
+pub use table::{Align, Table};
+pub use token_stats::{aggregate, cst_gap_rows, cst_gap_summary, GapAggregate, GapRow};
+pub use viz::{bar_chart, privileged_strip};

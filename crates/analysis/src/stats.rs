@@ -1,0 +1,137 @@
+//! Small descriptive-statistics helpers shared by the experiment harness.
+
+/// Summary statistics of a sample of `u64` measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Minimum.
+    pub min: u64,
+    /// Maximum.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile, nearest-rank).
+    pub median: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95: u64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+/// Compute summary statistics. Returns `None` on an empty sample.
+pub fn summarize(values: &[u64]) -> Option<Summary> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let count = sorted.len();
+    let min = sorted[0];
+    let max = sorted[count - 1];
+    let sum: u128 = sorted.iter().map(|&v| v as u128).sum();
+    let mean = sum as f64 / count as f64;
+    let var = sorted
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / count as f64;
+    Some(Summary {
+        count,
+        min,
+        max,
+        mean,
+        median: percentile(&sorted, 50.0),
+        p95: percentile(&sorted, 95.0),
+        stddev: var.sqrt(),
+    })
+}
+
+/// Nearest-rank percentile of an already-sorted slice (`p` in `0..=100`).
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    let p = p.clamp(0.0, 100.0);
+    if p == 0.0 {
+        return sorted[0];
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Least-squares fit of `log(y) = a + b·log(x)` — used to estimate the
+/// empirical growth exponent of convergence time vs ring size (Theorem 2
+/// predicts `b ≲ 2`). Returns `(exponent b, multiplier e^a)`.
+pub fn loglog_slope(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    Some((b, a.exp()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_basic() {
+        let s = summarize(&[4, 1, 3, 2, 5]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.median, 3);
+        assert_eq!(s.p95, 5);
+        assert!((s.stddev - 2.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summarize_empty_is_none() {
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted = [10, 20, 30, 40];
+        assert_eq!(percentile(&sorted, 0.0), 10);
+        assert_eq!(percentile(&sorted, 25.0), 10);
+        assert_eq!(percentile(&sorted, 50.0), 20);
+        assert_eq!(percentile(&sorted, 75.0), 30);
+        assert_eq!(percentile(&sorted, 100.0), 40);
+    }
+
+    #[test]
+    fn loglog_recovers_quadratic() {
+        let pts: Vec<(f64, f64)> =
+            (2..20).map(|n| (n as f64, 3.0 * (n as f64).powi(2))).collect();
+        let (b, c) = loglog_slope(&pts).unwrap();
+        assert!((b - 2.0).abs() < 1e-9, "slope {b}");
+        assert!((c - 3.0).abs() < 1e-6, "coef {c}");
+    }
+
+    #[test]
+    fn loglog_degenerate_cases() {
+        assert!(loglog_slope(&[]).is_none());
+        assert!(loglog_slope(&[(1.0, 1.0)]).is_none());
+        assert!(loglog_slope(&[(1.0, 1.0), (1.0, 2.0)]).is_none());
+        assert!(loglog_slope(&[(0.0, 1.0), (-1.0, 2.0)]).is_none());
+    }
+}

@@ -1,0 +1,157 @@
+//! Superstabilization-style analysis of SSRmin (the extension direction the
+//! paper's conclusion points to via Katayama et al. [15]).
+//!
+//! A *superstabilizing* algorithm, beyond self-stabilizing, keeps a passage
+//! predicate during recovery from a single-fault ("almost legitimate")
+//! configuration. SSRmin is not claimed superstabilizing by the paper, but
+//! it has a strong de-facto passage property: by Lemma 3 the primary token
+//! exists in **every** configuration, so mutual inclusion (≥ 1 privileged)
+//! holds even during recovery. This module quantifies single-fault recovery
+//! exhaustively: recovery time, and the worst excursion of the privileged
+//! count above the legitimate bound of 2.
+
+use ssr_core::{legitimacy, RingAlgorithm, RingParams, SsrMin, SsrState};
+use ssr_daemon::Engine;
+
+use crate::convergence_stats::DaemonKind;
+
+/// Aggregate over all single-fault cases examined.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuperstabReport {
+    /// Number of (legitimate configuration × fault) cases run.
+    pub cases: u64,
+    /// Cases that were still legitimate after the fault (the fault was
+    /// absorbed syntactically, e.g. overwriting a state with itself or with
+    /// another legitimate completion).
+    pub still_legitimate: u64,
+    /// Worst steps to re-reach a legitimate configuration.
+    pub max_recovery_steps: u64,
+    /// Mean steps to recovery (over cases that needed recovery).
+    pub mean_recovery_steps: f64,
+    /// Smallest privileged count seen in any intermediate configuration.
+    pub min_privileged: usize,
+    /// Largest privileged count seen in any intermediate configuration.
+    pub max_privileged: usize,
+    /// True iff mutual inclusion (≥ 1 privileged) held in every
+    /// intermediate configuration of every case — the passage predicate.
+    pub inclusion_never_violated: bool,
+}
+
+/// Exhaustively (or sampled, via `stride`) corrupt one process of each
+/// legitimate configuration to every possible state and drive recovery
+/// under the given daemon.
+///
+/// `stride` subsamples the legitimate-configuration list (1 = exhaustive).
+/// Panics if any case fails to recover within `40n² + 1000` steps.
+pub fn single_fault_sweep(
+    params: RingParams,
+    daemon: DaemonKind,
+    stride: usize,
+    seed: u64,
+) -> SuperstabReport {
+    let algo = SsrMin::new(params);
+    let n = params.n();
+    let k = params.k();
+    let budget = 40 * (n as u64) * (n as u64) + 1000;
+
+    let mut cases = 0u64;
+    let mut still_legit = 0u64;
+    let mut max_steps = 0u64;
+    let mut total_steps = 0u64;
+    let mut recovered_cases = 0u64;
+    let mut min_priv = usize::MAX;
+    let mut max_priv = 0usize;
+
+    let legit_configs = legitimacy::enumerate_legitimate(params);
+    for base in legit_configs.iter().step_by(stride.max(1)) {
+        for victim in 0..n {
+            for raw in 0..(4 * k) {
+                let corrupt = SsrState::new(raw / 4, ((raw % 4) >> 1) as u8, (raw % 2) as u8);
+                if corrupt == base[victim] {
+                    continue; // not a fault
+                }
+                let mut cfg = base.clone();
+                cfg[victim] = corrupt;
+                cases += 1;
+
+                if algo.is_legitimate(&cfg) {
+                    still_legit += 1;
+                    continue;
+                }
+
+                let mut daemon_inst = daemon.build(seed ^ cases);
+                let mut engine = Engine::new(algo, cfg).expect("valid config");
+                let mut steps = 0u64;
+                loop {
+                    let holders = algo.token_holders(engine.config()).len();
+                    min_priv = min_priv.min(holders);
+                    max_priv = max_priv.max(holders);
+                    if algo.is_legitimate(engine.config()) {
+                        break;
+                    }
+                    assert!(
+                        steps < budget,
+                        "single-fault case failed to recover within {budget} steps"
+                    );
+                    engine.step(daemon_inst.as_mut()).expect("no deadlock (Lemma 4)");
+                    steps += 1;
+                }
+                max_steps = max_steps.max(steps);
+                total_steps += steps;
+                recovered_cases += 1;
+            }
+        }
+    }
+
+    SuperstabReport {
+        cases,
+        still_legitimate: still_legit,
+        max_recovery_steps: max_steps,
+        mean_recovery_steps: if recovered_cases == 0 {
+            0.0
+        } else {
+            total_steps as f64 / recovered_cases as f64
+        },
+        min_privileged: if min_priv == usize::MAX { 0 } else { min_priv },
+        max_privileged: max_priv,
+        inclusion_never_violated: min_priv == usize::MAX || min_priv >= 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_single_fault_n4() {
+        let p = RingParams::new(4, 5).unwrap();
+        let r = single_fault_sweep(p, DaemonKind::CentralFirst, 1, 0);
+        // 3nK base configs × n victims × (4K - 1) corrupt states.
+        assert_eq!(r.cases, (3 * 4 * 5 * 4 * (4 * 5 - 1)) as u64);
+        assert!(r.inclusion_never_violated, "{r:?}");
+        assert!(r.min_privileged >= 1);
+        // Single-fault recovery is fast — well below the worst case O(n²).
+        assert!(r.max_recovery_steps <= 8 * 4, "{r:?}");
+        assert!(r.mean_recovery_steps > 0.0);
+    }
+
+    #[test]
+    fn sampled_single_fault_larger_ring() {
+        let p = RingParams::new(8, 10).unwrap();
+        let r = single_fault_sweep(p, DaemonKind::CentralRandom, 13, 3);
+        assert!(r.cases > 0);
+        assert!(r.inclusion_never_violated, "{r:?}");
+        // Recovery stays linear-ish in n even under a randomized daemon.
+        assert!(r.max_recovery_steps <= 12 * 8, "{r:?}");
+    }
+
+    #[test]
+    fn privileged_excursion_is_bounded_small() {
+        // One fault flips the guards/token predicates only at the victim
+        // and its two neighbours, so starting from ≤2 privileged the
+        // excursion is bounded by 2 + 3 = 5 regardless of K.
+        let p = RingParams::new(5, 7).unwrap();
+        let r = single_fault_sweep(p, DaemonKind::CentralFirst, 1, 0);
+        assert!(r.max_privileged <= 5, "{r:?}");
+    }
+}

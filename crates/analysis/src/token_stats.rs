@@ -1,0 +1,156 @@
+//! Token-availability statistics of message-passing runs: the quantitative
+//! side of Figures 11–13 (zero-token time, interval counts, privileged-node
+//! bounds), uniform across SSRmin and the baselines.
+
+use ssr_core::{Config, RingAlgorithm};
+use ssr_mpnet::{CstSim, SimConfig, Time, TimelineSummary};
+
+/// One row of a gap-tolerance comparison.
+#[derive(Debug, Clone)]
+pub struct GapRow {
+    /// Algorithm label.
+    pub algo: String,
+    /// Ring size.
+    pub n: usize,
+    /// Seed used.
+    pub seed: u64,
+    /// Time-weighted summary of the run.
+    pub summary: TimelineSummary,
+}
+
+impl GapRow {
+    /// Fraction of the observed window with zero privileged nodes.
+    pub fn zero_fraction(&self) -> f64 {
+        if self.summary.window == 0 {
+            0.0
+        } else {
+            self.summary.zero_privileged_time as f64 / self.summary.window as f64
+        }
+    }
+}
+
+/// Run one CST simulation of `algo` from `initial` and summarize the token
+/// timeline over `[warmup, t_end]`.
+pub fn cst_gap_summary<A: RingAlgorithm>(
+    algo: A,
+    initial: Config<A::State>,
+    sim_cfg: SimConfig,
+    t_end: Time,
+    warmup: Time,
+) -> TimelineSummary {
+    let mut sim = CstSim::new(algo, initial, sim_cfg).expect("valid initial configuration");
+    sim.run_until(t_end);
+    sim.timeline().summary(warmup).expect("non-empty window")
+}
+
+/// Run the same experiment across `seeds` and collect rows.
+pub fn cst_gap_rows<A, F>(
+    label: &str,
+    n: usize,
+    seeds: u64,
+    mut make: F,
+    t_end: Time,
+    warmup: Time,
+) -> Vec<GapRow>
+where
+    A: RingAlgorithm,
+    F: FnMut(u64) -> (A, Config<A::State>, SimConfig),
+{
+    (0..seeds)
+        .map(|seed| {
+            let (algo, initial, cfg) = make(seed);
+            let summary = cst_gap_summary(algo, initial, cfg, t_end, warmup);
+            GapRow { algo: label.to_owned(), n, seed, summary }
+        })
+        .collect()
+}
+
+/// Aggregate over rows: worst (max) zero-token time, total zero intervals,
+/// and the min/max privileged counts seen anywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapAggregate {
+    /// Max zero-privileged time across rows.
+    pub worst_zero_time: Time,
+    /// Total zero-privileged intervals across rows.
+    pub total_zero_intervals: usize,
+    /// Min of `min_privileged` across rows.
+    pub min_privileged: usize,
+    /// Max of `max_privileged` across rows.
+    pub max_privileged: usize,
+}
+
+/// Fold rows into a [`GapAggregate`]. Returns `None` for an empty slice.
+pub fn aggregate(rows: &[GapRow]) -> Option<GapAggregate> {
+    let first = rows.first()?;
+    let mut agg = GapAggregate {
+        worst_zero_time: first.summary.zero_privileged_time,
+        total_zero_intervals: first.summary.zero_privileged_intervals,
+        min_privileged: first.summary.min_privileged,
+        max_privileged: first.summary.max_privileged,
+    };
+    for r in &rows[1..] {
+        agg.worst_zero_time = agg.worst_zero_time.max(r.summary.zero_privileged_time);
+        agg.total_zero_intervals += r.summary.zero_privileged_intervals;
+        agg.min_privileged = agg.min_privileged.min(r.summary.min_privileged);
+        agg.max_privileged = agg.max_privileged.max(r.summary.max_privileged);
+    }
+    Some(agg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_core::{RingParams, SsrMin, SsToken};
+
+    #[test]
+    fn ssrmin_rows_show_no_gap() {
+        let p = RingParams::new(5, 7).unwrap();
+        let rows = cst_gap_rows(
+            "ssrmin",
+            5,
+            3,
+            |seed| {
+                let a = SsrMin::new(p);
+                (a, a.legitimate_anchor(0), SimConfig { seed, ..SimConfig::default() })
+            },
+            10_000,
+            0,
+        );
+        assert_eq!(rows.len(), 3);
+        let agg = aggregate(&rows).unwrap();
+        assert_eq!(agg.worst_zero_time, 0);
+        assert_eq!(agg.total_zero_intervals, 0);
+        assert!(agg.min_privileged >= 1);
+        assert!(agg.max_privileged <= 2);
+        assert!(rows.iter().all(|r| r.zero_fraction() == 0.0));
+    }
+
+    #[test]
+    fn dijkstra_rows_show_gaps() {
+        let p = RingParams::new(5, 7).unwrap();
+        let rows = cst_gap_rows(
+            "dijkstra",
+            5,
+            3,
+            |seed| {
+                let a = SsToken::new(p);
+                (
+                    a,
+                    a.uniform_config(0),
+                    SimConfig { seed, exec_delay: 3, ..SimConfig::default() },
+                )
+            },
+            10_000,
+            0,
+        );
+        let agg = aggregate(&rows).unwrap();
+        assert!(agg.worst_zero_time > 0);
+        assert_eq!(agg.min_privileged, 0);
+        assert!(rows.iter().any(|r| r.zero_fraction() > 0.0));
+    }
+
+    #[test]
+    fn aggregate_empty_is_none() {
+        assert!(aggregate(&[]).is_none());
+    }
+}

@@ -1,0 +1,139 @@
+//! Tiny ASCII visualizations for terminal output: the privileged-count
+//! strip (one character per time bucket, showing the *worst* count in the
+//! bucket) and a horizontal bar chart. Used by the CLI and the experiment
+//! binaries; kept dependency-free on purpose.
+
+use ssr_mpnet::{Sample, Time};
+
+/// Render a privileged-count timeline as a fixed-width strip.
+///
+/// Each output character covers `end / width` ticks and shows the *minimum*
+/// privileged count inside its bucket (the safety-relevant quantity):
+///
+/// * `!` — zero privileged nodes somewhere in the bucket (violation),
+/// * `1`, `2` — minimum count 1 / 2,
+/// * `#` — minimum count 3 or more.
+///
+/// A mutual-inclusion-correct run therefore renders with no `!` anywhere.
+pub fn privileged_strip(samples: &[Sample], end: Time, width: usize) -> String {
+    assert!(width > 0, "strip width must be positive");
+    if samples.is_empty() || end == 0 {
+        return String::new();
+    }
+    let mut mins: Vec<Option<usize>> = vec![None; width];
+    let bucket_of = |t: Time| -> usize {
+        (((t as u128) * width as u128 / end.max(1) as u128) as usize).min(width - 1)
+    };
+    for (idx, s) in samples.iter().enumerate() {
+        let from = s.at.min(end);
+        let to = samples.get(idx + 1).map(|n| n.at).unwrap_or(end).min(end);
+        if from >= end {
+            break;
+        }
+        let (b0, b1) = (bucket_of(from), bucket_of(to.saturating_sub(1).max(from)));
+        for slot in mins.iter_mut().take(b1 + 1).skip(b0) {
+            *slot = Some(slot.map_or(s.privileged, |m: usize| m.min(s.privileged)));
+        }
+    }
+    mins.into_iter()
+        .map(|m| match m {
+            None => ' ',
+            Some(0) => '!',
+            Some(1) => '1',
+            Some(2) => '2',
+            Some(_) => '#',
+        })
+        .collect()
+}
+
+/// A labelled horizontal bar chart: one row per `(label, value)`, scaled to
+/// `width` characters against the maximum value.
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    assert!(width > 0);
+    let max = rows.iter().map(|r| r.1).fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let filled = if max <= 0.0 {
+            0
+        } else {
+            ((value / max) * width as f64).round() as usize
+        };
+        out.push_str(&format!(
+            "{label:<label_w$}  {} {value:.2}\n",
+            "#".repeat(filled.min(width)),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(at: Time, privileged: usize) -> Sample {
+        Sample {
+            at,
+            privileged,
+            mask: (1u64 << privileged) - 1,
+            tokens_total: privileged,
+            coherent: true,
+            legitimate: true,
+        }
+    }
+
+    #[test]
+    fn strip_marks_zero_buckets() {
+        let samples = vec![sample(0, 1), sample(50, 0), sample(60, 2)];
+        let strip = privileged_strip(&samples, 100, 10);
+        assert_eq!(strip.len(), 10);
+        assert!(strip.contains('!'), "{strip}");
+        assert!(strip.starts_with('1'), "{strip}");
+        assert!(strip.ends_with('2'), "{strip}");
+    }
+
+    #[test]
+    fn strip_all_ones_has_no_alarm() {
+        let samples = vec![sample(0, 1)];
+        let strip = privileged_strip(&samples, 100, 20);
+        assert_eq!(strip, "1".repeat(20));
+    }
+
+    #[test]
+    fn strip_uses_worst_case_within_bucket() {
+        // A momentary zero inside an otherwise-2 bucket must show '!'.
+        let samples = vec![sample(0, 2), sample(5, 0), sample(6, 2)];
+        let strip = privileged_strip(&samples, 100, 1);
+        assert_eq!(strip, "!");
+    }
+
+    #[test]
+    fn strip_empty_inputs() {
+        assert_eq!(privileged_strip(&[], 100, 5), "");
+        assert_eq!(privileged_strip(&[sample(0, 1)], 0, 5), "");
+    }
+
+    #[test]
+    fn high_counts_render_hash() {
+        let samples = vec![sample(0, 4)];
+        assert_eq!(privileged_strip(&samples, 10, 3), "###");
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let rows = vec![("a".to_string(), 2.0), ("bb".to_string(), 4.0)];
+        let chart = bar_chart(&rows, 8);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("####"), "{chart}");
+        assert!(lines[1].contains("########"), "{chart}");
+        assert!(lines[1].starts_with("bb"));
+    }
+
+    #[test]
+    fn bar_chart_all_zero() {
+        let rows = vec![("x".to_string(), 0.0)];
+        let chart = bar_chart(&rows, 8);
+        assert!(chart.contains("0.00"));
+    }
+}

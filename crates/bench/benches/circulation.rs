@@ -1,0 +1,71 @@
+//! Steady-state circulation benchmark: the cost of one full token lap
+//! (3n scheduler steps) in the state-reading engine — the paper's Lemma 1
+//! cycle made into a throughput number.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ssr_core::{RingParams, SsrMin};
+use ssr_daemon::daemons::CentralFirst;
+use ssr_daemon::Engine;
+
+fn bench_lap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circulation_lap");
+    for n in [8usize, 32, 128, 512] {
+        let params = RingParams::minimal(n).unwrap();
+        let algo = SsrMin::new(params);
+        let steps = 3 * n as u64; // one full lap of the two tokens
+        group.throughput(Throughput::Elements(steps));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || Engine::new(algo, algo.legitimate_anchor(0)).unwrap(),
+                |mut engine| {
+                    let mut daemon = CentralFirst;
+                    for _ in 0..steps {
+                        black_box(engine.step(&mut daemon));
+                    }
+                    engine
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_step_set_distributed(c: &mut Criterion) {
+    // Cost of a distributed-daemon step (simultaneous moves) vs central.
+    let mut group = c.benchmark_group("engine_step");
+    let params = RingParams::minimal(64).unwrap();
+    let algo = SsrMin::new(params);
+    group.bench_function("central", |b| {
+        b.iter_batched(
+            || Engine::new(algo, algo.legitimate_anchor(0)).unwrap(),
+            |mut engine| {
+                let mut daemon = CentralFirst;
+                for _ in 0..100 {
+                    black_box(engine.step(&mut daemon));
+                }
+                engine
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("synchronous", |b| {
+        b.iter_batched(
+            || Engine::new(algo, algo.legitimate_anchor(0)).unwrap(),
+            |mut engine| {
+                let mut daemon = ssr_daemon::daemons::Synchronous;
+                for _ in 0..100 {
+                    black_box(engine.step(&mut daemon));
+                }
+                engine
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lap, bench_step_set_distributed);
+criterion_main!(benches);

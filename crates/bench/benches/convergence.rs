@@ -1,0 +1,35 @@
+//! Convergence benchmark: wall-clock cost of stabilizing from random
+//! configurations — the O(n²) of Theorem 2 as end-to-end compute time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ssr_core::{RingParams, SsrMin};
+use ssr_daemon::daemons::CentralRandom;
+use ssr_daemon::{measure_convergence, random_config};
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence_from_random");
+    group.sample_size(20);
+    for n in [8usize, 16, 32, 64] {
+        let params = RingParams::minimal(n).unwrap();
+        let algo = SsrMin::new(params);
+        let budget = 100 * (n as u64) * (n as u64) + 1000;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let cfg = random_config::random_ssr_config(params, seed);
+                let mut daemon = CentralRandom::seeded(seed);
+                black_box(
+                    measure_convergence(algo, cfg, &mut daemon, budget, 0)
+                        .expect("must converge"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

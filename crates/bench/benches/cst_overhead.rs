@@ -1,0 +1,48 @@
+//! CST ablation: receipt-driven gossip vs timer-only gossip, and the cost
+//! of the critical-section dwell machinery — how the transform's knobs
+//! trade message volume for handover latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ssr_core::{RingParams, SsrMin};
+use ssr_mpnet::{CstSim, DelayModel, SimConfig};
+
+fn base_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        delay: DelayModel::Fixed(5),
+        loss: 0.0,
+        timer_interval: 40,
+        send_on_receipt: true,
+        exec_delay: 0,
+        burst: None,
+    }
+}
+
+fn bench_gossip_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cst_gossip_mode_10k_ticks");
+    let params = RingParams::minimal(16).unwrap();
+    let algo = SsrMin::new(params);
+    let variants: [(&str, SimConfig); 3] = [
+        ("receipt-driven", base_cfg(1)),
+        ("timer-only", SimConfig { send_on_receipt: false, ..base_cfg(1) }),
+        ("with-dwell", SimConfig { exec_delay: 4, ..base_cfg(1) }),
+    ];
+    for (label, cfg) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter_batched(
+                || CstSim::new(algo, algo.legitimate_anchor(0), *cfg).unwrap(),
+                |mut sim| {
+                    black_box(sim.run_until(10_000));
+                    sim
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gossip_modes);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Discrete-event simulator throughput: simulated-ticks-per-second and
+//! events-per-second of the CST network simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ssr_core::{RingParams, SsrMin};
+use ssr_mpnet::{CstSim, DelayModel, SimConfig};
+
+fn sim_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        delay: DelayModel::Uniform { min: 2, max: 9 },
+        loss: 0.0,
+        timer_interval: 40,
+        send_on_receipt: true,
+        exec_delay: 0,
+        burst: None,
+    }
+}
+
+fn bench_sim_ticks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cst_sim_10k_ticks");
+    for n in [5usize, 16, 64] {
+        let params = RingParams::minimal(n).unwrap();
+        let algo = SsrMin::new(params);
+        group.throughput(Throughput::Elements(10_000));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || CstSim::new(algo, algo.legitimate_anchor(0), sim_cfg(1)).unwrap(),
+                |mut sim| {
+                    black_box(sim.run_until(10_000));
+                    sim
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_sim_with_loss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cst_sim_loss");
+    let params = RingParams::minimal(16).unwrap();
+    let algo = SsrMin::new(params);
+    for loss in [0.0f64, 0.3] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("loss{loss}")),
+            &loss,
+            |b, &loss| {
+                b.iter_batched(
+                    || {
+                        let cfg = SimConfig { loss, ..sim_cfg(1) };
+                        CstSim::new(algo, algo.legitimate_anchor(0), cfg).unwrap()
+                    },
+                    |mut sim| {
+                        black_box(sim.run_until(10_000));
+                        sim
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_ticks, bench_sim_with_loss);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! NST simulator throughput, and the CST-vs-NST wall-clock comparison at
+//! equal simulated horizons.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ssr_core::{RingParams, SsrMin};
+use ssr_mpnet::{CstSim, DelayModel, NstConfig, NstSim, SimConfig};
+
+fn bench_nst_ticks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nst_sim_10k_ticks");
+    for n in [5usize, 16] {
+        let params = RingParams::minimal(n).unwrap();
+        let algo = SsrMin::new(params);
+        group.throughput(Throughput::Elements(10_000));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    NstSim::new(algo, algo.legitimate_anchor(0), NstConfig::default()).unwrap()
+                },
+                |mut sim| {
+                    sim.run_until(10_000);
+                    black_box(sim.stats())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_transform_wallclock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transform_wallclock_10k_ticks");
+    let params = RingParams::minimal(8).unwrap();
+    let algo = SsrMin::new(params);
+    group.bench_function("cst", |b| {
+        b.iter_batched(
+            || {
+                let cfg = SimConfig {
+                    seed: 1,
+                    delay: DelayModel::Fixed(5),
+                    ..SimConfig::default()
+                };
+                CstSim::new(algo, algo.legitimate_anchor(0), cfg).unwrap()
+            },
+            |mut sim| {
+                sim.run_until(10_000);
+                black_box(sim.stats())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("nst", |b| {
+        b.iter_batched(
+            || NstSim::new(algo, algo.legitimate_anchor(0), NstConfig::default()).unwrap(),
+            |mut sim| {
+                sim.run_until(10_000);
+                black_box(sim.stats())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nst_ticks, bench_transform_wallclock);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Microbenchmarks of the guarded-command core: guard evaluation, rule
+//! selection, token predicates and legitimacy classification. These are the
+//! inner loops of every simulator and of a deployed node's receive path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ssr_core::{legitimacy, RingAlgorithm, RingParams, SsrMin};
+use ssr_daemon::random_config;
+
+fn bench_enabled_rule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enabled_rule_scan");
+    for n in [8usize, 32, 128, 512] {
+        let params = RingParams::minimal(n).unwrap();
+        let algo = SsrMin::new(params);
+        let cfg = random_config::random_ssr_config(params, 1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut count = 0usize;
+                for i in 0..n {
+                    if algo.enabled_rule_in(black_box(&cfg), i).is_some() {
+                        count += 1;
+                    }
+                }
+                black_box(count)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_token_predicates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("token_predicates");
+    for n in [8usize, 128] {
+        let params = RingParams::minimal(n).unwrap();
+        let algo = SsrMin::new(params);
+        let cfg = algo.legitimate_anchor(0);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut total = 0u32;
+                for i in 0..n {
+                    total += algo.tokens_in(black_box(&cfg), i).count() as u32;
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_legitimacy_classify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("legitimacy_classify");
+    for n in [8usize, 128, 1024] {
+        let params = RingParams::minimal(n).unwrap();
+        let algo = SsrMin::new(params);
+        let legit = algo.legitimate_anchor(0);
+        let illegit = random_config::random_ssr_config(params, 3);
+        group.bench_with_input(BenchmarkId::new("legitimate", n), &n, |b, _| {
+            b.iter(|| black_box(legitimacy::classify(params, black_box(&legit))))
+        });
+        group.bench_with_input(BenchmarkId::new("random", n), &n, |b, _| {
+            b.iter(|| black_box(legitimacy::classify(params, black_box(&illegit))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enabled_rule, bench_token_predicates, bench_legitimacy_classify);
+criterion_main!(benches);

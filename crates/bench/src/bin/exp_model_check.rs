@@ -1,0 +1,130 @@
+//! E10 (mechanical verification): explicit-state model checking of SSRmin
+//! and Dijkstra's ring over the complete unfair-distributed-daemon
+//! transition relation, for every ring small enough to enumerate. Produces
+//! the *exact* worst-case stabilization time — a number the paper's O(n²)
+//! analysis only bounds.
+
+use ssr_analysis::Table;
+use ssr_core::{Dijkstra4, RingParams, SsToken};
+use ssr_verify::{space::ssrmin, verify, verify_under, DaemonClass};
+
+fn main() {
+    println!("E10 — explicit-state model checking (ALL daemon schedules, ALL configurations)");
+
+    let mut table = Table::new(vec![
+        "algorithm",
+        "n",
+        "K",
+        "configs",
+        "|Λ|",
+        "closure",
+        "no deadlock",
+        "converges",
+        "min priv (all)",
+        "exact worst steps",
+        "3n(n-1)/2 · 3n", // the proof's coarse budget for scale
+    ]);
+
+    let mut histograms: Vec<(usize, u32, Vec<u64>)> = Vec::new();
+    for (n, k) in [(3usize, 4u32), (3, 5), (3, 6), (4, 5), (4, 6)] {
+        let algo = ssrmin(n, k);
+        let r = verify(&algo, 2_000_000).expect("space fits");
+        assert!(r.closure_holds && r.deadlock_free && r.converges);
+        assert!(r.min_privileged_all >= 1);
+        assert_eq!(r.min_privileged_legit, 1);
+        assert_eq!(r.max_privileged_legit, 2);
+        histograms.push((n, k, r.dist_histogram.clone()));
+        let coarse = (3 * n * (n - 1) / 2) * 3 * n;
+        table.row(vec![
+            "SSRmin".to_string(),
+            n.to_string(),
+            k.to_string(),
+            r.configs.to_string(),
+            r.legitimate.to_string(),
+            "ok".to_string(),
+            "ok".to_string(),
+            "ok".to_string(),
+            r.min_privileged_all.to_string(),
+            r.worst_case_steps.to_string(),
+            coarse.to_string(),
+        ]);
+    }
+
+    for (n, k) in [(3usize, 4u32), (4, 5), (5, 6), (6, 7)] {
+        let algo = SsToken::new(RingParams::new(n, k).expect("valid"));
+        let r = verify(&algo, 2_000_000).expect("space fits");
+        assert!(r.closure_holds && r.deadlock_free && r.converges);
+        table.row(vec![
+            "SSToken".to_string(),
+            n.to_string(),
+            k.to_string(),
+            r.configs.to_string(),
+            r.legitimate.to_string(),
+            "ok".to_string(),
+            "ok".to_string(),
+            "ok".to_string(),
+            r.min_privileged_all.to_string(),
+            r.worst_case_steps.to_string(),
+            "-".to_string(),
+        ]);
+    }
+
+    // Dijkstra's four-state machine under BOTH daemon classes — Dijkstra
+    // stated it for the central daemon; the checker establishes it for the
+    // distributed one too (for these sizes).
+    for n in [3usize, 5, 8, 10] {
+        let algo = Dijkstra4::new(n).expect("valid");
+        for (class, label) in
+            [(DaemonClass::Central, "4-state (central)"), (DaemonClass::Distributed, "4-state (distrib)")]
+        {
+            let r = verify_under(&algo, 3_000_000, class).expect("space fits");
+            assert!(r.closure_holds && r.deadlock_free && r.converges);
+            table.row(vec![
+                label.to_string(),
+                n.to_string(),
+                "-".to_string(),
+                r.configs.to_string(),
+                r.legitimate.to_string(),
+                "ok".to_string(),
+                "ok".to_string(),
+                "ok".to_string(),
+                r.min_privileged_all.to_string(),
+                r.worst_case_steps.to_string(),
+                "-".to_string(),
+            ]);
+        }
+    }
+
+    print!("{}", table.render());
+
+    println!("\nWorst-case-distance distribution (SSRmin; share of configurations");
+    println!("whose worst schedule needs ≤ d steps):");
+    for (n, k, h) in &histograms {
+        let total: u64 = h.iter().sum();
+        let mut cum = 0u64;
+        let mut p50 = 0usize;
+        let mut p95 = 0usize;
+        for (d, &c) in h.iter().enumerate() {
+            cum += c;
+            if p50 == 0 && cum * 2 >= total {
+                p50 = d;
+            }
+            if p95 == 0 && cum * 20 >= total * 19 {
+                p95 = d;
+            }
+        }
+        println!(
+            "  n={n} K={k}: median {p50} steps, p95 {p95}, max {} — a random \
+transient fault is healed in ~{p50} steps",
+            h.len() - 1
+        );
+    }
+
+    println!(
+        "\nEvery property of Lemmas 1/3/4/6 and Theorem 1 verified over the\n\
+         FULL transition relation (every subset choice of the unfair\n\
+         distributed daemon at every configuration). 'Exact worst steps' is\n\
+         the length of the longest possible illegitimate schedule — the true\n\
+         worst-case stabilization time, far below the proof's coarse budget."
+    );
+}

@@ -1,0 +1,121 @@
+//! E12 (transform ablation, §1.3's "small overhead at runtime" claim):
+//! CST (Herman [5], what the paper adopts) vs NST (a Mizuno–Kakugawa
+//! [16]-style neighbourhood-synchronized transform that emulates composite
+//! atomicity exactly). Measures messages per move, circulation throughput,
+//! and — the punchline — zero-token time: exact atomicity does NOT buy
+//! mutual inclusion, while SSRmin's algorithmic fix works on the cheap
+//! transform.
+
+use ssr_analysis::Table;
+use ssr_core::{RingParams, SsrMin, SsToken};
+use ssr_mpnet::{CstSim, DelayModel, NstConfig, NstSim, SimConfig};
+
+const T_END: u64 = 60_000;
+
+fn cst_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        delay: DelayModel::Fixed(5),
+        loss: 0.0,
+        timer_interval: 40,
+        send_on_receipt: true,
+        exec_delay: 0,
+        burst: None,
+    }
+}
+
+fn nst_cfg(seed: u64) -> NstConfig {
+    NstConfig {
+        seed,
+        delay: DelayModel::Fixed(5),
+        loss: 0.0,
+        timer_interval: 40,
+        request_timeout: 60,
+    }
+}
+
+fn main() {
+    println!("E12 — transform ablation: CST (cheap, paper's choice) vs NST (exact atomicity)");
+    let params = RingParams::new(7, 9).expect("valid parameters");
+    let mut table = Table::new(vec![
+        "algorithm + transform",
+        "moves",
+        "msgs/move",
+        "zero-token %",
+        "stale moves",
+    ]);
+
+    // SSToken + CST.
+    {
+        let a = SsToken::new(params);
+        let mut sim = CstSim::new(a, a.uniform_config(0), cst_cfg(1)).expect("valid");
+        sim.run_until(T_END);
+        let st = sim.stats();
+        let s = sim.timeline().summary(0).expect("window");
+        table.row(vec![
+            "SSToken + CST".to_string(),
+            st.rules_executed.to_string(),
+            format!("{:.1}", st.transmissions as f64 / st.rules_executed.max(1) as f64),
+            format!("{:.1}", 100.0 * s.zero_privileged_time as f64 / s.window as f64),
+            "n/a (gossip)".to_string(),
+        ]);
+    }
+    // SSToken + NST.
+    {
+        let a = SsToken::new(params);
+        let mut sim = NstSim::new(a, a.uniform_config(0), nst_cfg(1)).expect("valid");
+        sim.run_until(T_END);
+        let st = sim.stats();
+        let msgs = st.state_msgs + st.req_msgs + st.grant_msgs + st.release_msgs;
+        let s = sim.timeline().summary(0).expect("window");
+        table.row(vec![
+            "SSToken + NST".to_string(),
+            st.moves.to_string(),
+            format!("{:.1}", msgs as f64 / st.moves.max(1) as f64),
+            format!("{:.1}", 100.0 * s.zero_privileged_time as f64 / s.window as f64),
+            st.stale_moves.to_string(),
+        ]);
+    }
+    // SSRmin + CST.
+    {
+        let a = SsrMin::new(params);
+        let mut sim = CstSim::new(a, a.legitimate_anchor(0), cst_cfg(1)).expect("valid");
+        sim.run_until(T_END);
+        let st = sim.stats();
+        let s = sim.timeline().summary(0).expect("window");
+        table.row(vec![
+            "SSRmin + CST  ← the paper".to_string(),
+            st.rules_executed.to_string(),
+            format!("{:.1}", st.transmissions as f64 / st.rules_executed.max(1) as f64),
+            format!("{:.1}", 100.0 * s.zero_privileged_time as f64 / s.window as f64),
+            "n/a (gossip)".to_string(),
+        ]);
+    }
+    // SSRmin + NST.
+    {
+        let a = SsrMin::new(params);
+        let mut sim = NstSim::new(a, a.legitimate_anchor(0), nst_cfg(1)).expect("valid");
+        sim.run_until(T_END);
+        let st = sim.stats();
+        let msgs = st.state_msgs + st.req_msgs + st.grant_msgs + st.release_msgs;
+        let s = sim.timeline().summary(0).expect("window");
+        table.row(vec![
+            "SSRmin + NST".to_string(),
+            st.moves.to_string(),
+            format!("{:.1}", msgs as f64 / st.moves.max(1) as f64),
+            format!("{:.1}", 100.0 * s.zero_privileged_time as f64 / s.window as f64),
+            st.stale_moves.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nNST buys exact composite atomicity (0 stale moves) and, per move,\n\
+         even fewer messages than CST's eager gossip — but at roughly HALF\n\
+         the circulation throughput (every move waits a request/grant round\n\
+         trip), and it STILL leaves SSToken with large zero-token time: the\n\
+         model gap is in *observing* tokens, not in execution order, so no\n\
+         transform can fix it. SSRmin closes the gap algorithmically, which\n\
+         is why the paper can use the cheap, low-latency gossip transform\n\
+         (§1.3's 'small overhead at runtime')."
+    );
+}

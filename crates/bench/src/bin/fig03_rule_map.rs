@@ -1,0 +1,32 @@
+//! Figure 3: for each ⟨rts_i.tra_i⟩ flag pair and each value of `G_i`,
+//! which rules can possibly be enabled — computed by exhaustive enumeration
+//! of neighbour flag combinations, not transcribed from the paper.
+
+use ssr_analysis::Table;
+use ssr_core::{RingParams, SsrMin};
+
+fn main() {
+    let algo = SsrMin::new(RingParams::new(5, 7).expect("valid parameters"));
+    let mut table = Table::new(vec!["⟨rts.tra⟩", "G_i true", "G_i false"]);
+    for (r, t) in [(0u8, 0u8), (0, 1), (1, 0), (1, 1)] {
+        let fmt = |rules: Vec<ssr_core::SsrRule>| {
+            if rules.is_empty() {
+                "—".to_string()
+            } else {
+                rules
+                    .iter()
+                    .map(|x| x.number().to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            }
+        };
+        table.row(vec![
+            format!("{r}.{t}"),
+            fmt(algo.possible_rules((r, t), true)),
+            fmt(algo.possible_rules((r, t), false)),
+        ]);
+    }
+    println!("Figure 3 — possible rules for each ⟨rts_i.tra_i⟩ value\n");
+    print!("{}", table.render());
+    println!("\n(Enumerated over all 16 neighbour flag combinations per cell.)");
+}

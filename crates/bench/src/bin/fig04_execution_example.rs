@@ -1,0 +1,19 @@
+//! Figure 4: the paper's 16-step execution example with five processes,
+//! regenerated mechanically and printed in the paper's own notation.
+
+use ssr_core::{RingParams, SsrMin};
+use ssr_daemon::daemons::CentralFirst;
+use ssr_daemon::{trace, Engine};
+
+fn main() {
+    let params = RingParams::new(5, 7).expect("valid parameters");
+    let algo = SsrMin::new(params);
+    // The paper's Figure 4 starts at (3.0.1, 3.0.0, 3.0.0, 3.0.0, 3.0.0).
+    let mut engine = Engine::new(algo, algo.legitimate_anchor(3)).expect("valid config");
+    let mut daemon = CentralFirst;
+    let t = engine.run_traced(&mut daemon, 15);
+    println!("Figure 4 — execution example of SSRmin with five processes");
+    println!("(local state x.rts.tra; P/S = token; /g = rule about to fire)\n");
+    print!("{}", trace::render_ssrmin_trace(&algo, &t));
+    println!("\nRow 16 is the anchor configuration again with x+1 — the cycle repeats.");
+}

@@ -1,0 +1,48 @@
+//! Figure 12: two *independent* instances of Dijkstra's ring, executed
+//! concurrently in the message-passing model, still reach instants with no
+//! token anywhere — both tokens can be in flight at once.
+
+use ssr_analysis::Table;
+use ssr_bench::{header, standard_sim_config, STANDARD_T_END};
+use ssr_core::{DualSsToken, RingParams};
+use ssr_mpnet::CstSim;
+
+fn main() {
+    println!("Figure 12 — 2 × SSToken (independent instances) under CST");
+
+    let mut table = Table::new(vec![
+        "n",
+        "seed",
+        "zero-token time",
+        "zero intervals",
+        "zero %",
+        "max priv",
+    ]);
+    for n in [5usize, 8, 13] {
+        let params = RingParams::minimal(n).expect("valid size");
+        let algo = DualSsToken::new(params);
+        for seed in 0..3u64 {
+            // Start the two tokens apart (positions 0 and n/2).
+            let initial = algo.config_with_tokens_at(0, n / 2, 0);
+            let mut sim =
+                CstSim::new(algo, initial, standard_sim_config(seed)).expect("valid config");
+            sim.run_until(STANDARD_T_END);
+            let s = sim.timeline().summary(0).expect("non-empty window");
+            table.row(vec![
+                n.to_string(),
+                seed.to_string(),
+                s.zero_privileged_time.to_string(),
+                s.zero_privileged_intervals.to_string(),
+                format!("{:.1}", 100.0 * s.zero_privileged_time as f64 / s.window as f64),
+                s.max_privileged.to_string(),
+            ]);
+        }
+    }
+    header("results");
+    print!("{}", table.render());
+    println!(
+        "\nDoubling the tokens shrinks but does not eliminate the zero-token\n\
+         time: whenever both tokens are in transit simultaneously the network\n\
+         is unobserved. Uncoordinated redundancy is not graceful handover."
+    );
+}

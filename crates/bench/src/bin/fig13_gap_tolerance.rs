@@ -1,0 +1,77 @@
+//! Figure 13 / Theorem 3: SSRmin in the message-passing model — the number
+//! of privileged nodes stays in 1..=2 at every instant, across ring sizes,
+//! delays and loss rates (graceful handover / model gap tolerance).
+
+use ssr_analysis::Table;
+use ssr_bench::{header, standard_sim_config, STANDARD_T_END};
+use ssr_core::{RingParams, SsrMin};
+use ssr_mpnet::{CstSim, SimConfig};
+
+fn main() {
+    println!("Figure 13 — SSRmin under CST: graceful handover");
+
+    let mut table = Table::new(vec![
+        "n",
+        "loss",
+        "seed",
+        "zero-token time",
+        "min priv",
+        "max priv",
+        "rules",
+        "transmissions",
+    ]);
+    let mut worst_zero_lossfree = 0u64;
+    let mut worst_zero_lossy_fraction = 0.0f64;
+    for n in [3usize, 5, 8, 13, 21, 34] {
+        let params = RingParams::minimal(n).expect("valid size");
+        let algo = SsrMin::new(params);
+        for loss in [0.0f64, 0.15, 0.30] {
+            for seed in 0..3u64 {
+                let cfg = SimConfig { loss, ..standard_sim_config(seed) };
+                let mut sim =
+                    CstSim::new(algo, algo.legitimate_anchor(0), cfg).expect("valid config");
+                sim.run_until(STANDARD_T_END);
+                let s = sim.timeline().summary(0).expect("non-empty window");
+                if loss == 0.0 {
+                    worst_zero_lossfree = worst_zero_lossfree.max(s.zero_privileged_time);
+                } else {
+                    worst_zero_lossy_fraction = worst_zero_lossy_fraction
+                        .max(s.zero_privileged_time as f64 / s.window as f64);
+                }
+                table.row(vec![
+                    n.to_string(),
+                    format!("{loss:.2}"),
+                    seed.to_string(),
+                    s.zero_privileged_time.to_string(),
+                    s.min_privileged.to_string(),
+                    s.max_privileged.to_string(),
+                    sim.stats().rules_executed.to_string(),
+                    sim.stats().transmissions.to_string(),
+                ]);
+            }
+        }
+    }
+    header("results");
+    print!("{}", table.render());
+    println!(
+        "\nWorst zero-privileged time, loss-free runs: {worst_zero_lossfree} \
+         (Theorem 3 invariant)"
+    );
+    assert_eq!(worst_zero_lossfree, 0, "Theorem 3 violated!");
+    println!(
+        "Worst zero-privileged fraction, lossy runs: {:.5}",
+        worst_zero_lossy_fraction
+    );
+    assert!(
+        worst_zero_lossy_fraction < 0.005,
+        "lossy gaps must stay negligible (Theorem 4 regime)"
+    );
+    println!(
+        "\nLoss-free: never an instant without a privileged node, never more\n\
+         than two (the (1,2)-critical-section bound). Under message loss a\n\
+         long streak of consecutive losses can leave a *stale cache* (the\n\
+         paper's 'bad incoherence' — a transient fault); that may trigger a\n\
+         Rule-4/5 self-repair costing a sub-permille blip, after which the\n\
+         Theorem 4 regime resumes. Compare with SSToken's ~72% (fig11)."
+    );
+}

@@ -1,0 +1,59 @@
+//! # ssr-bench — experiment harness and benchmarks
+//!
+//! One binary per figure/claim of the paper (see `DESIGN.md` §4 for the
+//! index). Run them all with:
+//!
+//! ```sh
+//! for b in fig01_token_movement fig02_handshake fig03_rule_map \
+//!          fig04_execution_example fig11_sstoken_extinction \
+//!          fig12_dual_sstoken fig13_gap_tolerance exp_closure \
+//!          exp_no_deadlock exp_lemma5_bound exp_convergence_scaling \
+//!          exp_domination exp_lossy_convergence exp_camera_coverage \
+//!          exp_token_economy; do
+//!   cargo run --release -p ssr-bench --bin $b
+//! done
+//! ```
+//!
+//! Criterion micro-benchmarks live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ssr_mpnet::{DelayModel, SimConfig};
+
+/// The standard message-passing configuration used across the Figure 11–13
+/// experiments: jittered delays, a retransmission timer, and a small
+/// critical-section dwell so token *holding* has nonzero duration.
+pub fn standard_sim_config(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        delay: DelayModel::Uniform { min: 2, max: 9 },
+        loss: 0.0,
+        timer_interval: 40,
+        send_on_receipt: true,
+        exec_delay: 4,
+        burst: None,
+    }
+}
+
+/// Standard observation length for the message-passing experiments.
+pub const STANDARD_T_END: u64 = 60_000;
+
+/// Print a section header in the experiment output.
+pub fn header(title: &str) {
+    println!("\n== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_config_has_dwell_and_timer() {
+        let c = standard_sim_config(3);
+        assert_eq!(c.seed, 3);
+        assert!(c.exec_delay > 0);
+        assert!(c.timer_interval > 0);
+        assert!(c.send_on_receipt);
+    }
+}

@@ -1,0 +1,355 @@
+//! The guarded-command ring-algorithm abstraction shared by every execution
+//! substrate (state-reading engine, message-passing simulator, threaded
+//! runtime).
+
+use std::fmt;
+
+use crate::error::{CoreError, Result};
+
+/// A configuration is one local state per process, indexed by ring position.
+pub type Config<S> = Vec<S>;
+
+/// Which of SSRmin's two tokens a process holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// The token of the underlying Dijkstra ring (the inchworm's tail).
+    Primary,
+    /// The token moved ahead by the `rts`/`tra` handshake (the head).
+    Secondary,
+}
+
+/// The set of tokens held by one process at one instant.
+///
+/// For SSRmin this is at most `{Primary, Secondary}`; baselines reuse the
+/// same type by mapping their token(s) onto the two slots (e.g. the dual
+/// Dijkstra baseline reports instance 0 as `Primary` and instance 1 as
+/// `Secondary`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TokenSet {
+    /// Holds the primary token.
+    pub primary: bool,
+    /// Holds the secondary token.
+    pub secondary: bool,
+}
+
+impl TokenSet {
+    /// Neither token.
+    pub const NONE: TokenSet = TokenSet { primary: false, secondary: false };
+    /// Both tokens.
+    pub const BOTH: TokenSet = TokenSet { primary: true, secondary: true };
+
+    /// Build a set from two flags.
+    #[inline]
+    pub fn new(primary: bool, secondary: bool) -> Self {
+        TokenSet { primary, secondary }
+    }
+
+    /// Number of tokens in the set (0, 1 or 2).
+    #[inline]
+    pub fn count(&self) -> u8 {
+        self.primary as u8 + self.secondary as u8
+    }
+
+    /// True iff the process holds at least one token — i.e. it is
+    /// *privileged* and may stay in the critical section.
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.primary || self.secondary
+    }
+
+    /// True iff the given kind is in the set.
+    #[inline]
+    pub fn holds(&self, kind: TokenKind) -> bool {
+        match kind {
+            TokenKind::Primary => self.primary,
+            TokenKind::Secondary => self.secondary,
+        }
+    }
+}
+
+impl fmt::Display for TokenSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.primary, self.secondary) {
+            (true, true) => write!(f, "PS"),
+            (true, false) => write!(f, "P"),
+            (false, true) => write!(f, "S"),
+            (false, false) => write!(f, "-"),
+        }
+    }
+}
+
+/// A self-stabilizing guarded-command algorithm on a bidirectional ring in
+/// the state-reading model.
+///
+/// A process `P_i` can read the local states of `P_{i-1}` and `P_{i+1}` and
+/// atomically rewrite its own state (composite atomicity: read, compute and
+/// write happen in one step). Guards and commands are pure functions of the
+/// triple `(pred, own, succ)`, which is exactly what lets the same value
+/// drive both the shared-state engine and the cached message-passing
+/// transform (where `pred`/`succ` are the locally cached copies).
+///
+/// Rule priority is the implementor's concern: [`RingAlgorithm::enabled_rule`]
+/// must already return the unique highest-priority enabled rule, so a process
+/// is enabled by at most one rule (as in Algorithm 3 of the paper).
+pub trait RingAlgorithm {
+    /// Per-process local state.
+    type State: Clone + PartialEq + fmt::Debug + fmt::Display + Send + Sync;
+    /// Identifier of a guarded-command rule.
+    type Rule: Copy + Eq + fmt::Debug + Send + Sync;
+
+    /// Number of processes on the ring.
+    fn n(&self) -> usize;
+
+    /// The highest-priority rule whose guard holds at `P_i` for the local
+    /// view `(own, pred, succ)`, or `None` if `P_i` is disabled.
+    fn enabled_rule(
+        &self,
+        i: usize,
+        own: &Self::State,
+        pred: &Self::State,
+        succ: &Self::State,
+    ) -> Option<Self::Rule>;
+
+    /// Execute `rule`'s command at `P_i`, returning the new local state.
+    ///
+    /// Callers must only pass a rule returned by [`RingAlgorithm::enabled_rule`]
+    /// for the same view.
+    fn execute(
+        &self,
+        i: usize,
+        rule: Self::Rule,
+        own: &Self::State,
+        pred: &Self::State,
+        succ: &Self::State,
+    ) -> Self::State;
+
+    /// The tokens `P_i` holds under its token-condition predicates, evaluated
+    /// on the local view `(own, pred, succ)`.
+    fn tokens_at(
+        &self,
+        i: usize,
+        own: &Self::State,
+        pred: &Self::State,
+        succ: &Self::State,
+    ) -> TokenSet;
+
+    /// True iff `config` is legitimate for this algorithm.
+    fn is_legitimate(&self, config: &[Self::State]) -> bool;
+
+    /// Validate a configuration's shape (length, value ranges).
+    fn validate_config(&self, config: &[Self::State]) -> Result<()>;
+
+    /// A small algorithm-defined tag for a rule, used by schedulers and
+    /// analysis to classify moves without knowing the concrete rule type
+    /// (SSRmin returns the paper's rule number 1–5; the default is 0).
+    fn rule_tag(&self, _rule: Self::Rule) -> u8 {
+        0
+    }
+
+    // ------------------------------------------------------------------
+    // Provided ring-level helpers.
+    // ------------------------------------------------------------------
+
+    /// The local view of process `i`: `(own, pred, succ)` references.
+    fn view<'a>(
+        &self,
+        config: &'a [Self::State],
+        i: usize,
+    ) -> (&'a Self::State, &'a Self::State, &'a Self::State) {
+        let n = self.n();
+        debug_assert_eq!(config.len(), n);
+        let pred = if i == 0 { n - 1 } else { i - 1 };
+        let succ = if i + 1 == n { 0 } else { i + 1 };
+        (&config[i], &config[pred], &config[succ])
+    }
+
+    /// The rule enabling process `i` in `config`, if any.
+    fn enabled_rule_in(&self, config: &[Self::State], i: usize) -> Option<Self::Rule> {
+        let (own, pred, succ) = self.view(config, i);
+        self.enabled_rule(i, own, pred, succ)
+    }
+
+    /// Indices of all enabled processes, ascending.
+    fn enabled_processes(&self, config: &[Self::State]) -> Vec<usize> {
+        (0..self.n())
+            .filter(|&i| self.enabled_rule_in(config, i).is_some())
+            .collect()
+    }
+
+    /// Move a single enabled process (a central-daemon step). Errors if the
+    /// process is out of range or disabled.
+    fn step_process(&self, config: &[Self::State], i: usize) -> Result<Config<Self::State>> {
+        if i >= self.n() {
+            return Err(CoreError::ProcessOutOfRange { process: i, n: self.n() });
+        }
+        let (own, pred, succ) = self.view(config, i);
+        let rule = self
+            .enabled_rule(i, own, pred, succ)
+            .ok_or(CoreError::ProcessNotEnabled { process: i })?;
+        let new_state = self.execute(i, rule, own, pred, succ);
+        let mut next = config.to_vec();
+        next[i] = new_state;
+        Ok(next)
+    }
+
+    /// Move a *set* of enabled processes simultaneously (a distributed-daemon
+    /// step): every selected process reads the *old* configuration and the
+    /// writes land together. Disabled or out-of-range members are rejected.
+    fn step_set(&self, config: &[Self::State], set: &[usize]) -> Result<Config<Self::State>> {
+        let mut next = config.to_vec();
+        for &i in set {
+            if i >= self.n() {
+                return Err(CoreError::ProcessOutOfRange { process: i, n: self.n() });
+            }
+            let (own, pred, succ) = self.view(config, i);
+            let rule = self
+                .enabled_rule(i, own, pred, succ)
+                .ok_or(CoreError::ProcessNotEnabled { process: i })?;
+            next[i] = self.execute(i, rule, own, pred, succ);
+        }
+        Ok(next)
+    }
+
+    /// Token set of process `i` in `config`.
+    fn tokens_in(&self, config: &[Self::State], i: usize) -> TokenSet {
+        let (own, pred, succ) = self.view(config, i);
+        self.tokens_at(i, own, pred, succ)
+    }
+
+    /// Indices of processes holding at least one token (the *privileged*
+    /// processes), ascending.
+    fn token_holders(&self, config: &[Self::State]) -> Vec<usize> {
+        (0..self.n())
+            .filter(|&i| self.tokens_in(config, i).any())
+            .collect()
+    }
+
+    /// Total number of tokens present in `config` (counting kinds separately,
+    /// so a process holding both contributes 2).
+    fn total_tokens(&self, config: &[Self::State]) -> usize {
+        (0..self.n())
+            .map(|i| self.tokens_in(config, i).count() as usize)
+            .sum()
+    }
+
+    /// True iff no process is enabled. A correct self-stabilizing token
+    /// circulation never deadlocks (Lemma 4), so this returning `true`
+    /// indicates a broken algorithm or configuration; it is exposed for the
+    /// test suites of the baselines.
+    fn is_deadlocked(&self, config: &[Self::State]) -> bool {
+        self.enabled_processes(config).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately trivial algorithm for exercising the provided methods:
+    /// states are bits on a ring of fixed size; a process is enabled iff its
+    /// bit differs from its predecessor's, and the command copies the
+    /// predecessor's bit. Token = enabled.
+    struct CopyBit {
+        n: usize,
+    }
+
+    impl RingAlgorithm for CopyBit {
+        type State = u8;
+        type Rule = ();
+
+        fn n(&self) -> usize {
+            self.n
+        }
+
+        fn enabled_rule(&self, _i: usize, own: &u8, pred: &u8, _succ: &u8) -> Option<()> {
+            (own != pred).then_some(())
+        }
+
+        fn execute(&self, _i: usize, _rule: (), _own: &u8, pred: &u8, _succ: &u8) -> u8 {
+            *pred
+        }
+
+        fn tokens_at(&self, i: usize, own: &u8, pred: &u8, succ: &u8) -> TokenSet {
+            TokenSet::new(self.enabled_rule(i, own, pred, succ).is_some(), false)
+        }
+
+        fn is_legitimate(&self, config: &[u8]) -> bool {
+            config.windows(2).all(|w| w[0] == w[1])
+        }
+
+        fn validate_config(&self, config: &[u8]) -> Result<()> {
+            if config.len() != self.n {
+                return Err(CoreError::ConfigLenMismatch { expected: self.n, actual: config.len() });
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn token_set_counting_and_display() {
+        assert_eq!(TokenSet::NONE.count(), 0);
+        assert_eq!(TokenSet::BOTH.count(), 2);
+        assert_eq!(TokenSet::new(true, false).count(), 1);
+        assert!(!TokenSet::NONE.any());
+        assert!(TokenSet::new(false, true).any());
+        assert!(TokenSet::BOTH.holds(TokenKind::Primary));
+        assert!(TokenSet::BOTH.holds(TokenKind::Secondary));
+        assert!(!TokenSet::new(true, false).holds(TokenKind::Secondary));
+        assert_eq!(TokenSet::BOTH.to_string(), "PS");
+        assert_eq!(TokenSet::new(true, false).to_string(), "P");
+        assert_eq!(TokenSet::new(false, true).to_string(), "S");
+        assert_eq!(TokenSet::NONE.to_string(), "-");
+    }
+
+    #[test]
+    fn view_wraps_ring_indices() {
+        let a = CopyBit { n: 4 };
+        let cfg = vec![10u8, 11, 12, 13];
+        let (own, pred, succ) = a.view(&cfg, 0);
+        assert_eq!((*own, *pred, *succ), (10, 13, 11));
+        let (own, pred, succ) = a.view(&cfg, 3);
+        assert_eq!((*own, *pred, *succ), (13, 12, 10));
+    }
+
+    #[test]
+    fn step_process_moves_exactly_one() {
+        let a = CopyBit { n: 4 };
+        let cfg = vec![1u8, 0, 0, 0];
+        // P1 is enabled (own 0 != pred 1); P0 is enabled (own 1 != pred 0).
+        let next = a.step_process(&cfg, 1).unwrap();
+        assert_eq!(next, vec![1, 1, 0, 0]);
+        // P2 is disabled.
+        assert_eq!(
+            a.step_process(&cfg, 2).unwrap_err(),
+            CoreError::ProcessNotEnabled { process: 2 }
+        );
+        assert_eq!(
+            a.step_process(&cfg, 9).unwrap_err(),
+            CoreError::ProcessOutOfRange { process: 9, n: 4 }
+        );
+    }
+
+    #[test]
+    fn step_set_reads_old_configuration() {
+        let a = CopyBit { n: 4 };
+        let cfg = vec![1u8, 0, 0, 1];
+        // Enabled: P0 (pred=1 vs 1? pred of 0 is P3=1, own=1 -> disabled).
+        // P1: own 0, pred 1 -> enabled. P3: own 1, pred 0 -> enabled.
+        let next = a.step_set(&cfg, &[1, 3]).unwrap();
+        // Both read the OLD config: P1 copies old P0=1; P3 copies old P2=0.
+        assert_eq!(next, vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn helpers_enumerate_enabled_and_holders() {
+        let a = CopyBit { n: 4 };
+        let cfg = vec![1u8, 0, 0, 1];
+        assert_eq!(a.enabled_processes(&cfg), vec![1, 3]);
+        assert_eq!(a.token_holders(&cfg), vec![1, 3]);
+        assert_eq!(a.total_tokens(&cfg), 2);
+        assert!(!a.is_deadlocked(&cfg));
+        let quiet = vec![1u8, 1, 1, 1];
+        assert!(a.is_deadlocked(&quiet));
+        assert!(a.is_legitimate(&quiet));
+    }
+}

@@ -1,0 +1,301 @@
+//! Dijkstra's self-stabilizing K-state token ring (`SSToken`, Algorithm 1 of
+//! the paper) — the base algorithm SSRmin extends, and the mutual-exclusion
+//! baseline for the message-passing experiments (Figure 11).
+
+use crate::algorithm::{RingAlgorithm, TokenSet};
+use crate::error::{CoreError, Result};
+use crate::params::RingParams;
+
+/// Rules of Dijkstra's K-state ring, named as in Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DijkstraRule {
+    /// Rule D1 (bottom process `P_0`): if `x_0 = x_{n-1}` then
+    /// `x_0 ← x_{n-1} + 1 mod K`.
+    D1,
+    /// Rule D2 (other process `P_i`): if `x_i ≠ x_{i-1}` then `x_i ← x_{i-1}`.
+    D2,
+}
+
+/// How a configuration of the K-state ring is legitimate (the two syntactic
+/// families of Section 2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DijkstraLegitimacy {
+    /// `(x, x, ..., x)` — the token is at the bottom process.
+    Uniform {
+        /// The common counter value.
+        x: u32,
+    },
+    /// `(x+1, ..., x+1, x, ..., x)` with `ℓ` leading `x+1` values
+    /// (`1 ≤ ℓ ≤ n-1`) — the token is at `P_ℓ`.
+    Step {
+        /// The value held by the trailing processes.
+        x: u32,
+        /// Number of leading `x+1` values; the token holder's index.
+        l: usize,
+    },
+}
+
+/// Dijkstra's K-state token ring on a unidirectional ring (information flows
+/// from `P_{i-1}` to `P_i`; the successor's state is never read).
+///
+/// `P_i` holds *the* token iff it is enabled, and in legitimate
+/// configurations exactly one process is enabled — this is the classic
+/// self-stabilizing **mutual exclusion**. Under a message-passing
+/// transformation the token vanishes while the release/receive messages are
+/// in flight, which is precisely the defect motivating SSRmin (Figure 11).
+///
+/// ```
+/// use ssr_core::{RingAlgorithm, RingParams, SsToken};
+/// let ring = SsToken::new(RingParams::new(5, 7).unwrap());
+/// let mut cfg = ring.uniform_config(3);        // token at the bottom
+/// assert_eq!(ring.token_holders(&cfg), vec![0]);
+/// cfg = ring.step_process(&cfg, 0).unwrap();   // bottom increments
+/// assert_eq!(ring.token_holders(&cfg), vec![1]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsToken {
+    params: RingParams,
+}
+
+impl SsToken {
+    /// Create the algorithm for the given ring parameters.
+    pub fn new(params: RingParams) -> Self {
+        SsToken { params }
+    }
+
+    /// Ring parameters.
+    pub fn params(&self) -> RingParams {
+        self.params
+    }
+
+    /// `G_i` of Algorithm 2 — the guard of Dijkstra's ring, which doubles as
+    /// the token condition. For the bottom process this is `x_0 = x_{n-1}`;
+    /// for the others `x_i ≠ x_{i-1}`.
+    #[inline]
+    pub fn guard(&self, i: usize, own_x: u32, pred_x: u32) -> bool {
+        if i == 0 {
+            own_x == pred_x
+        } else {
+            own_x != pred_x
+        }
+    }
+
+    /// `C_i` of Algorithm 2 — the command of Dijkstra's ring. For the bottom
+    /// process `x_0 ← x_{n-1} + 1 mod K`; for the others `x_i ← x_{i-1}`.
+    #[inline]
+    pub fn command(&self, i: usize, pred_x: u32) -> u32 {
+        if i == 0 {
+            self.params.inc(pred_x)
+        } else {
+            pred_x
+        }
+    }
+
+    /// Classify a configuration against the two syntactic legitimate
+    /// families, or `None` if it is illegitimate.
+    pub fn classify(&self, config: &[u32]) -> Option<DijkstraLegitimacy> {
+        if config.len() != self.params.n() {
+            return None;
+        }
+        let x_last = *config.last().expect("n >= 3");
+        if config.iter().all(|&v| v == x_last) {
+            return Some(DijkstraLegitimacy::Uniform { x: x_last });
+        }
+        let upper = self.params.inc(x_last);
+        // Count the prefix of x+1 values; the rest must all equal x.
+        let l = config.iter().take_while(|&&v| v == upper).count();
+        if (1..self.params.n()).contains(&l) && config[l..].iter().all(|&v| v == x_last) {
+            Some(DijkstraLegitimacy::Step { x: x_last, l })
+        } else {
+            None
+        }
+    }
+
+    /// The canonical legitimate configuration `(x, x, ..., x)` — the token is
+    /// at the bottom process.
+    pub fn uniform_config(&self, x: u32) -> Vec<u32> {
+        assert!(x < self.params.k(), "x must be < K");
+        vec![x; self.params.n()]
+    }
+
+    /// Count processes whose guard (token condition) holds.
+    pub fn token_count(&self, config: &[u32]) -> usize {
+        self.token_holders(config).len()
+    }
+}
+
+impl RingAlgorithm for SsToken {
+    type State = u32;
+    type Rule = DijkstraRule;
+
+    fn n(&self) -> usize {
+        self.params.n()
+    }
+
+    fn enabled_rule(&self, i: usize, own: &u32, pred: &u32, _succ: &u32) -> Option<DijkstraRule> {
+        if self.guard(i, *own, *pred) {
+            Some(if i == 0 { DijkstraRule::D1 } else { DijkstraRule::D2 })
+        } else {
+            None
+        }
+    }
+
+    fn execute(&self, i: usize, rule: DijkstraRule, _own: &u32, pred: &u32, _succ: &u32) -> u32 {
+        debug_assert_eq!(rule, if i == 0 { DijkstraRule::D1 } else { DijkstraRule::D2 });
+        self.command(i, *pred)
+    }
+
+    fn tokens_at(&self, i: usize, own: &u32, pred: &u32, _succ: &u32) -> TokenSet {
+        TokenSet::new(self.guard(i, *own, *pred), false)
+    }
+
+    fn is_legitimate(&self, config: &[u32]) -> bool {
+        self.classify(config).is_some()
+    }
+
+    // Every Dijkstra move is a counter move; tag 2 matches SSRmin's
+    // convention that tags 2 and 4 denote executions of `C_i`.
+    fn rule_tag(&self, _rule: DijkstraRule) -> u8 {
+        2
+    }
+
+    fn validate_config(&self, config: &[u32]) -> Result<()> {
+        if config.len() != self.params.n() {
+            return Err(CoreError::ConfigLenMismatch {
+                expected: self.params.n(),
+                actual: config.len(),
+            });
+        }
+        for (i, &x) in config.iter().enumerate() {
+            self.params.check_x(x, i)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn algo(n: usize, k: u32) -> SsToken {
+        SsToken::new(RingParams::new(n, k).unwrap())
+    }
+
+    #[test]
+    fn bottom_guard_is_equality_others_inequality() {
+        let a = algo(5, 7);
+        assert!(a.guard(0, 3, 3));
+        assert!(!a.guard(0, 3, 4));
+        assert!(a.guard(2, 4, 3));
+        assert!(!a.guard(2, 3, 3));
+    }
+
+    #[test]
+    fn commands_follow_algorithm_1() {
+        let a = algo(5, 7);
+        assert_eq!(a.command(0, 3), 4);
+        assert_eq!(a.command(0, 6), 0); // wraps mod K
+        assert_eq!(a.command(3, 5), 5); // copy
+    }
+
+    #[test]
+    fn uniform_config_has_token_at_bottom_only() {
+        let a = algo(5, 7);
+        let cfg = a.uniform_config(3);
+        assert_eq!(a.enabled_processes(&cfg), vec![0]);
+        assert_eq!(a.token_holders(&cfg), vec![0]);
+        assert_eq!(
+            a.classify(&cfg),
+            Some(DijkstraLegitimacy::Uniform { x: 3 })
+        );
+    }
+
+    #[test]
+    fn step_config_has_token_at_boundary() {
+        let a = algo(5, 7);
+        let cfg = vec![4, 4, 3, 3, 3];
+        assert_eq!(a.classify(&cfg), Some(DijkstraLegitimacy::Step { x: 3, l: 2 }));
+        assert_eq!(a.token_holders(&cfg), vec![2]);
+    }
+
+    #[test]
+    fn step_classification_wraps_mod_k() {
+        let a = algo(5, 7);
+        let cfg = vec![0, 0, 0, 6, 6]; // x = 6, x+1 = 0 mod 7
+        assert_eq!(a.classify(&cfg), Some(DijkstraLegitimacy::Step { x: 6, l: 3 }));
+    }
+
+    #[test]
+    fn illegitimate_configurations_are_rejected() {
+        let a = algo(5, 7);
+        assert_eq!(a.classify(&[1, 2, 3, 4, 5]), None);
+        assert_eq!(a.classify(&[4, 3, 4, 3, 3]), None);
+        assert_eq!(a.classify(&[5, 5, 3, 3, 3]), None); // gap of 2
+        assert_eq!(a.classify(&[4, 4]), None); // wrong length
+    }
+
+    #[test]
+    fn token_circulates_once_in_n_steps_then_bottom_fires() {
+        let a = algo(5, 7);
+        let mut cfg = a.uniform_config(3);
+        // Bottom fires: (4,3,3,3,3); then the token moves down the ring.
+        for expected_holder in [0usize, 1, 2, 3, 4] {
+            assert_eq!(a.token_holders(&cfg), vec![expected_holder]);
+            assert!(a.is_legitimate(&cfg));
+            cfg = a.step_process(&cfg, expected_holder).unwrap();
+        }
+        // One full lap takes n steps and increments the shared value.
+        assert_eq!(cfg, a.uniform_config(4));
+        assert_eq!(a.token_holders(&cfg), vec![0]);
+    }
+
+    #[test]
+    fn at_least_one_token_in_any_configuration() {
+        // Lemma 3: exhaustive over a small ring.
+        let a = algo(3, 4);
+        for x0 in 0..4u32 {
+            for x1 in 0..4u32 {
+                for x2 in 0..4u32 {
+                    let cfg = vec![x0, x1, x2];
+                    assert!(
+                        a.token_count(&cfg) >= 1,
+                        "no token in {cfg:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn convergence_from_arbitrary_config_under_central_daemon() {
+        let a = algo(4, 5);
+        // Every configuration converges if we always move the lowest enabled
+        // process: token count never increases and eventually reaches 1.
+        for raw in 0..5u32.pow(4) {
+            let mut v = raw;
+            let mut cfg: Vec<u32> = (0..4)
+                .map(|_| {
+                    let d = v % 5;
+                    v /= 5;
+                    d
+                })
+                .collect();
+            for _ in 0..200 {
+                if a.is_legitimate(&cfg) {
+                    break;
+                }
+                let e = a.enabled_processes(&cfg);
+                cfg = a.step_process(&cfg, e[0]).unwrap();
+            }
+            assert!(a.is_legitimate(&cfg), "failed to converge");
+        }
+    }
+
+    #[test]
+    fn validate_config_catches_shape_errors() {
+        let a = algo(5, 7);
+        assert!(a.validate_config(&[0, 1, 2, 3, 4]).is_ok());
+        assert!(a.validate_config(&[0, 1, 2]).is_err());
+        assert!(a.validate_config(&[0, 1, 2, 3, 7]).is_err());
+    }
+}

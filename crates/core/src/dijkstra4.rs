@@ -1,0 +1,261 @@
+//! Dijkstra's *four-state* self-stabilizing mutual exclusion — the second of
+//! the three algorithms from Dijkstra's 1974 paper that Section 2.3 of the
+//! SSRmin paper surveys. It runs on a bidirectional **chain** (array) of
+//! machines — here embedded on the ring with the `P_{n-1} ↔ P_0` edge
+//! unused — with only four states per machine: `x ∈ {0,1}`, `up ∈ {0,1}`.
+//!
+//! The *bottom* machine's `up` is hardwired `true` and the *top* machine's
+//! `up` is hardwired `false` (they are constants in Dijkstra's formulation;
+//! we mask any corrupted stored value, which keeps the state space uniform
+//! without admitting unrecoverable configurations).
+//!
+//! Included because (a) it completes the Dijkstra token-ring substrate the
+//! paper builds on, and (b) it is a second target for the `ssr-verify`
+//! model checker. Dijkstra stated the algorithm for the central daemon;
+//! the checker *mechanically establishes* that (for every chain size we can
+//! enumerate, n ≤ 10) it also converges under the full unfair distributed
+//! daemon — closure, no-deadlock and convergence all hold in both
+//! transition relations. See `exp_model_check`.
+
+use std::fmt;
+
+use crate::algorithm::{RingAlgorithm, TokenSet};
+use crate::error::{CoreError, Result};
+
+/// Local state of a four-state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct D4State {
+    /// The binary value propagated down and up the chain.
+    pub x: bool,
+    /// Direction flag (masked to `true` at the bottom, `false` at the top).
+    pub up: bool,
+}
+
+impl D4State {
+    /// Build from bits.
+    pub fn new(x: u8, up: u8) -> Self {
+        D4State { x: x != 0, up: up != 0 }
+    }
+}
+
+impl fmt::Display for D4State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.x as u8, if self.up { "↑" } else { "↓" })
+    }
+}
+
+/// Rules of the four-state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum D4Rule {
+    /// Bottom: if `x_0 = x_1 ∧ ¬up_1` then `x_0 ← ¬x_0`.
+    Bottom,
+    /// Top: if `x_{n-1} ≠ x_{n-2}` then `x_{n-1} ← x_{n-2}`.
+    Top,
+    /// Inner, downward-moving privilege: if `x_i ≠ x_{i-1}` then
+    /// `x_i ← x_{i-1}; up_i ← true`.
+    CopyDown,
+    /// Inner, upward-moving privilege: if `x_i = x_{i+1} ∧ up_i ∧ ¬up_{i+1}`
+    /// then `up_i ← false`.
+    Reflect,
+}
+
+/// Dijkstra's four-state mutual exclusion on a chain of `n ≥ 3` machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dijkstra4 {
+    n: usize,
+}
+
+impl Dijkstra4 {
+    /// A chain of `n` machines (`n ≥ 3`).
+    pub fn new(n: usize) -> Result<Self> {
+        if n < 3 {
+            return Err(CoreError::RingTooSmall { n, min: 3 });
+        }
+        Ok(Dijkstra4 { n })
+    }
+
+    /// The effective `up` value of machine `i`: hardwired at the ends.
+    #[inline]
+    pub fn eff_up(&self, i: usize, s: &D4State) -> bool {
+        if i == 0 {
+            true
+        } else if i == self.n - 1 {
+            false
+        } else {
+            s.up
+        }
+    }
+
+    /// A canonical legitimate configuration: all `x` equal, every inner
+    /// `up` false — the single privilege is at the bottom.
+    pub fn quiescent_config(&self, x: bool) -> Vec<D4State> {
+        (0..self.n)
+            .map(|i| D4State { x, up: i == 0 })
+            .collect()
+    }
+
+    /// Number of privileged (enabled) machines.
+    pub fn privilege_count(&self, config: &[D4State]) -> usize {
+        self.token_holders(config).len()
+    }
+}
+
+impl RingAlgorithm for Dijkstra4 {
+    type State = D4State;
+    type Rule = D4Rule;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn enabled_rule(
+        &self,
+        i: usize,
+        own: &D4State,
+        pred: &D4State,
+        succ: &D4State,
+    ) -> Option<D4Rule> {
+        let n = self.n;
+        if i == 0 {
+            // Bottom reads only its successor.
+            (own.x == succ.x && !self.eff_up(1, succ)).then_some(D4Rule::Bottom)
+        } else if i == n - 1 {
+            // Top reads only its predecessor.
+            (own.x != pred.x).then_some(D4Rule::Top)
+        } else {
+            if own.x != pred.x {
+                return Some(D4Rule::CopyDown);
+            }
+            let own_up = self.eff_up(i, own);
+            let succ_up = self.eff_up(i + 1, succ);
+            (own.x == succ.x && own_up && !succ_up).then_some(D4Rule::Reflect)
+        }
+    }
+
+    fn execute(
+        &self,
+        _i: usize,
+        rule: D4Rule,
+        own: &D4State,
+        pred: &D4State,
+        _succ: &D4State,
+    ) -> D4State {
+        match rule {
+            D4Rule::Bottom => D4State { x: !own.x, up: true },
+            D4Rule::Top => D4State { x: pred.x, up: false },
+            D4Rule::CopyDown => D4State { x: pred.x, up: true },
+            D4Rule::Reflect => D4State { x: own.x, up: false },
+        }
+    }
+
+    fn tokens_at(&self, i: usize, own: &D4State, pred: &D4State, succ: &D4State) -> TokenSet {
+        TokenSet::new(self.enabled_rule(i, own, pred, succ).is_some(), false)
+    }
+
+    fn is_legitimate(&self, config: &[D4State]) -> bool {
+        // The classic service predicate: exactly one machine privileged.
+        config.len() == self.n && self.privilege_count(config) == 1
+    }
+
+    fn validate_config(&self, config: &[D4State]) -> Result<()> {
+        if config.len() != self.n {
+            return Err(CoreError::ConfigLenMismatch { expected: self.n, actual: config.len() });
+        }
+        Ok(())
+    }
+
+    fn rule_tag(&self, _rule: D4Rule) -> u8 {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_tiny_chains() {
+        assert!(Dijkstra4::new(2).is_err());
+        assert!(Dijkstra4::new(3).is_ok());
+    }
+
+    #[test]
+    fn quiescent_config_has_one_privilege_at_bottom() {
+        let a = Dijkstra4::new(5).unwrap();
+        let cfg = a.quiescent_config(false);
+        assert!(a.is_legitimate(&cfg));
+        assert_eq!(a.token_holders(&cfg), vec![0]);
+    }
+
+    #[test]
+    fn privilege_walks_down_and_reflects_up() {
+        let a = Dijkstra4::new(4).unwrap();
+        let mut cfg = a.quiescent_config(false);
+        // Follow the single privilege for several full bounces.
+        let mut visited = Vec::new();
+        for _ in 0..24 {
+            let holders = a.token_holders(&cfg);
+            assert_eq!(holders.len(), 1, "exactly one privilege in {cfg:?}");
+            visited.push(holders[0]);
+            cfg = a.step_process(&cfg, holders[0]).unwrap();
+        }
+        // Every machine gets the privilege (no starvation).
+        for i in 0..4 {
+            assert!(visited.contains(&i), "machine {i} starved: {visited:?}");
+        }
+    }
+
+    #[test]
+    fn closure_of_exactly_one_privilege_under_central_daemon() {
+        let a = Dijkstra4::new(5).unwrap();
+        let mut cfg = a.quiescent_config(true);
+        for _ in 0..100 {
+            assert!(a.is_legitimate(&cfg));
+            let holders = a.token_holders(&cfg);
+            cfg = a.step_process(&cfg, holders[0]).unwrap();
+        }
+    }
+
+    #[test]
+    fn converges_from_all_configs_under_central_daemon() {
+        // Exhaustive for n = 5: 4^5 = 1024 configurations.
+        let a = Dijkstra4::new(5).unwrap();
+        for raw in 0..4u32.pow(5) {
+            let mut v = raw;
+            let mut cfg: Vec<D4State> = (0..5)
+                .map(|_| {
+                    let d = v % 4;
+                    v /= 4;
+                    D4State::new((d & 1) as u8, (d >> 1) as u8)
+                })
+                .collect();
+            for _ in 0..200 {
+                if a.is_legitimate(&cfg) {
+                    break;
+                }
+                let e = a.enabled_processes(&cfg);
+                assert!(!e.is_empty(), "deadlock in {cfg:?}");
+                // Central daemon: lowest enabled.
+                cfg = a.step_process(&cfg, e[0]).unwrap();
+            }
+            assert!(a.is_legitimate(&cfg), "no convergence from raw={raw}");
+        }
+    }
+
+    #[test]
+    fn corrupt_end_up_bits_are_masked() {
+        let a = Dijkstra4::new(4).unwrap();
+        // Top with up = true (corrupt) behaves as up = false.
+        let corrupt_top = D4State::new(0, 1);
+        assert!(!a.eff_up(3, &corrupt_top));
+        let corrupt_bottom = D4State::new(0, 0);
+        assert!(a.eff_up(0, &corrupt_bottom));
+    }
+
+    #[test]
+    fn display_shows_direction() {
+        assert_eq!(D4State::new(1, 1).to_string(), "1↑");
+        assert_eq!(D4State::new(0, 0).to_string(), "0↓");
+    }
+}

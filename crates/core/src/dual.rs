@@ -1,0 +1,180 @@
+//! Two independent Dijkstra token rings run side by side — the strawman of
+//! Figure 12. In the state-reading model this trivially keeps two tokens in
+//! the ring, but under a message-passing transformation both tokens can be
+//! in flight simultaneously, leaving an instant with *no* token anywhere.
+//! SSRmin exists precisely because this naive construction fails.
+
+use crate::algorithm::{RingAlgorithm, TokenSet};
+use crate::error::Result;
+use crate::multitoken::{MultiRule, MultiSsToken, MultiState};
+use crate::params::RingParams;
+
+/// Two independent instances of Dijkstra's K-state ring on one physical
+/// ring; a thin wrapper over [`MultiSsToken`] with `m = 2` and convenience
+/// constructors for the Figure 12 experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DualSsToken {
+    inner: MultiSsToken,
+}
+
+impl DualSsToken {
+    /// Create a dual ring. `n >= 3`, `K > n`.
+    pub fn new(params: RingParams) -> Self {
+        let inner = MultiSsToken::new(params, 2)
+            .expect("m = 2 is always valid for n >= 3");
+        DualSsToken { inner }
+    }
+
+    /// Ring parameters.
+    pub fn params(&self) -> RingParams {
+        self.inner.params()
+    }
+
+    /// The underlying multi-token algorithm.
+    pub fn inner(&self) -> &MultiSsToken {
+        &self.inner
+    }
+
+    /// A legitimate configuration with instance-0's token at `P_i` and
+    /// instance-1's token at `P_j` (so the two privileged processes start
+    /// apart, as in Figure 12).
+    ///
+    /// Built from Dijkstra step-configurations: instance tokens at position
+    /// `p > 0` use the shape `(x+1, …, x+1, x, …, x)` with `p` leading
+    /// upper values; `p = 0` uses the uniform shape.
+    pub fn config_with_tokens_at(&self, i: usize, j: usize, x: u32) -> Vec<MultiState> {
+        let p = self.params();
+        assert!(i < p.n() && j < p.n());
+        assert!(x < p.k());
+        let upper = p.inc(x);
+        let instance = |pos: usize, idx: usize| -> u32 {
+            if pos == 0 {
+                x
+            } else if idx < pos {
+                upper
+            } else {
+                x
+            }
+        };
+        (0..p.n())
+            .map(|idx| MultiState(vec![instance(i, idx), instance(j, idx)]))
+            .collect()
+    }
+
+    /// Token count of instance `j` (0 or 1).
+    pub fn instance_token_count(&self, config: &[MultiState], j: usize) -> usize {
+        self.inner.instance_token_count(config, j)
+    }
+
+    /// Number of processes holding at least one of the two tokens.
+    pub fn privileged_count(&self, config: &[MultiState]) -> usize {
+        self.inner.privileged_count(config)
+    }
+}
+
+impl RingAlgorithm for DualSsToken {
+    type State = MultiState;
+    type Rule = MultiRule;
+
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn enabled_rule(
+        &self,
+        i: usize,
+        own: &MultiState,
+        pred: &MultiState,
+        succ: &MultiState,
+    ) -> Option<MultiRule> {
+        self.inner.enabled_rule(i, own, pred, succ)
+    }
+
+    fn execute(
+        &self,
+        i: usize,
+        rule: MultiRule,
+        own: &MultiState,
+        pred: &MultiState,
+        succ: &MultiState,
+    ) -> MultiState {
+        self.inner.execute(i, rule, own, pred, succ)
+    }
+
+    fn tokens_at(
+        &self,
+        i: usize,
+        own: &MultiState,
+        pred: &MultiState,
+        succ: &MultiState,
+    ) -> TokenSet {
+        self.inner.tokens_at(i, own, pred, succ)
+    }
+
+    fn is_legitimate(&self, config: &[MultiState]) -> bool {
+        self.inner.is_legitimate(config)
+    }
+
+    fn validate_config(&self, config: &[MultiState]) -> Result<()> {
+        self.inner.validate_config(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn algo(n: usize, k: u32) -> DualSsToken {
+        DualSsToken::new(RingParams::new(n, k).unwrap())
+    }
+
+    #[test]
+    fn config_with_tokens_at_places_both_tokens() {
+        let a = algo(5, 7);
+        let cfg = a.config_with_tokens_at(1, 3, 2);
+        assert!(a.is_legitimate(&cfg));
+        assert_eq!(a.instance_token_count(&cfg, 0), 1);
+        assert_eq!(a.instance_token_count(&cfg, 1), 1);
+        assert_eq!(a.token_holders(&cfg), vec![1, 3]);
+        assert_eq!(a.tokens_in(&cfg, 1), TokenSet::new(true, false));
+        assert_eq!(a.tokens_in(&cfg, 3), TokenSet::new(false, true));
+    }
+
+    #[test]
+    fn coincident_tokens_are_allowed() {
+        let a = algo(5, 7);
+        let cfg = a.config_with_tokens_at(2, 2, 0);
+        assert_eq!(a.token_holders(&cfg), vec![2]);
+        assert_eq!(a.tokens_in(&cfg, 2), TokenSet::BOTH);
+        assert_eq!(a.privileged_count(&cfg), 1);
+    }
+
+    #[test]
+    fn in_state_reading_model_two_tokens_always_present() {
+        // The strawman IS correct in the state-reading model: drive it for
+        // many steps under a greedy daemon; both instance tokens persist.
+        let a = algo(5, 7);
+        let mut cfg = a.config_with_tokens_at(0, 2, 0);
+        for _ in 0..200 {
+            assert_eq!(a.instance_token_count(&cfg, 0), 1);
+            assert_eq!(a.instance_token_count(&cfg, 1), 1);
+            assert!(a.privileged_count(&cfg) >= 1);
+            let e = a.enabled_processes(&cfg);
+            // Fire ALL enabled processes at once (synchronous daemon) —
+            // harmless here, unlike in the message-passing model.
+            cfg = a.step_set(&cfg, &e).unwrap();
+        }
+    }
+
+    #[test]
+    fn bottom_wraps_both_instances() {
+        let a = algo(3, 4);
+        let cfg = vec![
+            MultiState(vec![3, 3]),
+            MultiState(vec![3, 3]),
+            MultiState(vec![3, 3]),
+        ];
+        let next = a.step_process(&cfg, 0).unwrap();
+        assert_eq!(next[0], MultiState(vec![0, 0]));
+    }
+}

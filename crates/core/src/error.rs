@@ -1,0 +1,120 @@
+//! Error type shared by the algorithm constructors and steppers.
+
+use std::fmt;
+
+/// Errors raised by `ssr-core` constructors and execution helpers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Ring size below the minimum required by the algorithm (paper: `n >= 3`).
+    RingTooSmall {
+        /// Requested number of processes.
+        n: usize,
+        /// Minimum accepted.
+        min: usize,
+    },
+    /// `K` does not satisfy `K > n` (required for self-stabilization under
+    /// the distributed daemon).
+    InvalidK {
+        /// Requested modulus.
+        k: u32,
+        /// Number of processes.
+        n: usize,
+    },
+    /// A configuration slice had a length different from `n`.
+    ConfigLenMismatch {
+        /// Expected length (`n`).
+        expected: usize,
+        /// Actual slice length.
+        actual: usize,
+    },
+    /// A state contained an `x` value outside `0..K`.
+    XOutOfRange {
+        /// Offending value.
+        x: u32,
+        /// Modulus `K`.
+        k: u32,
+        /// Process index holding the value.
+        process: usize,
+    },
+    /// `step_process` was asked to move a process that is not enabled.
+    ProcessNotEnabled {
+        /// Process index.
+        process: usize,
+    },
+    /// Process index out of `0..n`.
+    ProcessOutOfRange {
+        /// Offending index.
+        process: usize,
+        /// Number of processes.
+        n: usize,
+    },
+    /// Multi-token ring was configured with an unusable token count.
+    InvalidTokenCount {
+        /// Requested number of tokens.
+        m: usize,
+        /// Number of processes.
+        n: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CoreError::RingTooSmall { n, min } => {
+                write!(f, "ring has {n} processes but at least {min} are required")
+            }
+            CoreError::InvalidK { k, n } => {
+                write!(f, "K = {k} must exceed the ring size n = {n}")
+            }
+            CoreError::ConfigLenMismatch { expected, actual } => {
+                write!(f, "configuration has {actual} states but the ring has {expected} processes")
+            }
+            CoreError::XOutOfRange { x, k, process } => {
+                write!(f, "process {process} has x = {x} outside 0..{k}")
+            }
+            CoreError::ProcessNotEnabled { process } => {
+                write!(f, "process {process} is not enabled in this configuration")
+            }
+            CoreError::ProcessOutOfRange { process, n } => {
+                write!(f, "process index {process} out of range for ring of size {n}")
+            }
+            CoreError::InvalidTokenCount { m, n } => {
+                write!(f, "cannot circulate {m} tokens on a ring of {n} processes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offending_values() {
+        let e = CoreError::RingTooSmall { n: 2, min: 3 };
+        assert!(e.to_string().contains('2') && e.to_string().contains('3'));
+        let e = CoreError::InvalidK { k: 4, n: 5 };
+        assert!(e.to_string().contains("K = 4"));
+        let e = CoreError::ConfigLenMismatch { expected: 5, actual: 4 };
+        assert!(e.to_string().contains('5') && e.to_string().contains('4'));
+        let e = CoreError::XOutOfRange { x: 9, k: 7, process: 1 };
+        assert!(e.to_string().contains("x = 9"));
+        let e = CoreError::ProcessNotEnabled { process: 3 };
+        assert!(e.to_string().contains('3'));
+        let e = CoreError::ProcessOutOfRange { process: 7, n: 5 };
+        assert!(e.to_string().contains('7'));
+        let e = CoreError::InvalidTokenCount { m: 9, n: 3 };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&CoreError::RingTooSmall { n: 1, min: 3 });
+    }
+}

@@ -1,0 +1,80 @@
+//! # ssr-core — self-stabilizing token-circulation algorithms on rings
+//!
+//! This crate implements the algorithms of *"A self-stabilizing token
+//! circulation with graceful handover on bidirectional ring networks"*
+//! (Kakugawa, Kamei, Katayama — IJNC 12(1), 2022):
+//!
+//! * [`SsrMin`] — the paper's contribution (Algorithm 3): a self-stabilizing
+//!   **mutual inclusion** algorithm that circulates a *primary* and a
+//!   *secondary* token around a bidirectional ring like an inchworm, so that
+//!   at least one and at most two processes are privileged at any time, even
+//!   when executed in a message-passing system via the Cached Sensornet
+//!   Transform (*model gap tolerance*, Theorem 3).
+//! * [`SsToken`] — Dijkstra's K-state token ring (Algorithm 1), the base
+//!   algorithm and the mutual-exclusion baseline.
+//! * [`DualSsToken`] — two independent instances of Dijkstra's ring run
+//!   side by side (the strawman of Figure 12, which *fails* mutual inclusion
+//!   in the message-passing model).
+//! * [`MultiSsToken`] — an m-token circulation baseline in the spirit of
+//!   Flatebo–Datta–Schoone multi-token rings (reference [3] of the paper),
+//!   used by the token-economy comparison (experiment E7).
+//!
+//! Algorithms are expressed as **guarded commands** over a ring in the
+//! *state-reading* model: a process reads the local states of its two ring
+//! neighbours and atomically rewrites its own state (composite atomicity).
+//! The [`RingAlgorithm`] trait captures exactly that interface, so the same
+//! algorithm value can be driven by
+//!
+//! * the state-reading execution engine in `ssr-daemon` (with central /
+//!   synchronous / distributed / adversarial daemons),
+//! * the discrete-event message-passing simulator in `ssr-mpnet` (via CST,
+//!   where guards are evaluated against *cached* neighbour states), and
+//! * the threaded runtime in `ssr-runtime`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ssr_core::{RingAlgorithm, RingParams, SsrMin, TokenSet};
+//!
+//! let params = RingParams::new(5, 7).unwrap(); // n = 5 processes, K = 7 > n
+//! let algo = SsrMin::new(params);
+//! // A legitimate configuration: P0 holds both tokens.
+//! let mut config = algo.legitimate_anchor(3);
+//! for _ in 0..15 {
+//!     // In a legitimate configuration exactly one process is enabled.
+//!     let enabled: Vec<usize> = algo.enabled_processes(&config);
+//!     assert_eq!(enabled.len(), 1);
+//!     let holders = algo.token_holders(&config);
+//!     assert!((1..=2).contains(&holders.len()));
+//!     config = algo.step_process(&config, enabled[0]).unwrap();
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod dijkstra;
+pub mod dijkstra4;
+pub mod dual;
+pub mod error;
+pub mod legitimacy;
+pub mod lkcs;
+pub mod multitoken;
+pub mod params;
+pub mod rules;
+pub mod ssrmin;
+pub mod state;
+
+pub use algorithm::{Config, RingAlgorithm, TokenKind, TokenSet};
+pub use dijkstra::{DijkstraLegitimacy, SsToken};
+pub use dijkstra4::{D4Rule, D4State, Dijkstra4};
+pub use dual::DualSsToken;
+pub use error::{CoreError, Result};
+pub use legitimacy::{enumerate_legitimate, is_legitimate_ssrmin, LegitimateForm};
+pub use lkcs::{audit_cs, CriticalSectionProtocol, CsAudit, CsSpec};
+pub use multitoken::MultiSsToken;
+pub use params::RingParams;
+pub use rules::SsrRule;
+pub use ssrmin::SsrMin;
+pub use state::SsrState;

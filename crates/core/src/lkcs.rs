@@ -1,0 +1,260 @@
+//! The (ℓ, k)-critical-section framework.
+//!
+//! Kakugawa's *(ℓ, k)-critical section problem* (reference [9] of the
+//! paper) unifies mutual exclusion and mutual inclusion: at least `ℓ` and at
+//! most `k` of the `n` processes must be in the critical section at any
+//! time, `0 ≤ ℓ ≤ k ≤ n`. Mutual exclusion is `(0, 1)`; mutual inclusion is
+//! `(1, n)`; **SSRmin solves `(1, 2)`** (Theorem 1). This module gives the
+//! specification a first-class type, classifies the algorithms in this
+//! crate, and provides an auditor that checks a stream of configurations
+//! against a specification.
+
+use crate::algorithm::RingAlgorithm;
+use crate::dijkstra::SsToken;
+use crate::dual::DualSsToken;
+use crate::multitoken::MultiSsToken;
+use crate::ssrmin::SsrMin;
+
+/// An (ℓ, k)-critical-section specification: at least `l` and at most `k`
+/// of the `n` processes in the critical section at any instant.
+///
+/// ```
+/// use ssr_core::{CriticalSectionProtocol, CsSpec, RingParams, SsrMin};
+/// let ssr = SsrMin::new(RingParams::new(5, 7).unwrap());
+/// assert_eq!(ssr.cs_spec(), CsSpec::new(1, 2, 5)); // Theorem 1
+/// assert!(ssr.cs_spec_message_passing().guarantees_inclusion());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CsSpec {
+    /// Lower bound ℓ.
+    pub l: usize,
+    /// Upper bound k.
+    pub k: usize,
+    /// Number of processes n.
+    pub n: usize,
+}
+
+impl CsSpec {
+    /// Build a spec; panics unless `l ≤ k ≤ n`.
+    pub fn new(l: usize, k: usize, n: usize) -> Self {
+        assert!(l <= k && k <= n, "require 0 <= l <= k <= n, got ({l}, {k}, {n})");
+        CsSpec { l, k, n }
+    }
+
+    /// Mutual exclusion: `(0, 1)`.
+    pub fn mutual_exclusion(n: usize) -> Self {
+        CsSpec::new(0, 1, n)
+    }
+
+    /// Mutual inclusion: `(1, n)`.
+    pub fn mutual_inclusion(n: usize) -> Self {
+        CsSpec::new(1, n, n)
+    }
+
+    /// True iff `in_cs` processes in the critical section satisfies the
+    /// specification.
+    #[inline]
+    pub fn satisfied_by(&self, in_cs: usize) -> bool {
+        (self.l..=self.k).contains(&in_cs)
+    }
+
+    /// True iff this spec implies mutual inclusion (`l ≥ 1`).
+    pub fn guarantees_inclusion(&self) -> bool {
+        self.l >= 1
+    }
+
+    /// True iff this spec implies mutual exclusion (`k ≤ 1`).
+    pub fn guarantees_exclusion(&self) -> bool {
+        self.k <= 1
+    }
+}
+
+impl std::fmt::Display for CsSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})-CS over {} processes", self.l, self.k, self.n)
+    }
+}
+
+/// An algorithm with a critical-section interpretation: a process may be in
+/// the critical section iff it is privileged (holds a token).
+pub trait CriticalSectionProtocol: RingAlgorithm {
+    /// The specification met in **legitimate configurations of the
+    /// state-reading model**.
+    fn cs_spec(&self) -> CsSpec;
+
+    /// The specification met at **every instant of the message-passing
+    /// (CST) execution** from a legitimate cache-coherent start. For
+    /// Dijkstra-style rings the lower bound drops to 0 — the model gap;
+    /// SSRmin keeps `(1, 2)` — model gap tolerance (Theorem 3).
+    fn cs_spec_message_passing(&self) -> CsSpec;
+
+    /// Number of privileged processes (processes allowed in the CS) in
+    /// `config`.
+    fn in_cs(&self, config: &[Self::State]) -> usize {
+        self.token_holders(config).len()
+    }
+}
+
+impl CriticalSectionProtocol for SsrMin {
+    fn cs_spec(&self) -> CsSpec {
+        CsSpec::new(1, 2, self.n())
+    }
+    fn cs_spec_message_passing(&self) -> CsSpec {
+        CsSpec::new(1, 2, self.n()) // Theorem 3: model gap tolerant
+    }
+}
+
+impl CriticalSectionProtocol for SsToken {
+    fn cs_spec(&self) -> CsSpec {
+        CsSpec::new(1, 1, self.n()) // exactly one token in legitimate configs
+    }
+    fn cs_spec_message_passing(&self) -> CsSpec {
+        CsSpec::new(0, 1, self.n()) // the token vanishes in transit (Fig. 11)
+    }
+}
+
+impl CriticalSectionProtocol for DualSsToken {
+    fn cs_spec(&self) -> CsSpec {
+        CsSpec::new(1, 2, self.n())
+    }
+    fn cs_spec_message_passing(&self) -> CsSpec {
+        CsSpec::new(0, 2, self.n()) // both tokens can be in flight (Fig. 12)
+    }
+}
+
+impl CriticalSectionProtocol for MultiSsToken {
+    fn cs_spec(&self) -> CsSpec {
+        CsSpec::new(1, self.instances().min(self.n()), self.n())
+    }
+    fn cs_spec_message_passing(&self) -> CsSpec {
+        CsSpec::new(0, self.instances().min(self.n()), self.n())
+    }
+}
+
+/// Result of auditing a sequence of configurations against a spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CsAudit {
+    /// Configurations checked.
+    pub checked: u64,
+    /// Configurations with fewer than ℓ processes in the CS.
+    pub below: u64,
+    /// Configurations with more than k processes in the CS.
+    pub above: u64,
+    /// Minimum in-CS count observed.
+    pub min_seen: usize,
+    /// Maximum in-CS count observed.
+    pub max_seen: usize,
+}
+
+impl CsAudit {
+    /// True iff no violation was observed.
+    pub fn clean(&self) -> bool {
+        self.below == 0 && self.above == 0
+    }
+}
+
+/// Audit an iterator of configurations against `spec` using `proto`'s
+/// privileged predicate.
+pub fn audit_cs<'a, P, I>(proto: &P, spec: CsSpec, configs: I) -> CsAudit
+where
+    P: CriticalSectionProtocol,
+    P::State: 'a,
+    I: IntoIterator<Item = &'a [P::State]>,
+{
+    let mut audit =
+        CsAudit { checked: 0, below: 0, above: 0, min_seen: usize::MAX, max_seen: 0 };
+    for cfg in configs {
+        let c = proto.in_cs(cfg);
+        audit.checked += 1;
+        audit.min_seen = audit.min_seen.min(c);
+        audit.max_seen = audit.max_seen.max(c);
+        if c < spec.l {
+            audit.below += 1;
+        }
+        if c > spec.k {
+            audit.above += 1;
+        }
+    }
+    if audit.checked == 0 {
+        audit.min_seen = 0;
+    }
+    audit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legitimacy;
+    use crate::params::RingParams;
+
+    #[test]
+    fn spec_construction_and_predicates() {
+        let s = CsSpec::new(1, 2, 5);
+        assert!(s.satisfied_by(1));
+        assert!(s.satisfied_by(2));
+        assert!(!s.satisfied_by(0));
+        assert!(!s.satisfied_by(3));
+        assert!(s.guarantees_inclusion());
+        assert!(!s.guarantees_exclusion());
+        assert!(CsSpec::mutual_exclusion(5).guarantees_exclusion());
+        assert!(CsSpec::mutual_inclusion(5).guarantees_inclusion());
+        assert_eq!(s.to_string(), "(1, 2)-CS over 5 processes");
+    }
+
+    #[test]
+    #[should_panic(expected = "l <= k <= n")]
+    fn spec_rejects_inverted_bounds() {
+        CsSpec::new(3, 2, 5);
+    }
+
+    #[test]
+    fn algorithm_specs_match_the_paper() {
+        let p = RingParams::new(5, 7).unwrap();
+        let ssr = SsrMin::new(p);
+        assert_eq!(ssr.cs_spec(), CsSpec::new(1, 2, 5));
+        assert_eq!(ssr.cs_spec_message_passing(), CsSpec::new(1, 2, 5));
+        let dij = SsToken::new(p);
+        assert_eq!(dij.cs_spec(), CsSpec::new(1, 1, 5));
+        assert_eq!(dij.cs_spec_message_passing().l, 0);
+        let dual = DualSsToken::new(p);
+        assert_eq!(dual.cs_spec_message_passing(), CsSpec::new(0, 2, 5));
+        let multi = MultiSsToken::new(p, 3).unwrap();
+        assert_eq!(multi.cs_spec(), CsSpec::new(1, 3, 5));
+    }
+
+    #[test]
+    fn audit_over_all_legitimate_configs_is_clean() {
+        let p = RingParams::new(5, 7).unwrap();
+        let ssr = SsrMin::new(p);
+        let all = legitimacy::enumerate_legitimate(p);
+        let audit = audit_cs(&ssr, ssr.cs_spec(), all.iter().map(|c| c.as_slice()));
+        assert!(audit.clean(), "{audit:?}");
+        assert_eq!(audit.checked, all.len() as u64);
+        assert_eq!(audit.min_seen, 1);
+        assert_eq!(audit.max_seen, 2);
+    }
+
+    #[test]
+    fn audit_detects_violations() {
+        let p = RingParams::new(5, 7).unwrap();
+        let ssr = SsrMin::new(p);
+        // A flag-less uniform configuration has only the primary at P0:
+        // fine for (1,2). Audit against an absurd (2,2) spec to force a
+        // "below" violation.
+        let cfg = ssr.legitimate_anchor(0);
+        let strict = CsSpec::new(2, 2, 5);
+        let audit = audit_cs(&ssr, strict, std::iter::once(cfg.as_slice()));
+        assert_eq!(audit.below, 1);
+        assert!(!audit.clean());
+    }
+
+    #[test]
+    fn empty_audit_is_clean() {
+        let p = RingParams::new(5, 7).unwrap();
+        let ssr = SsrMin::new(p);
+        let audit = audit_cs(&ssr, ssr.cs_spec(), std::iter::empty::<&[crate::SsrState]>());
+        assert!(audit.clean());
+        assert_eq!(audit.min_seen, 0);
+    }
+}

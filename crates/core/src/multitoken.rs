@@ -1,0 +1,364 @@
+//! An m-token circulation baseline: `m` independent copies of Dijkstra's
+//! K-state ring layered on the same ring (in the spirit of the
+//! Flatebo–Datta–Schoone multi-token rings, reference [3] of the paper).
+//!
+//! The paper argues (§5, Figure 12) that multi-token circulation does *not*
+//! solve mutual inclusion in the message-passing model: if two nodes release
+//! their tokens simultaneously, there is an instant with no token anywhere.
+//! This module provides that comparator so the claim can be demonstrated
+//! (experiments F12 and E7).
+
+use std::fmt;
+
+use crate::algorithm::{RingAlgorithm, TokenSet};
+use crate::dijkstra::SsToken;
+use crate::error::{CoreError, Result};
+use crate::params::RingParams;
+
+/// Local state: one Dijkstra counter per token instance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MultiState(pub Vec<u32>);
+
+impl MultiState {
+    /// Counter of instance `j`.
+    #[inline]
+    pub fn get(&self, j: usize) -> u32 {
+        self.0[j]
+    }
+
+    /// Number of instances.
+    #[inline]
+    pub fn instances(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl fmt::Display for MultiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (j, x) in self.0.iter().enumerate() {
+            if j > 0 {
+                write!(f, "|")?;
+            }
+            write!(f, "{x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Which token instances a process moves in one composite-atomicity step:
+/// a bitmask over instances whose guard holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MultiRule {
+    /// Bit `j` set ⇔ instance `j`'s Dijkstra rule fires.
+    pub mask: u32,
+}
+
+impl MultiRule {
+    /// True iff instance `j` fires under this rule.
+    #[inline]
+    pub fn fires(&self, j: usize) -> bool {
+        self.mask & (1 << j) != 0
+    }
+}
+
+/// `m` independent Dijkstra K-state rings sharing one physical ring.
+///
+/// A process is enabled iff at least one instance's guard holds, and a move
+/// executes every enabled instance's command at once (the natural composite
+/// reading of running the instances side by side). `P_i` holds instance
+/// `j`'s token iff instance `j`'s guard holds at `P_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiSsToken {
+    params: RingParams,
+    base: SsToken,
+    m: usize,
+}
+
+impl MultiSsToken {
+    /// Create an `m`-token ring. Requires `1 <= m <= 32` and `m < n` (more
+    /// tokens than processes is never useful, and the mask is a `u32`).
+    pub fn new(params: RingParams, m: usize) -> Result<Self> {
+        if m == 0 || m >= params.n() || m > 32 {
+            return Err(CoreError::InvalidTokenCount { m, n: params.n() });
+        }
+        Ok(MultiSsToken { params, base: SsToken::new(params), m })
+    }
+
+    /// Ring parameters.
+    pub fn params(&self) -> RingParams {
+        self.params
+    }
+
+    /// Number of token instances.
+    pub fn instances(&self) -> usize {
+        self.m
+    }
+
+    /// Instance `j`'s guard at `P_i`.
+    #[inline]
+    pub fn instance_guard(&self, j: usize, i: usize, own: &MultiState, pred: &MultiState) -> bool {
+        self.base.guard(i, own.get(j), pred.get(j))
+    }
+
+    /// A canonical legitimate configuration: every instance uniform at `x`,
+    /// so all `m` tokens sit at the bottom process. From here the instances
+    /// interleave freely.
+    pub fn uniform_config(&self, x: u32) -> Vec<MultiState> {
+        assert!(x < self.params.k());
+        vec![MultiState(vec![x; self.m]); self.params.n()]
+    }
+
+    /// A legitimate configuration with instance `j`'s token at
+    /// `positions[j]` — each instance uses the Dijkstra step shape
+    /// `(x+1, …, x+1, x, …, x)` with `positions[j]` leading upper values
+    /// (position 0 = the uniform shape, token at the bottom).
+    pub fn config_with_tokens_at(&self, positions: &[usize], x: u32) -> Vec<MultiState> {
+        assert_eq!(positions.len(), self.m, "one position per instance");
+        assert!(positions.iter().all(|&p| p < self.params.n()));
+        assert!(x < self.params.k());
+        let upper = self.params.inc(x);
+        (0..self.params.n())
+            .map(|idx| {
+                MultiState(
+                    positions
+                        .iter()
+                        .map(|&p| if idx < p { upper } else { x })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Token count of instance `j` across the whole configuration.
+    pub fn instance_token_count(&self, config: &[MultiState], j: usize) -> usize {
+        (0..self.params.n())
+            .filter(|&i| {
+                let pred = self.params.pred(i);
+                self.instance_guard(j, i, &config[i], &config[pred])
+            })
+            .count()
+    }
+
+    /// Total tokens summed over instances.
+    pub fn total_instance_tokens(&self, config: &[MultiState]) -> usize {
+        (0..self.m).map(|j| self.instance_token_count(config, j)).sum()
+    }
+
+    /// Number of processes holding at least one instance token (the
+    /// privileged processes).
+    pub fn privileged_count(&self, config: &[MultiState]) -> usize {
+        (0..self.params.n())
+            .filter(|&i| {
+                let pred = self.params.pred(i);
+                (0..self.m).any(|j| self.instance_guard(j, i, &config[i], &config[pred]))
+            })
+            .count()
+    }
+}
+
+impl RingAlgorithm for MultiSsToken {
+    type State = MultiState;
+    type Rule = MultiRule;
+
+    fn n(&self) -> usize {
+        self.params.n()
+    }
+
+    fn enabled_rule(
+        &self,
+        i: usize,
+        own: &MultiState,
+        pred: &MultiState,
+        _succ: &MultiState,
+    ) -> Option<MultiRule> {
+        let mut mask = 0u32;
+        for j in 0..self.m {
+            if self.instance_guard(j, i, own, pred) {
+                mask |= 1 << j;
+            }
+        }
+        (mask != 0).then_some(MultiRule { mask })
+    }
+
+    fn execute(
+        &self,
+        i: usize,
+        rule: MultiRule,
+        own: &MultiState,
+        pred: &MultiState,
+        _succ: &MultiState,
+    ) -> MultiState {
+        let mut next = own.clone();
+        for j in 0..self.m {
+            if rule.fires(j) {
+                next.0[j] = self.base.command(i, pred.get(j));
+            }
+        }
+        next
+    }
+
+    fn tokens_at(
+        &self,
+        i: usize,
+        own: &MultiState,
+        pred: &MultiState,
+        _succ: &MultiState,
+    ) -> TokenSet {
+        let primary = self.instance_guard(0, i, own, pred);
+        let secondary = (1..self.m).any(|j| self.instance_guard(j, i, own, pred));
+        TokenSet::new(primary, secondary)
+    }
+
+    fn is_legitimate(&self, config: &[MultiState]) -> bool {
+        // Legitimate ⇔ every instance is a legitimate Dijkstra configuration.
+        if config.len() != self.params.n() {
+            return false;
+        }
+        (0..self.m).all(|j| {
+            let slice: Vec<u32> = config.iter().map(|s| s.get(j)).collect();
+            self.base.is_legitimate(&slice)
+        })
+    }
+
+    fn rule_tag(&self, _rule: MultiRule) -> u8 {
+        2 // every move is a counter move
+    }
+
+    fn validate_config(&self, config: &[MultiState]) -> Result<()> {
+        if config.len() != self.params.n() {
+            return Err(CoreError::ConfigLenMismatch {
+                expected: self.params.n(),
+                actual: config.len(),
+            });
+        }
+        for (i, s) in config.iter().enumerate() {
+            if s.instances() != self.m {
+                return Err(CoreError::InvalidTokenCount { m: s.instances(), n: self.m });
+            }
+            for j in 0..self.m {
+                self.params.check_x(s.get(j), i)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn algo(n: usize, k: u32, m: usize) -> MultiSsToken {
+        MultiSsToken::new(RingParams::new(n, k).unwrap(), m).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_token_counts() {
+        let p = RingParams::new(5, 7).unwrap();
+        assert!(MultiSsToken::new(p, 0).is_err());
+        assert!(MultiSsToken::new(p, 5).is_err());
+        assert!(MultiSsToken::new(p, 2).is_ok());
+    }
+
+    #[test]
+    fn uniform_config_is_legitimate_with_m_tokens_at_bottom() {
+        let a = algo(5, 7, 3);
+        let cfg = a.uniform_config(2);
+        assert!(a.is_legitimate(&cfg));
+        assert_eq!(a.total_instance_tokens(&cfg), 3);
+        assert_eq!(a.privileged_count(&cfg), 1); // all three at P0
+        assert_eq!(a.token_holders(&cfg), vec![0]);
+    }
+
+    #[test]
+    fn instances_circulate_independently() {
+        let a = algo(5, 7, 2);
+        let mut cfg = a.uniform_config(0);
+        // P0 fires both instances at once.
+        let e = a.enabled_processes(&cfg);
+        assert_eq!(e, vec![0]);
+        cfg = a.step_process(&cfg, 0).unwrap();
+        assert_eq!(cfg[0], MultiState(vec![1, 1]));
+        // Now P1 holds both tokens; fire it only — the tokens stay together
+        // unless the daemon separates them, so drive instance separation by
+        // stepping: after P1 moves, P2 holds both, etc.
+        assert_eq!(a.token_holders(&cfg), vec![1]);
+        cfg = a.step_process(&cfg, 1).unwrap();
+        assert_eq!(a.token_holders(&cfg), vec![2]);
+        assert!(a.is_legitimate(&cfg));
+    }
+
+    #[test]
+    fn separated_tokens_give_two_privileged_processes() {
+        let a = algo(5, 7, 2);
+        // Instance 0 token at P2 (step config), instance 1 token at P0
+        // (uniform): two privileged processes.
+        let cfg: Vec<MultiState> = vec![
+            MultiState(vec![1, 4]),
+            MultiState(vec![1, 4]),
+            MultiState(vec![0, 4]),
+            MultiState(vec![0, 4]),
+            MultiState(vec![0, 4]),
+        ];
+        assert!(a.is_legitimate(&cfg));
+        assert_eq!(a.instance_token_count(&cfg, 0), 1);
+        assert_eq!(a.instance_token_count(&cfg, 1), 1);
+        assert_eq!(a.token_holders(&cfg), vec![0, 2]);
+        assert_eq!(a.privileged_count(&cfg), 2);
+    }
+
+    #[test]
+    fn tokens_at_maps_instance0_to_primary() {
+        let a = algo(5, 7, 2);
+        let cfg: Vec<MultiState> = vec![
+            MultiState(vec![1, 4]),
+            MultiState(vec![1, 4]),
+            MultiState(vec![0, 4]),
+            MultiState(vec![0, 4]),
+            MultiState(vec![0, 4]),
+        ];
+        assert_eq!(a.tokens_in(&cfg, 2), TokenSet::new(true, false)); // instance 0
+        assert_eq!(a.tokens_in(&cfg, 0), TokenSet::new(false, true)); // instance 1
+    }
+
+    #[test]
+    fn convergence_of_each_instance_under_central_daemon() {
+        let a = algo(4, 5, 2);
+        let mut cfg = vec![
+            MultiState(vec![3, 1]),
+            MultiState(vec![0, 4]),
+            MultiState(vec![2, 2]),
+            MultiState(vec![1, 0]),
+        ];
+        for _ in 0..500 {
+            if a.is_legitimate(&cfg) {
+                break;
+            }
+            let e = a.enabled_processes(&cfg);
+            assert!(!e.is_empty(), "multi-token ring deadlocked");
+            cfg = a.step_process(&cfg, e[0]).unwrap();
+        }
+        assert!(a.is_legitimate(&cfg));
+        assert_eq!(a.instance_token_count(&cfg, 0), 1);
+        assert_eq!(a.instance_token_count(&cfg, 1), 1);
+    }
+
+    #[test]
+    fn validate_config_checks_instance_count_and_range() {
+        let a = algo(4, 5, 2);
+        let good = a.uniform_config(1);
+        assert!(a.validate_config(&good).is_ok());
+        let short = vec![MultiState(vec![0, 0]); 3];
+        assert!(a.validate_config(&short).is_err());
+        let wrong_m = vec![MultiState(vec![0]); 4];
+        assert!(a.validate_config(&wrong_m).is_err());
+        let oob = vec![MultiState(vec![9, 0]); 4];
+        assert!(a.validate_config(&oob).is_err());
+    }
+
+    #[test]
+    fn display_joins_instances() {
+        assert_eq!(MultiState(vec![3, 4]).to_string(), "3|4");
+        assert_eq!(MultiState(vec![7]).to_string(), "7");
+    }
+}

@@ -1,0 +1,174 @@
+//! Ring parameters `n` (processes) and `K` (state-space modulus).
+
+use crate::error::{CoreError, Result};
+
+/// Parameters of a K-state ring algorithm: the ring size `n` and the modulus
+/// `K` of the Dijkstra counter.
+///
+/// The paper requires `n >= 3` (Algorithm 3, line 1) and `K > n` (line 2);
+/// `K > n` is what makes Dijkstra's ring self-stabilizing under the
+/// *distributed* daemon, because among `K > n` values at least one is not
+/// present in the ring, and the bottom process eventually reaches a fresh
+/// value not held by anyone else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RingParams {
+    n: usize,
+    k: u32,
+}
+
+impl RingParams {
+    /// Minimum ring size accepted by [`RingParams::new`].
+    pub const MIN_N: usize = 3;
+
+    /// Create validated parameters. Fails unless `n >= 3` and `K > n`.
+    ///
+    /// ```
+    /// use ssr_core::RingParams;
+    /// let p = RingParams::new(5, 7).unwrap();
+    /// assert_eq!((p.n(), p.k()), (5, 7));
+    /// assert!(RingParams::new(5, 5).is_err()); // K must exceed n
+    /// ```
+    pub fn new(n: usize, k: u32) -> Result<Self> {
+        if n < Self::MIN_N {
+            return Err(CoreError::RingTooSmall { n, min: Self::MIN_N });
+        }
+        if (k as u64) <= n as u64 {
+            return Err(CoreError::InvalidK { k, n });
+        }
+        Ok(RingParams { n, k })
+    }
+
+    /// The smallest legal parameters for a given ring size: `K = n + 1`.
+    pub fn minimal(n: usize) -> Result<Self> {
+        let k = u32::try_from(n + 1).expect("ring size fits in u32");
+        Self::new(n, k)
+    }
+
+    /// Number of processes on the ring.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Modulus of the `x` counter; every `x` value lives in `0..K`.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Ring-predecessor index of `i` (the neighbour `P_{i-1 mod n}`).
+    #[inline]
+    pub fn pred(&self, i: usize) -> usize {
+        debug_assert!(i < self.n);
+        if i == 0 {
+            self.n - 1
+        } else {
+            i - 1
+        }
+    }
+
+    /// Ring-successor index of `i` (the neighbour `P_{i+1 mod n}`).
+    #[inline]
+    pub fn succ(&self, i: usize) -> usize {
+        debug_assert!(i < self.n);
+        if i + 1 == self.n {
+            0
+        } else {
+            i + 1
+        }
+    }
+
+    /// `(v + 1) mod K` — the bottom process's counter increment.
+    #[inline]
+    pub fn inc(&self, v: u32) -> u32 {
+        debug_assert!(v < self.k);
+        let next = v + 1;
+        if next == self.k {
+            0
+        } else {
+            next
+        }
+    }
+
+    /// `(v + d) mod K` for arbitrary displacement `d`.
+    #[inline]
+    pub fn add(&self, v: u32, d: u32) -> u32 {
+        debug_assert!(v < self.k);
+        ((v as u64 + d as u64) % self.k as u64) as u32
+    }
+
+    /// Validate that `x` lies in `0..K`, reporting `process` on failure.
+    pub fn check_x(&self, x: u32, process: usize) -> Result<()> {
+        if x < self.k {
+            Ok(())
+        } else {
+            Err(CoreError::XOutOfRange { x, k: self.k, process })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_paper_parameters() {
+        let p = RingParams::new(5, 7).unwrap();
+        assert_eq!(p.n(), 5);
+        assert_eq!(p.k(), 7);
+    }
+
+    #[test]
+    fn rejects_small_rings() {
+        assert_eq!(
+            RingParams::new(2, 7).unwrap_err(),
+            CoreError::RingTooSmall { n: 2, min: 3 }
+        );
+        assert_eq!(
+            RingParams::new(0, 7).unwrap_err(),
+            CoreError::RingTooSmall { n: 0, min: 3 }
+        );
+    }
+
+    #[test]
+    fn rejects_k_not_exceeding_n() {
+        assert_eq!(RingParams::new(5, 5).unwrap_err(), CoreError::InvalidK { k: 5, n: 5 });
+        assert_eq!(RingParams::new(5, 4).unwrap_err(), CoreError::InvalidK { k: 4, n: 5 });
+        assert!(RingParams::new(5, 6).is_ok());
+    }
+
+    #[test]
+    fn minimal_uses_n_plus_one() {
+        let p = RingParams::minimal(9).unwrap();
+        assert_eq!(p.k(), 10);
+    }
+
+    #[test]
+    fn ring_indices_wrap() {
+        let p = RingParams::new(5, 7).unwrap();
+        assert_eq!(p.pred(0), 4);
+        assert_eq!(p.pred(3), 2);
+        assert_eq!(p.succ(4), 0);
+        assert_eq!(p.succ(1), 2);
+    }
+
+    #[test]
+    fn modular_arithmetic_wraps_at_k() {
+        let p = RingParams::new(5, 7).unwrap();
+        assert_eq!(p.inc(6), 0);
+        assert_eq!(p.inc(0), 1);
+        assert_eq!(p.add(5, 4), 2);
+        assert_eq!(p.add(0, 0), 0);
+    }
+
+    #[test]
+    fn check_x_bounds() {
+        let p = RingParams::new(5, 7).unwrap();
+        assert!(p.check_x(6, 0).is_ok());
+        assert_eq!(
+            p.check_x(7, 2).unwrap_err(),
+            CoreError::XOutOfRange { x: 7, k: 7, process: 2 }
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! The five guarded-command rules of SSRmin (Algorithm 3) as a first-class
+//! type, plus the rule classification used by the convergence proof.
+
+use std::fmt;
+
+/// A rule of Algorithm 3. Smaller rule numbers have higher priority, so a
+/// process is enabled by at most one rule at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SsrRule {
+    /// Rule 1 (abstract action α₁): *ready to send the secondary token* —
+    /// when `G_i` holds and `⟨rts_i.tra_i⟩ ∈ {0.0, 0.1, 1.1}`, set `⟨1.0⟩`.
+    R1,
+    /// Rule 2 (abstract action α₂): *send the primary token* — when `G_i`
+    /// holds, `⟨rts_i.tra_i⟩ = 1.0` and `⟨rts_{i+1}.tra_{i+1}⟩ = 0.1`, set
+    /// `⟨0.0⟩` and execute `C_i` (the Dijkstra move).
+    R2,
+    /// Rule 3 (abstract action β): *receive the secondary token* — when
+    /// `¬G_i`, `⟨rts_{i-1}.tra_{i-1}⟩ = 1.0` and `⟨rts_i.tra_i⟩ ∈
+    /// {0.0, 1.0, 1.1}`, set `⟨0.1⟩`.
+    R3,
+    /// Rule 4: *fix inconsistent local state while `G_i` holds* — when `G_i`
+    /// holds, `⟨rts_i.tra_i⟩ = 1.0`, and the neighbourhood is not the
+    /// legitimate waiting pattern `⟨0.0, 1.0, 0.0⟩` (nor Rule 2's pattern),
+    /// set `⟨0.0⟩` and execute `C_i`.
+    R4,
+    /// Rule 5: *fix inconsistent local state while `¬G_i` holds* — when
+    /// `¬G_i`, `⟨rts_i.tra_i⟩ ≠ 0.0`, and the state is not the legitimate
+    /// "holding received secondary" pattern `⟨1.0, 0.1⟩` (nor receivable by
+    /// Rule 3), set `⟨0.0⟩`.
+    R5,
+}
+
+impl SsrRule {
+    /// All rules in priority order (highest first).
+    pub const ALL: [SsrRule; 5] = [SsrRule::R1, SsrRule::R2, SsrRule::R3, SsrRule::R4, SsrRule::R5];
+
+    /// The paper's rule number, 1–5.
+    #[inline]
+    pub fn number(self) -> u8 {
+        match self {
+            SsrRule::R1 => 1,
+            SsrRule::R2 => 2,
+            SsrRule::R3 => 3,
+            SsrRule::R4 => 4,
+            SsrRule::R5 => 5,
+        }
+    }
+
+    /// True iff this rule performs the Dijkstra move `C_i` — Rules 2 and 4.
+    /// These are the `W₂₄` events of the Lemma 8 domination argument; the
+    /// others form `W₁₃₅`.
+    #[inline]
+    pub fn is_dijkstra_move(self) -> bool {
+        matches!(self, SsrRule::R2 | SsrRule::R4)
+    }
+
+    /// True iff the rule requires `G_i` to hold (Rules 1, 2, 4); Rules 3 and
+    /// 5 require `¬G_i`.
+    #[inline]
+    pub fn requires_guard(self) -> bool {
+        matches!(self, SsrRule::R1 | SsrRule::R2 | SsrRule::R4)
+    }
+
+    /// Short human-readable action label as used in trace output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SsrRule::R1 => "ready-to-send-secondary",
+            SsrRule::R2 => "send-primary",
+            SsrRule::R3 => "receive-secondary",
+            SsrRule::R4 => "fix-with-guard",
+            SsrRule::R5 => "fix-without-guard",
+        }
+    }
+}
+
+impl fmt::Display for SsrRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rule {}", self.number())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_match_priority_order() {
+        let nums: Vec<u8> = SsrRule::ALL.iter().map(|r| r.number()).collect();
+        assert_eq!(nums, vec![1, 2, 3, 4, 5]);
+        // Ord follows priority (R1 < R2 < ... < R5).
+        let mut sorted = SsrRule::ALL;
+        sorted.sort();
+        assert_eq!(sorted, SsrRule::ALL);
+    }
+
+    #[test]
+    fn dijkstra_move_classification_splits_w24_w135() {
+        assert!(SsrRule::R2.is_dijkstra_move());
+        assert!(SsrRule::R4.is_dijkstra_move());
+        assert!(!SsrRule::R1.is_dijkstra_move());
+        assert!(!SsrRule::R3.is_dijkstra_move());
+        assert!(!SsrRule::R5.is_dijkstra_move());
+    }
+
+    #[test]
+    fn guard_polarity() {
+        assert!(SsrRule::R1.requires_guard());
+        assert!(SsrRule::R2.requires_guard());
+        assert!(SsrRule::R4.requires_guard());
+        assert!(!SsrRule::R3.requires_guard());
+        assert!(!SsrRule::R5.requires_guard());
+    }
+
+    #[test]
+    fn display_uses_paper_numbering() {
+        assert_eq!(SsrRule::R3.to_string(), "Rule 3");
+        assert_eq!(SsrRule::R5.label(), "fix-without-guard");
+    }
+}

@@ -1,0 +1,540 @@
+//! SSRmin — the paper's self-stabilizing mutual-inclusion algorithm
+//! (Algorithm 3): two tokens circulating a bidirectional ring like an
+//! inchworm, with an `rts`/`tra` handshake providing graceful handover.
+
+use crate::algorithm::{RingAlgorithm, TokenSet};
+use crate::dijkstra::SsToken;
+use crate::error::{CoreError, Result};
+use crate::legitimacy;
+use crate::params::RingParams;
+use crate::rules::SsrRule;
+use crate::state::SsrState;
+
+/// The SSRmin algorithm of the paper (Algorithm 3).
+///
+/// * The **primary token** is Dijkstra's K-state ring token: `P_i` holds it
+///   iff `G_i` holds (bottom: `x_0 = x_{n-1}`; others: `x_i ≠ x_{i-1}`).
+/// * The **secondary token** is held iff
+///   `tra_i = 1 ∨ (rts_i = 1 ∧ rts_{i+1} = 0 ∧ tra_{i+1} = 0)`.
+///
+/// In legitimate configurations exactly one primary and one secondary token
+/// exist, located at the same or adjacent processes, so the number of
+/// *privileged* processes is always 1 or 2 — a solution to the (1, 2)
+/// critical-section problem (Theorem 1). The handshake rules are ordered so
+/// that under the Cached Sensornet Transform the token-existence predicate
+/// never evaluates to zero anywhere, even while state updates are in flight
+/// (*model gap tolerance*, Theorem 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsrMin {
+    params: RingParams,
+    base: SsToken,
+}
+
+impl SsrMin {
+    /// Create the algorithm for the given ring parameters.
+    pub fn new(params: RingParams) -> Self {
+        SsrMin { params, base: SsToken::new(params) }
+    }
+
+    /// Ring parameters.
+    pub fn params(&self) -> RingParams {
+        self.params
+    }
+
+    /// The underlying Dijkstra ring (shares `G_i`/`C_i`).
+    pub fn base(&self) -> &SsToken {
+        &self.base
+    }
+
+    /// `G_i` — the guard of the underlying Dijkstra ring, which is also the
+    /// primary-token condition.
+    #[inline]
+    pub fn guard(&self, i: usize, own: &SsrState, pred: &SsrState) -> bool {
+        self.base.guard(i, own.x, pred.x)
+    }
+
+    /// `C_i` — the Dijkstra move on the counter component.
+    #[inline]
+    pub fn command(&self, i: usize, pred: &SsrState) -> u32 {
+        self.base.command(i, pred.x)
+    }
+
+    /// Primary-token condition at `P_i` (line 37 of Algorithm 3): `G_i`.
+    #[inline]
+    pub fn holds_primary(&self, i: usize, own: &SsrState, pred: &SsrState) -> bool {
+        self.guard(i, own, pred)
+    }
+
+    /// Secondary-token condition at `P_i` (lines 38–40 of Algorithm 3):
+    /// `tra_i = 1`, or `rts_i = 1` while the successor shows `⟨0.0⟩`.
+    ///
+    /// The second disjunct is what makes the algorithm model-gap tolerant:
+    /// while `P_i` has offered the token (`rts_i = 1`) and has not yet seen
+    /// the successor's acknowledgement, the token is still accounted to
+    /// `P_i`, so it never vanishes during the message transit.
+    #[inline]
+    pub fn holds_secondary(&self, own: &SsrState, succ: &SsrState) -> bool {
+        own.tra || (own.rts && !succ.rts && !succ.tra)
+    }
+
+    /// The enabled rule at `P_i` for the local view, applying the priority
+    /// R1 > R2 > R3 > R4 > R5. Returns at most one rule.
+    pub fn enabled(
+        &self,
+        i: usize,
+        own: &SsrState,
+        pred: &SsrState,
+        succ: &SsrState,
+    ) -> Option<SsrRule> {
+        if self.guard(i, own, pred) {
+            // Rule 1: own flags ∈ {0.0, 0.1, 1.1}.
+            if !own.rts || own.tra {
+                return Some(SsrRule::R1);
+            }
+            // From here own flags = ⟨1.0⟩.
+            // Rule 2: successor shows ⟨0.1⟩ — the secondary was received.
+            if succ.flags_are(0, 1) {
+                return Some(SsrRule::R2);
+            }
+            // Rule 4: anything but the legitimate waiting pattern
+            // ⟨0.0, 1.0, 0.0⟩.
+            if !(pred.flags_are(0, 0) && succ.flags_are(0, 0)) {
+                return Some(SsrRule::R4);
+            }
+            None
+        } else {
+            // Rule 3: predecessor offers (⟨1.0⟩) and own flags ∈
+            // {0.0, 1.0, 1.1} (everything except ⟨0.1⟩).
+            if pred.flags_are(1, 0) && (!own.tra || own.rts) {
+                return Some(SsrRule::R3);
+            }
+            // Rule 5: own flags ≠ ⟨0.0⟩ and not the legitimate
+            // "holding received secondary" pattern ⟨1.0, 0.1⟩.
+            let waiting_with_secondary = pred.flags_are(1, 0) && own.flags_are(0, 1);
+            if (own.rts || own.tra) && !waiting_with_secondary {
+                return Some(SsrRule::R5);
+            }
+            None
+        }
+    }
+
+    /// Execute `rule`'s command, returning `P_i`'s new state.
+    pub fn apply(
+        &self,
+        i: usize,
+        rule: SsrRule,
+        own: &SsrState,
+        pred: &SsrState,
+    ) -> SsrState {
+        match rule {
+            SsrRule::R1 => own.with_flags(true, false),
+            SsrRule::R2 | SsrRule::R4 => SsrState {
+                x: self.command(i, pred),
+                rts: false,
+                tra: false,
+            },
+            SsrRule::R3 => own.with_flags(false, true),
+            SsrRule::R5 => own.with_flags(false, false),
+        }
+    }
+
+    /// The anchor legitimate configuration `γ₀ = (x.0.1, x.0.0, …, x.0.0)`
+    /// used throughout the closure proof: `P_0` holds both tokens.
+    pub fn legitimate_anchor(&self, x: u32) -> Vec<SsrState> {
+        assert!(x < self.params.k(), "x must be < K");
+        let mut cfg = vec![SsrState::new(x, 0, 0); self.params.n()];
+        cfg[0] = SsrState::new(x, 0, 1);
+        cfg
+    }
+
+    /// Number of processes holding the primary token.
+    pub fn primary_count(&self, config: &[SsrState]) -> usize {
+        (0..self.params.n())
+            .filter(|&i| {
+                let (own, pred, _) = self.view(config, i);
+                self.holds_primary(i, own, pred)
+            })
+            .count()
+    }
+
+    /// Number of processes holding the secondary token.
+    pub fn secondary_count(&self, config: &[SsrState]) -> usize {
+        (0..self.params.n())
+            .filter(|&i| {
+                let (own, _, succ) = self.view(config, i);
+                self.holds_secondary(own, succ)
+            })
+            .count()
+    }
+
+    /// The Figure 3 rule map: for a given own flag pair and guard value,
+    /// the set of rules that can possibly be enabled, over all neighbour
+    /// flag combinations. (Neighbour *counter* values only matter through
+    /// `G_i`, which is fixed by `guard`.)
+    pub fn possible_rules(&self, own_flags: (u8, u8), guard: bool) -> Vec<SsrRule> {
+        // Pick concrete counters realizing the requested guard value for a
+        // non-bottom process: guard ⇔ own.x != pred.x.
+        let i = 1;
+        let own = SsrState::new(if guard { 1 } else { 0 }, own_flags.0, own_flags.1);
+        let pred_x = 0;
+        let mut out: Vec<SsrRule> = Vec::new();
+        for pf in 0..4u8 {
+            for sf in 0..4u8 {
+                let pred = SsrState::new(pred_x, pf >> 1, pf & 1);
+                let succ = SsrState::new(0, sf >> 1, sf & 1);
+                if let Some(r) = self.enabled(i, &own, &pred, &succ) {
+                    if !out.contains(&r) {
+                        out.push(r);
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+impl RingAlgorithm for SsrMin {
+    type State = SsrState;
+    type Rule = SsrRule;
+
+    fn n(&self) -> usize {
+        self.params.n()
+    }
+
+    fn enabled_rule(
+        &self,
+        i: usize,
+        own: &SsrState,
+        pred: &SsrState,
+        succ: &SsrState,
+    ) -> Option<SsrRule> {
+        self.enabled(i, own, pred, succ)
+    }
+
+    fn execute(
+        &self,
+        i: usize,
+        rule: SsrRule,
+        own: &SsrState,
+        pred: &SsrState,
+        _succ: &SsrState,
+    ) -> SsrState {
+        self.apply(i, rule, own, pred)
+    }
+
+    fn tokens_at(
+        &self,
+        i: usize,
+        own: &SsrState,
+        pred: &SsrState,
+        succ: &SsrState,
+    ) -> TokenSet {
+        TokenSet::new(self.holds_primary(i, own, pred), self.holds_secondary(own, succ))
+    }
+
+    fn is_legitimate(&self, config: &[SsrState]) -> bool {
+        legitimacy::classify(self.params, config).is_some()
+    }
+
+    fn rule_tag(&self, rule: SsrRule) -> u8 {
+        rule.number()
+    }
+
+    fn validate_config(&self, config: &[SsrState]) -> Result<()> {
+        if config.len() != self.params.n() {
+            return Err(CoreError::ConfigLenMismatch {
+                expected: self.params.n(),
+                actual: config.len(),
+            });
+        }
+        for (i, s) in config.iter().enumerate() {
+            self.params.check_x(s.x, i)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::RingAlgorithm;
+
+    fn algo(n: usize, k: u32) -> SsrMin {
+        SsrMin::new(RingParams::new(n, k).unwrap())
+    }
+
+    fn cfg(states: &[&str]) -> Vec<SsrState> {
+        states.iter().map(|s| s.parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn anchor_configuration_is_legitimate_with_both_tokens_at_p0() {
+        let a = algo(5, 7);
+        let c = a.legitimate_anchor(3);
+        assert!(a.is_legitimate(&c));
+        assert_eq!(a.token_holders(&c), vec![0]);
+        assert_eq!(a.tokens_in(&c, 0), TokenSet::BOTH);
+        assert_eq!(a.primary_count(&c), 1);
+        assert_eq!(a.secondary_count(&c), 1);
+    }
+
+    #[test]
+    fn rule1_fires_at_anchor() {
+        let a = algo(5, 7);
+        let c = a.legitimate_anchor(3);
+        assert_eq!(a.enabled_rule_in(&c, 0), Some(SsrRule::R1));
+        for i in 1..5 {
+            assert_eq!(a.enabled_rule_in(&c, i), None, "P{i} must be disabled");
+        }
+    }
+
+    /// Replay the handover cycle of Section 3.1 at P0/P1:
+    /// R1 at P0 → R3 at P1 → R2 at P0.
+    #[test]
+    fn handover_cycle_follows_abstract_actions() {
+        let a = algo(5, 7);
+        let c0 = a.legitimate_anchor(3);
+
+        // α₁: P0 gets ready to send the secondary token.
+        let c1 = a.step_process(&c0, 0).unwrap();
+        assert_eq!(c1, cfg(&["3.1.0", "3.0.0", "3.0.0", "3.0.0", "3.0.0"]));
+        // P0 still holds both tokens (model gap tolerance of Rule 1).
+        assert_eq!(a.tokens_in(&c1, 0), TokenSet::BOTH);
+        assert_eq!(a.enabled_processes(&c1), vec![1]);
+        assert_eq!(a.enabled_rule_in(&c1, 1), Some(SsrRule::R3));
+
+        // β: P1 receives the secondary token.
+        let c2 = a.step_process(&c1, 1).unwrap();
+        assert_eq!(c2, cfg(&["3.1.0", "3.0.1", "3.0.0", "3.0.0", "3.0.0"]));
+        assert_eq!(a.tokens_in(&c2, 0), TokenSet::new(true, false));
+        assert_eq!(a.tokens_in(&c2, 1), TokenSet::new(false, true));
+        assert_eq!(a.enabled_processes(&c2), vec![0]);
+        assert_eq!(a.enabled_rule_in(&c2, 0), Some(SsrRule::R2));
+
+        // α₂: P0 sends the primary token (Dijkstra move).
+        let c3 = a.step_process(&c2, 0).unwrap();
+        assert_eq!(c3, cfg(&["4.0.0", "3.0.1", "3.0.0", "3.0.0", "3.0.0"]));
+        assert_eq!(a.tokens_in(&c3, 1), TokenSet::BOTH);
+        assert!(a.is_legitimate(&c3));
+    }
+
+    /// The exact 16-step execution of Figure 4 (n = 5, starting at
+    /// (3.0.1, 3.0.0, 3.0.0, 3.0.0, 3.0.0)).
+    #[test]
+    fn figure4_execution_matches_paper() {
+        let a = algo(5, 7);
+        let expected: [(&[&str; 5], usize, SsrRule); 15] = [
+            (&["3.0.1", "3.0.0", "3.0.0", "3.0.0", "3.0.0"], 0, SsrRule::R1),
+            (&["3.1.0", "3.0.0", "3.0.0", "3.0.0", "3.0.0"], 1, SsrRule::R3),
+            (&["3.1.0", "3.0.1", "3.0.0", "3.0.0", "3.0.0"], 0, SsrRule::R2),
+            (&["4.0.0", "3.0.1", "3.0.0", "3.0.0", "3.0.0"], 1, SsrRule::R1),
+            (&["4.0.0", "3.1.0", "3.0.0", "3.0.0", "3.0.0"], 2, SsrRule::R3),
+            (&["4.0.0", "3.1.0", "3.0.1", "3.0.0", "3.0.0"], 1, SsrRule::R2),
+            (&["4.0.0", "4.0.0", "3.0.1", "3.0.0", "3.0.0"], 2, SsrRule::R1),
+            (&["4.0.0", "4.0.0", "3.1.0", "3.0.0", "3.0.0"], 3, SsrRule::R3),
+            (&["4.0.0", "4.0.0", "3.1.0", "3.0.1", "3.0.0"], 2, SsrRule::R2),
+            (&["4.0.0", "4.0.0", "4.0.0", "3.0.1", "3.0.0"], 3, SsrRule::R1),
+            (&["4.0.0", "4.0.0", "4.0.0", "3.1.0", "3.0.0"], 4, SsrRule::R3),
+            (&["4.0.0", "4.0.0", "4.0.0", "3.1.0", "3.0.1"], 3, SsrRule::R2),
+            (&["4.0.0", "4.0.0", "4.0.0", "4.0.0", "3.0.1"], 4, SsrRule::R1),
+            (&["4.0.0", "4.0.0", "4.0.0", "4.0.0", "3.1.0"], 0, SsrRule::R3),
+            (&["4.0.1", "4.0.0", "4.0.0", "4.0.0", "3.1.0"], 4, SsrRule::R2),
+        ];
+        let mut c = a.legitimate_anchor(3);
+        for (step, (want, mover, rule)) in expected.iter().enumerate() {
+            assert_eq!(&c, &cfg(*want), "configuration at step {}", step + 1);
+            assert!(a.is_legitimate(&c), "step {} must be legitimate", step + 1);
+            assert_eq!(
+                a.enabled_processes(&c),
+                vec![*mover],
+                "enabled set at step {}",
+                step + 1
+            );
+            assert_eq!(a.enabled_rule_in(&c, *mover), Some(*rule));
+            c = a.step_process(&c, *mover).unwrap();
+        }
+        // Step 16: the anchor shape again with x+1.
+        assert_eq!(c, cfg(&["4.0.1", "4.0.0", "4.0.0", "4.0.0", "4.0.0"]));
+        assert!(a.is_legitimate(&c));
+    }
+
+    /// Figure 1's claim: the token-holder pattern alternates between one
+    /// process holding PS and a neighbouring pair holding P | S.
+    #[test]
+    fn token_movement_is_inchworm() {
+        let a = algo(5, 7);
+        let mut c = a.legitimate_anchor(0);
+        for _ in 0..60 {
+            let holders = a.token_holders(&c);
+            match holders.len() {
+                1 => assert_eq!(a.tokens_in(&c, holders[0]), TokenSet::BOTH),
+                2 => {
+                    // Adjacent on the ring, primary behind secondary.
+                    let (p, s) = (holders[0], holders[1]);
+                    let (front, back) =
+                        if a.params().succ(p) == s { (s, p) } else { (p, s) };
+                    assert_eq!(a.params().succ(back), front);
+                    assert_eq!(a.tokens_in(&c, back), TokenSet::new(true, false));
+                    assert_eq!(a.tokens_in(&c, front), TokenSet::new(false, true));
+                }
+                k => panic!("{k} privileged processes in a legitimate config"),
+            }
+            let e = a.enabled_processes(&c);
+            assert_eq!(e.len(), 1);
+            c = a.step_process(&c, e[0]).unwrap();
+        }
+    }
+
+    #[test]
+    fn rule4_fixes_inconsistent_neighbourhood() {
+        let a = algo(5, 7);
+        // P1 has G (x differs from pred) and flags 1.0, but its predecessor
+        // also shows 1.0 — not the legitimate waiting pattern.
+        let c = cfg(&["4.1.0", "3.1.0", "3.0.0", "3.0.0", "4.0.0"]);
+        assert_eq!(a.enabled_rule_in(&c, 1), Some(SsrRule::R4));
+        let next = a.step_process(&c, 1).unwrap();
+        assert_eq!(next[1], "4.0.0".parse().unwrap()); // C_i executed, flags reset
+    }
+
+    #[test]
+    fn rule4_not_enabled_in_legitimate_waiting_pattern() {
+        let a = algo(5, 7);
+        // P0 offered the secondary (1.0), P1 yet to receive (0.0): P0 must
+        // wait, not fire Rule 4.
+        let c = cfg(&["3.1.0", "3.0.0", "3.0.0", "3.0.0", "3.0.0"]);
+        assert_eq!(a.enabled_rule_in(&c, 0), None);
+    }
+
+    #[test]
+    fn rule5_resets_stray_flags() {
+        let a = algo(5, 7);
+        // P2 has ¬G (x equal to pred), flags 0.1, but predecessor is not
+        // offering (flags 0.0) — stray tra bit.
+        let c = cfg(&["4.0.0", "3.0.0", "3.0.1", "3.0.0", "3.0.0"]);
+        assert_eq!(a.enabled_rule_in(&c, 2), Some(SsrRule::R5));
+        let next = a.step_process(&c, 2).unwrap();
+        assert_eq!(next[2], "3.0.0".parse().unwrap());
+    }
+
+    #[test]
+    fn rule5_not_enabled_when_holding_received_secondary() {
+        let a = algo(5, 7);
+        // Legitimate: P0 offered (1.0), P1 received (0.1) — P1 waits.
+        let c = cfg(&["3.1.0", "3.0.1", "3.0.0", "3.0.0", "3.0.0"]);
+        assert_eq!(a.enabled_rule_in(&c, 1), None);
+    }
+
+    #[test]
+    fn rule1_covers_flag_pair_11() {
+        let a = algo(5, 7);
+        // A corrupted 1.1 with G true is recycled through Rule 1.
+        let c = cfg(&["4.0.0", "3.1.1", "3.0.0", "3.0.0", "4.0.0"]);
+        assert_eq!(a.enabled_rule_in(&c, 1), Some(SsrRule::R1));
+    }
+
+    #[test]
+    fn rule3_accepts_own_flags_00_10_11() {
+        let a = algo(5, 7);
+        for own in ["3.0.0", "3.1.0", "3.1.1"] {
+            let mut c = cfg(&["3.1.0", own, "3.0.0", "3.0.0", "3.0.0"]);
+            // Make sure P1 has ¬G: x1 == x0.
+            c[1].x = 3;
+            assert_eq!(
+                a.enabled_rule_in(&c, 1),
+                Some(SsrRule::R3),
+                "own flags {own}"
+            );
+        }
+        // ⟨0.1⟩ is excluded (that is the already-received pattern).
+        let c = cfg(&["3.1.0", "3.0.1", "3.0.0", "3.0.0", "3.0.0"]);
+        assert_eq!(a.enabled_rule_in(&c, 1), None);
+    }
+
+    /// Figure 3: the map from ⟨rts.tra⟩ × G to possible rules.
+    #[test]
+    fn figure3_rule_map() {
+        let a = algo(5, 7);
+        // G true.
+        assert_eq!(a.possible_rules((0, 0), true), vec![SsrRule::R1]);
+        assert_eq!(a.possible_rules((0, 1), true), vec![SsrRule::R1]);
+        assert_eq!(a.possible_rules((1, 1), true), vec![SsrRule::R1]);
+        assert_eq!(a.possible_rules((1, 0), true), vec![SsrRule::R2, SsrRule::R4]);
+        // G false.
+        assert_eq!(a.possible_rules((0, 0), false), vec![SsrRule::R3]);
+        assert_eq!(a.possible_rules((0, 1), false), vec![SsrRule::R5]);
+        assert_eq!(a.possible_rules((1, 0), false), vec![SsrRule::R3, SsrRule::R5]);
+        assert_eq!(a.possible_rules((1, 1), false), vec![SsrRule::R3, SsrRule::R5]);
+    }
+
+    /// Lemma 4 (no deadlock), exhaustively on a small ring: every
+    /// configuration has at least one enabled process.
+    #[test]
+    fn no_deadlock_exhaustive_n3() {
+        let a = algo(3, 4);
+        let mut checked = 0u64;
+        for states in all_configs(3, 4) {
+            assert!(
+                !a.is_deadlocked(&states),
+                "deadlock in {:?}",
+                states.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+            );
+            checked += 1;
+        }
+        assert_eq!(checked, (4u64 * 4) * (4 * 4) * (4 * 4)); // (K*4)^n
+    }
+
+    /// Lemma 3 via SSRmin: the primary token always exists.
+    #[test]
+    fn primary_token_always_exists_exhaustive_n3() {
+        let a = algo(3, 4);
+        for states in all_configs(3, 4) {
+            assert!(a.primary_count(&states) >= 1);
+        }
+    }
+
+    /// At most one rule is enabled per process (priority resolution), checked
+    /// over every local view.
+    #[test]
+    fn enabled_returns_unique_rule_for_every_view() {
+        let a = algo(5, 7);
+        for i in [0usize, 1] {
+            for ox in 0..3u32 {
+                for px in 0..3u32 {
+                    for of in 0..4u8 {
+                        for pf in 0..4u8 {
+                            for sf in 0..4u8 {
+                                let own = SsrState::new(ox, of >> 1, of & 1);
+                                let pred = SsrState::new(px, pf >> 1, pf & 1);
+                                let succ = SsrState::new(0, sf >> 1, sf & 1);
+                                // Must not panic; any Some(rule) must satisfy
+                                // the guard polarity.
+                                if let Some(r) = a.enabled(i, &own, &pred, &succ) {
+                                    assert_eq!(
+                                        r.requires_guard(),
+                                        a.guard(i, &own, &pred)
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Enumerate all (4K)^n configurations for tiny rings.
+    fn all_configs(n: usize, k: u32) -> impl Iterator<Item = Vec<SsrState>> {
+        let per = 4 * k as u64;
+        let total = per.pow(n as u32);
+        (0..total).map(move |mut raw| {
+            (0..n)
+                .map(|_| {
+                    let d = (raw % per) as u32;
+                    raw /= per;
+                    SsrState::new(d / 4, ((d % 4) >> 1) as u8, (d % 2) as u8)
+                })
+                .collect()
+        })
+    }
+}

@@ -1,0 +1,171 @@
+//! The per-process local state `x.rts.tra` of SSRmin.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Local state of one SSRmin process: the Dijkstra counter `x` plus the two
+/// handshake bits `rts` ("ready to send" the secondary token) and `tra`
+/// ("token receipt acknowledged").
+///
+/// The paper writes a state as `x.rts.tra`, e.g. `3.0.1`; [`fmt::Display`]
+/// and [`FromStr`] use exactly that notation so traces can be compared
+/// against the paper's Figure 4 verbatim.
+///
+/// ```
+/// use ssr_core::SsrState;
+/// let s: SsrState = "3.0.1".parse().unwrap();
+/// assert_eq!(s, SsrState::new(3, 0, 1));
+/// assert_eq!(s.to_string(), "3.0.1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SsrState {
+    /// Dijkstra K-state counter, `0 <= x < K`.
+    pub x: u32,
+    /// `rts_i` — process is ready to hand the secondary token to its successor.
+    pub rts: bool,
+    /// `tra_i` — process has received (acknowledged) the secondary token.
+    pub tra: bool,
+}
+
+impl SsrState {
+    /// Build a state from the paper's notation: `new(3, 0, 1)` is `3.0.1`.
+    /// Any nonzero bit value is treated as 1.
+    #[inline]
+    pub fn new(x: u32, rts: u8, tra: u8) -> Self {
+        SsrState { x, rts: rts != 0, tra: tra != 0 }
+    }
+
+    /// The `⟨rts.tra⟩` pair as a compact two-bit code `rts * 2 + tra`
+    /// (so `0.0 → 0`, `0.1 → 1`, `1.0 → 2`, `1.1 → 3`).
+    #[inline]
+    pub fn flag_code(&self) -> u8 {
+        (self.rts as u8) << 1 | self.tra as u8
+    }
+
+    /// True iff `⟨rts.tra⟩ = ⟨r.t⟩` for the given bits.
+    #[inline]
+    pub fn flags_are(&self, r: u8, t: u8) -> bool {
+        self.rts == (r != 0) && self.tra == (t != 0)
+    }
+
+    /// Replace the flag pair, keeping `x`.
+    #[inline]
+    pub fn with_flags(self, rts: bool, tra: bool) -> Self {
+        SsrState { rts, tra, ..self }
+    }
+
+    /// Replace `x`, keeping the flag pair.
+    #[inline]
+    pub fn with_x(self, x: u32) -> Self {
+        SsrState { x, ..self }
+    }
+
+    /// All four flag combinations for a given `x` — handy for exhaustive
+    /// enumeration in tests and the Figure 3 rule map.
+    pub fn all_flags(x: u32) -> [SsrState; 4] {
+        [
+            SsrState::new(x, 0, 0),
+            SsrState::new(x, 0, 1),
+            SsrState::new(x, 1, 0),
+            SsrState::new(x, 1, 1),
+        ]
+    }
+}
+
+impl fmt::Display for SsrState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}", self.x, self.rts as u8, self.tra as u8)
+    }
+}
+
+/// Error parsing the `x.rts.tra` notation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseStateError(String);
+
+impl fmt::Display for ParseStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid SSRmin state literal: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseStateError {}
+
+impl FromStr for SsrState {
+    type Err = ParseStateError;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        let bad = || ParseStateError(s.to_owned());
+        let mut parts = s.split('.');
+        let x = parts.next().ok_or_else(bad)?.parse::<u32>().map_err(|_| bad())?;
+        let bit = |p: Option<&str>| -> std::result::Result<bool, ParseStateError> {
+            match p {
+                Some("0") => Ok(false),
+                Some("1") => Ok(true),
+                _ => Err(bad()),
+            }
+        };
+        let rts = bit(parts.next())?;
+        let tra = bit(parts.next())?;
+        if parts.next().is_some() {
+            return Err(bad());
+        }
+        Ok(SsrState { x, rts, tra })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(SsrState::new(3, 0, 1).to_string(), "3.0.1");
+        assert_eq!(SsrState::new(0, 1, 0).to_string(), "0.1.0");
+        assert_eq!(SsrState::new(12, 1, 1).to_string(), "12.1.1");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for x in [0, 1, 7, 40] {
+            for s in SsrState::all_flags(x) {
+                let parsed: SsrState = s.to_string().parse().unwrap();
+                assert_eq!(parsed, s);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("".parse::<SsrState>().is_err());
+        assert!("3".parse::<SsrState>().is_err());
+        assert!("3.0".parse::<SsrState>().is_err());
+        assert!("3.0.2".parse::<SsrState>().is_err());
+        assert!("3.0.1.0".parse::<SsrState>().is_err());
+        assert!("a.0.1".parse::<SsrState>().is_err());
+        assert!("3.00.1".parse::<SsrState>().is_err());
+    }
+
+    #[test]
+    fn flag_code_orders_pairs() {
+        assert_eq!(SsrState::new(0, 0, 0).flag_code(), 0);
+        assert_eq!(SsrState::new(0, 0, 1).flag_code(), 1);
+        assert_eq!(SsrState::new(0, 1, 0).flag_code(), 2);
+        assert_eq!(SsrState::new(0, 1, 1).flag_code(), 3);
+    }
+
+    #[test]
+    fn flags_are_matches_exact_pair() {
+        let s = SsrState::new(5, 1, 0);
+        assert!(s.flags_are(1, 0));
+        assert!(!s.flags_are(0, 0));
+        assert!(!s.flags_are(1, 1));
+    }
+
+    #[test]
+    fn with_helpers_preserve_other_fields() {
+        let s = SsrState::new(5, 1, 0);
+        assert_eq!(s.with_flags(false, true), SsrState::new(5, 0, 1));
+        assert_eq!(s.with_x(2), SsrState::new(2, 1, 0));
+    }
+}

@@ -1,0 +1,122 @@
+//! Cross-algorithm consistency: SSRmin is Dijkstra's ring plus a handshake,
+//! and that relationship must be visible in the code — the `x`-component of
+//! any SSRmin execution is a legal (slowed-down) execution of `SsToken`.
+
+use proptest::prelude::*;
+
+use ssr_core::{RingAlgorithm, RingParams, SsrMin, SsrRule, SsrState, SsToken};
+
+fn arb_params() -> impl Strategy<Value = RingParams> {
+    (3usize..8).prop_flat_map(|n| {
+        ((n as u32 + 1)..(n as u32 + 5)).prop_map(move |k| RingParams::new(n, k).unwrap())
+    })
+}
+
+fn arb_config(params: RingParams) -> impl Strategy<Value = Vec<SsrState>> {
+    proptest::collection::vec(
+        (0..params.k(), any::<bool>(), any::<bool>())
+            .prop_map(|(x, rts, tra)| SsrState { x, rts, tra }),
+        params.n(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The primary-token condition of SSRmin IS Dijkstra's guard.
+    #[test]
+    fn primary_condition_equals_dijkstra_guard(
+        pc in arb_params().prop_flat_map(|p| (Just(p), arb_config(p))),
+    ) {
+        let (params, cfg) = pc;
+        let ssr = SsrMin::new(params);
+        let dij = SsToken::new(params);
+        let xs: Vec<u32> = cfg.iter().map(|s| s.x).collect();
+        for i in 0..params.n() {
+            let (own, pred, _) = ssr.view(&cfg, i);
+            let pred_x = xs[params.pred(i)];
+            prop_assert_eq!(
+                ssr.holds_primary(i, own, pred),
+                dij.guard(i, xs[i], pred_x)
+            );
+        }
+    }
+
+    /// Executing SSRmin Rules 2/4 performs exactly Dijkstra's command on the
+    /// x component; Rules 1/3/5 leave x untouched.
+    #[test]
+    fn rules_partition_into_counter_and_flag_moves(
+        pc in arb_params().prop_flat_map(|p| (Just(p), arb_config(p))),
+    ) {
+        let (params, cfg) = pc;
+        let ssr = SsrMin::new(params);
+        let dij = SsToken::new(params);
+        for i in 0..params.n() {
+            let (own, pred, succ) = ssr.view(&cfg, i);
+            if let Some(rule) = ssr.enabled(i, own, pred, succ) {
+                let next = ssr.apply(i, rule, own, pred);
+                match rule {
+                    SsrRule::R2 | SsrRule::R4 => {
+                        prop_assert_eq!(next.x, dij.command(i, pred.x));
+                        prop_assert!(!next.rts && !next.tra);
+                    }
+                    _ => prop_assert_eq!(next.x, own.x, "flag rules must not move x"),
+                }
+            }
+        }
+    }
+
+    /// Projecting a whole SSRmin execution onto its x components yields a
+    /// sequence in which every change is a legal Dijkstra move.
+    #[test]
+    fn x_projection_is_a_dijkstra_execution(
+        pcs in arb_params().prop_flat_map(|p| (
+            Just(p),
+            arb_config(p),
+            proptest::collection::vec(any::<u8>(), 100),
+        )),
+    ) {
+        let (params, mut cfg, choices) = pcs;
+        let ssr = SsrMin::new(params);
+        let dij = SsToken::new(params);
+        for pick in choices {
+            let enabled = ssr.enabled_processes(&cfg);
+            prop_assert!(!enabled.is_empty(), "Lemma 4");
+            let mover = enabled[pick as usize % enabled.len()];
+            let before: Vec<u32> = cfg.iter().map(|s| s.x).collect();
+            cfg = ssr.step_process(&cfg, mover).unwrap();
+            let after: Vec<u32> = cfg.iter().map(|s| s.x).collect();
+            if before != after {
+                // Exactly the mover changed, and exactly per Dijkstra.
+                for i in 0..params.n() {
+                    if i == mover {
+                        prop_assert!(dij.guard(i, before[i], before[params.pred(i)]),
+                            "x moved without Dijkstra's guard");
+                        prop_assert_eq!(after[i], dij.command(i, before[params.pred(i)]));
+                    } else {
+                        prop_assert_eq!(after[i], before[i]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Token conservation along legitimate executions: stepping never
+    /// changes the (1 primary, 1 secondary) census.
+    #[test]
+    fn legitimate_steps_conserve_token_census(
+        params in arb_params(),
+        x_raw in 0u32..64,
+        picks in proptest::collection::vec(any::<u8>(), 50),
+    ) {
+        let ssr = SsrMin::new(params);
+        let mut cfg = ssr.legitimate_anchor(x_raw % params.k());
+        for pick in picks {
+            let enabled = ssr.enabled_processes(&cfg);
+            let mover = enabled[pick as usize % enabled.len()];
+            cfg = ssr.step_process(&cfg, mover).unwrap();
+            prop_assert_eq!(ssr.primary_count(&cfg), 1);
+            prop_assert_eq!(ssr.secondary_count(&cfg), 1);
+        }
+    }
+}

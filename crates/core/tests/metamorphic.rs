@@ -1,0 +1,113 @@
+//! Metamorphic properties of SSRmin: transformations of the configuration
+//! that must commute with execution. These catch whole classes of bugs
+//! (an accidental absolute comparison, a hard-coded counter value) that
+//! point tests cannot.
+
+use proptest::prelude::*;
+
+use ssr_core::{legitimacy, RingAlgorithm, RingParams, SsrMin, SsrState};
+
+fn arb_params() -> impl Strategy<Value = RingParams> {
+    (3usize..8).prop_flat_map(|n| {
+        ((n as u32 + 1)..(n as u32 + 6)).prop_map(move |k| RingParams::new(n, k).unwrap())
+    })
+}
+
+fn arb_config(params: RingParams) -> impl Strategy<Value = Vec<SsrState>> {
+    proptest::collection::vec(
+        (0..params.k(), any::<bool>(), any::<bool>())
+            .prop_map(|(x, rts, tra)| SsrState { x, rts, tra }),
+        params.n(),
+    )
+}
+
+/// Shift every counter by `c` (mod K), leaving flags untouched.
+fn shift(params: RingParams, config: &[SsrState], c: u32) -> Vec<SsrState> {
+    config.iter().map(|s| s.with_x(params.add(s.x, c))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Value-shift symmetry: SSRmin's guards only ever compare counters
+    /// for equality or successorship, so adding a constant to every `x`
+    /// (mod K) must leave the enabled structure untouched...
+    #[test]
+    fn shift_preserves_enabled_rules(
+        pcc in arb_params().prop_flat_map(|p| (Just(p), arb_config(p), 0u32..64)),
+    ) {
+        let (params, cfg, c_raw) = pcc;
+        let c = c_raw % params.k();
+        let algo = SsrMin::new(params);
+        let shifted = shift(params, &cfg, c);
+        for i in 0..params.n() {
+            prop_assert_eq!(
+                algo.enabled_rule_in(&cfg, i),
+                algo.enabled_rule_in(&shifted, i),
+                "process {} enabled-rule changed under shift by {}",
+                i,
+                c
+            );
+        }
+    }
+
+    /// ...and stepping must commute with the shift: step(shift(cfg)) =
+    /// shift(step(cfg)).
+    #[test]
+    fn shift_commutes_with_stepping(
+        pccs in arb_params().prop_flat_map(|p| (
+            Just(p),
+            arb_config(p),
+            0u32..64,
+            proptest::collection::vec(any::<u8>(), 40),
+        )),
+    ) {
+        let (params, cfg, c_raw, picks) = pccs;
+        let c = c_raw % params.k();
+        let algo = SsrMin::new(params);
+        let mut plain = cfg.clone();
+        let mut shifted = shift(params, &cfg, c);
+        for pick in picks {
+            let e = algo.enabled_processes(&plain);
+            prop_assert_eq!(&e, &algo.enabled_processes(&shifted));
+            let mover = e[pick as usize % e.len()];
+            plain = algo.step_process(&plain, mover).unwrap();
+            shifted = algo.step_process(&shifted, mover).unwrap();
+            prop_assert_eq!(&shift(params, &plain, c), &shifted);
+        }
+    }
+
+    /// Shift preserves legitimacy and the token census.
+    #[test]
+    fn shift_preserves_legitimacy_and_tokens(
+        pcc in arb_params().prop_flat_map(|p| (Just(p), arb_config(p), 0u32..64)),
+    ) {
+        let (params, cfg, c_raw) = pcc;
+        let c = c_raw % params.k();
+        let algo = SsrMin::new(params);
+        let shifted = shift(params, &cfg, c);
+        prop_assert_eq!(
+            legitimacy::classify(params, &cfg).map(|f| f.position()),
+            legitimacy::classify(params, &shifted).map(|f| f.position())
+        );
+        prop_assert_eq!(algo.token_holders(&cfg), algo.token_holders(&shifted));
+        prop_assert_eq!(algo.primary_count(&cfg), algo.primary_count(&shifted));
+        prop_assert_eq!(algo.secondary_count(&cfg), algo.secondary_count(&shifted));
+    }
+
+    /// Flags-only involution: flipping `rts`/`tra` of a process that holds
+    /// neither token and is not adjacent to a token holder cannot create a
+    /// *primary* token anywhere (the primary depends only on counters).
+    #[test]
+    fn flag_noise_cannot_mint_primary_tokens(
+        pcv in arb_params().prop_flat_map(|p| (Just(p), arb_config(p), 0usize..64, any::<bool>(), any::<bool>())),
+    ) {
+        let (params, cfg, victim_raw, r, t) = pcv;
+        let victim = victim_raw % params.n();
+        let algo = SsrMin::new(params);
+        let before = algo.primary_count(&cfg);
+        let mut mutated = cfg;
+        mutated[victim] = SsrState { x: mutated[victim].x, rts: r, tra: t };
+        prop_assert_eq!(algo.primary_count(&mutated), before);
+    }
+}

@@ -1,0 +1,171 @@
+//! Daemon combinators: compose scheduling strategies into richer ones.
+//! Useful for exploring execution spaces ("mostly synchronous with bursts
+//! of adversarial delay", "alternate central and distributed phases") —
+//! self-stabilization must hold under all of them, so composition is a
+//! cheap way to widen the schedules the test suites exercise.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::daemons::{Daemon, EnabledProcess};
+
+/// Alternate between two daemons in fixed-length phases: `a` drives
+/// `period_a` steps, then `b` drives `period_b`, and so on.
+#[derive(Debug)]
+pub struct Alternate<A, B> {
+    a: A,
+    b: B,
+    period_a: u64,
+    period_b: u64,
+    pos: u64,
+}
+
+impl<A: Daemon, B: Daemon> Alternate<A, B> {
+    /// Build the alternation (both periods must be positive).
+    pub fn new(a: A, period_a: u64, b: B, period_b: u64) -> Self {
+        assert!(period_a > 0 && period_b > 0, "phases must be non-empty");
+        Alternate { a, b, period_a, period_b, pos: 0 }
+    }
+}
+
+impl<A: Daemon, B: Daemon> Daemon for Alternate<A, B> {
+    fn select(&mut self, enabled: &[EnabledProcess], step: u64) -> Vec<usize> {
+        let cycle = self.period_a + self.period_b;
+        let in_a = self.pos % cycle < self.period_a;
+        self.pos += 1;
+        if in_a {
+            self.a.select(enabled, step)
+        } else {
+            self.b.select(enabled, step)
+        }
+    }
+    fn name(&self) -> &'static str {
+        "alternate"
+    }
+}
+
+/// Pick daemon `a` with probability `p` at each step, else `b`.
+#[derive(Debug)]
+pub struct Mix<A, B> {
+    a: A,
+    b: B,
+    p: f64,
+    rng: StdRng,
+}
+
+impl<A: Daemon, B: Daemon> Mix<A, B> {
+    /// Build the mixture (`p` clamped to `[0, 1]`), deterministic per seed.
+    pub fn new(a: A, b: B, p: f64, seed: u64) -> Self {
+        Mix { a, b, p: p.clamp(0.0, 1.0), rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl<A: Daemon, B: Daemon> Daemon for Mix<A, B> {
+    fn select(&mut self, enabled: &[EnabledProcess], step: u64) -> Vec<usize> {
+        if self.rng.random_bool(self.p) {
+            self.a.select(enabled, step)
+        } else {
+            self.b.select(enabled, step)
+        }
+    }
+    fn name(&self) -> &'static str {
+        "mix"
+    }
+}
+
+/// Restrict an inner daemon's picks to a fixed window of the ring (the
+/// complement is starved): models a partitioned scheduler that only ever
+/// runs part of the system — the strongest practical unfairness.
+#[derive(Debug)]
+pub struct Restrict<D> {
+    inner: D,
+    allowed: Vec<usize>,
+}
+
+impl<D: Daemon> Restrict<D> {
+    /// Only processes in `allowed` may be scheduled (when any of them is
+    /// enabled; otherwise the restriction is lifted for that step, which
+    /// keeps the daemon legal).
+    pub fn new(inner: D, allowed: Vec<usize>) -> Self {
+        Restrict { inner, allowed }
+    }
+}
+
+impl<D: Daemon> Daemon for Restrict<D> {
+    fn select(&mut self, enabled: &[EnabledProcess], step: u64) -> Vec<usize> {
+        let filtered: Vec<EnabledProcess> = enabled
+            .iter()
+            .copied()
+            .filter(|e| self.allowed.contains(&e.process))
+            .collect();
+        if filtered.is_empty() {
+            self.inner.select(enabled, step)
+        } else {
+            self.inner.select(&filtered, step)
+        }
+    }
+    fn name(&self) -> &'static str {
+        "restrict"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemons::{CentralFirst, CentralLast, Synchronous};
+    use crate::measure_convergence;
+    use crate::random_config;
+    use ssr_core::{RingParams, SsrMin};
+
+    fn enabled(list: &[usize]) -> Vec<EnabledProcess> {
+        list.iter().map(|&p| EnabledProcess { process: p, rule_tag: 1 }).collect()
+    }
+
+    #[test]
+    fn alternate_switches_phases() {
+        let mut d = Alternate::new(CentralFirst, 2, CentralLast, 1);
+        let e = enabled(&[0, 4]);
+        assert_eq!(d.select(&e, 0), vec![0]); // phase a
+        assert_eq!(d.select(&e, 1), vec![0]); // phase a
+        assert_eq!(d.select(&e, 2), vec![4]); // phase b
+        assert_eq!(d.select(&e, 3), vec![0]); // back to a
+    }
+
+    #[test]
+    fn mix_is_deterministic_per_seed() {
+        let picks = |seed| {
+            let mut d = Mix::new(CentralFirst, CentralLast, 0.5, seed);
+            let e = enabled(&[0, 4]);
+            (0..20).map(|s| d.select(&e, s)[0]).collect::<Vec<_>>()
+        };
+        assert_eq!(picks(1), picks(1));
+        assert!(picks(1).contains(&0) && picks(1).contains(&4), "both arms must fire");
+    }
+
+    #[test]
+    fn restrict_confines_when_possible() {
+        let mut d = Restrict::new(Synchronous, vec![1, 2]);
+        let e = enabled(&[0, 1, 2, 3]);
+        assert_eq!(d.select(&e, 0), vec![1, 2]);
+        // When no allowed process is enabled, the restriction lifts.
+        let only_others = enabled(&[0, 3]);
+        assert_eq!(d.select(&only_others, 0), vec![0, 3]);
+    }
+
+    #[test]
+    fn ssrmin_converges_under_composed_daemons() {
+        let p = RingParams::new(6, 8).unwrap();
+        let a = SsrMin::new(p);
+        for seed in 0..6u64 {
+            let cfg = random_config::random_ssr_config(p, seed);
+            let mut d = Alternate::new(
+                Mix::new(Synchronous, CentralLast, 0.3, seed),
+                5,
+                Restrict::new(CentralFirst, vec![0, 1, 2]),
+                7,
+            );
+            let r = measure_convergence(a, cfg, &mut d, 100_000, 10);
+            assert!(r.is_some(), "seed {seed}: composed daemon broke convergence");
+        }
+    }
+}

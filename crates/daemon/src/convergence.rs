@@ -1,0 +1,163 @@
+//! Stabilization-time measurement: run an algorithm from a given
+//! configuration under a given daemon until the configuration is
+//! legitimate, and report how long it took (Theorem 2 instrumentation).
+
+use ssr_core::{Config, RingAlgorithm};
+
+use crate::daemons::Daemon;
+use crate::engine::Engine;
+
+/// The result of one convergence run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvergenceReport {
+    /// Scheduler steps until the first legitimate configuration.
+    pub steps: u64,
+    /// Completed rounds until convergence (the asynchronous time unit:
+    /// every initially-enabled process moved or was disabled per round).
+    pub rounds: u64,
+    /// Individual process moves until convergence (≥ `steps` under
+    /// distributed daemons).
+    pub moves: u64,
+    /// How many of those moves executed the Dijkstra command `C_i`
+    /// (SSRmin Rules 2/4) — the `W₂₄` events of the Lemma 8 analysis.
+    pub dijkstra_moves: u64,
+    /// Steps of post-convergence closure verification that were performed.
+    pub closure_checked_steps: u64,
+}
+
+/// Run `algo` from `initial` under `daemon` until legitimate, then keep
+/// running `closure_steps` more steps asserting the closure property
+/// (Lemma 1). Returns `None` if `max_steps` was exhausted before
+/// convergence.
+///
+/// # Panics
+///
+/// Panics if a deadlock occurs (impossible for SSRmin by Lemma 4) or if
+/// closure is violated after convergence — both indicate an implementation
+/// bug rather than a recoverable condition.
+pub fn measure_convergence<A, D>(
+    algo: A,
+    initial: Config<A::State>,
+    daemon: &mut D,
+    max_steps: u64,
+    closure_steps: u64,
+) -> Option<ConvergenceReport>
+where
+    A: RingAlgorithm + Clone,
+    D: Daemon + ?Sized,
+{
+    let mut engine = Engine::new(algo.clone(), initial).expect("valid initial configuration");
+    let mut dijkstra_moves: u64 = 0;
+    let mut converged_at: Option<(u64, u64, u64)> = None;
+
+    for _ in 0..max_steps {
+        if algo.is_legitimate(engine.config()) {
+            converged_at = Some((engine.steps(), engine.moves(), engine.rounds()));
+            break;
+        }
+        match engine.step(daemon) {
+            Some(record) => dijkstra_moves += record.dijkstra_moves() as u64,
+            None => panic!("deadlock before convergence (Lemma 4 violated)"),
+        }
+    }
+    if converged_at.is_none() && algo.is_legitimate(engine.config()) {
+        converged_at = Some((engine.steps(), engine.moves(), engine.rounds()));
+    }
+    let (steps, moves, rounds) = converged_at?;
+
+    for t in 0..closure_steps {
+        engine
+            .step(daemon)
+            .unwrap_or_else(|| panic!("deadlock during closure check at step {t}"));
+        assert!(
+            algo.is_legitimate(engine.config()),
+            "closure violated {t} steps after convergence"
+        );
+    }
+
+    Some(ConvergenceReport {
+        steps,
+        rounds,
+        moves,
+        dijkstra_moves,
+        closure_checked_steps: closure_steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemons::{CentralFirst, CentralRandom, DelayDijkstra, DistributedRandom, Starver, Synchronous};
+    use crate::random_config;
+    use ssr_core::{RingParams, SsrMin};
+
+    fn params(n: usize, k: u32) -> RingParams {
+        RingParams::new(n, k).unwrap()
+    }
+
+    #[test]
+    fn already_legitimate_reports_zero() {
+        let p = params(5, 7);
+        let a = SsrMin::new(p);
+        let r = measure_convergence(a, a.legitimate_anchor(1), &mut CentralFirst, 100, 10)
+            .unwrap();
+        assert_eq!(r.steps, 0);
+        assert_eq!(r.rounds, 0);
+        assert_eq!(r.moves, 0);
+        assert_eq!(r.closure_checked_steps, 10);
+    }
+
+    #[test]
+    fn converges_from_random_configs_under_many_daemons() {
+        let p = params(6, 8);
+        let a = SsrMin::new(p);
+        let budget = 100_000;
+        for seed in 0..12u64 {
+            let cfg = random_config::random_ssr_config(p, seed);
+            let reports = [
+                measure_convergence(a, cfg.clone(), &mut CentralFirst, budget, 20),
+                measure_convergence(a, cfg.clone(), &mut CentralRandom::seeded(seed), budget, 20),
+                measure_convergence(a, cfg.clone(), &mut Synchronous, budget, 20),
+                measure_convergence(
+                    a,
+                    cfg.clone(),
+                    &mut DistributedRandom::seeded(seed, 0.5),
+                    budget,
+                    20,
+                ),
+                measure_convergence(a, cfg.clone(), &mut Starver::new(vec![0, 3], seed), budget, 20),
+                measure_convergence(a, cfg, &mut DelayDijkstra::seeded(seed), budget, 20),
+            ];
+            for (d, r) in reports.iter().enumerate() {
+                assert!(r.is_some(), "seed {seed}, daemon #{d} failed to converge");
+            }
+        }
+    }
+
+    #[test]
+    fn converges_from_adversarial_config() {
+        let p = params(8, 10);
+        let a = SsrMin::new(p);
+        let cfg = random_config::adversarial_ssr_config(p);
+        let r = measure_convergence(a, cfg, &mut DelayDijkstra::seeded(3), 1_000_000, 50)
+            .expect("must converge");
+        assert!(r.steps > 0);
+        assert!(r.dijkstra_moves > 0, "convergence requires counter moves");
+    }
+
+    /// Theorem 2 sanity: steps to converge grow subquadratically-with-slack;
+    /// we check an explicit generous O(n²) envelope on random inputs.
+    #[test]
+    fn convergence_within_quadratic_envelope() {
+        for n in [4usize, 6, 8, 12] {
+            let p = params(n, (n + 1) as u32);
+            let a = SsrMin::new(p);
+            let bound = 40 * (n as u64) * (n as u64) + 400;
+            for seed in 0..5u64 {
+                let cfg = random_config::random_ssr_config(p, seed);
+                let r = measure_convergence(a, cfg, &mut CentralRandom::seeded(seed), bound, 5);
+                assert!(r.is_some(), "n={n} seed={seed} exceeded the quadratic envelope");
+            }
+        }
+    }
+}

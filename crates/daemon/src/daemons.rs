@@ -1,0 +1,397 @@
+//! Process schedulers ("daemons") for the composite-atomicity model.
+//!
+//! A daemon sees the set of currently enabled processes and must return a
+//! non-empty subset of them to move simultaneously. The paper assumes the
+//! strongest adversary — the **unfair distributed daemon** — so correctness
+//! must hold for *every* implementation of [`Daemon`]; the implementations
+//! here are the probes used by the test- and experiment-suites.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One enabled process as seen by the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnabledProcess {
+    /// Ring index of the process.
+    pub process: usize,
+    /// Algorithm-defined rule tag (SSRmin: the rule number 1–5; tags 2 and 4
+    /// are executions of the Dijkstra command `C_i`).
+    pub rule_tag: u8,
+}
+
+impl EnabledProcess {
+    /// True iff this move executes the Dijkstra command (SSRmin Rules 2/4
+    /// and every move of the plain Dijkstra ring).
+    #[inline]
+    pub fn is_dijkstra_move(&self) -> bool {
+        self.rule_tag == 2 || self.rule_tag == 4
+    }
+}
+
+/// A scheduler for the composite-atomicity model.
+///
+/// Contract: `select` must return a non-empty subset of the indices present
+/// in `enabled` (duplicates are ignored). The engine defensively filters the
+/// result and falls back to the first enabled process if a daemon
+/// misbehaves, so a buggy daemon cannot fabricate illegal executions.
+///
+/// ```
+/// use ssr_daemon::{Daemon, EnabledProcess};
+///
+/// /// A daemon that always prefers the token-holding bottom process.
+/// struct BottomFirst;
+/// impl Daemon for BottomFirst {
+///     fn select(&mut self, enabled: &[EnabledProcess], _step: u64) -> Vec<usize> {
+///         vec![enabled.iter().map(|e| e.process).min().unwrap()]
+///     }
+/// }
+/// ```
+pub trait Daemon {
+    /// Choose the set of processes to move at step `step`.
+    /// `enabled` is non-empty and sorted by process index.
+    fn select(&mut self, enabled: &[EnabledProcess], step: u64) -> Vec<usize>;
+
+    /// Human-readable daemon name for reports.
+    fn name(&self) -> &'static str {
+        "daemon"
+    }
+}
+
+impl<D: Daemon + ?Sized> Daemon for &mut D {
+    fn select(&mut self, enabled: &[EnabledProcess], step: u64) -> Vec<usize> {
+        (**self).select(enabled, step)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Central daemon that always moves the lowest-index enabled process.
+/// Deterministic; handy for reproducing the paper's example executions.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CentralFirst;
+
+impl Daemon for CentralFirst {
+    fn select(&mut self, enabled: &[EnabledProcess], _step: u64) -> Vec<usize> {
+        vec![enabled[0].process]
+    }
+    fn name(&self) -> &'static str {
+        "central-first"
+    }
+}
+
+/// Central daemon that always moves the highest-index enabled process.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CentralLast;
+
+impl Daemon for CentralLast {
+    fn select(&mut self, enabled: &[EnabledProcess], _step: u64) -> Vec<usize> {
+        vec![enabled[enabled.len() - 1].process]
+    }
+    fn name(&self) -> &'static str {
+        "central-last"
+    }
+}
+
+/// Central daemon choosing uniformly at random among the enabled processes.
+#[derive(Debug)]
+pub struct CentralRandom {
+    rng: StdRng,
+}
+
+impl CentralRandom {
+    /// Deterministic given the seed.
+    pub fn seeded(seed: u64) -> Self {
+        CentralRandom { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Daemon for CentralRandom {
+    fn select(&mut self, enabled: &[EnabledProcess], _step: u64) -> Vec<usize> {
+        let i = self.rng.random_range(0..enabled.len());
+        vec![enabled[i].process]
+    }
+    fn name(&self) -> &'static str {
+        "central-random"
+    }
+}
+
+/// Round-robin central daemon: repeatedly scans the ring from just past the
+/// last mover and picks the next enabled process. A *fair* central daemon.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl Daemon for RoundRobin {
+    fn select(&mut self, enabled: &[EnabledProcess], _step: u64) -> Vec<usize> {
+        // Pick the first enabled process with index >= cursor, else wrap.
+        let pick = enabled
+            .iter()
+            .find(|e| e.process >= self.cursor)
+            .unwrap_or(&enabled[0])
+            .process;
+        self.cursor = pick + 1;
+        vec![pick]
+    }
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// The synchronous daemon: every enabled process moves at every step.
+/// The most "distributed" choice the distributed daemon can make.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Synchronous;
+
+impl Daemon for Synchronous {
+    fn select(&mut self, enabled: &[EnabledProcess], _step: u64) -> Vec<usize> {
+        enabled.iter().map(|e| e.process).collect()
+    }
+    fn name(&self) -> &'static str {
+        "synchronous"
+    }
+}
+
+/// Distributed daemon selecting each enabled process independently with
+/// probability `p` (falling back to one uniformly random process if the coin
+/// flips leave the set empty).
+#[derive(Debug)]
+pub struct DistributedRandom {
+    rng: StdRng,
+    p: f64,
+}
+
+impl DistributedRandom {
+    /// `p` is clamped into `[0, 1]`. Deterministic given the seed.
+    pub fn seeded(seed: u64, p: f64) -> Self {
+        DistributedRandom { rng: StdRng::seed_from_u64(seed), p: p.clamp(0.0, 1.0) }
+    }
+}
+
+impl Daemon for DistributedRandom {
+    fn select(&mut self, enabled: &[EnabledProcess], _step: u64) -> Vec<usize> {
+        let mut picked: Vec<usize> = enabled
+            .iter()
+            .filter(|_| self.rng.random_bool(self.p))
+            .map(|e| e.process)
+            .collect();
+        if picked.is_empty() {
+            let i = self.rng.random_range(0..enabled.len());
+            picked.push(enabled[i].process);
+        }
+        picked
+    }
+    fn name(&self) -> &'static str {
+        "distributed-random"
+    }
+}
+
+/// An *unfair* daemon that starves the given victims: a victim is selected
+/// only when every enabled process is a victim. Demonstrates that
+/// correctness cannot rely on any particular process being scheduled.
+#[derive(Debug)]
+pub struct Starver {
+    victims: Vec<usize>,
+    rng: StdRng,
+}
+
+impl Starver {
+    /// Starve `victims` whenever possible.
+    pub fn new(victims: Vec<usize>, seed: u64) -> Self {
+        Starver { victims, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Daemon for Starver {
+    fn select(&mut self, enabled: &[EnabledProcess], _step: u64) -> Vec<usize> {
+        let non_victims: Vec<usize> = enabled
+            .iter()
+            .map(|e| e.process)
+            .filter(|p| !self.victims.contains(p))
+            .collect();
+        let pool = if non_victims.is_empty() {
+            enabled.iter().map(|e| e.process).collect::<Vec<_>>()
+        } else {
+            non_victims
+        };
+        let i = self.rng.random_range(0..pool.len());
+        vec![pool[i]]
+    }
+    fn name(&self) -> &'static str {
+        "starver"
+    }
+}
+
+/// The Lemma 5 adversary: greedily delays the Dijkstra command by selecting
+/// only processes enabled by non-counter rules (SSRmin Rules 1/3/5, rule
+/// tags other than 2 and 4) for as long as any exist; only when every
+/// enabled process would execute `C_i` does it concede one such move.
+///
+/// Lemma 5 proves this adversary can stall the counter for at most `3n`
+/// consecutive steps; `exp_lemma5_bound` measures the stall lengths it
+/// actually achieves.
+#[derive(Debug)]
+pub struct DelayDijkstra {
+    rng: StdRng,
+    /// When `true`, fire *all* preferred processes at once (distributed);
+    /// when `false`, one at a time (central) — one-at-a-time maximizes the
+    /// number of scheduler steps between counter moves.
+    pub batch: bool,
+}
+
+impl DelayDijkstra {
+    /// One-at-a-time variant (maximizes stall length in steps).
+    pub fn seeded(seed: u64) -> Self {
+        DelayDijkstra { rng: StdRng::seed_from_u64(seed), batch: false }
+    }
+
+    /// Batched variant (all preferred processes at once).
+    pub fn seeded_batch(seed: u64) -> Self {
+        DelayDijkstra { rng: StdRng::seed_from_u64(seed), batch: true }
+    }
+}
+
+impl Daemon for DelayDijkstra {
+    fn select(&mut self, enabled: &[EnabledProcess], _step: u64) -> Vec<usize> {
+        let preferred: Vec<usize> = enabled
+            .iter()
+            .filter(|e| !e.is_dijkstra_move())
+            .map(|e| e.process)
+            .collect();
+        if preferred.is_empty() {
+            // Forced: concede exactly one counter move.
+            let i = self.rng.random_range(0..enabled.len());
+            return vec![enabled[i].process];
+        }
+        if self.batch {
+            preferred
+        } else {
+            let i = self.rng.random_range(0..preferred.len());
+            vec![preferred[i]]
+        }
+    }
+    fn name(&self) -> &'static str {
+        "delay-dijkstra"
+    }
+}
+
+/// A pathological daemon used by the engine's defensive tests: returns
+/// indices that are not enabled (or nothing at all).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Misbehaving;
+
+impl Daemon for Misbehaving {
+    fn select(&mut self, _enabled: &[EnabledProcess], step: u64) -> Vec<usize> {
+        if step.is_multiple_of(2) {
+            vec![usize::MAX]
+        } else {
+            Vec::new()
+        }
+    }
+    fn name(&self) -> &'static str {
+        "misbehaving"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled(list: &[(usize, u8)]) -> Vec<EnabledProcess> {
+        list.iter().map(|&(process, rule_tag)| EnabledProcess { process, rule_tag }).collect()
+    }
+
+    #[test]
+    fn central_first_and_last_pick_extremes() {
+        let e = enabled(&[(1, 1), (3, 3), (6, 2)]);
+        assert_eq!(CentralFirst.select(&e, 0), vec![1]);
+        assert_eq!(CentralLast.select(&e, 0), vec![6]);
+    }
+
+    #[test]
+    fn central_random_picks_member_deterministically_per_seed() {
+        let e = enabled(&[(1, 1), (3, 3), (6, 2)]);
+        let picks_a: Vec<Vec<usize>> = {
+            let mut d = CentralRandom::seeded(5);
+            (0..10).map(|s| d.select(&e, s)).collect()
+        };
+        let picks_b: Vec<Vec<usize>> = {
+            let mut d = CentralRandom::seeded(5);
+            (0..10).map(|s| d.select(&e, s)).collect()
+        };
+        assert_eq!(picks_a, picks_b);
+        for p in picks_a {
+            assert_eq!(p.len(), 1);
+            assert!([1, 3, 6].contains(&p[0]));
+        }
+    }
+
+    #[test]
+    fn round_robin_advances_cursor() {
+        let mut d = RoundRobin::default();
+        let e = enabled(&[(1, 1), (3, 1), (6, 1)]);
+        assert_eq!(d.select(&e, 0), vec![1]);
+        assert_eq!(d.select(&e, 1), vec![3]);
+        assert_eq!(d.select(&e, 2), vec![6]);
+        assert_eq!(d.select(&e, 3), vec![1]); // wraps
+    }
+
+    #[test]
+    fn synchronous_selects_everyone() {
+        let e = enabled(&[(0, 1), (2, 2), (4, 5)]);
+        assert_eq!(Synchronous.select(&e, 0), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn distributed_random_never_returns_empty() {
+        let e = enabled(&[(0, 1), (2, 2), (4, 5)]);
+        let mut d = DistributedRandom::seeded(1, 0.0); // coin never fires
+        for s in 0..50 {
+            let picked = d.select(&e, s);
+            assert!(!picked.is_empty());
+            assert!(picked.iter().all(|p| [0, 2, 4].contains(p)));
+        }
+    }
+
+    #[test]
+    fn starver_avoids_victims_when_possible() {
+        let mut d = Starver::new(vec![2], 3);
+        let e = enabled(&[(1, 1), (2, 2)]);
+        for s in 0..20 {
+            assert_eq!(d.select(&e, s), vec![1]);
+        }
+        // Forced when only victims are enabled.
+        let only_victim = enabled(&[(2, 2)]);
+        assert_eq!(d.select(&only_victim, 0), vec![2]);
+    }
+
+    #[test]
+    fn delay_dijkstra_prefers_non_counter_moves() {
+        let mut d = DelayDijkstra::seeded(0);
+        let e = enabled(&[(0, 2), (1, 3), (2, 4)]);
+        for s in 0..20 {
+            assert_eq!(d.select(&e, s), vec![1], "must starve the counter moves");
+        }
+        let forced = enabled(&[(0, 2), (2, 4)]);
+        let picked = d.select(&forced, 0);
+        assert_eq!(picked.len(), 1);
+        assert!([0, 2].contains(&picked[0]));
+    }
+
+    #[test]
+    fn delay_dijkstra_batch_fires_all_preferred() {
+        let mut d = DelayDijkstra::seeded_batch(0);
+        let e = enabled(&[(0, 2), (1, 3), (3, 5), (4, 1)]);
+        assert_eq!(d.select(&e, 0), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn is_dijkstra_move_matches_tags_2_and_4() {
+        assert!(EnabledProcess { process: 0, rule_tag: 2 }.is_dijkstra_move());
+        assert!(EnabledProcess { process: 0, rule_tag: 4 }.is_dijkstra_move());
+        for t in [0u8, 1, 3, 5] {
+            assert!(!EnabledProcess { process: 0, rule_tag: t }.is_dijkstra_move());
+        }
+    }
+}

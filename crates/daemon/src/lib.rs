@@ -1,0 +1,49 @@
+//! # ssr-daemon — state-reading execution engine and process schedulers
+//!
+//! The paper's algorithms live in the *state-reading* communication model
+//! with *composite atomicity*: at each step a scheduler (the **daemon**)
+//! selects a non-empty set of enabled processes, each of which atomically
+//! reads its neighbours and rewrites its own state. This crate provides:
+//!
+//! * [`Daemon`] — the scheduler abstraction, with the whole menagerie used
+//!   in self-stabilization proofs: central (deterministic and randomized),
+//!   synchronous, distributed-random, and *unfair adversarial* daemons
+//!   (starvation of chosen victims, greedy delay of Dijkstra moves — the
+//!   adversary implicit in Lemma 5 and Theorem 2).
+//! * [`Engine`] — drives a [`ssr_core::RingAlgorithm`] under a daemon,
+//!   recording a [`trace::Trace`] of moves.
+//! * [`convergence`] — stabilization-time measurement (steps to reach a
+//!   legitimate configuration, plus closure verification afterward).
+//! * [`random_config`] — random and fault-injected initial configurations.
+//!
+//! ```
+//! use ssr_core::{RingParams, SsrMin, RingAlgorithm};
+//! use ssr_daemon::{daemons::CentralRandom, Engine};
+//!
+//! let params = RingParams::new(7, 9).unwrap();
+//! let algo = SsrMin::new(params);
+//! let start = ssr_daemon::random_config::random_ssr_config(params, 42);
+//! let mut engine = Engine::new(algo, start).unwrap();
+//! let mut daemon = CentralRandom::seeded(7);
+//! let steps = engine
+//!     .run_until(&mut daemon, 100_000, |a, c| a.is_legitimate(c))
+//!     .expect("SSRmin converges from any configuration");
+//! assert!(engine.algorithm().is_legitimate(engine.config()));
+//! println!("converged in {steps} steps");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod combinators;
+pub mod convergence;
+pub mod daemons;
+pub mod engine;
+pub mod random_config;
+pub mod trace;
+
+pub use combinators::{Alternate, Mix, Restrict};
+pub use convergence::{measure_convergence, ConvergenceReport};
+pub use daemons::{Daemon, EnabledProcess};
+pub use engine::Engine;
+pub use trace::{StepRecord, Trace};

@@ -1,0 +1,163 @@
+//! Random and fault-injected initial configurations.
+//!
+//! Self-stabilization quantifies over *all* initial configurations; these
+//! generators sample that space: uniformly random states, "almost
+//! legitimate" states obtained by corrupting a legitimate configuration
+//! with a bounded number of transient faults, and adversarially shaped
+//! counter patterns that are slow for Dijkstra-style rings.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use ssr_core::{legitimacy, RingParams, SsrState};
+
+/// A uniformly random SSRmin configuration: every `x` uniform in `0..K`,
+/// every flag an independent fair coin. Deterministic given `seed`.
+pub fn random_ssr_config(params: RingParams, seed: u64) -> Vec<SsrState> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..params.n())
+        .map(|_| {
+            SsrState::new(
+                rng.random_range(0..params.k()),
+                rng.random_range(0..2u8),
+                rng.random_range(0..2u8),
+            )
+        })
+        .collect()
+}
+
+/// A uniformly random Dijkstra configuration (`x` values only).
+pub fn random_dijkstra_config(params: RingParams, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..params.n()).map(|_| rng.random_range(0..params.k())).collect()
+}
+
+/// Start from a random *legitimate* configuration and flip `faults` process
+/// states to random values — the "a few transient faults hit a running
+/// system" scenario that motivates self-stabilization.
+pub fn corrupted_legitimate(params: RingParams, faults: usize, seed: u64) -> Vec<SsrState> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x = rng.random_range(0..params.k());
+    let i = rng.random_range(0..params.n());
+    let form = match rng.random_range(0..3u8) {
+        0 => legitimacy::LegitimateForm::BothTra { i, x },
+        1 => legitimacy::LegitimateForm::BothRts { i, x },
+        _ => legitimacy::LegitimateForm::Split { i, x },
+    };
+    let mut cfg = legitimacy::build(params, form);
+    for _ in 0..faults {
+        let victim = rng.random_range(0..params.n());
+        cfg[victim] = SsrState::new(
+            rng.random_range(0..params.k()),
+            rng.random_range(0..2u8),
+            rng.random_range(0..2u8),
+        );
+    }
+    cfg
+}
+
+/// The classic worst-case-ish Dijkstra counter pattern: all distinct values
+/// descending from the bottom, which maximizes the work the ring must do to
+/// flush alien values. Flags are set to the "everything raised" pattern to
+/// also exercise Rules 4/5 heavily.
+pub fn adversarial_ssr_config(params: RingParams) -> Vec<SsrState> {
+    (0..params.n())
+        .map(|i| {
+            let x = (params.n() - i) as u32 % params.k();
+            // Alternate stray flag patterns around the ring.
+            match i % 4 {
+                0 => SsrState::new(x, 1, 1),
+                1 => SsrState::new(x, 1, 0),
+                2 => SsrState::new(x, 0, 1),
+                _ => SsrState::new(x, 0, 0),
+            }
+        })
+        .collect()
+}
+
+/// Every SSRmin configuration for a tiny ring, for exhaustive checks:
+/// `(4K)^n` entries, so keep `n` and `K` small (n=3, K=4 gives 4096).
+pub fn exhaustive_ssr_configs(params: RingParams) -> impl Iterator<Item = Vec<SsrState>> {
+    let n = params.n();
+    let per = 4 * params.k() as u64;
+    let total = per.pow(n as u32);
+    (0..total).map(move |mut raw| {
+        (0..n)
+            .map(|_| {
+                let d = (raw % per) as u32;
+                raw /= per;
+                SsrState::new(d / 4, ((d % 4) >> 1) as u8, (d % 2) as u8)
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_core::{RingAlgorithm, SsrMin};
+
+    fn params() -> RingParams {
+        RingParams::new(5, 7).unwrap()
+    }
+
+    #[test]
+    fn random_config_is_valid_and_deterministic() {
+        let p = params();
+        let a = SsrMin::new(p);
+        let c1 = random_ssr_config(p, 99);
+        let c2 = random_ssr_config(p, 99);
+        assert_eq!(c1, c2);
+        assert!(a.validate_config(&c1).is_ok());
+        let c3 = random_ssr_config(p, 100);
+        assert_ne!(c1, c3, "different seeds should differ (w.h.p.)");
+    }
+
+    #[test]
+    fn random_dijkstra_config_in_range() {
+        let p = params();
+        let c = random_dijkstra_config(p, 7);
+        assert_eq!(c.len(), 5);
+        assert!(c.iter().all(|&x| x < 7));
+    }
+
+    #[test]
+    fn corrupted_with_zero_faults_is_legitimate() {
+        let p = params();
+        for seed in 0..50 {
+            let c = corrupted_legitimate(p, 0, seed);
+            assert!(legitimacy::is_legitimate_ssrmin(p, &c), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn corrupted_config_is_valid() {
+        let p = params();
+        let a = SsrMin::new(p);
+        for seed in 0..50 {
+            let c = corrupted_legitimate(p, 2, seed);
+            assert!(a.validate_config(&c).is_ok());
+        }
+    }
+
+    #[test]
+    fn adversarial_config_is_valid_and_illegitimate() {
+        let p = params();
+        let a = SsrMin::new(p);
+        let c = adversarial_ssr_config(p);
+        assert!(a.validate_config(&c).is_ok());
+        assert!(!a.is_legitimate(&c));
+    }
+
+    #[test]
+    fn exhaustive_enumerates_4k_pow_n() {
+        let p = RingParams::new(3, 4).unwrap();
+        let count = exhaustive_ssr_configs(p).count();
+        assert_eq!(count, (4 * 4usize).pow(3));
+        // All distinct.
+        let set: std::collections::HashSet<Vec<String>> = exhaustive_ssr_configs(p)
+            .map(|c| c.iter().map(|s| s.to_string()).collect())
+            .collect();
+        assert_eq!(set.len(), count);
+    }
+}

@@ -1,0 +1,181 @@
+//! Execution traces: the sequence of configurations and moves, plus the
+//! Figure-4-style pretty printer.
+
+use std::fmt::Write as _;
+
+use ssr_core::{Config, RingAlgorithm, SsrMin, SsrState};
+
+/// One scheduler step: which processes moved and with which rule tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepRecord {
+    /// 1-based step number (the resulting configuration's index).
+    pub step: u64,
+    /// `(process index, rule tag)` for every mover, ascending by process.
+    pub movers: Vec<(usize, u8)>,
+}
+
+impl StepRecord {
+    /// Number of Dijkstra (`C_i`) moves in this step (rule tags 2 and 4).
+    pub fn dijkstra_moves(&self) -> usize {
+        self.movers.iter().filter(|m| m.1 == 2 || m.1 == 4).count()
+    }
+}
+
+/// A recorded execution: the initial configuration plus, per step, the
+/// movers and the configuration they produced.
+#[derive(Debug, Clone)]
+pub struct Trace<S> {
+    configs: Vec<Config<S>>,
+    records: Vec<StepRecord>,
+}
+
+impl<S: Clone + PartialEq> Trace<S> {
+    /// A trace positioned at an initial configuration with no steps yet.
+    pub fn starting_at(initial: Config<S>) -> Self {
+        Trace { configs: vec![initial], records: Vec::new() }
+    }
+
+    /// Append a step and its resulting configuration.
+    pub fn push(&mut self, record: StepRecord, config: Config<S>) {
+        self.records.push(record);
+        self.configs.push(config);
+    }
+
+    /// Number of steps recorded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True iff no step was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Configuration after `t` steps (`t = 0` is the initial configuration).
+    pub fn config_at(&self, t: usize) -> &[S] {
+        &self.configs[t]
+    }
+
+    /// The final configuration.
+    pub fn final_config(&self) -> &[S] {
+        self.configs.last().expect("trace always has the initial config")
+    }
+
+    /// The step records.
+    pub fn records(&self) -> &[StepRecord] {
+        &self.records
+    }
+
+    /// All configurations (index 0 is initial).
+    pub fn configs(&self) -> &[Config<S>] {
+        &self.configs
+    }
+}
+
+/// Render an SSRmin trace in the notation of the paper's Figure 4: one row
+/// per step, each process shown as `x.rts.tra` plus token letters `P`/`S`
+/// and `/r` for the rule its mover is about to execute.
+pub fn render_ssrmin_trace(algo: &SsrMin, trace: &Trace<SsrState>) -> String {
+    let n = algo.n();
+    let mut cells: Vec<Vec<String>> = Vec::with_capacity(trace.configs().len());
+    for (t, cfg) in trace.configs().iter().enumerate() {
+        let mut row = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut cell = cfg[i].to_string();
+            let tokens = algo.tokens_in(cfg, i);
+            if tokens.primary {
+                cell.push('P');
+            }
+            if tokens.secondary {
+                cell.push('S');
+            }
+            // Annotate the rule that fires from this configuration, if this
+            // process is the mover of the next recorded step.
+            if t < trace.len() {
+                if let Some(&(_, tag)) =
+                    trace.records()[t].movers.iter().find(|m| m.0 == i)
+                {
+                    let _ = write!(cell, "/{tag}");
+                }
+            }
+            row.push(cell);
+        }
+        cells.push(row);
+    }
+
+    let widths: Vec<usize> = (0..n)
+        .map(|i| {
+            cells
+                .iter()
+                .map(|row| row[i].len())
+                .chain(std::iter::once(format!("P{i}").len()))
+                .max()
+                .unwrap_or(2)
+        })
+        .collect();
+
+    let mut out = String::new();
+    let _ = write!(out, "{:>4} ", "Step");
+    for (i, w) in widths.iter().enumerate() {
+        let _ = write!(out, " {:<w$}", format!("P{i}"), w = w);
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out.push('\n');
+    for (t, row) in cells.iter().enumerate() {
+        let _ = write!(out, "{:>4} ", t + 1);
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(out, " {:<w$}", cell, w = w);
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemons::CentralFirst;
+    use crate::engine::Engine;
+    use ssr_core::RingParams;
+
+    #[test]
+    fn step_record_counts_dijkstra_moves() {
+        let r = StepRecord { step: 1, movers: vec![(0, 1), (1, 2), (2, 4), (3, 5)] };
+        assert_eq!(r.dijkstra_moves(), 2);
+    }
+
+    #[test]
+    fn trace_indexing() {
+        let mut t = Trace::starting_at(vec![0u8]);
+        assert!(t.is_empty());
+        t.push(StepRecord { step: 1, movers: vec![(0, 0)] }, vec![1u8]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.config_at(0), &[0]);
+        assert_eq!(t.config_at(1), &[1]);
+        assert_eq!(t.final_config(), &[1]);
+    }
+
+    #[test]
+    fn render_matches_figure4_first_rows() {
+        let algo = SsrMin::new(RingParams::new(5, 7).unwrap());
+        let mut engine = Engine::new(algo, algo.legitimate_anchor(3)).unwrap();
+        let trace = engine.run_traced(&mut CentralFirst, 3);
+        let rendered = render_ssrmin_trace(&algo, &trace);
+        let lines: Vec<&str> = rendered.lines().collect();
+        // Header + 4 configuration rows.
+        assert_eq!(lines.len(), 5);
+        // Step 1 row: P0 is 3.0.1 with both tokens, firing Rule 1.
+        assert!(lines[1].contains("3.0.1PS/1"), "got: {}", lines[1]);
+        // Step 2: P0 is 3.1.0 holding PS, P1 fires Rule 3.
+        assert!(lines[2].contains("3.1.0PS"), "got: {}", lines[2]);
+        assert!(lines[2].contains("3.0.0/3"), "got: {}", lines[2]);
+        // Step 3: P0 fires Rule 2 holding only P; P1 shows S.
+        assert!(lines[3].contains("3.1.0P/2"), "got: {}", lines[3]);
+        assert!(lines[3].contains("3.0.1S"), "got: {}", lines[3]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Engine conformance: the execution engine must implement exactly the
+//! composite-atomicity semantics of `RingAlgorithm::step_set`, regardless of
+//! daemon behaviour, and its bookkeeping (steps / moves / rounds / traces)
+//! must be internally consistent.
+
+use proptest::prelude::*;
+
+use ssr_core::{RingAlgorithm, RingParams, SsrMin, SsrState};
+use ssr_daemon::daemons::{Daemon, EnabledProcess};
+use ssr_daemon::{random_config, Engine};
+
+/// A daemon replaying a proptest-chosen subset word per step.
+struct Scripted {
+    words: Vec<u64>,
+    pos: usize,
+}
+
+impl Daemon for Scripted {
+    fn select(&mut self, enabled: &[EnabledProcess], _step: u64) -> Vec<usize> {
+        let w = self.words.get(self.pos).copied().unwrap_or(1);
+        self.pos += 1;
+        let mut picked: Vec<usize> = enabled
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| w & (1 << (j % 64)) != 0)
+            .map(|(_, e)| e.process)
+            .collect();
+        if picked.is_empty() {
+            picked.push(enabled[w as usize % enabled.len()].process);
+        }
+        picked
+    }
+}
+
+fn arb_setup() -> impl Strategy<Value = (RingParams, Vec<SsrState>, Vec<u64>)> {
+    (3usize..8)
+        .prop_flat_map(|n| {
+            let params = RingParams::minimal(n).unwrap();
+            (Just(params), 0u64..1000, proptest::collection::vec(any::<u64>(), 1..80))
+        })
+        .prop_map(|(params, seed, words)| {
+            (params, random_config::random_ssr_config(params, seed), words)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine's trajectory equals a hand-rolled replay applying
+    /// `step_set` with the daemon's (sanitized) choices.
+    #[test]
+    fn engine_matches_manual_step_set((params, initial, words) in arb_setup()) {
+        let algo = SsrMin::new(params);
+        let steps = words.len() as u64;
+
+        let mut engine = Engine::new(algo, initial.clone()).unwrap();
+        let mut engine_daemon = Scripted { words: words.clone(), pos: 0 };
+        let records = engine.run(&mut engine_daemon, steps);
+
+        // Manual replay with an identical daemon instance.
+        let mut manual = initial;
+        let mut manual_daemon = Scripted { words, pos: 0 };
+        for (step_no, record) in records.iter().enumerate() {
+            let enabled: Vec<EnabledProcess> = (0..algo.n())
+                .filter_map(|i| {
+                    algo.enabled_rule_in(&manual, i).map(|r| EnabledProcess {
+                        process: i,
+                        rule_tag: algo.rule_tag(r),
+                    })
+                })
+                .collect();
+            let mut picked = manual_daemon.select(&enabled, step_no as u64);
+            picked.retain(|p| enabled.iter().any(|e| e.process == *p));
+            picked.sort_unstable();
+            picked.dedup();
+            if picked.is_empty() {
+                picked.push(enabled[0].process);
+            }
+            let recorded: Vec<usize> = record.movers.iter().map(|m| m.0).collect();
+            prop_assert_eq!(&picked, &recorded, "mover sets diverged at step {}", step_no);
+            manual = algo.step_set(&manual, &picked).unwrap();
+        }
+        prop_assert_eq!(manual.as_slice(), engine.config());
+    }
+
+    /// Bookkeeping invariants: moves ≥ steps ≥ rounds, and the trace
+    /// configurations chain correctly.
+    #[test]
+    fn bookkeeping_invariants((params, initial, words) in arb_setup()) {
+        let algo = SsrMin::new(params);
+        let steps = words.len() as u64;
+        let mut engine = Engine::new(algo, initial).unwrap();
+        let mut daemon = Scripted { words, pos: 0 };
+        let trace = engine.run_traced(&mut daemon, steps);
+
+        prop_assert_eq!(engine.steps(), steps);
+        prop_assert!(engine.moves() >= engine.steps());
+        prop_assert!(engine.rounds() <= engine.steps());
+        prop_assert_eq!(trace.len() as u64, steps);
+        prop_assert_eq!(trace.final_config(), engine.config());
+
+        // Each consecutive pair differs only at recorded movers.
+        for t in 0..trace.len() {
+            let before = trace.config_at(t);
+            let after = trace.config_at(t + 1);
+            let movers: Vec<usize> = trace.records()[t].movers.iter().map(|m| m.0).collect();
+            for i in 0..params.n() {
+                if !movers.contains(&i) {
+                    prop_assert_eq!(before[i], after[i], "non-mover {} changed", i);
+                }
+            }
+        }
+    }
+
+    /// Deterministic daemons make the engine a pure function of the initial
+    /// configuration.
+    #[test]
+    fn engine_is_deterministic((params, initial, words) in arb_setup()) {
+        let algo = SsrMin::new(params);
+        let steps = words.len() as u64;
+        let run = |words: Vec<u64>| {
+            let mut engine = Engine::new(algo, initial.clone()).unwrap();
+            let mut daemon = Scripted { words, pos: 0 };
+            engine.run(&mut daemon, steps);
+            engine.config().to_vec()
+        };
+        prop_assert_eq!(run(words.clone()), run(words));
+    }
+}

@@ -1,0 +1,100 @@
+//! Plain CSV export of simulation artifacts, for external plotting. No
+//! serialization dependency — the formats are trivially flat.
+
+use std::fmt::Write as _;
+
+use crate::observe::Timeline;
+
+/// Render a timeline as CSV: `time,privileged,tokens_total,coherent,legitimate`.
+///
+/// One row per sample (step-function semantics: each row's values hold
+/// until the next row's time).
+pub fn timeline_to_csv(timeline: &Timeline) -> String {
+    let mut out = String::from("time,privileged,tokens_total,coherent,legitimate\n");
+    for s in timeline.samples() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            s.at, s.privileged, s.tokens_total, s.coherent as u8, s.legitimate as u8
+        );
+    }
+    out
+}
+
+/// Render per-node privilege occupancy as CSV: `time,node,privileged`
+/// (only rows where a node's bit changed, to keep files small).
+pub fn per_node_transitions_to_csv(timeline: &Timeline, n: usize) -> String {
+    assert!(n <= 64, "mask width");
+    let mut out = String::from("time,node,privileged\n");
+    let mut last: u64 = 0;
+    let mut first = true;
+    for s in timeline.samples() {
+        for i in 0..n {
+            let bit = 1u64 << i;
+            let now = s.mask & bit != 0;
+            let was = last & bit != 0;
+            if first || now != was {
+                let _ = writeln!(out, "{},{},{}", s.at, i, now as u8);
+            }
+        }
+        last = s.mask;
+        first = false;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::Sample;
+
+    fn sample(at: u64, mask: u64) -> Sample {
+        Sample {
+            at,
+            privileged: mask.count_ones() as usize,
+            mask,
+            tokens_total: mask.count_ones() as usize,
+            coherent: true,
+            legitimate: true,
+        }
+    }
+
+    #[test]
+    fn timeline_csv_has_header_and_rows() {
+        let mut t = Timeline::new();
+        t.push(sample(0, 0b1));
+        t.push(sample(10, 0b11));
+        let csv = timeline_to_csv(&t);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time,privileged,tokens_total,coherent,legitimate");
+        assert_eq!(lines[1], "0,1,1,1,1");
+        assert_eq!(lines[2], "10,2,2,1,1");
+    }
+
+    #[test]
+    fn per_node_csv_emits_only_transitions() {
+        let mut t = Timeline::new();
+        t.push(sample(0, 0b01));
+        t.push(sample(5, 0b01)); // no change → no rows
+        t.push(sample(9, 0b10)); // both bits flip
+        let csv = per_node_transitions_to_csv(&t, 2);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "time,node,privileged",
+                "0,0,1",
+                "0,1,0",
+                "9,0,0",
+                "9,1,1",
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_timeline_yields_header_only() {
+        let t = Timeline::new();
+        assert_eq!(timeline_to_csv(&t).lines().count(), 1);
+        assert_eq!(per_node_transitions_to_csv(&t, 3).lines().count(), 1);
+    }
+}

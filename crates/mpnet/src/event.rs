@@ -1,0 +1,203 @@
+//! Simulation time, delay models, and the deterministic event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Simulation time in abstract ticks (think microseconds).
+pub type Time = u64;
+
+/// Link-delay model for one message transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayModel {
+    /// Every transmission takes exactly this many ticks.
+    Fixed(Time),
+    /// Uniformly random delay in `[min, max]` (inclusive), sampled per
+    /// transmission from the simulator's seeded RNG.
+    Uniform {
+        /// Minimum delay.
+        min: Time,
+        /// Maximum delay (inclusive).
+        max: Time,
+    },
+}
+
+impl DelayModel {
+    /// Sample a delay. Delays are clamped to at least 1 tick so a message
+    /// is never delivered at its send instant (the transient period of
+    /// Theorem 3 always has positive length).
+    pub fn sample(&self, rng: &mut StdRng) -> Time {
+        match *self {
+            DelayModel::Fixed(d) => d.max(1),
+            DelayModel::Uniform { min, max } => {
+                let (lo, hi) = if min <= max { (min, max) } else { (max, min) };
+                rng.random_range(lo..=hi).max(1)
+            }
+        }
+    }
+
+    /// An upper bound on the sampled delay (used for queue-capacity hints).
+    pub fn max_delay(&self) -> Time {
+        match *self {
+            DelayModel::Fixed(d) => d.max(1),
+            DelayModel::Uniform { min, max } => min.max(max).max(1),
+        }
+    }
+}
+
+/// A scheduled simulator event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The message in flight on directed link `link` arrives.
+    Arrival {
+        /// Directed link index.
+        link: usize,
+    },
+    /// Node `node`'s periodic retransmission timer fires.
+    Timer {
+        /// Node index.
+        node: usize,
+    },
+    /// A scheduled transient fault overwrites node `node`'s local state.
+    Corruption {
+        /// Node index.
+        node: usize,
+    },
+    /// Node `node` performs its deferred rule execution (models critical-
+    /// section dwell time between receiving a state and acting on it).
+    Execute {
+        /// Node index.
+        node: usize,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    at: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic event queue: events pop in `(time, insertion order)`
+/// order, so two runs with the same seed replay identically.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` at absolute time `at`.
+    pub fn push(&mut self, at: Time, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, kind }));
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, EventKind)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.kind))
+    }
+
+    /// Earliest scheduled time without popping.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_delay_is_at_least_one() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(DelayModel::Fixed(0).sample(&mut rng), 1);
+        assert_eq!(DelayModel::Fixed(9).sample(&mut rng), 9);
+        assert_eq!(DelayModel::Fixed(0).max_delay(), 1);
+    }
+
+    #[test]
+    fn uniform_delay_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = DelayModel::Uniform { min: 3, max: 9 };
+        for _ in 0..200 {
+            let d = m.sample(&mut rng);
+            assert!((3..=9).contains(&d));
+        }
+        assert_eq!(m.max_delay(), 9);
+    }
+
+    #[test]
+    fn uniform_delay_tolerates_swapped_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = DelayModel::Uniform { min: 9, max: 3 };
+        for _ in 0..50 {
+            assert!((3..=9).contains(&m.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn queue_pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(5, EventKind::Timer { node: 0 });
+        q.push(1, EventKind::Arrival { link: 2 });
+        q.push(3, EventKind::Timer { node: 1 });
+        assert_eq!(q.peek_time(), Some(1));
+        assert_eq!(q.pop(), Some((1, EventKind::Arrival { link: 2 })));
+        assert_eq!(q.pop(), Some((3, EventKind::Timer { node: 1 })));
+        assert_eq!(q.pop(), Some((5, EventKind::Timer { node: 0 })));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(7, EventKind::Timer { node: 0 });
+        q.push(7, EventKind::Timer { node: 1 });
+        q.push(7, EventKind::Arrival { link: 0 });
+        assert_eq!(q.pop(), Some((7, EventKind::Timer { node: 0 })));
+        assert_eq!(q.pop(), Some((7, EventKind::Timer { node: 1 })));
+        assert_eq!(q.pop(), Some((7, EventKind::Arrival { link: 0 })));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, EventKind::Timer { node: 0 });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Fault-injection helpers: corrupted node sets for Lemma 9 / Theorem 4
+//! experiments, and cache-corruption constructors ("bad incoherence").
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use ssr_core::{Config, RingAlgorithm, RingParams, SsrState};
+
+use crate::node::Node;
+
+/// Build CST nodes whose *own* states come from `config` but whose caches
+/// are filled with arbitrary (seeded-random) SSRmin states — the "arbitrary
+/// cache values" hypothesis of Lemma 9.
+pub fn ssr_nodes_with_random_caches(
+    params: RingParams,
+    config: &[SsrState],
+    seed: u64,
+) -> Vec<Node<SsrState>> {
+    assert_eq!(config.len(), params.n());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rand_state = |rng: &mut StdRng| {
+        SsrState::new(
+            rng.random_range(0..params.k()),
+            rng.random_range(0..2u8),
+            rng.random_range(0..2u8),
+        )
+    };
+    (0..params.n())
+        .map(|i| Node {
+            own: config[i],
+            cache_pred: rand_state(&mut rng),
+            cache_succ: rand_state(&mut rng),
+            rules_executed: 0,
+            messages_received: 0,
+        })
+        .collect()
+}
+
+/// Build coherent CST nodes from a configuration (caches match reality) —
+/// the Theorem 3 starting hypothesis, usable for any ring algorithm.
+pub fn coherent_nodes<A: RingAlgorithm>(algo: &A, config: &Config<A::State>) -> Vec<Node<A::State>> {
+    let n = algo.n();
+    assert_eq!(config.len(), n);
+    (0..n)
+        .map(|i| {
+            let pred = if i == 0 { n - 1 } else { i - 1 };
+            let succ = if i + 1 == n { 0 } else { i + 1 };
+            Node::coherent(config[i].clone(), config[pred].clone(), config[succ].clone())
+        })
+        .collect()
+}
+
+/// A schedule of random transient faults: `count` events at random times in
+/// `[t_lo, t_hi)`, each overwriting a random node with a random state.
+/// Returned sorted by time.
+pub fn random_fault_schedule(
+    params: RingParams,
+    count: usize,
+    t_lo: u64,
+    t_hi: u64,
+    seed: u64,
+) -> Vec<(u64, usize, SsrState)> {
+    assert!(t_lo < t_hi);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<(u64, usize, SsrState)> = (0..count)
+        .map(|_| {
+            (
+                rng.random_range(t_lo..t_hi),
+                rng.random_range(0..params.n()),
+                SsrState::new(
+                    rng.random_range(0..params.k()),
+                    rng.random_range(0..2u8),
+                    rng.random_range(0..2u8),
+                ),
+            )
+        })
+        .collect();
+    out.sort_by_key(|&(t, node, _)| (t, node));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_core::SsrMin;
+
+    #[test]
+    fn random_caches_keep_own_states() {
+        let p = RingParams::new(5, 7).unwrap();
+        let a = SsrMin::new(p);
+        let cfg = a.legitimate_anchor(2);
+        let nodes = ssr_nodes_with_random_caches(p, &cfg, 8);
+        for (i, nd) in nodes.iter().enumerate() {
+            assert_eq!(nd.own, cfg[i]);
+        }
+        // Deterministic per seed.
+        let nodes2 = ssr_nodes_with_random_caches(p, &cfg, 8);
+        assert_eq!(nodes, nodes2);
+    }
+
+    #[test]
+    fn coherent_nodes_match_reality() {
+        let p = RingParams::new(5, 7).unwrap();
+        let a = SsrMin::new(p);
+        let cfg = a.legitimate_anchor(2);
+        let nodes = coherent_nodes(&a, &cfg);
+        for (i, nd) in nodes.iter().enumerate() {
+            let pred = if i == 0 { 4 } else { i - 1 };
+            let succ = (i + 1) % 5;
+            assert!(nd.is_coherent(&cfg[pred], &cfg[succ]));
+        }
+    }
+
+    #[test]
+    fn fault_schedule_sorted_and_in_bounds() {
+        let p = RingParams::new(5, 7).unwrap();
+        let sched = random_fault_schedule(p, 20, 100, 1_000, 3);
+        assert_eq!(sched.len(), 20);
+        for w in sched.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        for &(t, node, s) in &sched {
+            assert!((100..1_000).contains(&t));
+            assert!(node < 5);
+            assert!(s.x < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn fault_schedule_rejects_empty_window() {
+        let p = RingParams::new(5, 7).unwrap();
+        random_fault_schedule(p, 1, 10, 10, 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! # ssr-mpnet — message-passing network simulator with the CST transform
+//!
+//! Section 5 of the paper executes the state-reading algorithm in a
+//! message-passing network via the **Cached Sensornet Transform** (CST,
+//! Herman 2003): every node keeps caches of its neighbours' states, acts on
+//! the cached view, and gossips its own state on every update and on a
+//! periodic timer. This crate is a deterministic discrete-event simulator of
+//! exactly that system:
+//!
+//! * [`event`] — simulated time, delay models, deterministic event queue;
+//! * [`link`] — directed links with single-message capacity and
+//!   latest-state coalescing (the paper's "one message per direction");
+//! * [`node`] — CST node state (`q_i` + caches `Z_i[·]`);
+//! * [`sim`] — the simulator itself, generic over any
+//!   [`ssr_core::RingAlgorithm`];
+//! * [`observe`] — continuous-time token/coherence/legitimacy timelines and
+//!   time-weighted summaries;
+//! * [`faults`] — message loss, state corruption, and stale-cache
+//!   constructors (the Lemma 9 fault model).
+//!
+//! The headline reproduction targets:
+//!
+//! * **Figure 11** — Dijkstra's ring under CST has zero-token instants.
+//! * **Figure 13 / Theorem 3** — SSRmin under CST keeps 1..=2 privileged
+//!   nodes at *every* instant (graceful handover / model gap tolerance).
+//! * **Theorem 4** — under uniformly random message loss and arbitrary
+//!   initial caches, SSRmin still converges to that regime.
+//!
+//! ```
+//! use ssr_core::{RingParams, SsrMin};
+//! use ssr_mpnet::{CstSim, SimConfig};
+//!
+//! let params = RingParams::new(5, 7).unwrap();
+//! let algo = SsrMin::new(params);
+//! let mut sim = CstSim::new(algo, algo.legitimate_anchor(3), SimConfig::default()).unwrap();
+//! sim.run_until(10_000);
+//! let summary = sim.timeline().summary(0).unwrap();
+//! assert_eq!(summary.zero_privileged_time, 0); // graceful handover
+//! assert!(summary.max_privileged <= 2);        // (1,2)-critical section
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod event;
+pub mod faults;
+pub mod link;
+pub mod model_gap;
+pub mod node;
+pub mod nst;
+pub mod observe;
+pub mod sim;
+pub mod transcript;
+
+pub use csv::{per_node_transitions_to_csv, timeline_to_csv};
+pub use event::{DelayModel, EventKind, EventQueue, Time};
+pub use link::Link;
+pub use model_gap::{token_existence_check, GapCheck};
+pub use node::Node;
+pub use nst::{NstConfig, NstSim, NstStats};
+pub use observe::{per_node_max_gap, Sample, Timeline, TimelineSummary};
+pub use sim::{CstSim, GilbertElliott, SimConfig, SimStats};
+pub use transcript::{EventRecord, Transcript};

@@ -1,0 +1,138 @@
+//! Directed communication links with single-message capacity and
+//! latest-state coalescing.
+//!
+//! The paper assumes "each communication link can transmit only one message
+//! in each direction at a time" (Section 5). CST messages carry the sender's
+//! *entire* local state, so when a send is requested while the link is busy
+//! we simply remember that a newer state is pending; once the in-flight
+//! message is delivered, the link picks up the sender's *current* state.
+//! This is both faithful to the model and exactly what a real firmware
+//! sender with a 1-deep TX queue would do.
+
+use crate::event::Time;
+
+/// A directed link `src → dst` carrying at most one state message.
+#[derive(Debug, Clone)]
+pub struct Link<S> {
+    /// Sending node.
+    pub src: usize,
+    /// Receiving node.
+    pub dst: usize,
+    in_flight: Option<S>,
+    pending: bool,
+    /// Statistics: completed transmissions (delivered or lost).
+    pub transmissions: u64,
+    /// Statistics: messages dropped by the loss process.
+    pub losses: u64,
+    /// Time the current in-flight message was sent (for diagnostics).
+    pub sent_at: Time,
+}
+
+impl<S: Clone> Link<S> {
+    /// A fresh idle link.
+    pub fn new(src: usize, dst: usize) -> Self {
+        Link { src, dst, in_flight: None, pending: false, transmissions: 0, losses: 0, sent_at: 0 }
+    }
+
+    /// True iff a message is currently in transit.
+    pub fn is_busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// True iff a newer state is waiting for the link to free up.
+    pub fn has_pending(&self) -> bool {
+        self.pending
+    }
+
+    /// Request a transmission of `state` at time `now`.
+    ///
+    /// Returns `true` if the message was accepted onto the link (the caller
+    /// must schedule its arrival); returns `false` if the link was busy, in
+    /// which case the send is coalesced into a pending flag and the caller
+    /// must re-offer the sender's state on the next [`Link::complete`].
+    pub fn try_send(&mut self, state: S, now: Time) -> bool {
+        if self.in_flight.is_some() {
+            self.pending = true;
+            false
+        } else {
+            self.in_flight = Some(state);
+            self.sent_at = now;
+            true
+        }
+    }
+
+    /// Complete the in-flight transmission: returns the carried state and
+    /// whether a pending (coalesced) send should now be initiated.
+    ///
+    /// # Panics
+    /// Panics if no message is in flight — arrival events are only scheduled
+    /// for accepted sends, so this indicates simulator corruption.
+    pub fn complete(&mut self) -> (S, bool) {
+        let state = self.in_flight.take().expect("arrival event without in-flight message");
+        self.transmissions += 1;
+        let had_pending = self.pending;
+        self.pending = false;
+        (state, had_pending)
+    }
+
+    /// Record a loss (called by the simulator when the delivered message is
+    /// dropped by the loss process).
+    pub fn record_loss(&mut self) {
+        self.losses += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_link_accepts_send() {
+        let mut l: Link<u32> = Link::new(0, 1);
+        assert!(!l.is_busy());
+        assert!(l.try_send(42, 10));
+        assert!(l.is_busy());
+        assert_eq!(l.sent_at, 10);
+    }
+
+    #[test]
+    fn busy_link_coalesces() {
+        let mut l: Link<u32> = Link::new(0, 1);
+        assert!(l.try_send(1, 0));
+        assert!(!l.try_send(2, 1));
+        assert!(!l.try_send(3, 2));
+        assert!(l.has_pending());
+        let (delivered, pending) = l.complete();
+        assert_eq!(delivered, 1);
+        assert!(pending, "coalesced send must be re-offered");
+        assert!(!l.is_busy());
+        assert!(!l.has_pending());
+    }
+
+    #[test]
+    fn complete_without_pending() {
+        let mut l: Link<u32> = Link::new(0, 1);
+        l.try_send(7, 0);
+        let (delivered, pending) = l.complete();
+        assert_eq!(delivered, 7);
+        assert!(!pending);
+        assert_eq!(l.transmissions, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival event without in-flight message")]
+    fn complete_on_idle_link_panics() {
+        let mut l: Link<u32> = Link::new(0, 1);
+        l.complete();
+    }
+
+    #[test]
+    fn loss_counter() {
+        let mut l: Link<u32> = Link::new(0, 1);
+        l.try_send(7, 0);
+        l.complete();
+        l.record_loss();
+        assert_eq!(l.losses, 1);
+        assert_eq!(l.transmissions, 1);
+    }
+}

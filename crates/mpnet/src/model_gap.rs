@@ -1,0 +1,121 @@
+//! Definition 3 of the paper, executable: the *model gap* compares a global
+//! correctness measure `h(h_0, …, h_{n-1})` evaluated on **true** neighbour
+//! states against the same measure evaluated on **cached** neighbour states.
+//! An algorithm is model-gap tolerant when the two always agree along
+//! executions from legitimate cache-coherent starts.
+//!
+//! For the token algorithms here, `h_i` is "node *i* holds a token" and `h`
+//! is "at least one node holds a token" — so a *gap* is precisely an
+//! instant where the real configuration contains a token but no node
+//! believes it holds one (or vice versa).
+
+use ssr_core::RingAlgorithm;
+
+use crate::node::Node;
+
+/// One evaluation of Definition 3's two sides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapCheck {
+    /// `h` over `h_i(q_i, q_{i-1}, q_{i+1})` — true neighbour states.
+    pub h_true: bool,
+    /// `h` over `h_i(q_i, Z_i[pred], Z_i[succ])` — cached neighbour states.
+    pub h_cached: bool,
+}
+
+impl GapCheck {
+    /// Definition 3 holds at this instant iff both sides agree.
+    pub fn holds(&self) -> bool {
+        self.h_true == self.h_cached
+    }
+}
+
+/// Evaluate Definition 3 for the token-existence measure on the current
+/// node array: `h_i` = "node i's token set is non-empty", `h` = disjunction.
+pub fn token_existence_check<A: RingAlgorithm>(algo: &A, nodes: &[Node<A::State>]) -> GapCheck {
+    let n = algo.n();
+    debug_assert_eq!(nodes.len(), n);
+    let mut h_true = false;
+    let mut h_cached = false;
+    for i in 0..n {
+        let pred = if i == 0 { n - 1 } else { i - 1 };
+        let succ = if i + 1 == n { 0 } else { i + 1 };
+        // True-state evaluation: what an omniscient observer computes.
+        if algo
+            .tokens_at(i, &nodes[i].own, &nodes[pred].own, &nodes[succ].own)
+            .any()
+        {
+            h_true = true;
+        }
+        // Cached evaluation: what node i itself computes and acts on.
+        if nodes[i].tokens(algo, i).any() {
+            h_cached = true;
+        }
+    }
+    GapCheck { h_true, h_cached }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_core::{RingParams, SsrMin, SsrState, SsToken};
+
+    fn ssr_nodes(states: &[&str], caches_match: bool) -> (SsrMin, Vec<Node<SsrState>>) {
+        let algo = SsrMin::new(RingParams::new(states.len(), states.len() as u32 + 2).unwrap());
+        let cfg: Vec<SsrState> = states.iter().map(|s| s.parse().unwrap()).collect();
+        let n = cfg.len();
+        let nodes = (0..n)
+            .map(|i| {
+                let pred = if i == 0 { n - 1 } else { i - 1 };
+                let succ = (i + 1) % n;
+                if caches_match {
+                    Node::coherent(cfg[i], cfg[pred], cfg[succ])
+                } else {
+                    // Stale caches: everyone thinks everyone is 0.0.0.
+                    Node::coherent(cfg[i], SsrState::new(0, 0, 0), SsrState::new(0, 0, 0))
+                }
+            })
+            .collect();
+        (algo, nodes)
+    }
+
+    #[test]
+    fn coherent_caches_always_agree() {
+        let (algo, nodes) = ssr_nodes(&["3.0.1", "3.0.0", "3.0.0", "3.0.0", "3.0.0"], true);
+        let check = token_existence_check(&algo, &nodes);
+        assert!(check.h_true && check.h_cached && check.holds());
+    }
+
+    #[test]
+    fn dijkstra_transit_shows_the_gap() {
+        // Ground truth: P1 holds the token (x1 != x0). But P1's cache of P0
+        // is stale (still equal), so P1 does not believe it — and P0 knows
+        // it moved. h_true = true, h_cached = false: the model gap.
+        let p = RingParams::new(3, 4).unwrap();
+        let algo = SsToken::new(p);
+        let own = [1u32, 0, 0];
+        let nodes: Vec<Node<u32>> = (0..3)
+            .map(|i| {
+                let mut nd = Node::coherent(own[i], own[(i + 2) % 3], own[(i + 1) % 3]);
+                if i == 1 {
+                    nd.cache_pred = 0; // P1 has not yet heard P0's move
+                }
+                nd
+            })
+            .collect();
+        let check = token_existence_check(&algo, &nodes);
+        assert!(check.h_true, "ground truth has a token");
+        assert!(!check.h_cached, "no node believes it holds the token");
+        assert!(!check.holds());
+    }
+
+    #[test]
+    fn ssrmin_same_staleness_no_gap() {
+        // The analogous staleness for SSRmin: P0 offered the secondary
+        // (rts=1) and P1 has not heard yet. P0 still believes it holds both
+        // tokens — cached h stays true.
+        let (algo, mut nodes) = ssr_nodes(&["3.1.0", "3.0.0", "3.0.0", "3.0.0", "3.0.0"], true);
+        nodes[1].cache_pred = "3.0.0".parse().unwrap(); // stale
+        let check = token_existence_check(&algo, &nodes);
+        assert!(check.h_true && check.h_cached && check.holds());
+    }
+}

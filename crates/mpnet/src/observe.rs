@@ -1,0 +1,362 @@
+//! Continuous-time observation of the transformed system: token counts,
+//! privileged-node counts, cache coherence, legitimacy.
+//!
+//! The simulator records a [`Sample`] after every event; between events
+//! nothing changes, so the samples form a step function over simulated time
+//! and all statistics are *time-weighted* (a zero-token instant that lasts
+//! 40 ticks counts 40× more than one lasting a tick — exactly the quantity
+//! that matters for "the environment is never unmonitored").
+
+use crate::event::Time;
+
+/// The global condition of the network at one instant, as evaluated from
+/// each node's *local* view (own state + caches) — i.e. what the deployed
+/// nodes themselves believe and act on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// Sample time.
+    pub at: Time,
+    /// Number of nodes whose local token predicate holds (privileged nodes).
+    pub privileged: usize,
+    /// Bitmask of privileged nodes (bit `i` ⇔ node `i` privileged; rings of
+    /// more than 64 nodes saturate the mask and per-node analyses refuse).
+    pub mask: u64,
+    /// Total locally-evaluated tokens (a node holding primary + secondary
+    /// counts 2).
+    pub tokens_total: usize,
+    /// True iff every cache equals the corresponding actual neighbour state.
+    pub coherent: bool,
+    /// True iff the *actual* (ground-truth) configuration is legitimate.
+    pub legitimate: bool,
+}
+
+/// The recorded step function of [`Sample`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    samples: Vec<Sample>,
+    end: Time,
+}
+
+/// Time-weighted summary of a [`Timeline`] over `[warmup, end]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineSummary {
+    /// Smallest privileged-node count observed (weighted window).
+    pub min_privileged: usize,
+    /// Largest privileged-node count observed.
+    pub max_privileged: usize,
+    /// Total time with **zero** privileged nodes — the mutual-inclusion
+    /// violation time. SSRmin's model gap tolerance makes this 0; Dijkstra's
+    /// ring under CST accumulates it at every handover (Figure 11).
+    pub zero_privileged_time: Time,
+    /// Number of maximal intervals with zero privileged nodes.
+    pub zero_privileged_intervals: usize,
+    /// Total time with more than two privileged nodes (the upper bound of
+    /// the (1,2)-critical-section guarantee).
+    pub over_two_privileged_time: Time,
+    /// Time during which all caches were coherent.
+    pub coherent_time: Time,
+    /// Time during which the ground-truth configuration was legitimate.
+    pub legitimate_time: Time,
+    /// Length of the summarized window.
+    pub window: Time,
+    /// First instant at which the configuration was legitimate *and*
+    /// caches were coherent (over the whole timeline, not just the window).
+    pub first_legit_coherent: Option<Time>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample; `at` must be non-decreasing. A sample at the same
+    /// time as the previous one replaces it (the net effect of simultaneous
+    /// events is what the step function holds), and a sample whose values
+    /// equal the previous one's is coalesced away (the step function is
+    /// unchanged by it) — this keeps long simulations at large `n` from
+    /// storing millions of identical rows.
+    pub fn push(&mut self, sample: Sample) {
+        if let Some(last) = self.samples.last_mut() {
+            assert!(sample.at >= last.at, "timeline must be monotone");
+            if sample.at == last.at {
+                *last = sample;
+                self.end = self.end.max(sample.at);
+                return;
+            }
+            let unchanged = last.privileged == sample.privileged
+                && last.mask == sample.mask
+                && last.tokens_total == sample.tokens_total
+                && last.coherent == sample.coherent
+                && last.legitimate == sample.legitimate;
+            if unchanged {
+                self.end = self.end.max(sample.at);
+                return;
+            }
+        }
+        self.end = self.end.max(sample.at);
+        self.samples.push(sample);
+    }
+
+    /// Mark the end of observation (extends the last sample's interval).
+    pub fn close(&mut self, end: Time) {
+        self.end = self.end.max(end);
+    }
+
+    /// All recorded samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// End of the observed period.
+    pub fn end(&self) -> Time {
+        self.end
+    }
+
+    /// Time-weighted summary over `[warmup, end]`.
+    ///
+    /// Returns `None` if the timeline is empty or the warmup swallows the
+    /// whole observation.
+    pub fn summary(&self, warmup: Time) -> Option<TimelineSummary> {
+        if self.samples.is_empty() || warmup >= self.end {
+            return None;
+        }
+        let mut min_privileged = usize::MAX;
+        let mut max_privileged = 0usize;
+        let mut zero_time: Time = 0;
+        let mut zero_intervals = 0usize;
+        let mut over_two: Time = 0;
+        let mut coherent: Time = 0;
+        let mut legit: Time = 0;
+        let mut in_zero_run = false;
+
+        let mut first_legit_coherent = None;
+        for s in &self.samples {
+            if first_legit_coherent.is_none() && s.legitimate && s.coherent {
+                first_legit_coherent = Some(s.at);
+            }
+        }
+
+        for (idx, s) in self.samples.iter().enumerate() {
+            let next_at = self
+                .samples
+                .get(idx + 1)
+                .map(|n| n.at)
+                .unwrap_or(self.end);
+            // Clip the interval [s.at, next_at) to the window.
+            let lo = s.at.max(warmup);
+            let hi = next_at.max(warmup);
+            let dur = hi.saturating_sub(lo);
+            if dur == 0 {
+                // Still may participate in zero-run bookkeeping only when
+                // inside the window; skip otherwise.
+                continue;
+            }
+            min_privileged = min_privileged.min(s.privileged);
+            max_privileged = max_privileged.max(s.privileged);
+            if s.privileged == 0 {
+                zero_time += dur;
+                if !in_zero_run {
+                    zero_intervals += 1;
+                    in_zero_run = true;
+                }
+            } else {
+                in_zero_run = false;
+            }
+            if s.privileged > 2 {
+                over_two += dur;
+            }
+            if s.coherent {
+                coherent += dur;
+            }
+            if s.legitimate {
+                legit += dur;
+            }
+        }
+        if min_privileged == usize::MAX {
+            return None;
+        }
+        Some(TimelineSummary {
+            min_privileged,
+            max_privileged,
+            zero_privileged_time: zero_time,
+            zero_privileged_intervals: zero_intervals,
+            over_two_privileged_time: over_two,
+            coherent_time: coherent,
+            legitimate_time: legit,
+            window: self.end - warmup,
+            first_legit_coherent,
+        })
+    }
+}
+
+/// Per-node service analysis: for each node, the longest stretch of time it
+/// was **not** privileged — the "how long does a camera rest / how long can
+/// a node wait for duty" fairness metric. `n` must be ≤ 64 (mask width).
+///
+/// Returns one `Time` per node. The leading and trailing unprivileged
+/// stretches count too (a node never privileged scores the whole window).
+pub fn per_node_max_gap(samples: &[Sample], end: Time, n: usize) -> Vec<Time> {
+    assert!(n <= 64, "per-node analysis is limited to 64 nodes");
+    let mut gap_start: Vec<Time> = vec![0; n];
+    let mut max_gap: Vec<Time> = vec![0; n];
+    let mut last_mask: u64 = samples.first().map(|s| s.mask).unwrap_or(0);
+    for s in samples {
+        for i in 0..n {
+            let bit = 1u64 << i;
+            let was = last_mask & bit != 0;
+            let is = s.mask & bit != 0;
+            if !was && is {
+                // Gap ends at this sample.
+                max_gap[i] = max_gap[i].max(s.at.saturating_sub(gap_start[i]));
+            } else if was && !is {
+                gap_start[i] = s.at;
+            }
+        }
+        last_mask = s.mask;
+    }
+    for i in 0..n {
+        if last_mask & (1u64 << i) == 0 {
+            max_gap[i] = max_gap[i].max(end.saturating_sub(gap_start[i]));
+        }
+    }
+    max_gap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(at: Time, privileged: usize, coherent: bool, legitimate: bool) -> Sample {
+        Sample {
+            at,
+            privileged,
+            mask: (1u64 << privileged) - 1,
+            tokens_total: privileged,
+            coherent,
+            legitimate,
+        }
+    }
+
+    #[test]
+    fn empty_timeline_has_no_summary() {
+        let t = Timeline::new();
+        assert!(t.summary(0).is_none());
+    }
+
+    #[test]
+    fn step_function_durations_are_weighted() {
+        let mut t = Timeline::new();
+        t.push(s(0, 1, true, true)); // [0, 10): 1 privileged
+        t.push(s(10, 0, false, false)); // [10, 15): zero
+        t.push(s(15, 2, true, true)); // [15, 40): 2
+        t.close(40);
+        let sum = t.summary(0).unwrap();
+        assert_eq!(sum.min_privileged, 0);
+        assert_eq!(sum.max_privileged, 2);
+        assert_eq!(sum.zero_privileged_time, 5);
+        assert_eq!(sum.zero_privileged_intervals, 1);
+        assert_eq!(sum.coherent_time, 35);
+        assert_eq!(sum.legitimate_time, 35);
+        assert_eq!(sum.window, 40);
+    }
+
+    #[test]
+    fn warmup_clips_early_intervals() {
+        let mut t = Timeline::new();
+        t.push(s(0, 0, false, false)); // zero during warmup only
+        t.push(s(10, 1, true, true));
+        t.close(30);
+        let sum = t.summary(10).unwrap();
+        assert_eq!(sum.zero_privileged_time, 0);
+        assert_eq!(sum.min_privileged, 1);
+        assert_eq!(sum.window, 20);
+    }
+
+    #[test]
+    fn equal_time_sample_replaces_previous() {
+        let mut t = Timeline::new();
+        t.push(s(0, 1, true, true));
+        t.push(s(5, 0, true, true));
+        t.push(s(5, 2, true, true)); // simultaneous event nets out to 2
+        t.close(10);
+        let sum = t.summary(0).unwrap();
+        assert_eq!(sum.zero_privileged_time, 0);
+        assert_eq!(sum.max_privileged, 2);
+    }
+
+    #[test]
+    fn zero_intervals_counted_as_maximal_runs() {
+        let mut t = Timeline::new();
+        t.push(s(0, 0, true, true));
+        t.push(s(2, 0, true, true)); // same run
+        t.push(s(4, 1, true, true));
+        t.push(s(6, 0, true, true)); // second run
+        t.close(8);
+        let sum = t.summary(0).unwrap();
+        assert_eq!(sum.zero_privileged_intervals, 2);
+        assert_eq!(sum.zero_privileged_time, 6);
+    }
+
+    #[test]
+    fn unchanged_samples_are_coalesced() {
+        let mut t = Timeline::new();
+        t.push(s(0, 1, true, true));
+        t.push(s(5, 1, true, true)); // identical values → coalesced
+        t.push(s(9, 2, true, true));
+        assert_eq!(t.samples().len(), 2);
+        assert_eq!(t.end(), 9);
+        // The step function (and thus the summary) is unaffected.
+        t.close(20);
+        let sum = t.summary(0).unwrap();
+        assert_eq!(sum.min_privileged, 1);
+        assert_eq!(sum.max_privileged, 2);
+        assert_eq!(sum.window, 20);
+    }
+
+    #[test]
+    fn first_legit_coherent_found_globally() {
+        let mut t = Timeline::new();
+        t.push(s(0, 1, false, false));
+        t.push(s(7, 1, true, true));
+        t.close(9);
+        assert_eq!(t.summary(8).unwrap().first_legit_coherent, Some(7));
+    }
+
+    #[test]
+    fn per_node_gap_basic() {
+        // Node 0 privileged during [0,10) and [30,end); node 1 never.
+        let samples = vec![
+            Sample { at: 0, privileged: 1, mask: 0b01, tokens_total: 1, coherent: true, legitimate: true },
+            Sample { at: 10, privileged: 0, mask: 0b00, tokens_total: 0, coherent: true, legitimate: true },
+            Sample { at: 30, privileged: 1, mask: 0b01, tokens_total: 1, coherent: true, legitimate: true },
+        ];
+        let gaps = per_node_max_gap(&samples, 100, 2);
+        assert_eq!(gaps[0], 20); // the [10,30) rest
+        assert_eq!(gaps[1], 100); // never privileged: whole window
+    }
+
+    #[test]
+    fn per_node_gap_counts_trailing_rest() {
+        let samples = vec![
+            Sample { at: 0, privileged: 1, mask: 0b1, tokens_total: 1, coherent: true, legitimate: true },
+            Sample { at: 40, privileged: 0, mask: 0b0, tokens_total: 0, coherent: true, legitimate: true },
+        ];
+        let gaps = per_node_max_gap(&samples, 100, 1);
+        assert_eq!(gaps[0], 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "64 nodes")]
+    fn per_node_gap_rejects_wide_rings() {
+        per_node_max_gap(&[], 10, 65);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_push_panics() {
+        let mut t = Timeline::new();
+        t.push(s(5, 1, true, true));
+        t.push(s(4, 1, true, true));
+    }
+}

@@ -1,0 +1,1003 @@
+//! The CST discrete-event simulator: Algorithm 4 of the paper executed over
+//! lossy, delayed, single-capacity links on a bidirectional ring.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use ssr_core::{Config, RingAlgorithm};
+
+use crate::event::{DelayModel, EventKind, EventQueue, Time};
+use crate::link::Link;
+use crate::node::Node;
+use crate::observe::{Sample, Timeline};
+use crate::transcript::{EventRecord, Transcript};
+
+/// A two-state Gilbert–Elliott burst-loss channel, evaluated per directed
+/// link and per delivery: the link flips between a *good* state (loss
+/// probability taken from [`SimConfig::loss`]) and a *bad* state (loss
+/// probability `loss_bad`), with geometric sojourn times. Models wireless
+/// interference bursts, which are the realistic failure mode of the paper's
+/// sensor-network setting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// Probability of entering the bad state at a delivery in the good state.
+    pub p_enter: f64,
+    /// Probability of leaving the bad state at a delivery in the bad state.
+    pub p_exit: f64,
+    /// Loss probability while the link is in the bad state.
+    pub loss_bad: f64,
+}
+
+/// Simulator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// RNG seed; two runs with equal seed and parameters are bit-identical.
+    pub seed: u64,
+    /// Link delay model.
+    pub delay: DelayModel,
+    /// Probability that a transmission is lost (decided at arrival,
+    /// uniformly at random — the fault model of Lemma 9). When `burst` is
+    /// set, this is the *good-state* loss probability.
+    pub loss: f64,
+    /// Optional Gilbert–Elliott burst-loss channel layered per link; when
+    /// `Some`, links alternate between the good state (loss = `loss`) and a
+    /// bad state (loss = `burst.loss_bad`).
+    pub burst: Option<GilbertElliott>,
+    /// Period of the CST retransmission timer (Algorithm 4, line 11).
+    pub timer_interval: Time,
+    /// Whether a node broadcasts its state after handling a receipt
+    /// (Algorithm 4, line 10). Disabling this leaves only timer-driven
+    /// gossip — an ablation that slows handover but must not break safety.
+    pub send_on_receipt: bool,
+    /// Delay between receiving a state and executing the enabled rule —
+    /// the node's critical-section dwell time. With `0` the rule fires in
+    /// the same instant as the receipt (the bare Algorithm 4); with a
+    /// positive value a privileged node *stays* privileged for at least
+    /// this long before handing over, which is how a monitoring node
+    /// actually behaves.
+    pub exec_delay: Time,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            delay: DelayModel::Fixed(5),
+            loss: 0.0,
+            timer_interval: 50,
+            send_on_receipt: true,
+            exec_delay: 0,
+            burst: None,
+        }
+    }
+}
+
+/// Aggregate message statistics of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Completed transmissions over all links.
+    pub transmissions: u64,
+    /// Messages dropped by the loss process.
+    pub losses: u64,
+    /// Rules executed over all nodes.
+    pub rules_executed: u64,
+    /// Events processed.
+    pub events: u64,
+}
+
+/// The Cached Sensornet Transform of a ring algorithm, executed by a
+/// deterministic discrete-event simulation.
+///
+/// Each node holds its real state plus caches of both neighbours' states;
+/// on every receipt it refreshes the cache, executes at most one enabled
+/// rule *on the cached view*, and (optionally) rebroadcasts its state; a
+/// periodic timer rebroadcasts regardless, which is what repairs lost
+/// messages and corrupt caches (the self-stabilization of the transform).
+#[derive(Debug)]
+pub struct CstSim<A: RingAlgorithm> {
+    algo: A,
+    cfg: SimConfig,
+    nodes: Vec<Node<A::State>>,
+    /// Directed links: index `2i` is `i → succ(i)`, `2i+1` is `i → pred(i)`.
+    links: Vec<Link<A::State>>,
+    queue: EventQueue,
+    now: Time,
+    rng: StdRng,
+    timeline: Timeline,
+    corruptions: Vec<(Time, usize, A::State)>,
+    exec_scheduled: Vec<bool>,
+    /// Gilbert–Elliott channel state per directed link (true = bad).
+    link_bad: Vec<bool>,
+    // ---- incrementally maintained observation counters (an event only
+    // changes one node's local view, so per-event sampling is O(1)) ----
+    priv_flags: Vec<bool>,
+    priv_count: usize,
+    priv_mask: u64,
+    node_tokens: Vec<u8>,
+    tokens_total_ctr: usize,
+    /// `cache_ok[i] = [pred entry coherent, succ entry coherent]`.
+    cache_ok: Vec<[bool; 2]>,
+    bad_entries: usize,
+    ground_legit: bool,
+    /// Per-link delay overrides (indexed like `links`); `None` = global model.
+    link_delay: Vec<Option<DelayModel>>,
+    /// Per-node pause windows: while `now` is inside one, the node is
+    /// crashed — it processes no receipts and sends nothing.
+    pauses: Vec<Vec<(Time, Time)>>,
+    /// Per-link outage windows: deliveries on the link inside a window are
+    /// dropped (a unidirectional radio shadow).
+    outages: Vec<Vec<(Time, Time)>>,
+    transcript: Option<Transcript<A::State>>,
+    events_processed: u64,
+}
+
+impl<A: RingAlgorithm> CstSim<A> {
+    /// Build a simulator whose caches start *coherent* with `initial` —
+    /// the hypothesis of Theorem 3.
+    pub fn new(algo: A, initial: Config<A::State>, cfg: SimConfig) -> ssr_core::Result<Self> {
+        algo.validate_config(&initial)?;
+        let n = algo.n();
+        let nodes = (0..n)
+            .map(|i| {
+                let pred = if i == 0 { n - 1 } else { i - 1 };
+                let succ = if i + 1 == n { 0 } else { i + 1 };
+                Node::coherent(initial[i].clone(), initial[pred].clone(), initial[succ].clone())
+            })
+            .collect();
+        Ok(Self::from_nodes(algo, nodes, cfg))
+    }
+
+    /// Build a simulator with explicit (possibly *incoherent* or corrupt)
+    /// caches — arbitrary initial cache values as in Lemma 9 / Theorem 4.
+    pub fn with_nodes(
+        algo: A,
+        nodes: Vec<Node<A::State>>,
+        cfg: SimConfig,
+    ) -> ssr_core::Result<Self> {
+        let own: Config<A::State> = nodes.iter().map(|nd| nd.own.clone()).collect();
+        algo.validate_config(&own)?;
+        Ok(Self::from_nodes(algo, nodes, cfg))
+    }
+
+    fn from_nodes(algo: A, nodes: Vec<Node<A::State>>, cfg: SimConfig) -> Self {
+        let n = algo.n();
+        let mut links = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            let succ = if i + 1 == n { 0 } else { i + 1 };
+            let pred = if i == 0 { n - 1 } else { i - 1 };
+            links.push(Link::new(i, succ));
+            links.push(Link::new(i, pred));
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut queue = EventQueue::new();
+        // Stagger the first timer fire per node so the fleet does not act in
+        // lockstep (real deployments never do).
+        for i in 0..n {
+            let first = rng.random_range(1..=cfg.timer_interval.max(1));
+            queue.push(first, EventKind::Timer { node: i });
+        }
+        let mut sim = CstSim {
+            algo,
+            cfg,
+            nodes,
+            links,
+            queue,
+            now: 0,
+            rng,
+            timeline: Timeline::new(),
+            corruptions: Vec::new(),
+            exec_scheduled: vec![false; n],
+            link_bad: vec![false; 2 * n],
+            priv_flags: vec![false; n],
+            priv_count: 0,
+            priv_mask: 0,
+            node_tokens: vec![0; n],
+            tokens_total_ctr: 0,
+            cache_ok: vec![[true; 2]; n],
+            bad_entries: 0,
+            ground_legit: false,
+            link_delay: vec![None; 2 * n],
+            pauses: vec![Vec::new(); n],
+            outages: vec![Vec::new(); 2 * n],
+            transcript: None,
+            events_processed: 0,
+        };
+        sim.rebuild_counters();
+        sim.record_sample();
+        sim
+    }
+
+    /// Full recomputation of the incremental observation counters (used at
+    /// construction; every later event updates them in O(1)).
+    fn rebuild_counters(&mut self) {
+        let n = self.algo.n();
+        self.priv_count = 0;
+        self.priv_mask = 0;
+        self.tokens_total_ctr = 0;
+        self.bad_entries = 0;
+        for i in 0..n {
+            let t = self.nodes[i].tokens(&self.algo, i);
+            self.priv_flags[i] = t.any();
+            if t.any() {
+                self.priv_count += 1;
+                if i < 64 {
+                    self.priv_mask |= 1 << i;
+                }
+            }
+            self.node_tokens[i] = t.count();
+            self.tokens_total_ctr += t.count() as usize;
+            let pred = if i == 0 { n - 1 } else { i - 1 };
+            let succ = if i + 1 == n { 0 } else { i + 1 };
+            let ok = [
+                self.nodes[i].cache_pred == self.nodes[pred].own,
+                self.nodes[i].cache_succ == self.nodes[succ].own,
+            ];
+            self.cache_ok[i] = ok;
+            self.bad_entries += ok.iter().filter(|&&b| !b).count();
+        }
+        self.ground_legit = self.algo.is_legitimate(&self.ground_config());
+    }
+
+    /// Re-evaluate node `i`'s local token predicate (its view changed).
+    fn refresh_predicate(&mut self, i: usize) {
+        let t = self.nodes[i].tokens(&self.algo, i);
+        let any = t.any();
+        if self.priv_flags[i] != any {
+            self.priv_flags[i] = any;
+            if any {
+                self.priv_count += 1;
+                if i < 64 {
+                    self.priv_mask |= 1 << i;
+                }
+            } else {
+                self.priv_count -= 1;
+                if i < 64 {
+                    self.priv_mask &= !(1 << i);
+                }
+            }
+        }
+        self.tokens_total_ctr =
+            self.tokens_total_ctr + t.count() as usize - self.node_tokens[i] as usize;
+        self.node_tokens[i] = t.count();
+    }
+
+    /// Re-check one cache-coherence entry (`dir` 0 = pred, 1 = succ).
+    fn refresh_coherence(&mut self, i: usize, dir: usize) {
+        let n = self.algo.n();
+        let neighbour = if dir == 0 {
+            if i == 0 {
+                n - 1
+            } else {
+                i - 1
+            }
+        } else if i + 1 == n {
+            0
+        } else {
+            i + 1
+        };
+        let ok = if dir == 0 {
+            self.nodes[i].cache_pred == self.nodes[neighbour].own
+        } else {
+            self.nodes[i].cache_succ == self.nodes[neighbour].own
+        };
+        if self.cache_ok[i][dir] != ok {
+            self.cache_ok[i][dir] = ok;
+            if ok {
+                self.bad_entries -= 1;
+            } else {
+                self.bad_entries += 1;
+            }
+        }
+    }
+
+    /// Node `j`'s own state changed: refresh its predicate, its neighbours'
+    /// coherence entries about it, and ground legitimacy.
+    fn on_own_changed(&mut self, j: usize) {
+        self.ground_legit = self.algo.is_legitimate(&self.ground_config());
+        self.refresh_predicate(j);
+        let n = self.algo.n();
+        let pred = if j == 0 { n - 1 } else { j - 1 };
+        let succ = if j + 1 == n { 0 } else { j + 1 };
+        self.refresh_coherence(succ, 0); // succ's pred-cache mirrors j
+        self.refresh_coherence(pred, 1); // pred's succ-cache mirrors j
+    }
+
+    /// The algorithm under simulation.
+    pub fn algorithm(&self) -> &A {
+        &self.algo
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Node view (state + caches + counters).
+    pub fn node(&self, i: usize) -> &Node<A::State> {
+        &self.nodes[i]
+    }
+
+    /// The ground-truth configuration (every node's actual state).
+    pub fn ground_config(&self) -> Config<A::State> {
+        self.nodes.iter().map(|nd| nd.own.clone()).collect()
+    }
+
+    /// Indices of nodes whose *local* token predicate currently holds.
+    pub fn local_privileged(&self) -> Vec<usize> {
+        (0..self.algo.n())
+            .filter(|&i| self.nodes[i].tokens(&self.algo, i).any())
+            .collect()
+    }
+
+    /// Evaluate Definition 3's token-existence measure right now: does the
+    /// cached (acted-on) view agree with the omniscient view about "at
+    /// least one token exists"? SSRmin keeps this true at every instant of
+    /// a legitimate run (model gap tolerance); Dijkstra's ring does not.
+    pub fn definition3_check(&self) -> crate::model_gap::GapCheck {
+        crate::model_gap::token_existence_check(&self.algo, &self.nodes)
+    }
+
+    /// True iff every cache matches the actual neighbour state
+    /// (Definition 2, cache coherence).
+    pub fn is_coherent(&self) -> bool {
+        let n = self.algo.n();
+        (0..n).all(|i| {
+            let pred = if i == 0 { n - 1 } else { i - 1 };
+            let succ = if i + 1 == n { 0 } else { i + 1 };
+            self.nodes[i].is_coherent(&self.nodes[pred].own, &self.nodes[succ].own)
+        })
+    }
+
+    /// Schedule a transient fault: at time `at`, node `i`'s state is
+    /// overwritten with `state` (caches of its neighbours keep the stale
+    /// value until gossip repairs them).
+    pub fn schedule_corruption(&mut self, at: Time, node: usize, state: A::State) {
+        assert!(node < self.algo.n(), "node out of range");
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.corruptions.push((at, node, state));
+        self.queue.push(at, EventKind::Corruption { node });
+    }
+
+    /// Override the delay model of the directed link `src → dst` (must be a
+    /// ring edge). Models heterogeneous radios: one slow or jittery hop in
+    /// an otherwise fast ring.
+    pub fn set_link_delay(&mut self, src: usize, dst: usize, model: DelayModel) {
+        let idx = self
+            .links
+            .iter()
+            .position(|l| l.src == src && l.dst == dst)
+            .unwrap_or_else(|| panic!("{src} → {dst} is not a ring link"));
+        self.link_delay[idx] = Some(model);
+    }
+
+    /// Schedule an outage of the directed link `src → dst`: every delivery
+    /// inside `[from, until)` is lost. Models a unidirectional radio shadow
+    /// (asymmetric interference), a fault CST's periodic retransmission
+    /// must ride out.
+    pub fn schedule_link_outage(&mut self, src: usize, dst: usize, from: Time, until: Time) {
+        assert!(from < until, "empty outage window");
+        let idx = self
+            .links
+            .iter()
+            .position(|l| l.src == src && l.dst == dst)
+            .unwrap_or_else(|| panic!("{src} → {dst} is not a ring link"));
+        self.outages[idx].push((from, until));
+    }
+
+    /// Schedule a crash window for `node`: during `[from, until)` the node
+    /// is down — it processes no receipts (in-flight messages to it are
+    /// lost) and its timer does not broadcast. After `until` it resumes
+    /// with whatever state and caches it had: a classic crash-recover
+    /// transient fault.
+    pub fn schedule_pause(&mut self, node: usize, from: Time, until: Time) {
+        assert!(node < self.algo.n(), "node out of range");
+        assert!(from < until, "empty pause window");
+        self.pauses[node].push((from, until));
+    }
+
+    fn is_paused(&self, node: usize, at: Time) -> bool {
+        self.pauses[node].iter().any(|&(f, u)| at >= f && at < u)
+    }
+
+    /// Start recording an event transcript keeping the most recent
+    /// `capacity` events (see [`Transcript`]). Costs allocations per event.
+    pub fn enable_transcript(&mut self, capacity: usize) {
+        self.transcript = Some(Transcript::new(capacity));
+    }
+
+    /// The transcript, if recording was enabled.
+    pub fn transcript(&self) -> Option<&Transcript<A::State>> {
+        self.transcript.as_ref()
+    }
+
+    fn log(&mut self, record: EventRecord<A::State>) {
+        if let Some(t) = self.transcript.as_mut() {
+            t.push(self.now, record);
+        }
+    }
+
+    /// The recorded timeline so far.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Aggregate message statistics.
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            transmissions: self.links.iter().map(|l| l.transmissions).sum(),
+            losses: self.links.iter().map(|l| l.losses).sum(),
+            rules_executed: self.nodes.iter().map(|nd| nd.rules_executed).sum(),
+            events: self.events_processed,
+        }
+    }
+
+    /// Run the simulation until simulated time `t_end` (inclusive of events
+    /// at `t_end`). Returns the number of events processed.
+    pub fn run_until(&mut self, t_end: Time) -> u64 {
+        let mut processed = 0;
+        while let Some(at) = self.queue.peek_time() {
+            if at > t_end {
+                break;
+            }
+            let (at, kind) = self.queue.pop().expect("peeked");
+            self.now = at;
+            self.dispatch(kind);
+            self.events_processed += 1;
+            processed += 1;
+            self.record_sample();
+        }
+        self.now = t_end.max(self.now);
+        self.timeline.close(self.now);
+        processed
+    }
+
+    /// Run until the *ground* configuration has been legitimate for
+    /// `stable_window` consecutive ticks, or until `t_max`. Returns the time
+    /// at which the stable legitimate stretch began.
+    ///
+    /// This is the operational convergence criterion for Theorem 4: under
+    /// receipt-driven gossip a non-silent algorithm updates some state at
+    /// almost every instant, so demanding simultaneous cache coherence at an
+    /// event boundary would be vacuous — what stabilization means here is
+    /// that the real configuration entered the legitimate cycle and stopped
+    /// leaving it.
+    pub fn run_until_stably_legitimate(
+        &mut self,
+        t_max: Time,
+        stable_window: Time,
+    ) -> Option<Time> {
+        let mut legit_since: Option<Time> =
+            self.algo.is_legitimate(&self.ground_config()).then_some(self.now);
+        loop {
+            if let Some(since) = legit_since {
+                if self.now.saturating_sub(since) >= stable_window {
+                    self.timeline.close(self.now);
+                    return Some(since);
+                }
+            }
+            let Some(at) = self.queue.peek_time() else { break };
+            if at > t_max {
+                break;
+            }
+            let (at, kind) = self.queue.pop().expect("peeked");
+            self.now = at;
+            self.dispatch(kind);
+            self.events_processed += 1;
+            self.record_sample();
+            if self.algo.is_legitimate(&self.ground_config()) {
+                legit_since.get_or_insert(self.now);
+            } else {
+                legit_since = None;
+            }
+        }
+        self.now = t_max.max(self.now);
+        self.timeline.close(self.now);
+        None
+    }
+
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Timer { node } => {
+                if !self.is_paused(node, self.now) {
+                    self.log(EventRecord::TimerBroadcast { node });
+                    self.broadcast(node);
+                }
+                let next = self.now + self.cfg.timer_interval.max(1);
+                self.queue.push(next, EventKind::Timer { node });
+            }
+            EventKind::Arrival { link } => self.on_arrival(link),
+            EventKind::Execute { node } => {
+                self.exec_scheduled[node] = false;
+                if !self.is_paused(node, self.now) {
+                    if let Some(rule) = self.nodes[node].execute_one(&self.algo, node) {
+                        let tag = self.algo.rule_tag(rule);
+                        let after = self.nodes[node].own.clone();
+                        self.log(EventRecord::RuleFired { node, rule_tag: tag, after });
+                        self.on_own_changed(node);
+                    }
+                    if self.cfg.send_on_receipt {
+                        self.broadcast(node);
+                    }
+                }
+            }
+            EventKind::Corruption { node } => {
+                if let Some(pos) = self
+                    .corruptions
+                    .iter()
+                    .position(|(at, nd, _)| *at == self.now && *nd == node)
+                {
+                    let (_, _, state) = self.corruptions.swap_remove(pos);
+                    self.log(EventRecord::Corrupted { node, state: state.clone() });
+                    self.nodes[node].own = state;
+                    self.on_own_changed(node);
+                }
+            }
+        }
+    }
+
+    fn on_arrival(&mut self, link_idx: usize) {
+        let (state, had_pending) = self.links[link_idx].complete();
+        let loss_p = match self.cfg.burst {
+            None => self.cfg.loss,
+            Some(ge) => {
+                // Evolve the per-link channel state, then read the loss rate.
+                let bad = &mut self.link_bad[link_idx];
+                if *bad {
+                    if ge.p_exit > 0.0 && self.rng.random_bool(ge.p_exit.clamp(0.0, 1.0)) {
+                        *bad = false;
+                    }
+                } else if ge.p_enter > 0.0 && self.rng.random_bool(ge.p_enter.clamp(0.0, 1.0)) {
+                    *bad = true;
+                }
+                if *bad {
+                    ge.loss_bad
+                } else {
+                    self.cfg.loss
+                }
+            }
+        };
+        let src = self.links[link_idx].src;
+        let dst = self.links[link_idx].dst;
+        let now = self.now;
+        let lost = (loss_p > 0.0 && self.rng.random_bool(loss_p.clamp(0.0, 1.0)))
+            || self.is_paused(dst, self.now)
+            || self.outages[link_idx].iter().any(|&(f, u)| now >= f && now < u);
+        if lost {
+            self.links[link_idx].record_loss();
+            self.log(EventRecord::Lost { from: src, to: dst });
+        } else {
+            if self.transcript.is_some() {
+                self.log(EventRecord::Delivered { from: src, to: dst, state: state.clone() });
+            }
+            // Update the receiver's cache for the sender's direction.
+            let n = self.algo.n();
+            let dst_pred = if dst == 0 { n - 1 } else { dst - 1 };
+            if src == dst_pred {
+                self.nodes[dst].cache_pred = state;
+                self.refresh_coherence(dst, 0);
+            } else {
+                self.nodes[dst].cache_succ = state;
+                self.refresh_coherence(dst, 1);
+            }
+            self.refresh_predicate(dst);
+            self.nodes[dst].messages_received += 1;
+            if self.cfg.exec_delay == 0 {
+                // Algorithm 4, line 9: execute one enabled rule on the cache.
+                if let Some(rule) = self.nodes[dst].execute_one(&self.algo, dst) {
+                    let tag = self.algo.rule_tag(rule);
+                    let after = self.nodes[dst].own.clone();
+                    self.log(EventRecord::RuleFired { node: dst, rule_tag: tag, after });
+                    self.on_own_changed(dst);
+                }
+                // Line 10: rebroadcast own state.
+                if self.cfg.send_on_receipt {
+                    self.broadcast(dst);
+                }
+            } else if !self.exec_scheduled[dst] {
+                // Defer the execution by the critical-section dwell time;
+                // further receipts before it fires just refresh the cache.
+                self.exec_scheduled[dst] = true;
+                self.queue.push(self.now + self.cfg.exec_delay, EventKind::Execute { node: dst });
+            }
+        }
+        // The link freed up; flush a coalesced (newest-state) send.
+        if had_pending {
+            self.offer(src, link_idx);
+        }
+    }
+
+    /// Send node `i`'s current state on both of its outgoing links.
+    fn broadcast(&mut self, i: usize) {
+        self.offer(i, 2 * i);
+        self.offer(i, 2 * i + 1);
+    }
+
+    fn offer(&mut self, src: usize, link_idx: usize) {
+        debug_assert_eq!(self.links[link_idx].src, src);
+        let state = self.nodes[src].own.clone();
+        if self.links[link_idx].try_send(state, self.now) {
+            let model = self.link_delay[link_idx].unwrap_or(self.cfg.delay);
+            let delay = model.sample(&mut self.rng);
+            self.queue.push(self.now + delay, EventKind::Arrival { link: link_idx });
+        }
+    }
+
+    fn record_sample(&mut self) {
+        // O(1): all quantities are maintained incrementally as events touch
+        // individual nodes (see `rebuild_counters` for the invariants).
+        let sample = Sample {
+            at: self.now,
+            privileged: self.priv_count,
+            mask: self.priv_mask,
+            tokens_total: self.tokens_total_ctr,
+            coherent: self.bad_entries == 0,
+            legitimate: self.ground_legit,
+        };
+        self.timeline.push(sample);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_core::{RingParams, SsrMin, SsToken};
+
+    fn params(n: usize, k: u32) -> RingParams {
+        RingParams::new(n, k).unwrap()
+    }
+
+    fn ssr_sim(seed: u64) -> CstSim<SsrMin> {
+        let p = params(5, 7);
+        let a = SsrMin::new(p);
+        CstSim::new(a, a.legitimate_anchor(3), SimConfig { seed, ..SimConfig::default() })
+            .unwrap()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut s1 = ssr_sim(11);
+        let mut s2 = ssr_sim(11);
+        s1.run_until(5_000);
+        s2.run_until(5_000);
+        assert_eq!(s1.ground_config(), s2.ground_config());
+        assert_eq!(s1.stats(), s2.stats());
+        assert_eq!(s1.timeline().samples(), s2.timeline().samples());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut s1 = ssr_sim(1);
+        let mut s2 = ssr_sim(2);
+        s1.run_until(5_000);
+        s2.run_until(5_000);
+        // Timers are staggered differently, so the stats differ w.h.p.
+        assert_ne!(s1.timeline().samples(), s2.timeline().samples());
+    }
+
+    /// Theorem 3 observed: SSRmin under CST from a coherent legitimate start
+    /// keeps 1..=2 privileged nodes at every instant.
+    #[test]
+    fn ssrmin_never_drops_to_zero_privileged() {
+        for seed in 0..5u64 {
+            let mut sim = ssr_sim(seed);
+            sim.run_until(20_000);
+            let sum = sim.timeline().summary(0).unwrap();
+            assert_eq!(sum.zero_privileged_time, 0, "seed {seed}");
+            assert_eq!(sum.zero_privileged_intervals, 0, "seed {seed}");
+            assert!(sum.min_privileged >= 1, "seed {seed}");
+            assert!(sum.max_privileged <= 2, "seed {seed}");
+            assert!(sum.over_two_privileged_time == 0);
+            // And the ring actually made progress.
+            assert!(sim.stats().rules_executed > 10, "seed {seed}");
+        }
+    }
+
+    /// Figure 11 observed: Dijkstra's ring under CST has zero-token
+    /// instants at (essentially) every handover.
+    #[test]
+    fn dijkstra_under_cst_loses_the_token_during_transit() {
+        let p = params(5, 7);
+        let a = SsToken::new(p);
+        // exec_delay = 3: a node keeps the token for 3 ticks of critical-
+        // section work before releasing it (link delay is 5 ticks).
+        let cfg = SimConfig { seed: 4, exec_delay: 3, ..SimConfig::default() };
+        let mut sim = CstSim::new(a, a.uniform_config(3), cfg).unwrap();
+        sim.run_until(20_000);
+        let sum = sim.timeline().summary(0).unwrap();
+        assert_eq!(sum.min_privileged, 0, "mutual inclusion must fail");
+        assert!(sum.zero_privileged_time > 0);
+        assert!(sum.zero_privileged_intervals > 1);
+        assert!(sim.stats().rules_executed > 10, "the ring still circulates");
+    }
+
+    /// The mirror of the Figure 11 test: with the same critical-section
+    /// dwell time, SSRmin never has a zero-privileged instant (Figure 13).
+    #[test]
+    fn ssrmin_with_dwell_time_still_never_zero() {
+        let p = params(5, 7);
+        let a = SsrMin::new(p);
+        let cfg = SimConfig { seed: 4, exec_delay: 3, ..SimConfig::default() };
+        let mut sim = CstSim::new(a, a.legitimate_anchor(3), cfg).unwrap();
+        sim.run_until(20_000);
+        let sum = sim.timeline().summary(0).unwrap();
+        assert_eq!(sum.zero_privileged_time, 0);
+        assert!(sum.min_privileged >= 1);
+        assert!(sum.max_privileged <= 2);
+        assert!(sim.stats().rules_executed > 10);
+    }
+
+    #[test]
+    fn message_loss_keeps_ssrmin_gaps_negligible() {
+        // Under message loss the Theorem 3 invariant is only *almost*
+        // preserved: a long streak of consecutive losses can leave a stale
+        // cache ("bad incoherence" in the paper's terms — a transient
+        // fault), whose Rule-4/5 self-repair may cost a brief gap. The gap
+        // fraction must stay negligible and the system must self-restore
+        // (Theorem 4). Compare: Dijkstra's ring spends the majority of its
+        // time at zero tokens even WITHOUT loss.
+        let p = params(5, 7);
+        let a = SsrMin::new(p);
+        let cfg = SimConfig { seed: 9, loss: 0.3, ..SimConfig::default() };
+        let mut sim = CstSim::new(a, a.legitimate_anchor(0), cfg).unwrap();
+        sim.run_until(30_000);
+        let sum = sim.timeline().summary(0).unwrap();
+        let frac = sum.zero_privileged_time as f64 / sum.window as f64;
+        assert!(frac < 0.005, "zero-privileged fraction {frac} too high");
+        assert!(sim.stats().losses > 0, "loss process must actually fire");
+        assert!(sim.stats().rules_executed > 0);
+    }
+
+    /// Lemma 9 / Theorem 4 observed: from corrupted state and stale caches,
+    /// with loss, the system still reaches a legitimate coherent state.
+    #[test]
+    fn converges_from_corruption_with_loss() {
+        let p = params(5, 7);
+        let a = SsrMin::new(p);
+        let cfg = SimConfig { seed: 5, loss: 0.2, ..SimConfig::default() };
+        let mut sim = CstSim::new(a, a.legitimate_anchor(0), cfg).unwrap();
+        sim.schedule_corruption(100, 2, "6.1.1".parse().unwrap());
+        sim.schedule_corruption(150, 4, "1.0.1".parse().unwrap());
+        let t = sim.run_until_stably_legitimate(2_000_000, 1_000);
+        assert!(t.is_some(), "must re-stabilize");
+        // After stabilization: run further, zero-token time stays zero.
+        let t0 = sim.now();
+        sim.run_until(t0 + 10_000);
+        let sum = sim.timeline().summary(t0).unwrap();
+        assert_eq!(sum.zero_privileged_time, 0);
+    }
+
+    #[test]
+    fn timer_only_mode_still_safe_but_slower() {
+        let p = params(5, 7);
+        let a = SsrMin::new(p);
+        let fast = SimConfig { seed: 3, ..SimConfig::default() };
+        let slow = SimConfig { seed: 3, send_on_receipt: false, ..SimConfig::default() };
+        let mut s_fast = CstSim::new(a, a.legitimate_anchor(0), fast).unwrap();
+        let mut s_slow = CstSim::new(a, a.legitimate_anchor(0), slow).unwrap();
+        s_fast.run_until(50_000);
+        s_slow.run_until(50_000);
+        let fast_rules = s_fast.stats().rules_executed;
+        let slow_rules = s_slow.stats().rules_executed;
+        assert!(slow_rules > 0);
+        assert!(
+            fast_rules > slow_rules,
+            "receipt-driven gossip must move tokens faster ({fast_rules} vs {slow_rules})"
+        );
+        let sum = s_slow.timeline().summary(0).unwrap();
+        assert_eq!(sum.zero_privileged_time, 0, "safety holds even timer-only");
+    }
+
+    #[test]
+    fn paused_token_holder_keeps_the_token_and_the_ring_resumes() {
+        // Crash the bottom node (which holds both tokens at the anchor) for
+        // a while: the token stays with it — its camera keeps observing —
+        // so safety holds; when it wakes, circulation resumes.
+        let p = params(5, 7);
+        let a = SsrMin::new(p);
+        let mut sim =
+            CstSim::new(a, a.legitimate_anchor(0), SimConfig { seed: 2, ..SimConfig::default() })
+                .unwrap();
+        sim.schedule_pause(0, 0, 2_000);
+        sim.run_until(2_000);
+        let during = sim.timeline().summary(0).unwrap();
+        assert_eq!(during.zero_privileged_time, 0, "paused holder still holds");
+        let rules_during = sim.stats().rules_executed;
+        sim.run_until(20_000);
+        let rules_after = sim.stats().rules_executed;
+        assert!(
+            rules_after > rules_during + 50,
+            "circulation must resume after the pause ({rules_during} -> {rules_after})"
+        );
+        let post = sim.timeline().summary(2_000).unwrap();
+        assert_eq!(post.zero_privileged_time, 0);
+    }
+
+    #[test]
+    fn slow_link_delays_but_does_not_break_handover() {
+        let p = params(5, 7);
+        let a = SsrMin::new(p);
+        let mut fast =
+            CstSim::new(a, a.legitimate_anchor(0), SimConfig { seed: 3, ..SimConfig::default() })
+                .unwrap();
+        let mut slow =
+            CstSim::new(a, a.legitimate_anchor(0), SimConfig { seed: 3, ..SimConfig::default() })
+                .unwrap();
+        // One crawling hop: P2 -> P3 takes 60 ticks instead of 5.
+        slow.set_link_delay(2, 3, DelayModel::Fixed(60));
+        fast.run_until(30_000);
+        slow.run_until(30_000);
+        assert!(
+            slow.stats().rules_executed < fast.stats().rules_executed,
+            "the slow hop must throttle circulation"
+        );
+        let sum = slow.timeline().summary(0).unwrap();
+        assert_eq!(sum.zero_privileged_time, 0, "safety is latency-independent");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a ring link")]
+    fn set_link_delay_rejects_non_edges() {
+        let p = params(5, 7);
+        let a = SsrMin::new(p);
+        let mut sim = CstSim::new(a, a.legitimate_anchor(0), SimConfig::default()).unwrap();
+        sim.set_link_delay(0, 2, DelayModel::Fixed(9));
+    }
+
+    #[test]
+    fn link_outage_is_ridden_out_by_retransmission() {
+        let p = params(5, 7);
+        let a = SsrMin::new(p);
+        let mut sim =
+            CstSim::new(a, a.legitimate_anchor(0), SimConfig { seed: 5, ..SimConfig::default() })
+                .unwrap();
+        // The forward hop P1 → P2 is dark for 3000 ticks.
+        sim.schedule_link_outage(1, 2, 1_000, 4_000);
+        sim.run_until(30_000);
+        let st = sim.stats();
+        assert!(st.losses > 10, "the outage must actually drop deliveries");
+        // Safety holds throughout, and circulation resumes after the window.
+        let sum = sim.timeline().summary(0).unwrap();
+        assert_eq!(sum.zero_privileged_time, 0, "{sum:?}");
+        let tail = sim.timeline().summary(10_000).unwrap();
+        assert!(sim.stats().rules_executed > 100);
+        assert_eq!(tail.zero_privileged_time, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a ring link")]
+    fn link_outage_rejects_non_edges() {
+        let p = params(5, 7);
+        let a = SsrMin::new(p);
+        let mut sim = CstSim::new(a, a.legitimate_anchor(0), SimConfig::default()).unwrap();
+        sim.schedule_link_outage(0, 3, 1, 2);
+    }
+
+    #[test]
+    fn burst_loss_drops_messages_in_bursts() {
+        let p = params(5, 7);
+        let a = SsrMin::new(p);
+        let cfg = SimConfig {
+            seed: 6,
+            burst: Some(GilbertElliott { p_enter: 0.05, p_exit: 0.2, loss_bad: 0.9 }),
+            ..SimConfig::default()
+        };
+        let mut sim = CstSim::new(a, a.legitimate_anchor(0), cfg).unwrap();
+        sim.run_until(40_000);
+        let st = sim.stats();
+        assert!(st.losses > 0, "bursts must drop messages");
+        assert!(st.rules_executed > 10, "circulation must survive bursts");
+        // Despite bursts the zero-token fraction must stay negligible
+        // (brief bad-incoherence blips only).
+        let sum = sim.timeline().summary(0).unwrap();
+        let frac = sum.zero_privileged_time as f64 / sum.window as f64;
+        assert!(frac < 0.02, "zero fraction {frac} too high under bursts");
+    }
+
+    #[test]
+    fn burst_loss_is_deterministic_per_seed() {
+        let p = params(5, 7);
+        let a = SsrMin::new(p);
+        let run = |seed| {
+            let cfg = SimConfig {
+                seed,
+                burst: Some(GilbertElliott { p_enter: 0.1, p_exit: 0.3, loss_bad: 0.8 }),
+                ..SimConfig::default()
+            };
+            let mut sim = CstSim::new(a, a.legitimate_anchor(0), cfg).unwrap();
+            sim.run_until(10_000);
+            sim.stats()
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn corruption_requires_valid_node_and_future_time() {
+        let mut sim = ssr_sim(0);
+        sim.run_until(100);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.schedule_corruption(50, 0, "0.0.0".parse().unwrap());
+        }));
+        assert!(r.is_err(), "scheduling in the past must panic");
+    }
+
+    #[test]
+    fn transcript_records_the_handover_story() {
+        let p = params(5, 7);
+        let a = SsrMin::new(p);
+        let mut sim = CstSim::new(
+            a,
+            a.legitimate_anchor(0),
+            SimConfig { seed: 1, loss: 0.2, ..SimConfig::default() },
+        )
+        .unwrap();
+        sim.enable_transcript(200);
+        sim.run_until(3_000);
+        let t = sim.transcript().unwrap();
+        assert!(!t.is_empty());
+        let rendered = t.render();
+        assert!(rendered.contains("deliver"), "{rendered}");
+        assert!(rendered.contains("rule"), "{rendered}");
+        assert!(rendered.contains("LOST"), "{rendered}");
+        assert!(rendered.contains("timer"), "{rendered}");
+        // Timestamps are non-decreasing.
+        let mut last = 0;
+        for (at, _) in t.entries() {
+            assert!(*at >= last);
+            last = *at;
+        }
+    }
+
+    #[test]
+    fn transcript_disabled_by_default_and_costs_nothing() {
+        let p = params(5, 7);
+        let a = SsrMin::new(p);
+        let mut sim = CstSim::new(a, a.legitimate_anchor(0), SimConfig::default()).unwrap();
+        sim.run_until(2_000);
+        assert!(sim.transcript().is_none());
+    }
+
+    /// The incremental observation counters must agree with a full
+    /// recomputation at any point, including under loss, faults, pauses and
+    /// dwell — the strongest guard against drift in the O(1) sampler.
+    #[test]
+    fn incremental_counters_match_full_recount() {
+        let p = params(6, 8);
+        let a = SsrMin::new(p);
+        let cfg = SimConfig { seed: 13, loss: 0.2, exec_delay: 3, ..SimConfig::default() };
+        let mut sim = CstSim::new(a, a.legitimate_anchor(1), cfg).unwrap();
+        sim.schedule_corruption(500, 2, "5.1.1".parse().unwrap());
+        sim.schedule_pause(4, 900, 1_400);
+        for t in 1..=60u64 {
+            sim.run_until(t * 100);
+            // Full recount via the public (scanning) accessors.
+            let privileged_full = sim.local_privileged();
+            let last = *sim.timeline().samples().last().unwrap();
+            assert_eq!(last.privileged, privileged_full.len(), "t={t}");
+            let mask_full: u64 =
+                privileged_full.iter().map(|&i| 1u64 << i).fold(0, |a, b| a | b);
+            assert_eq!(last.mask, mask_full, "t={t}");
+            assert_eq!(last.coherent, sim.is_coherent(), "t={t}");
+            assert_eq!(
+                last.legitimate,
+                sim.algorithm().is_legitimate(&sim.ground_config()),
+                "t={t}"
+            );
+            let tokens_full: usize = (0..6)
+                .map(|i| sim.node(i).tokens(sim.algorithm(), i).count() as usize)
+                .sum();
+            assert_eq!(last.tokens_total, tokens_full, "t={t}");
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut sim = ssr_sim(0);
+        sim.run_until(2_000);
+        let st = sim.stats();
+        assert!(st.transmissions > 0);
+        assert!(st.events > 0);
+        assert_eq!(st.losses, 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! A bounded event transcript for the simulator: when enabled, every
+//! delivery, loss, rule firing and fault is recorded with its timestamp, so
+//! a surprising run can be read back like a log file. Disabled by default —
+//! recording costs allocations in the hot loop.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::event::Time;
+
+/// One recorded simulator event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventRecord<S> {
+    /// A state message from `from` arrived at `to` and updated the cache.
+    Delivered {
+        /// Sender.
+        from: usize,
+        /// Receiver.
+        to: usize,
+        /// Carried state.
+        state: S,
+    },
+    /// A message from `from` to `to` was dropped by the loss process.
+    Lost {
+        /// Sender.
+        from: usize,
+        /// Intended receiver.
+        to: usize,
+    },
+    /// Node `node` executed a rule; `after` is its new state.
+    RuleFired {
+        /// The acting node.
+        node: usize,
+        /// Rule tag (SSRmin: 1–5).
+        rule_tag: u8,
+        /// State after the command.
+        after: S,
+    },
+    /// Node `node`'s periodic timer broadcast its state.
+    TimerBroadcast {
+        /// The broadcasting node.
+        node: usize,
+    },
+    /// A scheduled transient fault overwrote `node`'s state.
+    Corrupted {
+        /// The victim.
+        node: usize,
+        /// The injected state.
+        state: S,
+    },
+}
+
+impl<S: fmt::Display> fmt::Display for EventRecord<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventRecord::Delivered { from, to, state } => {
+                write!(f, "deliver  P{from} → P{to}  ({state})")
+            }
+            EventRecord::Lost { from, to } => write!(f, "LOST     P{from} → P{to}"),
+            EventRecord::RuleFired { node, rule_tag, after } => {
+                write!(f, "rule {rule_tag}   P{node} ← {after}")
+            }
+            EventRecord::TimerBroadcast { node } => write!(f, "timer    P{node} rebroadcast"),
+            EventRecord::Corrupted { node, state } => {
+                write!(f, "FAULT    P{node} ← {state}")
+            }
+        }
+    }
+}
+
+/// A bounded FIFO of timestamped event records.
+#[derive(Debug, Clone)]
+pub struct Transcript<S> {
+    entries: VecDeque<(Time, EventRecord<S>)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<S: Clone + fmt::Display> Transcript<S> {
+    /// A transcript keeping the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Transcript { entries: VecDeque::with_capacity(capacity), capacity, dropped: 0 }
+    }
+
+    /// Record an event, evicting the oldest if full.
+    pub fn push(&mut self, at: Time, record: EventRecord<S>) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back((at, record));
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &(Time, EventRecord<S>)> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the transcript as an aligned log.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} earlier events dropped ...\n", self.dropped));
+        }
+        for (at, rec) in &self.entries {
+            out.push_str(&format!("t={at:>8}  {rec}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders() {
+        let mut t: Transcript<u32> = Transcript::new(10);
+        t.push(5, EventRecord::TimerBroadcast { node: 2 });
+        t.push(9, EventRecord::Delivered { from: 2, to: 3, state: 7 });
+        t.push(9, EventRecord::RuleFired { node: 3, rule_tag: 2, after: 7 });
+        t.push(12, EventRecord::Lost { from: 3, to: 4 });
+        t.push(20, EventRecord::Corrupted { node: 0, state: 9 });
+        let r = t.render();
+        assert!(r.contains("timer    P2"));
+        assert!(r.contains("deliver  P2 → P3  (7)"));
+        assert!(r.contains("rule 2   P3 ← 7"));
+        assert!(r.contains("LOST     P3 → P4"));
+        assert!(r.contains("FAULT    P0 ← 9"));
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut t: Transcript<u32> = Transcript::new(3);
+        for i in 0..5u64 {
+            t.push(i, EventRecord::TimerBroadcast { node: i as usize });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let first = t.entries().next().unwrap();
+        assert_eq!(first.0, 2);
+        assert!(t.render().starts_with("... 2 earlier events dropped ..."));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _t: Transcript<u32> = Transcript::new(0);
+    }
+}

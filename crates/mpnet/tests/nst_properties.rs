@@ -1,0 +1,87 @@
+//! Property tests for the neighbourhood-synchronized transform: loss-free
+//! exactness (its defining theorem), determinism, and stabilization.
+
+use proptest::prelude::*;
+
+use ssr_core::{RingAlgorithm, RingParams, SsrMin, SsrState, SsToken};
+use ssr_mpnet::{DelayModel, NstConfig, NstSim};
+
+fn arb_setup() -> impl Strategy<Value = (RingParams, Vec<SsrState>, u64)> {
+    (3usize..8)
+        .prop_flat_map(|n| {
+            let params = RingParams::minimal(n).unwrap();
+            let k = params.k();
+            (
+                Just(params),
+                proptest::collection::vec(
+                    (0..k, any::<bool>(), any::<bool>())
+                        .prop_map(|(x, rts, tra)| SsrState { x, rts, tra }),
+                    n,
+                ),
+                any::<u64>(),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Loss-free NST is an exact emulation: every executed move saw the
+    /// true neighbour states, from ANY initial configuration.
+    #[test]
+    fn lossfree_nst_is_exact((params, initial, seed) in arb_setup()) {
+        let algo = SsrMin::new(params);
+        let cfg = NstConfig {
+            seed,
+            delay: DelayModel::Uniform { min: 1, max: 6 },
+            loss: 0.0,
+            timer_interval: 40,
+            request_timeout: 50,
+        };
+        let mut sim = NstSim::new(algo, initial, cfg).unwrap();
+        sim.run_until(40_000);
+        let st = sim.stats();
+        prop_assert_eq!(st.stale_moves, 0, "exactness violated: {:?}", st);
+        prop_assert!(st.moves > 0, "the system must make progress");
+        // Exact emulation + self-stabilization ⇒ the ground configuration
+        // stabilizes into the legitimate cycle.
+        prop_assert!(
+            algo.is_legitimate(&sim.ground_config()),
+            "not stabilized after 40k ticks: {:?}",
+            sim.ground_config().iter().map(|s| s.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    /// NST runs are bit-deterministic per seed.
+    #[test]
+    fn nst_is_deterministic((params, initial, seed) in arb_setup()) {
+        let algo = SsrMin::new(params);
+        let run = || {
+            let cfg = NstConfig { seed, ..NstConfig::default() };
+            let mut sim = NstSim::new(algo, initial.clone(), cfg).unwrap();
+            sim.run_until(8_000);
+            (sim.ground_config(), sim.stats())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+/// The exactness property also holds for the plain Dijkstra ring (whose
+/// moves are the ones SSRmin's Rules 2/4 inherit).
+#[test]
+fn lossfree_exactness_for_dijkstra() {
+    let p = RingParams::new(6, 8).unwrap();
+    let a = SsToken::new(p);
+    for seed in 0..8u64 {
+        let cfg = NstConfig { seed, ..NstConfig::default() };
+        let mut sim = NstSim::new(a, a.uniform_config((seed % 8) as u32), cfg).unwrap();
+        sim.run_until(30_000);
+        let st = sim.stats();
+        assert_eq!(st.stale_moves, 0, "seed {seed}: {st:?}");
+        assert!(a.is_legitimate(&sim.ground_config()));
+        // Mutual exclusion is preserved: at most one privileged at every
+        // recorded instant.
+        let s = sim.timeline().summary(0).unwrap();
+        assert!(s.max_privileged <= 1, "seed {seed}: {s:?}");
+    }
+}

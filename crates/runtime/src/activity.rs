@@ -1,0 +1,264 @@
+//! Activity logging and coverage analysis for the monitoring application.
+//!
+//! Every node logs a timestamped event whenever its privilege (camera
+//! active/inactive) changes; the [`CoverageReport`] then reconstructs the
+//! step function of "how many cameras are on" over wall-clock time and
+//! quantifies the paper's headline guarantee: the environment is *never*
+//! unobserved.
+
+use std::time::Duration;
+
+/// One privilege transition of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActivityEvent {
+    /// Node index.
+    pub node: usize,
+    /// Time since observation start.
+    pub at: Duration,
+    /// New activity state (`true` = privileged / camera on).
+    pub active: bool,
+}
+
+/// Coverage analysis of an activity log over a window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport {
+    /// Analysis window length.
+    pub window: Duration,
+    /// Total time with zero active nodes — mutual-inclusion violation time.
+    pub uncovered: Duration,
+    /// Longest single uncovered gap.
+    pub longest_gap: Duration,
+    /// Number of maximal uncovered gaps.
+    pub gaps: usize,
+    /// Minimum simultaneous active nodes observed.
+    pub min_active: usize,
+    /// Maximum simultaneous active nodes observed.
+    pub max_active: usize,
+    /// Number of activations (a node turning on) — a proxy for handovers.
+    pub activations: usize,
+    /// Per-node fraction of the window spent active (duty cycle).
+    pub duty_cycle: Vec<f64>,
+}
+
+/// Compute a [`CoverageReport`] from a log.
+///
+/// `initial_active` gives each node's activity at time zero; `events` must
+/// be sorted by time (the runtime's shared log guarantees this); `window`
+/// is the observation length; events beyond it are ignored. `warmup` clips
+/// the start of the analysis (convergence time should not count against a
+/// run that started from an illegitimate configuration).
+pub fn analyze(
+    initial_active: &[bool],
+    events: &[ActivityEvent],
+    window: Duration,
+    warmup: Duration,
+) -> CoverageReport {
+    let n = initial_active.len();
+    let mut state: Vec<bool> = initial_active.to_vec();
+    let mut active_count = state.iter().filter(|&&a| a).count();
+
+    let mut uncovered = Duration::ZERO;
+    let mut longest_gap = Duration::ZERO;
+    let mut gaps = 0usize;
+    let mut in_gap = false;
+    let mut gap_start = Duration::ZERO;
+    let mut min_active = usize::MAX;
+    let mut max_active = 0usize;
+    let mut activations = 0usize;
+    let mut active_time: Vec<Duration> = vec![Duration::ZERO; n];
+
+    let mut cursor = Duration::ZERO;
+
+    let account = |from: Duration,
+                       to: Duration,
+                       count: usize,
+                       state: &[bool],
+                       uncovered: &mut Duration,
+                       active_time: &mut Vec<Duration>,
+                       min_active: &mut usize,
+                       max_active: &mut usize| {
+        let lo = from.max(warmup);
+        let hi = to.max(warmup).min(window.max(warmup));
+        if hi <= lo {
+            return;
+        }
+        let dur = hi - lo;
+        *min_active = (*min_active).min(count);
+        *max_active = (*max_active).max(count);
+        if count == 0 {
+            *uncovered += dur;
+        }
+        for (i, &a) in state.iter().enumerate() {
+            if a {
+                active_time[i] += dur;
+            }
+        }
+    };
+
+    for ev in events {
+        if ev.at > window {
+            break;
+        }
+        account(
+            cursor,
+            ev.at,
+            active_count,
+            &state,
+            &mut uncovered,
+            &mut active_time,
+            &mut min_active,
+            &mut max_active,
+        );
+        // Gap bookkeeping at the transition boundary (only within window).
+        if active_count == 0 && !in_gap && ev.at > warmup {
+            in_gap = true;
+            gap_start = cursor.max(warmup);
+        }
+        if ev.node < n && state[ev.node] != ev.active {
+            state[ev.node] = ev.active;
+            if ev.active {
+                active_count += 1;
+                activations += 1;
+                if in_gap {
+                    let gap = ev.at.saturating_sub(gap_start);
+                    longest_gap = longest_gap.max(gap);
+                    gaps += 1;
+                    in_gap = false;
+                }
+            } else {
+                active_count -= 1;
+            }
+        }
+        cursor = ev.at;
+    }
+    account(
+        cursor,
+        window,
+        active_count,
+        &state,
+        &mut uncovered,
+        &mut active_time,
+        &mut min_active,
+        &mut max_active,
+    );
+    if in_gap || (active_count == 0 && window > cursor.max(warmup)) {
+        let start = if in_gap { gap_start } else { cursor.max(warmup) };
+        let gap = window.saturating_sub(start);
+        if gap > Duration::ZERO {
+            longest_gap = longest_gap.max(gap);
+            gaps += 1;
+        }
+    }
+
+    let effective = window.saturating_sub(warmup);
+    let duty_cycle = active_time
+        .iter()
+        .map(|t| {
+            if effective.is_zero() {
+                0.0
+            } else {
+                t.as_secs_f64() / effective.as_secs_f64()
+            }
+        })
+        .collect();
+
+    CoverageReport {
+        window: effective,
+        uncovered,
+        longest_gap,
+        gaps,
+        min_active: if min_active == usize::MAX { active_count } else { min_active },
+        max_active,
+        activations,
+        duty_cycle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn ev(node: usize, at: u64, active: bool) -> ActivityEvent {
+        ActivityEvent { node, at: ms(at), active }
+    }
+
+    #[test]
+    fn continuous_coverage_reports_zero_uncovered() {
+        // Node 0 active throughout; node 1 toggles.
+        let events = vec![ev(1, 10, true), ev(1, 20, false)];
+        let r = analyze(&[true, false, false], &events, ms(100), Duration::ZERO);
+        assert_eq!(r.uncovered, Duration::ZERO);
+        assert_eq!(r.gaps, 0);
+        assert_eq!(r.min_active, 1);
+        assert_eq!(r.max_active, 2);
+        assert_eq!(r.activations, 1);
+        assert!((r.duty_cycle[0] - 1.0).abs() < 1e-9);
+        assert!((r.duty_cycle[1] - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gap_is_measured() {
+        // Node 0 turns off at 30, node 1 turns on at 45: 15ms gap.
+        let events = vec![ev(0, 30, false), ev(1, 45, true)];
+        let r = analyze(&[true, false], &events, ms(100), Duration::ZERO);
+        assert_eq!(r.uncovered, ms(15));
+        assert_eq!(r.longest_gap, ms(15));
+        assert_eq!(r.gaps, 1);
+        assert_eq!(r.min_active, 0);
+    }
+
+    #[test]
+    fn trailing_gap_counts() {
+        let events = vec![ev(0, 80, false)];
+        let r = analyze(&[true], &events, ms(100), Duration::ZERO);
+        assert_eq!(r.uncovered, ms(20));
+        assert_eq!(r.gaps, 1);
+        assert_eq!(r.longest_gap, ms(20));
+    }
+
+    #[test]
+    fn warmup_excludes_initial_chaos() {
+        // Nothing active until 50ms — all inside the warmup.
+        let events = vec![ev(0, 50, true)];
+        let r = analyze(&[false], &events, ms(100), ms(50));
+        assert_eq!(r.uncovered, Duration::ZERO);
+        assert_eq!(r.window, ms(50));
+        assert!((r.duty_cycle[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_gaps_counted_separately() {
+        let events = vec![
+            ev(0, 10, false),
+            ev(0, 20, true),
+            ev(0, 40, false),
+            ev(0, 70, true),
+        ];
+        let r = analyze(&[true], &events, ms(100), Duration::ZERO);
+        assert_eq!(r.gaps, 2);
+        assert_eq!(r.uncovered, ms(40));
+        assert_eq!(r.longest_gap, ms(30));
+        assert_eq!(r.activations, 2);
+    }
+
+    #[test]
+    fn duplicate_state_events_are_idempotent() {
+        let events = vec![ev(0, 10, true), ev(0, 20, true)];
+        let r = analyze(&[true], &events, ms(100), Duration::ZERO);
+        assert_eq!(r.max_active, 1);
+        assert_eq!(r.activations, 0, "no transition happened");
+    }
+
+    #[test]
+    fn all_inactive_whole_window() {
+        let r = analyze(&[false, false], &[], ms(60), Duration::ZERO);
+        assert_eq!(r.uncovered, ms(60));
+        assert_eq!(r.gaps, 1);
+        assert_eq!(r.longest_gap, ms(60));
+        assert_eq!(r.min_active, 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Runtime configuration.
+
+use std::time::Duration;
+
+/// Parameters of the threaded ring runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Periodic retransmission interval (CST timer). Every node rebroadcasts
+    /// its state at least this often, which is what repairs lost messages
+    /// and stale caches.
+    pub tick: Duration,
+    /// Critical-section dwell time: how long a node works before executing
+    /// the enabled rule that hands its token on.
+    pub exec_delay: Duration,
+    /// Probability that an incoming message is dropped (simulated wireless
+    /// loss, decided by the receiving node's seeded RNG).
+    pub loss: f64,
+    /// Base RNG seed; node `i` uses `seed + i`.
+    pub seed: u64,
+    /// Neighbour-silence suspicion threshold: if a node hears nothing from
+    /// a neighbour for this long, it counts a suspected failure
+    /// (`NodeStats::suspicions`). `Duration::ZERO` disables the watchdog.
+    pub suspicion: std::time::Duration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            tick: Duration::from_millis(5),
+            exec_delay: Duration::ZERO,
+            loss: 0.0,
+            seed: 0,
+            suspicion: Duration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_lossless_and_fast() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.loss, 0.0);
+        assert_eq!(c.exec_delay, Duration::ZERO);
+        assert!(c.tick > Duration::ZERO);
+        assert_eq!(c.suspicion, Duration::ZERO, "watchdog off by default");
+    }
+}

@@ -1,0 +1,37 @@
+//! # ssr-runtime — a real threaded message-passing deployment of SSRmin
+//!
+//! Where `ssr-mpnet` simulates the message-passing system deterministically,
+//! this crate *runs* it: one OS thread per ring node, crossbeam channels as
+//! links, CST gossip (send-on-update plus a periodic retransmission timer),
+//! genuine wall-clock asynchrony, and optional message loss. On top sits the
+//! paper's motivating application — a self-organizing camera network with
+//! guaranteed continuous observation ([`camera`]).
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use ssr_runtime::camera::CameraNetwork;
+//!
+//! let net = CameraNetwork::new(8).unwrap();
+//! let report = net
+//!     .observe(Duration::from_secs(2), Duration::from_millis(100))
+//!     .unwrap();
+//! assert!(report.continuous(), "at least one camera was on at all times");
+//! println!("mean duty cycle: {:.2}", report.mean_duty_cycle());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod camera;
+pub mod config;
+pub mod energy;
+pub mod replica;
+pub mod ring;
+
+pub use activity::{analyze, ActivityEvent, CoverageReport};
+pub use camera::{dijkstra_camera_observe, CameraNetwork, CameraReport};
+pub use config::RuntimeConfig;
+pub use energy::{estimate as estimate_energy, min_sustainable_ring, EnergyReport, PowerProfile};
+pub use replica::Replica;
+pub use ring::{run_ring, run_ring_with_faults, NodeStats, RunOutcome};

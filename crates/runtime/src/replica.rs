@@ -1,0 +1,119 @@
+//! The per-thread protocol replica: the node's own algorithm state plus
+//! caches of both neighbours (the CST working set).
+
+use ssr_core::{RingAlgorithm, TokenSet};
+
+/// A node's protocol state as maintained by its thread.
+#[derive(Debug, Clone)]
+pub struct Replica<A: RingAlgorithm> {
+    /// Ring index of this node.
+    pub index: usize,
+    /// Own algorithm state `q_i`.
+    pub own: A::State,
+    /// Cached predecessor state `Z_i[v_{i-1}]`.
+    pub cache_pred: A::State,
+    /// Cached successor state `Z_i[v_{i+1}]`.
+    pub cache_succ: A::State,
+    /// Rules executed by this replica.
+    pub rules_executed: u64,
+}
+
+impl<A: RingAlgorithm> Replica<A> {
+    /// Create a replica with the given initial own state and caches.
+    pub fn new(index: usize, own: A::State, cache_pred: A::State, cache_succ: A::State) -> Self {
+        Replica { index, own, cache_pred, cache_succ, rules_executed: 0 }
+    }
+
+    /// Update the cache corresponding to the neighbour `from` (must be the
+    /// ring predecessor or successor of `self.index`).
+    pub fn update_cache(&mut self, n: usize, from: usize, state: A::State) {
+        let pred = if self.index == 0 { n - 1 } else { self.index - 1 };
+        let succ = if self.index + 1 == n { 0 } else { self.index + 1 };
+        if from == pred {
+            self.cache_pred = state;
+        } else if from == succ {
+            self.cache_succ = state;
+        } else {
+            panic!("message from non-neighbour {from} delivered to {}", self.index);
+        }
+    }
+
+    /// The enabled rule on the cached view, if any.
+    pub fn enabled_rule(&self, algo: &A) -> Option<A::Rule> {
+        algo.enabled_rule(self.index, &self.own, &self.cache_pred, &self.cache_succ)
+    }
+
+    /// Execute one enabled rule on the cached view; returns the fired rule.
+    pub fn execute_one(&mut self, algo: &A) -> Option<A::Rule> {
+        let rule = self.enabled_rule(algo)?;
+        self.own = algo.execute(self.index, rule, &self.own, &self.cache_pred, &self.cache_succ);
+        self.rules_executed += 1;
+        Some(rule)
+    }
+
+    /// The node's locally evaluated token set — the predicate that drives
+    /// the application layer (camera on/off).
+    pub fn tokens(&self, algo: &A) -> TokenSet {
+        algo.tokens_at(self.index, &self.own, &self.cache_pred, &self.cache_succ)
+    }
+
+    /// True iff the node is privileged (holds at least one token).
+    pub fn is_privileged(&self, algo: &A) -> bool {
+        self.tokens(algo).any()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_core::{RingParams, SsrMin, SsrRule, SsrState};
+
+    fn algo() -> SsrMin {
+        SsrMin::new(RingParams::new(5, 7).unwrap())
+    }
+
+    fn st(s: &str) -> SsrState {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn cache_update_routes_by_neighbour() {
+        let a = algo();
+        let mut r: Replica<SsrMin> = Replica::new(2, st("3.0.0"), st("3.0.0"), st("3.0.0"));
+        r.update_cache(a.n(), 1, st("3.1.0"));
+        assert_eq!(r.cache_pred, st("3.1.0"));
+        r.update_cache(a.n(), 3, st("4.0.0"));
+        assert_eq!(r.cache_succ, st("4.0.0"));
+    }
+
+    #[test]
+    fn wraparound_neighbours() {
+        let a = algo();
+        let mut r: Replica<SsrMin> = Replica::new(0, st("3.0.0"), st("3.0.0"), st("3.0.0"));
+        r.update_cache(a.n(), 4, st("2.0.0")); // P4 is P0's predecessor
+        assert_eq!(r.cache_pred, st("2.0.0"));
+        let mut r4: Replica<SsrMin> = Replica::new(4, st("3.0.0"), st("3.0.0"), st("3.0.0"));
+        r4.update_cache(a.n(), 0, st("2.0.0")); // P0 is P4's successor
+        assert_eq!(r4.cache_succ, st("2.0.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbour")]
+    fn non_neighbour_message_panics() {
+        let a = algo();
+        let mut r: Replica<SsrMin> = Replica::new(2, st("3.0.0"), st("3.0.0"), st("3.0.0"));
+        r.update_cache(a.n(), 0, st("3.0.0"));
+    }
+
+    #[test]
+    fn execute_and_privilege_follow_the_handshake() {
+        let a = algo();
+        // P1's view when P0 offers the secondary token.
+        let mut r: Replica<SsrMin> = Replica::new(1, st("3.0.0"), st("3.1.0"), st("3.0.0"));
+        assert!(!r.is_privileged(&a));
+        assert_eq!(r.execute_one(&a), Some(SsrRule::R3));
+        assert!(r.is_privileged(&a), "after Rule 3 the node holds the secondary token");
+        assert_eq!(r.rules_executed, 1);
+        assert_eq!(r.execute_one(&a), None);
+    }
+}

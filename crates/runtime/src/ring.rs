@@ -1,0 +1,471 @@
+//! The threaded ring: one OS thread per node, crossbeam channels as links,
+//! CST gossip (send-on-update + periodic resend), and a shared activity log.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use ssr_core::{Config, RingAlgorithm};
+
+use crate::activity::ActivityEvent;
+use crate::config::RuntimeConfig;
+use crate::replica::Replica;
+
+/// Per-node runtime statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Rules executed.
+    pub rules_executed: u64,
+    /// Messages received and processed.
+    pub messages_received: u64,
+    /// Messages dropped by the simulated loss process.
+    pub messages_dropped: u64,
+    /// Broadcasts attempted (each reaches up to two neighbours).
+    pub broadcasts: u64,
+    /// Watchdog alarms: times a neighbour stayed silent beyond the
+    /// suspicion threshold (see `RuntimeConfig::suspicion`).
+    pub suspicions: u64,
+}
+
+/// Everything a finished run yields.
+#[derive(Debug, Clone)]
+pub struct RunOutcome<S> {
+    /// Each node's final algorithm state.
+    pub final_states: Config<S>,
+    /// Each node's activity at time zero (for coverage analysis).
+    pub initial_active: Vec<bool>,
+    /// Privilege transitions, sorted by time.
+    pub events: Vec<ActivityEvent>,
+    /// Per-node statistics.
+    pub stats: Vec<NodeStats>,
+    /// Actual observed duration.
+    pub observed: Duration,
+}
+
+/// A message delivered to a node's inbox.
+#[derive(Debug, Clone)]
+enum NodeMsg<S> {
+    /// A neighbour's state broadcast: `(sender index, state)`.
+    State(usize, S),
+    /// A fault-injector command: overwrite this node's own state.
+    Corrupt(S),
+}
+
+/// Run a ring of `algo.n()` threads for `duration`, starting from `initial`
+/// with coherent caches, and collect the activity log.
+///
+/// Each thread owns a [`Replica`]; on receipt it refreshes the cache, logs
+/// any privilege change, optionally dwells `exec_delay` in the critical
+/// section, executes one enabled rule and rebroadcasts; on a `tick` timeout
+/// it rebroadcasts regardless (the CST periodic timer).
+pub fn run_ring<A>(
+    algo: A,
+    initial: Config<A::State>,
+    cfg: RuntimeConfig,
+    duration: Duration,
+) -> ssr_core::Result<RunOutcome<A::State>>
+where
+    A: RingAlgorithm + Clone + Send + Sync + 'static,
+    A::State: Send + 'static,
+{
+    run_ring_with_faults(algo, initial, cfg, duration, Vec::new())
+}
+
+/// [`run_ring`] plus a transient-fault schedule: at each `(when, node,
+/// state)` an injector thread overwrites `node`'s protocol state with
+/// `state` — soft errors striking a live deployment. The schedule must be
+/// sorted by time.
+pub fn run_ring_with_faults<A>(
+    algo: A,
+    initial: Config<A::State>,
+    cfg: RuntimeConfig,
+    duration: Duration,
+    faults: Vec<(Duration, usize, A::State)>,
+) -> ssr_core::Result<RunOutcome<A::State>>
+where
+    A: RingAlgorithm + Clone + Send + Sync + 'static,
+    A::State: Send + 'static,
+{
+    algo.validate_config(&initial)?;
+    let n = algo.n();
+    for &(_, node, _) in &faults {
+        if node >= n {
+            return Err(ssr_core::CoreError::ProcessOutOfRange { process: node, n });
+        }
+    }
+
+    // One inbound channel per node, fed by both neighbours. A small bound
+    // plus drop-on-full gives the "one message in flight" flavour of the
+    // paper's links without blocking senders.
+    let mut txs: Vec<Sender<NodeMsg<A::State>>> = Vec::with_capacity(n);
+    let mut rxs: Vec<Option<Receiver<NodeMsg<A::State>>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = bounded::<NodeMsg<A::State>>(4);
+        txs.push(tx);
+        rxs.push(Some(rx));
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let log: Arc<Mutex<Vec<ActivityEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let start = Instant::now();
+
+    let mut initial_active = Vec::with_capacity(n);
+    let mut handles = Vec::with_capacity(n);
+    for i in 0..n {
+        let pred = if i == 0 { n - 1 } else { i - 1 };
+        let succ = if i + 1 == n { 0 } else { i + 1 };
+        let replica: Replica<A> = Replica::new(
+            i,
+            initial[i].clone(),
+            initial[pred].clone(),
+            initial[succ].clone(),
+        );
+        initial_active.push(replica.is_privileged(&algo));
+
+        let rx = rxs[i].take().expect("receiver taken once");
+        let tx_pred = txs[pred].clone();
+        let tx_succ = txs[succ].clone();
+        let algo = algo.clone();
+        let stop = Arc::clone(&stop);
+        let log = Arc::clone(&log);
+        let node_cfg = cfg;
+
+        handles.push(thread::spawn(move || {
+            node_main(algo, replica, rx, tx_pred, tx_succ, node_cfg, stop, log, start)
+        }));
+    }
+    // Fault injector: replay the schedule against the live ring.
+    let injector = if faults.is_empty() {
+        None
+    } else {
+        let fault_txs = txs.clone();
+        Some(thread::spawn(move || {
+            for (when, node, state) in faults {
+                let elapsed = start.elapsed();
+                if when > elapsed {
+                    thread::sleep(when - elapsed);
+                }
+                // Blocking send: the fault must land even if the inbox is
+                // momentarily full.
+                let _ = fault_txs[node].send(NodeMsg::Corrupt(state));
+            }
+        }))
+    };
+    drop(txs);
+
+    thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    if let Some(h) = injector {
+        h.join().expect("fault injector panicked");
+    }
+
+    let mut final_states = Vec::with_capacity(n);
+    let mut stats = Vec::with_capacity(n);
+    for h in handles {
+        let (state, st) = h.join().expect("node thread panicked");
+        final_states.push(state);
+        stats.push(st);
+    }
+    let observed = start.elapsed();
+
+    let mut events = Arc::try_unwrap(log)
+        .expect("all threads joined")
+        .into_inner();
+    events.sort_by_key(|e| e.at);
+
+    Ok(RunOutcome { final_states, initial_active, events, stats, observed })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn node_main<A>(
+    algo: A,
+    mut replica: Replica<A>,
+    rx: Receiver<NodeMsg<A::State>>,
+    tx_pred: Sender<NodeMsg<A::State>>,
+    tx_succ: Sender<NodeMsg<A::State>>,
+    cfg: RuntimeConfig,
+    stop: Arc<AtomicBool>,
+    log: Arc<Mutex<Vec<ActivityEvent>>>,
+    start: Instant,
+) -> (A::State, NodeStats)
+where
+    A: RingAlgorithm,
+{
+    let i = replica.index;
+    let n = algo.n();
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(i as u64));
+    let mut stats = NodeStats::default();
+    let mut last_privileged = replica.is_privileged(&algo);
+    let pred = if i == 0 { n - 1 } else { i - 1 };
+    let succ = if i + 1 == n { 0 } else { i + 1 };
+    let mut last_heard = [Instant::now(); 2]; // [pred, succ]
+    let mut suspected = [false; 2];
+
+    let broadcast = |replica: &Replica<A>, stats: &mut NodeStats| {
+        // try_send drops when the neighbour's queue is full — the periodic
+        // timer guarantees a fresh state arrives eventually, mirroring the
+        // paper's single-capacity links with coalescing.
+        let _ = tx_pred.try_send(NodeMsg::State(i, replica.own.clone()));
+        let _ = tx_succ.try_send(NodeMsg::State(i, replica.own.clone()));
+        stats.broadcasts += 1;
+    };
+
+    let log_transition = |replica: &Replica<A>, last: &mut bool| {
+        let now_privileged = replica.is_privileged(&algo);
+        if now_privileged != *last {
+            *last = now_privileged;
+            let mut guard = log.lock();
+            guard.push(ActivityEvent { node: i, at: start.elapsed(), active: now_privileged });
+        }
+    };
+
+    // Announce the initial state so coherent peers stay coherent and
+    // incoherent ones converge.
+    broadcast(&replica, &mut stats);
+
+    while !stop.load(Ordering::Relaxed) {
+        match rx.recv_timeout(cfg.tick) {
+            Ok(NodeMsg::Corrupt(state)) => {
+                // A transient fault: the protocol state is overwritten; the
+                // node keeps running and self-stabilization takes over.
+                replica.own = state;
+                log_transition(&replica, &mut last_privileged);
+                broadcast(&replica, &mut stats);
+            }
+            Ok(NodeMsg::State(from, state)) => {
+                if cfg.loss > 0.0 && rng.random_bool(cfg.loss) {
+                    stats.messages_dropped += 1;
+                    continue;
+                }
+                stats.messages_received += 1;
+                let slot = if from == pred { 0 } else { 1 };
+                last_heard[slot] = Instant::now();
+                suspected[slot] = false;
+                replica.update_cache(n, from, state);
+                // Privilege may change on a pure cache refresh (e.g. the
+                // primary token arriving) — log before any dwell.
+                log_transition(&replica, &mut last_privileged);
+                if replica.enabled_rule(&algo).is_some() {
+                    if !cfg.exec_delay.is_zero() {
+                        // Critical-section dwell: the node stays privileged
+                        // while it does its work.
+                        thread::sleep(cfg.exec_delay);
+                    }
+                    if replica.execute_one(&algo).is_some() {
+                        stats.rules_executed += 1;
+                        broadcast(&replica, &mut stats);
+                    }
+                    log_transition(&replica, &mut last_privileged);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                broadcast(&replica, &mut stats);
+                // Watchdog: flag neighbours that have gone silent.
+                if !cfg.suspicion.is_zero() {
+                    for (slot, _neighbour) in [(0usize, pred), (1, succ)] {
+                        if !suspected[slot] && last_heard[slot].elapsed() > cfg.suspicion {
+                            suspected[slot] = true;
+                            stats.suspicions += 1;
+                        }
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    (replica.own.clone(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::analyze;
+    use ssr_core::{RingParams, SsrMin, SsToken};
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn ssrmin_ring_runs_and_circulates() {
+        let p = RingParams::new(5, 7).unwrap();
+        let a = SsrMin::new(p);
+        let cfg = RuntimeConfig { tick: ms(2), ..RuntimeConfig::default() };
+        let out = run_ring(a, a.legitimate_anchor(0), cfg, ms(300)).unwrap();
+        let total_rules: u64 = out.stats.iter().map(|s| s.rules_executed).sum();
+        assert!(total_rules > 10, "tokens must circulate ({total_rules} rules)");
+        assert!(!out.events.is_empty(), "privilege must change hands");
+        // Events sorted.
+        for w in out.events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn ssrmin_coverage_has_no_gap_from_legitimate_start() {
+        let p = RingParams::new(5, 7).unwrap();
+        let a = SsrMin::new(p);
+        let cfg = RuntimeConfig { tick: ms(2), exec_delay: ms(1), ..RuntimeConfig::default() };
+        let out = run_ring(a, a.legitimate_anchor(0), cfg, ms(400)).unwrap();
+        let report = analyze(&out.initial_active, &out.events, out.observed, ms(0));
+        assert_eq!(
+            report.uncovered,
+            Duration::ZERO,
+            "graceful handover must leave no gap: {report:?}"
+        );
+        assert!(report.min_active >= 1);
+        assert!(report.max_active <= 2, "(1,2)-CS bound: {report:?}");
+        assert!(report.activations > 2, "handovers must actually happen");
+    }
+
+    #[test]
+    fn dijkstra_ring_has_coverage_gaps() {
+        let p = RingParams::new(5, 7).unwrap();
+        let a = SsToken::new(p);
+        let cfg = RuntimeConfig { tick: ms(2), exec_delay: ms(1), ..RuntimeConfig::default() };
+        let out = run_ring(a, a.uniform_config(0), cfg, ms(400)).unwrap();
+        let report = analyze(&out.initial_active, &out.events, out.observed, ms(0));
+        assert!(
+            report.uncovered > Duration::ZERO,
+            "token-in-flight instants must show up as gaps: {report:?}"
+        );
+    }
+
+    #[test]
+    fn converges_from_random_start_with_loss() {
+        let p = RingParams::new(5, 7).unwrap();
+        let a = SsrMin::new(p);
+        let initial = vec![
+            "6.1.1".parse().unwrap(),
+            "2.0.1".parse().unwrap(),
+            "4.1.0".parse().unwrap(),
+            "0.0.0".parse().unwrap(),
+            "3.1.1".parse().unwrap(),
+        ];
+        let cfg = RuntimeConfig {
+            tick: ms(2),
+            loss: 0.1,
+            seed: 42,
+            ..RuntimeConfig::default()
+        };
+        let out = run_ring(a, initial, cfg, ms(600)).unwrap();
+        // After the run, the final snapshot must be a legitimate
+        // configuration (the ring can only be caught mid-handover, and all
+        // mid-handover ground configurations of SSRmin are legitimate).
+        assert!(
+            a.is_legitimate(&out.final_states),
+            "final states {:?}",
+            out.final_states.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+        );
+        let dropped: u64 = out.stats.iter().map(|s| s.messages_dropped).sum();
+        assert!(dropped > 0, "loss process must fire");
+    }
+
+    #[test]
+    fn injected_faults_are_healed_live() {
+        let p = RingParams::new(5, 7).unwrap();
+        let a = SsrMin::new(p);
+        let faults: Vec<(Duration, usize, ssr_core::SsrState)> = vec![
+            (ms(100), 2, "6.1.1".parse().unwrap()),
+            (ms(160), 4, "1.0.1".parse().unwrap()),
+            (ms(220), 0, "5.1.0".parse().unwrap()),
+        ];
+        let cfg = RuntimeConfig { tick: ms(2), seed: 3, ..RuntimeConfig::default() };
+        let out = run_ring_with_faults(a, a.legitimate_anchor(0), cfg, ms(700), faults).unwrap();
+        // Well after the last fault the snapshot is legitimate again.
+        assert!(
+            a.is_legitimate(&out.final_states),
+            "failed to heal: {:?}",
+            out.final_states.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+        );
+        // And the post-fault tail shows coverage (generous warmup past the
+        // last fault + recovery time).
+        let report = analyze(&out.initial_active, &out.events, out.observed, ms(400));
+        assert_eq!(report.uncovered, Duration::ZERO, "{report:?}");
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_on_a_healthy_ring() {
+        let p = RingParams::new(5, 7).unwrap();
+        let a = SsrMin::new(p);
+        let cfg = RuntimeConfig {
+            tick: ms(2),
+            suspicion: Duration::from_millis(120),
+            ..RuntimeConfig::default()
+        };
+        let out = run_ring(a, a.legitimate_anchor(0), cfg, ms(400)).unwrap();
+        let total: u64 = out.stats.iter().map(|s| s.suspicions).sum();
+        assert_eq!(total, 0, "healthy neighbours must not be suspected");
+    }
+
+    #[test]
+    fn watchdog_fires_under_total_loss() {
+        // 100% inbound loss: every node drops everything it receives, so
+        // every node eventually suspects both neighbours.
+        let p = RingParams::new(5, 7).unwrap();
+        let a = SsrMin::new(p);
+        let cfg = RuntimeConfig {
+            tick: ms(2),
+            loss: 1.0,
+            suspicion: Duration::from_millis(40),
+            ..RuntimeConfig::default()
+        };
+        let out = run_ring(a, a.legitimate_anchor(0), cfg, ms(400)).unwrap();
+        let total: u64 = out.stats.iter().map(|s| s.suspicions).sum();
+        assert!(total >= 5, "watchdog must notice the dead air: {total}");
+    }
+
+    #[test]
+    fn fault_schedule_rejects_bad_node() {
+        let p = RingParams::new(5, 7).unwrap();
+        let a = SsrMin::new(p);
+        let faults = vec![(ms(10), 9usize, "0.0.0".parse().unwrap())];
+        assert!(run_ring_with_faults(a, a.legitimate_anchor(0), RuntimeConfig::default(), ms(10), faults)
+            .is_err());
+    }
+
+    #[test]
+    fn sixteen_node_ring_covers_continuously() {
+        let p = RingParams::minimal(16).unwrap();
+        let a = SsrMin::new(p);
+        let cfg = RuntimeConfig { tick: ms(2), exec_delay: ms(1), ..RuntimeConfig::default() };
+        let out = run_ring(a, a.legitimate_anchor(0), cfg, ms(600)).unwrap();
+        let report = analyze(&out.initial_active, &out.events, out.observed, ms(0));
+        assert_eq!(report.uncovered, Duration::ZERO, "{report:?}");
+        assert!(report.max_active <= 2);
+    }
+
+    /// Long soak for manual runs: `cargo test -p ssr-runtime -- --ignored`.
+    #[test]
+    #[ignore = "multi-second soak; run explicitly"]
+    fn soak_thirty_two_nodes_ten_seconds() {
+        let p = RingParams::minimal(32).unwrap();
+        let a = SsrMin::new(p);
+        let cfg = RuntimeConfig {
+            tick: ms(2),
+            exec_delay: ms(1),
+            loss: 0.05,
+            seed: 99,
+            suspicion: Duration::from_millis(250),
+        };
+        let out = run_ring(a, a.legitimate_anchor(0), cfg, Duration::from_secs(10)).unwrap();
+        let report = analyze(&out.initial_active, &out.events, out.observed, ms(100));
+        assert_eq!(report.uncovered, Duration::ZERO, "{report:?}");
+        assert!(a.is_legitimate(&out.final_states));
+        let suspicions: u64 = out.stats.iter().map(|s| s.suspicions).sum();
+        assert_eq!(suspicions, 0, "no healthy neighbour should be suspected");
+    }
+
+    #[test]
+    fn rejects_invalid_initial_config() {
+        let p = RingParams::new(5, 7).unwrap();
+        let a = SsrMin::new(p);
+        assert!(run_ring(a, vec![], RuntimeConfig::default(), ms(10)).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! State-space indexing: bijections between configurations and dense `u64`
+//! indices, so the checker can colour the whole space with flat arrays.
+
+use ssr_core::{Config, RingAlgorithm, RingParams, SsrState};
+
+/// The per-process state alphabet of an algorithm, with a dense index.
+pub trait StateAlphabet: RingAlgorithm {
+    /// Number of distinct per-process states.
+    fn alphabet_size(&self) -> usize;
+    /// Dense index of a state, in `0..alphabet_size()`.
+    fn state_index(&self, s: &Self::State) -> usize;
+    /// Inverse of [`StateAlphabet::state_index`].
+    fn state_at(&self, idx: usize) -> Self::State;
+
+    /// Total number of configurations, `alphabet_size()^n`, if it fits.
+    fn config_count(&self) -> Option<u64> {
+        let a = self.alphabet_size() as u64;
+        let mut total: u64 = 1;
+        for _ in 0..self.n() {
+            total = total.checked_mul(a)?;
+        }
+        Some(total)
+    }
+
+    /// Mixed-radix index of a configuration (process 0 least significant).
+    fn config_index(&self, config: &[Self::State]) -> u64 {
+        let a = self.alphabet_size() as u64;
+        let mut idx: u64 = 0;
+        for s in config.iter().rev() {
+            idx = idx * a + self.state_index(s) as u64;
+        }
+        idx
+    }
+
+    /// Inverse of [`StateAlphabet::config_index`].
+    fn config_at(&self, mut idx: u64) -> Config<Self::State> {
+        let a = self.alphabet_size() as u64;
+        (0..self.n())
+            .map(|_| {
+                let d = (idx % a) as usize;
+                idx /= a;
+                self.state_at(d)
+            })
+            .collect()
+    }
+}
+
+/// SSRmin's alphabet: `4K` states per process (Theorem 1).
+impl StateAlphabet for ssr_core::SsrMin {
+    fn alphabet_size(&self) -> usize {
+        4 * self.params().k() as usize
+    }
+
+    fn state_index(&self, s: &SsrState) -> usize {
+        (s.x as usize) * 4 + s.flag_code() as usize
+    }
+
+    fn state_at(&self, idx: usize) -> SsrState {
+        let x = (idx / 4) as u32;
+        let flags = idx % 4;
+        SsrState::new(x, (flags >> 1) as u8, (flags & 1) as u8)
+    }
+}
+
+/// Dijkstra's four-state alphabet: `x` and `up` bits.
+impl StateAlphabet for ssr_core::Dijkstra4 {
+    fn alphabet_size(&self) -> usize {
+        4
+    }
+
+    fn state_index(&self, s: &ssr_core::D4State) -> usize {
+        (s.x as usize) << 1 | s.up as usize
+    }
+
+    fn state_at(&self, idx: usize) -> ssr_core::D4State {
+        ssr_core::D4State::new((idx >> 1) as u8, (idx & 1) as u8)
+    }
+}
+
+/// Dijkstra's alphabet: `K` counter values.
+impl StateAlphabet for ssr_core::SsToken {
+    fn alphabet_size(&self) -> usize {
+        self.params().k() as usize
+    }
+
+    fn state_index(&self, s: &u32) -> usize {
+        *s as usize
+    }
+
+    fn state_at(&self, idx: usize) -> u32 {
+        idx as u32
+    }
+}
+
+/// Helper: ring parameters small enough for exhaustive checking. Returns
+/// the configuration count or `None` if above `limit`.
+pub fn exhaustive_size<A: StateAlphabet>(algo: &A, limit: u64) -> Option<u64> {
+    algo.config_count().filter(|&c| c <= limit)
+}
+
+/// Convenience constructor used by tests and experiment binaries.
+pub fn ssrmin(n: usize, k: u32) -> ssr_core::SsrMin {
+    ssr_core::SsrMin::new(RingParams::new(n, k).expect("valid parameters"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_core::SsToken;
+
+    #[test]
+    fn ssrmin_state_index_roundtrip() {
+        let a = ssrmin(3, 4);
+        assert_eq!(a.alphabet_size(), 16);
+        for idx in 0..16 {
+            let s = a.state_at(idx);
+            assert_eq!(a.state_index(&s), idx);
+        }
+    }
+
+    #[test]
+    fn ssrmin_config_index_roundtrip() {
+        let a = ssrmin(3, 4);
+        assert_eq!(a.config_count(), Some(4096));
+        for idx in [0u64, 1, 17, 4095, 2048] {
+            let cfg = a.config_at(idx);
+            assert_eq!(a.config_index(&cfg), idx);
+        }
+        // And the other direction on a known config.
+        let cfg = a.legitimate_anchor(2);
+        let idx = a.config_index(&cfg);
+        assert_eq!(a.config_at(idx), cfg);
+    }
+
+    #[test]
+    fn dijkstra_alphabet() {
+        let a = SsToken::new(RingParams::new(4, 5).unwrap());
+        assert_eq!(a.alphabet_size(), 5);
+        assert_eq!(a.config_count(), Some(625));
+        let cfg = vec![4u32, 0, 3, 2];
+        assert_eq!(a.config_at(a.config_index(&cfg)), cfg);
+    }
+
+    #[test]
+    fn config_count_overflow_returns_none() {
+        let a = ssrmin(64, 65);
+        assert_eq!(a.config_count(), None);
+    }
+
+    #[test]
+    fn exhaustive_size_respects_limit() {
+        let a = ssrmin(3, 4);
+        assert_eq!(exhaustive_size(&a, 10_000), Some(4096));
+        assert_eq!(exhaustive_size(&a, 1_000), None);
+    }
+}

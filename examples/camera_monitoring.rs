@@ -1,0 +1,60 @@
+//! The paper's motivating application, live: a ring of camera nodes (one OS
+//! thread each, channels as radio links) in which at least one camera is
+//! recording at every instant while the duty rotates to save energy.
+//!
+//! ```sh
+//! cargo run --example camera_monitoring
+//! ```
+
+use std::time::Duration;
+
+use ssrmin::runtime::camera::{dijkstra_camera_observe, CameraNetwork};
+use ssrmin::runtime::RuntimeConfig;
+
+fn main() {
+    let n = 6;
+    let cfg = RuntimeConfig {
+        tick: Duration::from_millis(3),
+        exec_delay: Duration::from_millis(2), // each camera records ≥2ms per turn
+        loss: 0.05,                           // 5% simulated radio loss
+        seed: 2024,
+        suspicion: Duration::from_millis(200), // neighbour-failure watchdog
+    };
+
+    println!("Deploying {n} camera nodes (SSRmin over threads + channels, 5% loss)...");
+    let net = CameraNetwork::new(n).expect("valid network size").with_config(cfg);
+    let report = net
+        .observe(Duration::from_millis(1500), Duration::from_millis(100))
+        .expect("deployment runs");
+
+    println!("\n== SSRmin camera network ==");
+    println!("observed window : {:?}", report.coverage.window);
+    println!("uncovered time  : {:?}", report.coverage.uncovered);
+    println!("longest gap     : {:?}", report.coverage.longest_gap);
+    println!("activations     : {}", report.coverage.activations);
+    println!("active cameras  : {}..={}", report.coverage.min_active, report.coverage.max_active);
+    println!("mean duty cycle : {:.3} (ideal range 1/n={:.3} .. 2/n={:.3})",
+        report.mean_duty_cycle(), 1.0 / n as f64, 2.0 / n as f64);
+    for (i, d) in report.coverage.duty_cycle.iter().enumerate() {
+        println!("  camera {i}: duty {:>5.1}%", d * 100.0);
+    }
+    assert!(report.continuous(), "mutual inclusion violated!");
+    println!("Continuous observation: ✓ (no instant with all cameras off)");
+
+    // The same deployment with plain Dijkstra mutual exclusion: the token
+    // spends time "in flight" between nodes, leaving blind spots.
+    let baseline = dijkstra_camera_observe(
+        n,
+        cfg,
+        Duration::from_millis(1500),
+        Duration::from_millis(100),
+    )
+    .expect("baseline runs");
+    println!("\n== Dijkstra SSToken baseline (mutual exclusion only) ==");
+    println!("uncovered time  : {:?}  ({} gaps, longest {:?})",
+        baseline.uncovered, baseline.gaps, baseline.longest_gap);
+    println!(
+        "Blind spots while the token is in transit — exactly the failure SSRmin \
+         eliminates (paper Figure 11 vs Figure 13)."
+    );
+}

@@ -1,0 +1,86 @@
+//! The model gap, demonstrated: three token-circulation designs executed in
+//! the *same* message-passing network (CST transform, identical delays and
+//! dwell times), with their zero-token time compared.
+//!
+//! * Dijkstra's SSToken — correct mutual exclusion in the state-reading
+//!   model, but the token vanishes in transit (Figure 11);
+//! * two independent SSToken instances — two tokens, still hits zero when
+//!   both are in flight (Figure 12);
+//! * SSRmin — model-gap tolerant: never zero (Figure 13 / Theorem 3).
+//!
+//! ```sh
+//! cargo run --example model_gap
+//! ```
+
+use ssrmin::analysis::Table;
+use ssrmin::core::{DualSsToken, RingParams, SsrMin, SsToken};
+use ssrmin::mpnet::{CstSim, DelayModel, SimConfig, TimelineSummary};
+
+fn run<A: ssrmin::core::RingAlgorithm>(
+    algo: A,
+    initial: Vec<A::State>,
+    seed: u64,
+) -> TimelineSummary {
+    let cfg = SimConfig {
+        seed,
+        delay: DelayModel::Uniform { min: 3, max: 8 },
+        loss: 0.0,
+        timer_interval: 40,
+        send_on_receipt: true,
+        exec_delay: 4, // each node works 4 ticks before handing over
+        burst: None,
+    };
+    let mut sim = CstSim::new(algo, initial, cfg).expect("valid configuration");
+    sim.run_until(50_000);
+    sim.timeline().summary(0).expect("non-empty window")
+}
+
+fn main() {
+    let params = RingParams::new(5, 7).expect("valid parameters");
+    let mut table = Table::new(vec![
+        "algorithm",
+        "zero-token time",
+        "zero intervals",
+        "min privileged",
+        "max privileged",
+    ]);
+
+    let dijkstra = SsToken::new(params);
+    let s = run(dijkstra, dijkstra.uniform_config(0), 1);
+    table.row(vec![
+        "SSToken (Dijkstra)".to_string(),
+        s.zero_privileged_time.to_string(),
+        s.zero_privileged_intervals.to_string(),
+        s.min_privileged.to_string(),
+        s.max_privileged.to_string(),
+    ]);
+
+    let dual = DualSsToken::new(params);
+    let s = run(dual, dual.config_with_tokens_at(0, 2, 0), 1);
+    table.row(vec![
+        "2 × SSToken (independent)".to_string(),
+        s.zero_privileged_time.to_string(),
+        s.zero_privileged_intervals.to_string(),
+        s.min_privileged.to_string(),
+        s.max_privileged.to_string(),
+    ]);
+
+    let ssrmin = SsrMin::new(params);
+    let s = run(ssrmin, ssrmin.legitimate_anchor(0), 1);
+    table.row(vec![
+        "SSRmin (this paper)".to_string(),
+        s.zero_privileged_time.to_string(),
+        s.zero_privileged_intervals.to_string(),
+        s.min_privileged.to_string(),
+        s.max_privileged.to_string(),
+    ]);
+
+    println!("Message-passing execution, 50k ticks, n = 5 (paper Figures 11–13):\n");
+    print!("{}", table.render());
+    println!(
+        "\nOnly SSRmin keeps ≥1 privileged node at every instant — the\n\
+         'model gap tolerance' the paper introduces. Its handshake also caps\n\
+         the privileged count at 2, unlike unboundedly many tokens."
+    );
+    assert_eq!(s.zero_privileged_time, 0);
+}

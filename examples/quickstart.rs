@@ -1,0 +1,39 @@
+//! Quickstart: run SSRmin in the state-reading model and watch the two
+//! tokens circulate like an inchworm.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ssrmin::core::{RingAlgorithm, RingParams, SsrMin};
+use ssrmin::daemon::daemons::CentralFirst;
+use ssrmin::daemon::{trace, Engine};
+
+fn main() {
+    // A ring of five processes, K = 7 > n (the paper's example size).
+    let params = RingParams::new(5, 7).expect("valid parameters");
+    let algo = SsrMin::new(params);
+
+    // Start from the legitimate anchor configuration of Figure 4:
+    // (3.0.1, 3.0.0, 3.0.0, 3.0.0, 3.0.0) — P0 holds both tokens.
+    let initial = algo.legitimate_anchor(3);
+    let mut engine = Engine::new(algo, initial).expect("valid configuration");
+
+    // In legitimate configurations exactly one process is enabled, so every
+    // daemon produces the same execution; 15 steps = one full handover lap.
+    let mut daemon = CentralFirst;
+    let t = engine.run_traced(&mut daemon, 15);
+
+    println!("SSRmin execution (n = 5, K = 7) — compare with the paper's Figure 4:");
+    println!("'P' = primary token, 'S' = secondary token, '/r' = rule about to fire\n");
+    print!("{}", trace::render_ssrmin_trace(&algo, &t));
+
+    // Every configuration along the way is legitimate with 1..=2 privileged
+    // processes — the mutual-inclusion guarantee.
+    for (step, cfg) in t.configs().iter().enumerate() {
+        assert!(algo.is_legitimate(cfg), "step {step} legitimate");
+        let holders = algo.token_holders(cfg);
+        assert!((1..=2).contains(&holders.len()));
+    }
+    println!("\nAll {} configurations legitimate; privileged count always in 1..=2. ✓", t.configs().len());
+}

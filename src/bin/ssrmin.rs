@@ -1,0 +1,451 @@
+//! `ssrmin` — the command-line face of the library.
+//!
+//! ```text
+//! ssrmin run        [-n 5] [-k 7] [--steps 20] [--daemon central|sync|random|delay] [--start legit|random|adversarial] [--seed 0]
+//! ssrmin simulate   [-n 5] [-k 7] [--ticks 20000] [--algo ssrmin|dijkstra|dual] [--loss 0.0] [--dwell 4] [--seed 0]
+//! ssrmin verify     [-n 3] [-k 4] [--algo ssrmin|dijkstra] [--limit 2000000]
+//! ssrmin camera     [-n 6] [--ms 1000] [--loss 0.05] [--seed 0]
+//! ssrmin converge   [-n 8] [-k 0(=n+1)] [--seeds 20] [--daemon ...]
+//! ```
+//!
+//! Arguments are `--key value` pairs (or `-n`/`-k` shorthands); anything
+//! missing takes the default shown above.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ssrmin::analysis::{privileged_strip, summarize, DaemonKind, Table};
+use ssrmin::core::{CriticalSectionProtocol, DualSsToken, RingParams, SsrMin, SsToken};
+use ssrmin::daemon::{measure_convergence, random_config, trace, Engine};
+use ssrmin::mpnet::{CstSim, DelayModel, SimConfig};
+use ssrmin::runtime::camera::CameraNetwork;
+use ssrmin::runtime::RuntimeConfig;
+use ssrmin::RingAlgorithm;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, opts)) = parse(&args) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "verify" => cmd_verify(&opts),
+        "camera" => cmd_camera(&opts),
+        "converge" => cmd_converge(&opts),
+        "transcript" => cmd_transcript(&opts),
+        "adversary" => cmd_adversary(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+ssrmin — self-stabilizing token circulation with graceful handover
+
+USAGE:
+  ssrmin run       [-n N] [-k K] [--steps S] [--daemon central|sync|random|delay]
+                   [--start legit|random|adversarial] [--seed SEED]
+                     trace an execution in the state-reading model
+  ssrmin simulate  [-n N] [-k K] [--ticks T] [--algo ssrmin|dijkstra|dual]
+                   [--loss P] [--dwell D] [--seed SEED]
+                     run the message-passing (CST) simulator and report token
+                     availability (the '!' marks in the strip are instants
+                     with zero privileged nodes)
+  ssrmin verify    [-n N] [-k K] [--algo ssrmin|dijkstra] [--limit L]
+                     exhaustively model-check closure/convergence/no-deadlock
+                     over ALL daemon schedules (small rings only)
+  ssrmin camera    [-n N] [--ms MS] [--loss P] [--seed SEED]
+                     run the live threaded camera network and report coverage
+  ssrmin converge  [-n N] [-k K] [--seeds S] [--daemon ...]
+                     measure stabilization time from random configurations
+  ssrmin transcript [-n N] [--ticks T] [--loss P] [--tail L] [--seed SEED]
+                     run the CST simulator with event recording and print
+                     the last L events
+  ssrmin adversary  [-n N] [-k K] [--budget B] [--seed SEED]
+                     hill-climb for a worst-case schedule (and, for tiny
+                     rings, compare with the checker's exact bound)";
+
+type Opts = HashMap<String, String>;
+
+fn parse(args: &[String]) -> Option<(String, Opts)> {
+    let mut it = args.iter();
+    let cmd = it.next()?.clone();
+    let mut opts = Opts::new();
+    let mut key: Option<String> = None;
+    for a in it {
+        if let Some(k) = key.take() {
+            opts.insert(k, a.clone());
+        } else if let Some(stripped) = a.strip_prefix("--") {
+            key = Some(stripped.to_string());
+        } else if let Some(stripped) = a.strip_prefix('-') {
+            key = Some(match stripped {
+                "n" => "n".into(),
+                "k" => "k".into(),
+                other => other.to_string(),
+            });
+        } else {
+            return None;
+        }
+    }
+    if key.is_some() {
+        return None; // dangling flag without value
+    }
+    Some((cmd, opts))
+}
+
+fn get<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v:?}")),
+    }
+}
+
+fn ring_params(opts: &Opts, default_n: usize) -> Result<RingParams, String> {
+    let n: usize = get(opts, "n", default_n)?;
+    let k: u32 = get(opts, "k", 0u32)?;
+    let k = if k == 0 { n as u32 + 1 } else { k };
+    RingParams::new(n, k).map_err(|e| e.to_string())
+}
+
+fn daemon_kind(opts: &Opts) -> Result<DaemonKind, String> {
+    match opts.get("daemon").map(String::as_str).unwrap_or("central") {
+        "central" => Ok(DaemonKind::CentralFirst),
+        "sync" | "synchronous" => Ok(DaemonKind::Synchronous),
+        "random" => Ok(DaemonKind::CentralRandom),
+        "delay" => Ok(DaemonKind::DelayDijkstra),
+        "distributed" => Ok(DaemonKind::DistributedRandom(0.5)),
+        other => Err(format!("unknown daemon {other:?}")),
+    }
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), String> {
+    let params = ring_params(opts, 5)?;
+    let steps: u64 = get(opts, "steps", 3 * params.n() as u64)?;
+    let seed: u64 = get(opts, "seed", 0u64)?;
+    let algo = SsrMin::new(params);
+    let initial = match opts.get("start").map(String::as_str).unwrap_or("legit") {
+        "legit" => algo.legitimate_anchor(0),
+        "random" => random_config::random_ssr_config(params, seed),
+        "adversarial" => random_config::adversarial_ssr_config(params),
+        other => return Err(format!("unknown start {other:?}")),
+    };
+    let mut daemon = daemon_kind(opts)?.build(seed);
+    let mut engine = Engine::new(algo, initial).map_err(|e| e.to_string())?;
+    let t = engine.run_traced(daemon.as_mut(), steps);
+    println!(
+        "SSRmin, n = {}, K = {}, daemon = {} ({} steps, {} rounds):\n",
+        params.n(),
+        params.k(),
+        daemon.name(),
+        engine.steps(),
+        engine.rounds(),
+    );
+    print!("{}", trace::render_ssrmin_trace(&algo, &t));
+    let legit = algo.is_legitimate(engine.config());
+    println!("\nfinal configuration legitimate: {legit}");
+    Ok(())
+}
+
+fn cmd_simulate(opts: &Opts) -> Result<(), String> {
+    let params = ring_params(opts, 5)?;
+    let ticks: u64 = get(opts, "ticks", 20_000u64)?;
+    let seed: u64 = get(opts, "seed", 0u64)?;
+    let loss: f64 = get(opts, "loss", 0.0f64)?;
+    let dwell: u64 = get(opts, "dwell", 4u64)?;
+    let cfg = SimConfig {
+        seed,
+        delay: DelayModel::Uniform { min: 2, max: 9 },
+        loss,
+        timer_interval: 40,
+        send_on_receipt: true,
+        exec_delay: dwell,
+        burst: None,
+    };
+    let algo_name = opts.get("algo").map(String::as_str).unwrap_or("ssrmin");
+
+    // Run, summarize and draw the strip for whichever algorithm was picked.
+    macro_rules! drive {
+        ($algo:expr, $initial:expr) => {{
+            let algo = $algo;
+            let spec = algo.cs_spec_message_passing();
+            let mut sim = CstSim::new(algo, $initial, cfg).map_err(|e| e.to_string())?;
+            sim.run_until(ticks);
+            let sum = sim.timeline().summary(0).ok_or("empty timeline")?;
+            let strip = privileged_strip(sim.timeline().samples(), ticks, 72);
+            let stats = sim.stats();
+            println!("{algo_name}, n = {}, K = {}, {ticks} ticks, loss = {loss}", params.n(), params.k());
+            println!("message-passing guarantee: {spec}\n");
+            println!("privileged nodes over time ('!' = none — a mutual-inclusion violation):");
+            println!("  [{strip}]");
+            println!("\nzero-privileged time : {} ticks ({:.2}% of the run)",
+                sum.zero_privileged_time,
+                100.0 * sum.zero_privileged_time as f64 / sum.window as f64);
+            println!("privileged range     : {}..={}", sum.min_privileged, sum.max_privileged);
+            println!("transmissions        : {} ({} lost)", stats.transmissions, stats.losses);
+            println!("rules executed       : {}", stats.rules_executed);
+            let d3 = sim.definition3_check();
+            println!("Definition 3 (now)   : h_true = {}, h_cached = {} — {}",
+                d3.h_true, d3.h_cached, if d3.holds() { "agrees" } else { "MODEL GAP" });
+        }};
+    }
+    match algo_name {
+        "ssrmin" => {
+            let a = SsrMin::new(params);
+            drive!(a, a.legitimate_anchor(0));
+        }
+        "dijkstra" => {
+            let a = SsToken::new(params);
+            drive!(a, a.uniform_config(0));
+        }
+        "dual" => {
+            let a = DualSsToken::new(params);
+            drive!(a, a.config_with_tokens_at(0, params.n() / 2, 0));
+        }
+        other => return Err(format!("unknown algo {other:?}")),
+    }
+    Ok(())
+}
+
+fn cmd_verify(opts: &Opts) -> Result<(), String> {
+    let params = ring_params(opts, 3)?;
+    let limit: u64 = get(opts, "limit", 2_000_000u64)?;
+    let algo_name = opts.get("algo").map(String::as_str).unwrap_or("ssrmin");
+    let report = match algo_name {
+        "ssrmin" => ssrmin::verify::verify(&SsrMin::new(params), limit),
+        "dijkstra" => ssrmin::verify::verify(&SsToken::new(params), limit),
+        other => return Err(format!("unknown algo {other:?}")),
+    }
+    .map_err(|e| e.to_string())?;
+    println!("exhaustive model check: {algo_name}, n = {}, K = {}", params.n(), params.k());
+    let mut table = Table::new(vec!["property", "result"]);
+    table.row(vec!["configurations".to_string(), report.configs.to_string()]);
+    table.row(vec!["legitimate (|Λ|)".to_string(), report.legitimate.to_string()]);
+    table.row(vec!["closure (Lemma 1)".to_string(), ok(report.closure_holds)]);
+    table.row(vec!["no deadlock (Lemma 4)".to_string(), ok(report.deadlock_free)]);
+    table.row(vec!["convergence (Lemma 6)".to_string(), ok(report.converges)]);
+    table.row(vec![
+        "privileged in ALL configs".to_string(),
+        format!("{}..={}", report.min_privileged_all, report.max_privileged_all),
+    ]);
+    table.row(vec![
+        "privileged in Λ (Thm 1)".to_string(),
+        format!("{}..={}", report.min_privileged_legit, report.max_privileged_legit),
+    ]);
+    table.row(vec![
+        "exact worst-case stabilization".to_string(),
+        format!("{} steps", report.worst_case_steps),
+    ]);
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn ok(b: bool) -> String {
+    if b { "holds".into() } else { "VIOLATED".into() }
+}
+
+fn cmd_camera(opts: &Opts) -> Result<(), String> {
+    let n: usize = get(opts, "n", 6usize)?;
+    let ms: u64 = get(opts, "ms", 1000u64)?;
+    let loss: f64 = get(opts, "loss", 0.05f64)?;
+    let seed: u64 = get(opts, "seed", 0u64)?;
+    let cfg = RuntimeConfig {
+        tick: Duration::from_millis(3),
+        exec_delay: Duration::from_millis(2),
+        loss,
+        seed,
+        suspicion: Duration::ZERO,
+    };
+    let net = CameraNetwork::new(n).map_err(|e| e.to_string())?.with_config(cfg);
+    let report = net
+        .observe(Duration::from_millis(ms), Duration::from_millis(ms / 10))
+        .map_err(|e| e.to_string())?;
+    println!("camera network: n = {n}, {ms} ms, loss = {loss}");
+    println!("continuous observation : {}", report.continuous());
+    println!("uncovered time         : {:?}", report.coverage.uncovered);
+    println!("active cameras         : {}..={}", report.coverage.min_active, report.coverage.max_active);
+    println!("handovers (activations): {}", report.coverage.activations);
+    println!("mean duty cycle        : {:.3}", report.mean_duty_cycle());
+    for (i, d) in report.coverage.duty_cycle.iter().enumerate() {
+        println!("  camera {i}: {:>5.1}%", d * 100.0);
+    }
+    Ok(())
+}
+
+fn cmd_converge(opts: &Opts) -> Result<(), String> {
+    let params = ring_params(opts, 8)?;
+    let seeds: u64 = get(opts, "seeds", 20u64)?;
+    let kind = daemon_kind(opts)?;
+    let algo = SsrMin::new(params);
+    let budget = 100 * (params.n() as u64).pow(2) + 1000;
+    let mut steps = Vec::new();
+    let mut rounds = Vec::new();
+    for seed in 0..seeds {
+        let cfg = random_config::random_ssr_config(params, seed);
+        let mut daemon = kind.build(seed);
+        let r = measure_convergence(algo, cfg, daemon.as_mut(), budget, 0)
+            .ok_or("did not converge within the quadratic envelope")?;
+        steps.push(r.steps);
+        rounds.push(r.rounds);
+    }
+    let s = summarize(&steps).ok_or("no samples")?;
+    let rd = summarize(&rounds).ok_or("no samples")?;
+    println!(
+        "convergence from random configurations: n = {}, K = {}, daemon = {}, {seeds} seeds",
+        params.n(),
+        params.k(),
+        kind.label()
+    );
+    println!("steps : mean {:.1}, median {}, p95 {}, max {}", s.mean, s.median, s.p95, s.max);
+    println!("rounds: mean {:.1}, median {}, p95 {}, max {}", rd.mean, rd.median, rd.p95, rd.max);
+    println!("mean steps / n² = {:.3}", s.mean / (params.n() * params.n()) as f64);
+    Ok(())
+}
+
+fn cmd_transcript(opts: &Opts) -> Result<(), String> {
+    let params = ring_params(opts, 5)?;
+    let ticks: u64 = get(opts, "ticks", 3_000u64)?;
+    let loss: f64 = get(opts, "loss", 0.1f64)?;
+    let tail: usize = get(opts, "tail", 25usize)?;
+    let seed: u64 = get(opts, "seed", 0u64)?;
+    let algo = SsrMin::new(params);
+    let cfg = SimConfig {
+        seed,
+        delay: DelayModel::Uniform { min: 2, max: 9 },
+        loss,
+        timer_interval: 40,
+        send_on_receipt: true,
+        exec_delay: 0,
+        burst: None,
+    };
+    let mut sim =
+        CstSim::new(algo, algo.legitimate_anchor(0), cfg).map_err(|e| e.to_string())?;
+    sim.enable_transcript(tail);
+    sim.run_until(ticks);
+    println!(
+        "SSRmin CST run, n = {}, {} ticks, loss = {loss} — last {tail} events:\n",
+        params.n(),
+        ticks
+    );
+    print!("{}", sim.transcript().expect("enabled").render());
+    let d3 = sim.definition3_check();
+    println!(
+        "\nDefinition 3 at t={}: h_true = {}, h_cached = {} ({})",
+        sim.now(),
+        d3.h_true,
+        d3.h_cached,
+        if d3.holds() { "agrees" } else { "MODEL GAP" }
+    );
+    Ok(())
+}
+
+fn cmd_adversary(opts: &Opts) -> Result<(), String> {
+    let params = ring_params(opts, 4)?;
+    let budget: u64 = get(opts, "budget", 4_000u64)?;
+    let seed: u64 = get(opts, "seed", 42u64)?;
+    let algo = SsrMin::new(params);
+    let found = ssrmin::analysis::search_worst_case(algo, budget, seed);
+    println!(
+        "worst schedule found for n = {}, K = {}: {} steps ({} evaluations)",
+        params.n(),
+        params.k(),
+        found.steps,
+        found.evaluations
+    );
+    println!(
+        "initial configuration: {}",
+        found
+            .initial
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let space = (4u64 * params.k() as u64).checked_pow(params.n() as u32);
+    if let Some(size) = space.filter(|&s| s <= 500_000) {
+        let exact = ssrmin::verify::verify(&algo, size).map_err(|e| e.to_string())?;
+        println!(
+            "exact worst case (model checker over {} configs): {} steps — search reached {:.0}%",
+            exact.configs,
+            exact.worst_case_steps,
+            100.0 * found.steps as f64 / exact.worst_case_steps.max(1) as f64
+        );
+    } else {
+        println!("(state space too large for the exact checker — search result is a lower bound)");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(pairs: &[(&str, &str)]) -> Opts {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn parse_accepts_flags_and_shorthands() {
+        let args: Vec<String> =
+            ["run", "-n", "5", "--steps", "9"].iter().map(|s| s.to_string()).collect();
+        let (cmd, o) = parse(&args).unwrap();
+        assert_eq!(cmd, "run");
+        assert_eq!(o.get("n").unwrap(), "5");
+        assert_eq!(o.get("steps").unwrap(), "9");
+    }
+
+    #[test]
+    fn parse_rejects_dangling_flag_and_bare_word() {
+        let args: Vec<String> = ["run", "--steps"].iter().map(|s| s.to_string()).collect();
+        assert!(parse(&args).is_none());
+        let args: Vec<String> = ["run", "bare"].iter().map(|s| s.to_string()).collect();
+        assert!(parse(&args).is_none());
+    }
+
+    #[test]
+    fn get_parses_and_defaults() {
+        let o = opts(&[("n", "7")]);
+        assert_eq!(get(&o, "n", 3usize).unwrap(), 7);
+        assert_eq!(get(&o, "missing", 42u64).unwrap(), 42);
+        let bad = opts(&[("n", "x")]);
+        assert!(get(&bad, "n", 3usize).is_err());
+    }
+
+    #[test]
+    fn ring_params_defaults_k_to_n_plus_one() {
+        let o = opts(&[("n", "6")]);
+        let p = ring_params(&o, 5).unwrap();
+        assert_eq!(p.n(), 6);
+        assert_eq!(p.k(), 7);
+    }
+
+    #[test]
+    fn subcommands_run_end_to_end() {
+        cmd_run(&opts(&[("n", "4"), ("steps", "6")])).unwrap();
+        cmd_simulate(&opts(&[("n", "4"), ("ticks", "2000")])).unwrap();
+        cmd_simulate(&opts(&[("algo", "dijkstra"), ("ticks", "2000")])).unwrap();
+        cmd_verify(&opts(&[("n", "3"), ("k", "4")])).unwrap();
+        cmd_converge(&opts(&[("n", "5"), ("seeds", "3")])).unwrap();
+        cmd_transcript(&opts(&[("n", "4"), ("ticks", "800"), ("tail", "6")])).unwrap();
+        cmd_adversary(&opts(&[("n", "3"), ("k", "4"), ("budget", "300")])).unwrap();
+    }
+
+    #[test]
+    fn unknown_values_error_cleanly() {
+        assert!(cmd_run(&opts(&[("start", "bogus")])).is_err());
+        assert!(cmd_simulate(&opts(&[("algo", "bogus")])).is_err());
+        assert!(daemon_kind(&opts(&[("daemon", "bogus")])).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! # ssrmin — self-stabilizing token circulation with graceful handover
+//!
+//! Facade crate re-exporting the whole workspace:
+//!
+//! * [`core`](ssr_core) — the SSRmin algorithm (mutual inclusion on
+//!   bidirectional rings), Dijkstra's K-state ring and the multi-token
+//!   baselines, all as guarded commands over the [`core::RingAlgorithm`]
+//!   trait.
+//! * [`daemon`](ssr_daemon) — state-reading execution engine with central /
+//!   synchronous / distributed / adversarial daemons, traces and convergence
+//!   measurement.
+//! * [`mpnet`](ssr_mpnet) — deterministic discrete-event message-passing
+//!   simulator with the Cached Sensornet Transform (CST).
+//! * [`runtime`](ssr_runtime) — threaded runtime (one thread per node over
+//!   channels) with the monitoring-application layer.
+//! * [`analysis`](ssr_analysis) — token statistics, convergence statistics,
+//!   domination-graph analysis, adversary synthesis, table rendering.
+//! * [`verify`](ssr_verify) — explicit-state model checking: closure,
+//!   convergence and token bounds over the complete daemon transition
+//!   relation, plus exact worst-case stabilization times.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the paper-to-code map.
+
+pub use ssr_analysis as analysis;
+pub use ssr_core as core;
+pub use ssr_daemon as daemon;
+pub use ssr_mpnet as mpnet;
+pub use ssr_runtime as runtime;
+pub use ssr_verify as verify;
+
+pub use ssr_core::{
+    Config, RingAlgorithm, RingParams, SsrMin, SsrRule, SsrState, SsToken, TokenKind, TokenSet,
+};

@@ -1,0 +1,87 @@
+//! End-to-end tests of the `ssrmin` CLI binary: real process spawns, real
+//! stdout, exit codes.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ssrmin"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let (ok, stdout, _) = run(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("simulate"));
+    assert!(stdout.contains("verify"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown subcommand"));
+}
+
+#[test]
+fn run_prints_figure4_notation() {
+    let (ok, stdout, _) = run(&["run", "-n", "5", "-k", "7", "--steps", "3"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("0.0.1PS/1"), "{stdout}");
+    assert!(stdout.contains("final configuration legitimate: true"));
+}
+
+#[test]
+fn simulate_reports_zero_gap_for_ssrmin() {
+    let (ok, stdout, _) = run(&["simulate", "-n", "4", "--ticks", "4000"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("zero-privileged time : 0 ticks"), "{stdout}");
+    // The strip line (between brackets) must contain no '!' alarms; the
+    // legend text above it legitimately contains one.
+    let strip = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with('['))
+        .expect("strip line present");
+    assert!(!strip.contains('!'), "strip must contain no alarms: {strip}");
+}
+
+#[test]
+fn simulate_shows_the_gap_for_dijkstra() {
+    let (ok, stdout, _) = run(&["simulate", "-n", "4", "--algo", "dijkstra", "--ticks", "4000"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains('!'), "Dijkstra must alarm: {stdout}");
+}
+
+#[test]
+fn verify_reports_all_properties() {
+    let (ok, stdout, _) = run(&["verify", "-n", "3", "-k", "4"]);
+    assert!(ok, "{stdout}");
+    for needle in ["closure (Lemma 1)", "holds", "exact worst-case stabilization", "16 steps"] {
+        assert!(stdout.contains(needle), "missing {needle:?} in: {stdout}");
+    }
+}
+
+#[test]
+fn invalid_parameters_error_cleanly() {
+    let (ok, _, stderr) = run(&["run", "-n", "2"]);
+    assert!(!ok);
+    assert!(stderr.contains("error:"), "{stderr}");
+    let (ok, _, stderr) = run(&["simulate", "--algo", "nonsense"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown algo"), "{stderr}");
+}
+
+#[test]
+fn dangling_flag_is_rejected() {
+    let (ok, _, stderr) = run(&["run", "--steps"]);
+    assert!(!ok);
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}

@@ -1,0 +1,93 @@
+//! Golden-output regression tests: the rendered figures the README and
+//! EXPERIMENTS.md quote are pinned here so a rendering or algorithm change
+//! cannot silently drift away from the paper's tables.
+
+use ssrmin::core::{RingAlgorithm, RingParams, SsrMin};
+use ssrmin::daemon::daemons::CentralFirst;
+use ssrmin::daemon::{trace, Engine};
+
+/// Figure 4, as printed by `fig04_execution_example` (and the quickstart).
+const FIGURE4_GOLDEN: &str = "\
+Step  P0        P1        P2        P3        P4
+   1  3.0.1PS/1 3.0.0     3.0.0     3.0.0     3.0.0
+   2  3.1.0PS   3.0.0/3   3.0.0     3.0.0     3.0.0
+   3  3.1.0P/2  3.0.1S    3.0.0     3.0.0     3.0.0
+   4  4.0.0     3.0.1PS/1 3.0.0     3.0.0     3.0.0
+   5  4.0.0     3.1.0PS   3.0.0/3   3.0.0     3.0.0
+   6  4.0.0     3.1.0P/2  3.0.1S    3.0.0     3.0.0
+   7  4.0.0     4.0.0     3.0.1PS/1 3.0.0     3.0.0
+   8  4.0.0     4.0.0     3.1.0PS   3.0.0/3   3.0.0
+   9  4.0.0     4.0.0     3.1.0P/2  3.0.1S    3.0.0
+  10  4.0.0     4.0.0     4.0.0     3.0.1PS/1 3.0.0
+  11  4.0.0     4.0.0     4.0.0     3.1.0PS   3.0.0/3
+  12  4.0.0     4.0.0     4.0.0     3.1.0P/2  3.0.1S
+  13  4.0.0     4.0.0     4.0.0     4.0.0     3.0.1PS/1
+  14  4.0.0/3   4.0.0     4.0.0     4.0.0     3.1.0PS
+  15  4.0.1S    4.0.0     4.0.0     4.0.0     3.1.0P/2
+  16  4.0.1PS   4.0.0     4.0.0     4.0.0     4.0.0
+";
+
+#[test]
+fn figure4_rendering_matches_golden() {
+    let params = RingParams::new(5, 7).unwrap();
+    let algo = SsrMin::new(params);
+    let mut engine = Engine::new(algo, algo.legitimate_anchor(3)).unwrap();
+    let mut daemon = CentralFirst;
+    let t = engine.run_traced(&mut daemon, 15);
+    let rendered = trace::render_ssrmin_trace(&algo, &t);
+    assert_eq!(rendered, FIGURE4_GOLDEN, "Figure 4 drifted:\n{rendered}");
+}
+
+/// Figure 3's rule map, pinned cell by cell.
+#[test]
+fn figure3_rule_map_matches_golden() {
+    use ssrmin::core::SsrRule::*;
+    let algo = SsrMin::new(RingParams::new(5, 7).unwrap());
+    let expected = [
+        ((0u8, 0u8), vec![R1], vec![R3]),
+        ((0, 1), vec![R1], vec![R5]),
+        ((1, 0), vec![R2, R4], vec![R3, R5]),
+        ((1, 1), vec![R1], vec![R3, R5]),
+    ];
+    for (flags, with_g, without_g) in expected {
+        assert_eq!(algo.possible_rules(flags, true), with_g, "flags {flags:?}, G");
+        assert_eq!(algo.possible_rules(flags, false), without_g, "flags {flags:?}, ¬G");
+    }
+}
+
+/// The inchworm pattern of Figure 1: token-holder strings for the first
+/// handover cycle.
+#[test]
+fn figure1_inchworm_pattern_matches_golden() {
+    let params = RingParams::new(5, 7).unwrap();
+    let algo = SsrMin::new(params);
+    let mut cfg = algo.legitimate_anchor(0);
+    let mut pattern = Vec::new();
+    for _ in 0..9 {
+        let row: String = (0..5)
+            .map(|i| match algo.tokens_in(&cfg, i).to_string().as_str() {
+                "PS" => 'B',
+                "P" => 'P',
+                "S" => 'S',
+                _ => '.',
+            })
+            .collect();
+        pattern.push(row);
+        let e = algo.enabled_processes(&cfg);
+        cfg = algo.step_process(&cfg, e[0]).unwrap();
+    }
+    assert_eq!(
+        pattern,
+        vec![
+            "B....", // P0 holds both (tra phase)
+            "B....", // P0 holds both (rts phase)
+            "PS...", // split: P at P0, S at P1
+            ".B...", // both at P1
+            ".B...",
+            ".PS..",
+            "..B..",
+            "..B..",
+            "..PS.",
+        ]
+    );
+}

@@ -1,0 +1,198 @@
+//! Property-based tests (proptest) for the core invariants:
+//!
+//! * closure from arbitrary legitimate configurations under arbitrary
+//!   (scripted-adversarial) distributed-daemon choices,
+//! * convergence from arbitrary configurations,
+//! * Lemma 3/4 (primary token exists, no deadlock) on arbitrary
+//!   configurations,
+//! * Lemma 5 (≤ 3n steps without a Dijkstra move) on arbitrary executions,
+//! * daemon-independence of the legitimate cycle.
+
+use proptest::prelude::*;
+
+use ssrmin::core::{legitimacy, RingAlgorithm, RingParams, SsrMin, SsrState};
+use ssrmin::daemon::daemons::{Daemon, EnabledProcess};
+use ssrmin::daemon::{measure_convergence, Engine};
+
+/// A distributed daemon whose choices are entirely driven by a proptest-
+/// generated script: at each step, word `w` selects the subset of enabled
+/// processes `{ e[j] : bit j of w is set }` (coerced non-empty).
+struct ScriptedDaemon {
+    script: Vec<u64>,
+    pos: usize,
+}
+
+impl Daemon for ScriptedDaemon {
+    fn select(&mut self, enabled: &[EnabledProcess], _step: u64) -> Vec<usize> {
+        let w = self.script.get(self.pos).copied().unwrap_or(1);
+        self.pos += 1;
+        let mut picked: Vec<usize> = enabled
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| w & (1 << (j % 64)) != 0)
+            .map(|(_, e)| e.process)
+            .collect();
+        if picked.is_empty() {
+            picked.push(enabled[(w as usize) % enabled.len()].process);
+        }
+        picked
+    }
+    fn name(&self) -> &'static str {
+        "scripted"
+    }
+}
+
+fn arb_params() -> impl Strategy<Value = RingParams> {
+    (3usize..9).prop_flat_map(|n| {
+        ((n as u32 + 1)..(n as u32 + 6)).prop_map(move |k| RingParams::new(n, k).unwrap())
+    })
+}
+
+fn arb_config(params: RingParams) -> impl Strategy<Value = Vec<SsrState>> {
+    proptest::collection::vec(
+        (0..params.k(), any::<bool>(), any::<bool>())
+            .prop_map(|(x, r, t)| SsrState { x, rts: r, tra: t }),
+        params.n(),
+    )
+}
+
+fn arb_legitimate(params: RingParams) -> impl Strategy<Value = Vec<SsrState>> {
+    (0..params.n(), 0..params.k(), 0..3u8).prop_map(move |(i, x, phase)| {
+        let form = match phase {
+            0 => legitimacy::LegitimateForm::BothTra { i, x },
+            1 => legitimacy::LegitimateForm::BothRts { i, x },
+            _ => legitimacy::LegitimateForm::Split { i, x },
+        };
+        legitimacy::build(params, form)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Closure (Lemma 1): from any legitimate configuration, under ANY
+    /// distributed-daemon schedule, every reached configuration is
+    /// legitimate with exactly one enabled process and 1..=2 privileged.
+    #[test]
+    fn closure_under_arbitrary_daemon(
+        params in arb_params(),
+        start_seed in 0usize..1000,
+        script in proptest::collection::vec(any::<u64>(), 1..120),
+    ) {
+        let algo = SsrMin::new(params);
+        // Derive a legitimate start from the seed deterministically.
+        let all = legitimacy::enumerate_legitimate(params);
+        let cfg = all[start_seed % all.len()].clone();
+        let mut engine = Engine::new(algo, cfg).unwrap();
+        let steps = script.len() as u64;
+        let mut daemon = ScriptedDaemon { script, pos: 0 };
+        for _ in 0..steps {
+            prop_assert_eq!(engine.enabled().len(), 1, "exactly one enabled process");
+            engine.step(&mut daemon).expect("no deadlock");
+            prop_assert!(algo.is_legitimate(engine.config()), "closure violated");
+            let holders = algo.token_holders(engine.config());
+            prop_assert!((1..=2).contains(&holders.len()));
+        }
+    }
+
+    /// Convergence (Lemma 6 / Theorem 2): from ANY configuration, under an
+    /// arbitrary scripted daemon (cycled), SSRmin reaches a legitimate
+    /// configuration within the quadratic envelope.
+    #[test]
+    fn convergence_from_arbitrary_config(
+        cfg_script in arb_params().prop_flat_map(|p| (Just(p), arb_config(p), proptest::collection::vec(any::<u64>(), 32))),
+    ) {
+        let (params, cfg, script) = cfg_script;
+        let algo = SsrMin::new(params);
+        let n = params.n() as u64;
+        let budget = 60 * n * n + 2000;
+        // Cycle the script to cover the whole run.
+        struct Cycled { inner: ScriptedDaemon }
+        impl Daemon for Cycled {
+            fn select(&mut self, enabled: &[EnabledProcess], step: u64) -> Vec<usize> {
+                if self.inner.pos >= self.inner.script.len() {
+                    self.inner.pos = 0;
+                }
+                self.inner.select(enabled, step)
+            }
+        }
+        let mut daemon = Cycled { inner: ScriptedDaemon { script, pos: 0 } };
+        let report = measure_convergence(algo, cfg, &mut daemon, budget, 5);
+        prop_assert!(report.is_some(), "did not converge within the quadratic envelope");
+    }
+
+    /// Lemma 3 + Lemma 4 on arbitrary configurations: the primary token
+    /// exists and some process is enabled.
+    #[test]
+    fn primary_exists_and_no_deadlock(
+        pc in arb_params().prop_flat_map(|p| (Just(p), arb_config(p))),
+    ) {
+        let (params, cfg) = pc;
+        let algo = SsrMin::new(params);
+        prop_assert!(algo.primary_count(&cfg) >= 1, "Lemma 3 violated");
+        prop_assert!(!algo.is_deadlocked(&cfg), "Lemma 4 violated");
+    }
+
+    /// Lemma 5: in any execution fragment, the number of consecutive steps
+    /// without a Dijkstra move is at most 3n.
+    #[test]
+    fn lemma5_w24_free_runs_bounded(
+        pcs in arb_params().prop_flat_map(|p| (
+            Just(p),
+            arb_config(p),
+            proptest::collection::vec(any::<u64>(), 64..256),
+        )),
+    ) {
+        let (params, cfg, script) = pcs;
+        let algo = SsrMin::new(params);
+        let mut engine = Engine::new(algo, cfg).unwrap();
+        let steps = script.len() as u64;
+        let mut daemon = ScriptedDaemon { script, pos: 0 };
+        let records = engine.run(&mut daemon, steps);
+        let longest = ssrmin::analysis::max_w24_free_run(&records);
+        prop_assert!(
+            longest <= 3 * params.n() as u64,
+            "W24-free run of {longest} exceeds 3n = {}",
+            3 * params.n()
+        );
+    }
+
+    /// The legitimate cycle is daemon-independent: with exactly one process
+    /// enabled at each legitimate configuration, every daemon yields the
+    /// same execution.
+    #[test]
+    fn legitimate_execution_is_deterministic(
+        pc in arb_params().prop_flat_map(|p| (Just(p), arb_legitimate(p))),
+    ) {
+        let (params, cfg) = pc;
+        let algo = SsrMin::new(params);
+        let mut e1 = Engine::new(algo, cfg.clone()).unwrap();
+        let mut e2 = Engine::new(algo, cfg).unwrap();
+        let mut d1 = ssrmin::daemon::daemons::CentralFirst;
+        let mut d2 = ssrmin::daemon::daemons::Synchronous;
+        for _ in 0..30 {
+            e1.step(&mut d1);
+            e2.step(&mut d2);
+            prop_assert_eq!(e1.config(), e2.config());
+        }
+    }
+
+    /// Round-trip: classify(build(form)) == form for arbitrary forms.
+    #[test]
+    fn legitimacy_roundtrip(
+        params in arb_params(),
+        i_raw in 0usize..64,
+        x_raw in 0u32..64,
+        phase in 0u8..3,
+    ) {
+        let i = i_raw % params.n();
+        let x = x_raw % params.k();
+        let form = match phase {
+            0 => legitimacy::LegitimateForm::BothTra { i, x },
+            1 => legitimacy::LegitimateForm::BothRts { i, x },
+            _ => legitimacy::LegitimateForm::Split { i, x },
+        };
+        let cfg = legitimacy::build(params, form);
+        prop_assert_eq!(legitimacy::classify(params, &cfg), Some(form));
+    }
+}

@@ -1,0 +1,117 @@
+//! End-to-end self-stabilization tests across crates: closure and
+//! convergence of SSRmin under every daemon family, from random, corrupted,
+//! adversarial and (for tiny rings) exhaustively enumerated configurations.
+
+use ssrmin::analysis::{DaemonKind, StartKind};
+use ssrmin::core::{legitimacy, RingAlgorithm, RingParams, SsrMin};
+use ssrmin::daemon::daemons::{CentralFirst, Synchronous};
+use ssrmin::daemon::{measure_convergence, random_config, Engine};
+
+#[test]
+fn exhaustive_convergence_tiny_ring_central() {
+    // Every one of the (4K)^n = 4096 configurations of the n=3, K=4 ring
+    // converges under the central daemon, and closure holds afterwards.
+    let p = RingParams::new(3, 4).unwrap();
+    let a = SsrMin::new(p);
+    for cfg in random_config::exhaustive_ssr_configs(p) {
+        let report = measure_convergence(a, cfg.clone(), &mut CentralFirst, 2_000, 3)
+            .unwrap_or_else(|| panic!("no convergence from {cfg:?}"));
+        // Theorem 2 envelope, generous constant: O(n^2).
+        assert!(report.steps <= 200, "{} steps from {cfg:?}", report.steps);
+    }
+}
+
+#[test]
+fn exhaustive_convergence_tiny_ring_synchronous() {
+    let p = RingParams::new(3, 4).unwrap();
+    let a = SsrMin::new(p);
+    for cfg in random_config::exhaustive_ssr_configs(p) {
+        let report = measure_convergence(a, cfg.clone(), &mut Synchronous, 2_000, 3)
+            .unwrap_or_else(|| panic!("no convergence from {cfg:?}"));
+        assert!(report.steps <= 200);
+    }
+}
+
+#[test]
+fn all_daemon_kinds_converge_from_all_start_kinds() {
+    let sizes = [5usize, 9];
+    for daemon in DaemonKind::ALL {
+        for start in [StartKind::Random, StartKind::Corrupted(2), StartKind::Adversarial] {
+            // The sweep panics internally if convergence fails.
+            let pts = ssrmin::analysis::ssrmin_convergence_sweep(&sizes, 3, daemon, start);
+            assert_eq!(pts.len(), sizes.len());
+            for pt in &pts {
+                // Theorem 2: generous quadratic envelope.
+                let bound = 40 * (pt.n as u64) * (pt.n as u64) + 1000;
+                assert!(
+                    pt.steps.max <= bound,
+                    "daemon {} start {start:?}: {} steps on n={}",
+                    daemon.label(),
+                    pt.steps.max,
+                    pt.n
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn closure_holds_for_a_long_run_after_convergence() {
+    let p = RingParams::new(10, 12).unwrap();
+    let a = SsrMin::new(p);
+    let initial = random_config::random_ssr_config(p, 77);
+    let mut engine = Engine::new(a, initial).unwrap();
+    let mut daemon = ssrmin::daemon::daemons::CentralRandom::seeded(77);
+    engine
+        .run_until(&mut daemon, 1_000_000, |alg, c| alg.is_legitimate(c))
+        .expect("convergence");
+    // 10 full circulations after convergence: legitimate at every step, and
+    // the token position advances monotonically around the ring.
+    let mut last_pos = legitimacy::classify(p, engine.config()).unwrap().position();
+    let mut advanced = 0usize;
+    for _ in 0..(3 * 10 * 10) {
+        engine.step(&mut daemon).expect("no deadlock");
+        let form = legitimacy::classify(p, engine.config())
+            .expect("closure violated after convergence");
+        let pos = form.position();
+        if pos != last_pos {
+            assert_eq!(pos, (last_pos + 1) % 10, "token must move to the successor");
+            last_pos = pos;
+            advanced += 1;
+        }
+    }
+    assert!(advanced >= 90, "token should lap the ring ~10 times, moved {advanced}");
+}
+
+#[test]
+fn convergence_report_counts_are_consistent() {
+    let p = RingParams::new(6, 8).unwrap();
+    let a = SsrMin::new(p);
+    for seed in 0..10u64 {
+        let initial = random_config::random_ssr_config(p, seed);
+        let mut daemon = ssrmin::daemon::daemons::DistributedRandom::seeded(seed, 0.6);
+        let r = measure_convergence(a, initial, &mut daemon, 100_000, 10).unwrap();
+        assert!(r.moves >= r.steps, "distributed moves can exceed steps");
+        assert!(r.dijkstra_moves <= r.moves);
+        assert_eq!(r.closure_checked_steps, 10);
+    }
+}
+
+#[test]
+fn single_fault_recovers_quickly() {
+    // Superstabilization-flavoured check: one corrupted process near a
+    // legitimate configuration is healed in O(n) steps, much faster than
+    // worst-case O(n^2).
+    let p = RingParams::new(12, 14).unwrap();
+    let a = SsrMin::new(p);
+    for seed in 0..20u64 {
+        let cfg = random_config::corrupted_legitimate(p, 1, seed);
+        let mut daemon = ssrmin::daemon::daemons::CentralRandom::seeded(seed);
+        let r = measure_convergence(a, cfg, &mut daemon, 100_000, 5).unwrap();
+        assert!(
+            r.steps <= 8 * 12,
+            "single fault took {} steps to heal (seed {seed})",
+            r.steps
+        );
+    }
+}

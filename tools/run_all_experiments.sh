@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate every experiment in EXPERIMENTS.md into results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+BINS=(
+  fig01_token_movement fig02_handshake fig03_rule_map fig04_execution_example
+  fig11_sstoken_extinction fig12_dual_sstoken fig13_gap_tolerance
+  exp_closure exp_no_deadlock exp_lemma5_bound exp_convergence_scaling
+  exp_domination exp_lossy_convergence exp_camera_coverage exp_token_economy
+  exp_superstab exp_k_ablation exp_model_check exp_fairness exp_transforms
+  exp_adversary exp_scale
+)
+for b in "${BINS[@]}"; do
+  echo "== $b =="
+  cargo run --release -q -p ssr-bench --bin "$b" | tee "results/$b.txt"
+done
+echo "All experiments regenerated under results/."
