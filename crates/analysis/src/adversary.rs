@@ -61,8 +61,7 @@ pub fn steps_under_schedule(
     words: &[u64],
     cap: u64,
 ) -> u64 {
-    let mut engine =
-        ssr_daemon::Engine::new(algo, initial.clone()).expect("valid configuration");
+    let mut engine = ssr_daemon::Engine::new(algo, initial.clone()).expect("valid configuration");
     let mut daemon = ScheduleDaemon::new(words.to_vec());
     for step in 0..cap {
         if algo.is_legitimate(engine.config()) {
@@ -161,8 +160,7 @@ pub fn search_worst_case(algo: SsrMin, budget: u64, seed: u64) -> AdversaryResul
             stagnant = 0;
             current.initial = rand_config(&mut rng);
             current.schedule = rand_schedule(&mut rng);
-            current.steps =
-                steps_under_schedule(algo, &current.initial, &current.schedule, cap);
+            current.steps = steps_under_schedule(algo, &current.initial, &current.schedule, cap);
         }
     }
     best

@@ -3,8 +3,8 @@
 
 use ssr_core::{RingParams, SsrMin};
 use ssr_daemon::daemons::{
-    CentralFirst, CentralLast, CentralRandom, Daemon, DelayDijkstra, DistributedRandom,
-    RoundRobin, Starver, Synchronous,
+    CentralFirst, CentralLast, CentralRandom, Daemon, DelayDijkstra, DistributedRandom, RoundRobin,
+    Starver, Synchronous,
 };
 use ssr_daemon::{measure_convergence, random_config};
 
@@ -125,9 +125,7 @@ pub fn ssrmin_convergence_sweep(
             for seed in 0..seeds {
                 let initial = match start {
                     StartKind::Random => random_config::random_ssr_config(params, seed),
-                    StartKind::Corrupted(f) => {
-                        random_config::corrupted_legitimate(params, f, seed)
-                    }
+                    StartKind::Corrupted(f) => random_config::corrupted_legitimate(params, f, seed),
                     StartKind::Adversarial => random_config::adversarial_ssr_config(params),
                 };
                 let mut d = daemon.build(seed);
@@ -174,8 +172,12 @@ mod tests {
 
     #[test]
     fn rounds_never_exceed_steps_in_sweeps() {
-        let pts =
-            ssrmin_convergence_sweep(&[5], 6, DaemonKind::DistributedRandom(0.5), StartKind::Random);
+        let pts = ssrmin_convergence_sweep(
+            &[5],
+            6,
+            DaemonKind::DistributedRandom(0.5),
+            StartKind::Random,
+        );
         assert!(pts[0].rounds.mean <= pts[0].steps.mean + 1e-9);
     }
 
@@ -193,12 +195,8 @@ mod tests {
     fn corrupted_starts_converge_fast() {
         // A single fault near a legitimate configuration stabilizes in a
         // handful of steps, far below the random-start cost.
-        let few = ssrmin_convergence_sweep(
-            &[8],
-            6,
-            DaemonKind::CentralRandom,
-            StartKind::Corrupted(1),
-        );
+        let few =
+            ssrmin_convergence_sweep(&[8], 6, DaemonKind::CentralRandom, StartKind::Corrupted(1));
         let random =
             ssrmin_convergence_sweep(&[8], 6, DaemonKind::CentralRandom, StartKind::Random);
         assert!(

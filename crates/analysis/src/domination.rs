@@ -249,11 +249,7 @@ mod tests {
                     "L bound violated: {} (seed {seed})",
                     g.max_in_degree
                 );
-                assert!(
-                    g.max_delay <= 2,
-                    "M bound violated: {} (seed {seed})",
-                    g.max_delay
-                );
+                assert!(g.max_delay <= 2, "M bound violated: {} (seed {seed})", g.max_delay);
                 assert!(
                     max_w24_free_run(t.records()) <= 3 * p.n() as u64,
                     "Lemma 5 bound violated (seed {seed})"

@@ -25,7 +25,9 @@ pub mod viz;
 
 pub use adversary::{search_worst_case, steps_under_schedule, AdversaryResult, ScheduleDaemon};
 pub use convergence_stats::{ssrmin_convergence_sweep, DaemonKind, StartKind, SweepPoint};
-pub use domination::{build_domination, extract_events, max_w24_free_run, DominationGraph, RuleEvent};
+pub use domination::{
+    build_domination, extract_events, max_w24_free_run, DominationGraph, RuleEvent,
+};
 pub use stats::{loglog_slope, percentile, summarize, Summary};
 pub use superstab::{single_fault_sweep, SuperstabReport};
 pub use table::{Align, Table};

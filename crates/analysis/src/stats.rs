@@ -120,8 +120,7 @@ mod tests {
 
     #[test]
     fn loglog_recovers_quadratic() {
-        let pts: Vec<(f64, f64)> =
-            (2..20).map(|n| (n as f64, 3.0 * (n as f64).powi(2))).collect();
+        let pts: Vec<(f64, f64)> = (2..20).map(|n| (n as f64, 3.0 * (n as f64).powi(2))).collect();
         let (b, c) = loglog_slope(&pts).unwrap();
         assert!((b - 2.0).abs() < 1e-9, "slope {b}");
         assert!((c - 3.0).abs() < 1e-6, "coef {c}");

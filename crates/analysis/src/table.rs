@@ -26,9 +26,8 @@ impl Table {
     /// `Left` for the first column and `Right` for the rest (label + numbers).
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
         let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
-        let aligns = (0..headers.len())
-            .map(|i| if i == 0 { Align::Left } else { Align::Right })
-            .collect();
+        let aligns =
+            (0..headers.len()).map(|i| if i == 0 { Align::Left } else { Align::Right }).collect();
         Table { headers, aligns, rows: Vec::new() }
     }
 

@@ -100,7 +100,7 @@ pub fn aggregate(rows: &[GapRow]) -> Option<GapAggregate> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssr_core::{RingParams, SsrMin, SsToken};
+    use ssr_core::{RingParams, SsToken, SsrMin};
 
     #[test]
     fn ssrmin_rows_show_no_gap() {
@@ -134,11 +134,7 @@ mod tests {
             3,
             |seed| {
                 let a = SsToken::new(p);
-                (
-                    a,
-                    a.uniform_config(0),
-                    SimConfig { seed, exec_delay: 3, ..SimConfig::default() },
-                )
+                (a, a.uniform_config(0), SimConfig { seed, exec_delay: 3, ..SimConfig::default() })
             },
             10_000,
             0,

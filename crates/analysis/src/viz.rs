@@ -54,15 +54,10 @@ pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
     let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
     let mut out = String::new();
     for (label, value) in rows {
-        let filled = if max <= 0.0 {
-            0
-        } else {
-            ((value / max) * width as f64).round() as usize
-        };
-        out.push_str(&format!(
-            "{label:<label_w$}  {} {value:.2}\n",
-            "#".repeat(filled.min(width)),
-        ));
+        let filled = if max <= 0.0 { 0 } else { ((value / max) * width as f64).round() as usize };
+        out.push_str(
+            &format!("{label:<label_w$}  {} {value:.2}\n", "#".repeat(filled.min(width)),),
+        );
     }
     out
 }

@@ -22,8 +22,7 @@ fn bench_convergence(c: &mut Criterion) {
                 let cfg = random_config::random_ssr_config(params, seed);
                 let mut daemon = CentralRandom::seeded(seed);
                 black_box(
-                    measure_convergence(algo, cfg, &mut daemon, budget, 0)
-                        .expect("must converge"),
+                    measure_convergence(algo, cfg, &mut daemon, budget, 0).expect("must converge"),
                 )
             })
         });

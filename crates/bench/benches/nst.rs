@@ -15,9 +15,7 @@ fn bench_nst_ticks(c: &mut Criterion) {
         group.throughput(Throughput::Elements(10_000));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter_batched(
-                || {
-                    NstSim::new(algo, algo.legitimate_anchor(0), NstConfig::default()).unwrap()
-                },
+                || NstSim::new(algo, algo.legitimate_anchor(0), NstConfig::default()).unwrap(),
                 |mut sim| {
                     sim.run_until(10_000);
                     black_box(sim.stats())
@@ -36,11 +34,8 @@ fn bench_transform_wallclock(c: &mut Criterion) {
     group.bench_function("cst", |b| {
         b.iter_batched(
             || {
-                let cfg = SimConfig {
-                    seed: 1,
-                    delay: DelayModel::Fixed(5),
-                    ..SimConfig::default()
-                };
+                let cfg =
+                    SimConfig { seed: 1, delay: DelayModel::Fixed(5), ..SimConfig::default() };
                 CstSim::new(algo, algo.legitimate_anchor(0), cfg).unwrap()
             },
             |mut sim| {

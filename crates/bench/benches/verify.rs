@@ -27,9 +27,7 @@ fn bench_verify_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("verify_baselines");
     group.sample_size(10);
     let dij = SsToken::new(RingParams::new(6, 7).unwrap());
-    group.bench_function("sstoken_n6", |b| {
-        b.iter(|| black_box(verify(&dij, 10_000_000).unwrap()))
-    });
+    group.bench_function("sstoken_n6", |b| b.iter(|| black_box(verify(&dij, 10_000_000).unwrap())));
     let d4 = Dijkstra4::new(9).unwrap();
     group.bench_function("dijkstra4_n9_central", |b| {
         b.iter(|| black_box(verify_under(&d4, 10_000_000, DaemonClass::Central).unwrap()))

@@ -1,0 +1,63 @@
+//! Wire-codec benchmark: encode/decode throughput of the `ssr-net` frame
+//! format. A CST node encodes one frame per broadcast per neighbour and
+//! decodes every arriving datagram, so codec cost bounds the transport's
+//! sustainable message rate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use ssr_core::SsrState;
+use ssr_net::{decode, encode};
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_encode");
+    let state = SsrState { x: 12345, rts: true, tra: false };
+    let frame_len = encode(3, 7, &state).len() as u64;
+    group.throughput(Throughput::Bytes(frame_len));
+    group.bench_function("ssr_state", |b| {
+        let mut generation = 0u32;
+        b.iter(|| {
+            generation = generation.wrapping_add(1);
+            black_box(encode(black_box(3), black_box(generation), black_box(&state)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_decode");
+    let state = SsrState { x: 12345, rts: true, tra: false };
+    let bytes = encode(3, 7, &state);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("ssr_state_ok", |b| {
+        b.iter(|| black_box(decode::<SsrState>(black_box(&bytes))).unwrap())
+    });
+    // The rejection path matters too: under corruption or an attack the
+    // receiver must shed bad frames at least as fast as good ones.
+    let mut corrupt = bytes.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0xFF; // breaks the checksum
+    group.bench_function("ssr_state_bad_checksum", |b| {
+        b.iter(|| black_box(decode::<SsrState>(black_box(&corrupt))).unwrap_err())
+    });
+    group.finish();
+}
+
+fn bench_round_trip(c: &mut Criterion) {
+    // One broadcast as the transport performs it: bump generation, encode,
+    // peer decodes — the per-datagram CPU cost of the UDP path minus I/O.
+    let mut group = c.benchmark_group("wire_round_trip");
+    let state = SsrState { x: 4, rts: false, tra: true };
+    group.bench_function("encode_then_decode", |b| {
+        let mut generation = 0u32;
+        b.iter(|| {
+            generation = generation.wrapping_add(1);
+            let bytes = encode(1, generation, black_box(&state));
+            black_box(decode::<SsrState>(&bytes)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_round_trip);
+criterion_main!(benches);

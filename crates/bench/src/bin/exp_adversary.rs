@@ -30,10 +30,7 @@ fn main() {
         let found = search_worst_case(algo, budget, 42);
         let exact: Option<u32> = if (4 * k as u64).pow(n as u32) <= 400_000 {
             let r = verify(&ssrmin(n, k), 400_000).expect("fits");
-            assert!(
-                found.steps <= r.worst_case_steps as u64,
-                "search exceeded the proven bound!"
-            );
+            assert!(found.steps <= r.worst_case_steps as u64, "search exceeded the proven bound!");
             Some(r.worst_case_steps)
         } else {
             None

@@ -54,10 +54,7 @@ fn main() {
             format!("{:?}", b.longest_gap),
             b.activations.to_string(),
             format!("{}..={}", b.min_active, b.max_active),
-            format!(
-                "{:.3}",
-                b.duty_cycle.iter().sum::<f64>() / b.duty_cycle.len().max(1) as f64
-            ),
+            format!("{:.3}", b.duty_cycle.iter().sum::<f64>() / b.duty_cycle.len().max(1) as f64),
         ]);
     }
     print!("{}", table.render());

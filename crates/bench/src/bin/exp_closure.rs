@@ -61,5 +61,7 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
-    println!("\nState space per process: 4K (x ∈ 0..K, rts, tra) — Theorem 1(2). All checks exhaustive.");
+    println!(
+        "\nState space per process: 4K (x ∈ 0..K, rts, tra) — Theorem 1(2). All checks exhaustive."
+    );
 }

@@ -44,7 +44,8 @@ fn main() {
     }
 
     println!("\n— corrupted starts (1 transient fault) for comparison —");
-    let pts = ssrmin_convergence_sweep(&sizes, seeds, DaemonKind::CentralRandom, StartKind::Corrupted(1));
+    let pts =
+        ssrmin_convergence_sweep(&sizes, seeds, DaemonKind::CentralRandom, StartKind::Corrupted(1));
     let mut table = Table::new(vec!["n", "mean steps", "max"]);
     for p in &pts {
         table.row(vec![p.n.to_string(), format!("{:.1}", p.steps.mean), p.steps.max.to_string()]);

@@ -47,8 +47,7 @@ fn main() {
                 }
             }
         }
-        let duty: Vec<f64> =
-            active.iter().map(|&a| a as f64 / STANDARD_T_END as f64).collect();
+        let duty: Vec<f64> = active.iter().map(|&a| a as f64 / STANDARD_T_END as f64).collect();
         let dmin = duty.iter().cloned().fold(f64::INFINITY, f64::min);
         let dmax = duty.iter().cloned().fold(0.0f64, f64::max);
 
@@ -68,10 +67,7 @@ fn main() {
 
     println!("\n— energy model (900 mW active / 45 mW idle / 120 mW harvest) —");
     let profile = PowerProfile::typical_camera();
-    println!(
-        "minimum sustainable ring size: {:?} nodes",
-        min_sustainable_ring(profile)
-    );
+    println!("minimum sustainable ring size: {:?} nodes", min_sustainable_ring(profile));
     // Synthetic coverage with ideal 1.5/n duty sharing for a few sizes.
     let mut etable = Table::new(vec!["n", "mean duty", "worst net mW", "sustainable"]);
     for n in [6usize, 12, 23, 32] {

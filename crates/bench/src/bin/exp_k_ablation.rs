@@ -11,14 +11,8 @@ fn main() {
     println!("E9 — K ablation (n = 8, random initial configurations, central-random daemon)");
     let n = 8usize;
     let seeds = 40u64;
-    let mut table = Table::new(vec![
-        "K",
-        "states/process (4K)",
-        "mean steps",
-        "median",
-        "p95",
-        "max",
-    ]);
+    let mut table =
+        Table::new(vec!["K", "states/process (4K)", "mean steps", "median", "p95", "max"]);
     for k in [9u32, 12, 16, 24, 32, 64] {
         let params = RingParams::new(n, k).expect("valid parameters");
         let algo = SsrMin::new(params);
@@ -27,8 +21,7 @@ fn main() {
         for seed in 0..seeds {
             let cfg = random_config::random_ssr_config(params, seed);
             let mut daemon = CentralRandom::seeded(seed);
-            let r = measure_convergence(algo, cfg, &mut daemon, budget, 0)
-                .expect("must converge");
+            let r = measure_convergence(algo, cfg, &mut daemon, budget, 0).expect("must converge");
             steps.push(r.steps);
         }
         let s = summarize(&steps).expect("non-empty");

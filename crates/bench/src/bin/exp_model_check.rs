@@ -74,9 +74,10 @@ fn main() {
     // distributed one too (for these sizes).
     for n in [3usize, 5, 8, 10] {
         let algo = Dijkstra4::new(n).expect("valid");
-        for (class, label) in
-            [(DaemonClass::Central, "4-state (central)"), (DaemonClass::Distributed, "4-state (distrib)")]
-        {
+        for (class, label) in [
+            (DaemonClass::Central, "4-state (central)"),
+            (DaemonClass::Distributed, "4-state (distrib)"),
+        ] {
             let r = verify_under(&algo, 3_000_000, class).expect("space fits");
             assert!(r.closure_holds && r.deadlock_free && r.converges);
             table.row(vec![

@@ -10,7 +10,8 @@ use ssr_daemon::random_config;
 
 fn main() {
     println!("E2 — no deadlock / primary token existence (Lemmas 3–4)");
-    let mut table = Table::new(vec!["n", "K", "configs checked", "method", "deadlocks", "no-primary"]);
+    let mut table =
+        Table::new(vec!["n", "K", "configs checked", "method", "deadlocks", "no-primary"]);
 
     // Exhaustive on tiny rings.
     for (n, k) in [(3usize, 4u32), (3, 5), (4, 5)] {

@@ -6,7 +6,7 @@
 
 use ssr_analysis::Table;
 use ssr_bench::standard_sim_config;
-use ssr_core::{RingAlgorithm, RingParams, SsrMin};
+use ssr_core::{RingParams, SsrMin};
 use ssr_mpnet::CstSim;
 
 fn main() {
@@ -39,10 +39,7 @@ fn main() {
             st.rules_executed.to_string(),
             format!("{laps:.1}"),
             format!("{:.0}", t_end as f64 / laps.max(1e-9)),
-            format!(
-                "{:.1}",
-                st.transmissions as f64 / n as f64 / (t_end as f64 / 1000.0)
-            ),
+            format!("{:.1}", st.transmissions as f64 / n as f64 / (t_end as f64 / 1000.0)),
         ]);
     }
     print!("{}", table.render());

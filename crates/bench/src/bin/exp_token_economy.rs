@@ -23,8 +23,8 @@ fn main() {
 
     // SSRmin.
     let ssr = SsrMin::new(params);
-    let mut sim = CstSim::new(ssr, ssr.legitimate_anchor(0), standard_sim_config(1))
-        .expect("valid config");
+    let mut sim =
+        CstSim::new(ssr, ssr.legitimate_anchor(0), standard_sim_config(1)).expect("valid config");
     sim.run_until(early_end);
     let early = sim.timeline().summary(0).expect("window");
     sim.run_until(STANDARD_T_END);

@@ -7,7 +7,7 @@
 //! transform.
 
 use ssr_analysis::Table;
-use ssr_core::{RingParams, SsrMin, SsToken};
+use ssr_core::{RingParams, SsToken, SsrMin};
 use ssr_mpnet::{CstSim, DelayModel, NstConfig, NstSim, SimConfig};
 
 const T_END: u64 = 60_000;

@@ -12,7 +12,11 @@ fn main() {
     let mut daemon = CentralFirst;
 
     println!("Figure 1 — movement of the two tokens (n = 5)");
-    println!("{:>4}  {}", "Step", (0..5).map(|i| format!("{:^4}", format!("P{i}"))).collect::<String>());
+    println!(
+        "{:>4}  {}",
+        "Step",
+        (0..5).map(|i| format!("{:^4}", format!("P{i}"))).collect::<String>()
+    );
     for step in 1..=18 {
         let row: String = (0..5)
             .map(|i| format!("{:^4}", engine.algorithm().tokens_in(engine.config(), i).to_string()))

@@ -13,11 +13,7 @@ fn main() {
             if rules.is_empty() {
                 "—".to_string()
             } else {
-                rules
-                    .iter()
-                    .map(|x| x.number().to_string())
-                    .collect::<Vec<_>>()
-                    .join(", ")
+                rules.iter().map(|x| x.number().to_string()).collect::<Vec<_>>().join(", ")
             }
         };
         table.row(vec![

@@ -10,14 +10,8 @@ use ssr_mpnet::CstSim;
 fn main() {
     println!("Figure 12 — 2 × SSToken (independent instances) under CST");
 
-    let mut table = Table::new(vec![
-        "n",
-        "seed",
-        "zero-token time",
-        "zero intervals",
-        "zero %",
-        "max priv",
-    ]);
+    let mut table =
+        Table::new(vec!["n", "seed", "zero-token time", "zero intervals", "zero %", "max priv"]);
     for n in [5usize, 8, 13] {
         let params = RingParams::minimal(n).expect("valid size");
         let algo = DualSsToken::new(params);

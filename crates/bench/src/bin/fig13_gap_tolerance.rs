@@ -58,10 +58,7 @@ fn main() {
          (Theorem 3 invariant)"
     );
     assert_eq!(worst_zero_lossfree, 0, "Theorem 3 violated!");
-    println!(
-        "Worst zero-privileged fraction, lossy runs: {:.5}",
-        worst_zero_lossy_fraction
-    );
+    println!("Worst zero-privileged fraction, lossy runs: {:.5}", worst_zero_lossy_fraction);
     assert!(
         worst_zero_lossy_fraction < 0.005,
         "lossy gaps must stay negligible (Theorem 4 regime)"

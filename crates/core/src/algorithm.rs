@@ -171,9 +171,7 @@ pub trait RingAlgorithm {
 
     /// Indices of all enabled processes, ascending.
     fn enabled_processes(&self, config: &[Self::State]) -> Vec<usize> {
-        (0..self.n())
-            .filter(|&i| self.enabled_rule_in(config, i).is_some())
-            .collect()
+        (0..self.n()).filter(|&i| self.enabled_rule_in(config, i).is_some()).collect()
     }
 
     /// Move a single enabled process (a central-daemon step). Errors if the
@@ -219,17 +217,13 @@ pub trait RingAlgorithm {
     /// Indices of processes holding at least one token (the *privileged*
     /// processes), ascending.
     fn token_holders(&self, config: &[Self::State]) -> Vec<usize> {
-        (0..self.n())
-            .filter(|&i| self.tokens_in(config, i).any())
-            .collect()
+        (0..self.n()).filter(|&i| self.tokens_in(config, i).any()).collect()
     }
 
     /// Total number of tokens present in `config` (counting kinds separately,
     /// so a process holding both contributes 2).
     fn total_tokens(&self, config: &[Self::State]) -> usize {
-        (0..self.n())
-            .map(|i| self.tokens_in(config, i).count() as usize)
-            .sum()
+        (0..self.n()).map(|i| self.tokens_in(config, i).count() as usize).sum()
     }
 
     /// True iff no process is enabled. A correct self-stabilizing token
@@ -279,7 +273,10 @@ mod tests {
 
         fn validate_config(&self, config: &[u8]) -> Result<()> {
             if config.len() != self.n {
-                return Err(CoreError::ConfigLenMismatch { expected: self.n, actual: config.len() });
+                return Err(CoreError::ConfigLenMismatch {
+                    expected: self.n,
+                    actual: config.len(),
+                });
             }
             Ok(())
         }

@@ -204,10 +204,7 @@ mod tests {
         let cfg = a.uniform_config(3);
         assert_eq!(a.enabled_processes(&cfg), vec![0]);
         assert_eq!(a.token_holders(&cfg), vec![0]);
-        assert_eq!(
-            a.classify(&cfg),
-            Some(DijkstraLegitimacy::Uniform { x: 3 })
-        );
+        assert_eq!(a.classify(&cfg), Some(DijkstraLegitimacy::Uniform { x: 3 }));
     }
 
     #[test]
@@ -257,10 +254,7 @@ mod tests {
             for x1 in 0..4u32 {
                 for x2 in 0..4u32 {
                     let cfg = vec![x0, x1, x2];
-                    assert!(
-                        a.token_count(&cfg) >= 1,
-                        "no token in {cfg:?}"
-                    );
+                    assert!(a.token_count(&cfg) >= 1, "no token in {cfg:?}");
                 }
             }
         }

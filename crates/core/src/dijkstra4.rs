@@ -90,9 +90,7 @@ impl Dijkstra4 {
     /// A canonical legitimate configuration: all `x` equal, every inner
     /// `up` false — the single privilege is at the bottom.
     pub fn quiescent_config(&self, x: bool) -> Vec<D4State> {
-        (0..self.n)
-            .map(|i| D4State { x, up: i == 0 })
-            .collect()
+        (0..self.n).map(|i| D4State { x, up: i == 0 }).collect()
     }
 
     /// Number of privileged (enabled) machines.

@@ -20,8 +20,7 @@ pub struct DualSsToken {
 impl DualSsToken {
     /// Create a dual ring. `n >= 3`, `K > n`.
     pub fn new(params: RingParams) -> Self {
-        let inner = MultiSsToken::new(params, 2)
-            .expect("m = 2 is always valid for n >= 3");
+        let inner = MultiSsToken::new(params, 2).expect("m = 2 is always valid for n >= 3");
         DualSsToken { inner }
     }
 
@@ -56,9 +55,7 @@ impl DualSsToken {
                 x
             }
         };
-        (0..p.n())
-            .map(|idx| MultiState(vec![instance(i, idx), instance(j, idx)]))
-            .collect()
+        (0..p.n()).map(|idx| MultiState(vec![instance(i, idx), instance(j, idx)])).collect()
     }
 
     /// Token count of instance `j` (0 or 1).
@@ -169,11 +166,7 @@ mod tests {
     #[test]
     fn bottom_wraps_both_instances() {
         let a = algo(3, 4);
-        let cfg = vec![
-            MultiState(vec![3, 3]),
-            MultiState(vec![3, 3]),
-            MultiState(vec![3, 3]),
-        ];
+        let cfg = vec![MultiState(vec![3, 3]), MultiState(vec![3, 3]), MultiState(vec![3, 3])];
         let next = a.step_process(&cfg, 0).unwrap();
         assert_eq!(next[0], MultiState(vec![0, 0]));
     }

@@ -100,10 +100,7 @@ pub fn classify(params: RingParams, config: &[SsrState]) -> Option<LegitimateFor
     // Flag component: all ⟨0.0⟩ except at the token position(s).
     let succ = params.succ(i);
     let flags_clear_except = |keep: &[usize]| {
-        config
-            .iter()
-            .enumerate()
-            .all(|(j, s)| keep.contains(&j) || s.flags_are(0, 0))
+        config.iter().enumerate().all(|(j, s)| keep.contains(&j) || s.flags_are(0, 0))
     };
 
     let at = config[i];
@@ -134,9 +131,8 @@ pub fn build(params: RingParams, form: LegitimateForm) -> Vec<SsrState> {
     assert!(i < n, "token position out of range");
     assert!(x < params.k(), "x out of range");
     let upper = params.inc(x);
-    let mut cfg: Vec<SsrState> = (0..n)
-        .map(|j| SsrState::new(if j < i { upper } else { x }, 0, 0))
-        .collect();
+    let mut cfg: Vec<SsrState> =
+        (0..n).map(|j| SsrState::new(if j < i { upper } else { x }, 0, 0)).collect();
     match form {
         LegitimateForm::BothTra { .. } => cfg[i] = cfg[i].with_flags(false, true),
         LegitimateForm::BothRts { .. } => cfg[i] = cfg[i].with_flags(true, false),
@@ -326,10 +322,7 @@ mod tests {
                 let enabled = a.enabled_processes(&c);
                 assert_eq!(enabled.len(), 1, "enabled set in {c:?}");
                 let next = a.step_process(&c, enabled[0]).unwrap();
-                assert!(
-                    classify(p, &next).is_some(),
-                    "closure violated: {c:?} -> {next:?}"
-                );
+                assert!(classify(p, &next).is_some(), "closure violated: {c:?} -> {next:?}");
             }
         }
     }

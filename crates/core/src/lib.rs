@@ -62,9 +62,11 @@ pub mod legitimacy;
 pub mod lkcs;
 pub mod multitoken;
 pub mod params;
+pub mod replica;
 pub mod rules;
 pub mod ssrmin;
 pub mod state;
+pub mod wire;
 
 pub use algorithm::{Config, RingAlgorithm, TokenKind, TokenSet};
 pub use dijkstra::{DijkstraLegitimacy, SsToken};
@@ -75,6 +77,8 @@ pub use legitimacy::{enumerate_legitimate, is_legitimate_ssrmin, LegitimateForm}
 pub use lkcs::{audit_cs, CriticalSectionProtocol, CsAudit, CsSpec};
 pub use multitoken::MultiSsToken;
 pub use params::RingParams;
+pub use replica::Replica;
 pub use rules::SsrRule;
 pub use ssrmin::SsrMin;
 pub use state::SsrState;
+pub use wire::WireState;

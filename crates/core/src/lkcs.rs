@@ -162,8 +162,7 @@ where
     P::State: 'a,
     I: IntoIterator<Item = &'a [P::State]>,
 {
-    let mut audit =
-        CsAudit { checked: 0, below: 0, above: 0, min_seen: usize::MAX, max_seen: 0 };
+    let mut audit = CsAudit { checked: 0, below: 0, above: 0, min_seen: usize::MAX, max_seen: 0 };
     for cfg in configs {
         let c = proto.in_cs(cfg);
         audit.checked += 1;

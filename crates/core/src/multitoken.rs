@@ -120,12 +120,7 @@ impl MultiSsToken {
         let upper = self.params.inc(x);
         (0..self.params.n())
             .map(|idx| {
-                MultiState(
-                    positions
-                        .iter()
-                        .map(|&p| if idx < p { upper } else { x })
-                        .collect(),
-                )
+                MultiState(positions.iter().map(|&p| if idx < p { upper } else { x }).collect())
             })
             .collect()
     }

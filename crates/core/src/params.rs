@@ -121,14 +121,8 @@ mod tests {
 
     #[test]
     fn rejects_small_rings() {
-        assert_eq!(
-            RingParams::new(2, 7).unwrap_err(),
-            CoreError::RingTooSmall { n: 2, min: 3 }
-        );
-        assert_eq!(
-            RingParams::new(0, 7).unwrap_err(),
-            CoreError::RingTooSmall { n: 0, min: 3 }
-        );
+        assert_eq!(RingParams::new(2, 7).unwrap_err(), CoreError::RingTooSmall { n: 2, min: 3 });
+        assert_eq!(RingParams::new(0, 7).unwrap_err(), CoreError::RingTooSmall { n: 0, min: 3 });
     }
 
     #[test]
@@ -166,9 +160,6 @@ mod tests {
     fn check_x_bounds() {
         let p = RingParams::new(5, 7).unwrap();
         assert!(p.check_x(6, 0).is_ok());
-        assert_eq!(
-            p.check_x(7, 2).unwrap_err(),
-            CoreError::XOutOfRange { x: 7, k: 7, process: 2 }
-        );
+        assert_eq!(p.check_x(7, 2).unwrap_err(), CoreError::XOutOfRange { x: 7, k: 7, process: 2 });
     }
 }

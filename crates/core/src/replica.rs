@@ -1,0 +1,166 @@
+//! The CST working set of one node: its own algorithm state plus cached
+//! copies of both ring neighbours' states (`Z_i[·]` of Algorithm 4).
+//!
+//! This is the single replica type shared by every execution engine that
+//! runs a [`RingAlgorithm`] in the message-passing model — the
+//! discrete-event simulator (`ssr-mpnet`), the threaded loopback runtime
+//! (`ssr-runtime`) and the UDP cluster transport (`ssr-net`). All of them
+//! evaluate guards *on the cached view*, which is exactly the behaviour
+//! whose correctness the paper's Theorem 3 (model gap tolerance) covers.
+
+use crate::algorithm::{RingAlgorithm, TokenSet};
+
+/// One node of the transformed (message-passing) system: its real local
+/// state plus cached copies of both ring neighbours' states.
+///
+/// The ring index is *not* stored: engines pass it explicitly, which keeps
+/// the type a plain value (cheap to construct in bulk, trivially comparable
+/// in model-gap enumerations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replica<S> {
+    /// The algorithm's local variables `q_i`.
+    pub own: S,
+    /// `Z_i[v_{i-1}]` — cache of the predecessor's state.
+    pub cache_pred: S,
+    /// `Z_i[v_{i+1}]` — cache of the successor's state.
+    pub cache_succ: S,
+    /// Statistics: rules executed by this node.
+    pub rules_executed: u64,
+    /// Statistics: messages received (after any loss process).
+    pub messages_received: u64,
+}
+
+impl<S> Replica<S> {
+    /// A replica whose caches already agree with the given neighbour states
+    /// (cache-coherent start).
+    pub fn coherent(own: S, pred: S, succ: S) -> Self {
+        Replica { own, cache_pred: pred, cache_succ: succ, rules_executed: 0, messages_received: 0 }
+    }
+
+    /// Update the cache corresponding to neighbour `from` of node `i` on an
+    /// `n`-ring. `from` must be the ring predecessor or successor of `i`.
+    pub fn update_cache(&mut self, n: usize, i: usize, from: usize, state: S) {
+        let pred = if i == 0 { n - 1 } else { i - 1 };
+        let succ = if i + 1 == n { 0 } else { i + 1 };
+        if from == pred {
+            self.cache_pred = state;
+        } else if from == succ {
+            self.cache_succ = state;
+        } else {
+            panic!("message from non-neighbour {from} delivered to {i}");
+        }
+    }
+
+    /// Evaluate the algorithm's enabled rule *on the cached view* — this is
+    /// exactly how the transformed node decides to act (Algorithm 4 line 9).
+    pub fn enabled_rule<A>(&self, algo: &A, i: usize) -> Option<A::Rule>
+    where
+        A: RingAlgorithm<State = S>,
+    {
+        algo.enabled_rule(i, &self.own, &self.cache_pred, &self.cache_succ)
+    }
+
+    /// Execute one enabled rule on the cached view, if any; returns the rule
+    /// that fired. The own state is updated in place.
+    pub fn execute_one<A>(&mut self, algo: &A, i: usize) -> Option<A::Rule>
+    where
+        A: RingAlgorithm<State = S>,
+    {
+        let rule = self.enabled_rule(algo, i)?;
+        self.own = algo.execute(i, rule, &self.own, &self.cache_pred, &self.cache_succ);
+        self.rules_executed += 1;
+        Some(rule)
+    }
+
+    /// The node's *local* token evaluation — own state plus caches. This is
+    /// the predicate a deployed node uses to decide whether it is privileged
+    /// (e.g. whether its camera must stay on), so it is the quantity whose
+    /// minimum Theorem 3 bounds below by one.
+    pub fn tokens<A>(&self, algo: &A, i: usize) -> TokenSet
+    where
+        A: RingAlgorithm<State = S>,
+    {
+        algo.tokens_at(i, &self.own, &self.cache_pred, &self.cache_succ)
+    }
+
+    /// True iff the node is privileged (holds at least one token) on its
+    /// cached view.
+    pub fn is_privileged<A>(&self, algo: &A, i: usize) -> bool
+    where
+        A: RingAlgorithm<State = S>,
+    {
+        self.tokens(algo, i).any()
+    }
+
+    /// True iff this node's caches agree with the actual neighbour states.
+    pub fn is_coherent(&self, actual_pred: &S, actual_succ: &S) -> bool
+    where
+        S: PartialEq,
+    {
+        self.cache_pred == *actual_pred && self.cache_succ == *actual_succ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RingParams, SsrMin, SsrRule, SsrState};
+
+    fn algo() -> SsrMin {
+        SsrMin::new(RingParams::new(5, 7).unwrap())
+    }
+
+    fn st(s: &str) -> SsrState {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn cache_update_routes_by_neighbour() {
+        let a = algo();
+        let mut r: Replica<SsrState> = Replica::coherent(st("3.0.0"), st("3.0.0"), st("3.0.0"));
+        r.update_cache(a.n(), 2, 1, st("3.1.0"));
+        assert_eq!(r.cache_pred, st("3.1.0"));
+        r.update_cache(a.n(), 2, 3, st("4.0.0"));
+        assert_eq!(r.cache_succ, st("4.0.0"));
+    }
+
+    #[test]
+    fn wraparound_neighbours() {
+        let a = algo();
+        let mut r: Replica<SsrState> = Replica::coherent(st("3.0.0"), st("3.0.0"), st("3.0.0"));
+        r.update_cache(a.n(), 0, 4, st("2.0.0")); // P4 is P0's predecessor
+        assert_eq!(r.cache_pred, st("2.0.0"));
+        let mut r4: Replica<SsrState> = Replica::coherent(st("3.0.0"), st("3.0.0"), st("3.0.0"));
+        r4.update_cache(a.n(), 4, 0, st("2.0.0")); // P0 is P4's successor
+        assert_eq!(r4.cache_succ, st("2.0.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbour")]
+    fn non_neighbour_message_panics() {
+        let a = algo();
+        let mut r: Replica<SsrState> = Replica::coherent(st("3.0.0"), st("3.0.0"), st("3.0.0"));
+        r.update_cache(a.n(), 2, 0, st("3.0.0"));
+    }
+
+    #[test]
+    fn execute_and_privilege_follow_the_handshake() {
+        let a = algo();
+        // P1's view when P0 offers the secondary token.
+        let mut r: Replica<SsrState> = Replica::coherent(st("3.0.0"), st("3.1.0"), st("3.0.0"));
+        assert!(!r.is_privileged(&a, 1));
+        assert_eq!(r.execute_one(&a, 1), Some(SsrRule::R3));
+        assert!(r.is_privileged(&a, 1), "after Rule 3 the node holds the secondary token");
+        assert_eq!(r.own, st("3.0.1"));
+        assert_eq!(r.rules_executed, 1);
+        assert_eq!(r.execute_one(&a, 1), None);
+    }
+
+    #[test]
+    fn coherence_check_compares_both_caches() {
+        let r: Replica<SsrState> = Replica::coherent(st("3.0.0"), st("3.1.0"), st("3.0.0"));
+        assert!(r.is_coherent(&st("3.1.0"), &st("3.0.0")));
+        assert!(!r.is_coherent(&st("4.0.0"), &st("3.0.0")));
+        assert!(!r.is_coherent(&st("3.1.0"), &st("4.0.0")));
+    }
+}

@@ -119,20 +119,12 @@ impl SsrMin {
     }
 
     /// Execute `rule`'s command, returning `P_i`'s new state.
-    pub fn apply(
-        &self,
-        i: usize,
-        rule: SsrRule,
-        own: &SsrState,
-        pred: &SsrState,
-    ) -> SsrState {
+    pub fn apply(&self, i: usize, rule: SsrRule, own: &SsrState, pred: &SsrState) -> SsrState {
         match rule {
             SsrRule::R1 => own.with_flags(true, false),
-            SsrRule::R2 | SsrRule::R4 => SsrState {
-                x: self.command(i, pred),
-                rts: false,
-                tra: false,
-            },
+            SsrRule::R2 | SsrRule::R4 => {
+                SsrState { x: self.command(i, pred), rts: false, tra: false }
+            }
             SsrRule::R3 => own.with_flags(false, true),
             SsrRule::R5 => own.with_flags(false, false),
         }
@@ -223,13 +215,7 @@ impl RingAlgorithm for SsrMin {
         self.apply(i, rule, own, pred)
     }
 
-    fn tokens_at(
-        &self,
-        i: usize,
-        own: &SsrState,
-        pred: &SsrState,
-        succ: &SsrState,
-    ) -> TokenSet {
+    fn tokens_at(&self, i: usize, own: &SsrState, pred: &SsrState, succ: &SsrState) -> TokenSet {
         TokenSet::new(self.holds_primary(i, own, pred), self.holds_secondary(own, succ))
     }
 
@@ -345,12 +331,7 @@ mod tests {
         for (step, (want, mover, rule)) in expected.iter().enumerate() {
             assert_eq!(&c, &cfg(*want), "configuration at step {}", step + 1);
             assert!(a.is_legitimate(&c), "step {} must be legitimate", step + 1);
-            assert_eq!(
-                a.enabled_processes(&c),
-                vec![*mover],
-                "enabled set at step {}",
-                step + 1
-            );
+            assert_eq!(a.enabled_processes(&c), vec![*mover], "enabled set at step {}", step + 1);
             assert_eq!(a.enabled_rule_in(&c, *mover), Some(*rule));
             c = a.step_process(&c, *mover).unwrap();
         }
@@ -372,8 +353,7 @@ mod tests {
                 2 => {
                     // Adjacent on the ring, primary behind secondary.
                     let (p, s) = (holders[0], holders[1]);
-                    let (front, back) =
-                        if a.params().succ(p) == s { (s, p) } else { (p, s) };
+                    let (front, back) = if a.params().succ(p) == s { (s, p) } else { (p, s) };
                     assert_eq!(a.params().succ(back), front);
                     assert_eq!(a.tokens_in(&c, back), TokenSet::new(true, false));
                     assert_eq!(a.tokens_in(&c, front), TokenSet::new(false, true));
@@ -440,11 +420,7 @@ mod tests {
             let mut c = cfg(&["3.1.0", own, "3.0.0", "3.0.0", "3.0.0"]);
             // Make sure P1 has ¬G: x1 == x0.
             c[1].x = 3;
-            assert_eq!(
-                a.enabled_rule_in(&c, 1),
-                Some(SsrRule::R3),
-                "own flags {own}"
-            );
+            assert_eq!(a.enabled_rule_in(&c, 1), Some(SsrRule::R3), "own flags {own}");
         }
         // ⟨0.1⟩ is excluded (that is the already-received pattern).
         let c = cfg(&["3.1.0", "3.0.1", "3.0.0", "3.0.0", "3.0.0"]);
@@ -510,10 +486,7 @@ mod tests {
                                 // Must not panic; any Some(rule) must satisfy
                                 // the guard polarity.
                                 if let Some(r) = a.enabled(i, &own, &pred, &succ) {
-                                    assert_eq!(
-                                        r.requires_guard(),
-                                        a.guard(i, &own, &pred)
-                                    );
+                                    assert_eq!(r.requires_guard(), a.guard(i, &own, &pred));
                                 }
                             }
                         }

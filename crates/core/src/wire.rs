@@ -1,0 +1,193 @@
+//! Wire encoding of algorithm states.
+//!
+//! The real-socket transport (`ssr-net`) ships CST state broadcasts as
+//! datagrams; this module defines the *payload* contract: how one algorithm
+//! state serialises to bytes and back. Framing (version, sender, generation
+//! counter, length, checksum) lives in `ssr-net`; the payload stays here so
+//! every [`RingAlgorithm`](crate::RingAlgorithm) state type can declare its
+//! encoding next to its definition without the core crate depending on any
+//! networking code.
+//!
+//! Encodings are fixed-width little-endian and carry a one-byte `KIND`
+//! discriminator in the frame header, so a receiver can reject a datagram
+//! from a ring running a different algorithm before touching the payload.
+
+use crate::dijkstra4::D4State;
+use crate::multitoken::MultiState;
+use crate::state::SsrState;
+
+/// A state type that can travel in a wire frame.
+///
+/// `decode_payload` must be total: any byte slice either decodes to a valid
+/// state or returns `None` — it must never panic, since the bytes may come
+/// off a hostile or corrupted network.
+pub trait WireState: Sized {
+    /// Payload discriminator carried in the frame header. Distinct per
+    /// state type so mixed-algorithm rings fail fast.
+    const KIND: u8;
+
+    /// Exact encoded payload length in bytes, if fixed (used by decoders
+    /// to reject length mismatches early); `None` for variable-size states.
+    const PAYLOAD_LEN: Option<usize>;
+
+    /// Append the encoded payload to `buf`.
+    fn encode_payload(&self, buf: &mut Vec<u8>);
+
+    /// Decode a payload produced by [`encode_payload`](Self::encode_payload).
+    /// Returns `None` on any malformed input.
+    fn decode_payload(bytes: &[u8]) -> Option<Self>;
+}
+
+/// SSRmin state `x.rts.tra`: `x` as `u32` LE plus one flag byte
+/// (bit 0 = `rts`, bit 1 = `tra`; higher bits must be zero).
+impl WireState for SsrState {
+    const KIND: u8 = 1;
+    const PAYLOAD_LEN: Option<usize> = Some(5);
+
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.x.to_le_bytes());
+        buf.push(u8::from(self.rts) | (u8::from(self.tra) << 1));
+    }
+
+    fn decode_payload(bytes: &[u8]) -> Option<Self> {
+        let [x0, x1, x2, x3, flags] = *bytes else {
+            return None;
+        };
+        if flags > 0b11 {
+            return None;
+        }
+        Some(SsrState {
+            x: u32::from_le_bytes([x0, x1, x2, x3]),
+            rts: flags & 1 != 0,
+            tra: flags & 2 != 0,
+        })
+    }
+}
+
+/// Dijkstra K-state counter: bare `u32` LE.
+impl WireState for u32 {
+    const KIND: u8 = 2;
+    const PAYLOAD_LEN: Option<usize> = Some(4);
+
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode_payload(bytes: &[u8]) -> Option<Self> {
+        let [a, b, c, d] = *bytes else {
+            return None;
+        };
+        Some(u32::from_le_bytes([a, b, c, d]))
+    }
+}
+
+/// Four-state chain algorithm: one flag byte (bit 0 = `x`, bit 1 = `up`;
+/// higher bits must be zero).
+impl WireState for D4State {
+    const KIND: u8 = 3;
+    const PAYLOAD_LEN: Option<usize> = Some(1);
+
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(self.x) | (u8::from(self.up) << 1));
+    }
+
+    fn decode_payload(bytes: &[u8]) -> Option<Self> {
+        let [flags] = *bytes else {
+            return None;
+        };
+        if flags > 0b11 {
+            return None;
+        }
+        Some(D4State { x: flags & 1 != 0, up: flags & 2 != 0 })
+    }
+}
+
+/// Multi-token state: `u16` LE instance count followed by that many `u32`
+/// LE counters (variable length; count capped at 4096 to bound decode-side
+/// allocation from untrusted input).
+impl WireState for MultiState {
+    const KIND: u8 = 4;
+    const PAYLOAD_LEN: Option<usize> = None;
+
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
+        let m = u16::try_from(self.0.len()).expect("at most 65535 token instances");
+        buf.extend_from_slice(&m.to_le_bytes());
+        for v in &self.0 {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn decode_payload(bytes: &[u8]) -> Option<Self> {
+        let (head, rest) = bytes.split_at_checked(2)?;
+        let m = u16::from_le_bytes([head[0], head[1]]) as usize;
+        if m > 4096 || rest.len() != 4 * m {
+            return None;
+        }
+        let counters =
+            rest.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
+        Some(MultiState(counters))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<S: WireState + PartialEq + std::fmt::Debug>(s: S) {
+        let mut buf = Vec::new();
+        s.encode_payload(&mut buf);
+        if let Some(len) = S::PAYLOAD_LEN {
+            assert_eq!(buf.len(), len);
+        }
+        assert_eq!(S::decode_payload(&buf).as_ref(), Some(&s));
+    }
+
+    #[test]
+    fn ssr_state_round_trips() {
+        for x in [0u32, 1, 6, u32::MAX] {
+            for rts in [false, true] {
+                for tra in [false, true] {
+                    round_trip(SsrState { x, rts, tra });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_and_d4_round_trip() {
+        for x in [0u32, 41, u32::MAX] {
+            round_trip(x);
+        }
+        for flags in 0..4u8 {
+            round_trip(D4State { x: flags & 1 != 0, up: flags & 2 != 0 });
+        }
+    }
+
+    #[test]
+    fn multi_state_round_trips() {
+        round_trip(MultiState(vec![]));
+        round_trip(MultiState(vec![7, 0, u32::MAX]));
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected_not_panicked() {
+        assert_eq!(SsrState::decode_payload(&[]), None);
+        assert_eq!(SsrState::decode_payload(&[1, 2, 3, 4]), None);
+        assert_eq!(SsrState::decode_payload(&[1, 2, 3, 4, 0b100]), None, "reserved flag bits");
+        assert_eq!(SsrState::decode_payload(&[1, 2, 3, 4, 5, 6]), None);
+        assert_eq!(u32::decode_payload(&[1, 2, 3]), None);
+        assert_eq!(D4State::decode_payload(&[0b100]), None);
+        assert_eq!(MultiState::decode_payload(&[1]), None);
+        assert_eq!(MultiState::decode_payload(&[1, 0]), None, "missing counters");
+        assert_eq!(MultiState::decode_payload(&[1, 0, 9, 9, 9, 9, 9]), None, "trailing bytes");
+        // Huge claimed count must not allocate.
+        assert_eq!(MultiState::decode_payload(&[0xff, 0xff, 0, 0]), None);
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds = [SsrState::KIND, <u32 as WireState>::KIND, D4State::KIND, MultiState::KIND];
+        let unique: std::collections::BTreeSet<u8> = kinds.into_iter().collect();
+        assert_eq!(unique.len(), kinds.len());
+    }
+}

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use ssr_core::{RingAlgorithm, RingParams, SsrMin, SsrRule, SsrState, SsToken};
+use ssr_core::{RingAlgorithm, RingParams, SsToken, SsrMin, SsrRule, SsrState};
 
 fn arb_params() -> impl Strategy<Value = RingParams> {
     (3usize..8).prop_flat_map(|n| {
@@ -14,8 +14,11 @@ fn arb_params() -> impl Strategy<Value = RingParams> {
 
 fn arb_config(params: RingParams) -> impl Strategy<Value = Vec<SsrState>> {
     proptest::collection::vec(
-        (0..params.k(), any::<bool>(), any::<bool>())
-            .prop_map(|(x, rts, tra)| SsrState { x, rts, tra }),
+        (0..params.k(), any::<bool>(), any::<bool>()).prop_map(|(x, rts, tra)| SsrState {
+            x,
+            rts,
+            tra,
+        }),
         params.n(),
     )
 }

@@ -15,8 +15,11 @@ fn arb_params() -> impl Strategy<Value = RingParams> {
 
 fn arb_config(params: RingParams) -> impl Strategy<Value = Vec<SsrState>> {
     proptest::collection::vec(
-        (0..params.k(), any::<bool>(), any::<bool>())
-            .prop_map(|(x, rts, tra)| SsrState { x, rts, tra }),
+        (0..params.k(), any::<bool>(), any::<bool>()).prop_map(|(x, rts, tra)| SsrState {
+            x,
+            rts,
+            tra,
+        }),
         params.n(),
     )
 }

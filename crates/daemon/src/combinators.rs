@@ -93,11 +93,8 @@ impl<D: Daemon> Restrict<D> {
 
 impl<D: Daemon> Daemon for Restrict<D> {
     fn select(&mut self, enabled: &[EnabledProcess], step: u64) -> Vec<usize> {
-        let filtered: Vec<EnabledProcess> = enabled
-            .iter()
-            .copied()
-            .filter(|e| self.allowed.contains(&e.process))
-            .collect();
+        let filtered: Vec<EnabledProcess> =
+            enabled.iter().copied().filter(|e| self.allowed.contains(&e.process)).collect();
         if filtered.is_empty() {
             self.inner.select(enabled, step)
         } else {

@@ -66,9 +66,7 @@ where
     let (steps, moves, rounds) = converged_at?;
 
     for t in 0..closure_steps {
-        engine
-            .step(daemon)
-            .unwrap_or_else(|| panic!("deadlock during closure check at step {t}"));
+        engine.step(daemon).unwrap_or_else(|| panic!("deadlock during closure check at step {t}"));
         assert!(
             algo.is_legitimate(engine.config()),
             "closure violated {t} steps after convergence"
@@ -87,7 +85,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::daemons::{CentralFirst, CentralRandom, DelayDijkstra, DistributedRandom, Starver, Synchronous};
+    use crate::daemons::{
+        CentralFirst, CentralRandom, DelayDijkstra, DistributedRandom, Starver, Synchronous,
+    };
     use crate::random_config;
     use ssr_core::{RingParams, SsrMin};
 
@@ -99,8 +99,7 @@ mod tests {
     fn already_legitimate_reports_zero() {
         let p = params(5, 7);
         let a = SsrMin::new(p);
-        let r = measure_convergence(a, a.legitimate_anchor(1), &mut CentralFirst, 100, 10)
-            .unwrap();
+        let r = measure_convergence(a, a.legitimate_anchor(1), &mut CentralFirst, 100, 10).unwrap();
         assert_eq!(r.steps, 0);
         assert_eq!(r.rounds, 0);
         assert_eq!(r.moves, 0);
@@ -125,7 +124,13 @@ mod tests {
                     budget,
                     20,
                 ),
-                measure_convergence(a, cfg.clone(), &mut Starver::new(vec![0, 3], seed), budget, 20),
+                measure_convergence(
+                    a,
+                    cfg.clone(),
+                    &mut Starver::new(vec![0, 3], seed),
+                    budget,
+                    20,
+                ),
                 measure_convergence(a, cfg, &mut DelayDijkstra::seeded(seed), budget, 20),
             ];
             for (d, r) in reports.iter().enumerate() {

@@ -126,11 +126,7 @@ pub struct RoundRobin {
 impl Daemon for RoundRobin {
     fn select(&mut self, enabled: &[EnabledProcess], _step: u64) -> Vec<usize> {
         // Pick the first enabled process with index >= cursor, else wrap.
-        let pick = enabled
-            .iter()
-            .find(|e| e.process >= self.cursor)
-            .unwrap_or(&enabled[0])
-            .process;
+        let pick = enabled.iter().find(|e| e.process >= self.cursor).unwrap_or(&enabled[0]).process;
         self.cursor = pick + 1;
         vec![pick]
     }
@@ -171,11 +167,8 @@ impl DistributedRandom {
 
 impl Daemon for DistributedRandom {
     fn select(&mut self, enabled: &[EnabledProcess], _step: u64) -> Vec<usize> {
-        let mut picked: Vec<usize> = enabled
-            .iter()
-            .filter(|_| self.rng.random_bool(self.p))
-            .map(|e| e.process)
-            .collect();
+        let mut picked: Vec<usize> =
+            enabled.iter().filter(|_| self.rng.random_bool(self.p)).map(|e| e.process).collect();
         if picked.is_empty() {
             let i = self.rng.random_range(0..enabled.len());
             picked.push(enabled[i].process);
@@ -205,11 +198,8 @@ impl Starver {
 
 impl Daemon for Starver {
     fn select(&mut self, enabled: &[EnabledProcess], _step: u64) -> Vec<usize> {
-        let non_victims: Vec<usize> = enabled
-            .iter()
-            .map(|e| e.process)
-            .filter(|p| !self.victims.contains(p))
-            .collect();
+        let non_victims: Vec<usize> =
+            enabled.iter().map(|e| e.process).filter(|p| !self.victims.contains(p)).collect();
         let pool = if non_victims.is_empty() {
             enabled.iter().map(|e| e.process).collect::<Vec<_>>()
         } else {
@@ -254,11 +244,8 @@ impl DelayDijkstra {
 
 impl Daemon for DelayDijkstra {
     fn select(&mut self, enabled: &[EnabledProcess], _step: u64) -> Vec<usize> {
-        let preferred: Vec<usize> = enabled
-            .iter()
-            .filter(|e| !e.is_dijkstra_move())
-            .map(|e| e.process)
-            .collect();
+        let preferred: Vec<usize> =
+            enabled.iter().filter(|e| !e.is_dijkstra_move()).map(|e| e.process).collect();
         if preferred.is_empty() {
             // Forced: concede exactly one counter move.
             let i = self.rng.random_range(0..enabled.len());

@@ -132,18 +132,17 @@ impl<A: RingAlgorithm> Engine<A> {
             })
             .collect();
 
-        self.config = self
-            .algo
-            .step_set(&self.config, &picked)
-            .expect("picked processes are enabled");
+        self.config =
+            self.algo.step_set(&self.config, &picked).expect("picked processes are enabled");
         self.steps += 1;
         self.moves += picked.len() as u64;
 
         // Round accounting: drop movers and now-disabled processes from the
         // pending set; when it drains, a round completed and the next one
         // starts from the processes enabled *now*.
-        self.round_pending
-            .retain(|p| !picked.contains(p) && self.algo.enabled_rule_in(&self.config, *p).is_some());
+        self.round_pending.retain(|p| {
+            !picked.contains(p) && self.algo.enabled_rule_in(&self.config, *p).is_some()
+        });
         if self.round_pending.is_empty() {
             self.rounds += 1;
             self.round_pending = self.enabled().iter().map(|e| e.process).collect();
@@ -208,7 +207,7 @@ impl<A: RingAlgorithm> Engine<A> {
 mod tests {
     use super::*;
     use crate::daemons::{CentralFirst, Misbehaving, Synchronous};
-    use ssr_core::{RingAlgorithm, RingParams, SsrMin, SsToken};
+    use ssr_core::{RingAlgorithm, RingParams, SsToken, SsrMin};
 
     fn ssr(n: usize, k: u32) -> SsrMin {
         SsrMin::new(RingParams::new(n, k).unwrap())
@@ -235,9 +234,7 @@ mod tests {
     fn run_until_detects_initial_satisfaction() {
         let a = ssr(5, 7);
         let mut e = Engine::new(a, a.legitimate_anchor(0)).unwrap();
-        let steps = e
-            .run_until(&mut CentralFirst, 10, |alg, c| alg.is_legitimate(c))
-            .unwrap();
+        let steps = e.run_until(&mut CentralFirst, 10, |alg, c| alg.is_legitimate(c)).unwrap();
         assert_eq!(steps, 0);
     }
 
@@ -342,8 +339,7 @@ mod tests {
         for w in 0..t.len() {
             let before = t.config_at(w);
             let after = t.config_at(w + 1);
-            let diffs: Vec<usize> =
-                (0..5).filter(|&i| before[i] != after[i]).collect();
+            let diffs: Vec<usize> = (0..5).filter(|&i| before[i] != after[i]).collect();
             let movers: Vec<usize> = t.records()[w].movers.iter().map(|m| m.0).collect();
             for d in &diffs {
                 assert!(movers.contains(d));

@@ -155,9 +155,8 @@ mod tests {
         let count = exhaustive_ssr_configs(p).count();
         assert_eq!(count, (4 * 4usize).pow(3));
         // All distinct.
-        let set: std::collections::HashSet<Vec<String>> = exhaustive_ssr_configs(p)
-            .map(|c| c.iter().map(|s| s.to_string()).collect())
-            .collect();
+        let set: std::collections::HashSet<Vec<String>> =
+            exhaustive_ssr_configs(p).map(|c| c.iter().map(|s| s.to_string()).collect()).collect();
         assert_eq!(set.len(), count);
     }
 }

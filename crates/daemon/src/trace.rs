@@ -92,9 +92,7 @@ pub fn render_ssrmin_trace(algo: &SsrMin, trace: &Trace<SsrState>) -> String {
             // Annotate the rule that fires from this configuration, if this
             // process is the mover of the next recorded step.
             if t < trace.len() {
-                if let Some(&(_, tag)) =
-                    trace.records()[t].movers.iter().find(|m| m.0 == i)
-                {
+                if let Some(&(_, tag)) = trace.records()[t].movers.iter().find(|m| m.0 == i) {
                     let _ = write!(cell, "/{tag}");
                 }
             }

@@ -79,16 +79,7 @@ mod tests {
         t.push(sample(9, 0b10)); // both bits flip
         let csv = per_node_transitions_to_csv(&t, 2);
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(
-            lines,
-            vec![
-                "time,node,privileged",
-                "0,0,1",
-                "0,1,0",
-                "9,0,0",
-                "9,1,1",
-            ]
-        );
+        assert_eq!(lines, vec!["time,node,privileged", "0,0,1", "0,1,0", "9,0,0", "9,1,1",]);
     }
 
     #[test]

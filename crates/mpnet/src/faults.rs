@@ -38,7 +38,10 @@ pub fn ssr_nodes_with_random_caches(
 
 /// Build coherent CST nodes from a configuration (caches match reality) —
 /// the Theorem 3 starting hypothesis, usable for any ring algorithm.
-pub fn coherent_nodes<A: RingAlgorithm>(algo: &A, config: &Config<A::State>) -> Vec<Node<A::State>> {
+pub fn coherent_nodes<A: RingAlgorithm>(
+    algo: &A,
+    config: &Config<A::State>,
+) -> Vec<Node<A::State>> {
     let n = algo.n();
     assert_eq!(config.len(), n);
     (0..n)

@@ -16,7 +16,9 @@
 //! * [`observe`] — continuous-time token/coherence/legitimacy timelines and
 //!   time-weighted summaries;
 //! * [`faults`] — message loss, state corruption, and stale-cache
-//!   constructors (the Lemma 9 fault model).
+//!   constructors (the Lemma 9 fault model);
+//! * [`loss`] — reusable i.i.d. + Gilbert–Elliott loss channels (shared
+//!   with the `ssr-net` chaos proxy).
 //!
 //! The headline reproduction targets:
 //!
@@ -46,6 +48,7 @@ pub mod csv;
 pub mod event;
 pub mod faults;
 pub mod link;
+pub mod loss;
 pub mod model_gap;
 pub mod node;
 pub mod nst;
@@ -56,9 +59,10 @@ pub mod transcript;
 pub use csv::{per_node_transitions_to_csv, timeline_to_csv};
 pub use event::{DelayModel, EventKind, EventQueue, Time};
 pub use link::Link;
+pub use loss::{GilbertElliott, LossChannel};
 pub use model_gap::{token_existence_check, GapCheck};
 pub use node::Node;
 pub use nst::{NstConfig, NstSim, NstStats};
 pub use observe::{per_node_max_gap, Sample, Timeline, TimelineSummary};
-pub use sim::{CstSim, GilbertElliott, SimConfig, SimStats};
+pub use sim::{CstSim, SimConfig, SimStats};
 pub use transcript::{EventRecord, Transcript};

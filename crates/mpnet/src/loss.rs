@@ -1,0 +1,154 @@
+//! Reusable message-loss channel models.
+//!
+//! The simulator ([`crate::sim`]) and the real-socket chaos proxy
+//! (`ssr-net`) share the same fault model: i.i.d. loss plus an optional
+//! two-state Gilbert–Elliott burst channel. Keeping the stepping logic in
+//! one place guarantees that "loss 0.2" means the same thing in a
+//! discrete-event run and a loopback UDP run.
+
+use rand::{RngCore, RngExt};
+
+/// A two-state Gilbert–Elliott burst-loss channel, evaluated per directed
+/// link and per delivery: the link flips between a *good* state (a base
+/// loss probability) and a *bad* state (loss probability `loss_bad`), with
+/// geometric sojourn times. Models wireless interference bursts, which are
+/// the realistic failure mode of the paper's sensor-network setting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// Probability of entering the bad state at a delivery in the good state.
+    pub p_enter: f64,
+    /// Probability of leaving the bad state at a delivery in the bad state.
+    pub p_exit: f64,
+    /// Loss probability while the link is in the bad state.
+    pub loss_bad: f64,
+}
+
+impl Default for GilbertElliott {
+    /// A short-burst channel: rare entry (5%), quick exit (25%), heavy
+    /// in-burst loss (90%) — mean burst length four deliveries.
+    fn default() -> Self {
+        GilbertElliott { p_enter: 0.05, p_exit: 0.25, loss_bad: 0.9 }
+    }
+}
+
+/// The stateful loss process of one directed link: base i.i.d. loss plus an
+/// optional [`GilbertElliott`] burst overlay.
+///
+/// Stepping order is part of the contract (it fixes how many RNG draws a
+/// delivery consumes, and thus the deterministic replay of seeded runs):
+/// first the burst channel evolves (one draw, guarded by `p_exit > 0` /
+/// `p_enter > 0`), then the applicable loss probability is sampled (one
+/// draw, only if it is positive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossChannel {
+    /// Good-state (or burst-free) loss probability.
+    pub base_loss: f64,
+    /// Optional burst overlay.
+    pub burst: Option<GilbertElliott>,
+    /// Whether the channel currently sits in the bad state.
+    bad: bool,
+}
+
+impl LossChannel {
+    /// A channel starting in the good state.
+    pub fn new(base_loss: f64, burst: Option<GilbertElliott>) -> Self {
+        LossChannel { base_loss, burst, bad: false }
+    }
+
+    /// A channel that never drops anything.
+    pub fn lossless() -> Self {
+        LossChannel::new(0.0, None)
+    }
+
+    /// True iff the burst overlay is currently in the bad state.
+    pub fn is_bad(&self) -> bool {
+        self.bad
+    }
+
+    /// Evolve the channel by one delivery and decide whether that delivery
+    /// is dropped.
+    pub fn step_drop<R: RngCore>(&mut self, rng: &mut R) -> bool {
+        let loss_p = match self.burst {
+            None => self.base_loss,
+            Some(ge) => {
+                if self.bad {
+                    if ge.p_exit > 0.0 && rng.random_bool(ge.p_exit.clamp(0.0, 1.0)) {
+                        self.bad = false;
+                    }
+                } else if ge.p_enter > 0.0 && rng.random_bool(ge.p_enter.clamp(0.0, 1.0)) {
+                    self.bad = true;
+                }
+                if self.bad {
+                    ge.loss_bad
+                } else {
+                    self.base_loss
+                }
+            }
+        };
+        loss_p > 0.0 && rng.random_bool(loss_p.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lossless_channel_never_drops() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ch = LossChannel::lossless();
+        for _ in 0..1000 {
+            assert!(!ch.step_drop(&mut rng));
+        }
+        assert!(!ch.is_bad());
+    }
+
+    #[test]
+    fn iid_loss_rate_is_approximately_honoured() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ch = LossChannel::new(0.3, None);
+        let drops = (0..20_000).filter(|_| ch.step_drop(&mut rng)).count();
+        let rate = drops as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn burst_channel_visits_both_states_and_drops_in_bursts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ge = GilbertElliott { p_enter: 0.05, p_exit: 0.2, loss_bad: 0.9 };
+        let mut ch = LossChannel::new(0.0, Some(ge));
+        let mut saw_bad = false;
+        let mut saw_good_after_bad = false;
+        let mut drops = 0usize;
+        for _ in 0..10_000 {
+            if ch.step_drop(&mut rng) {
+                drops += 1;
+            }
+            if ch.is_bad() {
+                saw_bad = true;
+            } else if saw_bad {
+                saw_good_after_bad = true;
+            }
+        }
+        assert!(saw_bad, "channel must enter the bad state");
+        assert!(saw_good_after_bad, "channel must recover");
+        assert!(drops > 100, "bad state must actually drop ({drops})");
+        // Long-run bad-state occupancy p_enter/(p_enter+p_exit) = 0.2, so
+        // the unconditional drop rate is roughly 0.2 * 0.9 = 0.18.
+        let rate = drops as f64 / 10_000.0;
+        assert!((0.1..0.3).contains(&rate), "burst drop rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ge = GilbertElliott { p_enter: 0.1, p_exit: 0.3, loss_bad: 0.8 };
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut ch = LossChannel::new(0.05, Some(ge));
+            (0..500).map(|_| ch.step_drop(&mut rng)).collect::<Vec<bool>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -40,10 +40,7 @@ pub fn token_existence_check<A: RingAlgorithm>(algo: &A, nodes: &[Node<A::State>
         let pred = if i == 0 { n - 1 } else { i - 1 };
         let succ = if i + 1 == n { 0 } else { i + 1 };
         // True-state evaluation: what an omniscient observer computes.
-        if algo
-            .tokens_at(i, &nodes[i].own, &nodes[pred].own, &nodes[succ].own)
-            .any()
-        {
+        if algo.tokens_at(i, &nodes[i].own, &nodes[pred].own, &nodes[succ].own).any() {
             h_true = true;
         }
         // Cached evaluation: what node i itself computes and acts on.
@@ -57,7 +54,7 @@ pub fn token_existence_check<A: RingAlgorithm>(algo: &A, nodes: &[Node<A::State>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssr_core::{RingParams, SsrMin, SsrState, SsToken};
+    use ssr_core::{RingParams, SsToken, SsrMin, SsrState};
 
     fn ssr_nodes(states: &[&str], caches_match: bool) -> (SsrMin, Vec<Node<SsrState>>) {
         let algo = SsrMin::new(RingParams::new(states.len(), states.len() as u32 + 2).unwrap());

@@ -1,68 +1,14 @@
 //! CST node state: the algorithm's local variables plus the neighbour-state
 //! caches `Z_i[·]` of Algorithm 4.
-
-use ssr_core::{RingAlgorithm, TokenSet};
+//!
+//! The working-set type itself lives in [`ssr_core::replica`] so that the
+//! discrete-event simulator here, the threaded runtime (`ssr-runtime`) and
+//! the UDP transport (`ssr-net`) all share one replica implementation;
+//! `Node` is the simulator-local name for it.
 
 /// One node of the transformed (message-passing) system: its real local
 /// state plus cached copies of both ring neighbours' states.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Node<S> {
-    /// The algorithm's local variables `q_i`.
-    pub own: S,
-    /// `Z_i[v_{i-1}]` — cache of the predecessor's state.
-    pub cache_pred: S,
-    /// `Z_i[v_{i+1}]` — cache of the successor's state.
-    pub cache_succ: S,
-    /// Statistics: rules executed by this node.
-    pub rules_executed: u64,
-    /// Statistics: messages received (after the loss process).
-    pub messages_received: u64,
-}
-
-impl<S: Clone + PartialEq> Node<S> {
-    /// A node whose caches already agree with the given neighbour states
-    /// (cache-coherent start).
-    pub fn coherent(own: S, pred: S, succ: S) -> Self {
-        Node { own, cache_pred: pred, cache_succ: succ, rules_executed: 0, messages_received: 0 }
-    }
-
-    /// Evaluate the algorithm's enabled rule *on the cached view* — this is
-    /// exactly how the transformed node decides to act (Algorithm 4 line 9).
-    pub fn enabled_rule<A>(&self, algo: &A, i: usize) -> Option<A::Rule>
-    where
-        A: RingAlgorithm<State = S>,
-    {
-        algo.enabled_rule(i, &self.own, &self.cache_pred, &self.cache_succ)
-    }
-
-    /// Execute one enabled rule on the cached view, if any; returns the rule
-    /// that fired. The own state is updated in place.
-    pub fn execute_one<A>(&mut self, algo: &A, i: usize) -> Option<A::Rule>
-    where
-        A: RingAlgorithm<State = S>,
-    {
-        let rule = self.enabled_rule(algo, i)?;
-        self.own = algo.execute(i, rule, &self.own, &self.cache_pred, &self.cache_succ);
-        self.rules_executed += 1;
-        Some(rule)
-    }
-
-    /// The node's *local* token evaluation — own state plus caches. This is
-    /// the predicate a deployed node uses to decide whether it is privileged
-    /// (e.g. whether its camera must stay on), so it is the quantity whose
-    /// minimum Theorem 3 bounds below by one.
-    pub fn tokens<A>(&self, algo: &A, i: usize) -> TokenSet
-    where
-        A: RingAlgorithm<State = S>,
-    {
-        algo.tokens_at(i, &self.own, &self.cache_pred, &self.cache_succ)
-    }
-
-    /// True iff this node's caches agree with the actual neighbour states.
-    pub fn is_coherent(&self, actual_pred: &S, actual_succ: &S) -> bool {
-        self.cache_pred == *actual_pred && self.cache_succ == *actual_succ
-    }
-}
+pub type Node<S> = ssr_core::Replica<S>;
 
 #[cfg(test)]
 mod tests {

@@ -515,14 +515,21 @@ impl<A: RingAlgorithm> NstSim<A> {
             self.nodes[i].cache_pred == self.nodes[pred].own
                 && self.nodes[i].cache_succ == self.nodes[succ].own
         });
-        self.timeline.push(Sample { at: self.now, privileged, mask, tokens_total, coherent, legitimate });
+        self.timeline.push(Sample {
+            at: self.now,
+            privileged,
+            mask,
+            tokens_total,
+            coherent,
+            legitimate,
+        });
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssr_core::{RingParams, SsrMin, SsToken};
+    use ssr_core::{RingParams, SsToken, SsrMin};
 
     fn params(n: usize, k: u32) -> RingParams {
         RingParams::new(n, k).unwrap()
@@ -606,8 +613,8 @@ mod tests {
             .iter()
             .map(|s| s.parse().unwrap())
             .collect();
-        let mut sim = NstSim::new(a, initial, NstConfig { seed: 8, ..NstConfig::default() })
-            .unwrap();
+        let mut sim =
+            NstSim::new(a, initial, NstConfig { seed: 8, ..NstConfig::default() }).unwrap();
         sim.run_until(200_000);
         assert!(
             a.is_legitimate(&sim.ground_config()),

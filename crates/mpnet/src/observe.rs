@@ -138,11 +138,7 @@ impl Timeline {
         }
 
         for (idx, s) in self.samples.iter().enumerate() {
-            let next_at = self
-                .samples
-                .get(idx + 1)
-                .map(|n| n.at)
-                .unwrap_or(self.end);
+            let next_at = self.samples.get(idx + 1).map(|n| n.at).unwrap_or(self.end);
             // Clip the interval [s.at, next_at) to the window.
             let lo = s.at.max(warmup);
             let hi = next_at.max(warmup);
@@ -327,9 +323,30 @@ mod tests {
     fn per_node_gap_basic() {
         // Node 0 privileged during [0,10) and [30,end); node 1 never.
         let samples = vec![
-            Sample { at: 0, privileged: 1, mask: 0b01, tokens_total: 1, coherent: true, legitimate: true },
-            Sample { at: 10, privileged: 0, mask: 0b00, tokens_total: 0, coherent: true, legitimate: true },
-            Sample { at: 30, privileged: 1, mask: 0b01, tokens_total: 1, coherent: true, legitimate: true },
+            Sample {
+                at: 0,
+                privileged: 1,
+                mask: 0b01,
+                tokens_total: 1,
+                coherent: true,
+                legitimate: true,
+            },
+            Sample {
+                at: 10,
+                privileged: 0,
+                mask: 0b00,
+                tokens_total: 0,
+                coherent: true,
+                legitimate: true,
+            },
+            Sample {
+                at: 30,
+                privileged: 1,
+                mask: 0b01,
+                tokens_total: 1,
+                coherent: true,
+                legitimate: true,
+            },
         ];
         let gaps = per_node_max_gap(&samples, 100, 2);
         assert_eq!(gaps[0], 20); // the [10,30) rest
@@ -339,8 +356,22 @@ mod tests {
     #[test]
     fn per_node_gap_counts_trailing_rest() {
         let samples = vec![
-            Sample { at: 0, privileged: 1, mask: 0b1, tokens_total: 1, coherent: true, legitimate: true },
-            Sample { at: 40, privileged: 0, mask: 0b0, tokens_total: 0, coherent: true, legitimate: true },
+            Sample {
+                at: 0,
+                privileged: 1,
+                mask: 0b1,
+                tokens_total: 1,
+                coherent: true,
+                legitimate: true,
+            },
+            Sample {
+                at: 40,
+                privileged: 0,
+                mask: 0b0,
+                tokens_total: 0,
+                coherent: true,
+                legitimate: true,
+            },
         ];
         let gaps = per_node_max_gap(&samples, 100, 1);
         assert_eq!(gaps[0], 60);

@@ -12,21 +12,8 @@ use crate::node::Node;
 use crate::observe::{Sample, Timeline};
 use crate::transcript::{EventRecord, Transcript};
 
-/// A two-state Gilbert–Elliott burst-loss channel, evaluated per directed
-/// link and per delivery: the link flips between a *good* state (loss
-/// probability taken from [`SimConfig::loss`]) and a *bad* state (loss
-/// probability `loss_bad`), with geometric sojourn times. Models wireless
-/// interference bursts, which are the realistic failure mode of the paper's
-/// sensor-network setting.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct GilbertElliott {
-    /// Probability of entering the bad state at a delivery in the good state.
-    pub p_enter: f64,
-    /// Probability of leaving the bad state at a delivery in the bad state.
-    pub p_exit: f64,
-    /// Loss probability while the link is in the bad state.
-    pub loss_bad: f64,
-}
+pub use crate::loss::GilbertElliott;
+use crate::loss::LossChannel;
 
 /// Simulator parameters.
 #[derive(Debug, Clone, Copy)]
@@ -106,8 +93,8 @@ pub struct CstSim<A: RingAlgorithm> {
     timeline: Timeline,
     corruptions: Vec<(Time, usize, A::State)>,
     exec_scheduled: Vec<bool>,
-    /// Gilbert–Elliott channel state per directed link (true = bad).
-    link_bad: Vec<bool>,
+    /// Loss process per directed link (i.i.d. + optional burst overlay).
+    link_loss: Vec<LossChannel>,
     // ---- incrementally maintained observation counters (an event only
     // changes one node's local view, so per-event sampling is O(1)) ----
     priv_flags: Vec<bool>,
@@ -187,7 +174,7 @@ impl<A: RingAlgorithm> CstSim<A> {
             timeline: Timeline::new(),
             corruptions: Vec::new(),
             exec_scheduled: vec![false; n],
-            link_bad: vec![false; 2 * n],
+            link_loss: vec![LossChannel::new(cfg.loss, cfg.burst); 2 * n],
             priv_flags: vec![false; n],
             priv_count: 0,
             priv_mask: 0,
@@ -324,9 +311,7 @@ impl<A: RingAlgorithm> CstSim<A> {
 
     /// Indices of nodes whose *local* token predicate currently holds.
     pub fn local_privileged(&self) -> Vec<usize> {
-        (0..self.algo.n())
-            .filter(|&i| self.nodes[i].tokens(&self.algo, i).any())
-            .collect()
+        (0..self.algo.n()).filter(|&i| self.nodes[i].tokens(&self.algo, i).any()).collect()
     }
 
     /// Evaluate Definition 3's token-existence measure right now: does the
@@ -523,10 +508,8 @@ impl<A: RingAlgorithm> CstSim<A> {
                 }
             }
             EventKind::Corruption { node } => {
-                if let Some(pos) = self
-                    .corruptions
-                    .iter()
-                    .position(|(at, nd, _)| *at == self.now && *nd == node)
+                if let Some(pos) =
+                    self.corruptions.iter().position(|(at, nd, _)| *at == self.now && *nd == node)
                 {
                     let (_, _, state) = self.corruptions.swap_remove(pos);
                     self.log(EventRecord::Corrupted { node, state: state.clone() });
@@ -539,29 +522,13 @@ impl<A: RingAlgorithm> CstSim<A> {
 
     fn on_arrival(&mut self, link_idx: usize) {
         let (state, had_pending) = self.links[link_idx].complete();
-        let loss_p = match self.cfg.burst {
-            None => self.cfg.loss,
-            Some(ge) => {
-                // Evolve the per-link channel state, then read the loss rate.
-                let bad = &mut self.link_bad[link_idx];
-                if *bad {
-                    if ge.p_exit > 0.0 && self.rng.random_bool(ge.p_exit.clamp(0.0, 1.0)) {
-                        *bad = false;
-                    }
-                } else if ge.p_enter > 0.0 && self.rng.random_bool(ge.p_enter.clamp(0.0, 1.0)) {
-                    *bad = true;
-                }
-                if *bad {
-                    ge.loss_bad
-                } else {
-                    self.cfg.loss
-                }
-            }
-        };
+        // Evolve the per-link loss process and decide the drop; the shared
+        // LossChannel keeps the RNG draw order of seeded runs stable.
+        let dropped = self.link_loss[link_idx].step_drop(&mut self.rng);
         let src = self.links[link_idx].src;
         let dst = self.links[link_idx].dst;
         let now = self.now;
-        let lost = (loss_p > 0.0 && self.rng.random_bool(loss_p.clamp(0.0, 1.0)))
+        let lost = dropped
             || self.is_paused(dst, self.now)
             || self.outages[link_idx].iter().any(|&(f, u)| now >= f && now < u);
         if lost {
@@ -642,7 +609,7 @@ impl<A: RingAlgorithm> CstSim<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssr_core::{RingParams, SsrMin, SsToken};
+    use ssr_core::{RingParams, SsToken, SsrMin};
 
     fn params(n: usize, k: u32) -> RingParams {
         RingParams::new(n, k).unwrap()
@@ -651,8 +618,7 @@ mod tests {
     fn ssr_sim(seed: u64) -> CstSim<SsrMin> {
         let p = params(5, 7);
         let a = SsrMin::new(p);
-        CstSim::new(a, a.legitimate_anchor(3), SimConfig { seed, ..SimConfig::default() })
-            .unwrap()
+        CstSim::new(a, a.legitimate_anchor(3), SimConfig { seed, ..SimConfig::default() }).unwrap()
     }
 
     #[test]
@@ -975,8 +941,7 @@ mod tests {
             let privileged_full = sim.local_privileged();
             let last = *sim.timeline().samples().last().unwrap();
             assert_eq!(last.privileged, privileged_full.len(), "t={t}");
-            let mask_full: u64 =
-                privileged_full.iter().map(|&i| 1u64 << i).fold(0, |a, b| a | b);
+            let mask_full: u64 = privileged_full.iter().map(|&i| 1u64 << i).fold(0, |a, b| a | b);
             assert_eq!(last.mask, mask_full, "t={t}");
             assert_eq!(last.coherent, sim.is_coherent(), "t={t}");
             assert_eq!(
@@ -984,9 +949,8 @@ mod tests {
                 sim.algorithm().is_legitimate(&sim.ground_config()),
                 "t={t}"
             );
-            let tokens_full: usize = (0..6)
-                .map(|i| sim.node(i).tokens(sim.algorithm(), i).count() as usize)
-                .sum();
+            let tokens_full: usize =
+                (0..6).map(|i| sim.node(i).tokens(sim.algorithm(), i).count() as usize).sum();
             assert_eq!(last.tokens_total, tokens_full, "t={t}");
         }
     }

@@ -3,24 +3,26 @@
 
 use proptest::prelude::*;
 
-use ssr_core::{RingAlgorithm, RingParams, SsrMin, SsrState, SsToken};
+use ssr_core::{RingAlgorithm, RingParams, SsToken, SsrMin, SsrState};
 use ssr_mpnet::{DelayModel, NstConfig, NstSim};
 
 fn arb_setup() -> impl Strategy<Value = (RingParams, Vec<SsrState>, u64)> {
-    (3usize..8)
-        .prop_flat_map(|n| {
-            let params = RingParams::minimal(n).unwrap();
-            let k = params.k();
-            (
-                Just(params),
-                proptest::collection::vec(
-                    (0..k, any::<bool>(), any::<bool>())
-                        .prop_map(|(x, rts, tra)| SsrState { x, rts, tra }),
-                    n,
-                ),
-                any::<u64>(),
-            )
-        })
+    (3usize..8).prop_flat_map(|n| {
+        let params = RingParams::minimal(n).unwrap();
+        let k = params.k();
+        (
+            Just(params),
+            proptest::collection::vec(
+                (0..k, any::<bool>(), any::<bool>()).prop_map(|(x, rts, tra)| SsrState {
+                    x,
+                    rts,
+                    tra,
+                }),
+                n,
+            ),
+            any::<u64>(),
+        )
+    })
 }
 
 proptest! {

@@ -3,7 +3,7 @@
 //! invariants: determinism, valid ground configurations, conservation of
 //! event causality (stats consistency), and the Definition 3 comparison.
 
-use ssr_core::{Dijkstra4, DualSsToken, MultiSsToken, RingAlgorithm, RingParams, SsrMin, SsToken};
+use ssr_core::{Dijkstra4, DualSsToken, MultiSsToken, RingAlgorithm, RingParams, SsToken, SsrMin};
 use ssr_mpnet::{CstSim, DelayModel, SimConfig};
 
 fn cfg(seed: u64, loss: f64) -> SimConfig {
@@ -18,7 +18,12 @@ fn cfg(seed: u64, loss: f64) -> SimConfig {
     }
 }
 
-fn drive_and_check<A: RingAlgorithm + Clone>(algo: A, initial: Vec<A::State>, seed: u64, loss: f64) {
+fn drive_and_check<A: RingAlgorithm + Clone>(
+    algo: A,
+    initial: Vec<A::State>,
+    seed: u64,
+    loss: f64,
+) {
     let run = |s: u64| {
         let mut sim = CstSim::new(algo.clone(), initial.clone(), cfg(s, loss)).unwrap();
         sim.run_until(15_000);
@@ -95,10 +100,7 @@ fn definition3_gap_statistics_separate_the_algorithms() {
             disagree += 1;
         }
     }
-    assert!(
-        disagree > 100,
-        "Dijkstra should show the model gap frequently, saw {disagree}/300"
-    );
+    assert!(disagree > 100, "Dijkstra should show the model gap frequently, saw {disagree}/300");
 }
 
 #[test]

@@ -1,0 +1,279 @@
+//! A seeded chaos proxy for one directed UDP link.
+//!
+//! The proxy binds its own loopback socket; the sender is pointed at the
+//! proxy instead of the real destination, and the proxy forwards datagrams
+//! subject to a seeded fault process: i.i.d. and Gilbert–Elliott burst loss
+//! (the exact [`ssr_mpnet::loss::LossChannel`] the discrete-event simulator
+//! uses), uniform random delay, duplication and reordering. Two runs with
+//! equal seeds draw identical fault decisions.
+
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use ssr_mpnet::loss::{GilbertElliott, LossChannel};
+
+/// Fault knobs of one proxied link (mirrors the simulator's fault model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// RNG seed of this link's fault process.
+    pub seed: u64,
+    /// Good-state (i.i.d.) loss probability.
+    pub loss: f64,
+    /// Optional Gilbert–Elliott burst overlay.
+    pub burst: Option<GilbertElliott>,
+    /// Forwarding delay drawn uniformly from this range per datagram.
+    pub delay: (Duration, Duration),
+    /// Probability that a forwarded datagram is sent twice.
+    pub duplicate: f64,
+    /// Probability that a datagram's delay is re-drawn from a doubled
+    /// range, letting later datagrams overtake it (reordering).
+    pub reorder: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            loss: 0.0,
+            burst: None,
+            delay: (Duration::ZERO, Duration::ZERO),
+            duplicate: 0.0,
+            reorder: 0.0,
+        }
+    }
+}
+
+/// Counters of one proxy, shared with the spawner.
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    /// Datagrams forwarded to the destination (duplicates included).
+    pub forwarded: AtomicU64,
+    /// Datagrams dropped by the loss process.
+    pub dropped: AtomicU64,
+    /// Extra copies sent by the duplication process.
+    pub duplicated: AtomicU64,
+    /// Datagrams whose delay was re-drawn by the reorder process.
+    pub reordered: AtomicU64,
+}
+
+/// A running chaos proxy thread for one directed link.
+#[derive(Debug)]
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stats: Arc<ChaosStats>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Spawn a proxy forwarding to `dst`. Point the link's sender at
+    /// [`ChaosProxy::addr`].
+    pub fn spawn(dst: SocketAddr, cfg: ChaosConfig) -> std::io::Result<ChaosProxy> {
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        socket.set_read_timeout(Some(Duration::from_micros(500)))?;
+        let addr = socket.local_addr()?;
+        let stats = Arc::new(ChaosStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || proxy_main(socket, dst, cfg, stats, stop))
+        };
+        Ok(ChaosProxy { addr, stats, stop, handle: Some(handle) })
+    }
+
+    /// The address senders must target.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The proxy's live counters.
+    pub fn stats(&self) -> &ChaosStats {
+        &self.stats
+    }
+
+    /// Stop the proxy thread and wait for it to exit.
+    pub fn shutdown(mut self) -> Arc<ChaosStats> {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        Arc::clone(&self.stats)
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn proxy_main(
+    socket: UdpSocket,
+    dst: SocketAddr,
+    cfg: ChaosConfig,
+    stats: Arc<ChaosStats>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut channel = LossChannel::new(cfg.loss, cfg.burst);
+    // Delay queue: (due, payload). Kept small; datagrams are tiny.
+    let mut queue: Vec<(Instant, Vec<u8>)> = Vec::new();
+    let mut buf = vec![0u8; 64 * 1024];
+
+    let draw_delay = |rng: &mut StdRng, lo: Duration, hi: Duration| -> Duration {
+        if hi <= lo {
+            lo
+        } else {
+            let span = (hi - lo).as_micros().max(1) as u64;
+            lo + Duration::from_micros(rng.random_range(0..span))
+        }
+    };
+
+    while !stop.load(Ordering::Relaxed) {
+        match socket.recv_from(&mut buf) {
+            Ok((len, _)) => {
+                if channel.step_drop(&mut rng) {
+                    stats.dropped.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    let (lo, hi) = cfg.delay;
+                    let mut delay = draw_delay(&mut rng, lo, hi);
+                    if cfg.reorder > 0.0 && rng.random_bool(cfg.reorder) {
+                        // Push this datagram further out so its successors
+                        // can overtake it.
+                        delay += draw_delay(&mut rng, hi, hi * 2 + Duration::from_micros(200));
+                        stats.reordered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let due = Instant::now() + delay;
+                    queue.push((due, buf[..len].to_vec()));
+                    if cfg.duplicate > 0.0 && rng.random_bool(cfg.duplicate) {
+                        let extra = draw_delay(&mut rng, lo, hi);
+                        queue.push((Instant::now() + extra, buf[..len].to_vec()));
+                        stats.duplicated.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+        // Flush everything due.
+        let now = Instant::now();
+        let mut i = 0;
+        while i < queue.len() {
+            if queue[i].0 <= now {
+                let (_, payload) = queue.swap_remove(i);
+                if socket.send_to(&payload, dst).is_ok() {
+                    stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+    // Drain: deliver whatever is still queued so shutdown does not act as
+    // an extra loss process.
+    for (_, payload) in queue {
+        if socket.send_to(&payload, dst).is_ok() {
+            stats.forwarded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recv_all(socket: &UdpSocket, window: Duration) -> Vec<Vec<u8>> {
+        let mut buf = [0u8; 2048];
+        let mut got = Vec::new();
+        let deadline = Instant::now() + window;
+        socket.set_read_timeout(Some(Duration::from_millis(5))).unwrap();
+        while Instant::now() < deadline {
+            if let Ok((len, _)) = socket.recv_from(&mut buf) {
+                got.push(buf[..len].to_vec());
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn lossless_proxy_forwards_everything() {
+        let dst = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let proxy = ChaosProxy::spawn(dst.local_addr().unwrap(), ChaosConfig::default()).unwrap();
+        let src = UdpSocket::bind("127.0.0.1:0").unwrap();
+        for i in 0..20u8 {
+            src.send_to(&[i], proxy.addr()).unwrap();
+        }
+        let got = recv_all(&dst, Duration::from_millis(200));
+        let stats = proxy.shutdown();
+        assert_eq!(got.len(), 20, "forwarded {}", stats.forwarded.load(Ordering::Relaxed));
+        assert_eq!(stats.dropped.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn lossy_proxy_drops_a_fraction_deterministically() {
+        let run = |seed: u64| -> u64 {
+            let dst = UdpSocket::bind("127.0.0.1:0").unwrap();
+            let cfg = ChaosConfig { seed, loss: 0.5, ..ChaosConfig::default() };
+            let proxy = ChaosProxy::spawn(dst.local_addr().unwrap(), cfg).unwrap();
+            let src = UdpSocket::bind("127.0.0.1:0").unwrap();
+            for i in 0..100u8 {
+                src.send_to(&[i], proxy.addr()).unwrap();
+                // Pace sends so the proxy keeps up on small socket buffers.
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+            let stats = proxy.shutdown();
+            stats.dropped.load(Ordering::Relaxed)
+        };
+        let d1 = run(9);
+        assert!((20..=80).contains(&d1), "dropped {d1} of 100 at loss 0.5");
+        assert_eq!(d1, run(9), "same seed must drop the same datagrams");
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let dst = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let cfg = ChaosConfig { seed: 4, duplicate: 1.0, ..ChaosConfig::default() };
+        let proxy = ChaosProxy::spawn(dst.local_addr().unwrap(), cfg).unwrap();
+        let src = UdpSocket::bind("127.0.0.1:0").unwrap();
+        for i in 0..10u8 {
+            src.send_to(&[i], proxy.addr()).unwrap();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let got = recv_all(&dst, Duration::from_millis(200));
+        proxy.shutdown();
+        assert_eq!(got.len(), 20, "every datagram must arrive twice");
+    }
+
+    #[test]
+    fn delay_holds_datagrams_back() {
+        let dst = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let cfg = ChaosConfig {
+            seed: 5,
+            delay: (Duration::from_millis(30), Duration::from_millis(40)),
+            ..ChaosConfig::default()
+        };
+        let proxy = ChaosProxy::spawn(dst.local_addr().unwrap(), cfg).unwrap();
+        let src = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let sent_at = Instant::now();
+        src.send_to(&[42], proxy.addr()).unwrap();
+        dst.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+        let mut buf = [0u8; 16];
+        let (len, _) = dst.recv_from(&mut buf).unwrap();
+        let waited = sent_at.elapsed();
+        proxy.shutdown();
+        assert_eq!(&buf[..len], &[42]);
+        assert!(waited >= Duration::from_millis(25), "arrived after {waited:?}");
+    }
+}

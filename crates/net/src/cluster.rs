@@ -1,0 +1,347 @@
+//! Loopback cluster orchestration: spawn an `n`-node ring over real UDP
+//! sockets (optionally through chaos proxies), observe it continuously and
+//! report convergence, handover latency and token-count invariants.
+
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use ssr_core::{Config, CoreError, Replica, RingAlgorithm, WireState};
+use ssr_runtime::activity::{analyze, ActivityEvent, CoverageReport};
+
+use crate::chaos::{ChaosConfig, ChaosProxy};
+use crate::metrics::{MetricsRegistry, MetricsReport};
+use crate::runner::{run_node, NodeConfig};
+use crate::transport::UdpTransport;
+
+/// Errors of a cluster run: protocol configuration or socket plumbing.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Invalid algorithm configuration.
+    Core(CoreError),
+    /// Socket setup or I/O failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Core(e) => write!(f, "{e}"),
+            ClusterError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<CoreError> for ClusterError {
+    fn from(e: CoreError) -> Self {
+        ClusterError::Core(e)
+    }
+}
+
+impl From<io::Error> for ClusterError {
+    fn from(e: io::Error) -> Self {
+        ClusterError::Io(e)
+    }
+}
+
+/// Parameters of a cluster run.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Base RNG seed (node `i`'s transport jitter uses `seed + i`; chaos
+    /// link `l` uses a seed derived from `seed` and `l`).
+    pub seed: u64,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    /// Coverage analysis ignores this initial span (convergence time must
+    /// not count against a run started from garbage).
+    pub warmup: Duration,
+    /// Base period of the CST retransmit timer (jittered per node).
+    pub tick: Duration,
+    /// Critical-section dwell of every node.
+    pub exec_delay: Duration,
+    /// Fault process applied to every directed link (`None` = clean UDP).
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            seed: 0,
+            duration: Duration::from_millis(700),
+            warmup: Duration::from_millis(350),
+            tick: Duration::from_millis(5),
+            exec_delay: Duration::from_millis(1),
+            chaos: None,
+        }
+    }
+}
+
+/// Aggregate fault counters over all proxied links.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosSummary {
+    /// Datagrams forwarded (duplicates included).
+    pub forwarded: u64,
+    /// Datagrams dropped.
+    pub dropped: u64,
+    /// Extra copies injected.
+    pub duplicated: u64,
+    /// Datagrams delayed out of order.
+    pub reordered: u64,
+}
+
+/// Everything a finished cluster run yields.
+#[derive(Debug, Clone)]
+pub struct ClusterReport<S> {
+    /// Final protocol state of every node.
+    pub final_states: Config<S>,
+    /// Per-node activity at time zero.
+    pub initial_active: Vec<bool>,
+    /// Privilege transitions, sorted by time.
+    pub events: Vec<ActivityEvent>,
+    /// Actual observed duration.
+    pub observed: Duration,
+    /// Coverage analysis after [`ClusterConfig::warmup`].
+    pub coverage: CoverageReport,
+    /// End of the last token-count violation (zero or more than two
+    /// privileged nodes) over the whole run; `None` if no instant violated
+    /// the invariant. This is the measured convergence time.
+    pub stabilized_at: Option<Duration>,
+    /// Per-node counters plus observer-derived handover latencies.
+    pub metrics: MetricsReport,
+    /// Aggregate chaos-proxy counters (all zero when chaos was off).
+    pub chaos: ChaosSummary,
+}
+
+impl<S> ClusterReport<S> {
+    /// True iff after the warmup there was never an instant with zero
+    /// privileged nodes (the paper's P9, observed on wall clocks).
+    pub fn continuous(&self) -> bool {
+        self.coverage.uncovered.is_zero()
+    }
+}
+
+/// Run `algo` over a loopback UDP ring from `initial` and observe it.
+pub fn run_cluster<A>(
+    algo: A,
+    initial: Config<A::State>,
+    cfg: ClusterConfig,
+) -> Result<ClusterReport<A::State>, ClusterError>
+where
+    A: RingAlgorithm + Clone + Send + Sync + 'static,
+    A::State: WireState + Send + 'static,
+{
+    algo.validate_config(&initial)?;
+    let n = algo.n();
+    let metrics = MetricsRegistry::new(n);
+
+    // Phase 1: bind every node's socket pair so all addresses are known.
+    let mut transports: Vec<UdpTransport<A::State>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let pred = (i + n - 1) % n;
+        let succ = (i + 1) % n;
+        transports.push(UdpTransport::bind(
+            i as u16,
+            pred as u16,
+            succ as u16,
+            cfg.tick,
+            cfg.seed.wrapping_add(i as u64),
+            metrics.arc_node(i),
+        )?);
+    }
+    let addrs: Vec<_> =
+        transports.iter().map(|t| t.local_addrs()).collect::<io::Result<Vec<_>>>()?;
+
+    // Phase 2: wire the ring, inserting one chaos proxy per directed link
+    // when chaos is enabled. Link `2i` is `i → succ(i)`, `2i + 1` is
+    // `i → pred(i)` (the simulator's numbering).
+    let mut proxies: Vec<ChaosProxy> = Vec::new();
+    for (i, transport) in transports.iter_mut().enumerate() {
+        let pred = (i + n - 1) % n;
+        let succ = (i + 1) % n;
+        // Destinations: the neighbour's link end that faces *us*.
+        let mut to_succ = addrs[succ].pred;
+        let mut to_pred = addrs[pred].succ;
+        if let Some(chaos) = cfg.chaos {
+            let mk = |link_idx: usize, dst| -> io::Result<ChaosProxy> {
+                ChaosProxy::spawn(
+                    dst,
+                    ChaosConfig {
+                        seed: cfg
+                            .seed
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .wrapping_add(link_idx as u64),
+                        ..chaos
+                    },
+                )
+            };
+            let p_succ = mk(2 * i, to_succ)?;
+            to_succ = p_succ.addr();
+            proxies.push(p_succ);
+            let p_pred = mk(2 * i + 1, to_pred)?;
+            to_pred = p_pred.addr();
+            proxies.push(p_pred);
+        }
+        transport.wire(to_pred, to_succ);
+    }
+
+    // Phase 3: spawn the node threads.
+    let stop = Arc::new(AtomicBool::new(false));
+    let log: Arc<Mutex<Vec<ActivityEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let start = Instant::now();
+    let node_cfg = NodeConfig { exec_delay: cfg.exec_delay, ..NodeConfig::default() };
+
+    let mut initial_active = Vec::with_capacity(n);
+    let mut handles = Vec::with_capacity(n);
+    for (i, transport) in transports.into_iter().enumerate() {
+        let pred = (i + n - 1) % n;
+        let succ = (i + 1) % n;
+        let replica: Replica<A::State> =
+            Replica::coherent(initial[i].clone(), initial[pred].clone(), initial[succ].clone());
+        initial_active.push(replica.is_privileged(&algo, i));
+        let algo = algo.clone();
+        let stop = Arc::clone(&stop);
+        let log = Arc::clone(&log);
+        let node_metrics = metrics.arc_node(i);
+        handles.push(thread::spawn(move || {
+            run_node(algo, i, replica, transport, node_cfg, stop, log, start, node_metrics)
+        }));
+    }
+
+    thread::sleep(cfg.duration);
+    stop.store(true, Ordering::Relaxed);
+
+    let mut final_states = Vec::with_capacity(n);
+    for h in handles {
+        let replica = h.join().expect("node thread panicked");
+        final_states.push(replica.own);
+    }
+    let observed = start.elapsed();
+
+    let mut chaos = ChaosSummary::default();
+    for proxy in proxies {
+        let stats = proxy.shutdown();
+        chaos.forwarded += stats.forwarded.load(Ordering::Relaxed);
+        chaos.dropped += stats.dropped.load(Ordering::Relaxed);
+        chaos.duplicated += stats.duplicated.load(Ordering::Relaxed);
+        chaos.reordered += stats.reordered.load(Ordering::Relaxed);
+    }
+
+    let mut events = Arc::try_unwrap(log).expect("all threads joined").into_inner();
+    events.sort_by_key(|e| e.at);
+
+    let coverage = analyze(&initial_active, &events, observed, cfg.warmup);
+    let stabilized_at = stabilization_time(&initial_active, &events, observed);
+    let handover = handover_latencies(n, &events, cfg.warmup);
+    let metrics = metrics.report(&handover);
+
+    Ok(ClusterReport {
+        final_states,
+        initial_active,
+        events,
+        observed,
+        coverage,
+        stabilized_at,
+        metrics,
+        chaos,
+    })
+}
+
+/// End of the last instant violating the token-count invariant
+/// `1 <= active <= 2`; `None` if the whole run satisfied it.
+fn stabilization_time(
+    initial_active: &[bool],
+    events: &[ActivityEvent],
+    window: Duration,
+) -> Option<Duration> {
+    let mut active: Vec<bool> = initial_active.to_vec();
+    let mut count = active.iter().filter(|&&a| a).count();
+    let mut violating = !(1..=2).contains(&count);
+    let mut last_violation_end: Option<Duration> = None;
+    for ev in events {
+        if ev.at > window {
+            break;
+        }
+        let was_violating = violating;
+        if ev.node < active.len() && active[ev.node] != ev.active {
+            active[ev.node] = ev.active;
+            count = if ev.active { count + 1 } else { count - 1 };
+        }
+        violating = !(1..=2).contains(&count);
+        if was_violating && !violating {
+            last_violation_end = Some(ev.at);
+        }
+    }
+    if violating {
+        // Never recovered within the window.
+        Some(window)
+    } else {
+        last_violation_end
+    }
+}
+
+/// Mean handover latency per node: for each activation of node `i` after
+/// `warmup`, the elapsed time since the most recent activation of any
+/// *other* node — how long the ring takes to pass privilege onwards.
+fn handover_latencies(
+    n: usize,
+    events: &[ActivityEvent],
+    warmup: Duration,
+) -> Vec<Option<Duration>> {
+    let mut sums: Vec<(Duration, u32)> = vec![(Duration::ZERO, 0); n];
+    let mut last_activation: Option<(usize, Duration)> = None;
+    for ev in events {
+        if !ev.active {
+            continue;
+        }
+        if let Some((prev_node, prev_at)) = last_activation {
+            if ev.node < n && prev_node != ev.node && ev.at >= warmup {
+                let (sum, count) = &mut sums[ev.node];
+                *sum += ev.at - prev_at;
+                *count += 1;
+            }
+        }
+        last_activation = Some((ev.node, ev.at));
+    }
+    sums.into_iter().map(|(sum, count)| if count == 0 { None } else { Some(sum / count) }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(node: usize, at_ms: u64, active: bool) -> ActivityEvent {
+        ActivityEvent { node, at: Duration::from_millis(at_ms), active }
+    }
+
+    #[test]
+    fn stabilization_time_finds_last_violation() {
+        // Starts with zero active (violation), node 0 activates at 10ms.
+        let events = vec![ev(0, 10, true), ev(1, 20, true), ev(0, 30, false)];
+        let t = stabilization_time(&[false, false, false], &events, Duration::from_millis(100));
+        assert_eq!(t, Some(Duration::from_millis(10)));
+        // Clean from the start: no violation at all.
+        let t = stabilization_time(&[true, false, false], &events[1..], Duration::from_millis(100));
+        assert_eq!(t, None);
+    }
+
+    #[test]
+    fn stabilization_time_reports_window_when_never_legal() {
+        let t = stabilization_time(&[false, false], &[], Duration::from_millis(50));
+        assert_eq!(t, Some(Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn handover_latency_averages_gaps() {
+        let events = vec![ev(0, 10, true), ev(1, 14, true), ev(0, 15, false), ev(2, 20, true)];
+        let lat = handover_latencies(3, &events, Duration::ZERO);
+        assert_eq!(lat[1], Some(Duration::from_millis(4)));
+        assert_eq!(lat[2], Some(Duration::from_millis(6)));
+        assert_eq!(lat[0], None, "node 0 never activates after another node");
+    }
+}

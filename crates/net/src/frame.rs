@@ -1,0 +1,283 @@
+//! The datagram frame: a versioned, checksummed, length-delimited envelope
+//! around a [`WireState`] payload.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic  b"SR"
+//! 2       1     version (currently 1)
+//! 3       1     payload kind (WireState::KIND)
+//! 4       2     sender ring index
+//! 6       4     generation counter (monotone per sender)
+//! 10      2     payload length
+//! 12      len   payload (WireState::encode_payload)
+//! 12+len  4     CRC-32 (IEEE) over bytes [0, 12+len)
+//! ```
+//!
+//! One frame is one datagram; the explicit length field additionally makes
+//! the format self-delimiting if frames are ever carried over a byte
+//! stream. Decoding is total: any byte sequence yields either a valid frame
+//! or a [`CodecError`], never a panic.
+
+use std::fmt;
+
+use ssr_core::WireState;
+
+/// Frame magic bytes.
+pub const MAGIC: [u8; 2] = *b"SR";
+/// Current wire protocol version.
+pub const VERSION: u8 = 1;
+/// Bytes before the payload.
+pub const HEADER_LEN: usize = 12;
+/// Trailing checksum bytes.
+pub const CRC_LEN: usize = 4;
+/// Smallest possible frame (empty payload).
+pub const MIN_FRAME_LEN: usize = HEADER_LEN + CRC_LEN;
+/// Largest payload the codec accepts (fits any state we ship and keeps
+/// frames far below typical UDP MTUs).
+pub const MAX_PAYLOAD_LEN: usize = 16 * 1024;
+
+/// Why a byte sequence failed to decode as a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes than the minimal frame.
+    TooShort {
+        /// Bytes available.
+        len: usize,
+    },
+    /// Magic bytes did not match [`MAGIC`].
+    BadMagic {
+        /// The two bytes found.
+        found: [u8; 2],
+    },
+    /// Unsupported protocol version.
+    BadVersion {
+        /// Version byte found.
+        found: u8,
+    },
+    /// Payload kind does not match the expected state type.
+    WrongKind {
+        /// Kind the decoder expected (`S::KIND`).
+        expected: u8,
+        /// Kind found in the header.
+        found: u8,
+    },
+    /// Header length field disagrees with the actual byte count, or exceeds
+    /// [`MAX_PAYLOAD_LEN`].
+    BadLength {
+        /// Payload length claimed by the header.
+        claimed: usize,
+        /// Payload bytes actually present.
+        actual: usize,
+    },
+    /// Checksum mismatch (bit corruption).
+    BadChecksum {
+        /// CRC-32 over the received bytes.
+        computed: u32,
+        /// CRC-32 stored in the frame.
+        stored: u32,
+    },
+    /// Payload bytes did not decode as a valid state.
+    BadPayload,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CodecError::TooShort { len } => {
+                write!(f, "frame too short: {len} bytes < minimum {MIN_FRAME_LEN}")
+            }
+            CodecError::BadMagic { found } => write!(f, "bad magic bytes {found:02x?}"),
+            CodecError::BadVersion { found } => {
+                write!(f, "unsupported wire version {found} (expected {VERSION})")
+            }
+            CodecError::WrongKind { expected, found } => {
+                write!(f, "payload kind {found} does not match expected kind {expected}")
+            }
+            CodecError::BadLength { claimed, actual } => {
+                write!(f, "length field claims {claimed} payload bytes, found {actual}")
+            }
+            CodecError::BadChecksum { computed, stored } => {
+                write!(f, "checksum mismatch: computed {computed:#010x}, stored {stored:#010x}")
+            }
+            CodecError::BadPayload => write!(f, "payload did not decode as a valid state"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A decoded state broadcast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame<S> {
+    /// Ring index of the sending node.
+    pub sender: u16,
+    /// Sender's generation counter (monotone per sender; receivers drop
+    /// stale generations to get latest-state semantics under reordering
+    /// and duplication).
+    pub generation: u32,
+    /// The sender's algorithm state.
+    pub state: S,
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Encode one state broadcast as a datagram.
+pub fn encode<S: WireState>(sender: u16, generation: u32, state: &S) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(MIN_FRAME_LEN + S::PAYLOAD_LEN.unwrap_or(16));
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    buf.push(S::KIND);
+    buf.extend_from_slice(&sender.to_le_bytes());
+    buf.extend_from_slice(&generation.to_le_bytes());
+    buf.extend_from_slice(&[0, 0]); // length, patched below
+    state.encode_payload(&mut buf);
+    let payload_len = buf.len() - HEADER_LEN;
+    assert!(payload_len <= MAX_PAYLOAD_LEN, "payload too large for the wire format");
+    let len = u16::try_from(payload_len).expect("payload length fits u16");
+    buf[10..12].copy_from_slice(&len.to_le_bytes());
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Decode a datagram produced by [`encode`] (or corrupted in flight).
+pub fn decode<S: WireState>(bytes: &[u8]) -> Result<Frame<S>, CodecError> {
+    if bytes.len() < MIN_FRAME_LEN {
+        return Err(CodecError::TooShort { len: bytes.len() });
+    }
+    if bytes[0..2] != MAGIC {
+        return Err(CodecError::BadMagic { found: [bytes[0], bytes[1]] });
+    }
+    if bytes[2] != VERSION {
+        return Err(CodecError::BadVersion { found: bytes[2] });
+    }
+    if bytes[3] != S::KIND {
+        return Err(CodecError::WrongKind { expected: S::KIND, found: bytes[3] });
+    }
+    let claimed = u16::from_le_bytes([bytes[10], bytes[11]]) as usize;
+    let actual = bytes.len() - MIN_FRAME_LEN;
+    if claimed != actual || claimed > MAX_PAYLOAD_LEN {
+        return Err(CodecError::BadLength { claimed, actual });
+    }
+    let body = &bytes[..HEADER_LEN + claimed];
+    let stored = u32::from_le_bytes(
+        bytes[HEADER_LEN + claimed..].try_into().expect("exactly CRC_LEN bytes remain"),
+    );
+    let computed = crc32(body);
+    if computed != stored {
+        return Err(CodecError::BadChecksum { computed, stored });
+    }
+    let sender = u16::from_le_bytes([bytes[4], bytes[5]]);
+    let generation = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]);
+    let state = S::decode_payload(&bytes[HEADER_LEN..HEADER_LEN + claimed])
+        .ok_or(CodecError::BadPayload)?;
+    Ok(Frame { sender, generation, state })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_core::{D4State, SsrState};
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trips_every_state_kind() {
+        let s = SsrState { x: 6, rts: true, tra: false };
+        let buf = encode(3, 41, &s);
+        let frame: Frame<SsrState> = decode(&buf).unwrap();
+        assert_eq!(frame, Frame { sender: 3, generation: 41, state: s });
+
+        let buf = encode(0, 0, &9u32);
+        let frame: Frame<u32> = decode(&buf).unwrap();
+        assert_eq!(frame.state, 9);
+
+        let buf = encode(65535, u32::MAX, &D4State { x: true, up: true });
+        let frame: Frame<D4State> = decode(&buf).unwrap();
+        assert_eq!(frame.sender, 65535);
+        assert_eq!(frame.generation, u32::MAX);
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_kind() {
+        let mut buf = encode(1, 1, &SsrState { x: 0, rts: false, tra: false });
+        buf[2] = 2;
+        assert!(matches!(decode::<SsrState>(&buf), Err(CodecError::BadVersion { found: 2 })));
+
+        let buf = encode(1, 1, &7u32);
+        // A Dijkstra frame is not an SSRmin frame.
+        assert!(matches!(
+            decode::<SsrState>(&buf),
+            Err(CodecError::WrongKind { expected: 1, found: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_corruption_everywhere() {
+        let s = SsrState { x: 5, rts: false, tra: true };
+        let good = encode(2, 100, &s);
+        for i in 0..good.len() {
+            for bit in 0..8 {
+                let mut bad = good.clone();
+                bad[i] ^= 1 << bit;
+                // Either an error, or (for CRC-colliding flips, which a
+                // single bit flip cannot produce) the identical frame.
+                assert!(
+                    decode::<SsrState>(&bad).is_err(),
+                    "single-bit flip at byte {i} bit {bit} must not pass"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_truncation_and_length_lies() {
+        let s = SsrState { x: 1, rts: true, tra: true };
+        let good = encode(0, 1, &s);
+        for cut in 0..good.len() {
+            assert!(decode::<SsrState>(&good[..cut]).is_err());
+        }
+        // Length field inflated: payload bytes disagree.
+        let mut lie = good.clone();
+        lie[10] = 200;
+        assert!(decode::<SsrState>(&lie).is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CodecError::BadChecksum { computed: 1, stored: 2 };
+        let text = e.to_string();
+        assert!(text.contains("checksum"), "{text}");
+    }
+}

@@ -1,0 +1,57 @@
+//! # ssr-net — real UDP socket transport for CST rings
+//!
+//! The discrete-event simulator (`ssr-mpnet`) and the threaded channel
+//! runtime (`ssr-runtime`) both *model* the paper's message-passing system.
+//! This crate runs it for real: every node is a thread with its own UDP
+//! sockets, every CST state broadcast is a datagram with a versioned,
+//! checksummed wire format, and faults are injected by an actual
+//! store-and-forward proxy rather than by flipping a simulator branch.
+//!
+//! Layers, bottom up:
+//!
+//! * [`frame`] — the wire codec: magic, version, payload kind, sender,
+//!   generation counter, length, CRC-32; payload encoding comes from
+//!   [`ssr_core::WireState`]. Decoding is total — corruption yields a
+//!   [`frame::CodecError`], never a panic.
+//! * [`transport`] — the [`transport::Transport`] trait and its UDP
+//!   implementation on per-neighbour socket pairs, with jittered periodic
+//!   retransmission and receiver-side latest-state (generation) filtering —
+//!   the paper's single-capacity coalescing links over real sockets.
+//! * [`chaos`] — a seeded per-link proxy dropping (i.i.d. and
+//!   Gilbert–Elliott burst, via [`ssr_mpnet::loss`]), delaying, duplicating
+//!   and reordering datagrams.
+//! * [`runner`] — the per-node thread driving the shared
+//!   [`ssr_core::Replica`] over a transport (Algorithm 4 on sockets).
+//! * [`metrics`] — per-node atomic counters (sends, retransmits, rule
+//!   firings, ...) rendered as CSV or an ASCII table.
+//! * [`cluster`] — orchestration: bind, wire (optionally through chaos
+//!   proxies), run, observe; reports convergence time, handover latency
+//!   and the token-count invariant on wall clocks.
+//!
+//! ```no_run
+//! use ssr_core::{RingParams, SsrMin};
+//! use ssr_net::{run_cluster, ClusterConfig};
+//!
+//! let algo = SsrMin::new(RingParams::minimal(5).unwrap());
+//! let report =
+//!     run_cluster(algo, algo.legitimate_anchor(0), ClusterConfig::default()).unwrap();
+//! assert!(report.continuous()); // P9 over real UDP
+//! println!("{}", report.metrics.to_ascii());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod cluster;
+pub mod frame;
+pub mod metrics;
+pub mod runner;
+pub mod transport;
+
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats};
+pub use cluster::{run_cluster, ChaosSummary, ClusterConfig, ClusterError, ClusterReport};
+pub use frame::{crc32, decode, encode, CodecError, Frame};
+pub use metrics::{MetricsRegistry, MetricsReport, NodeMetrics, NodeMetricsRow};
+pub use runner::{run_node, NodeConfig};
+pub use transport::{Inbound, LocalAddrs, Neighbor, Transport, UdpTransport};

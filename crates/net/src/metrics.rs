@@ -1,0 +1,239 @@
+//! Lightweight metrics for cluster runs: lock-free per-node counters that
+//! the node threads bump while running, plus a post-run report that merges
+//! in observer-derived quantities (handover latency, coverage) and renders
+//! as CSV or an ASCII table.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Counters one node thread updates while it runs. All relaxed atomics:
+/// these are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct NodeMetrics {
+    /// Datagrams sent, including retransmissions (each broadcast counts
+    /// one per neighbour).
+    pub sends: AtomicU64,
+    /// Datagrams sent by the periodic retransmit timer alone.
+    pub retransmits: AtomicU64,
+    /// Datagrams received and accepted (after decode and staleness checks).
+    pub receives: AtomicU64,
+    /// Datagrams rejected by the wire codec (corruption, wrong version...).
+    pub decode_errors: AtomicU64,
+    /// Datagrams dropped as stale (generation not newer than the last
+    /// accepted one from that sender — reordering/duplication suppression).
+    pub stale_drops: AtomicU64,
+    /// Guarded-command rule firings.
+    pub rule_firings: AtomicU64,
+    /// Times this node's privilege toggled on.
+    pub activations: AtomicU64,
+}
+
+impl NodeMetrics {
+    fn snapshot(&self) -> [u64; 7] {
+        [
+            self.sends.load(Ordering::Relaxed),
+            self.retransmits.load(Ordering::Relaxed),
+            self.receives.load(Ordering::Relaxed),
+            self.decode_errors.load(Ordering::Relaxed),
+            self.stale_drops.load(Ordering::Relaxed),
+            self.rule_firings.load(Ordering::Relaxed),
+            self.activations.load(Ordering::Relaxed),
+        ]
+    }
+
+    /// Bump a counter by one.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The shared registry: one [`NodeMetrics`] per ring node.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    nodes: Vec<Arc<NodeMetrics>>,
+}
+
+impl MetricsRegistry {
+    /// A registry for `n` nodes, all counters zero.
+    pub fn new(n: usize) -> Self {
+        MetricsRegistry { nodes: (0..n).map(|_| Arc::new(NodeMetrics::default())).collect() }
+    }
+
+    /// A shared handle to node `i`'s counters (for its thread).
+    pub fn arc_node(&self, i: usize) -> Arc<NodeMetrics> {
+        Arc::clone(&self.nodes[i])
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the registry tracks no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The counters of node `i`.
+    pub fn node(&self, i: usize) -> &NodeMetrics {
+        &self.nodes[i]
+    }
+
+    /// Freeze the counters into a report, attaching per-node mean handover
+    /// latencies measured by the observer (empty slice if unknown).
+    pub fn report(&self, handover_latency: &[Option<Duration>]) -> MetricsReport {
+        let rows = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let [sends, retransmits, receives, decode_errors, stale_drops, rule_firings, activations] =
+                    m.snapshot();
+                NodeMetricsRow {
+                    node: i,
+                    sends,
+                    retransmits,
+                    receives,
+                    decode_errors,
+                    stale_drops,
+                    rule_firings,
+                    activations,
+                    mean_handover_latency: handover_latency.get(i).copied().flatten(),
+                }
+            })
+            .collect();
+        MetricsReport { rows }
+    }
+}
+
+/// One node's frozen counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeMetricsRow {
+    /// Ring index.
+    pub node: usize,
+    /// See [`NodeMetrics::sends`].
+    pub sends: u64,
+    /// See [`NodeMetrics::retransmits`].
+    pub retransmits: u64,
+    /// See [`NodeMetrics::receives`].
+    pub receives: u64,
+    /// See [`NodeMetrics::decode_errors`].
+    pub decode_errors: u64,
+    /// See [`NodeMetrics::stale_drops`].
+    pub stale_drops: u64,
+    /// See [`NodeMetrics::rule_firings`].
+    pub rule_firings: u64,
+    /// See [`NodeMetrics::activations`].
+    pub activations: u64,
+    /// Mean latency between this node's activations and the immediately
+    /// preceding activation elsewhere on the ring (observer-derived).
+    pub mean_handover_latency: Option<Duration>,
+}
+
+/// A frozen per-node metrics table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// One row per ring node.
+    pub rows: Vec<NodeMetricsRow>,
+}
+
+impl MetricsReport {
+    /// CSV header used by [`MetricsReport::to_csv`].
+    pub const CSV_HEADER: &'static str = "node,sends,retransmits,receives,decode_errors,\
+stale_drops,rule_firings,activations,mean_handover_latency_us";
+
+    /// Render as CSV (header plus one row per node; handover latency in
+    /// microseconds, empty when unknown).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(Self::CSV_HEADER);
+        out.push('\n');
+        for r in &self.rows {
+            let latency =
+                r.mean_handover_latency.map(|d| d.as_micros().to_string()).unwrap_or_default();
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}\n",
+                r.node,
+                r.sends,
+                r.retransmits,
+                r.receives,
+                r.decode_errors,
+                r.stale_drops,
+                r.rule_firings,
+                r.activations,
+                latency
+            ));
+        }
+        out
+    }
+
+    /// Render as an aligned ASCII table for terminal output.
+    pub fn to_ascii(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>4} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12}\n",
+            "node",
+            "sends",
+            "retransmit",
+            "recv",
+            "badframe",
+            "stale",
+            "rules",
+            "activ",
+            "handover"
+        ));
+        for r in &self.rows {
+            let latency = r
+                .mean_handover_latency
+                .map(|d| format!("{:.1}us", d.as_secs_f64() * 1e6))
+                .unwrap_or_else(|| "-".into());
+            out.push_str(&format!(
+                "{:>4} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12}\n",
+                r.node,
+                r.sends,
+                r.retransmits,
+                r.receives,
+                r.decode_errors,
+                r.stale_drops,
+                r.rule_firings,
+                r.activations,
+                latency
+            ));
+        }
+        out
+    }
+
+    /// Sum of a column over all nodes.
+    pub fn total(&self, f: impl Fn(&NodeMetricsRow) -> u64) -> u64 {
+        self.rows.iter().map(f).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_roll_up_into_csv() {
+        let reg = MetricsRegistry::new(2);
+        NodeMetrics::inc(&reg.node(0).sends);
+        NodeMetrics::inc(&reg.node(0).sends);
+        NodeMetrics::inc(&reg.node(1).rule_firings);
+        let report = reg.report(&[Some(Duration::from_micros(250)), None]);
+        assert_eq!(report.rows[0].sends, 2);
+        assert_eq!(report.rows[1].rule_firings, 1);
+        let csv = report.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(MetricsReport::CSV_HEADER));
+        assert_eq!(lines.next(), Some("0,2,0,0,0,0,0,0,250"));
+        assert_eq!(lines.next(), Some("1,0,0,0,0,0,1,0,"));
+        assert_eq!(report.total(|r| r.sends), 2);
+    }
+
+    #[test]
+    fn ascii_table_lists_every_node() {
+        let reg = MetricsRegistry::new(3);
+        let table = reg.report(&[]).to_ascii();
+        assert_eq!(table.lines().count(), 4);
+    }
+}

@@ -1,0 +1,106 @@
+//! The CST node runner: one thread driving a shared-core [`Replica`] over a
+//! [`Transport`].
+//!
+//! This is Algorithm 4 against real sockets: on receipt refresh the cache,
+//! log any privilege change, dwell `exec_delay` in the critical section,
+//! execute one enabled rule and republish; the transport's own jittered
+//! timer handles the periodic rebroadcast (line 11).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use ssr_core::{Replica, RingAlgorithm, WireState};
+use ssr_runtime::activity::ActivityEvent;
+
+use crate::metrics::NodeMetrics;
+use crate::transport::{Inbound, Neighbor, Transport};
+
+/// Per-node runner parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeConfig {
+    /// Critical-section dwell before handing the token on. Keep this well
+    /// above the OS scheduling quantum on single-core hosts so activity
+    /// logs show the true privilege overlap.
+    pub exec_delay: Duration,
+    /// Sleep when the sockets are idle (bounds busy-waiting; also the
+    /// granularity of the retransmit timer).
+    pub idle_sleep: Duration,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig { exec_delay: Duration::from_millis(1), idle_sleep: Duration::from_micros(300) }
+    }
+}
+
+/// Run one node until `stop`; returns the final replica.
+///
+/// `log` collects privilege transitions with wall-clock offsets from
+/// `start`, in the exact format `ssr_runtime::activity::analyze` consumes.
+#[allow(clippy::too_many_arguments)]
+pub fn run_node<A, T>(
+    algo: A,
+    i: usize,
+    mut replica: Replica<A::State>,
+    mut transport: T,
+    cfg: NodeConfig,
+    stop: Arc<AtomicBool>,
+    log: Arc<Mutex<Vec<ActivityEvent>>>,
+    start: Instant,
+    metrics: Arc<NodeMetrics>,
+) -> Replica<A::State>
+where
+    A: RingAlgorithm,
+    A::State: WireState,
+    T: Transport<A::State>,
+{
+    let mut last_privileged = replica.is_privileged(&algo, i);
+
+    let log_transition = |replica: &Replica<A::State>, last: &mut bool, metrics: &NodeMetrics| {
+        let now_privileged = replica.is_privileged(&algo, i);
+        if now_privileged != *last {
+            *last = now_privileged;
+            if now_privileged {
+                NodeMetrics::inc(&metrics.activations);
+            }
+            log.lock().push(ActivityEvent { node: i, at: start.elapsed(), active: now_privileged });
+        }
+    };
+
+    // Announce the initial state so coherent peers stay coherent and
+    // incoherent ones converge.
+    let _ = transport.publish(&replica.own);
+
+    while !stop.load(Ordering::Relaxed) {
+        let _ = transport.pump();
+        match transport.try_recv() {
+            Some(Inbound { from, state }) => {
+                match from {
+                    Neighbor::Pred => replica.cache_pred = state,
+                    Neighbor::Succ => replica.cache_succ = state,
+                }
+                replica.messages_received += 1;
+                // Privilege may change on a pure cache refresh (e.g. the
+                // primary token arriving) — log before any dwell.
+                log_transition(&replica, &mut last_privileged, &metrics);
+                if replica.enabled_rule(&algo, i).is_some() {
+                    if !cfg.exec_delay.is_zero() {
+                        // Critical-section dwell: the node stays privileged
+                        // while it does its work.
+                        thread::sleep(cfg.exec_delay);
+                    }
+                    if replica.execute_one(&algo, i).is_some() {
+                        NodeMetrics::inc(&metrics.rule_firings);
+                        let _ = transport.publish(&replica.own);
+                    }
+                    log_transition(&replica, &mut last_privileged, &metrics);
+                }
+            }
+            None => thread::sleep(cfg.idle_sleep),
+        }
+    }
+    replica
+}

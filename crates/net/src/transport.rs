@@ -1,0 +1,249 @@
+//! The datagram transport: a [`Transport`] abstraction plus its UDP
+//! implementation over per-neighbour socket pairs.
+//!
+//! Semantics mirror the paper's links (and `ssr_mpnet::link`): CST messages
+//! carry the sender's entire state, so only the *latest* state matters —
+//! the sender keeps exactly one outbound state per direction and the
+//! periodic retransmit timer (with jittered backoff) re-offers it until
+//! something newer replaces it. Receivers drop datagrams whose generation
+//! counter is not newer than the last accepted one from that sender, which
+//! turns UDP's reordering and duplication into the paper's latest-state
+//! coalescing.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use ssr_core::WireState;
+
+use crate::frame::{decode, encode, Frame};
+use crate::metrics::NodeMetrics;
+
+/// Which ring neighbour a message relates to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Neighbor {
+    /// The ring predecessor `v_{i-1}`.
+    Pred,
+    /// The ring successor `v_{i+1}`.
+    Succ,
+}
+
+/// A state received from a neighbour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inbound<S> {
+    /// Which neighbour sent it.
+    pub from: Neighbor,
+    /// The neighbour's state.
+    pub state: S,
+}
+
+/// The transport a CST node runner drives: broadcast own state, pump the
+/// retransmit timer, poll for neighbour states.
+pub trait Transport<S> {
+    /// Publish a new own state to both neighbours (replaces any pending
+    /// retransmission).
+    fn publish(&mut self, state: &S) -> io::Result<()>;
+
+    /// Give the transport CPU: retransmit the latest state if the jittered
+    /// timer expired.
+    fn pump(&mut self) -> io::Result<()>;
+
+    /// Non-blocking poll for the next accepted inbound state.
+    fn try_recv(&mut self) -> Option<Inbound<S>>;
+}
+
+/// One direction of the node's connectivity: a socket plus the peer (or
+/// chaos proxy) address it sends to.
+#[derive(Debug)]
+struct LinkEnd {
+    socket: UdpSocket,
+    /// Where `publish` sends to — the neighbour's opposite link end, or a
+    /// chaos proxy standing in front of it.
+    peer: SocketAddr,
+    /// Ring index expected in frames arriving on this socket.
+    expect_sender: u16,
+    /// Highest generation accepted from that sender (staleness filter).
+    last_generation: Option<u32>,
+}
+
+/// [`Transport`] over real UDP sockets on per-neighbour socket pairs.
+///
+/// Construction is two-phase because ring wiring needs every node's socket
+/// addresses before any peer can be set: [`UdpTransport::bind`] first, then
+/// [`UdpTransport::wire`].
+#[derive(Debug)]
+pub struct UdpTransport<S> {
+    me: u16,
+    pred: LinkEnd,
+    succ: LinkEnd,
+    latest: Option<S>,
+    generation: u32,
+    retransmit_base: Duration,
+    next_retransmit: Instant,
+    rng: StdRng,
+    metrics: Arc<NodeMetrics>,
+    recv_buf: Vec<u8>,
+}
+
+/// The two local socket addresses of a bound, not-yet-wired transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalAddrs {
+    /// Address of the socket facing the predecessor.
+    pub pred: SocketAddr,
+    /// Address of the socket facing the successor.
+    pub succ: SocketAddr,
+}
+
+impl<S: WireState> UdpTransport<S> {
+    /// Bind both link sockets on the loopback interface with OS-assigned
+    /// ports. `retransmit` is the base period of the CST timer; actual
+    /// periods are jittered uniformly in `[0.5, 1.5] * retransmit` to
+    /// de-synchronize the ring.
+    pub fn bind(
+        me: u16,
+        pred_index: u16,
+        succ_index: u16,
+        retransmit: Duration,
+        seed: u64,
+        metrics: Arc<NodeMetrics>,
+    ) -> io::Result<Self> {
+        let mk = |expect_sender: u16| -> io::Result<LinkEnd> {
+            let socket = UdpSocket::bind("127.0.0.1:0")?;
+            socket.set_nonblocking(true)?;
+            Ok(LinkEnd {
+                peer: socket.local_addr()?, // placeholder until `wire`
+                socket,
+                expect_sender,
+                last_generation: None,
+            })
+        };
+        Ok(UdpTransport {
+            me,
+            pred: mk(pred_index)?,
+            succ: mk(succ_index)?,
+            latest: None,
+            generation: 0,
+            retransmit_base: retransmit,
+            next_retransmit: Instant::now(),
+            rng: StdRng::seed_from_u64(seed),
+            metrics,
+            recv_buf: vec![0u8; 64 * 1024],
+        })
+    }
+
+    /// The local addresses neighbours (or proxies) must send to.
+    pub fn local_addrs(&self) -> io::Result<LocalAddrs> {
+        Ok(LocalAddrs {
+            pred: self.pred.socket.local_addr()?,
+            succ: self.succ.socket.local_addr()?,
+        })
+    }
+
+    /// Set the destination addresses: where states for the predecessor and
+    /// the successor are sent (directly their link ends, or chaos proxies).
+    pub fn wire(&mut self, pred_peer: SocketAddr, succ_peer: SocketAddr) {
+        self.pred.peer = pred_peer;
+        self.succ.peer = succ_peer;
+    }
+
+    fn send_both(&mut self, retransmission: bool) -> io::Result<()> {
+        let Some(state) = &self.latest else {
+            return Ok(());
+        };
+        // A fresh generation per datagram keeps retransmissions from being
+        // mistaken for stale duplicates by the receiver's filter.
+        for end in [&self.pred, &self.succ] {
+            self.generation = self.generation.wrapping_add(1);
+            let buf = encode(self.me, self.generation, state);
+            match end.socket.send_to(&buf, end.peer) {
+                Ok(_) => {
+                    NodeMetrics::inc(&self.metrics.sends);
+                    if retransmission {
+                        NodeMetrics::inc(&self.metrics.retransmits);
+                    }
+                }
+                // A neighbour that is not up yet (or a full socket buffer)
+                // is indistinguishable from loss; the timer will retry.
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.schedule_retransmit();
+        Ok(())
+    }
+
+    fn schedule_retransmit(&mut self) {
+        let base = self.retransmit_base.as_micros().max(1) as u64;
+        let jittered = self.rng.random_range((base / 2).max(1)..=base + base / 2);
+        self.next_retransmit = Instant::now() + Duration::from_micros(jittered);
+    }
+
+    fn poll_end(
+        end: &mut LinkEnd,
+        from: Neighbor,
+        buf: &mut [u8],
+        metrics: &NodeMetrics,
+    ) -> Option<Inbound<S>> {
+        loop {
+            let len = match end.socket.recv_from(buf) {
+                Ok((len, _)) => len,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return None,
+                Err(_) => return None,
+            };
+            match decode::<S>(&buf[..len]) {
+                Ok(Frame { sender, generation, state }) => {
+                    if sender != end.expect_sender {
+                        // Mis-wired or spoofed: not from the ring neighbour
+                        // this socket belongs to.
+                        NodeMetrics::inc(&metrics.decode_errors);
+                        continue;
+                    }
+                    // Newer iff the wrapping distance from the last accepted
+                    // generation is in the forward half of the u32 circle.
+                    let stale = end.last_generation.is_some_and(|last| {
+                        let delta = generation.wrapping_sub(last);
+                        delta == 0 || delta > u32::MAX / 2
+                    });
+                    if stale {
+                        NodeMetrics::inc(&metrics.stale_drops);
+                        continue;
+                    }
+                    end.last_generation = Some(generation);
+                    NodeMetrics::inc(&metrics.receives);
+                    return Some(Inbound { from, state });
+                }
+                Err(_) => {
+                    NodeMetrics::inc(&metrics.decode_errors);
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+impl<S: WireState + Clone> Transport<S> for UdpTransport<S> {
+    fn publish(&mut self, state: &S) -> io::Result<()> {
+        self.latest = Some(state.clone());
+        self.send_both(false)
+    }
+
+    fn pump(&mut self) -> io::Result<()> {
+        if self.latest.is_some() && Instant::now() >= self.next_retransmit {
+            self.send_both(true)?;
+        }
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> Option<Inbound<S>> {
+        if let Some(got) =
+            Self::poll_end(&mut self.pred, Neighbor::Pred, &mut self.recv_buf, &self.metrics)
+        {
+            return Some(got);
+        }
+        Self::poll_end(&mut self.succ, Neighbor::Succ, &mut self.recv_buf, &self.metrics)
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the wire codec:
+//!
+//! * round trip: `decode(encode(frame)) == frame` for every payload kind,
+//! * robustness: decoding NEVER panics, on any byte string — corrupting a
+//!   valid frame in a single byte either still decodes (only possible when
+//!   the flip cancels in CRC space — it cannot, for one byte) or returns a
+//!   structured error.
+
+use proptest::prelude::*;
+
+use ssr_core::SsrState;
+use ssr_net::{decode, encode, CodecError};
+
+fn arb_ssr_state() -> impl Strategy<Value = SsrState> {
+    (0u32..10_000, any::<bool>(), any::<bool>()).prop_map(|(x, rts, tra)| SsrState { x, rts, tra })
+}
+
+proptest! {
+    /// encode ∘ decode = id for the SSRmin state payload, for any sender
+    /// and generation.
+    #[test]
+    fn ssr_state_round_trips(
+        state in arb_ssr_state(),
+        sender in any::<u16>(),
+        generation in any::<u32>(),
+    ) {
+        let bytes = encode(sender, generation, &state);
+        let frame = decode::<SsrState>(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(frame.sender, sender);
+        prop_assert_eq!(frame.generation, generation);
+        prop_assert_eq!(frame.state, state);
+    }
+
+    /// encode ∘ decode = id for the Dijkstra counter payload (`u32`).
+    #[test]
+    fn counter_round_trips(x in any::<u32>(), sender in any::<u16>(), generation in any::<u32>()) {
+        let bytes = encode(sender, generation, &x);
+        let frame = decode::<u32>(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(frame.state, x);
+    }
+
+    /// Corrupting any single byte of a valid frame to a different value is
+    /// always detected: decode returns an error, and in particular never
+    /// panics. (A one-byte change cannot preserve a CRC-32 over the frame.)
+    #[test]
+    fn single_byte_corruption_is_detected(
+        state in arb_ssr_state(),
+        pos_seed in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = encode(7, 42, &state);
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= xor;
+        prop_assert!(
+            decode::<SsrState>(&bytes).is_err(),
+            "corruption at byte {} (xor {:#04x}) went undetected",
+            pos,
+            xor
+        );
+    }
+
+    /// Decoding arbitrary garbage never panics; it returns *some* result.
+    /// (Frames that happen to be valid are fine — the property is totality.)
+    #[test]
+    fn decode_is_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = decode::<SsrState>(&bytes);
+    }
+
+    /// Truncating a valid frame anywhere is detected.
+    #[test]
+    fn truncation_is_detected(state in arb_ssr_state(), cut_seed in any::<usize>()) {
+        let bytes = encode(3, 9, &state);
+        let cut = cut_seed % bytes.len(); // strictly shorter than the frame
+        prop_assert!(decode::<SsrState>(&bytes[..cut]).is_err());
+    }
+
+    /// The error taxonomy is stable for the two checks peers rely on:
+    /// a wrong version byte is BadVersion, a wrong payload kind WrongKind
+    /// (both checked before the checksum so peers can classify mismatches).
+    #[test]
+    fn version_and_kind_are_checked_first(state in arb_ssr_state()) {
+        let mut bytes = encode(1, 1, &state);
+        bytes[2] = 0xEE; // version byte
+        prop_assert!(matches!(decode::<SsrState>(&bytes), Err(CodecError::BadVersion { .. })));
+
+        let mut bytes = encode(1, 1, &state);
+        bytes[3] = 0xEE; // kind byte
+        prop_assert!(matches!(decode::<SsrState>(&bytes), Err(CodecError::WrongKind { .. })));
+    }
+}
+
+/// Exhaustive (not sampled) check on one frame: every single-bit flip in
+/// every byte is rejected. Complements the sampled property above.
+#[test]
+fn every_single_bit_flip_on_a_frame_is_rejected() {
+    let state = SsrState { x: 5, rts: true, tra: false };
+    let bytes = encode(2, 1000, &state);
+    for pos in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupted = bytes.clone();
+            corrupted[pos] ^= 1 << bit;
+            assert!(
+                decode::<SsrState>(&corrupted).is_err(),
+                "bit {bit} of byte {pos} flipped undetected"
+            );
+        }
+    }
+}

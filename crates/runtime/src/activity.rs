@@ -70,13 +70,13 @@ pub fn analyze(
     let mut cursor = Duration::ZERO;
 
     let account = |from: Duration,
-                       to: Duration,
-                       count: usize,
-                       state: &[bool],
-                       uncovered: &mut Duration,
-                       active_time: &mut Vec<Duration>,
-                       min_active: &mut usize,
-                       max_active: &mut usize| {
+                   to: Duration,
+                   count: usize,
+                   state: &[bool],
+                   uncovered: &mut Duration,
+                   active_time: &mut Vec<Duration>,
+                   min_active: &mut usize,
+                   max_active: &mut usize| {
         let lo = from.max(warmup);
         let hi = to.max(warmup).min(window.max(warmup));
         if hi <= lo {
@@ -153,13 +153,7 @@ pub fn analyze(
     let effective = window.saturating_sub(warmup);
     let duty_cycle = active_time
         .iter()
-        .map(|t| {
-            if effective.is_zero() {
-                0.0
-            } else {
-                t.as_secs_f64() / effective.as_secs_f64()
-            }
-        })
+        .map(|t| if effective.is_zero() { 0.0 } else { t.as_secs_f64() / effective.as_secs_f64() })
         .collect();
 
     CoverageReport {
@@ -232,12 +226,7 @@ mod tests {
 
     #[test]
     fn two_gaps_counted_separately() {
-        let events = vec![
-            ev(0, 10, false),
-            ev(0, 20, true),
-            ev(0, 40, false),
-            ev(0, 70, true),
-        ];
+        let events = vec![ev(0, 10, false), ev(0, 20, true), ev(0, 40, false), ev(0, 70, true)];
         let r = analyze(&[true], &events, ms(100), Duration::ZERO);
         assert_eq!(r.gaps, 2);
         assert_eq!(r.uncovered, ms(40));

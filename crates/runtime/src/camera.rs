@@ -10,7 +10,7 @@
 
 use std::time::Duration;
 
-use ssr_core::{RingParams, SsrMin, SsrState, SsToken};
+use ssr_core::{RingParams, SsToken, SsrMin, SsrState};
 
 use crate::activity::{analyze, CoverageReport};
 use crate::config::RuntimeConfig;
@@ -58,7 +58,10 @@ impl CameraNetwork {
     /// A network of `n` cameras with default runtime parameters
     /// (`K = n + 1`).
     pub fn new(n: usize) -> ssr_core::Result<Self> {
-        Ok(CameraNetwork { algo: SsrMin::new(RingParams::minimal(n)?), cfg: RuntimeConfig::default() })
+        Ok(CameraNetwork {
+            algo: SsrMin::new(RingParams::minimal(n)?),
+            cfg: RuntimeConfig::default(),
+        })
     }
 
     /// Override the runtime configuration.
@@ -121,13 +124,11 @@ mod tests {
 
     #[test]
     fn camera_network_provides_continuous_coverage() {
-        let net = CameraNetwork::new(5)
-            .unwrap()
-            .with_config(RuntimeConfig {
-                tick: ms(2),
-                exec_delay: ms(1),
-                ..RuntimeConfig::default()
-            });
+        let net = CameraNetwork::new(5).unwrap().with_config(RuntimeConfig {
+            tick: ms(2),
+            exec_delay: ms(1),
+            ..RuntimeConfig::default()
+        });
         let report = net.observe(ms(400), ms(0)).unwrap();
         assert!(report.continuous(), "{:?}", report.coverage);
         assert!(report.coverage.max_active <= 2);
@@ -147,9 +148,14 @@ mod tests {
 
     #[test]
     fn recovers_from_garbage_initial_memory() {
-        let net = CameraNetwork::new(5)
-            .unwrap()
-            .with_config(RuntimeConfig { tick: ms(2), seed: 7, ..RuntimeConfig::default() });
+        // exec_delay keeps handover overlap long relative to scheduling
+        // skew on single-core runners (see CONTRIBUTING.md).
+        let net = CameraNetwork::new(5).unwrap().with_config(RuntimeConfig {
+            tick: ms(2),
+            exec_delay: ms(1),
+            seed: 7,
+            ..RuntimeConfig::default()
+        });
         let initial: Vec<SsrState> = ["5.1.1", "0.0.1", "3.1.0", "3.1.1", "1.0.0"]
             .iter()
             .map(|s| s.parse().unwrap())

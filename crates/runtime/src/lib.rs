@@ -26,12 +26,11 @@ pub mod activity;
 pub mod camera;
 pub mod config;
 pub mod energy;
-pub mod replica;
 pub mod ring;
 
 pub use activity::{analyze, ActivityEvent, CoverageReport};
 pub use camera::{dijkstra_camera_observe, CameraNetwork, CameraReport};
 pub use config::RuntimeConfig;
 pub use energy::{estimate as estimate_energy, min_sustainable_ring, EnergyReport, PowerProfile};
-pub use replica::Replica;
 pub use ring::{run_ring, run_ring_with_faults, NodeStats, RunOutcome};
+pub use ssr_core::Replica;

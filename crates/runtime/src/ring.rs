@@ -11,11 +11,10 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use ssr_core::{Config, RingAlgorithm};
+use ssr_core::{Config, Replica, RingAlgorithm};
 
 use crate::activity::ActivityEvent;
 use crate::config::RuntimeConfig;
-use crate::replica::Replica;
 
 /// Per-node runtime statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -120,13 +119,9 @@ where
     for i in 0..n {
         let pred = if i == 0 { n - 1 } else { i - 1 };
         let succ = if i + 1 == n { 0 } else { i + 1 };
-        let replica: Replica<A> = Replica::new(
-            i,
-            initial[i].clone(),
-            initial[pred].clone(),
-            initial[succ].clone(),
-        );
-        initial_active.push(replica.is_privileged(&algo));
+        let replica: Replica<A::State> =
+            Replica::coherent(initial[i].clone(), initial[pred].clone(), initial[succ].clone());
+        initial_active.push(replica.is_privileged(&algo, i));
 
         let rx = rxs[i].take().expect("receiver taken once");
         let tx_pred = txs[pred].clone();
@@ -137,7 +132,7 @@ where
         let node_cfg = cfg;
 
         handles.push(thread::spawn(move || {
-            node_main(algo, replica, rx, tx_pred, tx_succ, node_cfg, stop, log, start)
+            node_main(algo, i, replica, rx, tx_pred, tx_succ, node_cfg, stop, log, start)
         }));
     }
     // Fault injector: replay the schedule against the live ring.
@@ -174,9 +169,7 @@ where
     }
     let observed = start.elapsed();
 
-    let mut events = Arc::try_unwrap(log)
-        .expect("all threads joined")
-        .into_inner();
+    let mut events = Arc::try_unwrap(log).expect("all threads joined").into_inner();
     events.sort_by_key(|e| e.at);
 
     Ok(RunOutcome { final_states, initial_active, events, stats, observed })
@@ -185,7 +178,8 @@ where
 #[allow(clippy::too_many_arguments)]
 fn node_main<A>(
     algo: A,
-    mut replica: Replica<A>,
+    i: usize,
+    mut replica: Replica<A::State>,
     rx: Receiver<NodeMsg<A::State>>,
     tx_pred: Sender<NodeMsg<A::State>>,
     tx_succ: Sender<NodeMsg<A::State>>,
@@ -197,17 +191,16 @@ fn node_main<A>(
 where
     A: RingAlgorithm,
 {
-    let i = replica.index;
     let n = algo.n();
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(i as u64));
     let mut stats = NodeStats::default();
-    let mut last_privileged = replica.is_privileged(&algo);
+    let mut last_privileged = replica.is_privileged(&algo, i);
     let pred = if i == 0 { n - 1 } else { i - 1 };
     let succ = if i + 1 == n { 0 } else { i + 1 };
     let mut last_heard = [Instant::now(); 2]; // [pred, succ]
     let mut suspected = [false; 2];
 
-    let broadcast = |replica: &Replica<A>, stats: &mut NodeStats| {
+    let broadcast = |replica: &Replica<A::State>, stats: &mut NodeStats| {
         // try_send drops when the neighbour's queue is full — the periodic
         // timer guarantees a fresh state arrives eventually, mirroring the
         // paper's single-capacity links with coalescing.
@@ -216,8 +209,8 @@ where
         stats.broadcasts += 1;
     };
 
-    let log_transition = |replica: &Replica<A>, last: &mut bool| {
-        let now_privileged = replica.is_privileged(&algo);
+    let log_transition = |replica: &Replica<A::State>, last: &mut bool| {
+        let now_privileged = replica.is_privileged(&algo, i);
         if now_privileged != *last {
             *last = now_privileged;
             let mut guard = log.lock();
@@ -247,17 +240,17 @@ where
                 let slot = if from == pred { 0 } else { 1 };
                 last_heard[slot] = Instant::now();
                 suspected[slot] = false;
-                replica.update_cache(n, from, state);
+                replica.update_cache(n, i, from, state);
                 // Privilege may change on a pure cache refresh (e.g. the
                 // primary token arriving) — log before any dwell.
                 log_transition(&replica, &mut last_privileged);
-                if replica.enabled_rule(&algo).is_some() {
+                if replica.enabled_rule(&algo, i).is_some() {
                     if !cfg.exec_delay.is_zero() {
                         // Critical-section dwell: the node stays privileged
                         // while it does its work.
                         thread::sleep(cfg.exec_delay);
                     }
-                    if replica.execute_one(&algo).is_some() {
+                    if replica.execute_one(&algo, i).is_some() {
                         stats.rules_executed += 1;
                         broadcast(&replica, &mut stats);
                     }
@@ -286,7 +279,7 @@ where
 mod tests {
     use super::*;
     use crate::activity::analyze;
-    use ssr_core::{RingParams, SsrMin, SsToken};
+    use ssr_core::{RingParams, SsToken, SsrMin};
 
     fn ms(v: u64) -> Duration {
         Duration::from_millis(v)
@@ -348,12 +341,7 @@ mod tests {
             "0.0.0".parse().unwrap(),
             "3.1.1".parse().unwrap(),
         ];
-        let cfg = RuntimeConfig {
-            tick: ms(2),
-            loss: 0.1,
-            seed: 42,
-            ..RuntimeConfig::default()
-        };
+        let cfg = RuntimeConfig { tick: ms(2), loss: 0.1, seed: 42, ..RuntimeConfig::default() };
         let out = run_ring(a, initial, cfg, ms(600)).unwrap();
         // After the run, the final snapshot must be a legitimate
         // configuration (the ring can only be caught mid-handover, and all
@@ -376,7 +364,11 @@ mod tests {
             (ms(160), 4, "1.0.1".parse().unwrap()),
             (ms(220), 0, "5.1.0".parse().unwrap()),
         ];
-        let cfg = RuntimeConfig { tick: ms(2), seed: 3, ..RuntimeConfig::default() };
+        // exec_delay keeps the handover overlap long relative to OS
+        // scheduling skew, so the wall-clock log stays gap-free even on a
+        // single-core runner (see CONTRIBUTING.md).
+        let cfg =
+            RuntimeConfig { tick: ms(2), exec_delay: ms(1), seed: 3, ..RuntimeConfig::default() };
         let out = run_ring_with_faults(a, a.legitimate_anchor(0), cfg, ms(700), faults).unwrap();
         // Well after the last fault the snapshot is legitimate again.
         assert!(
@@ -426,8 +418,14 @@ mod tests {
         let p = RingParams::new(5, 7).unwrap();
         let a = SsrMin::new(p);
         let faults = vec![(ms(10), 9usize, "0.0.0".parse().unwrap())];
-        assert!(run_ring_with_faults(a, a.legitimate_anchor(0), RuntimeConfig::default(), ms(10), faults)
-            .is_err());
+        assert!(run_ring_with_faults(
+            a,
+            a.legitimate_anchor(0),
+            RuntimeConfig::default(),
+            ms(10),
+            faults
+        )
+        .is_err());
     }
 
     #[test]

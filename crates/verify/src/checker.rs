@@ -2,7 +2,6 @@
 //! unfair distributed daemon (every non-empty subset of enabled processes at
 //! every configuration) and verifies the paper's properties mechanically.
 
-
 use crate::space::StateAlphabet;
 
 /// Which scheduler's transition relation to explore.

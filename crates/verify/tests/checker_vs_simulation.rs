@@ -40,10 +40,7 @@ fn exact_bound_dominates_simulated_adversaries() {
     assert!(hardest_seen <= exact);
     // The simulated adversaries should come close to the bound (the bound
     // is tight over SOME schedule; ours reach at least half of it).
-    assert!(
-        hardest_seen * 2 >= exact,
-        "adversaries too weak: saw {hardest_seen}, exact {exact}"
-    );
+    assert!(hardest_seen * 2 >= exact, "adversaries too weak: saw {hardest_seen}, exact {exact}");
 }
 
 /// Helpers re-deriving the checker's indexing without exposing internals.

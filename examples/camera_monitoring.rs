@@ -33,8 +33,12 @@ fn main() {
     println!("longest gap     : {:?}", report.coverage.longest_gap);
     println!("activations     : {}", report.coverage.activations);
     println!("active cameras  : {}..={}", report.coverage.min_active, report.coverage.max_active);
-    println!("mean duty cycle : {:.3} (ideal range 1/n={:.3} .. 2/n={:.3})",
-        report.mean_duty_cycle(), 1.0 / n as f64, 2.0 / n as f64);
+    println!(
+        "mean duty cycle : {:.3} (ideal range 1/n={:.3} .. 2/n={:.3})",
+        report.mean_duty_cycle(),
+        1.0 / n as f64,
+        2.0 / n as f64
+    );
     for (i, d) in report.coverage.duty_cycle.iter().enumerate() {
         println!("  camera {i}: duty {:>5.1}%", d * 100.0);
     }
@@ -43,16 +47,14 @@ fn main() {
 
     // The same deployment with plain Dijkstra mutual exclusion: the token
     // spends time "in flight" between nodes, leaving blind spots.
-    let baseline = dijkstra_camera_observe(
-        n,
-        cfg,
-        Duration::from_millis(1500),
-        Duration::from_millis(100),
-    )
-    .expect("baseline runs");
+    let baseline =
+        dijkstra_camera_observe(n, cfg, Duration::from_millis(1500), Duration::from_millis(100))
+            .expect("baseline runs");
     println!("\n== Dijkstra SSToken baseline (mutual exclusion only) ==");
-    println!("uncovered time  : {:?}  ({} gaps, longest {:?})",
-        baseline.uncovered, baseline.gaps, baseline.longest_gap);
+    println!(
+        "uncovered time  : {:?}  ({} gaps, longest {:?})",
+        baseline.uncovered, baseline.gaps, baseline.longest_gap
+    );
     println!(
         "Blind spots while the token is in transit — exactly the failure SSRmin \
          eliminates (paper Figure 11 vs Figure 13)."

@@ -23,8 +23,14 @@ fn main() {
     println!("  closure (Lemma 1)     : {}", report.closure_holds);
     println!("  no deadlock (Lemma 4) : {}", report.deadlock_free);
     println!("  converges (Lemma 6)   : {}", report.converges);
-    println!("  privileged, anywhere  : {}..={}", report.min_privileged_all, report.max_privileged_all);
-    println!("  privileged, in Λ      : {}..={}", report.min_privileged_legit, report.max_privileged_legit);
+    println!(
+        "  privileged, anywhere  : {}..={}",
+        report.min_privileged_all, report.max_privileged_all
+    );
+    println!(
+        "  privileged, in Λ      : {}..={}",
+        report.min_privileged_legit, report.max_privileged_legit
+    );
     println!("  EXACT worst-case stabilization: {} steps", report.worst_case_steps);
     assert!(report.converges && report.closure_holds && report.deadlock_free);
     assert!(report.min_privileged_all >= 1, "mutual inclusion even while stabilizing");

@@ -25,8 +25,8 @@ fn main() {
     };
 
     // Start legitimate and coherent...
-    let mut sim = CstSim::new(algo, algo.legitimate_anchor(0), sim_cfg)
-        .expect("valid configuration");
+    let mut sim =
+        CstSim::new(algo, algo.legitimate_anchor(0), sim_cfg).expect("valid configuration");
 
     // ...then hammer it: 10 random transient faults in t ∈ [500, 3000).
     let schedule = faults::random_fault_schedule(params, 10, 500, 3_000, 99);
@@ -52,8 +52,10 @@ fn main() {
     println!("  zero-privileged time : {}", post.zero_privileged_time);
     println!("  privileged nodes     : {}..={}", post.min_privileged, post.max_privileged);
     let stats = sim.stats();
-    println!("\nRun stats: {} transmissions, {} lost, {} rules executed",
-        stats.transmissions, stats.losses, stats.rules_executed);
+    println!(
+        "\nRun stats: {} transmissions, {} lost, {} rules executed",
+        stats.transmissions, stats.losses, stats.rules_executed
+    );
     assert_eq!(post.zero_privileged_time, 0);
     assert!(post.min_privileged >= 1 && post.max_privileged <= 2);
     println!("\nMutual inclusion restored and maintained. ✓");

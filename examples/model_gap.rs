@@ -13,7 +13,7 @@
 //! ```
 
 use ssrmin::analysis::Table;
-use ssrmin::core::{DualSsToken, RingParams, SsrMin, SsToken};
+use ssrmin::core::{DualSsToken, RingParams, SsToken, SsrMin};
 use ssrmin::mpnet::{CstSim, DelayModel, SimConfig, TimelineSummary};
 
 fn run<A: ssrmin::core::RingAlgorithm>(

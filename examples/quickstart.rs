@@ -35,5 +35,8 @@ fn main() {
         let holders = algo.token_holders(cfg);
         assert!((1..=2).contains(&holders.len()));
     }
-    println!("\nAll {} configurations legitimate; privileged count always in 1..=2. ✓", t.configs().len());
+    println!(
+        "\nAll {} configurations legitimate; privileged count always in 1..=2. ✓",
+        t.configs().len()
+    );
 }

@@ -5,6 +5,7 @@
 //! ssrmin simulate   [-n 5] [-k 7] [--ticks 20000] [--algo ssrmin|dijkstra|dual] [--loss 0.0] [--dwell 4] [--seed 0]
 //! ssrmin verify     [-n 3] [-k 4] [--algo ssrmin|dijkstra] [--limit 2000000]
 //! ssrmin camera     [-n 6] [--ms 1000] [--loss 0.05] [--seed 0]
+//! ssrmin cluster    [--nodes 5] [--ms 700] [--loss 0.0] [--seed 0] [--csv]
 //! ssrmin converge   [-n 8] [-k 0(=n+1)] [--seeds 20] [--daemon ...]
 //! ```
 //!
@@ -16,9 +17,10 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use ssrmin::analysis::{privileged_strip, summarize, DaemonKind, Table};
-use ssrmin::core::{CriticalSectionProtocol, DualSsToken, RingParams, SsrMin, SsToken};
+use ssrmin::core::{CriticalSectionProtocol, DualSsToken, RingParams, SsToken, SsrMin};
 use ssrmin::daemon::{measure_convergence, random_config, trace, Engine};
 use ssrmin::mpnet::{CstSim, DelayModel, SimConfig};
+use ssrmin::net::{ChaosConfig, ClusterConfig};
 use ssrmin::runtime::camera::CameraNetwork;
 use ssrmin::runtime::RuntimeConfig;
 use ssrmin::RingAlgorithm;
@@ -34,6 +36,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&opts),
         "verify" => cmd_verify(&opts),
         "camera" => cmd_camera(&opts),
+        "cluster" => cmd_cluster(&opts),
         "converge" => cmd_converge(&opts),
         "transcript" => cmd_transcript(&opts),
         "adversary" => cmd_adversary(&opts),
@@ -69,6 +72,13 @@ USAGE:
                      over ALL daemon schedules (small rings only)
   ssrmin camera    [-n N] [--ms MS] [--loss P] [--seed SEED]
                      run the live threaded camera network and report coverage
+  ssrmin cluster   [--nodes N] [-k K] [--ms MS] [--seed SEED]
+                   [--start legit|random|adversarial] [--loss P] [--burst]
+                   [--delay-us US] [--dup P] [--reorder P] [--csv]
+                     spawn N OS threads exchanging CST states over real
+                     loopback UDP sockets (with a chaos proxy per link when
+                     any fault knob is set) and report convergence time,
+                     handover latency and the token-count invariant
   ssrmin converge  [-n N] [-k K] [--seeds S] [--daemon ...]
                      measure stabilization time from random configurations
   ssrmin transcript [-n N] [--ticks T] [--loss P] [--tail L] [--seed SEED]
@@ -80,6 +90,9 @@ USAGE:
 
 type Opts = HashMap<String, String>;
 
+/// Flags that take no value; parsed as `flag -> "true"`.
+const BOOL_FLAGS: &[&str] = &["csv", "burst"];
+
 fn parse(args: &[String]) -> Option<(String, Opts)> {
     let mut it = args.iter();
     let cmd = it.next()?.clone();
@@ -89,6 +102,10 @@ fn parse(args: &[String]) -> Option<(String, Opts)> {
         if let Some(k) = key.take() {
             opts.insert(k, a.clone());
         } else if let Some(stripped) = a.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&stripped) {
+                opts.insert(stripped.to_string(), "true".into());
+                continue;
+            }
             key = Some(stripped.to_string());
         } else if let Some(stripped) = a.strip_prefix('-') {
             key = Some(match stripped {
@@ -186,19 +203,29 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
             let sum = sim.timeline().summary(0).ok_or("empty timeline")?;
             let strip = privileged_strip(sim.timeline().samples(), ticks, 72);
             let stats = sim.stats();
-            println!("{algo_name}, n = {}, K = {}, {ticks} ticks, loss = {loss}", params.n(), params.k());
+            println!(
+                "{algo_name}, n = {}, K = {}, {ticks} ticks, loss = {loss}",
+                params.n(),
+                params.k()
+            );
             println!("message-passing guarantee: {spec}\n");
             println!("privileged nodes over time ('!' = none — a mutual-inclusion violation):");
             println!("  [{strip}]");
-            println!("\nzero-privileged time : {} ticks ({:.2}% of the run)",
+            println!(
+                "\nzero-privileged time : {} ticks ({:.2}% of the run)",
                 sum.zero_privileged_time,
-                100.0 * sum.zero_privileged_time as f64 / sum.window as f64);
+                100.0 * sum.zero_privileged_time as f64 / sum.window as f64
+            );
             println!("privileged range     : {}..={}", sum.min_privileged, sum.max_privileged);
             println!("transmissions        : {} ({} lost)", stats.transmissions, stats.losses);
             println!("rules executed       : {}", stats.rules_executed);
             let d3 = sim.definition3_check();
-            println!("Definition 3 (now)   : h_true = {}, h_cached = {} — {}",
-                d3.h_true, d3.h_cached, if d3.holds() { "agrees" } else { "MODEL GAP" });
+            println!(
+                "Definition 3 (now)   : h_true = {}, h_cached = {} — {}",
+                d3.h_true,
+                d3.h_cached,
+                if d3.holds() { "agrees" } else { "MODEL GAP" }
+            );
         }};
     }
     match algo_name {
@@ -253,7 +280,11 @@ fn cmd_verify(opts: &Opts) -> Result<(), String> {
 }
 
 fn ok(b: bool) -> String {
-    if b { "holds".into() } else { "VIOLATED".into() }
+    if b {
+        "holds".into()
+    } else {
+        "VIOLATED".into()
+    }
 }
 
 fn cmd_camera(opts: &Opts) -> Result<(), String> {
@@ -275,12 +306,106 @@ fn cmd_camera(opts: &Opts) -> Result<(), String> {
     println!("camera network: n = {n}, {ms} ms, loss = {loss}");
     println!("continuous observation : {}", report.continuous());
     println!("uncovered time         : {:?}", report.coverage.uncovered);
-    println!("active cameras         : {}..={}", report.coverage.min_active, report.coverage.max_active);
+    println!(
+        "active cameras         : {}..={}",
+        report.coverage.min_active, report.coverage.max_active
+    );
     println!("handovers (activations): {}", report.coverage.activations);
     println!("mean duty cycle        : {:.3}", report.mean_duty_cycle());
     for (i, d) in report.coverage.duty_cycle.iter().enumerate() {
         println!("  camera {i}: {:>5.1}%", d * 100.0);
     }
+    Ok(())
+}
+
+/// A fault knob that must be a probability: in `[0, 1]`, default 0.
+fn probability(opts: &Opts, key: &str) -> Result<f64, String> {
+    let p: f64 = get(opts, key, 0.0f64)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("--{key} must be a probability in [0, 1], got {p}"));
+    }
+    Ok(p)
+}
+
+fn cmd_cluster(opts: &Opts) -> Result<(), String> {
+    // `--nodes` (not `-n`) to make it obvious these are OS threads with
+    // real sockets, not simulated processes; `-n` still works.
+    let n: usize = match opts.get("nodes") {
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --nodes: {v:?}"))?,
+        None => get(opts, "n", 5usize)?,
+    };
+    let k: u32 = get(opts, "k", 0u32)?;
+    let k = if k == 0 { n as u32 + 1 } else { k };
+    let params = RingParams::new(n, k).map_err(|e| e.to_string())?;
+    let ms: u64 = get(opts, "ms", 700u64)?;
+    let seed: u64 = get(opts, "seed", 0u64)?;
+    let loss: f64 = probability(opts, "loss")?;
+    let delay_us: u64 = get(opts, "delay-us", 0u64)?;
+    let dup: f64 = probability(opts, "dup")?;
+    let reorder: f64 = probability(opts, "reorder")?;
+    let burst = opts.contains_key("burst");
+    let csv = opts.contains_key("csv");
+
+    let algo = SsrMin::new(params);
+    let initial = match opts.get("start").map(String::as_str).unwrap_or("legit") {
+        "legit" => algo.legitimate_anchor(0),
+        "random" => random_config::random_ssr_config(params, seed),
+        "adversarial" => random_config::adversarial_ssr_config(params),
+        other => return Err(format!("unknown start {other:?}")),
+    };
+
+    let faulty = loss > 0.0 || delay_us > 0 || dup > 0.0 || reorder > 0.0 || burst;
+    let chaos = faulty.then(|| ChaosConfig {
+        seed: 0, // per-link seeds are derived by run_cluster
+        loss,
+        burst: burst.then(ssrmin::mpnet::GilbertElliott::default),
+        delay: (Duration::ZERO, Duration::from_micros(delay_us)),
+        duplicate: dup,
+        reorder,
+    });
+    let cfg = ClusterConfig {
+        seed,
+        duration: Duration::from_millis(ms),
+        warmup: Duration::from_millis(ms / 2),
+        ..ClusterConfig::default()
+    };
+    let report = ssrmin::net::run_cluster(algo, initial, ClusterConfig { chaos, ..cfg })
+        .map_err(|e| e.to_string())?;
+
+    if csv {
+        print!("{}", report.metrics.to_csv());
+        return Ok(());
+    }
+    println!("loopback UDP cluster: {n} nodes, K = {k}, {ms} ms, seed = {seed}");
+    match report.stabilized_at {
+        None => println!("token-count invariant : held for the whole run"),
+        Some(t) if t < report.observed => {
+            println!("token-count invariant : stabilized after {t:?}")
+        }
+        Some(_) => println!("token-count invariant : NOT RESTORED within the run"),
+    }
+    println!(
+        "continuous (post-warmup): {} (uncovered {:?}, longest gap {:?})",
+        report.continuous(),
+        report.coverage.uncovered,
+        report.coverage.longest_gap
+    );
+    println!(
+        "privileged nodes        : {}..={}",
+        report.coverage.min_active, report.coverage.max_active
+    );
+    println!("handovers (activations) : {}", report.coverage.activations);
+    if faulty {
+        println!(
+            "chaos                   : {} forwarded, {} dropped, {} duplicated, {} reordered",
+            report.chaos.forwarded,
+            report.chaos.dropped,
+            report.chaos.duplicated,
+            report.chaos.reordered
+        );
+    }
+    println!("\nper-node metrics:");
+    print!("{}", report.metrics.to_ascii());
     Ok(())
 }
 
@@ -330,8 +455,7 @@ fn cmd_transcript(opts: &Opts) -> Result<(), String> {
         exec_delay: 0,
         burst: None,
     };
-    let mut sim =
-        CstSim::new(algo, algo.legitimate_anchor(0), cfg).map_err(|e| e.to_string())?;
+    let mut sim = CstSim::new(algo, algo.legitimate_anchor(0), cfg).map_err(|e| e.to_string())?;
     sim.enable_transcript(tail);
     sim.run_until(ticks);
     println!(
@@ -366,12 +490,7 @@ fn cmd_adversary(opts: &Opts) -> Result<(), String> {
     );
     println!(
         "initial configuration: {}",
-        found
-            .initial
-            .iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>()
-            .join(", ")
+        found.initial.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", ")
     );
     let space = (4u64 * params.k() as u64).checked_pow(params.n() as u32);
     if let Some(size) = space.filter(|&s| s <= 500_000) {

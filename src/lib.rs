@@ -13,6 +13,9 @@
 //!   simulator with the Cached Sensornet Transform (CST).
 //! * [`runtime`](ssr_runtime) — threaded runtime (one thread per node over
 //!   channels) with the monitoring-application layer.
+//! * [`net`](ssr_net) — real UDP socket transport: versioned checksummed
+//!   wire codec, chaos proxy with seeded loss/delay/duplication/reordering,
+//!   and the loopback cluster runner behind `ssrmin cluster`.
 //! * [`analysis`](ssr_analysis) — token statistics, convergence statistics,
 //!   domination-graph analysis, adversary synthesis, table rendering.
 //! * [`verify`](ssr_verify) — explicit-state model checking: closure,
@@ -25,9 +28,10 @@ pub use ssr_analysis as analysis;
 pub use ssr_core as core;
 pub use ssr_daemon as daemon;
 pub use ssr_mpnet as mpnet;
+pub use ssr_net as net;
 pub use ssr_runtime as runtime;
 pub use ssr_verify as verify;
 
 pub use ssr_core::{
-    Config, RingAlgorithm, RingParams, SsrMin, SsrRule, SsrState, SsToken, TokenKind, TokenSet,
+    Config, RingAlgorithm, RingParams, SsToken, SsrMin, SsrRule, SsrState, TokenKind, TokenSet,
 };

@@ -4,10 +4,7 @@
 use std::process::Command;
 
 fn run(args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_ssrmin"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let out = Command::new(env!("CARGO_BIN_EXE_ssrmin")).args(args).output().expect("binary runs");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -46,10 +43,8 @@ fn simulate_reports_zero_gap_for_ssrmin() {
     assert!(stdout.contains("zero-privileged time : 0 ticks"), "{stdout}");
     // The strip line (between brackets) must contain no '!' alarms; the
     // legend text above it legitimately contains one.
-    let strip = stdout
-        .lines()
-        .find(|l| l.trim_start().starts_with('['))
-        .expect("strip line present");
+    let strip =
+        stdout.lines().find(|l| l.trim_start().starts_with('[')).expect("strip line present");
     assert!(!strip.contains('!'), "strip must contain no alarms: {strip}");
 }
 

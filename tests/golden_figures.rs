@@ -83,11 +83,7 @@ fn figure1_inchworm_pattern_matches_golden() {
             "B....", // P0 holds both (rts phase)
             "PS...", // split: P at P0, S at P1
             ".B...", // both at P1
-            ".B...",
-            ".PS..",
-            "..B..",
-            "..B..",
-            "..PS.",
+            ".B...", ".PS..", "..B..", "..B..", "..PS.",
         ]
     );
 }

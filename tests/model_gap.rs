@@ -2,7 +2,7 @@
 //! state-reading engine, the discrete-event CST simulator and the threaded
 //! runtime, checking that the paper's Section 5 claims hold end to end.
 
-use ssrmin::core::{DualSsToken, MultiSsToken, RingAlgorithm, RingParams, SsrMin, SsToken};
+use ssrmin::core::{DualSsToken, MultiSsToken, RingAlgorithm, RingParams, SsToken, SsrMin};
 use ssrmin::mpnet::{CstSim, DelayModel, SimConfig};
 
 fn sim_cfg(seed: u64) -> SimConfig {
@@ -58,10 +58,7 @@ fn dual_dijkstra_still_has_gaps() {
     let mut sim = CstSim::new(a, a.config_with_tokens_at(0, 2, 0), sim_cfg(3)).unwrap();
     sim.run_until(60_000);
     let s = sim.timeline().summary(0).unwrap();
-    assert!(
-        s.zero_privileged_time > 0,
-        "both tokens in flight at once must occur: {s:?}"
-    );
+    assert!(s.zero_privileged_time > 0, "both tokens in flight at once must occur: {s:?}");
 }
 
 /// E7 (token economy): a 3-token multi-token ring has more simultaneous

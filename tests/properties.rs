@@ -50,8 +50,11 @@ fn arb_params() -> impl Strategy<Value = RingParams> {
 
 fn arb_config(params: RingParams) -> impl Strategy<Value = Vec<SsrState>> {
     proptest::collection::vec(
-        (0..params.k(), any::<bool>(), any::<bool>())
-            .prop_map(|(x, r, t)| SsrState { x, rts: r, tra: t }),
+        (0..params.k(), any::<bool>(), any::<bool>()).prop_map(|(x, r, t)| SsrState {
+            x,
+            rts: r,
+            tra: t,
+        }),
         params.n(),
     )
 }

@@ -1,0 +1,183 @@
+//! End-to-end tests of the `ssr-net` loopback UDP cluster: real sockets,
+//! real threads, real datagrams — the paper's properties observed on wall
+//! clocks rather than simulator ticks.
+//!
+//! Keep run times bounded: these tests are also CI's smoke check for the
+//! socket stack. On a loaded single-core host the wall-clock assertions are
+//! about coverage *after warmup*, which tolerates slow convergence, not
+//! about absolute speed.
+
+use std::time::Duration;
+
+use ssrmin::core::{RingParams, SsrMin};
+use ssrmin::daemon::random_config;
+use ssrmin::net::{run_cluster, ChaosConfig, ClusterConfig, MetricsReport};
+use ssrmin::RingAlgorithm;
+
+fn params(n: usize) -> RingParams {
+    RingParams::new(n, n as u32 + 1).unwrap()
+}
+
+/// Acceptance: `cluster --nodes 5 --seed 1` converges over loopback UDP and
+/// P9 (at least one privileged node at every instant) holds after warmup.
+#[test]
+fn five_nodes_circulate_tokens_over_real_udp() {
+    let algo = SsrMin::new(params(5));
+    let cfg = ClusterConfig {
+        seed: 1,
+        duration: Duration::from_millis(900),
+        warmup: Duration::from_millis(450),
+        ..ClusterConfig::default()
+    };
+    let report = run_cluster(algo, algo.legitimate_anchor(0), cfg).unwrap();
+
+    assert!(
+        report.continuous(),
+        "zero-token instants after warmup: uncovered {:?}, longest gap {:?}",
+        report.coverage.uncovered,
+        report.coverage.longest_gap
+    );
+    assert!(
+        (1..=2).contains(&report.coverage.min_active) && report.coverage.max_active <= 2,
+        "token-count invariant violated after warmup: {}..={} privileged",
+        report.coverage.min_active,
+        report.coverage.max_active
+    );
+    // The token must actually move: every node activates at least once in
+    // the post-warmup window (duty cycle > 0 for all).
+    assert!(report.coverage.activations >= 10, "only {} handovers", report.coverage.activations);
+    assert!(
+        report.coverage.duty_cycle.iter().all(|&d| d > 0.0),
+        "some node never held the token: {:?}",
+        report.coverage.duty_cycle
+    );
+    // Started legitimate: the invariant may never be observed broken.
+    assert_eq!(report.stabilized_at, None, "legitimate start must stay legitimate");
+    // Final states are a valid configuration.
+    algo.validate_config(&report.final_states).unwrap();
+}
+
+/// Self-stabilization over real sockets: a random (possibly illegitimate)
+/// initial configuration converges and then circulates cleanly.
+#[test]
+fn random_start_stabilizes_over_real_udp() {
+    let p = params(5);
+    let algo = SsrMin::new(p);
+    let initial = random_config::random_ssr_config(p, 99);
+    let cfg = ClusterConfig {
+        seed: 3,
+        duration: Duration::from_millis(1000),
+        warmup: Duration::from_millis(500),
+        ..ClusterConfig::default()
+    };
+    let report = run_cluster(algo, initial, cfg).unwrap();
+    if let Some(t) = report.stabilized_at {
+        assert!(
+            t < report.observed,
+            "never restored the token-count invariant within {:?}",
+            report.observed
+        );
+        assert!(t < cfg.warmup, "stabilized only after {t:?}, warmup {:?}", cfg.warmup);
+    }
+    assert!(report.continuous(), "uncovered {:?} after warmup", report.coverage.uncovered);
+    assert!(report.coverage.max_active <= 2);
+}
+
+/// Acceptance: the ring converges and circulates *through* per-link chaos
+/// proxies dropping 20% of datagrams (the paper's lossy-network claim, P10).
+#[test]
+fn cluster_survives_chaos_proxy_at_loss_0_2() {
+    let algo = SsrMin::new(params(5));
+    let chaos = ChaosConfig { loss: 0.2, ..ChaosConfig::default() };
+    let cfg = ClusterConfig {
+        seed: 1,
+        duration: Duration::from_millis(1400),
+        warmup: Duration::from_millis(700),
+        chaos: Some(chaos),
+        ..ClusterConfig::default()
+    };
+    let report = run_cluster(algo, algo.legitimate_anchor(0), cfg).unwrap();
+
+    // The chaos layer must actually have been in the path and dropping.
+    assert!(report.chaos.forwarded > 0, "proxies forwarded nothing");
+    assert!(
+        report.chaos.dropped > 0,
+        "loss 0.2 dropped nothing over {} forwarded",
+        report.chaos.forwarded
+    );
+    // ... and the protocol must have ridden it out. Retransmission masks
+    // loss, so post-warmup coverage must still be continuous.
+    assert!(
+        report.continuous(),
+        "zero-token instants under 20% loss: uncovered {:?}",
+        report.coverage.uncovered
+    );
+    assert!(report.coverage.max_active <= 2);
+    assert!(report.coverage.activations >= 10, "token stalled under loss");
+}
+
+/// Acceptance: the metrics CSV is well-formed and reflects the run — every
+/// node sent, received and fired rules, and the header matches the contract.
+#[test]
+fn metrics_csv_reflects_cluster_activity() {
+    let algo = SsrMin::new(params(4));
+    let cfg = ClusterConfig {
+        seed: 5,
+        duration: Duration::from_millis(600),
+        warmup: Duration::from_millis(300),
+        ..ClusterConfig::default()
+    };
+    let report = run_cluster(algo, algo.legitimate_anchor(0), cfg).unwrap();
+
+    let csv = report.metrics.to_csv();
+    let mut lines = csv.lines();
+    assert_eq!(lines.next(), Some(MetricsReport::CSV_HEADER));
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), 4, "one row per node:\n{csv}");
+    for (i, row) in rows.iter().enumerate() {
+        let fields: Vec<&str> = row.split(',').collect();
+        assert_eq!(fields.len(), 9, "bad row {row:?}");
+        assert_eq!(fields[0], i.to_string());
+        let sends: u64 = fields[1].parse().unwrap();
+        let retransmits: u64 = fields[2].parse().unwrap();
+        let receives: u64 = fields[3].parse().unwrap();
+        let rule_firings: u64 = fields[6].parse().unwrap();
+        assert!(sends > 0, "node {i} never sent: {row}");
+        assert!(retransmits > 0, "node {i} never hit the retransmit timer: {row}");
+        assert!(sends >= retransmits, "retransmits are a subset of sends: {row}");
+        assert!(receives > 0, "node {i} never received: {row}");
+        assert!(rule_firings > 0, "node {i} never fired a rule: {row}");
+    }
+    // Clean loopback UDP: nothing should have been corrupted or reordered.
+    assert_eq!(report.metrics.total(|r| r.decode_errors), 0);
+    // Handover latency is observable for at least one node after warmup.
+    assert!(
+        report.metrics.rows.iter().any(|r| r.mean_handover_latency.is_some()),
+        "no handover latency measured:\n{csv}"
+    );
+}
+
+/// The CLI front-end: `ssrmin cluster` runs, reports, and its `--csv` mode
+/// emits exactly the metrics table.
+#[test]
+fn cluster_cli_reports_and_emits_csv() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_ssrmin"))
+        .args(["cluster", "--nodes", "4", "--seed", "2", "--ms", "500"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("loopback UDP cluster: 4 nodes"), "{stdout}");
+    assert!(stdout.contains("token-count invariant"), "{stdout}");
+    assert!(stdout.contains("per-node metrics"), "{stdout}");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_ssrmin"))
+        .args(["cluster", "--nodes", "3", "--seed", "2", "--ms", "400", "--csv"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut lines = stdout.lines();
+    assert_eq!(lines.next(), Some(MetricsReport::CSV_HEADER), "{stdout}");
+    assert_eq!(lines.count(), 3, "one CSV row per node:\n{stdout}");
+}

@@ -1,0 +1,12 @@
+//! Offline stand-in for `crossbeam`: the `channel` subset the workspace
+//! uses (bounded/unbounded MPMC channels with timeouts and non-blocking
+//! sends), implemented over `std::sync::{Mutex, Condvar}`.
+//!
+//! Semantics follow `crossbeam-channel`:
+//! * `Sender` and `Receiver` are both cloneable (MPMC);
+//! * a channel disconnects when all peers of the other side are dropped;
+//! * `recv` on a disconnected channel still drains buffered messages first.
+
+#![forbid(unsafe_code)]
+
+pub mod channel;

@@ -1,0 +1,76 @@
+//! `any::<T>()` for the primitive types the workspace draws.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt};
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: fmt::Debug + Sized {
+    /// Draw an arbitrary value. Implementations bias a small fraction of
+    /// draws toward edge values (min/0/1/max), which is where integer
+    /// properties tend to break.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                // 1-in-16 draws land on an edge case.
+                if rng.random_range(0..16u32) == 0 {
+                    let edges = [<$t>::MIN, 0, 1, <$t>::MAX];
+                    edges[rng.random_range(0..4usize)]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_covers_edges_and_interior() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = any::<u8>();
+        let draws: Vec<u8> = (0..2000).map(|_| s.generate(&mut rng)).collect();
+        assert!(draws.contains(&0));
+        assert!(draws.contains(&255));
+        assert!(draws.iter().any(|&v| v != 0 && v != 255));
+        let b = any::<bool>();
+        let bools: Vec<bool> = (0..100).map(|_| b.generate(&mut rng)).collect();
+        assert!(bools.contains(&true) && bools.contains(&false));
+    }
+}

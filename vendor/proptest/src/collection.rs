@@ -1,0 +1,83 @@
+//! Collection strategies: `vec`.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::strategy::Strategy;
+
+/// A length specification for collection strategies: an exact length or a
+/// half-open range, as in upstream proptest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        if self.hi <= self.lo + 1 {
+            self.lo
+        } else {
+            rng.random_range(self.lo..self.hi)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange { lo: len, hi: len + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with the given length specification.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_and_ranged_lengths() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let fixed = vec(0u32..5, 4usize);
+        for _ in 0..20 {
+            assert_eq!(fixed.generate(&mut rng).len(), 4);
+        }
+        let ranged = vec(0u32..5, 1..7);
+        let mut lens = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            let v = ranged.generate(&mut rng);
+            assert!((1..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+            lens.insert(v.len());
+        }
+        assert!(lens.len() > 3, "length should vary: {lens:?}");
+    }
+}

@@ -1,0 +1,104 @@
+//! The case runner behind the [`proptest!`](crate::proptest) macro.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// Runner configuration (the subset of upstream's the workspace sets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases to draw and run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Stable 64-bit FNV-1a hash of the test name, used as the deterministic
+/// default seed so the suite cannot flake on an unlucky stream.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Draw `config.cases` inputs from `strategy` and run `body` on each.
+/// On panic, reports the test name, case index, seed and the generated
+/// inputs, then propagates the panic (no shrinking in this stand-in).
+pub fn run_cases<S, F>(config: &ProptestConfig, name: &str, strategy: S, body: F)
+where
+    S: Strategy,
+    F: Fn(S::Value),
+{
+    let seed = match std::env::var("PROPTEST_SEED") {
+        Ok(v) => {
+            v.parse::<u64>().unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {v:?}"))
+        }
+        Err(_) => name_seed(name),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..config.cases {
+        let value = strategy.generate(&mut rng);
+        let shown = format!("{value:?}");
+        let result = catch_unwind(AssertUnwindSafe(|| body(value)));
+        if let Err(panic) = result {
+            eprintln!(
+                "proptest stand-in: property {name:?} failed at case {case}/{cases} \
+                 (seed {seed}; rerun with PROPTEST_SEED={seed})\n  input: {shown}",
+                cases = config.cases,
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+
+    #[test]
+    fn runs_every_case() {
+        let count = std::cell::Cell::new(0u32);
+        run_cases(&ProptestConfig::with_cases(17), "runs_every_case", Just(1u8), |v| {
+            assert_eq!(v, 1);
+            count.set(count.get() + 1);
+        });
+        assert_eq!(count.get(), 17);
+    }
+
+    #[test]
+    fn failing_property_panics() {
+        let result = std::panic::catch_unwind(|| {
+            run_cases(&ProptestConfig::with_cases(5), "failing", Just(3u8), |v| {
+                assert!(v > 3, "deliberate failure");
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn deterministic_without_env_override() {
+        let a = std::cell::RefCell::new(Vec::new());
+        let b = std::cell::RefCell::new(Vec::new());
+        run_cases(&ProptestConfig::with_cases(10), "det", 0u64..1000, |v| a.borrow_mut().push(v));
+        run_cases(&ProptestConfig::with_cases(10), "det", 0u64..1000, |v| b.borrow_mut().push(v));
+        assert_eq!(*a.borrow(), *b.borrow());
+    }
+}

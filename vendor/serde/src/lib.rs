@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *declares* optional serde support (`#[cfg_attr(
+//! feature = "serde", derive(serde::Serialize, serde::Deserialize))]`); no
+//! in-tree code serializes anything. This stand-in keeps those attributes
+//! compiling offline: the traits are markers and the derives emit empty
+//! impls. Swap in real `serde` (same package name and feature set) when the
+//! build environment regains registry access.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

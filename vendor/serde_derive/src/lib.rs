@@ -1,0 +1,36 @@
+//! Offline stand-in for `serde_derive`: emits empty impls of the marker
+//! traits in the vendored `serde`. Supports plain (non-generic) structs and
+//! enums, which is all the workspace derives on.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name of the type a `struct`/`enum` item defines.
+fn type_name(input: &TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return s;
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    panic!("serde_derive stand-in: expected a struct or enum item");
+}
+
+/// Stand-in `#[derive(Serialize)]`: an empty marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl ::serde::Serialize for {name} {{}}").parse().unwrap()
+}
+
+/// Stand-in `#[derive(Deserialize)]`: an empty marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}").parse().unwrap()
+}
