@@ -81,4 +81,4 @@ pub use replica::Replica;
 pub use rules::SsrRule;
 pub use ssrmin::SsrMin;
 pub use state::SsrState;
-pub use wire::WireState;
+pub use wire::{crc32, decode_snapshot, encode_snapshot, SnapshotError, WireState};

@@ -12,8 +12,11 @@
 //! discriminator in the frame header, so a receiver can reject a datagram
 //! from a ring running a different algorithm before touching the payload.
 
+use std::fmt;
+
 use crate::dijkstra4::D4State;
 use crate::multitoken::MultiState;
+use crate::replica::Replica;
 use crate::state::SsrState;
 
 /// A state type that can travel in a wire frame.
@@ -129,6 +132,201 @@ impl WireState for MultiState {
     }
 }
 
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the checksum used by both the datagram frame
+/// codec in `ssr-net` and the replica snapshot format below.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Snapshot magic bytes (distinct from the datagram frame magic `b"SR"`).
+pub const SNAPSHOT_MAGIC: [u8; 2] = *b"SP";
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u8 = 1;
+/// Fixed bytes before the three length-prefixed payloads.
+const SNAPSHOT_HEADER_LEN: usize = 20;
+/// Trailing checksum bytes.
+const SNAPSHOT_CRC_LEN: usize = 4;
+
+/// Why a byte sequence failed to decode as a replica snapshot.
+///
+/// A node restarting in snapshot mode treats *any* of these as "the
+/// persisted state is unusable" and degrades to an amnesia (arbitrary-state)
+/// restart — self-stabilization makes that safe, so snapshot corruption must
+/// never abort a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Fewer bytes than the minimal snapshot.
+    TooShort {
+        /// Bytes available.
+        len: usize,
+    },
+    /// Magic bytes did not match [`SNAPSHOT_MAGIC`].
+    BadMagic {
+        /// The two bytes found.
+        found: [u8; 2],
+    },
+    /// Unsupported snapshot version.
+    BadVersion {
+        /// Version byte found.
+        found: u8,
+    },
+    /// State kind does not match the expected state type.
+    WrongKind {
+        /// Kind the decoder expected (`S::KIND`).
+        expected: u8,
+        /// Kind found in the header.
+        found: u8,
+    },
+    /// A length prefix points past the end of the snapshot, or trailing
+    /// bytes remain after the last payload.
+    BadLength,
+    /// Checksum mismatch (bit corruption of the persisted bytes).
+    BadChecksum {
+        /// CRC-32 over the stored bytes.
+        computed: u32,
+        /// CRC-32 stored in the snapshot.
+        stored: u32,
+    },
+    /// A payload did not decode as a valid state.
+    BadPayload,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SnapshotError::TooShort { len } => write!(f, "snapshot too short: {len} bytes"),
+            SnapshotError::BadMagic { found } => {
+                write!(f, "bad snapshot magic bytes {found:02x?}")
+            }
+            SnapshotError::BadVersion { found } => {
+                write!(f, "unsupported snapshot version {found} (expected {SNAPSHOT_VERSION})")
+            }
+            SnapshotError::WrongKind { expected, found } => {
+                write!(f, "snapshot state kind {found} does not match expected kind {expected}")
+            }
+            SnapshotError::BadLength => write!(f, "snapshot length fields are inconsistent"),
+            SnapshotError::BadChecksum { computed, stored } => {
+                write!(
+                    f,
+                    "snapshot checksum mismatch: computed {computed:#010x}, stored {stored:#010x}"
+                )
+            }
+            SnapshotError::BadPayload => write!(f, "snapshot payload did not decode"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Encode a replica (own state plus both neighbour caches and counters) as
+/// a self-contained, checksummed snapshot.
+///
+/// Layout (integers little-endian):
+///
+/// ```text
+/// offset  size  field
+/// 0       2     magic  b"SP"
+/// 2       1     version (currently 1)
+/// 3       1     state kind (WireState::KIND)
+/// 4       8     rules_executed
+/// 12      8     messages_received
+/// 20      ...   3 × (u16 length, payload) — own, cache_pred, cache_succ
+/// end     4     CRC-32 (IEEE) over everything before it
+/// ```
+pub fn encode_snapshot<S: WireState>(replica: &Replica<S>) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(SNAPSHOT_HEADER_LEN + 3 * (2 + S::PAYLOAD_LEN.unwrap_or(16)));
+    buf.extend_from_slice(&SNAPSHOT_MAGIC);
+    buf.push(SNAPSHOT_VERSION);
+    buf.push(S::KIND);
+    buf.extend_from_slice(&replica.rules_executed.to_le_bytes());
+    buf.extend_from_slice(&replica.messages_received.to_le_bytes());
+    for state in [&replica.own, &replica.cache_pred, &replica.cache_succ] {
+        let at = buf.len();
+        buf.extend_from_slice(&[0, 0]); // length, patched below
+        state.encode_payload(&mut buf);
+        let len = u16::try_from(buf.len() - at - 2).expect("payload length fits u16");
+        buf[at..at + 2].copy_from_slice(&len.to_le_bytes());
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Decode a snapshot produced by [`encode_snapshot`] (or corrupted at rest).
+/// Total: any byte sequence yields a replica or a [`SnapshotError`].
+pub fn decode_snapshot<S: WireState>(bytes: &[u8]) -> Result<Replica<S>, SnapshotError> {
+    if bytes.len() < SNAPSHOT_HEADER_LEN + SNAPSHOT_CRC_LEN {
+        return Err(SnapshotError::TooShort { len: bytes.len() });
+    }
+    if bytes[0..2] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic { found: [bytes[0], bytes[1]] });
+    }
+    if bytes[2] != SNAPSHOT_VERSION {
+        return Err(SnapshotError::BadVersion { found: bytes[2] });
+    }
+    if bytes[3] != S::KIND {
+        return Err(SnapshotError::WrongKind { expected: S::KIND, found: bytes[3] });
+    }
+    let body = &bytes[..bytes.len() - SNAPSHOT_CRC_LEN];
+    let stored = u32::from_le_bytes(
+        bytes[bytes.len() - SNAPSHOT_CRC_LEN..].try_into().expect("exactly 4 bytes remain"),
+    );
+    let computed = crc32(body);
+    if computed != stored {
+        return Err(SnapshotError::BadChecksum { computed, stored });
+    }
+    let rules_executed = u64::from_le_bytes(body[4..12].try_into().expect("8 bytes"));
+    let messages_received = u64::from_le_bytes(body[12..20].try_into().expect("8 bytes"));
+    let mut at = SNAPSHOT_HEADER_LEN;
+    let mut next_state = || -> Result<S, SnapshotError> {
+        let head = body.get(at..at + 2).ok_or(SnapshotError::BadLength)?;
+        let len = u16::from_le_bytes([head[0], head[1]]) as usize;
+        let payload = body.get(at + 2..at + 2 + len).ok_or(SnapshotError::BadLength)?;
+        at += 2 + len;
+        S::decode_payload(payload).ok_or(SnapshotError::BadPayload)
+    };
+    let own = next_state()?;
+    let cache_pred = next_state()?;
+    let cache_succ = next_state()?;
+    if at != body.len() {
+        return Err(SnapshotError::BadLength);
+    }
+    Ok(Replica { own, cache_pred, cache_succ, rules_executed, messages_received })
+}
+
+impl<S: WireState> Replica<S> {
+    /// Persist this replica as a checksummed snapshot ([`encode_snapshot`]).
+    pub fn snapshot(&self) -> Vec<u8> {
+        encode_snapshot(self)
+    }
+
+    /// Restore a replica from snapshot bytes ([`decode_snapshot`]).
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        decode_snapshot(bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +380,75 @@ mod tests {
         assert_eq!(MultiState::decode_payload(&[1, 0, 9, 9, 9, 9, 9]), None, "trailing bytes");
         // Huge claimed count must not allocate.
         assert_eq!(MultiState::decode_payload(&[0xff, 0xff, 0, 0]), None);
+    }
+
+    fn sample_replica() -> Replica<SsrState> {
+        let mut r = Replica::coherent(
+            SsrState { x: 6, rts: true, tra: false },
+            SsrState { x: 5, rts: false, tra: false },
+            SsrState { x: 6, rts: false, tra: true },
+        );
+        r.rules_executed = 12345;
+        r.messages_received = 99;
+        r
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let r = sample_replica();
+        let bytes = r.snapshot();
+        let back = Replica::<SsrState>::from_snapshot(&bytes).unwrap();
+        assert_eq!(back, r);
+        // Variable-length states round trip too.
+        let m = Replica::coherent(
+            MultiState(vec![1, 2, 3]),
+            MultiState(vec![]),
+            MultiState(vec![u32::MAX]),
+        );
+        let back = decode_snapshot::<MultiState>(&encode_snapshot(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn snapshot_rejects_every_single_byte_corruption() {
+        let bytes = sample_replica().snapshot();
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[pos] ^= 1 << bit;
+                assert!(
+                    decode_snapshot::<SsrState>(&bad).is_err(),
+                    "bit {bit} of byte {pos} flipped undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_truncation_and_garbage() {
+        let bytes = sample_replica().snapshot();
+        for cut in 0..bytes.len() {
+            assert!(decode_snapshot::<SsrState>(&bytes[..cut]).is_err());
+        }
+        assert_eq!(
+            decode_snapshot::<SsrState>(&[]),
+            Err(SnapshotError::TooShort { len: 0 }),
+            "empty store means no snapshot was ever persisted"
+        );
+        // A frame of the wrong state kind is rejected before payload work.
+        let d4 = Replica::coherent(
+            D4State { x: true, up: false },
+            D4State { x: false, up: false },
+            D4State { x: false, up: true },
+        );
+        let err = decode_snapshot::<SsrState>(&encode_snapshot(&d4)).unwrap_err();
+        assert_eq!(err, SnapshotError::WrongKind { expected: 1, found: 3 });
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

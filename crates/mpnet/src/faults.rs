@@ -1,5 +1,12 @@
 //! Fault-injection helpers: corrupted node sets for Lemma 9 / Theorem 4
-//! experiments, and cache-corruption constructors ("bad incoherence").
+//! experiments, cache-corruption constructors ("bad incoherence"), and the
+//! [`FaultSchedule`] — a seeded timeline of *process-level* faults (crash,
+//! restart, link partition, heal) shared between the discrete-event
+//! simulator and the real-socket cluster supervisor in `ssr-net`. Times are
+//! unit-agnostic `u64` offsets: the simulator reads them as ticks, the UDP
+//! supervisor as milliseconds.
+
+use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -82,6 +89,296 @@ pub fn random_fault_schedule(
     out
 }
 
+/// How a crashed node comes back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartMode {
+    /// Restart from an *arbitrary* fresh state (and arbitrary caches) — the
+    /// self-stabilization stress case: convergence must restore legitimacy
+    /// from whatever the node wakes up with.
+    Amnesia,
+    /// Restart from the last persisted replica snapshot; a corrupt or
+    /// missing snapshot degrades to [`RestartMode::Amnesia`].
+    Snapshot,
+}
+
+impl fmt::Display for RestartMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestartMode::Amnesia => write!(f, "amnesia"),
+            RestartMode::Snapshot => write!(f, "snapshot"),
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Kill a node's process; it stops participating until restarted.
+    Crash {
+        /// Ring index of the crashed node.
+        node: usize,
+        /// How the matching [`FaultKind::Restart`] brings it back.
+        restart: RestartMode,
+    },
+    /// Bring a crashed node back (the supervisor may add exponential
+    /// backoff on top of the scheduled time).
+    Restart {
+        /// Ring index of the node to restart.
+        node: usize,
+    },
+    /// 100% loss on the directed link `from → to` until the matching
+    /// [`FaultKind::Heal`]. `to` must be a ring neighbour of `from`.
+    Partition {
+        /// Sending endpoint of the partitioned link.
+        from: usize,
+        /// Receiving endpoint of the partitioned link.
+        to: usize,
+    },
+    /// Restore the directed link `from → to`.
+    Heal {
+        /// Sending endpoint of the healed link.
+        from: usize,
+        /// Receiving endpoint of the healed link.
+        to: usize,
+    },
+    /// Corrupt the node's persisted snapshot at rest (flips stored bytes),
+    /// so a later snapshot restart must detect the damage and degrade to
+    /// amnesia instead of loading garbage.
+    CorruptSnapshot {
+        /// Ring index of the node whose snapshot is damaged.
+        node: usize,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultKind::Crash { node, restart } => write!(f, "crash node {node} ({restart})"),
+            FaultKind::Restart { node } => write!(f, "restart node {node}"),
+            FaultKind::Partition { from, to } => write!(f, "partition {from}->{to}"),
+            FaultKind::Heal { from, to } => write!(f, "heal {from}->{to}"),
+            FaultKind::CorruptSnapshot { node } => write!(f, "corrupt snapshot of node {node}"),
+        }
+    }
+}
+
+/// One fault at one time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Time offset from run start (ticks in the simulator, milliseconds in
+    /// the UDP cluster supervisor).
+    pub at: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Why a [`FaultSchedule`] is not executable against an `n`-ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultScheduleError(String);
+
+impl fmt::Display for FaultScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault schedule: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultScheduleError {}
+
+/// A time-sorted script of process and link faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (a supervised run with no faults).
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Build from events in any order; they are sorted by time (stably, so
+    /// equal-time events keep their given order).
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultSchedule { events }
+    }
+
+    /// The events, sorted by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True iff nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Append an event, keeping the schedule sorted (builder style).
+    pub fn with(mut self, at: u64, kind: FaultKind) -> Self {
+        let pos = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(pos, FaultEvent { at, kind });
+        self
+    }
+
+    /// Schedule a crash at `at` and its restart at `back_at`.
+    pub fn crash_restart(self, node: usize, restart: RestartMode, at: u64, back_at: u64) -> Self {
+        self.with(at, FaultKind::Crash { node, restart }).with(back_at, FaultKind::Restart { node })
+    }
+
+    /// Schedule a partition window `[at, heal_at)` on the directed link
+    /// `from → to`.
+    pub fn partition_window(self, from: usize, to: usize, at: u64, heal_at: u64) -> Self {
+        self.with(at, FaultKind::Partition { from, to }).with(heal_at, FaultKind::Heal { from, to })
+    }
+
+    /// Check the schedule is executable on an `n`-ring: indices in range,
+    /// partitions only between ring neighbours, no crash of a node already
+    /// down, no restart of a node that is up, no heal of an intact link.
+    pub fn validate(&self, n: usize) -> Result<(), FaultScheduleError> {
+        let err = |msg: String| Err(FaultScheduleError(msg));
+        if n == 0 {
+            return err("empty ring".into());
+        }
+        let neighbours = |a: usize, b: usize| b == (a + 1) % n || b == (a + n - 1) % n;
+        let mut down = vec![false; n];
+        let mut cut: Vec<(usize, usize)> = Vec::new();
+        for ev in &self.events {
+            match ev.kind {
+                FaultKind::Crash { node, .. } => {
+                    if node >= n {
+                        return err(format!("crash of node {node} on an {n}-ring"));
+                    }
+                    if down[node] {
+                        return err(format!("node {node} crashed twice without a restart"));
+                    }
+                    down[node] = true;
+                }
+                FaultKind::Restart { node } => {
+                    if node >= n {
+                        return err(format!("restart of node {node} on an {n}-ring"));
+                    }
+                    if !down[node] {
+                        return err(format!("restart of node {node}, which is not down"));
+                    }
+                    down[node] = false;
+                }
+                FaultKind::Partition { from, to } => {
+                    if from >= n || to >= n || !neighbours(from, to) {
+                        return err(format!("partition {from}->{to} is not a ring link"));
+                    }
+                    if cut.contains(&(from, to)) {
+                        return err(format!("link {from}->{to} partitioned twice"));
+                    }
+                    cut.push((from, to));
+                }
+                FaultKind::Heal { from, to } => {
+                    let Some(pos) = cut.iter().position(|&l| l == (from, to)) else {
+                        return err(format!("heal of link {from}->{to}, which is not cut"));
+                    };
+                    cut.swap_remove(pos);
+                }
+                FaultKind::CorruptSnapshot { node } => {
+                    if node >= n {
+                        return err(format!("snapshot corruption of node {node} on an {n}-ring"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Generate a random, valid compound schedule: `plan.crashes`
+    /// crash/restart pairs and `plan.partitions` partition/heal windows,
+    /// deterministically from `seed`. Two calls with equal arguments yield
+    /// identical schedules.
+    pub fn random(n: usize, plan: &FaultPlan, seed: u64) -> Self {
+        assert!(n > 0, "empty ring");
+        assert!(plan.window.0 < plan.window.1, "empty fault window");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut schedule = FaultSchedule::new();
+        // Track per-node downtime so crash intervals never overlap.
+        let mut busy_until = vec![0u64; n];
+        for _ in 0..plan.crashes {
+            // Bounded retries keep generation total even on tiny windows;
+            // skipping a crash is better than an invalid schedule.
+            for _attempt in 0..16 {
+                let at = rng.random_range(plan.window.0..plan.window.1);
+                let node = rng.random_range(0..n);
+                let downtime = rng.random_range(plan.downtime.0..=plan.downtime.1.max(1));
+                if at <= busy_until[node] {
+                    continue;
+                }
+                let back_at = at.saturating_add(downtime.max(1));
+                busy_until[node] = back_at;
+                let restart = if rng.random_bool(plan.snapshot_ratio) {
+                    RestartMode::Snapshot
+                } else {
+                    RestartMode::Amnesia
+                };
+                schedule = schedule.crash_restart(node, restart, at, back_at);
+                break;
+            }
+        }
+        // Directed links, cut at most once each per schedule.
+        let mut cut_links: Vec<(usize, usize)> = Vec::new();
+        for _ in 0..plan.partitions {
+            for _attempt in 0..16 {
+                let from = rng.random_range(0..n);
+                let to = if rng.random_bool(0.5) { (from + 1) % n } else { (from + n - 1) % n };
+                let at = rng.random_range(plan.window.0..plan.window.1);
+                let len = rng.random_range(plan.partition_len.0..=plan.partition_len.1.max(1));
+                if cut_links.contains(&(from, to)) {
+                    continue;
+                }
+                cut_links.push((from, to));
+                schedule = schedule.partition_window(from, to, at, at.saturating_add(len.max(1)));
+                break;
+            }
+        }
+        debug_assert!(schedule.validate(n).is_ok(), "random schedule must validate");
+        schedule
+    }
+}
+
+/// Knobs of [`FaultSchedule::random`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Number of crash/restart pairs to attempt.
+    pub crashes: usize,
+    /// Number of partition/heal windows to attempt.
+    pub partitions: usize,
+    /// Fault injection times are drawn uniformly from `[window.0, window.1)`.
+    pub window: (u64, u64),
+    /// Crash downtime drawn uniformly from `[downtime.0, downtime.1]`.
+    pub downtime: (u64, u64),
+    /// Partition window length drawn uniformly from
+    /// `[partition_len.0, partition_len.1]`.
+    pub partition_len: (u64, u64),
+    /// Fraction of crashes that restart from a snapshot (the rest restart
+    /// with amnesia).
+    pub snapshot_ratio: f64,
+}
+
+impl Default for FaultPlan {
+    /// Two crashes and one partition inside a 1-second (millisecond-unit)
+    /// window, 40–120 time-unit downtimes, half the restarts from snapshot.
+    fn default() -> Self {
+        FaultPlan {
+            crashes: 2,
+            partitions: 1,
+            window: (150, 650),
+            downtime: (40, 120),
+            partition_len: (60, 150),
+            snapshot_ratio: 0.5,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +431,57 @@ mod tests {
     fn fault_schedule_rejects_empty_window() {
         let p = RingParams::new(5, 7).unwrap();
         random_fault_schedule(p, 1, 10, 10, 0);
+    }
+
+    #[test]
+    fn builder_keeps_events_sorted_and_valid() {
+        let s = FaultSchedule::new()
+            .partition_window(1, 2, 300, 450)
+            .crash_restart(3, RestartMode::Amnesia, 100, 200)
+            .with(50, FaultKind::CorruptSnapshot { node: 3 });
+        let times: Vec<u64> = s.events().iter().map(|e| e.at).collect();
+        assert_eq!(times, vec![50, 100, 200, 300, 450]);
+        s.validate(5).unwrap();
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_scripts() {
+        // Crash of a node already down.
+        let s = FaultSchedule::new()
+            .with(10, FaultKind::Crash { node: 1, restart: RestartMode::Amnesia })
+            .with(20, FaultKind::Crash { node: 1, restart: RestartMode::Amnesia });
+        assert!(s.validate(5).is_err());
+        // Restart of a node that is up.
+        let s = FaultSchedule::new().with(10, FaultKind::Restart { node: 0 });
+        assert!(s.validate(5).is_err());
+        // Partition between non-neighbours.
+        let s = FaultSchedule::new().with(10, FaultKind::Partition { from: 0, to: 2 });
+        assert!(s.validate(5).is_err());
+        // Heal of an intact link.
+        let s = FaultSchedule::new().with(10, FaultKind::Heal { from: 0, to: 1 });
+        assert!(s.validate(5).is_err());
+        // Out-of-range index.
+        let s = FaultSchedule::new().with(10, FaultKind::CorruptSnapshot { node: 9 });
+        assert!(s.validate(5).is_err());
+        let e = s.validate(5).unwrap_err();
+        assert!(e.to_string().contains("invalid fault schedule"), "{e}");
+    }
+
+    #[test]
+    fn random_schedules_are_deterministic_and_valid() {
+        let plan = FaultPlan { crashes: 4, partitions: 2, ..FaultPlan::default() };
+        let a = FaultSchedule::random(6, &plan, 42);
+        let b = FaultSchedule::random(6, &plan, 42);
+        assert_eq!(a, b, "equal seeds must yield identical schedules");
+        a.validate(6).unwrap();
+        assert_ne!(a, FaultSchedule::random(6, &plan, 43), "different seed, different schedule");
+        // The plan was actually honoured (both fault families present).
+        let has = |f: fn(&FaultKind) -> bool| a.events().iter().any(|e| f(&e.kind));
+        assert!(has(|k| matches!(k, FaultKind::Crash { .. })));
+        assert!(has(|k| matches!(k, FaultKind::Restart { .. })));
+        assert!(has(|k| matches!(k, FaultKind::Partition { .. })));
+        assert!(has(|k| matches!(k, FaultKind::Heal { .. })));
     }
 }

@@ -1,0 +1,109 @@
+//! Property tests for [`ssr_mpnet::FaultSchedule`]: seeded generation is a
+//! pure function of its inputs (equal seeds ⇒ identical fault decisions),
+//! every generated schedule is valid and time-sorted, and the builders
+//! preserve validity.
+
+use proptest::prelude::*;
+
+use ssr_mpnet::{FaultKind, FaultPlan, FaultSchedule, RestartMode};
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (0usize..5, 0usize..4, 0u32..=100).prop_map(|(crashes, partitions, pct)| FaultPlan {
+        crashes,
+        partitions,
+        snapshot_ratio: f64::from(pct) / 100.0,
+        ..FaultPlan::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The determinism contract the soak harness and CI rely on: replaying
+    /// a seed replays the exact fault script, event for event.
+    #[test]
+    fn equal_seeds_draw_identical_schedules(
+        seed in any::<u64>(),
+        n in 3usize..9,
+        plan in arb_plan(),
+    ) {
+        let a = FaultSchedule::random(n, &plan, seed);
+        let b = FaultSchedule::random(n, &plan, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Whatever the seed, a generated schedule is executable: indices in
+    /// range, partitions on real ring links, crash/restart pairs and
+    /// partition/heal pairs consistently ordered.
+    #[test]
+    fn random_schedules_always_validate(
+        seed in any::<u64>(),
+        n in 3usize..9,
+        plan in arb_plan(),
+    ) {
+        let schedule = FaultSchedule::random(n, &plan, seed);
+        prop_assert!(schedule.validate(n).is_ok(), "{:?}", schedule);
+    }
+
+    /// Events come out time-sorted, and every crash precedes its restart.
+    #[test]
+    fn random_schedules_are_sorted_and_paired(
+        seed in any::<u64>(),
+        n in 3usize..9,
+        plan in arb_plan(),
+    ) {
+        let schedule = FaultSchedule::random(n, &plan, seed);
+        let events = schedule.events();
+        prop_assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+        let crashes = events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Crash { .. }))
+            .count();
+        let restarts = events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Restart { .. }))
+            .count();
+        prop_assert_eq!(crashes, restarts, "every crash needs a restart");
+        let partitions = events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Partition { .. }))
+            .count();
+        let heals = events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Heal { .. }))
+            .count();
+        prop_assert_eq!(partitions, heals, "every partition needs a heal");
+    }
+
+    /// The builder API keeps hand-written schedules valid and sorted too.
+    #[test]
+    fn builders_preserve_validity(
+        n in 3usize..9,
+        node in 0usize..9,
+        at in 0u64..500,
+        downtime in 1u64..200,
+        part_at in 0u64..500,
+        part_len in 1u64..200,
+    ) {
+        let node = node % n;
+        let schedule = FaultSchedule::new()
+            .crash_restart(node, RestartMode::Snapshot, at, at + downtime)
+            .partition_window(node, (node + 1) % n, part_at, part_at + part_len);
+        prop_assert!(schedule.validate(n).is_ok());
+        prop_assert!(schedule.events().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    /// Snapshot ratio at the extremes pins every restart mode.
+    #[test]
+    fn snapshot_ratio_extremes_pin_modes(seed in any::<u64>(), n in 3usize..9) {
+        for (ratio, want) in [(0.0, RestartMode::Amnesia), (1.0, RestartMode::Snapshot)] {
+            let plan = FaultPlan { crashes: 3, partitions: 0, snapshot_ratio: ratio, ..FaultPlan::default() };
+            let schedule = FaultSchedule::random(n, &plan, seed);
+            for ev in schedule.events() {
+                if let FaultKind::Crash { restart, .. } = ev.kind {
+                    prop_assert_eq!(restart, want);
+                }
+            }
+        }
+    }
+}

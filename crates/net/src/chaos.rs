@@ -6,16 +6,40 @@
 //! (the exact [`ssr_mpnet::loss::LossChannel`] the discrete-event simulator
 //! uses), uniform random delay, duplication and reordering. Two runs with
 //! equal seeds draw identical fault decisions.
+//!
+//! On top of the seeded process the proxy supports two *runtime* controls
+//! used by the fault supervisor (`crate::supervisor`):
+//!
+//! * [`ChaosProxy::set_partitioned`] — a time-windowed 100% loss switch for
+//!   this directed link (datagrams already delayed in flight still arrive,
+//!   like packets that left the wire before the cut);
+//! * [`ChaosProxy::set_dst`] — re-aim the forwarding destination, needed
+//!   when a crashed node comes back on fresh sockets.
 
+use std::fmt;
+use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use ssr_mpnet::loss::{GilbertElliott, LossChannel};
+
+/// Why a [`ChaosConfig`] is not executable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidChaosConfig(String);
+
+impl fmt::Display for InvalidChaosConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid chaos config: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidChaosConfig {}
 
 /// Fault knobs of one proxied link (mirrors the simulator's fault model).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,6 +72,37 @@ impl Default for ChaosConfig {
     }
 }
 
+impl ChaosConfig {
+    /// Check every knob is executable: probabilities in `[0, 1]` (including
+    /// the burst overlay's), `delay.0 <= delay.1`. [`ChaosProxy::spawn`]
+    /// rejects invalid configs, mirroring the CLI-side validation, so a
+    /// typo'd probability fails fast instead of silently misbehaving.
+    pub fn validate(&self) -> Result<(), InvalidChaosConfig> {
+        let prob = |name: &str, p: f64| {
+            if (0.0..=1.0).contains(&p) {
+                Ok(())
+            } else {
+                Err(InvalidChaosConfig(format!("{name} must be a probability in [0, 1], got {p}")))
+            }
+        };
+        prob("loss", self.loss)?;
+        prob("duplicate", self.duplicate)?;
+        prob("reorder", self.reorder)?;
+        if let Some(ge) = self.burst {
+            prob("burst.p_enter", ge.p_enter)?;
+            prob("burst.p_exit", ge.p_exit)?;
+            prob("burst.loss_bad", ge.loss_bad)?;
+        }
+        if self.delay.0 > self.delay.1 {
+            return Err(InvalidChaosConfig(format!(
+                "delay range is inverted: {:?} > {:?}",
+                self.delay.0, self.delay.1
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// Counters of one proxy, shared with the spawner.
 #[derive(Debug, Default)]
 pub struct ChaosStats {
@@ -59,6 +114,9 @@ pub struct ChaosStats {
     pub duplicated: AtomicU64,
     /// Datagrams whose delay was re-drawn by the reorder process.
     pub reordered: AtomicU64,
+    /// Datagrams dropped because the link was partitioned
+    /// ([`ChaosProxy::set_partitioned`]).
+    pub blocked: AtomicU64,
 }
 
 /// A running chaos proxy thread for one directed link.
@@ -67,24 +125,32 @@ pub struct ChaosProxy {
     addr: SocketAddr,
     stats: Arc<ChaosStats>,
     stop: Arc<AtomicBool>,
+    partitioned: Arc<AtomicBool>,
+    dst: Arc<Mutex<SocketAddr>>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl ChaosProxy {
     /// Spawn a proxy forwarding to `dst`. Point the link's sender at
-    /// [`ChaosProxy::addr`].
+    /// [`ChaosProxy::addr`]. Fails on an invalid `cfg`
+    /// ([`ChaosConfig::validate`]) or socket setup error.
     pub fn spawn(dst: SocketAddr, cfg: ChaosConfig) -> std::io::Result<ChaosProxy> {
+        cfg.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         let socket = UdpSocket::bind("127.0.0.1:0")?;
         socket.set_read_timeout(Some(Duration::from_micros(500)))?;
         let addr = socket.local_addr()?;
         let stats = Arc::new(ChaosStats::default());
         let stop = Arc::new(AtomicBool::new(false));
+        let partitioned = Arc::new(AtomicBool::new(false));
+        let dst = Arc::new(Mutex::new(dst));
         let handle = {
             let stats = Arc::clone(&stats);
             let stop = Arc::clone(&stop);
-            thread::spawn(move || proxy_main(socket, dst, cfg, stats, stop))
+            let partitioned = Arc::clone(&partitioned);
+            let dst = Arc::clone(&dst);
+            thread::spawn(move || proxy_main(socket, dst, cfg, stats, stop, partitioned))
         };
-        Ok(ChaosProxy { addr, stats, stop, handle: Some(handle) })
+        Ok(ChaosProxy { addr, stats, stop, partitioned, dst, handle: Some(handle) })
     }
 
     /// The address senders must target.
@@ -95,6 +161,24 @@ impl ChaosProxy {
     /// The proxy's live counters.
     pub fn stats(&self) -> &ChaosStats {
         &self.stats
+    }
+
+    /// Cut (`true`) or heal (`false`) this directed link at runtime: while
+    /// partitioned, every arriving datagram is dropped (counted in
+    /// [`ChaosStats::blocked`]). Datagrams already in the delay queue still
+    /// deliver — they left the sender before the cut.
+    pub fn set_partitioned(&self, cut: bool) {
+        self.partitioned.store(cut, Ordering::Relaxed);
+    }
+
+    /// True iff the link is currently cut.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned.load(Ordering::Relaxed)
+    }
+
+    /// Re-aim the forwarding destination (a restarted node's fresh socket).
+    pub fn set_dst(&self, dst: SocketAddr) {
+        *self.dst.lock() = dst;
     }
 
     /// Stop the proxy thread and wait for it to exit.
@@ -118,10 +202,11 @@ impl Drop for ChaosProxy {
 
 fn proxy_main(
     socket: UdpSocket,
-    dst: SocketAddr,
+    dst: Arc<Mutex<SocketAddr>>,
     cfg: ChaosConfig,
     stats: Arc<ChaosStats>,
     stop: Arc<AtomicBool>,
+    partitioned: Arc<AtomicBool>,
 ) {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut channel = LossChannel::new(cfg.loss, cfg.burst);
@@ -141,7 +226,9 @@ fn proxy_main(
     while !stop.load(Ordering::Relaxed) {
         match socket.recv_from(&mut buf) {
             Ok((len, _)) => {
-                if channel.step_drop(&mut rng) {
+                if partitioned.load(Ordering::Relaxed) {
+                    stats.blocked.fetch_add(1, Ordering::Relaxed);
+                } else if channel.step_drop(&mut rng) {
                     stats.dropped.fetch_add(1, Ordering::Relaxed);
                 } else {
                     let (lo, hi) = cfg.delay;
@@ -168,11 +255,12 @@ fn proxy_main(
         }
         // Flush everything due.
         let now = Instant::now();
+        let to = *dst.lock();
         let mut i = 0;
         while i < queue.len() {
             if queue[i].0 <= now {
                 let (_, payload) = queue.swap_remove(i);
-                if socket.send_to(&payload, dst).is_ok() {
+                if socket.send_to(&payload, to).is_ok() {
                     stats.forwarded.fetch_add(1, Ordering::Relaxed);
                 }
             } else {
@@ -182,8 +270,9 @@ fn proxy_main(
     }
     // Drain: deliver whatever is still queued so shutdown does not act as
     // an extra loss process.
+    let to = *dst.lock();
     for (_, payload) in queue {
-        if socket.send_to(&payload, dst).is_ok() {
+        if socket.send_to(&payload, to).is_ok() {
             stats.forwarded.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -254,6 +343,73 @@ mod tests {
         let got = recv_all(&dst, Duration::from_millis(200));
         proxy.shutdown();
         assert_eq!(got.len(), 20, "every datagram must arrive twice");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_at_spawn() {
+        for bad in [
+            ChaosConfig { loss: 1.5, ..ChaosConfig::default() },
+            ChaosConfig { loss: -0.1, ..ChaosConfig::default() },
+            ChaosConfig { duplicate: 2.0, ..ChaosConfig::default() },
+            ChaosConfig { reorder: f64::NAN, ..ChaosConfig::default() },
+            ChaosConfig {
+                delay: (Duration::from_millis(5), Duration::from_millis(1)),
+                ..ChaosConfig::default()
+            },
+            ChaosConfig {
+                burst: Some(GilbertElliott { p_enter: 7.0, p_exit: 0.2, loss_bad: 0.9 }),
+                ..ChaosConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must not validate");
+            let dst = UdpSocket::bind("127.0.0.1:0").unwrap();
+            let err = ChaosProxy::spawn(dst.local_addr().unwrap(), bad).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput, "{bad:?}");
+        }
+        ChaosConfig { loss: 1.0, duplicate: 0.0, ..ChaosConfig::default() }.validate().unwrap();
+    }
+
+    #[test]
+    fn partition_blocks_and_heal_restores() {
+        let dst = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let proxy = ChaosProxy::spawn(dst.local_addr().unwrap(), ChaosConfig::default()).unwrap();
+        let src = UdpSocket::bind("127.0.0.1:0").unwrap();
+
+        proxy.set_partitioned(true);
+        assert!(proxy.is_partitioned());
+        for i in 0..10u8 {
+            src.send_to(&[i], proxy.addr()).unwrap();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let during = recv_all(&dst, Duration::from_millis(100));
+        assert!(during.is_empty(), "partitioned link must deliver nothing, got {during:?}");
+
+        proxy.set_partitioned(false);
+        for i in 10..20u8 {
+            src.send_to(&[i], proxy.addr()).unwrap();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let after = recv_all(&dst, Duration::from_millis(200));
+        let stats = proxy.shutdown();
+        assert_eq!(after.len(), 10, "healed link must deliver everything");
+        assert_eq!(stats.blocked.load(Ordering::Relaxed), 10);
+        assert_eq!(stats.dropped.load(Ordering::Relaxed), 0, "blocked is not chaos loss");
+    }
+
+    #[test]
+    fn set_dst_reaims_forwarding() {
+        let old = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let new = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let proxy = ChaosProxy::spawn(old.local_addr().unwrap(), ChaosConfig::default()).unwrap();
+        let src = UdpSocket::bind("127.0.0.1:0").unwrap();
+        src.send_to(&[1], proxy.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        proxy.set_dst(new.local_addr().unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        src.send_to(&[2], proxy.addr()).unwrap();
+        let got_new = recv_all(&new, Duration::from_millis(150));
+        proxy.shutdown();
+        assert_eq!(got_new, vec![vec![2]], "post-reaim datagrams go to the new socket");
     }
 
     #[test]

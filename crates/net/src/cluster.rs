@@ -15,16 +15,24 @@ use ssr_runtime::activity::{analyze, ActivityEvent, CoverageReport};
 
 use crate::chaos::{ChaosConfig, ChaosProxy};
 use crate::metrics::{MetricsRegistry, MetricsReport};
-use crate::runner::{run_node, NodeConfig};
+use crate::runner::{run_node, NodeConfig, NodeControl};
 use crate::transport::UdpTransport;
 
-/// Errors of a cluster run: protocol configuration or socket plumbing.
+/// Errors of a cluster run: protocol configuration, socket plumbing, or a
+/// node thread dying outside the fault schedule.
 #[derive(Debug)]
 pub enum ClusterError {
     /// Invalid algorithm configuration.
     Core(CoreError),
     /// Socket setup or I/O failed.
     Io(io::Error),
+    /// The node thread with this ring index panicked. An unsupervised run
+    /// surfaces this as an error; a supervised run treats it as a crash
+    /// fault and restarts the node instead.
+    NodePanicked(usize),
+    /// The fault schedule is not executable on this ring (bad node index,
+    /// non-neighbour partition, inconsistent crash/restart pairing).
+    Schedule(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -32,6 +40,8 @@ impl fmt::Display for ClusterError {
         match self {
             ClusterError::Core(e) => write!(f, "{e}"),
             ClusterError::Io(e) => write!(f, "socket error: {e}"),
+            ClusterError::NodePanicked(i) => write!(f, "node {i} thread panicked"),
+            ClusterError::Schedule(e) => write!(f, "fault schedule: {e}"),
         }
     }
 }
@@ -93,6 +103,20 @@ pub struct ChaosSummary {
     pub duplicated: u64,
     /// Datagrams delayed out of order.
     pub reordered: u64,
+    /// Datagrams swallowed by a partitioned link (only supervised runs cut
+    /// links, so this is zero under plain chaos).
+    pub blocked: u64,
+}
+
+impl ChaosSummary {
+    /// Fold one proxy's counters into the aggregate.
+    pub(crate) fn absorb(&mut self, stats: &crate::chaos::ChaosStats) {
+        self.forwarded += stats.forwarded.load(Ordering::Relaxed);
+        self.dropped += stats.dropped.load(Ordering::Relaxed);
+        self.duplicated += stats.duplicated.load(Ordering::Relaxed);
+        self.reordered += stats.reordered.load(Ordering::Relaxed);
+        self.blocked += stats.blocked.load(Ordering::Relaxed);
+    }
 }
 
 /// Everything a finished cluster run yields.
@@ -205,11 +229,11 @@ where
             Replica::coherent(initial[i].clone(), initial[pred].clone(), initial[succ].clone());
         initial_active.push(replica.is_privileged(&algo, i));
         let algo = algo.clone();
-        let stop = Arc::clone(&stop);
+        let control = NodeControl::new(Arc::clone(&stop));
         let log = Arc::clone(&log);
         let node_metrics = metrics.arc_node(i);
         handles.push(thread::spawn(move || {
-            run_node(algo, i, replica, transport, node_cfg, stop, log, start, node_metrics)
+            run_node(algo, i, replica, transport, node_cfg, control, log, start, node_metrics)
         }));
     }
 
@@ -217,19 +241,16 @@ where
     stop.store(true, Ordering::Relaxed);
 
     let mut final_states = Vec::with_capacity(n);
-    for h in handles {
-        let replica = h.join().expect("node thread panicked");
+    for (i, h) in handles.into_iter().enumerate() {
+        let (replica, transport) = h.join().map_err(|_| ClusterError::NodePanicked(i))?;
+        drop(transport);
         final_states.push(replica.own);
     }
     let observed = start.elapsed();
 
     let mut chaos = ChaosSummary::default();
     for proxy in proxies {
-        let stats = proxy.shutdown();
-        chaos.forwarded += stats.forwarded.load(Ordering::Relaxed);
-        chaos.dropped += stats.dropped.load(Ordering::Relaxed);
-        chaos.duplicated += stats.duplicated.load(Ordering::Relaxed);
-        chaos.reordered += stats.reordered.load(Ordering::Relaxed);
+        chaos.absorb(&proxy.shutdown());
     }
 
     let mut events = Arc::try_unwrap(log).expect("all threads joined").into_inner();
@@ -254,7 +275,7 @@ where
 
 /// End of the last instant violating the token-count invariant
 /// `1 <= active <= 2`; `None` if the whole run satisfied it.
-fn stabilization_time(
+pub(crate) fn stabilization_time(
     initial_active: &[bool],
     events: &[ActivityEvent],
     window: Duration,
@@ -285,10 +306,56 @@ fn stabilization_time(
     }
 }
 
+/// Token-count recovery within the window `[from, to]`: replay the activity
+/// history to establish the active set at `from`, then find the end of the
+/// last violation of `1 <= active <= 2` inside the window.
+///
+/// * `Some(Duration::ZERO)` — the invariant held throughout the window;
+/// * `Some(d)` — the last violation ended `d` after the window opened;
+/// * `None` — still violating when the window closed (unrecovered).
+pub(crate) fn recovery_in_window(
+    initial_active: &[bool],
+    events: &[ActivityEvent],
+    from: Duration,
+    to: Duration,
+) -> Option<Duration> {
+    let mut active: Vec<bool> = initial_active.to_vec();
+    let mut count = active.iter().filter(|&&a| a).count();
+    let apply = |active: &mut Vec<bool>, count: &mut usize, ev: &ActivityEvent| {
+        if ev.node < active.len() && active[ev.node] != ev.active {
+            active[ev.node] = ev.active;
+            *count = if ev.active { *count + 1 } else { *count - 1 };
+        }
+    };
+    let mut idx = 0;
+    while idx < events.len() && events[idx].at < from {
+        apply(&mut active, &mut count, &events[idx]);
+        idx += 1;
+    }
+    let mut violating = !(1..=2).contains(&count);
+    let mut last_violation_end: Option<Duration> = None;
+    for ev in &events[idx..] {
+        if ev.at > to {
+            break;
+        }
+        let was_violating = violating;
+        apply(&mut active, &mut count, ev);
+        violating = !(1..=2).contains(&count);
+        if was_violating && !violating {
+            last_violation_end = Some(ev.at.saturating_sub(from));
+        }
+    }
+    if violating {
+        None
+    } else {
+        Some(last_violation_end.unwrap_or(Duration::ZERO))
+    }
+}
+
 /// Mean handover latency per node: for each activation of node `i` after
 /// `warmup`, the elapsed time since the most recent activation of any
 /// *other* node — how long the ring takes to pass privilege onwards.
-fn handover_latencies(
+pub(crate) fn handover_latencies(
     n: usize,
     events: &[ActivityEvent],
     warmup: Duration,
@@ -334,6 +401,44 @@ mod tests {
     fn stabilization_time_reports_window_when_never_legal() {
         let t = stabilization_time(&[false, false], &[], Duration::from_millis(50));
         assert_eq!(t, Some(Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn recovery_in_window_measures_from_window_start() {
+        // Node 0 deactivates at 40ms (count drops to zero), node 1 recovers
+        // the ring at 70ms.
+        let events = vec![ev(0, 40, false), ev(1, 70, true)];
+        let r = recovery_in_window(
+            &[true, false],
+            &events,
+            Duration::from_millis(40),
+            Duration::from_millis(100),
+        );
+        assert_eq!(r, Some(Duration::from_millis(30)));
+    }
+
+    #[test]
+    fn recovery_in_window_is_zero_when_invariant_holds() {
+        let events = vec![ev(0, 10, true), ev(1, 90, true), ev(0, 91, false)];
+        let r = recovery_in_window(
+            &[false, false],
+            &events,
+            Duration::from_millis(50),
+            Duration::from_millis(100),
+        );
+        assert_eq!(r, Some(Duration::ZERO), "history before the window must not count");
+    }
+
+    #[test]
+    fn recovery_in_window_reports_unrecovered() {
+        let events = vec![ev(0, 60, false)];
+        let r = recovery_in_window(
+            &[true, false],
+            &events,
+            Duration::from_millis(50),
+            Duration::from_millis(100),
+        );
+        assert_eq!(r, None, "still zero-token at window close");
     }
 
     #[test]

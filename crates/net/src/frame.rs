@@ -121,31 +121,9 @@ pub struct Frame<S> {
     pub state: S,
 }
 
-/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table.
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-};
-
-/// CRC-32 (IEEE) of `bytes`.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
-    }
-    !crc
-}
+/// CRC-32 (IEEE) — shared with the replica snapshot format in
+/// `ssr_core::wire`, so frames and persisted snapshots use one checksum.
+pub use ssr_core::wire::crc32;
 
 /// Encode one state broadcast as a datagram.
 pub fn encode<S: WireState>(sender: u16, generation: u32, state: &S) -> Vec<u8> {

@@ -27,6 +27,10 @@
 //! * [`cluster`] — orchestration: bind, wire (optionally through chaos
 //!   proxies), run, observe; reports convergence time, handover latency
 //!   and the token-count invariant on wall clocks.
+//! * [`supervisor`] — fault-injected runs driven by an
+//!   [`ssr_mpnet::FaultSchedule`]: crash/restart with exponential backoff
+//!   (amnesia or CRC-checked snapshot restore), runtime link partitions,
+//!   and per-fault recovery-time measurement.
 //!
 //! ```no_run
 //! use ssr_core::{RingParams, SsrMin};
@@ -47,11 +51,18 @@ pub mod cluster;
 pub mod frame;
 pub mod metrics;
 pub mod runner;
+pub mod supervisor;
 pub mod transport;
 
-pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats};
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats, InvalidChaosConfig};
 pub use cluster::{run_cluster, ChaosSummary, ClusterConfig, ClusterError, ClusterReport};
 pub use frame::{crc32, decode, encode, CodecError, Frame};
-pub use metrics::{MetricsRegistry, MetricsReport, NodeMetrics, NodeMetricsRow};
-pub use runner::{run_node, NodeConfig};
+pub use metrics::{
+    FaultEventRow, MetricsRegistry, MetricsReport, NodeMetrics, NodeMetricsRow, RecoveryHistogram,
+    RecoveryReport,
+};
+pub use runner::{run_node, NodeConfig, NodeControl};
+pub use supervisor::{
+    run_supervised_cluster, ssr_amnesia, RestartRecord, SupervisedReport, SupervisorConfig,
+};
 pub use transport::{Inbound, LocalAddrs, Neighbor, Transport, UdpTransport};

@@ -2,6 +2,11 @@
 //! the node threads bump while running, plus a post-run report that merges
 //! in observer-derived quantities (handover latency, coverage) and renders
 //! as CSV or an ASCII table.
+//!
+//! Supervised (fault-injected) runs additionally produce a
+//! [`RecoveryReport`]: one row per injected fault event with the measured
+//! recovery time (fault → token-count invariant restored), plus a
+//! [`RecoveryHistogram`] summarizing p50/p99/max over the recovered events.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -209,6 +214,131 @@ stale_drops,rule_firings,activations,mean_handover_latency_us";
     }
 }
 
+/// One injected fault event and its observed recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEventRow {
+    /// Position in the executed fault timeline.
+    pub index: usize,
+    /// Wall-clock offset (from run start) at which the fault was applied.
+    pub at: Duration,
+    /// Human-readable description of the fault and its outcome, e.g.
+    /// `crash node 2 (amnesia)` or `restart node 2 [snapshot, degraded]`.
+    pub label: String,
+    /// Measurement window: from the fault to the next fault (or run end).
+    pub window: Duration,
+    /// Time from the fault to the last restoration of the token-count
+    /// invariant (`1 <= privileged <= 2`) within the window. `Some(ZERO)`
+    /// means the fault never broke the invariant; `None` means the ring was
+    /// still violating it when the window closed.
+    pub recovery: Option<Duration>,
+}
+
+/// Per-fault-event recovery times of one supervised run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// One row per applied fault event, in injection order.
+    pub rows: Vec<FaultEventRow>,
+}
+
+/// Quantile summary of the recovery times in a [`RecoveryReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryHistogram {
+    /// Number of fault events that recovered within their window.
+    pub recovered: usize,
+    /// Number of fault events still violating at window close.
+    pub unrecovered: usize,
+    /// Median recovery time (nearest-rank), over recovered events.
+    pub p50: Option<Duration>,
+    /// 99th-percentile recovery time (nearest-rank), over recovered events.
+    pub p99: Option<Duration>,
+    /// Maximum recovery time over recovered events.
+    pub max: Option<Duration>,
+}
+
+impl RecoveryReport {
+    /// CSV header used by [`RecoveryReport::to_csv`].
+    pub const CSV_HEADER: &'static str = "event,at_us,fault,window_us,recovery_us,recovered";
+
+    /// True iff every fault event recovered within its window.
+    pub fn all_recovered(&self) -> bool {
+        self.rows.iter().all(|r| r.recovery.is_some())
+    }
+
+    /// Nearest-rank quantile summary over the recovered events.
+    pub fn histogram(&self) -> RecoveryHistogram {
+        let mut samples: Vec<Duration> = self.rows.iter().filter_map(|r| r.recovery).collect();
+        samples.sort_unstable();
+        let unrecovered = self.rows.len() - samples.len();
+        let rank = |q: f64| -> Option<Duration> {
+            if samples.is_empty() {
+                return None;
+            }
+            let idx = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len()) - 1;
+            Some(samples[idx])
+        };
+        RecoveryHistogram {
+            recovered: samples.len(),
+            unrecovered,
+            p50: rank(0.50),
+            p99: rank(0.99),
+            max: samples.last().copied(),
+        }
+    }
+
+    /// Render as CSV (one row per fault event; times in microseconds,
+    /// recovery empty when the event never recovered).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(Self::CSV_HEADER);
+        out.push('\n');
+        for r in &self.rows {
+            let recovery = r.recovery.map(|d| d.as_micros().to_string()).unwrap_or_default();
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                r.index,
+                r.at.as_micros(),
+                // Keep the CSV single-line and comma-free per field.
+                r.label.replace(',', ";"),
+                r.window.as_micros(),
+                recovery,
+                r.recovery.is_some()
+            ));
+        }
+        out
+    }
+
+    /// Render as an aligned ASCII table plus the histogram line.
+    pub fn to_ascii(&self) -> String {
+        let fmt_ms = |d: Duration| format!("{:.1}ms", d.as_secs_f64() * 1e3);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>5} {:>9} {:>9} {:>10}  {}\n",
+            "event", "at", "window", "recovery", "fault"
+        ));
+        for r in &self.rows {
+            let recovery = r.recovery.map(fmt_ms).unwrap_or_else(|| "UNRECOVERED".into());
+            out.push_str(&format!(
+                "{:>5} {:>9} {:>9} {:>10}  {}\n",
+                r.index,
+                fmt_ms(r.at),
+                fmt_ms(r.window),
+                recovery,
+                r.label
+            ));
+        }
+        let h = self.histogram();
+        let opt = |d: Option<Duration>| d.map(fmt_ms).unwrap_or_else(|| "-".into());
+        out.push_str(&format!(
+            "recovery: {} recovered, {} unrecovered; p50 {}, p99 {}, max {}\n",
+            h.recovered,
+            h.unrecovered,
+            opt(h.p50),
+            opt(h.p99),
+            opt(h.max)
+        ));
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,5 +365,55 @@ mod tests {
         let reg = MetricsRegistry::new(3);
         let table = reg.report(&[]).to_ascii();
         assert_eq!(table.lines().count(), 4);
+    }
+
+    fn row(index: usize, at_ms: u64, recovery_ms: Option<u64>) -> FaultEventRow {
+        FaultEventRow {
+            index,
+            at: Duration::from_millis(at_ms),
+            label: format!("crash node {index} (amnesia)"),
+            window: Duration::from_millis(200),
+            recovery: recovery_ms.map(Duration::from_millis),
+        }
+    }
+
+    #[test]
+    fn recovery_histogram_quantiles_are_nearest_rank() {
+        let report = RecoveryReport {
+            rows: vec![row(0, 100, Some(10)), row(1, 300, Some(30)), row(2, 500, Some(20))],
+        };
+        let h = report.histogram();
+        assert_eq!(h.recovered, 3);
+        assert_eq!(h.unrecovered, 0);
+        assert_eq!(h.p50, Some(Duration::from_millis(20)));
+        assert_eq!(h.p99, Some(Duration::from_millis(30)));
+        assert_eq!(h.max, Some(Duration::from_millis(30)));
+        assert!(report.all_recovered());
+    }
+
+    #[test]
+    fn recovery_report_renders_unrecovered_rows() {
+        let report = RecoveryReport { rows: vec![row(0, 100, Some(15)), row(1, 300, None)] };
+        assert!(!report.all_recovered());
+        let h = report.histogram();
+        assert_eq!((h.recovered, h.unrecovered), (1, 1));
+
+        let csv = report.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(RecoveryReport::CSV_HEADER));
+        assert_eq!(lines.next(), Some("0,100000,crash node 0 (amnesia),200000,15000,true"));
+        assert_eq!(lines.next(), Some("1,300000,crash node 1 (amnesia),200000,,false"));
+
+        let ascii = report.to_ascii();
+        assert!(ascii.contains("UNRECOVERED"), "{ascii}");
+        assert!(ascii.contains("p50 15.0ms"), "{ascii}");
+    }
+
+    #[test]
+    fn empty_recovery_report_has_empty_histogram() {
+        let h = RecoveryReport::default().histogram();
+        assert_eq!(h.recovered, 0);
+        assert_eq!(h.p50, None);
+        assert_eq!(h.max, None);
     }
 }

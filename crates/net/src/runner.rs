@@ -5,6 +5,13 @@
 //! log any privilege change, dwell `exec_delay` in the critical section,
 //! execute one enabled rule and republish; the transport's own jittered
 //! timer handles the periodic rebroadcast (line 11).
+//!
+//! The runner exits on either of two flags in its [`NodeControl`]: the
+//! shared `stop` (graceful end of the whole run) or the per-node `kill`
+//! (fault injection — the supervisor in [`crate::supervisor`] flips it to
+//! simulate a process crash). Either way it hands back both the final
+//! replica and the transport, so a restarted incarnation can reuse the same
+//! sockets and the ring needs no re-wiring.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -36,7 +43,34 @@ impl Default for NodeConfig {
     }
 }
 
-/// Run one node until `stop`; returns the final replica.
+/// Control surface of one running node: how the outside world stops it and
+/// where it persists its state.
+#[derive(Debug, Clone)]
+pub struct NodeControl {
+    /// Graceful end of the whole run (shared by every node).
+    pub stop: Arc<AtomicBool>,
+    /// Crash this node now (per-node; set by the fault supervisor).
+    pub kill: Arc<AtomicBool>,
+    /// When present, the node writes an [`ssr_core::wire`] snapshot of its
+    /// replica here after every state change — the persisted state a
+    /// snapshot-mode restart recovers from.
+    pub snapshot: Option<Arc<Mutex<Vec<u8>>>>,
+}
+
+impl NodeControl {
+    /// A control that only answers to the shared `stop` flag.
+    pub fn new(stop: Arc<AtomicBool>) -> Self {
+        NodeControl { stop, kill: Arc::new(AtomicBool::new(false)), snapshot: None }
+    }
+
+    /// True iff the node should exit its main loop.
+    pub fn should_exit(&self) -> bool {
+        self.stop.load(Ordering::Relaxed) || self.kill.load(Ordering::Relaxed)
+    }
+}
+
+/// Run one node until its [`NodeControl`] tells it to exit; returns the
+/// final replica together with the transport (reused across restarts).
 ///
 /// `log` collects privilege transitions with wall-clock offsets from
 /// `start`, in the exact format `ssr_runtime::activity::analyze` consumes.
@@ -47,11 +81,11 @@ pub fn run_node<A, T>(
     mut replica: Replica<A::State>,
     mut transport: T,
     cfg: NodeConfig,
-    stop: Arc<AtomicBool>,
+    control: NodeControl,
     log: Arc<Mutex<Vec<ActivityEvent>>>,
     start: Instant,
     metrics: Arc<NodeMetrics>,
-) -> Replica<A::State>
+) -> (Replica<A::State>, T)
 where
     A: RingAlgorithm,
     A::State: WireState,
@@ -70,11 +104,19 @@ where
         }
     };
 
-    // Announce the initial state so coherent peers stay coherent and
-    // incoherent ones converge.
-    let _ = transport.publish(&replica.own);
+    let persist = |replica: &Replica<A::State>| {
+        if let Some(store) = &control.snapshot {
+            *store.lock() = replica.snapshot();
+        }
+    };
 
-    while !stop.load(Ordering::Relaxed) {
+    // Announce the initial state so coherent peers stay coherent and
+    // incoherent ones converge; persist it so a crash before the first rule
+    // firing still leaves a restorable snapshot.
+    let _ = transport.publish(&replica.own);
+    persist(&replica);
+
+    while !control.should_exit() {
         let _ = transport.pump();
         match transport.try_recv() {
             Some(Inbound { from, state }) => {
@@ -98,9 +140,10 @@ where
                     }
                     log_transition(&replica, &mut last_privileged, &metrics);
                 }
+                persist(&replica);
             }
             None => thread::sleep(cfg.idle_sleep),
         }
     }
-    replica
+    (replica, transport)
 }

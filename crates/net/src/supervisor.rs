@@ -1,0 +1,748 @@
+//! The fault supervisor: a UDP cluster run driven by a [`FaultSchedule`] —
+//! crash/restart with exponential backoff, runtime link partitions, and
+//! per-fault recovery measurement.
+//!
+//! [`run_supervised_cluster`] is [`crate::cluster::run_cluster`] plus a
+//! fault plane:
+//!
+//! * **Crashes** kill the node's thread (the per-node kill flag in
+//!   [`NodeControl`]); the thread hands back its transport, so the restarted
+//!   incarnation reuses the same sockets and the ring needs no re-wiring.
+//!   A thread that *panics* instead of exiting cleanly loses its transport;
+//!   the supervisor treats that as an unscheduled crash, binds fresh
+//!   sockets, re-aims the two inbound chaos proxies at them
+//!   ([`ChaosProxy::set_dst`]) and restarts the node.
+//! * **Restarts** come back in one of two [`RestartMode`]s: *amnesia*
+//!   (a caller-supplied sampler provides an arbitrary replica — the
+//!   self-stabilization stress case) or *snapshot* (decode the replica the
+//!   node persisted through [`NodeControl::snapshot`]; any
+//!   [`SnapshotError`] degrades to amnesia and is recorded, never fatal).
+//!   Repeated crashes of one node back off exponentially:
+//!   `base * 2^(crashes-1)`, capped.
+//! * **Partitions** flip a directed link's chaos proxy into 100%-loss mode
+//!   ([`ChaosProxy::set_partitioned`]) until the matching heal.
+//!
+//! Every applied fault gets a recovery measurement: within the window from
+//! its application to the next fault (or run end), when did the
+//! token-count invariant `1 <= privileged <= 2` last recover? The rows
+//! land in a [`RecoveryReport`] (`crate::metrics`) for CSV/ASCII rendering.
+
+use std::collections::HashSet;
+use std::io;
+use std::mem;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use ssr_core::{Config, Replica, RingAlgorithm, RingParams, SnapshotError, SsrState, WireState};
+use ssr_mpnet::{FaultKind, FaultSchedule, RestartMode};
+use ssr_runtime::activity::{analyze, ActivityEvent};
+
+use crate::chaos::{ChaosConfig, ChaosProxy};
+use crate::cluster::{
+    handover_latencies, recovery_in_window, stabilization_time, ChaosSummary, ClusterConfig,
+    ClusterError, ClusterReport,
+};
+use crate::metrics::{FaultEventRow, MetricsRegistry, RecoveryReport};
+use crate::runner::{run_node, NodeConfig, NodeControl};
+use crate::transport::UdpTransport;
+
+/// Parameters of a supervised (fault-injected) cluster run.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// The underlying cluster parameters. `duration` should extend past the
+    /// last scheduled fault so the final window can re-converge.
+    pub cluster: ClusterConfig,
+    /// The fault script; times are milliseconds from run start. Must
+    /// validate against the ring size.
+    pub schedule: FaultSchedule,
+    /// Backoff of a node's first restart; the `c`-th crash of the same node
+    /// waits `backoff_base * 2^(c-1)`.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            cluster: ClusterConfig::default(),
+            schedule: FaultSchedule::new(),
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(80),
+        }
+    }
+}
+
+/// One restart performed by the supervisor (scheduled or panic-triggered).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartRecord {
+    /// Ring index of the restarted node.
+    pub node: usize,
+    /// Wall-clock offset of the restart (after backoff).
+    pub at: Duration,
+    /// 1-based count of this node's restarts so far.
+    pub incarnation: u32,
+    /// The mode the schedule asked for.
+    pub mode: RestartMode,
+    /// Backoff slept before this restart.
+    pub backoff: Duration,
+    /// `Some(err)` iff a snapshot restore failed and the node degraded to
+    /// amnesia — corruption is detected and survived, never fatal.
+    pub degraded: Option<SnapshotError>,
+}
+
+/// A [`ClusterReport`] plus the supervisor's fault plane: per-fault
+/// recovery rows, the restart log, and the panic count.
+#[derive(Debug, Clone)]
+pub struct SupervisedReport<S> {
+    /// The usual cluster observations (coverage, metrics, chaos counters).
+    pub cluster: ClusterReport<S>,
+    /// One recovery row per applied fault, in application order.
+    pub recovery: RecoveryReport,
+    /// The fault kind behind each row of [`SupervisedReport::recovery`]
+    /// (parallel vectors).
+    pub kinds: Vec<FaultKind>,
+    /// Every restart performed, scheduled and panic-triggered.
+    pub restarts: Vec<RestartRecord>,
+    /// Node threads that died by panic instead of a clean kill.
+    pub panics: usize,
+}
+
+impl<S> SupervisedReport<S> {
+    /// True iff the ring re-converged after every fault that *restores full
+    /// operation*: each restart and each heal after which no node is down
+    /// and no partition is open has a measured recovery within its window.
+    /// Windows where a disruption is still in force — a crash or partition
+    /// window, or a heal that lands while some node is still crashed — are
+    /// allowed to stay broken; the invariant is not required of a ring that
+    /// is still under attack.
+    pub fn reconverged(&self) -> bool {
+        restoration_points(&self.kinds)
+            .into_iter()
+            .zip(&self.recovery.rows)
+            .all(|(restores, row)| !restores || row.recovery.is_some())
+    }
+
+    /// Restarts that detected a corrupt snapshot and degraded to amnesia.
+    pub fn degraded_restarts(&self) -> usize {
+        self.restarts.iter().filter(|r| r.degraded.is_some()).count()
+    }
+}
+
+/// A seeded amnesia sampler for SSRmin rings: every restart wakes with a
+/// fully arbitrary own state *and* arbitrary caches — the adversarial
+/// initial condition self-stabilization must absorb.
+pub fn ssr_amnesia(params: RingParams, seed: u64) -> impl FnMut(usize, u32) -> Replica<SsrState> {
+    move |node, incarnation| {
+        let mut rng = StdRng::seed_from_u64(
+            seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(((node as u64) << 32) | u64::from(incarnation)),
+        );
+        let draw = |rng: &mut StdRng| {
+            SsrState::new(
+                rng.random_range(0..params.k()),
+                rng.random_range(0..2u8),
+                rng.random_range(0..2u8),
+            )
+        };
+        Replica::coherent(draw(&mut rng), draw(&mut rng), draw(&mut rng))
+    }
+}
+
+/// For each applied fault, whether it is a *restoration point*: a restart
+/// or heal after which no node is down and no partition is open. Replays
+/// the script, so a heal that fires while some node is still crashed (the
+/// windows overlap) is correctly exempted from the re-convergence demand.
+fn restoration_points(kinds: &[FaultKind]) -> Vec<bool> {
+    let mut down = HashSet::new();
+    let mut open = HashSet::new();
+    kinds
+        .iter()
+        .map(|kind| {
+            match *kind {
+                FaultKind::Crash { node, .. } => {
+                    down.insert(node);
+                }
+                FaultKind::Restart { node } => {
+                    down.remove(&node);
+                }
+                FaultKind::Partition { from, to } => {
+                    open.insert((from, to));
+                }
+                FaultKind::Heal { from, to } => {
+                    open.remove(&(from, to));
+                }
+                FaultKind::CorruptSnapshot { .. } => {}
+            }
+            matches!(kind, FaultKind::Restart { .. } | FaultKind::Heal { .. })
+                && down.is_empty()
+                && open.is_empty()
+        })
+        .collect()
+}
+
+/// Backoff of the `crashes`-th restart: `base * 2^(crashes-1)`, capped.
+fn backoff_for(base: Duration, cap: Duration, crashes: u32) -> Duration {
+    let shift = crashes.saturating_sub(1).min(16);
+    base.saturating_mul(1u32 << shift).min(cap)
+}
+
+/// A node's lifecycle slot.
+enum Slot<S: WireState> {
+    /// Thread running; the kill flag crashes it.
+    Up { handle: JoinHandle<(Replica<S>, UdpTransport<S>)>, kill: Arc<AtomicBool> },
+    /// Crashed. The transport survives a clean kill (`Some`) and is reused
+    /// on restart; a panic loses it (`None`) and forces fresh sockets.
+    Down { transport: Option<UdpTransport<S>>, last_own: S },
+}
+
+/// Everything the supervisor needs to spawn, crash and restart nodes.
+struct Harness<'a, A: RingAlgorithm> {
+    algo: &'a A,
+    initial: &'a Config<A::State>,
+    cfg: ClusterConfig,
+    node_cfg: NodeConfig,
+    stop: Arc<AtomicBool>,
+    log: Arc<Mutex<Vec<ActivityEvent>>>,
+    start: Instant,
+    metrics: &'a MetricsRegistry,
+    snapshots: &'a [Arc<Mutex<Vec<u8>>>],
+    proxies: &'a [ChaosProxy],
+    n: usize,
+}
+
+impl<'a, A> Harness<'a, A>
+where
+    A: RingAlgorithm + Clone + Send + Sync + 'static,
+    A::State: WireState + Send + 'static,
+{
+    fn spawn_slot(
+        &self,
+        i: usize,
+        replica: Replica<A::State>,
+        transport: UdpTransport<A::State>,
+    ) -> Slot<A::State> {
+        let kill = Arc::new(AtomicBool::new(false));
+        let control = NodeControl {
+            stop: Arc::clone(&self.stop),
+            kill: Arc::clone(&kill),
+            snapshot: Some(Arc::clone(&self.snapshots[i])),
+        };
+        let algo = self.algo.clone();
+        let log = Arc::clone(&self.log);
+        let node_metrics = self.metrics.arc_node(i);
+        let node_cfg = self.node_cfg;
+        let start = self.start;
+        let handle = thread::spawn(move || {
+            run_node(algo, i, replica, transport, node_cfg, control, log, start, node_metrics)
+        });
+        Slot::Up { handle, kill }
+    }
+
+    /// Kill node `i` and join its thread. A dead node holds no privilege,
+    /// so an `active: false` event is logged unconditionally (the replay in
+    /// `analyze`/`recovery_in_window` treats repeats idempotently).
+    fn crash(&self, i: usize, slots: &mut [Slot<A::State>], panics: &mut usize) {
+        let placeholder = Slot::Down { transport: None, last_own: self.initial[i].clone() };
+        let Slot::Up { handle, kill } = mem::replace(&mut slots[i], placeholder) else {
+            return; // already down (validated schedules never do this)
+        };
+        kill.store(true, Ordering::Relaxed);
+        slots[i] = match handle.join() {
+            Ok((replica, transport)) => {
+                Slot::Down { transport: Some(transport), last_own: replica.own }
+            }
+            Err(_) => {
+                *panics += 1;
+                // Thread state is gone; the persisted snapshot is the best
+                // available record of where the node was.
+                let last_own = Replica::<A::State>::from_snapshot(&self.snapshots[i].lock())
+                    .map(|r| r.own)
+                    .unwrap_or_else(|_| self.initial[i].clone());
+                Slot::Down { transport: None, last_own }
+            }
+        };
+        self.log.lock().push(ActivityEvent { node: i, at: self.start.elapsed(), active: false });
+    }
+
+    /// Fresh sockets for a node whose transport died with a panicked
+    /// thread: bind, jump the generation counter past anything the old
+    /// incarnation sent, wire outbound through the existing proxies, and
+    /// re-aim the two inbound proxies at the new local addresses.
+    fn rebind(&self, i: usize, incarnation: u32) -> io::Result<UdpTransport<A::State>> {
+        let pred = (i + self.n - 1) % self.n;
+        let succ = (i + 1) % self.n;
+        let mut transport = UdpTransport::bind(
+            i as u16,
+            pred as u16,
+            succ as u16,
+            self.cfg.tick,
+            self.cfg.seed.wrapping_add(i as u64).wrapping_add(u64::from(incarnation) << 32),
+            self.metrics.arc_node(i),
+        )?;
+        transport.advance_generation_to(incarnation.saturating_mul(1 << 24));
+        transport.wire(self.proxies[2 * i + 1].addr(), self.proxies[2 * i].addr());
+        let local = transport.local_addrs()?;
+        self.proxies[2 * pred].set_dst(local.pred);
+        self.proxies[2 * succ + 1].set_dst(local.succ);
+        Ok(transport)
+    }
+
+    /// Bring a crashed node back after `backoff`, in `mode`; a failed
+    /// snapshot restore degrades to amnesia and is recorded.
+    #[allow(clippy::too_many_arguments)]
+    fn restart<F>(
+        &self,
+        i: usize,
+        slots: &mut [Slot<A::State>],
+        mode: RestartMode,
+        incarnation: u32,
+        backoff: Duration,
+        amnesia: &mut F,
+    ) -> Result<RestartRecord, ClusterError>
+    where
+        F: FnMut(usize, u32) -> Replica<A::State>,
+    {
+        thread::sleep(backoff);
+        let (replica, degraded) = match mode {
+            RestartMode::Amnesia => (amnesia(i, incarnation), None),
+            RestartMode::Snapshot => {
+                let bytes = self.snapshots[i].lock().clone();
+                match Replica::from_snapshot(&bytes) {
+                    Ok(r) => (r, None),
+                    Err(e) => (amnesia(i, incarnation), Some(e)),
+                }
+            }
+        };
+        let placeholder = Slot::Down { transport: None, last_own: self.initial[i].clone() };
+        let transport = match mem::replace(&mut slots[i], placeholder) {
+            Slot::Down { transport: Some(t), .. } => t,
+            Slot::Down { transport: None, .. } => self.rebind(i, incarnation)?,
+            up @ Slot::Up { .. } => {
+                // Already running (panic auto-restart beat the schedule).
+                slots[i] = up;
+                return Ok(RestartRecord {
+                    node: i,
+                    at: self.start.elapsed(),
+                    incarnation,
+                    mode,
+                    backoff,
+                    degraded: None,
+                });
+            }
+        };
+        let at = self.start.elapsed();
+        if replica.is_privileged(self.algo, i) {
+            self.log.lock().push(ActivityEvent { node: i, at, active: true });
+        }
+        slots[i] = self.spawn_slot(i, replica, transport);
+        Ok(RestartRecord { node: i, at, incarnation, mode, backoff, degraded })
+    }
+}
+
+/// Run a fault-injected cluster: like [`crate::cluster::run_cluster`], but
+/// every directed link goes through a chaos proxy (even with chaos off, so
+/// partitions and restart re-aiming work), every node persists snapshots,
+/// and the supervisor executes `sup.schedule` while measuring per-fault
+/// recovery.
+///
+/// `amnesia(node, incarnation)` supplies the arbitrary replica an
+/// amnesia-mode (or degraded snapshot-mode) restart wakes up with; use
+/// [`ssr_amnesia`] for SSRmin rings.
+pub fn run_supervised_cluster<A, F>(
+    algo: A,
+    initial: Config<A::State>,
+    sup: SupervisorConfig,
+    mut amnesia: F,
+) -> Result<SupervisedReport<A::State>, ClusterError>
+where
+    A: RingAlgorithm + Clone + Send + Sync + 'static,
+    A::State: WireState + Send + 'static,
+    F: FnMut(usize, u32) -> Replica<A::State>,
+{
+    algo.validate_config(&initial)?;
+    let n = algo.n();
+    sup.schedule.validate(n).map_err(|e| ClusterError::Schedule(e.to_string()))?;
+    let cfg = sup.cluster;
+    let metrics = MetricsRegistry::new(n);
+
+    // Bind every node's socket pair.
+    let mut transports: Vec<UdpTransport<A::State>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let pred = (i + n - 1) % n;
+        let succ = (i + 1) % n;
+        transports.push(UdpTransport::bind(
+            i as u16,
+            pred as u16,
+            succ as u16,
+            cfg.tick,
+            cfg.seed.wrapping_add(i as u64),
+            metrics.arc_node(i),
+        )?);
+    }
+    let addrs: Vec<_> =
+        transports.iter().map(|t| t.local_addrs()).collect::<io::Result<Vec<_>>>()?;
+
+    // One proxy per directed link, unconditionally: link `2i` is
+    // `i → succ(i)`, `2i + 1` is `i → pred(i)`. With chaos off the proxy is
+    // a pass-through, but partitions and restart re-aiming need it there.
+    let chaos_base = cfg.chaos.unwrap_or_default();
+    let mut proxies: Vec<ChaosProxy> = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        let pred = (i + n - 1) % n;
+        let succ = (i + 1) % n;
+        let mk = |link_idx: usize, dst| -> io::Result<ChaosProxy> {
+            ChaosProxy::spawn(
+                dst,
+                ChaosConfig {
+                    seed: cfg
+                        .seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(link_idx as u64),
+                    ..chaos_base
+                },
+            )
+        };
+        proxies.push(mk(2 * i, addrs[succ].pred)?);
+        proxies.push(mk(2 * i + 1, addrs[pred].succ)?);
+    }
+    for (i, transport) in transports.iter_mut().enumerate() {
+        transport.wire(proxies[2 * i + 1].addr(), proxies[2 * i].addr());
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let log: Arc<Mutex<Vec<ActivityEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let snapshots: Vec<Arc<Mutex<Vec<u8>>>> =
+        (0..n).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+    let start = Instant::now();
+    let harness = Harness {
+        algo: &algo,
+        initial: &initial,
+        cfg,
+        node_cfg: NodeConfig { exec_delay: cfg.exec_delay, ..NodeConfig::default() },
+        stop: Arc::clone(&stop),
+        log: Arc::clone(&log),
+        start,
+        metrics: &metrics,
+        snapshots: &snapshots,
+        proxies: &proxies,
+        n,
+    };
+
+    let mut initial_active = Vec::with_capacity(n);
+    let mut slots: Vec<Slot<A::State>> = Vec::with_capacity(n);
+    for (i, transport) in transports.into_iter().enumerate() {
+        let pred = (i + n - 1) % n;
+        let succ = (i + 1) % n;
+        let replica: Replica<A::State> =
+            Replica::coherent(initial[i].clone(), initial[pred].clone(), initial[succ].clone());
+        initial_active.push(replica.is_privileged(&algo, i));
+        slots.push(harness.spawn_slot(i, replica, transport));
+    }
+
+    let mut crash_counts = vec![0u32; n];
+    let mut incarnations = vec![0u32; n];
+    let mut pending_mode = vec![RestartMode::Amnesia; n];
+    let mut applied: Vec<(FaultKind, Duration)> = Vec::new();
+    let mut restarts: Vec<RestartRecord> = Vec::new();
+    let mut panics = 0usize;
+
+    // Restart any node whose thread died without being told to — a panic.
+    // Treated as an unscheduled crash: amnesia restart with backoff.
+    let scan_panics = |slots: &mut Vec<Slot<A::State>>,
+                       crash_counts: &mut Vec<u32>,
+                       incarnations: &mut Vec<u32>,
+                       restarts: &mut Vec<RestartRecord>,
+                       panics: &mut usize,
+                       amnesia: &mut F|
+     -> Result<(), ClusterError> {
+        for i in 0..n {
+            let died = matches!(&slots[i], Slot::Up { handle, .. } if handle.is_finished());
+            if died && !stop.load(Ordering::Relaxed) {
+                harness.crash(i, slots, panics);
+                crash_counts[i] += 1;
+                incarnations[i] += 1;
+                let backoff = backoff_for(sup.backoff_base, sup.backoff_cap, crash_counts[i]);
+                restarts.push(harness.restart(
+                    i,
+                    slots,
+                    RestartMode::Amnesia,
+                    incarnations[i],
+                    backoff,
+                    amnesia,
+                )?);
+            }
+        }
+        Ok(())
+    };
+
+    for ev in sup.schedule.events() {
+        let target = Duration::from_millis(ev.at);
+        loop {
+            scan_panics(
+                &mut slots,
+                &mut crash_counts,
+                &mut incarnations,
+                &mut restarts,
+                &mut panics,
+                &mut amnesia,
+            )?;
+            let now = start.elapsed();
+            if now >= target {
+                break;
+            }
+            thread::sleep((target - now).min(Duration::from_millis(2)));
+        }
+        let at = start.elapsed();
+        match ev.kind {
+            FaultKind::Crash { node, restart } => {
+                harness.crash(node, &mut slots, &mut panics);
+                crash_counts[node] += 1;
+                pending_mode[node] = restart;
+            }
+            FaultKind::Restart { node } => {
+                if matches!(slots[node], Slot::Down { .. }) {
+                    incarnations[node] += 1;
+                    let backoff =
+                        backoff_for(sup.backoff_base, sup.backoff_cap, crash_counts[node]);
+                    restarts.push(harness.restart(
+                        node,
+                        &mut slots,
+                        pending_mode[node],
+                        incarnations[node],
+                        backoff,
+                        &mut amnesia,
+                    )?);
+                }
+            }
+            FaultKind::Partition { from, to } => {
+                proxies[link_index(n, from, to)].set_partitioned(true);
+            }
+            FaultKind::Heal { from, to } => {
+                proxies[link_index(n, from, to)].set_partitioned(false);
+            }
+            FaultKind::CorruptSnapshot { node } => {
+                let mut bytes = snapshots[node].lock();
+                if bytes.is_empty() {
+                    bytes.extend_from_slice(b"not a snapshot");
+                } else {
+                    for b in bytes.iter_mut().take(8) {
+                        *b ^= 0xA5;
+                    }
+                }
+            }
+        }
+        applied.push((ev.kind, at));
+    }
+
+    // Run out the clock (re-convergence time for the final window).
+    loop {
+        scan_panics(
+            &mut slots,
+            &mut crash_counts,
+            &mut incarnations,
+            &mut restarts,
+            &mut panics,
+            &mut amnesia,
+        )?;
+        let now = start.elapsed();
+        if now >= cfg.duration {
+            break;
+        }
+        thread::sleep((cfg.duration - now).min(Duration::from_millis(2)));
+    }
+    stop.store(true, Ordering::Relaxed);
+    drop(harness); // releases its Arc clones so the log can be unwrapped
+
+    let mut final_states = Vec::with_capacity(n);
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Slot::Up { handle, .. } => match handle.join() {
+                Ok((replica, transport)) => {
+                    drop(transport);
+                    final_states.push(replica.own);
+                }
+                Err(_) => {
+                    panics += 1;
+                    let own = Replica::<A::State>::from_snapshot(&snapshots[i].lock())
+                        .map(|r| r.own)
+                        .unwrap_or_else(|_| initial[i].clone());
+                    final_states.push(own);
+                }
+            },
+            Slot::Down { last_own, .. } => final_states.push(last_own),
+        }
+    }
+    let observed = start.elapsed();
+
+    let mut chaos = ChaosSummary::default();
+    for proxy in proxies {
+        chaos.absorb(&proxy.shutdown());
+    }
+
+    let mut events = Arc::try_unwrap(log).expect("all threads joined").into_inner();
+    events.sort_by_key(|e| e.at);
+
+    let coverage = analyze(&initial_active, &events, observed, cfg.warmup);
+    let stabilized_at = stabilization_time(&initial_active, &events, observed);
+    let handover = handover_latencies(n, &events, cfg.warmup);
+    let metrics = metrics.report(&handover);
+
+    // Per-fault recovery: each applied fault owns the window up to the next
+    // applied fault (or run end).
+    let mut rows = Vec::with_capacity(applied.len());
+    let mut kinds = Vec::with_capacity(applied.len());
+    for (index, &(kind, at)) in applied.iter().enumerate() {
+        let window_end = applied.get(index + 1).map_or(observed, |&(_, next)| next);
+        let recovery = recovery_in_window(&initial_active, &events, at, window_end);
+        rows.push(FaultEventRow {
+            index,
+            at,
+            label: kind.to_string(),
+            window: window_end.saturating_sub(at),
+            recovery,
+        });
+        kinds.push(kind);
+    }
+
+    Ok(SupervisedReport {
+        cluster: ClusterReport {
+            final_states,
+            initial_active,
+            events,
+            observed,
+            coverage,
+            stabilized_at,
+            metrics,
+            chaos,
+        },
+        recovery: RecoveryReport { rows },
+        kinds,
+        restarts,
+        panics,
+    })
+}
+
+/// Index into the proxy vector of the directed link `from → to`; `to` must
+/// be a ring neighbour of `from` (validated schedules guarantee it).
+fn link_index(n: usize, from: usize, to: usize) -> usize {
+    if to == (from + 1) % n {
+        2 * from
+    } else {
+        2 * from + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_core::SsrMin;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let base = Duration::from_millis(5);
+        let cap = Duration::from_millis(60);
+        assert_eq!(backoff_for(base, cap, 1), Duration::from_millis(5));
+        assert_eq!(backoff_for(base, cap, 2), Duration::from_millis(10));
+        assert_eq!(backoff_for(base, cap, 4), Duration::from_millis(40));
+        assert_eq!(backoff_for(base, cap, 5), cap);
+        assert_eq!(backoff_for(base, cap, 30), cap, "large counts must not overflow");
+    }
+
+    #[test]
+    fn ssr_amnesia_is_deterministic_per_node_and_incarnation() {
+        let params = RingParams::minimal(5).unwrap();
+        let mut a = ssr_amnesia(params, 7);
+        let mut b = ssr_amnesia(params, 7);
+        assert_eq!(a(2, 1), b(2, 1));
+        assert_ne!(a(2, 1), a(3, 1), "different nodes draw different states");
+        let mut c = ssr_amnesia(params, 8);
+        assert_ne!(a(2, 1), c(2, 1), "different seeds draw different states");
+    }
+
+    #[test]
+    fn link_index_maps_both_directions() {
+        assert_eq!(link_index(5, 2, 3), 4, "2 -> succ(2) is link 2*2");
+        assert_eq!(link_index(5, 2, 1), 5, "2 -> pred(2) is link 2*2+1");
+        assert_eq!(link_index(5, 4, 0), 8, "wraps around the ring");
+        assert_eq!(link_index(5, 0, 4), 1);
+    }
+
+    #[test]
+    fn empty_schedule_behaves_like_a_plain_run() {
+        let algo = SsrMin::new(RingParams::minimal(3).unwrap());
+        let sup = SupervisorConfig {
+            cluster: ClusterConfig {
+                seed: 11,
+                duration: Duration::from_millis(400),
+                warmup: Duration::from_millis(200),
+                ..ClusterConfig::default()
+            },
+            ..SupervisorConfig::default()
+        };
+        let report = run_supervised_cluster(
+            algo,
+            algo.legitimate_anchor(0),
+            sup,
+            ssr_amnesia(algo.params(), 11),
+        )
+        .unwrap();
+        assert!(report.recovery.rows.is_empty());
+        assert!(report.restarts.is_empty());
+        assert_eq!(report.panics, 0);
+        assert!(report.reconverged());
+        assert!(
+            report.cluster.coverage.uncovered.is_zero(),
+            "fault-free supervised run must keep continuous coverage"
+        );
+    }
+
+    #[test]
+    fn overlapping_fault_windows_exempt_the_mid_disruption_heal() {
+        use RestartMode::Amnesia;
+        // partition opens, node crashes, heal fires while the node is still
+        // down, then the restart closes the last disruption.
+        let kinds = [
+            FaultKind::Partition { from: 1, to: 2 },
+            FaultKind::Crash { node: 1, restart: Amnesia },
+            FaultKind::Heal { from: 1, to: 2 },
+            FaultKind::Restart { node: 1 },
+        ];
+        assert_eq!(
+            restoration_points(&kinds),
+            [false, false, false, true],
+            "only the final restart restores full operation"
+        );
+        // Non-overlapping script: both the heal and the restart must
+        // re-converge.
+        let kinds = [
+            FaultKind::Partition { from: 1, to: 2 },
+            FaultKind::Heal { from: 1, to: 2 },
+            FaultKind::Crash { node: 0, restart: Amnesia },
+            FaultKind::Restart { node: 0 },
+        ];
+        assert_eq!(restoration_points(&kinds), [false, true, false, true]);
+    }
+
+    #[test]
+    fn schedule_validation_failures_surface_as_errors() {
+        let algo = SsrMin::new(RingParams::minimal(3).unwrap());
+        let sup = SupervisorConfig {
+            schedule: FaultSchedule::new().with(10, FaultKind::Restart { node: 0 }),
+            ..SupervisorConfig::default()
+        };
+        let err = run_supervised_cluster(
+            algo,
+            algo.legitimate_anchor(0),
+            sup,
+            ssr_amnesia(algo.params(), 0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClusterError::Schedule(_)), "{err}");
+    }
+}

@@ -149,6 +149,18 @@ impl<S: WireState> UdpTransport<S> {
         self.succ.peer = succ_peer;
     }
 
+    /// Jump the send-side generation counter forward to at least `floor`.
+    ///
+    /// A node restarted on a *fresh* transport (its old sockets died with a
+    /// panicked thread) would otherwise start again at generation 0, and the
+    /// neighbours' staleness filters — which only accept generations in the
+    /// forward half of the u32 circle — would discard everything it sends.
+    /// The supervisor overshoots past anything the old incarnation can have
+    /// sent.
+    pub fn advance_generation_to(&mut self, floor: u32) {
+        self.generation = self.generation.max(floor);
+    }
+
     fn send_both(&mut self, retransmission: bool) -> io::Result<()> {
         let Some(state) = &self.latest else {
             return Ok(());

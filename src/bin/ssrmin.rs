@@ -6,6 +6,7 @@
 //! ssrmin verify     [-n 3] [-k 4] [--algo ssrmin|dijkstra] [--limit 2000000]
 //! ssrmin camera     [-n 6] [--ms 1000] [--loss 0.05] [--seed 0]
 //! ssrmin cluster    [--nodes 5] [--ms 700] [--loss 0.0] [--seed 0] [--csv]
+//! ssrmin soak       [--nodes 5] [--ms 2000] [--crashes 2] [--partitions 1] [--mode mixed] [--seed 0] [--csv]
 //! ssrmin converge   [-n 8] [-k 0(=n+1)] [--seeds 20] [--daemon ...]
 //! ```
 //!
@@ -19,8 +20,8 @@ use std::time::Duration;
 use ssrmin::analysis::{privileged_strip, summarize, DaemonKind, Table};
 use ssrmin::core::{CriticalSectionProtocol, DualSsToken, RingParams, SsToken, SsrMin};
 use ssrmin::daemon::{measure_convergence, random_config, trace, Engine};
-use ssrmin::mpnet::{CstSim, DelayModel, SimConfig};
-use ssrmin::net::{ChaosConfig, ClusterConfig};
+use ssrmin::mpnet::{CstSim, DelayModel, FaultPlan, FaultSchedule, SimConfig};
+use ssrmin::net::{ChaosConfig, ClusterConfig, SupervisorConfig};
 use ssrmin::runtime::camera::CameraNetwork;
 use ssrmin::runtime::RuntimeConfig;
 use ssrmin::RingAlgorithm;
@@ -37,6 +38,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(&opts),
         "camera" => cmd_camera(&opts),
         "cluster" => cmd_cluster(&opts),
+        "soak" => cmd_soak(&opts),
         "converge" => cmd_converge(&opts),
         "transcript" => cmd_transcript(&opts),
         "adversary" => cmd_adversary(&opts),
@@ -79,6 +81,14 @@ USAGE:
                      loopback UDP sockets (with a chaos proxy per link when
                      any fault knob is set) and report convergence time,
                      handover latency and the token-count invariant
+  ssrmin soak      [--nodes N] [-k K] [--ms MS] [--seed SEED]
+                   [--crashes C] [--partitions P] [--mode amnesia|snapshot|mixed]
+                   [--loss P] [--burst] [--delay-us US] [--dup P] [--reorder P]
+                   [--csv]
+                     run the UDP cluster under a seeded fault schedule —
+                     crash/restart with exponential backoff (amnesia or
+                     snapshot restore) and link partition windows — and
+                     report the recovery time of every fault event
   ssrmin converge  [-n N] [-k K] [--seeds S] [--daemon ...]
                      measure stabilization time from random configurations
   ssrmin transcript [-n N] [--ticks T] [--loss P] [--tail L] [--seed SEED]
@@ -406,6 +416,123 @@ fn cmd_cluster(opts: &Opts) -> Result<(), String> {
     }
     println!("\nper-node metrics:");
     print!("{}", report.metrics.to_ascii());
+    Ok(())
+}
+
+fn cmd_soak(opts: &Opts) -> Result<(), String> {
+    let n: usize = match opts.get("nodes") {
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --nodes: {v:?}"))?,
+        None => get(opts, "n", 5usize)?,
+    };
+    let k: u32 = get(opts, "k", 0u32)?;
+    let k = if k == 0 { n as u32 + 1 } else { k };
+    let params = RingParams::new(n, k).map_err(|e| e.to_string())?;
+    let ms: u64 = get(opts, "ms", 2000u64)?;
+    if ms < 100 {
+        return Err("--ms must be at least 100 (the schedule needs room)".into());
+    }
+    let seed: u64 = get(opts, "seed", 0u64)?;
+    let crashes: usize = get(opts, "crashes", 2usize)?;
+    let partitions: usize = get(opts, "partitions", 1usize)?;
+    let snapshot_ratio = match opts.get("mode").map(String::as_str).unwrap_or("mixed") {
+        "amnesia" => 0.0,
+        "snapshot" => 1.0,
+        "mixed" => 0.5,
+        other => return Err(format!("unknown mode {other:?} (amnesia|snapshot|mixed)")),
+    };
+    let loss: f64 = probability(opts, "loss")?;
+    let delay_us: u64 = get(opts, "delay-us", 0u64)?;
+    let dup: f64 = probability(opts, "dup")?;
+    let reorder: f64 = probability(opts, "reorder")?;
+    let burst = opts.contains_key("burst");
+    let csv = opts.contains_key("csv");
+
+    let algo = SsrMin::new(params);
+    let initial = match opts.get("start").map(String::as_str).unwrap_or("legit") {
+        "legit" => algo.legitimate_anchor(0),
+        "random" => random_config::random_ssr_config(params, seed),
+        "adversarial" => random_config::adversarial_ssr_config(params),
+        other => return Err(format!("unknown start {other:?}")),
+    };
+
+    // Faults land in the middle of the run, leaving a tail for the final
+    // window to re-converge in.
+    let plan = FaultPlan {
+        crashes,
+        partitions,
+        window: (ms / 5, ms * 7 / 10),
+        downtime: ((ms / 20).max(1), (ms / 8).max(2)),
+        partition_len: ((ms / 15).max(1), (ms / 6).max(2)),
+        snapshot_ratio,
+    };
+    let schedule = FaultSchedule::random(n, &plan, seed);
+
+    let faulty = loss > 0.0 || delay_us > 0 || dup > 0.0 || reorder > 0.0 || burst;
+    let chaos = faulty.then(|| ChaosConfig {
+        seed: 0, // per-link seeds are derived by the supervisor
+        loss,
+        burst: burst.then(ssrmin::mpnet::GilbertElliott::default),
+        delay: (Duration::ZERO, Duration::from_micros(delay_us)),
+        duplicate: dup,
+        reorder,
+    });
+    let sup = SupervisorConfig {
+        cluster: ClusterConfig {
+            seed,
+            duration: Duration::from_millis(ms),
+            warmup: Duration::from_millis(ms / 2),
+            chaos,
+            ..ClusterConfig::default()
+        },
+        schedule,
+        ..SupervisorConfig::default()
+    };
+    let report = ssrmin::net::run_supervised_cluster(
+        algo,
+        initial,
+        sup,
+        ssrmin::net::ssr_amnesia(params, seed),
+    )
+    .map_err(|e| e.to_string())?;
+
+    if csv {
+        print!("{}", report.recovery.to_csv());
+        return Ok(());
+    }
+    println!(
+        "fault soak: {n} nodes, K = {k}, {ms} ms, seed = {seed}, {} fault events",
+        report.recovery.rows.len()
+    );
+    print!("{}", report.recovery.to_ascii());
+    println!("re-converged after every restoring fault: {}", report.reconverged());
+    if !report.restarts.is_empty() {
+        println!("restarts:");
+        for r in &report.restarts {
+            let degraded = match &r.degraded {
+                Some(e) => format!(" — snapshot rejected ({e}), degraded to amnesia"),
+                None => String::new(),
+            };
+            println!(
+                "  node {} #{} at {:?} ({}, backoff {:?}){degraded}",
+                r.node, r.incarnation, r.at, r.mode, r.backoff
+            );
+        }
+    }
+    if report.panics > 0 {
+        println!("node panics             : {}", report.panics);
+    }
+    let c = &report.cluster;
+    match c.stabilized_at {
+        None => println!("token-count invariant   : held for the whole run"),
+        Some(t) if t < c.observed => println!("token-count invariant   : last restored at {t:?}"),
+        Some(_) => println!("token-count invariant   : NOT RESTORED within the run"),
+    }
+    println!("privileged nodes        : {}..={}", c.coverage.min_active, c.coverage.max_active);
+    println!("handovers (activations) : {}", c.coverage.activations);
+    println!(
+        "chaos                   : {} forwarded, {} dropped, {} duplicated, {} reordered, {} blocked by partitions",
+        c.chaos.forwarded, c.chaos.dropped, c.chaos.duplicated, c.chaos.reordered, c.chaos.blocked
+    );
     Ok(())
 }
 

@@ -1,0 +1,254 @@
+//! End-to-end fault-injection tests of the supervised UDP cluster: real
+//! sockets, real threads, scheduled crashes/restarts and link partitions —
+//! re-stabilization observed on wall clocks.
+//!
+//! Timing discipline matches `tests/udp_cluster.rs`: assertions are about
+//! *eventual* re-convergence within generous windows, never about absolute
+//! speed, so a loaded single-core CI host does not flake them.
+
+use std::time::Duration;
+
+use ssrmin::core::{RingParams, SsrMin};
+use ssrmin::mpnet::{FaultKind, FaultPlan, FaultSchedule, RestartMode};
+use ssrmin::net::{
+    run_supervised_cluster, ssr_amnesia, ChaosConfig, ClusterConfig, RecoveryReport,
+    SupervisorConfig,
+};
+
+fn params(n: usize) -> RingParams {
+    RingParams::new(n, n as u32 + 1).unwrap()
+}
+
+fn sup(seed: u64, ms: u64, schedule: FaultSchedule) -> SupervisorConfig {
+    SupervisorConfig {
+        cluster: ClusterConfig {
+            seed,
+            duration: Duration::from_millis(ms),
+            warmup: Duration::from_millis(ms / 2),
+            ..ClusterConfig::default()
+        },
+        schedule,
+        ..SupervisorConfig::default()
+    }
+}
+
+/// Acceptance: a crashed node restarted with *amnesia* (arbitrary state and
+/// caches) re-converges — the ring absorbs a fresh adversarial state while
+/// running.
+#[test]
+fn crash_with_amnesia_restart_reconverges() {
+    let algo = SsrMin::new(params(4));
+    let schedule = FaultSchedule::new().crash_restart(1, RestartMode::Amnesia, 400, 550);
+    let report = run_supervised_cluster(
+        algo,
+        algo.legitimate_anchor(0),
+        sup(7, 1500, schedule),
+        ssr_amnesia(algo.params(), 7),
+    )
+    .unwrap();
+
+    assert_eq!(report.restarts.len(), 1);
+    assert_eq!(report.restarts[0].mode, RestartMode::Amnesia);
+    assert!(report.restarts[0].degraded.is_none());
+    assert_eq!(report.panics, 0);
+    // The restart's recovery window (restart .. run end) must re-establish
+    // the token-count invariant.
+    assert!(
+        report.reconverged(),
+        "ring did not re-converge after restart: {}",
+        report.recovery.to_ascii()
+    );
+    // Tokens kept moving after the fault: the run has plenty of handovers.
+    assert!(
+        report.cluster.coverage.activations >= 10,
+        "token stalled: {} activations",
+        report.cluster.coverage.activations
+    );
+    // Legitimate periods never exceed two privileged nodes.
+    assert!(report.cluster.coverage.max_active <= 2);
+}
+
+/// Acceptance: a crashed node restarted from its persisted snapshot comes
+/// back with the state it held at the crash and re-converges.
+#[test]
+fn crash_with_snapshot_restore_reconverges() {
+    let algo = SsrMin::new(params(4));
+    let schedule = FaultSchedule::new().crash_restart(2, RestartMode::Snapshot, 400, 550);
+    let report = run_supervised_cluster(
+        algo,
+        algo.legitimate_anchor(0),
+        sup(11, 1500, schedule),
+        ssr_amnesia(algo.params(), 11),
+    )
+    .unwrap();
+
+    assert_eq!(report.restarts.len(), 1);
+    assert_eq!(report.restarts[0].mode, RestartMode::Snapshot);
+    assert!(
+        report.restarts[0].degraded.is_none(),
+        "snapshot restore must succeed, got {:?}",
+        report.restarts[0].degraded
+    );
+    assert!(report.reconverged(), "{}", report.recovery.to_ascii());
+    assert!(report.cluster.coverage.max_active <= 2);
+}
+
+/// Acceptance: a *corrupt* snapshot is detected (CRC/magic checks), the
+/// restart degrades to amnesia, and the run completes and re-converges —
+/// corruption is never fatal.
+#[test]
+fn corrupt_snapshot_degrades_to_amnesia_without_aborting() {
+    let algo = SsrMin::new(params(4));
+    let schedule = FaultSchedule::new()
+        .with(400, FaultKind::Crash { node: 1, restart: RestartMode::Snapshot })
+        .with(460, FaultKind::CorruptSnapshot { node: 1 })
+        .with(550, FaultKind::Restart { node: 1 });
+    let report = run_supervised_cluster(
+        algo,
+        algo.legitimate_anchor(0),
+        sup(13, 1500, schedule),
+        ssr_amnesia(algo.params(), 13),
+    )
+    .unwrap();
+
+    assert_eq!(report.restarts.len(), 1);
+    assert_eq!(report.restarts[0].mode, RestartMode::Snapshot, "the schedule asked for snapshot");
+    assert!(
+        report.restarts[0].degraded.is_some(),
+        "corrupt snapshot must be detected and degrade to amnesia"
+    );
+    assert_eq!(report.degraded_restarts(), 1);
+    assert!(report.reconverged(), "{}", report.recovery.to_ascii());
+}
+
+/// Acceptance: a partition window on a directed link actually blocks
+/// datagrams (counted separately from chaos loss), and after the heal the
+/// ring re-converges.
+#[test]
+fn partition_window_blocks_then_heals() {
+    let algo = SsrMin::new(params(4));
+    let schedule = FaultSchedule::new().partition_window(0, 1, 350, 700);
+    let report = run_supervised_cluster(
+        algo,
+        algo.legitimate_anchor(0),
+        sup(17, 1400, schedule),
+        ssr_amnesia(algo.params(), 17),
+    )
+    .unwrap();
+
+    assert!(report.cluster.chaos.blocked > 0, "the partitioned link must have swallowed datagrams");
+    assert_eq!(report.cluster.chaos.dropped, 0, "no chaos loss was configured");
+    assert!(report.reconverged(), "{}", report.recovery.to_ascii());
+    // Both fault rows are reported with measured windows.
+    assert_eq!(report.recovery.rows.len(), 2);
+    assert!(report.recovery.rows.iter().all(|r| !r.window.is_zero()));
+}
+
+/// Acceptance: a compound seeded soak — crashes in both modes plus a
+/// partition, *on top of* background chaos loss — re-converges after every
+/// restart and heal, and every fault event gets a recovery row.
+#[test]
+fn compound_soak_under_chaos_reconverges_after_every_fault() {
+    let algo = SsrMin::new(params(5));
+    let plan = FaultPlan {
+        crashes: 2,
+        partitions: 1,
+        window: (400, 1100),
+        downtime: (80, 150),
+        partition_len: (100, 200),
+        snapshot_ratio: 0.5,
+    };
+    let schedule = FaultSchedule::random(5, &plan, 23);
+    let n_events = schedule.len();
+    assert!(n_events >= 4, "plan should generate crash+restart pairs and a partition window");
+
+    let mut cfg = sup(23, 2200, schedule);
+    cfg.cluster.chaos = Some(ChaosConfig { loss: 0.05, ..ChaosConfig::default() });
+    let report = run_supervised_cluster(
+        algo,
+        algo.legitimate_anchor(0),
+        cfg,
+        ssr_amnesia(algo.params(), 23),
+    )
+    .unwrap();
+
+    assert_eq!(report.recovery.rows.len(), n_events, "every fault event gets a recovery row");
+    assert_eq!(report.kinds.len(), n_events);
+    assert!(
+        report.reconverged(),
+        "ring failed to re-converge after some fault:\n{}",
+        report.recovery.to_ascii()
+    );
+    assert!(report.cluster.chaos.dropped > 0, "background chaos must have been active");
+    // The recovery report renders: CSV header + one row per event, and the
+    // histogram summarises without panicking.
+    let csv = report.recovery.to_csv();
+    assert_eq!(csv.lines().next(), Some(RecoveryReport::CSV_HEADER));
+    assert_eq!(csv.lines().count(), n_events + 1);
+    let hist = report.recovery.histogram();
+    assert_eq!(hist.recovered + hist.unrecovered, n_events);
+}
+
+/// Determinism of the schedule layer end-to-end: the same seed gives the
+/// same fault script, so two soak configs built alike inject identical
+/// fault sequences (wall-clock recovery times differ, the script does not).
+#[test]
+fn equal_seeds_inject_identical_fault_scripts() {
+    let plan = FaultPlan::default();
+    let a = FaultSchedule::random(5, &plan, 42);
+    let b = FaultSchedule::random(5, &plan, 42);
+    assert_eq!(a, b);
+    assert!(!a.is_empty());
+}
+
+/// The CLI front-end: `ssrmin soak` runs a short schedule, reports recovery
+/// per fault event, and `--csv` emits exactly the recovery table.
+#[test]
+fn soak_cli_reports_and_emits_csv() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_ssrmin"))
+        .args([
+            "soak",
+            "--nodes",
+            "4",
+            "--ms",
+            "1200",
+            "--crashes",
+            "1",
+            "--partitions",
+            "1",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fault soak: 4 nodes"), "{stdout}");
+    assert!(stdout.contains("re-converged after every restoring fault"), "{stdout}");
+    assert!(stdout.contains("recovery:"), "{stdout}");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_ssrmin"))
+        .args([
+            "soak",
+            "--nodes",
+            "4",
+            "--ms",
+            "1000",
+            "--crashes",
+            "1",
+            "--partitions",
+            "0",
+            "--seed",
+            "3",
+            "--mode",
+            "snapshot",
+            "--csv",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut lines = stdout.lines();
+    assert_eq!(lines.next(), Some(RecoveryReport::CSV_HEADER), "{stdout}");
+    assert!(lines.count() >= 2, "one CSV row per fault event:\n{stdout}");
+}
