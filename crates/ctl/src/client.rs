@@ -1,0 +1,145 @@
+//! A plain-`TcpStream` HTTP client for `ssrmin ctl` and `ssrmin top`.
+//!
+//! One request per connection against the ctl server's `Connection: close`
+//! contract: write the request, read to EOF, split status line from body.
+//! Accepts `host:port` or `http://host:port[/...]` targets so operators can
+//! paste the URL the cluster printed at startup.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Connect/read/write timeout for one ctl request.
+const TIMEOUT: Duration = Duration::from_millis(3000);
+
+/// One HTTP reply: status code and body text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpReply {
+    /// HTTP status code (200, 400, ...).
+    pub status: u16,
+    /// Body, decoded lossily as UTF-8.
+    pub body: String,
+}
+
+impl HttpReply {
+    /// Whether the status is 2xx.
+    pub fn ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Normalises a target: strips an `http://` scheme and any path suffix.
+fn host_port(target: &str) -> &str {
+    let target = target.strip_prefix("http://").unwrap_or(target);
+    target.split('/').next().unwrap_or(target)
+}
+
+/// Performs `GET <path>` against `target` (`host:port` or `http://...`).
+pub fn get(target: &str, path: &str) -> io::Result<HttpReply> {
+    request(target, "GET", path, b"")
+}
+
+/// Performs `POST <path>` with a plain-text body.
+pub fn post(target: &str, path: &str, body: &str) -> io::Result<HttpReply> {
+    request(target, "POST", path, body.as_bytes())
+}
+
+fn request(target: &str, method: &str, path: &str, body: &[u8]) -> io::Result<HttpReply> {
+    let authority = host_port(target);
+    let mut last_err = io::Error::new(io::ErrorKind::InvalidInput, "no address resolved");
+    // to_socket_addrs via connect: try each resolved address in turn.
+    let addrs = std::net::ToSocketAddrs::to_socket_addrs(authority)?;
+    for addr in addrs {
+        match TcpStream::connect_timeout(&addr, TIMEOUT) {
+            Ok(stream) => return roundtrip(stream, authority, method, path, body),
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
+fn roundtrip(
+    mut stream: TcpStream,
+    authority: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> io::Result<HttpReply> {
+    stream.set_read_timeout(Some(TIMEOUT))?;
+    stream.set_write_timeout(Some(TIMEOUT))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {authority}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_reply(&raw)
+}
+
+fn parse_reply(raw: &[u8]) -> io::Result<HttpReply> {
+    let text = String::from_utf8_lossy(raw);
+    let head_end = text
+        .find("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?;
+    let status_line = text.lines().next().unwrap_or_default();
+    let status: u16 =
+        status_line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad status line: {status_line}"))
+        })?;
+    Ok(HttpReply { status, body: text[head_end + 4..].to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn strips_scheme_and_path() {
+        assert_eq!(host_port("127.0.0.1:8080"), "127.0.0.1:8080");
+        assert_eq!(host_port("http://127.0.0.1:8080"), "127.0.0.1:8080");
+        assert_eq!(host_port("http://127.0.0.1:8080/status"), "127.0.0.1:8080");
+    }
+
+    #[test]
+    fn parses_status_and_body() {
+        let reply =
+            parse_reply(b"HTTP/1.1 422 Unprocessable Entity\r\nContent-Length: 4\r\n\r\nnope")
+                .unwrap();
+        assert_eq!(reply.status, 422);
+        assert_eq!(reply.body, "nope");
+        assert!(!reply.ok());
+        assert!(parse_reply(b"garbage").is_err());
+    }
+
+    #[test]
+    fn talks_to_a_one_shot_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 1024];
+            let mut seen = Vec::new();
+            // Read until the body "ping" has arrived.
+            loop {
+                let n = stream.read(&mut buf).unwrap();
+                seen.extend_from_slice(&buf[..n]);
+                if seen.ends_with(b"ping") {
+                    break;
+                }
+            }
+            let text = String::from_utf8_lossy(&seen);
+            assert!(text.starts_with("POST /chaos HTTP/1.1\r\n"), "{text}");
+            assert!(text.contains("Content-Length: 4\r\n"), "{text}");
+            stream.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok").unwrap();
+        });
+        let reply = post(&format!("http://{addr}"), "/chaos", "ping").unwrap();
+        assert!(reply.ok());
+        assert_eq!(reply.body, "ok");
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,240 @@
+//! A deliberately tiny HTTP/1.1 subset: just enough to parse one request
+//! from a stream and write one response back.
+//!
+//! The control plane only ever needs `GET`/`POST` with small plain-text
+//! bodies, one request per connection (`Connection: close`). Chunked
+//! transfer encoding, keep-alive, pipelining, compression and multi-line
+//! headers are all out of scope — a client that wants them gets a plain
+//! `400`/`411` instead of undefined behaviour. Limits are hard-coded and
+//! small (8 KiB of headers, 64 KiB of body) so a misbehaving peer cannot
+//! balloon the server's memory.
+
+use std::io::{self, Read, Write};
+
+/// Maximum bytes of request line + headers we are willing to buffer.
+const MAX_HEAD: usize = 8 * 1024;
+/// Maximum request body we are willing to read.
+const MAX_BODY: usize = 64 * 1024;
+
+/// One parsed HTTP request: method, path (with any query string stripped),
+/// and the raw body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method token, e.g. `GET` or `POST`.
+    pub method: String,
+    /// Request path without query string, e.g. `/metrics`.
+    pub path: String,
+    /// Raw body bytes (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body decoded as UTF-8, lossily.
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Errors produced while reading a request; each maps to the HTTP status
+/// the server should answer with.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line or headers → 400.
+    Bad(&'static str),
+    /// Head or body exceeded the hard limits → 431/413.
+    TooLarge(&'static str),
+    /// Underlying socket error (including read timeouts).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Bad(what) => write!(f, "malformed request: {what}"),
+            HttpError::TooLarge(what) => write!(f, "request too large: {what}"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one HTTP/1.1 request from `stream`.
+///
+/// Reads byte-wise growth until the `\r\n\r\n` head terminator (bounded by
+/// [`MAX_HEAD`]), parses the request line and a `Content-Length` header if
+/// present, then reads exactly that many body bytes (bounded by
+/// [`MAX_BODY`]).
+pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, HttpError> {
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 512];
+    let body_start;
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(HttpError::Bad("connection closed before end of headers"));
+        }
+        head.extend_from_slice(&buf[..n]);
+        if let Some(pos) = find_head_end(&head) {
+            body_start = pos;
+            break;
+        }
+        if head.len() > MAX_HEAD {
+            return Err(HttpError::TooLarge("headers"));
+        }
+    }
+
+    let head_text = String::from_utf8_lossy(&head[..body_start]);
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().ok_or(HttpError::Bad("empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or(HttpError::Bad("missing method"))?.to_ascii_uppercase();
+    let target = parts.next().ok_or(HttpError::Bad("missing path"))?;
+    if parts.next().map(|v| !v.starts_with("HTTP/1.")).unwrap_or(true) {
+        return Err(HttpError::Bad("not HTTP/1.x"));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    if !path.starts_with('/') {
+        return Err(HttpError::Bad("path must be absolute"));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Bad("unparseable content-length"))?;
+            } else if name.trim().eq_ignore_ascii_case("transfer-encoding") {
+                return Err(HttpError::Bad("chunked bodies are not supported"));
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(HttpError::TooLarge("body"));
+    }
+
+    let mut body = head[body_start + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(HttpError::Bad("connection closed mid-body"));
+        }
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request { method, path, body })
+}
+
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes one complete `Connection: close` HTTP/1.1 response.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_get_without_body() {
+        let raw = b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn strips_query_string_and_upcases_method() {
+        let raw = b"get /status?pretty=1 HTTP/1.0\r\n\r\n";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/status");
+    }
+
+    #[test]
+    fn parses_post_with_content_length_body() {
+        let raw = b"POST /chaos HTTP/1.1\r\nContent-Length: 13\r\n\r\npartition 0 1";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/chaos");
+        assert_eq!(req.body_str(), "partition 0 1");
+    }
+
+    #[test]
+    fn body_split_across_reads_is_reassembled() {
+        // A reader that yields one byte at a time exercises the re-read loop.
+        struct Trickle<'a>(&'a [u8]);
+        impl Read for Trickle<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.0.is_empty() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[0];
+                self.0 = &self.0[1..];
+                Ok(1)
+            }
+        }
+        let raw = b"POST /faults HTTP/1.1\r\nContent-Length: 7\r\n\r\ncrash 2";
+        let req = read_request(&mut Trickle(raw)).unwrap();
+        assert_eq!(req.body_str(), "crash 2");
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized() {
+        let raw = b"NONSENSE\r\n\r\n";
+        assert!(matches!(read_request(&mut &raw[..]), Err(HttpError::Bad(_))));
+        let raw = b"GET relative HTTP/1.1\r\n\r\n";
+        assert!(matches!(read_request(&mut &raw[..]), Err(HttpError::Bad(_))));
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 9999999\r\n\r\n";
+        assert!(matches!(read_request(&mut &raw[..]), Err(HttpError::TooLarge(_))));
+        let mut huge = Vec::new();
+        huge.extend_from_slice(b"GET / HTTP/1.1\r\n");
+        huge.extend(std::iter::repeat_n(b'a', MAX_HEAD + 10));
+        assert!(matches!(read_request(&mut &huge[..]), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn response_has_content_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "text/plain", b"ok").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nok"));
+    }
+}

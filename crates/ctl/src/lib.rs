@@ -1,0 +1,50 @@
+//! # ssr-ctl — live control & introspection plane for running clusters
+//!
+//! Every signal the cluster and soak runtimes produce (`MetricsReport`,
+//! `RecoveryReport`, chaos counters) used to be printed only *after* the
+//! run ended. This crate turns the soak harness into an *operable* system:
+//! a dependency-free (std-only) HTTP/1.1 server embedded into the live UDP
+//! cluster that serves, while the ring runs:
+//!
+//! * `GET /metrics` — Prometheus text exposition of the per-node counters,
+//!   chaos-proxy drop/delay/blocked counters, supervisor restart/panic
+//!   counts, and live recovery histograms;
+//! * `GET /status` — a JSON ring snapshot: per-node state, locally
+//!   evaluated privileges and tokens, generation, cache coherence, fault
+//!   phase;
+//! * `GET /top` — the same snapshot rendered as an ASCII dashboard (the
+//!   payload behind `ssrmin top`);
+//! * `POST /chaos` — flip partition windows and loss rates on the chaos
+//!   proxies at runtime;
+//! * `POST /faults` — inject crash/restart/partition events into the fault
+//!   supervisor while the ring runs (each gets a recovery row, exactly like
+//!   a scheduled fault).
+//!
+//! The crate is deliberately split along a narrow seam: everything here is
+//! transport and rendering — HTTP parsing ([`http`]), JSON ([`json`]),
+//! Prometheus text ([`prom`]), the dashboard ([`plane`]) — behind one trait,
+//! [`ControlPlane`], that the cluster runtime (`ssr-net`) implements. The
+//! server never touches sockets, threads or replicas of the ring itself; it
+//! only calls the plane. That keeps `ssr-ctl` reusable by any runtime and
+//! keeps the ring's hot path free of HTTP concerns (the server is not even
+//! constructed unless `--ctl-addr` is given).
+//!
+//! [`client`] is the matching plain-`TcpStream` HTTP client used by
+//! `ssrmin ctl` and `ssrmin top`, so no external tooling (curl, Prometheus)
+//! is needed to operate a ring.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod plane;
+pub mod prom;
+pub mod server;
+
+pub use client::{get, post, HttpReply};
+pub use json::Json;
+pub use plane::{ChaosCmd, ControlPlane, LinkStatus, NodeStatus, RingStatus};
+pub use prom::{Family, MetricKind, Sample};
+pub use server::{CtlListener, CtlServer};

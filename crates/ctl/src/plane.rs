@@ -1,0 +1,449 @@
+//! The [`ControlPlane`] trait and the snapshot types it returns.
+//!
+//! This is the seam between `ssr-ctl` (transport + rendering) and the
+//! cluster runtime in `ssr-net` (sockets, threads, replicas). The runtime
+//! implements [`ControlPlane`]; the HTTP server and the `ssrmin top`
+//! dashboard consume only the plain-data [`RingStatus`] snapshot it hands
+//! back. Implementations must be lock-cheap: `status()` and `metrics()`
+//! are called on every scrape while the ring is circulating.
+
+use std::fmt::Write as _;
+
+use ssr_mpnet::FaultKind;
+
+use crate::json::Json;
+use crate::prom::Family;
+
+/// Live view of one ring node, as evaluated by the runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStatus {
+    /// Node index.
+    pub node: usize,
+    /// Whether the node's thread is currently up (not crashed).
+    pub up: bool,
+    /// Incarnation counter (how many times this node has been (re)started).
+    pub incarnation: u64,
+    /// Whether the node currently evaluates itself privileged.
+    pub privileged: bool,
+    /// Whether the node currently holds the primary token.
+    pub primary: bool,
+    /// Whether the node currently holds the secondary token.
+    pub secondary: bool,
+    /// Rendered local state (e.g. `x.rts.tra`), if a snapshot was readable.
+    pub state: Option<String>,
+    /// Whether this node's caches agree with its neighbours' own states
+    /// (centrally evaluated); `None` when a neighbour snapshot is missing.
+    pub coherent: Option<bool>,
+    /// Last transport generation stamped by this node.
+    pub generation: u64,
+    /// Datagrams sent.
+    pub sends: u64,
+    /// Datagrams received.
+    pub receives: u64,
+    /// Guarded-rule firings.
+    pub rule_firings: u64,
+    /// Critical-section activations (privilege rising edges).
+    pub activations: u64,
+}
+
+/// Live view of one directed chaos-proxied link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkStatus {
+    /// Source node.
+    pub from: usize,
+    /// Destination node.
+    pub to: usize,
+    /// Whether the link is currently partitioned.
+    pub partitioned: bool,
+    /// Datagrams forwarded.
+    pub forwarded: u64,
+    /// Datagrams dropped by chaos loss.
+    pub dropped: u64,
+    /// Datagrams swallowed by a partition.
+    pub blocked: u64,
+}
+
+/// One full ring snapshot: what `/status` serialises and `/top` renders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingStatus {
+    /// Ring size.
+    pub n: usize,
+    /// Milliseconds since the run started.
+    pub uptime_ms: u64,
+    /// Human-readable run phase (`warmup`, `measuring`, ...).
+    pub phase: String,
+    /// Number of currently privileged nodes.
+    pub privileged: usize,
+    /// Whether `1 <= privileged <= 2` holds right now (P9/P10 observed).
+    pub token_count_ok: bool,
+    /// Fault events applied so far (scheduled + injected).
+    pub faults_applied: u64,
+    /// Node restarts performed so far.
+    pub restarts: u64,
+    /// Node-thread panics observed so far.
+    pub panics: u64,
+    /// Fault events whose recovery window re-established the invariant.
+    pub recovered: u64,
+    /// Fault events not (yet) recovered from.
+    pub unrecovered: u64,
+    /// Recovery time of the most recent recovered fault, in ms.
+    pub last_recovery_ms: Option<u64>,
+    /// p50 of recovery times so far, in ms.
+    pub p50_recovery_ms: Option<u64>,
+    /// p99 of recovery times so far, in ms.
+    pub p99_recovery_ms: Option<u64>,
+    /// Worst recovery time so far, in ms.
+    pub max_recovery_ms: Option<u64>,
+    /// Per-node detail, one entry per ring node.
+    pub nodes: Vec<NodeStatus>,
+    /// Per-link detail, two directed links per node.
+    pub links: Vec<LinkStatus>,
+}
+
+fn opt_ms(v: Option<u64>) -> Json {
+    v.map(|ms| Json::num(ms as f64)).unwrap_or(Json::Null)
+}
+
+impl RingStatus {
+    /// Serialises the snapshot as the `/status` JSON document.
+    pub fn to_json(&self) -> Json {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|node| {
+                Json::obj(vec![
+                    ("node", Json::num(node.node as f64)),
+                    ("up", Json::Bool(node.up)),
+                    ("incarnation", Json::num(node.incarnation as f64)),
+                    ("privileged", Json::Bool(node.privileged)),
+                    ("primary", Json::Bool(node.primary)),
+                    ("secondary", Json::Bool(node.secondary)),
+                    ("state", node.state.clone().map(Json::Str).unwrap_or(Json::Null)),
+                    ("coherent", node.coherent.map(Json::Bool).unwrap_or(Json::Null)),
+                    ("generation", Json::num(node.generation as f64)),
+                    ("sends", Json::num(node.sends as f64)),
+                    ("receives", Json::num(node.receives as f64)),
+                    ("rule_firings", Json::num(node.rule_firings as f64)),
+                    ("activations", Json::num(node.activations as f64)),
+                ])
+            })
+            .collect();
+        let links = self
+            .links
+            .iter()
+            .map(|link| {
+                Json::obj(vec![
+                    ("from", Json::num(link.from as f64)),
+                    ("to", Json::num(link.to as f64)),
+                    ("partitioned", Json::Bool(link.partitioned)),
+                    ("forwarded", Json::num(link.forwarded as f64)),
+                    ("dropped", Json::num(link.dropped as f64)),
+                    ("blocked", Json::num(link.blocked as f64)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("n", Json::num(self.n as f64)),
+            ("uptime_ms", Json::num(self.uptime_ms as f64)),
+            ("phase", Json::str(&self.phase)),
+            ("privileged", Json::num(self.privileged as f64)),
+            ("token_count_ok", Json::Bool(self.token_count_ok)),
+            ("faults_applied", Json::num(self.faults_applied as f64)),
+            ("restarts", Json::num(self.restarts as f64)),
+            ("panics", Json::num(self.panics as f64)),
+            ("recovered", Json::num(self.recovered as f64)),
+            ("unrecovered", Json::num(self.unrecovered as f64)),
+            ("last_recovery_ms", opt_ms(self.last_recovery_ms)),
+            ("p50_recovery_ms", opt_ms(self.p50_recovery_ms)),
+            ("p99_recovery_ms", opt_ms(self.p99_recovery_ms)),
+            ("max_recovery_ms", opt_ms(self.max_recovery_ms)),
+            ("nodes", Json::Arr(nodes)),
+            ("links", Json::Arr(links)),
+        ])
+    }
+
+    /// Renders the snapshot as the `/top` ASCII dashboard (also used by
+    /// `ssrmin top`).
+    pub fn render_top(&self) -> String {
+        let mut out = String::new();
+        let invariant = if self.token_count_ok { "OK" } else { "VIOLATED" };
+        let _ = writeln!(
+            out,
+            "ssrmin ring  n={}  uptime={:.1}s  phase={}  privileged={}  invariant[1..=2]={}",
+            self.n,
+            self.uptime_ms as f64 / 1000.0,
+            self.phase,
+            self.privileged,
+            invariant,
+        );
+        let _ = writeln!(
+            out,
+            "faults={}  restarts={}  panics={}  recovered={}/{}  last={}  p50={}  p99={}  max={}",
+            self.faults_applied,
+            self.restarts,
+            self.panics,
+            self.recovered,
+            self.recovered + self.unrecovered,
+            fmt_ms(self.last_recovery_ms),
+            fmt_ms(self.p50_recovery_ms),
+            fmt_ms(self.p99_recovery_ms),
+            fmt_ms(self.max_recovery_ms),
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:>4} {:4} {:4} {:>4} {:12} {:8} {:>10} {:>10} {:>8} {:>6} {:>5}",
+            "node",
+            "up",
+            "priv",
+            "tok",
+            "state",
+            "coherent",
+            "sends",
+            "recvs",
+            "firings",
+            "acts",
+            "gen"
+        );
+        for node in &self.nodes {
+            let tok = match (node.primary, node.secondary) {
+                (true, true) => "P+S",
+                (true, false) => "P",
+                (false, true) => "S",
+                (false, false) => "-",
+            };
+            let _ = writeln!(
+                out,
+                "{:>4} {:4} {:4} {:>4} {:12} {:8} {:>10} {:>10} {:>8} {:>6} {:>5}",
+                node.node,
+                if node.up { "up" } else { "DOWN" },
+                if node.privileged { "*" } else { "." },
+                tok,
+                node.state.as_deref().unwrap_or("?"),
+                match node.coherent {
+                    Some(true) => "yes",
+                    Some(false) => "NO",
+                    None => "?",
+                },
+                node.sends,
+                node.receives,
+                node.rule_firings,
+                node.activations,
+                node.generation,
+            );
+        }
+        let cut: Vec<String> = self
+            .links
+            .iter()
+            .filter(|link| link.partitioned)
+            .map(|link| format!("{}->{}", link.from, link.to))
+            .collect();
+        let _ = writeln!(out);
+        if cut.is_empty() {
+            let _ = writeln!(out, "links: all passing");
+        } else {
+            let _ = writeln!(out, "links: PARTITIONED {}", cut.join(", "));
+        }
+        out
+    }
+}
+
+fn fmt_ms(v: Option<u64>) -> String {
+    match v {
+        Some(ms) => format!("{ms}ms"),
+        None => "-".to_string(),
+    }
+}
+
+/// A runtime chaos adjustment accepted by `POST /chaos`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChaosCmd {
+    /// Cut (`cut = true`) or heal (`cut = false`) the directed link
+    /// `from -> to`.
+    Partition {
+        /// Source node of the directed link.
+        from: usize,
+        /// Destination node of the directed link.
+        to: usize,
+        /// `true` to partition, `false` to heal.
+        cut: bool,
+    },
+    /// Override the loss rate on *all* links (`None` restores the
+    /// configured rate).
+    Loss(Option<f64>),
+}
+
+/// Parses a `POST /chaos` body.
+///
+/// Grammar (one command per request):
+/// `partition <from> <to>` · `heal <from> <to>` · `loss <p>` · `loss off`.
+pub fn parse_chaos_cmd(body: &str) -> Result<ChaosCmd, String> {
+    let mut words = body.split_whitespace();
+    let verb = words.next().ok_or("empty chaos command")?;
+    let cmd = match verb {
+        "partition" | "heal" => {
+            let from = parse_index(words.next(), "from")?;
+            let to = parse_index(words.next(), "to")?;
+            ChaosCmd::Partition { from, to, cut: verb == "partition" }
+        }
+        "loss" => match words.next() {
+            Some("off") => ChaosCmd::Loss(None),
+            Some(p) => {
+                let p: f64 = p.parse().map_err(|_| format!("unparseable loss rate '{p}'"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("loss rate {p} outside [0, 1]"));
+                }
+                ChaosCmd::Loss(Some(p))
+            }
+            None => return Err("loss needs a rate or 'off'".to_string()),
+        },
+        other => {
+            return Err(format!("unknown chaos command '{other}' (expected partition/heal/loss)"))
+        }
+    };
+    if words.next().is_some() {
+        return Err("trailing words after chaos command".to_string());
+    }
+    Ok(cmd)
+}
+
+fn parse_index(word: Option<&str>, what: &str) -> Result<usize, String> {
+    let word = word.ok_or_else(|| format!("missing {what} node"))?;
+    word.parse().map_err(|_| format!("unparseable {what} node '{word}'"))
+}
+
+/// What a runtime must expose for `ssr-ctl` to serve it.
+///
+/// All four methods are called from the ctl server's accept thread while
+/// the ring runs, so implementations must be thread-safe and cheap —
+/// atomics and short mutex holds, never a ring-wide pause.
+pub trait ControlPlane: Send + Sync {
+    /// A consistent-enough snapshot of the ring for `/status` and `/top`.
+    fn status(&self) -> RingStatus;
+    /// The metric families behind `/metrics`.
+    fn metrics(&self) -> Vec<Family>;
+    /// Applies a runtime chaos adjustment; returns a one-line confirmation.
+    fn chaos(&self, cmd: ChaosCmd) -> Result<String, String>;
+    /// Queues a fault for the supervisor to inject; returns a one-line
+    /// confirmation.
+    fn inject(&self, fault: FaultKind) -> Result<String, String>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status() -> RingStatus {
+        RingStatus {
+            n: 2,
+            uptime_ms: 1500,
+            phase: "measuring".to_string(),
+            privileged: 1,
+            token_count_ok: true,
+            faults_applied: 3,
+            restarts: 1,
+            panics: 0,
+            recovered: 2,
+            unrecovered: 1,
+            last_recovery_ms: Some(41),
+            p50_recovery_ms: Some(40),
+            p99_recovery_ms: Some(41),
+            max_recovery_ms: Some(41),
+            nodes: vec![
+                NodeStatus {
+                    node: 0,
+                    up: true,
+                    incarnation: 1,
+                    privileged: true,
+                    primary: true,
+                    secondary: false,
+                    state: Some("1.0.1".to_string()),
+                    coherent: Some(true),
+                    generation: 10,
+                    sends: 20,
+                    receives: 18,
+                    rule_firings: 5,
+                    activations: 3,
+                },
+                NodeStatus {
+                    node: 1,
+                    up: false,
+                    incarnation: 2,
+                    privileged: false,
+                    primary: false,
+                    secondary: false,
+                    state: None,
+                    coherent: None,
+                    generation: 7,
+                    sends: 9,
+                    receives: 11,
+                    rule_firings: 2,
+                    activations: 1,
+                },
+            ],
+            links: vec![
+                LinkStatus {
+                    from: 0,
+                    to: 1,
+                    partitioned: false,
+                    forwarded: 30,
+                    dropped: 2,
+                    blocked: 0,
+                },
+                LinkStatus {
+                    from: 1,
+                    to: 0,
+                    partitioned: true,
+                    forwarded: 12,
+                    dropped: 0,
+                    blocked: 4,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn status_json_roundtrips_with_one_entry_per_node() {
+        let doc = status().to_json();
+        let parsed = Json::parse(&doc.render()).unwrap();
+        assert_eq!(parsed.get("n").and_then(Json::as_u64), Some(2));
+        assert_eq!(parsed.get("token_count_ok").and_then(Json::as_bool), Some(true));
+        let nodes = parsed.get("nodes").unwrap().as_arr().unwrap();
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[0].get("state").and_then(Json::as_str), Some("1.0.1"));
+        assert_eq!(nodes[1].get("state"), Some(&Json::Null));
+        assert_eq!(nodes[1].get("up").and_then(Json::as_bool), Some(false));
+        let links = parsed.get("links").unwrap().as_arr().unwrap();
+        assert_eq!(links[1].get("partitioned").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn top_renders_every_node_and_partitions() {
+        let text = status().render_top();
+        assert!(text.contains("invariant[1..=2]=OK"), "{text}");
+        assert!(text.contains("DOWN"), "{text}");
+        assert!(text.contains("PARTITIONED 1->0"), "{text}");
+        assert!(text.contains("recovered=2/3"), "{text}");
+        // One table row per node (plus header + summary lines).
+        assert!(text.lines().count() >= 2 + 2, "{text}");
+    }
+
+    #[test]
+    fn chaos_grammar_accepts_and_rejects() {
+        assert_eq!(
+            parse_chaos_cmd("partition 0 1"),
+            Ok(ChaosCmd::Partition { from: 0, to: 1, cut: true })
+        );
+        assert_eq!(
+            parse_chaos_cmd(" heal 3 2 "),
+            Ok(ChaosCmd::Partition { from: 3, to: 2, cut: false })
+        );
+        assert_eq!(parse_chaos_cmd("loss 0.25"), Ok(ChaosCmd::Loss(Some(0.25))));
+        assert_eq!(parse_chaos_cmd("loss off"), Ok(ChaosCmd::Loss(None)));
+        assert!(parse_chaos_cmd("").is_err());
+        assert!(parse_chaos_cmd("partition 0").is_err());
+        assert!(parse_chaos_cmd("loss 1.5").is_err());
+        assert!(parse_chaos_cmd("partition 0 1 2").is_err());
+        assert!(parse_chaos_cmd("explode").is_err());
+    }
+}

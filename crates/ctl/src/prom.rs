@@ -1,0 +1,178 @@
+//! Prometheus text exposition (format version 0.0.4).
+//!
+//! Only the writer side: metric families of counter/gauge samples with
+//! labels, rendered with `# HELP` / `# TYPE` preambles and the label-value
+//! escaping the format requires (`\\`, `\"`, `\n`). That is the entire
+//! surface a scrape endpoint needs; histograms are exported as pre-computed
+//! quantile gauges (`ssr_recovery_ms{quantile="p99"}`) rather than native
+//! `_bucket` series, because the recovery histogram is already summarised
+//! upstream.
+
+use std::fmt::Write as _;
+
+/// The Prometheus metric type of a family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing (rendered as `# TYPE ... counter`).
+    Counter,
+    /// Free-moving value (rendered as `# TYPE ... gauge`).
+    Gauge,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One sample within a family: a label set and a value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Label pairs, rendered in order as `{k="v",...}`; may be empty.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// A sample with no labels.
+    pub fn plain(value: f64) -> Sample {
+        Sample { labels: Vec::new(), value }
+    }
+
+    /// A sample with one label.
+    pub fn labeled(key: &str, value_label: impl Into<String>, value: f64) -> Sample {
+        Sample { labels: vec![(key.to_string(), value_label.into())], value }
+    }
+}
+
+/// A named metric family: help text, kind, and its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Family {
+    /// Metric name, e.g. `ssr_node_sends_total`.
+    pub name: String,
+    /// One-line help text.
+    pub help: String,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// The samples; an empty family renders only its preamble.
+    pub samples: Vec<Sample>,
+}
+
+impl Family {
+    /// Builds a family.
+    pub fn new(name: &str, help: &str, kind: MetricKind, samples: Vec<Sample>) -> Family {
+        Family { name: name.to_string(), help: help.to_string(), kind, samples }
+    }
+}
+
+/// Renders families to the Prometheus text exposition format.
+pub fn render(families: &[Family]) -> String {
+    let mut out = String::new();
+    for family in families {
+        let _ = writeln!(out, "# HELP {} {}", family.name, escape_help(&family.help));
+        let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.as_str());
+        for sample in &family.samples {
+            out.push_str(&family.name);
+            if !sample.labels.is_empty() {
+                out.push('{');
+                for (i, (k, v)) in sample.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+                }
+                out.push('}');
+            }
+            let _ = writeln!(out, " {}", format_value(sample.value));
+        }
+    }
+    out
+}
+
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_help_type_and_samples() {
+        let fam = Family::new(
+            "ssr_node_sends_total",
+            "Datagrams sent per node",
+            MetricKind::Counter,
+            vec![Sample::labeled("node", "0", 12.0), Sample::labeled("node", "1", 7.0)],
+        );
+        let text = render(&[fam]);
+        assert_eq!(
+            text,
+            "# HELP ssr_node_sends_total Datagrams sent per node\n\
+             # TYPE ssr_node_sends_total counter\n\
+             ssr_node_sends_total{node=\"0\"} 12\n\
+             ssr_node_sends_total{node=\"1\"} 7\n"
+        );
+    }
+
+    #[test]
+    fn renders_plain_gauges_and_floats() {
+        let fam = Family::new(
+            "ssr_recovery_ms",
+            "Recovery quantiles",
+            MetricKind::Gauge,
+            vec![Sample::labeled("quantile", "p50", 12.5), Sample::plain(3.0)],
+        );
+        let text = render(&[fam]);
+        assert!(text.contains("# TYPE ssr_recovery_ms gauge\n"));
+        assert!(text.contains("ssr_recovery_ms{quantile=\"p50\"} 12.5\n"));
+        assert!(text.contains("\nssr_recovery_ms 3\n"));
+    }
+
+    #[test]
+    fn escapes_label_values_and_multi_labels() {
+        let fam = Family::new(
+            "x",
+            "h",
+            MetricKind::Gauge,
+            vec![Sample {
+                labels: vec![
+                    ("link".to_string(), "0->1".to_string()),
+                    ("note".to_string(), "a\"b\\c\nd".to_string()),
+                ],
+                value: 1.0,
+            }],
+        );
+        let text = render(&[fam]);
+        assert!(text.contains(r#"x{link="0->1",note="a\"b\\c\nd"} 1"#), "{text}");
+    }
+
+    #[test]
+    fn special_values_render_prometheus_style() {
+        assert_eq!(format_value(f64::NAN), "NaN");
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+        assert_eq!(format_value(-0.0), "0");
+    }
+}

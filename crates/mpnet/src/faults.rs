@@ -162,6 +162,79 @@ impl fmt::Display for FaultKind {
     }
 }
 
+/// Why a textual fault command failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultParseError(String);
+
+impl fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultParseError {}
+
+impl std::str::FromStr for FaultKind {
+    type Err = FaultParseError;
+
+    /// Parses the textual fault grammar used by admin tooling
+    /// (`ssrmin ctl`, `POST /faults`):
+    ///
+    /// * `crash <node> [amnesia|snapshot]` — default `amnesia`
+    /// * `restart <node>`
+    /// * `partition <from> <to>` · `heal <from> <to>`
+    /// * `corrupt-snapshot <node>` (alias: `corrupt <node>`)
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |msg: String| Err(FaultParseError(msg));
+        let index = |word: Option<&str>, what: &str| -> Result<usize, FaultParseError> {
+            let word = word.ok_or_else(|| FaultParseError(format!("missing {what}")))?;
+            word.parse().map_err(|_| FaultParseError(format!("unparseable {what} '{word}'")))
+        };
+        let mut words = s.split_whitespace();
+        let Some(verb) = words.next() else {
+            return err("empty command".into());
+        };
+        let kind = match verb {
+            "crash" => {
+                let node = index(words.next(), "node")?;
+                let restart = match words.next() {
+                    None | Some("amnesia") => RestartMode::Amnesia,
+                    Some("snapshot") => RestartMode::Snapshot,
+                    Some(other) => {
+                        return err(format!(
+                            "unknown restart mode '{other}' (expected amnesia or snapshot)"
+                        ))
+                    }
+                };
+                FaultKind::Crash { node, restart }
+            }
+            "restart" => FaultKind::Restart { node: index(words.next(), "node")? },
+            "partition" => {
+                let from = index(words.next(), "from")?;
+                let to = index(words.next(), "to")?;
+                FaultKind::Partition { from, to }
+            }
+            "heal" => {
+                let from = index(words.next(), "from")?;
+                let to = index(words.next(), "to")?;
+                FaultKind::Heal { from, to }
+            }
+            "corrupt-snapshot" | "corrupt" => {
+                FaultKind::CorruptSnapshot { node: index(words.next(), "node")? }
+            }
+            other => {
+                return err(format!(
+                "unknown fault '{other}' (expected crash/restart/partition/heal/corrupt-snapshot)"
+            ))
+            }
+        };
+        if words.next().is_some() {
+            return err(format!("trailing words after '{kind}'"));
+        }
+        Ok(kind)
+    }
+}
+
 /// One fault at one time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultEvent {
@@ -467,6 +540,32 @@ mod tests {
         assert!(s.validate(5).is_err());
         let e = s.validate(5).unwrap_err();
         assert!(e.to_string().contains("invalid fault schedule"), "{e}");
+    }
+
+    #[test]
+    fn fault_kind_parses_its_admin_grammar() {
+        let parse = |s: &str| s.parse::<FaultKind>();
+        assert_eq!(
+            parse("crash 2"),
+            Ok(FaultKind::Crash { node: 2, restart: RestartMode::Amnesia })
+        );
+        assert_eq!(
+            parse("crash 2 snapshot"),
+            Ok(FaultKind::Crash { node: 2, restart: RestartMode::Snapshot })
+        );
+        assert_eq!(parse(" restart 0 "), Ok(FaultKind::Restart { node: 0 }));
+        assert_eq!(parse("partition 0 1"), Ok(FaultKind::Partition { from: 0, to: 1 }));
+        assert_eq!(parse("heal 1 0"), Ok(FaultKind::Heal { from: 1, to: 0 }));
+        assert_eq!(parse("corrupt-snapshot 3"), Ok(FaultKind::CorruptSnapshot { node: 3 }));
+        assert_eq!(parse("corrupt 3"), Ok(FaultKind::CorruptSnapshot { node: 3 }));
+        assert!(parse("").is_err());
+        assert!(parse("crash").is_err());
+        assert!(parse("crash x").is_err());
+        assert!(parse("crash 1 fire").is_err());
+        assert!(parse("restart 1 now").is_err());
+        assert!(parse("meteor 1").is_err());
+        let e = parse("meteor 1").unwrap_err();
+        assert!(e.to_string().contains("invalid fault"), "{e}");
     }
 
     #[test]

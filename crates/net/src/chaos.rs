@@ -119,6 +119,100 @@ pub struct ChaosStats {
     pub blocked: AtomicU64,
 }
 
+impl ChaosStats {
+    /// A plain-value snapshot of the counters (relaxed loads; safe to call
+    /// from any thread while the proxy runs).
+    pub fn counters(&self) -> ChaosCounters {
+        ChaosCounters {
+            forwarded: self.forwarded.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            reordered: self.reordered.load(Ordering::Relaxed),
+            blocked: self.blocked.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen [`ChaosStats`] values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosCounters {
+    /// See [`ChaosStats::forwarded`].
+    pub forwarded: u64,
+    /// See [`ChaosStats::dropped`].
+    pub dropped: u64,
+    /// See [`ChaosStats::duplicated`].
+    pub duplicated: u64,
+    /// See [`ChaosStats::reordered`].
+    pub reordered: u64,
+    /// See [`ChaosStats::blocked`].
+    pub blocked: u64,
+}
+
+/// Sentinel for "no loss override": the bits of `f64::NAN`.
+/// (A NaN loss rate is rejected by [`ChaosConfig::validate`], so it can
+/// never be a legitimate override value.)
+fn no_override() -> u64 {
+    f64::NAN.to_bits()
+}
+
+/// A cheap cloneable view of one proxy's counters and runtime controls.
+///
+/// The proxy thread owns the sockets; everything an outside observer or
+/// admin plane needs — counters, the partition switch, a live loss-rate
+/// override — is behind `Arc`s, so handles outlive neither soundly nor
+/// expensively: cloning is three refcount bumps, and a handle kept after
+/// [`ChaosProxy::shutdown`] simply reads final values.
+#[derive(Debug, Clone)]
+pub struct ChaosHandle {
+    stats: Arc<ChaosStats>,
+    partitioned: Arc<AtomicBool>,
+    loss_override: Arc<AtomicU64>,
+}
+
+impl ChaosHandle {
+    /// The proxy's live counters.
+    pub fn counters(&self) -> ChaosCounters {
+        self.stats.counters()
+    }
+
+    /// Cut (`true`) or heal (`false`) the link, exactly like
+    /// [`ChaosProxy::set_partitioned`].
+    pub fn set_partitioned(&self, cut: bool) {
+        self.partitioned.store(cut, Ordering::Relaxed);
+    }
+
+    /// True iff the link is currently cut.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned.load(Ordering::Relaxed)
+    }
+
+    /// Override the configured loss rate at runtime (`None` restores the
+    /// seeded config). The override replaces the whole loss process —
+    /// including a Gilbert–Elliott burst overlay — with i.i.d. loss at
+    /// `rate`, which is the predictable semantics an operator poking a live
+    /// ring wants.
+    pub fn set_loss_override(&self, rate: Option<f64>) {
+        let bits = match rate {
+            Some(p) => {
+                assert!((0.0..=1.0).contains(&p), "loss override {p} outside [0, 1]");
+                p.to_bits()
+            }
+            None => no_override(),
+        };
+        self.loss_override.store(bits, Ordering::Relaxed);
+    }
+
+    /// The currently active loss override, if any.
+    pub fn loss_override(&self) -> Option<f64> {
+        let v = f64::from_bits(self.loss_override.load(Ordering::Relaxed));
+        if v.is_nan() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+}
+
 /// A running chaos proxy thread for one directed link.
 #[derive(Debug)]
 pub struct ChaosProxy {
@@ -126,6 +220,7 @@ pub struct ChaosProxy {
     stats: Arc<ChaosStats>,
     stop: Arc<AtomicBool>,
     partitioned: Arc<AtomicBool>,
+    loss_override: Arc<AtomicU64>,
     dst: Arc<Mutex<SocketAddr>>,
     handle: Option<JoinHandle<()>>,
 }
@@ -142,15 +237,30 @@ impl ChaosProxy {
         let stats = Arc::new(ChaosStats::default());
         let stop = Arc::new(AtomicBool::new(false));
         let partitioned = Arc::new(AtomicBool::new(false));
+        let loss_override = Arc::new(AtomicU64::new(no_override()));
         let dst = Arc::new(Mutex::new(dst));
         let handle = {
             let stats = Arc::clone(&stats);
             let stop = Arc::clone(&stop);
             let partitioned = Arc::clone(&partitioned);
+            let loss_override = Arc::clone(&loss_override);
             let dst = Arc::clone(&dst);
-            thread::spawn(move || proxy_main(socket, dst, cfg, stats, stop, partitioned))
+            thread::spawn(move || {
+                proxy_main(socket, dst, cfg, stats, stop, partitioned, loss_override)
+            })
         };
-        Ok(ChaosProxy { addr, stats, stop, partitioned, dst, handle: Some(handle) })
+        Ok(ChaosProxy { addr, stats, stop, partitioned, loss_override, dst, handle: Some(handle) })
+    }
+
+    /// A cheap cloneable handle to this proxy's counters and runtime
+    /// controls (partition switch, loss override) for observers like
+    /// `ssr-ctl` that outlive no sockets.
+    pub fn handle(&self) -> ChaosHandle {
+        ChaosHandle {
+            stats: Arc::clone(&self.stats),
+            partitioned: Arc::clone(&self.partitioned),
+            loss_override: Arc::clone(&self.loss_override),
+        }
     }
 
     /// The address senders must target.
@@ -200,6 +310,19 @@ impl Drop for ChaosProxy {
     }
 }
 
+/// The per-datagram loss decision: the seeded channel unless a runtime
+/// override is active, in which case i.i.d. loss at the override rate
+/// (replacing the burst overlay too — the predictable semantics an operator
+/// poking a live ring wants).
+fn step_drop(channel: &mut LossChannel, rng: &mut StdRng, loss_override: &AtomicU64) -> bool {
+    let over = f64::from_bits(loss_override.load(Ordering::Relaxed));
+    if over.is_nan() {
+        channel.step_drop(rng)
+    } else {
+        over > 0.0 && rng.random_bool(over)
+    }
+}
+
 fn proxy_main(
     socket: UdpSocket,
     dst: Arc<Mutex<SocketAddr>>,
@@ -207,6 +330,7 @@ fn proxy_main(
     stats: Arc<ChaosStats>,
     stop: Arc<AtomicBool>,
     partitioned: Arc<AtomicBool>,
+    loss_override: Arc<AtomicU64>,
 ) {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut channel = LossChannel::new(cfg.loss, cfg.burst);
@@ -228,7 +352,7 @@ fn proxy_main(
             Ok((len, _)) => {
                 if partitioned.load(Ordering::Relaxed) {
                     stats.blocked.fetch_add(1, Ordering::Relaxed);
-                } else if channel.step_drop(&mut rng) {
+                } else if step_drop(&mut channel, &mut rng, &loss_override) {
                     stats.dropped.fetch_add(1, Ordering::Relaxed);
                 } else {
                     let (lo, hi) = cfg.delay;
@@ -394,6 +518,67 @@ mod tests {
         assert_eq!(after.len(), 10, "healed link must deliver everything");
         assert_eq!(stats.blocked.load(Ordering::Relaxed), 10);
         assert_eq!(stats.dropped.load(Ordering::Relaxed), 0, "blocked is not chaos loss");
+    }
+
+    #[test]
+    fn handle_controls_partition_and_reads_counters() {
+        let dst = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let proxy = ChaosProxy::spawn(dst.local_addr().unwrap(), ChaosConfig::default()).unwrap();
+        let handle = proxy.handle();
+        let src = UdpSocket::bind("127.0.0.1:0").unwrap();
+
+        handle.set_partitioned(true);
+        assert!(proxy.is_partitioned(), "handle and proxy share the switch");
+        src.send_to(&[1], proxy.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        handle.set_partitioned(false);
+        src.send_to(&[2], proxy.addr()).unwrap();
+        let got = recv_all(&dst, Duration::from_millis(150));
+        assert_eq!(got, vec![vec![2]]);
+
+        let counters = handle.counters();
+        assert_eq!(counters.blocked, 1);
+        assert_eq!(counters.forwarded, 1);
+        proxy.shutdown();
+        // A handle kept after shutdown still reads the final values.
+        assert_eq!(handle.counters().blocked, 1);
+    }
+
+    #[test]
+    fn loss_override_replaces_and_restores_the_seeded_process() {
+        let dst = UdpSocket::bind("127.0.0.1:0").unwrap();
+        // Configured lossless; override to 100% loss, then back off.
+        let proxy = ChaosProxy::spawn(dst.local_addr().unwrap(), ChaosConfig::default()).unwrap();
+        let handle = proxy.handle();
+        let src = UdpSocket::bind("127.0.0.1:0").unwrap();
+
+        assert_eq!(handle.loss_override(), None);
+        handle.set_loss_override(Some(1.0));
+        assert_eq!(handle.loss_override(), Some(1.0));
+        for i in 0..5u8 {
+            src.send_to(&[i], proxy.addr()).unwrap();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let during = recv_all(&dst, Duration::from_millis(100));
+        assert!(during.is_empty(), "override 1.0 must drop everything, got {during:?}");
+
+        handle.set_loss_override(None);
+        for i in 5..10u8 {
+            src.send_to(&[i], proxy.addr()).unwrap();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let after = recv_all(&dst, Duration::from_millis(150));
+        let stats = proxy.shutdown();
+        assert_eq!(after.len(), 5, "restoring the config restores losslessness");
+        assert_eq!(stats.counters().dropped, 5, "overridden drops count as chaos loss");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn loss_override_rejects_non_probabilities() {
+        let dst = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let proxy = ChaosProxy::spawn(dst.local_addr().unwrap(), ChaosConfig::default()).unwrap();
+        proxy.handle().set_loss_override(Some(1.5));
     }
 
     #[test]

@@ -1,0 +1,500 @@
+//! The live control plane of a supervised cluster: the bridge between
+//! `ssr-net`'s runtime (metrics registry, chaos proxies, fault supervisor)
+//! and `ssr-ctl`'s HTTP server.
+//!
+//! [`LivePlane`] implements [`ssr_ctl::ControlPlane`] over the same shared
+//! handles the ring already maintains — relaxed atomic counters and gauges,
+//! cloneable [`ChaosHandle`]s, the persisted-snapshot mutexes and the
+//! activity log — so a scrape never pauses the ring. Admin requests flow
+//! the other way through [`CtlShared`]: `POST /chaos` flips proxy switches
+//! directly (they are runtime-flippable by design), while `POST /faults`
+//! queues a [`FaultKind`] that the supervisor's event loop drains and
+//! applies exactly like a scheduled fault — including the recovery row.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use ssr_core::{Replica, WireState};
+use ssr_ctl::plane::{ChaosCmd, ControlPlane, LinkStatus, NodeStatus, RingStatus};
+use ssr_ctl::prom::{Family, MetricKind, Sample};
+use ssr_mpnet::FaultKind;
+use ssr_runtime::activity::ActivityEvent;
+
+use crate::chaos::ChaosHandle;
+use crate::cluster::recovery_in_window;
+use crate::metrics::{MetricsRegistry, NodeMetrics};
+
+/// Mutable state shared between the supervisor's event loop and the control
+/// plane: liveness flags the supervisor writes and the plane reads, and the
+/// injected-fault queue flowing the other way.
+#[derive(Debug)]
+pub(crate) struct CtlShared {
+    /// Per-node: is the node's thread currently up?
+    pub up: Vec<AtomicBool>,
+    /// Per-node: restart count (0 = first incarnation still running).
+    pub incarnations: Vec<AtomicU64>,
+    /// Restarts performed so far (scheduled and panic-triggered).
+    pub restarts: AtomicU64,
+    /// Node-thread panics observed so far.
+    pub panics: AtomicU64,
+    /// Every applied fault with its wall-clock offset, scheduled and
+    /// injected alike — the live prefix of the final recovery report.
+    pub applied: Mutex<Vec<(FaultKind, Duration)>>,
+    /// Faults injected over HTTP, drained by the supervisor loop at its
+    /// 2 ms polling granularity.
+    pub injected: Mutex<VecDeque<FaultKind>>,
+}
+
+impl CtlShared {
+    pub(crate) fn new(n: usize) -> Arc<CtlShared> {
+        Arc::new(CtlShared {
+            up: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            incarnations: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            restarts: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            applied: Mutex::new(Vec::new()),
+            injected: Mutex::new(VecDeque::new()),
+        })
+    }
+}
+
+/// One directed link as the control plane sees it: endpoints plus the cheap
+/// counters/controls handle of its chaos proxy.
+#[derive(Debug, Clone)]
+pub(crate) struct LiveLink {
+    pub from: usize,
+    pub to: usize,
+    pub handle: ChaosHandle,
+}
+
+/// The [`ControlPlane`] implementation of a running supervised cluster,
+/// generic over the ring's wire state `S` (the type its snapshots decode
+/// to). It holds only shared handles, never a value of `S` itself.
+pub(crate) struct LivePlane<S> {
+    pub start: Instant,
+    pub warmup: Duration,
+    pub initial_active: Vec<bool>,
+    pub metrics: MetricsRegistry,
+    pub links: Vec<LiveLink>,
+    pub snapshots: Vec<Arc<Mutex<Vec<u8>>>>,
+    pub log: Arc<Mutex<Vec<ActivityEvent>>>,
+    pub shared: Arc<CtlShared>,
+    pub state: PhantomData<fn() -> S>,
+}
+
+/// Live recovery summary derived from the applied-fault list and the
+/// activity log (the mid-run analogue of `RecoveryReport::histogram`).
+struct LiveRecovery {
+    recovered: u64,
+    unrecovered: u64,
+    last_ms: Option<u64>,
+    p50_ms: Option<u64>,
+    p99_ms: Option<u64>,
+    max_ms: Option<u64>,
+}
+
+impl<S> LivePlane<S>
+where
+    S: WireState + fmt::Display + PartialEq,
+{
+    /// Decode every node's persisted snapshot (None where missing/corrupt —
+    /// e.g. a node that crashed before its first persist).
+    fn replicas(&self) -> Vec<Option<Replica<S>>> {
+        self.snapshots.iter().map(|s| Replica::from_snapshot(&s.lock()).ok()).collect()
+    }
+
+    /// Per-fault recovery evaluated up to *now*: each applied fault owns the
+    /// window to the next applied fault, the last one the window to the
+    /// present moment (so an unrecovered verdict on it is provisional).
+    fn live_recovery(&self, now: Duration) -> LiveRecovery {
+        let applied = self.shared.applied.lock().clone();
+        let mut events = self.log.lock().clone();
+        events.sort_by_key(|e| e.at);
+        let mut samples: Vec<Duration> = Vec::with_capacity(applied.len());
+        let mut last: Option<Duration> = None;
+        let mut unrecovered = 0u64;
+        for (index, &(_, at)) in applied.iter().enumerate() {
+            let window_end = applied.get(index + 1).map_or(now, |&(_, next)| next);
+            match recovery_in_window(&self.initial_active, &events, at, window_end) {
+                Some(d) => {
+                    samples.push(d);
+                    last = Some(d);
+                }
+                None => unrecovered += 1,
+            }
+        }
+        samples.sort_unstable();
+        let rank = |q: f64| -> Option<u64> {
+            if samples.is_empty() {
+                return None;
+            }
+            let idx = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len()) - 1;
+            Some(samples[idx].as_millis() as u64)
+        };
+        LiveRecovery {
+            recovered: samples.len() as u64,
+            unrecovered,
+            last_ms: last.map(|d| d.as_millis() as u64),
+            p50_ms: rank(0.50),
+            p99_ms: rank(0.99),
+            max_ms: samples.last().map(|d| d.as_millis() as u64),
+        }
+    }
+}
+
+impl<S> ControlPlane for LivePlane<S>
+where
+    S: WireState + fmt::Display + PartialEq,
+{
+    fn status(&self) -> RingStatus {
+        let n = self.metrics.len();
+        let uptime = self.start.elapsed();
+        let replicas = self.replicas();
+        let mut nodes = Vec::with_capacity(n);
+        let mut privileged_count = 0usize;
+        for i in 0..n {
+            let m = self.metrics.node(i);
+            let up = self.shared.up[i].load(Ordering::Relaxed);
+            let privileged = up && NodeMetrics::get(&m.privileged) == 1;
+            if privileged {
+                privileged_count += 1;
+            }
+            // Central coherence check: does node i's cached view agree with
+            // what its neighbours last persisted as their own states?
+            let coherent = match (&replicas[i], &replicas[(i + n - 1) % n], &replicas[(i + 1) % n])
+            {
+                (Some(me), Some(pred), Some(succ)) => Some(me.is_coherent(&pred.own, &succ.own)),
+                _ => None,
+            };
+            nodes.push(NodeStatus {
+                node: i,
+                up,
+                incarnation: self.shared.incarnations[i].load(Ordering::Relaxed),
+                privileged,
+                primary: up && NodeMetrics::get(&m.token_primary) == 1,
+                secondary: up && NodeMetrics::get(&m.token_secondary) == 1,
+                state: replicas[i].as_ref().map(|r| r.own.to_string()),
+                coherent,
+                generation: NodeMetrics::get(&m.generation),
+                sends: NodeMetrics::get(&m.sends),
+                receives: NodeMetrics::get(&m.receives),
+                rule_firings: NodeMetrics::get(&m.rule_firings),
+                activations: NodeMetrics::get(&m.activations),
+            });
+        }
+        let links = self
+            .links
+            .iter()
+            .map(|link| {
+                let counters = link.handle.counters();
+                LinkStatus {
+                    from: link.from,
+                    to: link.to,
+                    partitioned: link.handle.is_partitioned(),
+                    forwarded: counters.forwarded,
+                    dropped: counters.dropped,
+                    blocked: counters.blocked,
+                }
+            })
+            .collect();
+        let recovery = self.live_recovery(uptime);
+        RingStatus {
+            n,
+            uptime_ms: uptime.as_millis() as u64,
+            phase: if uptime < self.warmup { "warmup" } else { "measuring" }.to_string(),
+            privileged: privileged_count,
+            token_count_ok: (1..=2).contains(&privileged_count),
+            faults_applied: self.shared.applied.lock().len() as u64,
+            restarts: self.shared.restarts.load(Ordering::Relaxed),
+            panics: self.shared.panics.load(Ordering::Relaxed),
+            recovered: recovery.recovered,
+            unrecovered: recovery.unrecovered,
+            last_recovery_ms: recovery.last_ms,
+            p50_recovery_ms: recovery.p50_ms,
+            p99_recovery_ms: recovery.p99_ms,
+            max_recovery_ms: recovery.max_ms,
+            nodes,
+            links,
+        }
+    }
+
+    fn metrics(&self) -> Vec<Family> {
+        let n = self.metrics.len();
+        let node_family = |name: &str, help: &str, kind, get: &dyn Fn(&NodeMetrics) -> u64| {
+            Family::new(
+                name,
+                help,
+                kind,
+                (0..n)
+                    .map(|i| {
+                        Sample::labeled("node", i.to_string(), get(self.metrics.node(i)) as f64)
+                    })
+                    .collect(),
+            )
+        };
+        use MetricKind::{Counter, Gauge};
+        let mut families = vec![
+            node_family(
+                "ssr_node_sends_total",
+                "Datagrams sent (retransmissions included)",
+                Counter,
+                &|m| NodeMetrics::get(&m.sends),
+            ),
+            node_family(
+                "ssr_node_retransmits_total",
+                "Datagrams sent by the retransmit timer",
+                Counter,
+                &|m| NodeMetrics::get(&m.retransmits),
+            ),
+            node_family(
+                "ssr_node_receives_total",
+                "Datagrams received and accepted",
+                Counter,
+                &|m| NodeMetrics::get(&m.receives),
+            ),
+            node_family(
+                "ssr_node_decode_errors_total",
+                "Datagrams rejected by the wire codec",
+                Counter,
+                &|m| NodeMetrics::get(&m.decode_errors),
+            ),
+            node_family(
+                "ssr_node_stale_drops_total",
+                "Datagrams dropped by the generation filter",
+                Counter,
+                &|m| NodeMetrics::get(&m.stale_drops),
+            ),
+            node_family(
+                "ssr_node_rule_firings_total",
+                "Guarded-command rule firings",
+                Counter,
+                &|m| NodeMetrics::get(&m.rule_firings),
+            ),
+            node_family(
+                "ssr_node_activations_total",
+                "Privilege rising edges (CS entries)",
+                Counter,
+                &|m| NodeMetrics::get(&m.activations),
+            ),
+            node_family(
+                "ssr_node_privileged",
+                "1 while the node evaluates itself privileged",
+                Gauge,
+                &|m| NodeMetrics::get(&m.privileged),
+            ),
+            node_family(
+                "ssr_node_token_primary",
+                "1 while the node holds the primary token",
+                Gauge,
+                &|m| NodeMetrics::get(&m.token_primary),
+            ),
+            node_family(
+                "ssr_node_token_secondary",
+                "1 while the node holds the secondary token",
+                Gauge,
+                &|m| NodeMetrics::get(&m.token_secondary),
+            ),
+            node_family("ssr_node_generation", "Last transport generation stamped", Gauge, &|m| {
+                NodeMetrics::get(&m.generation)
+            }),
+            Family::new(
+                "ssr_node_up",
+                "1 while the node's thread is running",
+                Gauge,
+                (0..n)
+                    .map(|i| {
+                        let up = self.shared.up[i].load(Ordering::Relaxed);
+                        Sample::labeled("node", i.to_string(), f64::from(u8::from(up)))
+                    })
+                    .collect(),
+            ),
+            Family::new(
+                "ssr_node_incarnation",
+                "Restart count of the node",
+                Counter,
+                (0..n)
+                    .map(|i| {
+                        let inc = self.shared.incarnations[i].load(Ordering::Relaxed);
+                        Sample::labeled("node", i.to_string(), inc as f64)
+                    })
+                    .collect(),
+            ),
+        ];
+
+        let link_label = |link: &LiveLink| format!("{}->{}", link.from, link.to);
+        let link_family = |name: &str, help: &str, kind, get: &dyn Fn(&LiveLink) -> f64| {
+            Family::new(
+                name,
+                help,
+                kind,
+                self.links.iter().map(|l| Sample::labeled("link", link_label(l), get(l))).collect(),
+            )
+        };
+        families.extend([
+            link_family(
+                "ssr_chaos_forwarded_total",
+                "Datagrams forwarded by the link's proxy",
+                Counter,
+                &|l| l.handle.counters().forwarded as f64,
+            ),
+            link_family(
+                "ssr_chaos_dropped_total",
+                "Datagrams dropped by chaos loss",
+                Counter,
+                &|l| l.handle.counters().dropped as f64,
+            ),
+            link_family(
+                "ssr_chaos_duplicated_total",
+                "Extra copies injected by duplication",
+                Counter,
+                &|l| l.handle.counters().duplicated as f64,
+            ),
+            link_family(
+                "ssr_chaos_reordered_total",
+                "Datagrams delayed out of order",
+                Counter,
+                &|l| l.handle.counters().reordered as f64,
+            ),
+            link_family(
+                "ssr_chaos_blocked_total",
+                "Datagrams swallowed by a partition",
+                Counter,
+                &|l| l.handle.counters().blocked as f64,
+            ),
+            link_family("ssr_chaos_partitioned", "1 while the link is cut", Gauge, &|l| {
+                f64::from(u8::from(l.handle.is_partitioned()))
+            }),
+        ]);
+
+        let uptime = self.start.elapsed();
+        let recovery = self.live_recovery(uptime);
+        let privileged: u64 = (0..n)
+            .filter(|&i| self.shared.up[i].load(Ordering::Relaxed))
+            .map(|i| NodeMetrics::get(&self.metrics.node(i).privileged))
+            .sum();
+        let opt_ms = |v: Option<u64>| v.map(|ms| ms as f64).unwrap_or(f64::NAN);
+        families.extend([
+            Family::new(
+                "ssr_supervisor_faults_applied_total",
+                "Fault events applied (scheduled + injected)",
+                Counter,
+                vec![Sample::plain(self.shared.applied.lock().len() as f64)],
+            ),
+            Family::new(
+                "ssr_supervisor_restarts_total",
+                "Node restarts performed",
+                Counter,
+                vec![Sample::plain(self.shared.restarts.load(Ordering::Relaxed) as f64)],
+            ),
+            Family::new(
+                "ssr_supervisor_panics_total",
+                "Node threads that died by panic",
+                Counter,
+                vec![Sample::plain(self.shared.panics.load(Ordering::Relaxed) as f64)],
+            ),
+            Family::new(
+                "ssr_recovery_recovered_total",
+                "Fault events whose window re-established the invariant",
+                Counter,
+                vec![Sample::plain(recovery.recovered as f64)],
+            ),
+            Family::new(
+                "ssr_recovery_unrecovered_total",
+                "Fault events still violating at window close",
+                Counter,
+                vec![Sample::plain(recovery.unrecovered as f64)],
+            ),
+            Family::new(
+                "ssr_recovery_ms",
+                "Recovery-time quantiles over recovered events (NaN until one recovers)",
+                Gauge,
+                vec![
+                    Sample::labeled("quantile", "p50", opt_ms(recovery.p50_ms)),
+                    Sample::labeled("quantile", "p99", opt_ms(recovery.p99_ms)),
+                    Sample::labeled("quantile", "max", opt_ms(recovery.max_ms)),
+                    Sample::labeled("quantile", "last", opt_ms(recovery.last_ms)),
+                ],
+            ),
+            Family::new(
+                "ssr_ring_privileged",
+                "Locally-evaluated privileged nodes right now",
+                Gauge,
+                vec![Sample::plain(privileged as f64)],
+            ),
+            Family::new(
+                "ssr_ring_token_invariant",
+                "1 while 1 <= privileged <= 2 (P9/P10 observed)",
+                Gauge,
+                vec![Sample::plain(f64::from(u8::from((1..=2).contains(&(privileged as usize)))))],
+            ),
+            Family::new(
+                "ssr_uptime_seconds",
+                "Seconds since the run started",
+                Gauge,
+                vec![Sample::plain(uptime.as_secs_f64())],
+            ),
+        ]);
+        families
+    }
+
+    fn chaos(&self, cmd: ChaosCmd) -> Result<String, String> {
+        match cmd {
+            ChaosCmd::Partition { from, to, cut } => {
+                let link = self
+                    .links
+                    .iter()
+                    .find(|l| l.from == from && l.to == to)
+                    .ok_or_else(|| format!("no directed ring link {from}->{to}"))?;
+                link.handle.set_partitioned(cut);
+                Ok(format!("link {from}->{to} {}", if cut { "partitioned" } else { "healed" }))
+            }
+            ChaosCmd::Loss(rate) => {
+                if let Some(p) = rate {
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("loss rate {p} outside [0, 1]"));
+                    }
+                }
+                for link in &self.links {
+                    link.handle.set_loss_override(rate);
+                }
+                Ok(match rate {
+                    Some(p) => format!("loss override {p} on all {} links", self.links.len()),
+                    None => "loss override cleared; configured rates restored".to_string(),
+                })
+            }
+        }
+    }
+
+    fn inject(&self, fault: FaultKind) -> Result<String, String> {
+        let n = self.metrics.len();
+        let check_node = |node: usize| {
+            if node < n {
+                Ok(())
+            } else {
+                Err(format!("node {node} out of range on an {n}-ring"))
+            }
+        };
+        let check_link = |from: usize, to: usize| {
+            if self.links.iter().any(|l| l.from == from && l.to == to) {
+                Ok(())
+            } else {
+                Err(format!("no directed ring link {from}->{to}"))
+            }
+        };
+        match fault {
+            FaultKind::Crash { node, .. }
+            | FaultKind::Restart { node }
+            | FaultKind::CorruptSnapshot { node } => check_node(node)?,
+            FaultKind::Partition { from, to } | FaultKind::Heal { from, to } => {
+                check_link(from, to)?
+            }
+        }
+        self.shared.injected.lock().push_back(fault);
+        Ok(format!("queued: {fault}"))
+    }
+}

@@ -31,6 +31,10 @@
 //!   [`ssr_mpnet::FaultSchedule`]: crash/restart with exponential backoff
 //!   (amnesia or CRC-checked snapshot restore), runtime link partitions,
 //!   and per-fault recovery-time measurement.
+//! * `ctl` (via [`supervisor::run_supervised_cluster_with_ctl`]) — the
+//!   live control plane: an embedded `ssr-ctl` HTTP server exposing
+//!   `/metrics`, `/status` and `/top` from the running ring's counters and
+//!   accepting runtime chaos adjustments and fault injections.
 //!
 //! ```no_run
 //! use ssr_core::{RingParams, SsrMin};
@@ -48,13 +52,16 @@
 
 pub mod chaos;
 pub mod cluster;
+pub(crate) mod ctl;
 pub mod frame;
 pub mod metrics;
 pub mod runner;
 pub mod supervisor;
 pub mod transport;
 
-pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats, InvalidChaosConfig};
+pub use chaos::{
+    ChaosConfig, ChaosCounters, ChaosHandle, ChaosProxy, ChaosStats, InvalidChaosConfig,
+};
 pub use cluster::{run_cluster, ChaosSummary, ClusterConfig, ClusterError, ClusterReport};
 pub use frame::{crc32, decode, encode, CodecError, Frame};
 pub use metrics::{
@@ -63,6 +70,7 @@ pub use metrics::{
 };
 pub use runner::{run_node, NodeConfig, NodeControl};
 pub use supervisor::{
-    run_supervised_cluster, ssr_amnesia, RestartRecord, SupervisedReport, SupervisorConfig,
+    run_supervised_cluster, run_supervised_cluster_with_ctl, ssr_amnesia, RestartRecord,
+    SupervisedReport, SupervisorConfig,
 };
 pub use transport::{Inbound, LocalAddrs, Neighbor, Transport, UdpTransport};

@@ -32,6 +32,17 @@ pub struct NodeMetrics {
     pub rule_firings: AtomicU64,
     /// Times this node's privilege toggled on.
     pub activations: AtomicU64,
+    /// Gauge: 1 while the node evaluates itself privileged, else 0. Unlike
+    /// the counters above, gauges carry the *current* value — they exist for
+    /// live introspection (`ssr-ctl`) and stay out of the frozen
+    /// [`MetricsReport`] so CSV/ASCII output is unchanged.
+    pub privileged: AtomicU64,
+    /// Gauge: 1 while the node holds the primary token.
+    pub token_primary: AtomicU64,
+    /// Gauge: 1 while the node holds the secondary token.
+    pub token_secondary: AtomicU64,
+    /// Gauge: last transport generation this node stamped on a broadcast.
+    pub generation: AtomicU64,
 }
 
 impl NodeMetrics {
@@ -50,6 +61,16 @@ impl NodeMetrics {
     /// Bump a counter by one.
     pub fn inc(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Set a gauge to its current value.
+    pub fn set(gauge: &AtomicU64, value: u64) {
+        gauge.store(value, Ordering::Relaxed);
+    }
+
+    /// Read any counter or gauge.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
     }
 }
 
@@ -83,6 +104,14 @@ impl MetricsRegistry {
     /// The counters of node `i`.
     pub fn node(&self, i: usize) -> &NodeMetrics {
         &self.nodes[i]
+    }
+
+    /// Take a live mid-run snapshot of the counters. Identical to
+    /// [`MetricsRegistry::report`] with no observer-derived latencies —
+    /// counters are relaxed atomics, so sampling them while node threads run
+    /// is always safe and never pauses the ring.
+    pub fn snapshot(&self) -> MetricsReport {
+        self.report(&[])
     }
 
     /// Freeze the counters into a report, attaching per-node mean handover
@@ -358,6 +387,26 @@ mod tests {
         assert_eq!(lines.next(), Some("0,2,0,0,0,0,0,0,250"));
         assert_eq!(lines.next(), Some("1,0,0,0,0,0,1,0,"));
         assert_eq!(report.total(|r| r.sends), 2);
+    }
+
+    #[test]
+    fn snapshot_samples_live_and_gauges_stay_out_of_reports() {
+        let reg = MetricsRegistry::new(1);
+        NodeMetrics::inc(&reg.node(0).sends);
+        NodeMetrics::set(&reg.node(0).privileged, 1);
+        NodeMetrics::set(&reg.node(0).generation, 42);
+        assert_eq!(NodeMetrics::get(&reg.node(0).privileged), 1);
+        assert_eq!(NodeMetrics::get(&reg.node(0).generation), 42);
+        // A mid-run snapshot sees the counters...
+        let snap = reg.snapshot();
+        assert_eq!(snap.rows[0].sends, 1);
+        // ...and gauge values leave the CSV exactly as before (no new
+        // columns, no changed bytes).
+        assert_eq!(snap.to_csv().lines().nth(1), Some("0,1,0,0,0,0,0,0,"));
+        // Snapshots do not freeze anything: the live counters keep moving.
+        NodeMetrics::inc(&reg.node(0).sends);
+        assert_eq!(reg.snapshot().rows[0].sends, 2);
+        assert_eq!(snap.rows[0].sends, 1);
     }
 
     #[test]

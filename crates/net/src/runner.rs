@@ -93,7 +93,18 @@ where
 {
     let mut last_privileged = replica.is_privileged(&algo, i);
 
+    // Live-introspection gauges: locally-evaluated privilege and token
+    // holdings, refreshed on every replica change. Relaxed stores on the hot
+    // path — no scrape, no lock, no extra cost beyond two atomic writes.
+    let set_gauges = |replica: &Replica<A::State>, metrics: &NodeMetrics| {
+        let tokens = replica.tokens(&algo, i);
+        NodeMetrics::set(&metrics.privileged, u64::from(tokens.any()));
+        NodeMetrics::set(&metrics.token_primary, u64::from(tokens.primary));
+        NodeMetrics::set(&metrics.token_secondary, u64::from(tokens.secondary));
+    };
+
     let log_transition = |replica: &Replica<A::State>, last: &mut bool, metrics: &NodeMetrics| {
+        set_gauges(replica, metrics);
         let now_privileged = replica.is_privileged(&algo, i);
         if now_privileged != *last {
             *last = now_privileged;
@@ -115,6 +126,7 @@ where
     // firing still leaves a restorable snapshot.
     let _ = transport.publish(&replica.own);
     persist(&replica);
+    set_gauges(&replica, &metrics);
 
     while !control.should_exit() {
         let _ = transport.pump();

@@ -28,6 +28,7 @@
 //! land in a [`RecoveryReport`] (`crate::metrics`) for CSV/ASCII rendering.
 
 use std::collections::HashSet;
+use std::fmt;
 use std::io;
 use std::mem;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -39,6 +40,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use ssr_core::{Config, Replica, RingAlgorithm, RingParams, SnapshotError, SsrState, WireState};
+use ssr_ctl::CtlListener;
 use ssr_mpnet::{FaultKind, FaultSchedule, RestartMode};
 use ssr_runtime::activity::{analyze, ActivityEvent};
 
@@ -47,7 +49,8 @@ use crate::cluster::{
     handover_latencies, recovery_in_window, stabilization_time, ChaosSummary, ClusterConfig,
     ClusterError, ClusterReport,
 };
-use crate::metrics::{FaultEventRow, MetricsRegistry, RecoveryReport};
+use crate::ctl::{CtlShared, LiveLink, LivePlane};
+use crate::metrics::{FaultEventRow, MetricsRegistry, NodeMetrics, RecoveryReport};
 use crate::runner::{run_node, NodeConfig, NodeControl};
 use crate::transport::UdpTransport;
 
@@ -213,6 +216,7 @@ struct Harness<'a, A: RingAlgorithm> {
     metrics: &'a MetricsRegistry,
     snapshots: &'a [Arc<Mutex<Vec<u8>>>],
     proxies: &'a [ChaosProxy],
+    shared: Arc<CtlShared>,
     n: usize,
 }
 
@@ -259,6 +263,7 @@ where
             }
             Err(_) => {
                 *panics += 1;
+                NodeMetrics::inc(&self.shared.panics);
                 // Thread state is gone; the persisted snapshot is the best
                 // available record of where the node was.
                 let last_own = Replica::<A::State>::from_snapshot(&self.snapshots[i].lock())
@@ -267,6 +272,12 @@ where
                 Slot::Down { transport: None, last_own }
             }
         };
+        // Live view: the node is down and can hold nothing.
+        self.shared.up[i].store(false, Ordering::Relaxed);
+        let m = self.metrics.node(i);
+        NodeMetrics::set(&m.privileged, 0);
+        NodeMetrics::set(&m.token_primary, 0);
+        NodeMetrics::set(&m.token_secondary, 0);
         self.log.lock().push(ActivityEvent { node: i, at: self.start.elapsed(), active: false });
     }
 
@@ -341,6 +352,9 @@ where
             self.log.lock().push(ActivityEvent { node: i, at, active: true });
         }
         slots[i] = self.spawn_slot(i, replica, transport);
+        self.shared.up[i].store(true, Ordering::Relaxed);
+        self.shared.incarnations[i].store(u64::from(incarnation), Ordering::Relaxed);
+        NodeMetrics::inc(&self.shared.restarts);
         Ok(RestartRecord { node: i, at, incarnation, mode, backoff, degraded })
     }
 }
@@ -358,11 +372,38 @@ pub fn run_supervised_cluster<A, F>(
     algo: A,
     initial: Config<A::State>,
     sup: SupervisorConfig,
-    mut amnesia: F,
+    amnesia: F,
 ) -> Result<SupervisedReport<A::State>, ClusterError>
 where
     A: RingAlgorithm + Clone + Send + Sync + 'static,
-    A::State: WireState + Send + 'static,
+    A::State: WireState + fmt::Display + PartialEq + Send + 'static,
+    F: FnMut(usize, u32) -> Replica<A::State>,
+{
+    run_supervised_cluster_with_ctl(algo, initial, sup, amnesia, None)
+}
+
+/// [`run_supervised_cluster`] with an optional live control plane: when
+/// `ctl` carries a bound [`CtlListener`], an `ssr-ctl` HTTP server runs for
+/// the duration of the run, serving `/metrics`, `/status` and `/top` from
+/// the live counters and accepting `POST /chaos` / `POST /faults` admin
+/// commands. HTTP-injected faults are drained by the supervisor loop at its
+/// 2 ms polling granularity and measured exactly like scheduled ones — each
+/// applied injection gets its own recovery row.
+///
+/// The listener is a separate parameter (not a `SupervisorConfig` field)
+/// because a bound socket is neither `Clone` nor `Debug`; pass `None` and
+/// this is exactly [`run_supervised_cluster`] — no thread, no socket, no
+/// overhead.
+pub fn run_supervised_cluster_with_ctl<A, F>(
+    algo: A,
+    initial: Config<A::State>,
+    sup: SupervisorConfig,
+    mut amnesia: F,
+    ctl: Option<CtlListener>,
+) -> Result<SupervisedReport<A::State>, ClusterError>
+where
+    A: RingAlgorithm + Clone + Send + Sync + 'static,
+    A::State: WireState + fmt::Display + PartialEq + Send + 'static,
     F: FnMut(usize, u32) -> Replica<A::State>,
 {
     algo.validate_config(&initial)?;
@@ -420,6 +461,7 @@ where
     let snapshots: Vec<Arc<Mutex<Vec<u8>>>> =
         (0..n).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
     let start = Instant::now();
+    let shared = CtlShared::new(n);
     let harness = Harness {
         algo: &algo,
         initial: &initial,
@@ -431,6 +473,7 @@ where
         metrics: &metrics,
         snapshots: &snapshots,
         proxies: &proxies,
+        shared: Arc::clone(&shared),
         n,
     };
 
@@ -445,10 +488,34 @@ where
         slots.push(harness.spawn_slot(i, replica, transport));
     }
 
+    // The control plane reads through the same shared handles the ring
+    // already maintains (atomics, snapshot mutexes, chaos handles); the
+    // server thread exists only when a listener was passed in.
+    let ctl_server = ctl.map(|listener| {
+        let links = (0..n)
+            .flat_map(|i| {
+                [
+                    LiveLink { from: i, to: (i + 1) % n, handle: proxies[2 * i].handle() },
+                    LiveLink { from: i, to: (i + n - 1) % n, handle: proxies[2 * i + 1].handle() },
+                ]
+            })
+            .collect();
+        listener.serve(Arc::new(LivePlane::<A::State> {
+            start,
+            warmup: cfg.warmup,
+            initial_active: initial_active.clone(),
+            metrics: metrics.clone(),
+            links,
+            snapshots: snapshots.clone(),
+            log: Arc::clone(&log),
+            shared: Arc::clone(&shared),
+            state: std::marker::PhantomData,
+        }))
+    });
+
     let mut crash_counts = vec![0u32; n];
     let mut incarnations = vec![0u32; n];
     let mut pending_mode = vec![RestartMode::Amnesia; n];
-    let mut applied: Vec<(FaultKind, Duration)> = Vec::new();
     let mut restarts: Vec<RestartRecord> = Vec::new();
     let mut panics = 0usize;
 
@@ -481,6 +548,74 @@ where
         Ok(())
     };
 
+    // Apply faults injected over HTTP (`POST /faults`). Unlike scheduled
+    // events — which a validated schedule guarantees are consistent — an
+    // injection races the ring's actual state, so each is applied only
+    // where it still makes sense (crash an up node, restart a down one,
+    // flip a partition that actually changes) and recorded with a recovery
+    // window only when applied.
+    let drain_injected = |slots: &mut Vec<Slot<A::State>>,
+                          crash_counts: &mut Vec<u32>,
+                          incarnations: &mut Vec<u32>,
+                          pending_mode: &mut Vec<RestartMode>,
+                          restarts: &mut Vec<RestartRecord>,
+                          panics: &mut usize,
+                          amnesia: &mut F|
+     -> Result<(), ClusterError> {
+        loop {
+            let Some(fault) = shared.injected.lock().pop_front() else {
+                return Ok(());
+            };
+            let applied_now = match fault {
+                FaultKind::Crash { node, restart } => {
+                    let up = matches!(slots[node], Slot::Up { .. });
+                    if up {
+                        harness.crash(node, slots, panics);
+                        crash_counts[node] += 1;
+                        pending_mode[node] = restart;
+                    }
+                    up
+                }
+                FaultKind::Restart { node } => {
+                    let down = matches!(slots[node], Slot::Down { .. });
+                    if down {
+                        incarnations[node] += 1;
+                        let backoff =
+                            backoff_for(sup.backoff_base, sup.backoff_cap, crash_counts[node]);
+                        restarts.push(harness.restart(
+                            node,
+                            slots,
+                            pending_mode[node],
+                            incarnations[node],
+                            backoff,
+                            amnesia,
+                        )?);
+                    }
+                    down
+                }
+                FaultKind::Partition { from, to } => {
+                    let proxy = &proxies[link_index(n, from, to)];
+                    let flips = !proxy.is_partitioned();
+                    proxy.set_partitioned(true);
+                    flips
+                }
+                FaultKind::Heal { from, to } => {
+                    let proxy = &proxies[link_index(n, from, to)];
+                    let flips = proxy.is_partitioned();
+                    proxy.set_partitioned(false);
+                    flips
+                }
+                FaultKind::CorruptSnapshot { node } => {
+                    corrupt_snapshot(&snapshots[node]);
+                    true
+                }
+            };
+            if applied_now {
+                shared.applied.lock().push((fault, start.elapsed()));
+            }
+        }
+    };
+
     for ev in sup.schedule.events() {
         let target = Duration::from_millis(ev.at);
         loop {
@@ -488,6 +623,15 @@ where
                 &mut slots,
                 &mut crash_counts,
                 &mut incarnations,
+                &mut restarts,
+                &mut panics,
+                &mut amnesia,
+            )?;
+            drain_injected(
+                &mut slots,
+                &mut crash_counts,
+                &mut incarnations,
+                &mut pending_mode,
                 &mut restarts,
                 &mut panics,
                 &mut amnesia,
@@ -527,17 +671,10 @@ where
                 proxies[link_index(n, from, to)].set_partitioned(false);
             }
             FaultKind::CorruptSnapshot { node } => {
-                let mut bytes = snapshots[node].lock();
-                if bytes.is_empty() {
-                    bytes.extend_from_slice(b"not a snapshot");
-                } else {
-                    for b in bytes.iter_mut().take(8) {
-                        *b ^= 0xA5;
-                    }
-                }
+                corrupt_snapshot(&snapshots[node]);
             }
         }
-        applied.push((ev.kind, at));
+        shared.applied.lock().push((ev.kind, at));
     }
 
     // Run out the clock (re-convergence time for the final window).
@@ -546,6 +683,15 @@ where
             &mut slots,
             &mut crash_counts,
             &mut incarnations,
+            &mut restarts,
+            &mut panics,
+            &mut amnesia,
+        )?;
+        drain_injected(
+            &mut slots,
+            &mut crash_counts,
+            &mut incarnations,
+            &mut pending_mode,
             &mut restarts,
             &mut panics,
             &mut amnesia,
@@ -580,6 +726,10 @@ where
     }
     let observed = start.elapsed();
 
+    // Stop the ctl server before unwrapping the log below: its thread owns
+    // the plane, whose `Arc` clones of the log/registry die with it.
+    drop(ctl_server);
+
     let mut chaos = ChaosSummary::default();
     for proxy in proxies {
         chaos.absorb(&proxy.shutdown());
@@ -595,6 +745,7 @@ where
 
     // Per-fault recovery: each applied fault owns the window up to the next
     // applied fault (or run end).
+    let applied = mem::take(&mut *shared.applied.lock());
     let mut rows = Vec::with_capacity(applied.len());
     let mut kinds = Vec::with_capacity(applied.len());
     for (index, &(kind, at)) in applied.iter().enumerate() {
@@ -626,6 +777,20 @@ where
         restarts,
         panics,
     })
+}
+
+/// Flip stored bytes of a persisted snapshot at rest (or plant garbage when
+/// nothing was persisted yet) so the next snapshot-mode restart must detect
+/// the damage and degrade to amnesia.
+fn corrupt_snapshot(store: &Mutex<Vec<u8>>) {
+    let mut bytes = store.lock();
+    if bytes.is_empty() {
+        bytes.extend_from_slice(b"not a snapshot");
+    } else {
+        for b in bytes.iter_mut().take(8) {
+            *b ^= 0xA5;
+        }
+    }
 }
 
 /// Index into the proxy vector of the directed link `from → to`; `to` must

@@ -184,6 +184,8 @@ impl<S: WireState> UdpTransport<S> {
                 Err(e) => return Err(e),
             }
         }
+        // Live-introspection gauge: the last generation this node stamped.
+        NodeMetrics::set(&self.metrics.generation, u64::from(self.generation));
         self.schedule_retransmit();
         Ok(())
     }

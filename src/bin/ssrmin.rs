@@ -14,39 +14,50 @@
 //! missing takes the default shown above.
 
 use std::collections::HashMap;
+use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
 
 use ssrmin::analysis::{privileged_strip, summarize, DaemonKind, Table};
-use ssrmin::core::{CriticalSectionProtocol, DualSsToken, RingParams, SsToken, SsrMin};
+use ssrmin::core::{Config, CriticalSectionProtocol, DualSsToken, RingParams, SsToken, SsrMin};
+use ssrmin::ctl::CtlListener;
 use ssrmin::daemon::{measure_convergence, random_config, trace, Engine};
 use ssrmin::mpnet::{CstSim, DelayModel, FaultPlan, FaultSchedule, SimConfig};
 use ssrmin::net::{ChaosConfig, ClusterConfig, SupervisorConfig};
 use ssrmin::runtime::camera::CameraNetwork;
 use ssrmin::runtime::RuntimeConfig;
-use ssrmin::RingAlgorithm;
+use ssrmin::{RingAlgorithm, SsrState};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, opts)) = parse(&args) else {
-        eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
-    };
-    let result = match cmd.as_str() {
-        "run" => cmd_run(&opts),
-        "simulate" => cmd_simulate(&opts),
-        "verify" => cmd_verify(&opts),
-        "camera" => cmd_camera(&opts),
-        "cluster" => cmd_cluster(&opts),
-        "soak" => cmd_soak(&opts),
-        "converge" => cmd_converge(&opts),
-        "transcript" => cmd_transcript(&opts),
-        "adversary" => cmd_adversary(&opts),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(())
+    // `ctl` and `top` take positional operands (a URL and command words),
+    // which the `--key value` parser rejects by design — route them before
+    // it runs.
+    let result = match args.first().map(String::as_str) {
+        Some("ctl") => cmd_ctl(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
+        _ => {
+            let Some((cmd, opts)) = parse(&args) else {
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            match cmd.as_str() {
+                "run" => cmd_run(&opts),
+                "simulate" => cmd_simulate(&opts),
+                "verify" => cmd_verify(&opts),
+                "camera" => cmd_camera(&opts),
+                "cluster" => cmd_cluster(&opts),
+                "soak" => cmd_soak(&opts),
+                "converge" => cmd_converge(&opts),
+                "transcript" => cmd_transcript(&opts),
+                "adversary" => cmd_adversary(&opts),
+                "help" | "--help" | "-h" => {
+                    println!("{USAGE}");
+                    Ok(())
+                }
+                other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+            }
         }
-        other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -77,18 +88,28 @@ USAGE:
   ssrmin cluster   [--nodes N] [-k K] [--ms MS] [--seed SEED]
                    [--start legit|random|adversarial] [--loss P] [--burst]
                    [--delay-us US] [--dup P] [--reorder P] [--csv]
+                   [--ctl-addr HOST:PORT]
                      spawn N OS threads exchanging CST states over real
                      loopback UDP sockets (with a chaos proxy per link when
                      any fault knob is set) and report convergence time,
-                     handover latency and the token-count invariant
+                     handover latency and the token-count invariant;
+                     --ctl-addr serves /metrics, /status, /top and the
+                     POST /chaos and /faults admin endpoints while it runs
   ssrmin soak      [--nodes N] [-k K] [--ms MS] [--seed SEED]
                    [--crashes C] [--partitions P] [--mode amnesia|snapshot|mixed]
                    [--loss P] [--burst] [--delay-us US] [--dup P] [--reorder P]
-                   [--csv]
+                   [--csv] [--ctl-addr HOST:PORT]
                      run the UDP cluster under a seeded fault schedule —
                      crash/restart with exponential backoff (amnesia or
                      snapshot restore) and link partition windows — and
                      report the recovery time of every fault event
+  ssrmin ctl URL metrics|status|top
+  ssrmin ctl URL chaos partition F T | heal F T | loss P | loss off
+  ssrmin ctl URL fault crash N [amnesia|snapshot] | restart N |
+                       partition F T | heal F T | corrupt-snapshot N
+                     one-shot client against a --ctl-addr control plane
+  ssrmin top URL   [--interval-ms MS] [--once]
+                     refreshing ASCII dashboard of a running ring
   ssrmin converge  [-n N] [-k K] [--seeds S] [--daemon ...]
                      measure stabilization time from random configurations
   ssrmin transcript [-n N] [--ticks T] [--loss P] [--tail L] [--seed SEED]
@@ -163,12 +184,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     let steps: u64 = get(opts, "steps", 3 * params.n() as u64)?;
     let seed: u64 = get(opts, "seed", 0u64)?;
     let algo = SsrMin::new(params);
-    let initial = match opts.get("start").map(String::as_str).unwrap_or("legit") {
-        "legit" => algo.legitimate_anchor(0),
-        "random" => random_config::random_ssr_config(params, seed),
-        "adversarial" => random_config::adversarial_ssr_config(params),
-        other => return Err(format!("unknown start {other:?}")),
-    };
+    let initial = start_config(opts, &algo, seed)?;
     let mut daemon = daemon_kind(opts)?.build(seed);
     let mut engine = Engine::new(algo, initial).map_err(|e| e.to_string())?;
     let t = engine.run_traced(daemon.as_mut(), steps);
@@ -337,50 +353,98 @@ fn probability(opts: &Opts, key: &str) -> Result<f64, String> {
     Ok(p)
 }
 
-fn cmd_cluster(opts: &Opts) -> Result<(), String> {
-    // `--nodes` (not `-n`) to make it obvious these are OS threads with
-    // real sockets, not simulated processes; `-n` still works.
+/// Ring dimensions of the UDP subcommands: `--nodes` (not `-n`, to make it
+/// obvious these are OS threads with real sockets — though `-n` still
+/// works) and `-k` defaulting to n + 1.
+fn cluster_params(opts: &Opts, default_n: usize) -> Result<RingParams, String> {
     let n: usize = match opts.get("nodes") {
         Some(v) => v.parse().map_err(|_| format!("invalid value for --nodes: {v:?}"))?,
-        None => get(opts, "n", 5usize)?,
+        None => get(opts, "n", default_n)?,
     };
     let k: u32 = get(opts, "k", 0u32)?;
     let k = if k == 0 { n as u32 + 1 } else { k };
-    let params = RingParams::new(n, k).map_err(|e| e.to_string())?;
-    let ms: u64 = get(opts, "ms", 700u64)?;
-    let seed: u64 = get(opts, "seed", 0u64)?;
-    let loss: f64 = probability(opts, "loss")?;
+    RingParams::new(n, k).map_err(|e| e.to_string())
+}
+
+/// The `--start legit|random|adversarial` initial configuration shared by
+/// `run`, `cluster` and `soak`.
+fn start_config(opts: &Opts, algo: &SsrMin, seed: u64) -> Result<Config<SsrState>, String> {
+    match opts.get("start").map(String::as_str).unwrap_or("legit") {
+        "legit" => Ok(algo.legitimate_anchor(0)),
+        "random" => Ok(random_config::random_ssr_config(algo.params(), seed)),
+        "adversarial" => Ok(random_config::adversarial_ssr_config(algo.params())),
+        other => Err(format!("unknown start {other:?}")),
+    }
+}
+
+/// The chaos knobs shared by `cluster` and `soak`: `Some` config iff any
+/// fault knob is set (per-link seeds are derived downstream).
+fn chaos_from_opts(opts: &Opts) -> Result<Option<ChaosConfig>, String> {
+    let loss = probability(opts, "loss")?;
     let delay_us: u64 = get(opts, "delay-us", 0u64)?;
-    let dup: f64 = probability(opts, "dup")?;
-    let reorder: f64 = probability(opts, "reorder")?;
+    let dup = probability(opts, "dup")?;
+    let reorder = probability(opts, "reorder")?;
     let burst = opts.contains_key("burst");
-    let csv = opts.contains_key("csv");
-
-    let algo = SsrMin::new(params);
-    let initial = match opts.get("start").map(String::as_str).unwrap_or("legit") {
-        "legit" => algo.legitimate_anchor(0),
-        "random" => random_config::random_ssr_config(params, seed),
-        "adversarial" => random_config::adversarial_ssr_config(params),
-        other => return Err(format!("unknown start {other:?}")),
-    };
-
     let faulty = loss > 0.0 || delay_us > 0 || dup > 0.0 || reorder > 0.0 || burst;
-    let chaos = faulty.then(|| ChaosConfig {
-        seed: 0, // per-link seeds are derived by run_cluster
+    Ok(faulty.then(|| ChaosConfig {
+        seed: 0, // per-link seeds are derived by the runner/supervisor
         loss,
         burst: burst.then(ssrmin::mpnet::GilbertElliott::default),
         delay: (Duration::ZERO, Duration::from_micros(delay_us)),
         duplicate: dup,
         reorder,
-    });
+    }))
+}
+
+/// Bind the optional `--ctl-addr` control-plane listener and announce the
+/// resolved address (meaningful with port 0) on stdout.
+fn ctl_listener(opts: &Opts) -> Result<Option<CtlListener>, String> {
+    let Some(addr) = opts.get("ctl-addr") else {
+        return Ok(None);
+    };
+    let addr: SocketAddr =
+        addr.parse().map_err(|_| format!("invalid value for --ctl-addr: {addr:?}"))?;
+    let listener = CtlListener::bind(addr).map_err(|e| format!("ctl bind {addr}: {e}"))?;
+    println!("ctl listening on http://{}", listener.local_addr());
+    Ok(Some(listener))
+}
+
+fn cmd_cluster(opts: &Opts) -> Result<(), String> {
+    let params = cluster_params(opts, 5)?;
+    let (n, k) = (params.n(), params.k());
+    let ms: u64 = get(opts, "ms", 700u64)?;
+    let seed: u64 = get(opts, "seed", 0u64)?;
+    let csv = opts.contains_key("csv");
+
+    let algo = SsrMin::new(params);
+    let initial = start_config(opts, &algo, seed)?;
+    let chaos = chaos_from_opts(opts)?;
+    let faulty = chaos.is_some();
     let cfg = ClusterConfig {
         seed,
         duration: Duration::from_millis(ms),
         warmup: Duration::from_millis(ms / 2),
+        chaos,
         ..ClusterConfig::default()
     };
-    let report = ssrmin::net::run_cluster(algo, initial, ClusterConfig { chaos, ..cfg })
-        .map_err(|e| e.to_string())?;
+    let report = match ctl_listener(opts)? {
+        // The ctl plane lives in the fault supervisor, so a cluster with
+        // `--ctl-addr` runs supervised under an empty schedule: identical
+        // behaviour (the per-link proxies pass datagrams through untouched)
+        // until an admin command says otherwise.
+        Some(listener) => {
+            ssrmin::net::run_supervised_cluster_with_ctl(
+                algo,
+                initial,
+                SupervisorConfig { cluster: cfg, ..SupervisorConfig::default() },
+                ssrmin::net::ssr_amnesia(params, seed),
+                Some(listener),
+            )
+            .map_err(|e| e.to_string())?
+            .cluster
+        }
+        None => ssrmin::net::run_cluster(algo, initial, cfg).map_err(|e| e.to_string())?,
+    };
 
     if csv {
         print!("{}", report.metrics.to_csv());
@@ -420,13 +484,8 @@ fn cmd_cluster(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_soak(opts: &Opts) -> Result<(), String> {
-    let n: usize = match opts.get("nodes") {
-        Some(v) => v.parse().map_err(|_| format!("invalid value for --nodes: {v:?}"))?,
-        None => get(opts, "n", 5usize)?,
-    };
-    let k: u32 = get(opts, "k", 0u32)?;
-    let k = if k == 0 { n as u32 + 1 } else { k };
-    let params = RingParams::new(n, k).map_err(|e| e.to_string())?;
+    let params = cluster_params(opts, 5)?;
+    let (n, k) = (params.n(), params.k());
     let ms: u64 = get(opts, "ms", 2000u64)?;
     if ms < 100 {
         return Err("--ms must be at least 100 (the schedule needs room)".into());
@@ -440,20 +499,10 @@ fn cmd_soak(opts: &Opts) -> Result<(), String> {
         "mixed" => 0.5,
         other => return Err(format!("unknown mode {other:?} (amnesia|snapshot|mixed)")),
     };
-    let loss: f64 = probability(opts, "loss")?;
-    let delay_us: u64 = get(opts, "delay-us", 0u64)?;
-    let dup: f64 = probability(opts, "dup")?;
-    let reorder: f64 = probability(opts, "reorder")?;
-    let burst = opts.contains_key("burst");
     let csv = opts.contains_key("csv");
 
     let algo = SsrMin::new(params);
-    let initial = match opts.get("start").map(String::as_str).unwrap_or("legit") {
-        "legit" => algo.legitimate_anchor(0),
-        "random" => random_config::random_ssr_config(params, seed),
-        "adversarial" => random_config::adversarial_ssr_config(params),
-        other => return Err(format!("unknown start {other:?}")),
-    };
+    let initial = start_config(opts, &algo, seed)?;
 
     // Faults land in the middle of the run, leaving a tail for the final
     // window to re-converge in.
@@ -467,31 +516,23 @@ fn cmd_soak(opts: &Opts) -> Result<(), String> {
     };
     let schedule = FaultSchedule::random(n, &plan, seed);
 
-    let faulty = loss > 0.0 || delay_us > 0 || dup > 0.0 || reorder > 0.0 || burst;
-    let chaos = faulty.then(|| ChaosConfig {
-        seed: 0, // per-link seeds are derived by the supervisor
-        loss,
-        burst: burst.then(ssrmin::mpnet::GilbertElliott::default),
-        delay: (Duration::ZERO, Duration::from_micros(delay_us)),
-        duplicate: dup,
-        reorder,
-    });
     let sup = SupervisorConfig {
         cluster: ClusterConfig {
             seed,
             duration: Duration::from_millis(ms),
             warmup: Duration::from_millis(ms / 2),
-            chaos,
+            chaos: chaos_from_opts(opts)?,
             ..ClusterConfig::default()
         },
         schedule,
         ..SupervisorConfig::default()
     };
-    let report = ssrmin::net::run_supervised_cluster(
+    let report = ssrmin::net::run_supervised_cluster_with_ctl(
         algo,
         initial,
         sup,
         ssrmin::net::ssr_amnesia(params, seed),
+        ctl_listener(opts)?,
     )
     .map_err(|e| e.to_string())?;
 
@@ -634,6 +675,79 @@ fn cmd_adversary(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+const CTL_USAGE: &str = "\
+usage: ssrmin ctl URL metrics|status|top
+       ssrmin ctl URL chaos partition F T | heal F T | loss P | loss off
+       ssrmin ctl URL fault crash N [amnesia|snapshot] | restart N |
+                            partition F T | heal F T | corrupt-snapshot N";
+
+/// `ssrmin ctl <url> <command...>` — one-shot client against a running
+/// ring's `--ctl-addr` control plane.
+fn cmd_ctl(args: &[String]) -> Result<(), String> {
+    let Some((url, words)) = args.split_first() else {
+        return Err(CTL_USAGE.to_string());
+    };
+    let reply = match words.split_first().map(|(w, rest)| (w.as_str(), rest)) {
+        Some(("metrics", [])) => ssrmin::ctl::get(url, "/metrics"),
+        Some(("status", [])) => ssrmin::ctl::get(url, "/status"),
+        Some(("top", [])) => ssrmin::ctl::get(url, "/top"),
+        Some(("chaos", rest)) if !rest.is_empty() => {
+            ssrmin::ctl::post(url, "/chaos", &rest.join(" "))
+        }
+        Some(("fault" | "faults", rest)) if !rest.is_empty() => {
+            ssrmin::ctl::post(url, "/faults", &rest.join(" "))
+        }
+        _ => return Err(CTL_USAGE.to_string()),
+    }
+    .map_err(|e| format!("{url}: {e}"))?;
+    if !reply.ok() {
+        return Err(format!("HTTP {}: {}", reply.status, reply.body.trim_end()));
+    }
+    print!("{}", reply.body);
+    if !reply.body.ends_with('\n') {
+        println!();
+    }
+    Ok(())
+}
+
+/// `ssrmin top <url> [--interval-ms MS] [--once]` — refreshing ASCII
+/// dashboard of a running ring (fetches `/top` in a loop).
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let Some((url, rest)) = args.split_first() else {
+        return Err("usage: ssrmin top URL [--interval-ms MS] [--once]".to_string());
+    };
+    let mut interval = Duration::from_millis(500);
+    let mut once = false;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--once" => once = true,
+            "--interval-ms" => {
+                let v = it.next().ok_or_else(|| "--interval-ms needs a value".to_string())?;
+                interval = Duration::from_millis(
+                    v.parse().map_err(|_| format!("invalid value for --interval-ms: {v:?}"))?,
+                );
+            }
+            other => return Err(format!("unknown top option {other:?}")),
+        }
+    }
+    loop {
+        let reply = ssrmin::ctl::get(url, "/top").map_err(|e| format!("{url}: {e}"))?;
+        if !reply.ok() {
+            return Err(format!("HTTP {}: {}", reply.status, reply.body.trim_end()));
+        }
+        if once {
+            print!("{}", reply.body);
+            return Ok(());
+        }
+        // ANSI clear + home, then the fresh dashboard.
+        print!("\x1b[2J\x1b[H{}", reply.body);
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(interval);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -693,5 +807,42 @@ mod tests {
         assert!(cmd_run(&opts(&[("start", "bogus")])).is_err());
         assert!(cmd_simulate(&opts(&[("algo", "bogus")])).is_err());
         assert!(daemon_kind(&opts(&[("daemon", "bogus")])).is_err());
+    }
+
+    #[test]
+    fn cluster_params_honors_nodes_and_defaults_k() {
+        let p = cluster_params(&opts(&[("nodes", "7")]), 5).unwrap();
+        assert_eq!((p.n(), p.k()), (7, 8));
+        let p = cluster_params(&opts(&[("n", "4"), ("k", "9")]), 5).unwrap();
+        assert_eq!((p.n(), p.k()), (4, 9));
+        assert!(cluster_params(&opts(&[("nodes", "x")]), 5).is_err());
+    }
+
+    #[test]
+    fn chaos_from_opts_is_none_without_fault_knobs() {
+        assert!(chaos_from_opts(&opts(&[])).unwrap().is_none());
+        let chaos = chaos_from_opts(&opts(&[("loss", "0.1")])).unwrap().unwrap();
+        assert_eq!(chaos.loss, 0.1);
+        let chaos = chaos_from_opts(&opts(&[("burst", "true")])).unwrap().unwrap();
+        assert!(chaos.burst.is_some());
+        assert!(chaos_from_opts(&opts(&[("loss", "1.5")])).is_err());
+    }
+
+    #[test]
+    fn ctl_listener_binds_ephemeral_and_rejects_garbage() {
+        assert!(ctl_listener(&opts(&[])).unwrap().is_none());
+        let listener = ctl_listener(&opts(&[("ctl-addr", "127.0.0.1:0")])).unwrap().unwrap();
+        assert_ne!(listener.local_addr().port(), 0, "ephemeral port must resolve");
+        assert!(ctl_listener(&opts(&[("ctl-addr", "nonsense")])).is_err());
+    }
+
+    #[test]
+    fn ctl_and_top_reject_bad_invocations() {
+        assert!(cmd_ctl(&[]).is_err());
+        let args: Vec<String> = ["127.0.0.1:9", "explode"].iter().map(|s| s.to_string()).collect();
+        assert!(cmd_ctl(&args).is_err());
+        assert!(cmd_top(&[]).is_err());
+        let args: Vec<String> = ["127.0.0.1:9", "--bogus"].iter().map(|s| s.to_string()).collect();
+        assert!(cmd_top(&args).is_err());
     }
 }

@@ -16,6 +16,10 @@
 //! * [`net`](ssr_net) — real UDP socket transport: versioned checksummed
 //!   wire codec, chaos proxy with seeded loss/delay/duplication/reordering,
 //!   and the loopback cluster runner behind `ssrmin cluster`.
+//! * [`ctl`](ssr_ctl) — the live control & introspection plane: a std-only
+//!   HTTP server embedded into running clusters (`/metrics`, `/status`,
+//!   `/top`, `POST /chaos`, `POST /faults`) plus the matching client behind
+//!   `ssrmin ctl` and `ssrmin top`.
 //! * [`analysis`](ssr_analysis) — token statistics, convergence statistics,
 //!   domination-graph analysis, adversary synthesis, table rendering.
 //! * [`verify`](ssr_verify) — explicit-state model checking: closure,
@@ -26,6 +30,7 @@
 
 pub use ssr_analysis as analysis;
 pub use ssr_core as core;
+pub use ssr_ctl as ctl;
 pub use ssr_daemon as daemon;
 pub use ssr_mpnet as mpnet;
 pub use ssr_net as net;

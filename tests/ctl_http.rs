@@ -1,0 +1,264 @@
+//! End-to-end tests of the live control plane: a real supervised UDP
+//! cluster with an embedded `ssr-ctl` HTTP server, scraped and administered
+//! over actual TCP sockets while the ring circulates.
+//!
+//! The GET scrapes deliberately use a raw `TcpStream` rather than the
+//! `ssr_ctl::client` helpers: the exposition must be consumable by external
+//! tooling (Prometheus, curl) that knows nothing about this workspace. The
+//! admin POSTs then use the crate client, which is what `ssrmin ctl` runs.
+//!
+//! Timing discipline matches the other UDP suites: every assertion is about
+//! *eventual* observation within a generous deadline, never absolute speed.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Command, Stdio};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ssrmin::core::{RingParams, SsrMin};
+use ssrmin::ctl::{post, CtlListener, Json};
+use ssrmin::mpnet::FaultSchedule;
+use ssrmin::net::{run_supervised_cluster_with_ctl, ssr_amnesia, ClusterConfig, SupervisorConfig};
+
+/// One raw HTTP/1.1 exchange; returns (status code, body).
+fn raw(addr: SocketAddr, request: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("ctl server accepts");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes).expect("full response before close");
+    let text = String::from_utf8(bytes).expect("response is UTF-8");
+    let status = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line: {text}"));
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn raw_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    raw(addr, &format!("GET {path} HTTP/1.1\r\nHost: ring\r\nConnection: close\r\n\r\n"))
+}
+
+/// Polls `GET /status` until `pred` accepts the parsed document.
+fn wait_status(addr: SocketAddr, what: &str, pred: impl Fn(&Json) -> bool) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut last = String::new();
+    while Instant::now() < deadline {
+        let (status, body) = raw_get(addr, "/status");
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).expect("status is valid JSON");
+        if pred(&doc) {
+            return doc;
+        }
+        last = body;
+        thread::sleep(Duration::from_millis(25));
+    }
+    panic!("timed out waiting for {what}; last status: {last}");
+}
+
+fn node(doc: &Json, i: u64) -> &Json {
+    doc.get("nodes")
+        .and_then(Json::as_arr)
+        .and_then(|nodes| nodes.iter().find(|nd| nd.get("node").and_then(Json::as_u64) == Some(i)))
+        .expect("node entry present")
+}
+
+fn link(doc: &Json, from: u64, to: u64) -> &Json {
+    doc.get("links")
+        .and_then(Json::as_arr)
+        .and_then(|links| {
+            links.iter().find(|l| {
+                l.get("from").and_then(Json::as_u64) == Some(from)
+                    && l.get("to").and_then(Json::as_u64) == Some(to)
+            })
+        })
+        .expect("directed link entry present")
+}
+
+/// Acceptance for the tentpole: a 5-node loopback ring serves valid
+/// Prometheus text and a parseable JSON snapshot while circulating, takes a
+/// runtime partition over `POST /chaos`, takes a crash and a restart over
+/// `POST /faults`, and the `1 <= privileged <= 2` invariant is observed to
+/// recover *through the API* — then the final report shows exactly the two
+/// injected faults, both with recovery rows.
+#[test]
+fn ctl_plane_scrapes_and_recovers_through_the_api() {
+    let params = RingParams::new(5, 6).unwrap();
+    let algo = SsrMin::new(params);
+    let listener = CtlListener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = listener.local_addr();
+    let url = format!("http://{addr}");
+
+    let cfg = SupervisorConfig {
+        cluster: ClusterConfig {
+            seed: 29,
+            duration: Duration::from_millis(8000),
+            warmup: Duration::from_millis(300),
+            ..ClusterConfig::default()
+        },
+        schedule: FaultSchedule::new(), // everything below arrives over HTTP
+        ..SupervisorConfig::default()
+    };
+    let runner = thread::spawn(move || {
+        run_supervised_cluster_with_ctl(
+            algo,
+            algo.legitimate_anchor(0),
+            cfg,
+            ssr_amnesia(algo.params(), 29),
+            Some(listener),
+        )
+        .unwrap()
+    });
+
+    // The ring is healthy and visible: all nodes up, invariant holding.
+    wait_status(addr, "healthy ring", |doc| {
+        let all_up = doc
+            .get("nodes")
+            .and_then(Json::as_arr)
+            .is_some_and(|nodes| nodes.iter().all(|nd| nd.get("up") == Some(&Json::Bool(true))));
+        all_up && doc.get("token_count_ok") == Some(&Json::Bool(true))
+    });
+
+    // /metrics is a valid Prometheus text exposition with >= 10 series.
+    let (status, metrics) = raw_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let series: Vec<&str> =
+        metrics.lines().filter(|l| !l.is_empty() && !l.starts_with('#')).collect();
+    assert!(series.len() >= 10, "want >= 10 series, got {}:\n{metrics}", series.len());
+    for sample in &series {
+        let (_, value) = sample.rsplit_once(' ').expect("sample is `name[{labels}] value`");
+        assert!(value.parse::<f64>().is_ok() || value == "NaN", "bad sample value: {sample}");
+    }
+    assert!(metrics.contains("# TYPE ssr_node_sends_total counter"), "{metrics}");
+    assert!(metrics.contains("ssr_ring_token_invariant 1"), "{metrics}");
+    assert!(metrics.contains(r#"ssr_node_up{node="4"} 1"#), "{metrics}");
+
+    // /status is parseable JSON with one entry per node.
+    let (status, body) = raw_get(addr, "/status");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("n").and_then(Json::as_u64), Some(5), "{body}");
+    assert_eq!(doc.get("nodes").and_then(Json::as_arr).map(<[Json]>::len), Some(5), "{body}");
+    assert_eq!(doc.get("links").and_then(Json::as_arr).map(<[Json]>::len), Some(10), "{body}");
+
+    // /top renders the dashboard; / lists the endpoints; unknowns 404.
+    let (status, top) = raw_get(addr, "/top");
+    assert_eq!(status, 200);
+    assert!(top.contains("invariant[1..=2]"), "{top}");
+    let (status, index) = raw_get(addr, "/");
+    assert_eq!(status, 200);
+    assert!(index.contains("/metrics"), "{index}");
+    assert_eq!(raw_get(addr, "/nope").0, 404);
+
+    // Runtime chaos: partition a directed link, watch it block, heal it.
+    let reply = post(&url, "/chaos", "partition 0 1").unwrap();
+    assert!(reply.ok(), "{}: {}", reply.status, reply.body);
+    wait_status(addr, "link 0->1 partitioned and blocking", |doc| {
+        let l = link(doc, 0, 1);
+        l.get("partitioned") == Some(&Json::Bool(true))
+            && l.get("blocked").and_then(Json::as_u64).is_some_and(|b| b > 0)
+    });
+    let reply = post(&url, "/chaos", "heal 0 1").unwrap();
+    assert!(reply.ok(), "{}: {}", reply.status, reply.body);
+    wait_status(addr, "link 0->1 healed", |doc| {
+        link(doc, 0, 1).get("partitioned") == Some(&Json::Bool(false))
+    });
+
+    // Admin error mapping over the wire: parse errors 400, plane errors 422.
+    let reply = post(&url, "/chaos", "gibberish").unwrap();
+    assert_eq!(reply.status, 400, "{}", reply.body);
+    let reply = post(&url, "/chaos", "partition 0 2").unwrap();
+    assert_eq!(reply.status, 422, "0->2 is not a ring link: {}", reply.body);
+    let reply = post(&url, "/faults", "crash 99").unwrap();
+    assert_eq!(reply.status, 422, "{}", reply.body);
+
+    // Live fault injection: crash node 2, watch it go down...
+    let reply = post(&url, "/faults", "crash 2").unwrap();
+    assert!(reply.ok(), "{}: {}", reply.status, reply.body);
+    assert!(reply.body.contains("queued"), "{}", reply.body);
+    wait_status(addr, "node 2 down", |doc| {
+        let nd = node(doc, 2);
+        nd.get("up") == Some(&Json::Bool(false))
+            && nd.get("privileged") == Some(&Json::Bool(false))
+            && doc.get("faults_applied").and_then(Json::as_u64) == Some(1)
+    });
+
+    // ...restart it with amnesia (arbitrary state), and observe the ring
+    // re-converge to 1 <= privileged <= 2 through the API itself.
+    let reply = post(&url, "/faults", "restart 2").unwrap();
+    assert!(reply.ok(), "{}: {}", reply.status, reply.body);
+    wait_status(addr, "node 2 back up and ring re-converged", |doc| {
+        node(doc, 2).get("up") == Some(&Json::Bool(true))
+            && doc.get("restarts").and_then(Json::as_u64) == Some(1)
+            && doc.get("token_count_ok") == Some(&Json::Bool(true))
+            && doc.get("recovered").and_then(Json::as_u64) == Some(2)
+            && doc.get("unrecovered").and_then(Json::as_u64) == Some(0)
+    });
+    let (_, metrics) = raw_get(addr, "/metrics");
+    assert!(metrics.contains("ssr_supervisor_faults_applied_total 2"), "{metrics}");
+    assert!(metrics.contains("ssr_recovery_recovered_total 2"), "{metrics}");
+
+    // The final report agrees with what the API showed: exactly the two
+    // injected faults (the /chaos partition is an adjustment, not a fault),
+    // both windows re-established the invariant.
+    let report = runner.join().unwrap();
+    assert_eq!(report.recovery.rows.len(), 2, "{}", report.recovery.to_ascii());
+    assert_eq!(report.kinds.len(), 2);
+    assert_eq!(report.restarts.len(), 1);
+    assert_eq!(report.panics, 0);
+    assert!(report.reconverged(), "{}", report.recovery.to_ascii());
+    assert!(report.cluster.chaos.blocked > 0, "the live partition must have blocked datagrams");
+}
+
+/// The CLI front-end end-to-end: `ssrmin cluster --ctl-addr 127.0.0.1:0`
+/// announces its ephemeral ctl URL on stdout, `ssrmin ctl <url> metrics`
+/// and `ssrmin top <url> --once` read it back, and the run shuts down
+/// cleanly with the ctl server attached.
+#[test]
+fn ssrmin_ctl_scrapes_a_live_cluster_process() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ssrmin"))
+        .args(["cluster", "--nodes", "4", "--ms", "3000", "--ctl-addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let url = line
+        .trim()
+        .strip_prefix("ctl listening on ")
+        .unwrap_or_else(|| panic!("first line should announce the ctl URL: {line}"))
+        .to_string();
+    assert!(url.starts_with("http://127.0.0.1:"), "{url}");
+
+    let scrape = Command::new(env!("CARGO_BIN_EXE_ssrmin"))
+        .args(["ctl", &url, "metrics"])
+        .output()
+        .expect("binary runs");
+    assert!(scrape.status.success(), "{}", String::from_utf8_lossy(&scrape.stderr));
+    let exposition = String::from_utf8_lossy(&scrape.stdout);
+    let series = exposition.lines().filter(|l| !l.is_empty() && !l.starts_with('#')).count();
+    assert!(series >= 10, "want >= 10 series from `ssrmin ctl`, got {series}:\n{exposition}");
+
+    let top = Command::new(env!("CARGO_BIN_EXE_ssrmin"))
+        .args(["top", &url, "--once"])
+        .output()
+        .expect("binary runs");
+    assert!(top.status.success(), "{}", String::from_utf8_lossy(&top.stderr));
+    assert!(
+        String::from_utf8_lossy(&top.stdout).contains("invariant[1..=2]"),
+        "{}",
+        String::from_utf8_lossy(&top.stdout)
+    );
+
+    // Drain the remaining report output so the child never blocks on a full
+    // pipe, then require a clean exit.
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).unwrap();
+    let status = child.wait().unwrap();
+    assert!(status.success(), "cluster run with ctl attached must exit cleanly:\n{rest}");
+    assert!(rest.contains("nodes"), "the usual cluster report still prints:\n{rest}");
+}
