@@ -61,6 +61,10 @@ pub struct LinkStatus {
     pub dropped: u64,
     /// Datagrams swallowed by a partition.
     pub blocked: u64,
+    /// Datagrams with a chaos-flipped byte (codec must reject them).
+    pub corrupted: u64,
+    /// Datagrams truncated by chaos (codec must reject them).
+    pub truncated: u64,
 }
 
 /// One full ring snapshot: what `/status` serialises and `/top` renders.
@@ -94,6 +98,14 @@ pub struct RingStatus {
     pub p99_recovery_ms: Option<u64>,
     /// Worst recovery time so far, in ms.
     pub max_recovery_ms: Option<u64>,
+    /// Convergence-watchdog escalations recorded so far (resyncs and
+    /// self-restarts).
+    pub watchdog_escalations: u64,
+    /// The Theorem 2 wall-clock stabilization envelope for this ring, in ms
+    /// (0 when the runtime exposes none).
+    pub envelope_ms: u64,
+    /// Whether every measured recovery so far landed within the envelope.
+    pub envelope_ok: bool,
     /// Per-node detail, one entry per ring node.
     pub nodes: Vec<NodeStatus>,
     /// Per-link detail, two directed links per node.
@@ -139,6 +151,8 @@ impl RingStatus {
                     ("forwarded", Json::num(link.forwarded as f64)),
                     ("dropped", Json::num(link.dropped as f64)),
                     ("blocked", Json::num(link.blocked as f64)),
+                    ("corrupted", Json::num(link.corrupted as f64)),
+                    ("truncated", Json::num(link.truncated as f64)),
                 ])
             })
             .collect();
@@ -157,6 +171,9 @@ impl RingStatus {
             ("p50_recovery_ms", opt_ms(self.p50_recovery_ms)),
             ("p99_recovery_ms", opt_ms(self.p99_recovery_ms)),
             ("max_recovery_ms", opt_ms(self.max_recovery_ms)),
+            ("watchdog_escalations", Json::num(self.watchdog_escalations as f64)),
+            ("envelope_ms", Json::num(self.envelope_ms as f64)),
+            ("envelope_ok", Json::Bool(self.envelope_ok)),
             ("nodes", Json::Arr(nodes)),
             ("links", Json::Arr(links)),
         ])
@@ -188,6 +205,13 @@ impl RingStatus {
             fmt_ms(self.p50_recovery_ms),
             fmt_ms(self.p99_recovery_ms),
             fmt_ms(self.max_recovery_ms),
+        );
+        let _ = writeln!(
+            out,
+            "watchdog={}  envelope={}ms  within-envelope={}",
+            self.watchdog_escalations,
+            self.envelope_ms,
+            if self.envelope_ok { "yes" } else { "NO" },
         );
         let _ = writeln!(out);
         let _ = writeln!(
@@ -271,12 +295,19 @@ pub enum ChaosCmd {
     /// Override the loss rate on *all* links (`None` restores the
     /// configured rate).
     Loss(Option<f64>),
+    /// Override the byte-corruption rate on *all* links (`None` restores
+    /// the configured rate).
+    Corrupt(Option<f64>),
+    /// Override the truncation rate on *all* links (`None` restores the
+    /// configured rate).
+    Truncate(Option<f64>),
 }
 
 /// Parses a `POST /chaos` body.
 ///
 /// Grammar (one command per request):
-/// `partition <from> <to>` · `heal <from> <to>` · `loss <p>` · `loss off`.
+/// `partition <from> <to>` · `heal <from> <to>` · `loss <p>` · `loss off` ·
+/// `corrupt <p>` · `corrupt off` · `truncate <p>` · `truncate off`.
 pub fn parse_chaos_cmd(body: &str) -> Result<ChaosCmd, String> {
     let mut words = body.split_whitespace();
     let verb = words.next().ok_or("empty chaos command")?;
@@ -286,19 +317,13 @@ pub fn parse_chaos_cmd(body: &str) -> Result<ChaosCmd, String> {
             let to = parse_index(words.next(), "to")?;
             ChaosCmd::Partition { from, to, cut: verb == "partition" }
         }
-        "loss" => match words.next() {
-            Some("off") => ChaosCmd::Loss(None),
-            Some(p) => {
-                let p: f64 = p.parse().map_err(|_| format!("unparseable loss rate '{p}'"))?;
-                if !(0.0..=1.0).contains(&p) {
-                    return Err(format!("loss rate {p} outside [0, 1]"));
-                }
-                ChaosCmd::Loss(Some(p))
-            }
-            None => return Err("loss needs a rate or 'off'".to_string()),
-        },
+        "loss" => ChaosCmd::Loss(parse_rate(words.next(), "loss")?),
+        "corrupt" => ChaosCmd::Corrupt(parse_rate(words.next(), "corrupt")?),
+        "truncate" => ChaosCmd::Truncate(parse_rate(words.next(), "truncate")?),
         other => {
-            return Err(format!("unknown chaos command '{other}' (expected partition/heal/loss)"))
+            return Err(format!(
+                "unknown chaos command '{other}' (expected partition/heal/loss/corrupt/truncate)"
+            ))
         }
     };
     if words.next().is_some() {
@@ -310,6 +335,21 @@ pub fn parse_chaos_cmd(body: &str) -> Result<ChaosCmd, String> {
 fn parse_index(word: Option<&str>, what: &str) -> Result<usize, String> {
     let word = word.ok_or_else(|| format!("missing {what} node"))?;
     word.parse().map_err(|_| format!("unparseable {what} node '{word}'"))
+}
+
+/// `<p>` in `[0, 1]` sets an override, `off` clears it.
+fn parse_rate(word: Option<&str>, what: &str) -> Result<Option<f64>, String> {
+    match word {
+        Some("off") => Ok(None),
+        Some(p) => {
+            let p: f64 = p.parse().map_err(|_| format!("unparseable {what} rate '{p}'"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{what} rate {p} outside [0, 1]"));
+            }
+            Ok(Some(p))
+        }
+        None => Err(format!("{what} needs a rate or 'off'")),
+    }
 }
 
 /// What a runtime must expose for `ssr-ctl` to serve it.
@@ -349,6 +389,9 @@ mod tests {
             p50_recovery_ms: Some(40),
             p99_recovery_ms: Some(41),
             max_recovery_ms: Some(41),
+            watchdog_escalations: 2,
+            envelope_ms: 80,
+            envelope_ok: true,
             nodes: vec![
                 NodeStatus {
                     node: 0,
@@ -389,6 +432,8 @@ mod tests {
                     forwarded: 30,
                     dropped: 2,
                     blocked: 0,
+                    corrupted: 1,
+                    truncated: 0,
                 },
                 LinkStatus {
                     from: 1,
@@ -397,6 +442,8 @@ mod tests {
                     forwarded: 12,
                     dropped: 0,
                     blocked: 4,
+                    corrupted: 0,
+                    truncated: 2,
                 },
             ],
         }
@@ -440,10 +487,33 @@ mod tests {
         );
         assert_eq!(parse_chaos_cmd("loss 0.25"), Ok(ChaosCmd::Loss(Some(0.25))));
         assert_eq!(parse_chaos_cmd("loss off"), Ok(ChaosCmd::Loss(None)));
+        assert_eq!(parse_chaos_cmd("corrupt 0.5"), Ok(ChaosCmd::Corrupt(Some(0.5))));
+        assert_eq!(parse_chaos_cmd("corrupt off"), Ok(ChaosCmd::Corrupt(None)));
+        assert_eq!(parse_chaos_cmd("truncate 1"), Ok(ChaosCmd::Truncate(Some(1.0))));
+        assert_eq!(parse_chaos_cmd("truncate off"), Ok(ChaosCmd::Truncate(None)));
         assert!(parse_chaos_cmd("").is_err());
         assert!(parse_chaos_cmd("partition 0").is_err());
         assert!(parse_chaos_cmd("loss 1.5").is_err());
+        assert!(parse_chaos_cmd("corrupt 2").is_err());
+        assert!(parse_chaos_cmd("corrupt").is_err());
+        assert!(parse_chaos_cmd("truncate -0.1").is_err());
         assert!(parse_chaos_cmd("partition 0 1 2").is_err());
         assert!(parse_chaos_cmd("explode").is_err());
+    }
+
+    #[test]
+    fn status_json_and_top_carry_watchdog_and_envelope_fields() {
+        let doc = status().to_json();
+        let parsed = Json::parse(&doc.render()).unwrap();
+        assert_eq!(parsed.get("watchdog_escalations").and_then(Json::as_u64), Some(2));
+        assert_eq!(parsed.get("envelope_ms").and_then(Json::as_u64), Some(80));
+        assert_eq!(parsed.get("envelope_ok").and_then(Json::as_bool), Some(true));
+        let links = parsed.get("links").unwrap().as_arr().unwrap();
+        assert_eq!(links[0].get("corrupted").and_then(Json::as_u64), Some(1));
+        assert_eq!(links[1].get("truncated").and_then(Json::as_u64), Some(2));
+        let text = status().render_top();
+        assert!(text.contains("watchdog=2"), "{text}");
+        assert!(text.contains("envelope=80ms"), "{text}");
+        assert!(text.contains("within-envelope=yes"), "{text}");
     }
 }

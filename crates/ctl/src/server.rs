@@ -162,8 +162,8 @@ const INDEX: &str = "ssr-ctl endpoints:\n\
   GET  /metrics  Prometheus text exposition\n\
   GET  /status   JSON ring snapshot\n\
   GET  /top      ASCII dashboard (ssrmin top)\n\
-  POST /chaos    body: partition F T | heal F T | loss P | loss off\n\
-  POST /faults   body: crash N [amnesia|snapshot] | restart N | partition F T | heal F T | corrupt-snapshot N\n";
+  POST /chaos    body: partition F T | heal F T | loss P|off | corrupt P|off | truncate P|off\n\
+  POST /faults   body: crash N [amnesia|snapshot] | restart N | partition F T | heal F T | corrupt-snapshot N | corrupt-state N | freeze N | babble N\n";
 
 #[cfg(test)]
 mod tests {
@@ -201,6 +201,9 @@ mod tests {
                 p50_recovery_ms: None,
                 p99_recovery_ms: None,
                 max_recovery_ms: None,
+                watchdog_escalations: 0,
+                envelope_ms: 500,
+                envelope_ok: true,
                 nodes: vec![NodeStatus {
                     node: 0,
                     up: true,
@@ -223,6 +226,8 @@ mod tests {
                     forwarded: 0,
                     dropped: 0,
                     blocked: 0,
+                    corrupted: 0,
+                    truncated: 0,
                 }],
             }
         }

@@ -148,6 +148,40 @@ pub enum FaultKind {
         /// Ring index of the node whose snapshot is damaged.
         node: usize,
     },
+    /// Overwrite a *live* replica's state in place — own K-state, `rts`,
+    /// `tra` and both caches — with seeded-adversarial values (Hoepman's
+    /// worst-case counter gaps). The node keeps running on the poisoned
+    /// state; self-stabilization must absorb it.
+    CorruptState {
+        /// Ring index of the node whose replica is overwritten.
+        node: usize,
+    },
+    /// Freeze the node's rule engine: the thread keeps receiving, caching
+    /// and retransmitting (a stuck daemon still ACKs), but never executes a
+    /// rule again until a restart — scheduled, or forced by the node's own
+    /// convergence watchdog.
+    FreezeNode {
+        /// Ring index of the frozen node.
+        node: usize,
+    },
+    /// Spray a burst of *stale-generation* wire states impersonating the
+    /// node at both its neighbours: validly framed, so the CRC passes and
+    /// the generation staleness filter must reject every one.
+    Babble {
+        /// Ring index of the impersonated node.
+        node: usize,
+    },
+    /// Recorded (never scheduled): the node's convergence watchdog fired.
+    /// With `restart == false` it resynchronised by republishing its state;
+    /// with `restart == true` it performed an amnesia self-restart with a
+    /// generation bump. Emitted by the runtime so each escalation gets a
+    /// recovery row.
+    Watchdog {
+        /// Ring index of the escalating node.
+        node: usize,
+        /// False: stage-1 resync. True: stage-2 local self-restart.
+        restart: bool,
+    },
 }
 
 impl fmt::Display for FaultKind {
@@ -158,6 +192,15 @@ impl fmt::Display for FaultKind {
             FaultKind::Partition { from, to } => write!(f, "partition {from}->{to}"),
             FaultKind::Heal { from, to } => write!(f, "heal {from}->{to}"),
             FaultKind::CorruptSnapshot { node } => write!(f, "corrupt snapshot of node {node}"),
+            FaultKind::CorruptState { node } => write!(f, "corrupt state of node {node}"),
+            FaultKind::FreezeNode { node } => write!(f, "freeze node {node}"),
+            FaultKind::Babble { node } => write!(f, "babble as node {node}"),
+            FaultKind::Watchdog { node, restart: false } => {
+                write!(f, "watchdog resync node {node}")
+            }
+            FaultKind::Watchdog { node, restart: true } => {
+                write!(f, "watchdog restart node {node}")
+            }
         }
     }
 }
@@ -184,6 +227,9 @@ impl std::str::FromStr for FaultKind {
     /// * `restart <node>`
     /// * `partition <from> <to>` · `heal <from> <to>`
     /// * `corrupt-snapshot <node>` (alias: `corrupt <node>`)
+    /// * `corrupt-state <node>` · `freeze <node>` · `babble <node>`
+    ///
+    /// [`FaultKind::Watchdog`] is recorded by the runtime, never parsed.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = |msg: String| Err(FaultParseError(msg));
         let index = |word: Option<&str>, what: &str| -> Result<usize, FaultParseError> {
@@ -222,10 +268,14 @@ impl std::str::FromStr for FaultKind {
             "corrupt-snapshot" | "corrupt" => {
                 FaultKind::CorruptSnapshot { node: index(words.next(), "node")? }
             }
+            "corrupt-state" => FaultKind::CorruptState { node: index(words.next(), "node")? },
+            "freeze" => FaultKind::FreezeNode { node: index(words.next(), "node")? },
+            "babble" => FaultKind::Babble { node: index(words.next(), "node")? },
             other => {
                 return err(format!(
-                "unknown fault '{other}' (expected crash/restart/partition/heal/corrupt-snapshot)"
-            ))
+                    "unknown fault '{other}' (expected crash/restart/partition/heal/\
+                     corrupt-snapshot/corrupt-state/freeze/babble)"
+                ))
             }
         };
         if words.next().is_some() {
@@ -360,6 +410,30 @@ impl FaultSchedule {
                         return err(format!("snapshot corruption of node {node} on an {n}-ring"));
                     }
                 }
+                // The adversarial trio is idempotent on a live node — only
+                // the index needs checking. (Corrupting/freezing/babbling a
+                // *down* node is a harmless no-op the supervisor skips.)
+                FaultKind::CorruptState { node } => {
+                    if node >= n {
+                        return err(format!("state corruption of node {node} on an {n}-ring"));
+                    }
+                }
+                FaultKind::FreezeNode { node } => {
+                    if node >= n {
+                        return err(format!("freeze of node {node} on an {n}-ring"));
+                    }
+                }
+                FaultKind::Babble { node } => {
+                    if node >= n {
+                        return err(format!("babble as node {node} on an {n}-ring"));
+                    }
+                }
+                FaultKind::Watchdog { node, .. } => {
+                    return err(format!(
+                        "watchdog escalation of node {node} is recorded by the runtime, \
+                         not scheduled"
+                    ));
+                }
             }
         }
         Ok(())
@@ -413,6 +487,20 @@ impl FaultSchedule {
                 break;
             }
         }
+        // The adversarial trio is idempotent, so any node/time draw is valid.
+        type MkFault = fn(usize) -> FaultKind;
+        let adversarial: [(usize, MkFault); 3] = [
+            (plan.corrupts, |node| FaultKind::CorruptState { node }),
+            (plan.freezes, |node| FaultKind::FreezeNode { node }),
+            (plan.babbles, |node| FaultKind::Babble { node }),
+        ];
+        for (count, mk) in adversarial {
+            for _ in 0..count {
+                let at = rng.random_range(plan.window.0..plan.window.1);
+                let node = rng.random_range(0..n);
+                schedule = schedule.with(at, mk(node));
+            }
+        }
         debug_assert!(schedule.validate(n).is_ok(), "random schedule must validate");
         schedule
     }
@@ -435,11 +523,18 @@ pub struct FaultPlan {
     /// Fraction of crashes that restart from a snapshot (the rest restart
     /// with amnesia).
     pub snapshot_ratio: f64,
+    /// Number of live [`FaultKind::CorruptState`] injections.
+    pub corrupts: usize,
+    /// Number of [`FaultKind::FreezeNode`] injections.
+    pub freezes: usize,
+    /// Number of [`FaultKind::Babble`] bursts.
+    pub babbles: usize,
 }
 
 impl Default for FaultPlan {
     /// Two crashes and one partition inside a 1-second (millisecond-unit)
-    /// window, 40–120 time-unit downtimes, half the restarts from snapshot.
+    /// window, 40–120 time-unit downtimes, half the restarts from snapshot,
+    /// no adversarial injections.
     fn default() -> Self {
         FaultPlan {
             crashes: 2,
@@ -448,6 +543,9 @@ impl Default for FaultPlan {
             downtime: (40, 120),
             partition_len: (60, 150),
             snapshot_ratio: 0.5,
+            corrupts: 0,
+            freezes: 0,
+            babbles: 0,
         }
     }
 }
@@ -540,6 +638,28 @@ mod tests {
         assert!(s.validate(5).is_err());
         let e = s.validate(5).unwrap_err();
         assert!(e.to_string().contains("invalid fault schedule"), "{e}");
+        // Out-of-range adversarial injections.
+        for kind in [
+            FaultKind::CorruptState { node: 9 },
+            FaultKind::FreezeNode { node: 9 },
+            FaultKind::Babble { node: 9 },
+        ] {
+            assert!(FaultSchedule::new().with(10, kind).validate(5).is_err(), "{kind}");
+        }
+        // Watchdog escalations are recorded by the runtime, never scheduled.
+        let s = FaultSchedule::new().with(10, FaultKind::Watchdog { node: 1, restart: true });
+        let e = s.validate(5).unwrap_err();
+        assert!(e.to_string().contains("not scheduled"), "{e}");
+    }
+
+    #[test]
+    fn adversarial_kinds_validate_on_live_nodes() {
+        let s = FaultSchedule::new()
+            .with(100, FaultKind::CorruptState { node: 2 })
+            .with(200, FaultKind::FreezeNode { node: 2 })
+            .with(300, FaultKind::Babble { node: 4 })
+            .with(400, FaultKind::CorruptState { node: 2 }); // idempotent: twice is fine
+        s.validate(5).unwrap();
     }
 
     #[test]
@@ -558,6 +678,12 @@ mod tests {
         assert_eq!(parse("heal 1 0"), Ok(FaultKind::Heal { from: 1, to: 0 }));
         assert_eq!(parse("corrupt-snapshot 3"), Ok(FaultKind::CorruptSnapshot { node: 3 }));
         assert_eq!(parse("corrupt 3"), Ok(FaultKind::CorruptSnapshot { node: 3 }));
+        assert_eq!(parse("corrupt-state 3"), Ok(FaultKind::CorruptState { node: 3 }));
+        assert_eq!(parse("freeze 1"), Ok(FaultKind::FreezeNode { node: 1 }));
+        assert_eq!(parse("babble 4"), Ok(FaultKind::Babble { node: 4 }));
+        assert!(parse("corrupt-state").is_err());
+        assert!(parse("freeze x").is_err());
+        assert!(parse("babble 1 loud").is_err());
         assert!(parse("").is_err());
         assert!(parse("crash").is_err());
         assert!(parse("crash x").is_err());
@@ -570,7 +696,14 @@ mod tests {
 
     #[test]
     fn random_schedules_are_deterministic_and_valid() {
-        let plan = FaultPlan { crashes: 4, partitions: 2, ..FaultPlan::default() };
+        let plan = FaultPlan {
+            crashes: 4,
+            partitions: 2,
+            corrupts: 2,
+            freezes: 1,
+            babbles: 1,
+            ..FaultPlan::default()
+        };
         let a = FaultSchedule::random(6, &plan, 42);
         let b = FaultSchedule::random(6, &plan, 42);
         assert_eq!(a, b, "equal seeds must yield identical schedules");
@@ -582,5 +715,8 @@ mod tests {
         assert!(has(|k| matches!(k, FaultKind::Restart { .. })));
         assert!(has(|k| matches!(k, FaultKind::Partition { .. })));
         assert!(has(|k| matches!(k, FaultKind::Heal { .. })));
+        assert!(has(|k| matches!(k, FaultKind::CorruptState { .. })));
+        assert!(has(|k| matches!(k, FaultKind::FreezeNode { .. })));
+        assert!(has(|k| matches!(k, FaultKind::Babble { .. })));
     }
 }

@@ -8,12 +8,17 @@ use proptest::prelude::*;
 use ssr_mpnet::{FaultKind, FaultPlan, FaultSchedule, RestartMode};
 
 fn arb_plan() -> impl Strategy<Value = FaultPlan> {
-    (0usize..5, 0usize..4, 0u32..=100).prop_map(|(crashes, partitions, pct)| FaultPlan {
-        crashes,
-        partitions,
-        snapshot_ratio: f64::from(pct) / 100.0,
-        ..FaultPlan::default()
-    })
+    (0usize..5, 0usize..4, 0u32..=100, 0usize..3, 0usize..3, 0usize..3).prop_map(
+        |(crashes, partitions, pct, corrupts, freezes, babbles)| FaultPlan {
+            crashes,
+            partitions,
+            snapshot_ratio: f64::from(pct) / 100.0,
+            corrupts,
+            freezes,
+            babbles,
+            ..FaultPlan::default()
+        },
+    )
 }
 
 proptest! {

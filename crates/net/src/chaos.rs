@@ -57,6 +57,14 @@ pub struct ChaosConfig {
     /// Probability that a datagram's delay is re-drawn from a doubled
     /// range, letting later datagrams overtake it (reordering).
     pub reorder: f64,
+    /// Probability that a forwarded datagram has one random byte XOR'd with
+    /// a random non-zero value — a wire bit-error the CRC-32 codec must
+    /// reject (a one-byte change cannot preserve the checksum).
+    pub corrupt: f64,
+    /// Probability that a forwarded datagram is cut to a random strictly
+    /// shorter prefix (possibly empty) — a fragmentation/MTU-style wire
+    /// error the codec's length checks must reject.
+    pub truncate: f64,
 }
 
 impl Default for ChaosConfig {
@@ -68,6 +76,8 @@ impl Default for ChaosConfig {
             delay: (Duration::ZERO, Duration::ZERO),
             duplicate: 0.0,
             reorder: 0.0,
+            corrupt: 0.0,
+            truncate: 0.0,
         }
     }
 }
@@ -88,6 +98,8 @@ impl ChaosConfig {
         prob("loss", self.loss)?;
         prob("duplicate", self.duplicate)?;
         prob("reorder", self.reorder)?;
+        prob("corrupt", self.corrupt)?;
+        prob("truncate", self.truncate)?;
         if let Some(ge) = self.burst {
             prob("burst.p_enter", ge.p_enter)?;
             prob("burst.p_exit", ge.p_exit)?;
@@ -117,6 +129,11 @@ pub struct ChaosStats {
     /// Datagrams dropped because the link was partitioned
     /// ([`ChaosProxy::set_partitioned`]).
     pub blocked: AtomicU64,
+    /// Datagrams forwarded with one byte flipped by the corruption process.
+    pub corrupted: AtomicU64,
+    /// Datagrams forwarded cut to a shorter prefix by the truncation
+    /// process.
+    pub truncated: AtomicU64,
 }
 
 impl ChaosStats {
@@ -129,6 +146,8 @@ impl ChaosStats {
             duplicated: self.duplicated.load(Ordering::Relaxed),
             reordered: self.reordered.load(Ordering::Relaxed),
             blocked: self.blocked.load(Ordering::Relaxed),
+            corrupted: self.corrupted.load(Ordering::Relaxed),
+            truncated: self.truncated.load(Ordering::Relaxed),
         }
     }
 }
@@ -146,27 +165,74 @@ pub struct ChaosCounters {
     pub reordered: u64,
     /// See [`ChaosStats::blocked`].
     pub blocked: u64,
+    /// See [`ChaosStats::corrupted`].
+    pub corrupted: u64,
+    /// See [`ChaosStats::truncated`].
+    pub truncated: u64,
 }
 
-/// Sentinel for "no loss override": the bits of `f64::NAN`.
-/// (A NaN loss rate is rejected by [`ChaosConfig::validate`], so it can
+/// Sentinel for "no override": the bits of `f64::NAN`.
+/// (A NaN probability is rejected by [`ChaosConfig::validate`], so it can
 /// never be a legitimate override value.)
 fn no_override() -> u64 {
     f64::NAN.to_bits()
 }
 
+/// Store an optional probability override into its atomic cell.
+fn store_override(cell: &AtomicU64, what: &str, rate: Option<f64>) {
+    let bits = match rate {
+        Some(p) => {
+            assert!((0.0..=1.0).contains(&p), "{what} override {p} outside [0, 1]");
+            p.to_bits()
+        }
+        None => no_override(),
+    };
+    cell.store(bits, Ordering::Relaxed);
+}
+
+/// Read an optional probability override back from its atomic cell.
+fn load_override(cell: &AtomicU64) -> Option<f64> {
+    let v = f64::from_bits(cell.load(Ordering::Relaxed));
+    if v.is_nan() {
+        None
+    } else {
+        Some(v)
+    }
+}
+
+/// The shared runtime-control cells of one proxy: the partition switch and
+/// the live probability overrides, cloned between the proxy thread, the
+/// owning [`ChaosProxy`] and every [`ChaosHandle`].
+#[derive(Debug, Clone)]
+struct Controls {
+    partitioned: Arc<AtomicBool>,
+    loss_override: Arc<AtomicU64>,
+    corrupt_override: Arc<AtomicU64>,
+    truncate_override: Arc<AtomicU64>,
+}
+
+impl Controls {
+    fn new() -> Self {
+        Controls {
+            partitioned: Arc::new(AtomicBool::new(false)),
+            loss_override: Arc::new(AtomicU64::new(no_override())),
+            corrupt_override: Arc::new(AtomicU64::new(no_override())),
+            truncate_override: Arc::new(AtomicU64::new(no_override())),
+        }
+    }
+}
+
 /// A cheap cloneable view of one proxy's counters and runtime controls.
 ///
 /// The proxy thread owns the sockets; everything an outside observer or
-/// admin plane needs — counters, the partition switch, a live loss-rate
-/// override — is behind `Arc`s, so handles outlive neither soundly nor
-/// expensively: cloning is three refcount bumps, and a handle kept after
+/// admin plane needs — counters, the partition switch, live probability
+/// overrides — is behind `Arc`s, so handles outlive neither soundly nor
+/// expensively: cloning is a few refcount bumps, and a handle kept after
 /// [`ChaosProxy::shutdown`] simply reads final values.
 #[derive(Debug, Clone)]
 pub struct ChaosHandle {
     stats: Arc<ChaosStats>,
-    partitioned: Arc<AtomicBool>,
-    loss_override: Arc<AtomicU64>,
+    controls: Controls,
 }
 
 impl ChaosHandle {
@@ -178,12 +244,12 @@ impl ChaosHandle {
     /// Cut (`true`) or heal (`false`) the link, exactly like
     /// [`ChaosProxy::set_partitioned`].
     pub fn set_partitioned(&self, cut: bool) {
-        self.partitioned.store(cut, Ordering::Relaxed);
+        self.controls.partitioned.store(cut, Ordering::Relaxed);
     }
 
     /// True iff the link is currently cut.
     pub fn is_partitioned(&self) -> bool {
-        self.partitioned.load(Ordering::Relaxed)
+        self.controls.partitioned.load(Ordering::Relaxed)
     }
 
     /// Override the configured loss rate at runtime (`None` restores the
@@ -192,24 +258,34 @@ impl ChaosHandle {
     /// `rate`, which is the predictable semantics an operator poking a live
     /// ring wants.
     pub fn set_loss_override(&self, rate: Option<f64>) {
-        let bits = match rate {
-            Some(p) => {
-                assert!((0.0..=1.0).contains(&p), "loss override {p} outside [0, 1]");
-                p.to_bits()
-            }
-            None => no_override(),
-        };
-        self.loss_override.store(bits, Ordering::Relaxed);
+        store_override(&self.controls.loss_override, "loss", rate);
     }
 
     /// The currently active loss override, if any.
     pub fn loss_override(&self) -> Option<f64> {
-        let v = f64::from_bits(self.loss_override.load(Ordering::Relaxed));
-        if v.is_nan() {
-            None
-        } else {
-            Some(v)
-        }
+        load_override(&self.controls.loss_override)
+    }
+
+    /// Override the configured byte-corruption rate at runtime (`None`
+    /// restores the seeded config).
+    pub fn set_corrupt_override(&self, rate: Option<f64>) {
+        store_override(&self.controls.corrupt_override, "corrupt", rate);
+    }
+
+    /// The currently active corruption override, if any.
+    pub fn corrupt_override(&self) -> Option<f64> {
+        load_override(&self.controls.corrupt_override)
+    }
+
+    /// Override the configured truncation rate at runtime (`None` restores
+    /// the seeded config).
+    pub fn set_truncate_override(&self, rate: Option<f64>) {
+        store_override(&self.controls.truncate_override, "truncate", rate);
+    }
+
+    /// The currently active truncation override, if any.
+    pub fn truncate_override(&self) -> Option<f64> {
+        load_override(&self.controls.truncate_override)
     }
 }
 
@@ -219,8 +295,7 @@ pub struct ChaosProxy {
     addr: SocketAddr,
     stats: Arc<ChaosStats>,
     stop: Arc<AtomicBool>,
-    partitioned: Arc<AtomicBool>,
-    loss_override: Arc<AtomicU64>,
+    controls: Controls,
     dst: Arc<Mutex<SocketAddr>>,
     handle: Option<JoinHandle<()>>,
 }
@@ -236,31 +311,23 @@ impl ChaosProxy {
         let addr = socket.local_addr()?;
         let stats = Arc::new(ChaosStats::default());
         let stop = Arc::new(AtomicBool::new(false));
-        let partitioned = Arc::new(AtomicBool::new(false));
-        let loss_override = Arc::new(AtomicU64::new(no_override()));
+        let controls = Controls::new();
         let dst = Arc::new(Mutex::new(dst));
         let handle = {
             let stats = Arc::clone(&stats);
             let stop = Arc::clone(&stop);
-            let partitioned = Arc::clone(&partitioned);
-            let loss_override = Arc::clone(&loss_override);
+            let controls = controls.clone();
             let dst = Arc::clone(&dst);
-            thread::spawn(move || {
-                proxy_main(socket, dst, cfg, stats, stop, partitioned, loss_override)
-            })
+            thread::spawn(move || proxy_main(socket, dst, cfg, stats, stop, controls))
         };
-        Ok(ChaosProxy { addr, stats, stop, partitioned, loss_override, dst, handle: Some(handle) })
+        Ok(ChaosProxy { addr, stats, stop, controls, dst, handle: Some(handle) })
     }
 
     /// A cheap cloneable handle to this proxy's counters and runtime
-    /// controls (partition switch, loss override) for observers like
-    /// `ssr-ctl` that outlive no sockets.
+    /// controls (partition switch, loss/corrupt/truncate overrides) for
+    /// observers like `ssr-ctl` that outlive no sockets.
     pub fn handle(&self) -> ChaosHandle {
-        ChaosHandle {
-            stats: Arc::clone(&self.stats),
-            partitioned: Arc::clone(&self.partitioned),
-            loss_override: Arc::clone(&self.loss_override),
-        }
+        ChaosHandle { stats: Arc::clone(&self.stats), controls: self.controls.clone() }
     }
 
     /// The address senders must target.
@@ -278,12 +345,12 @@ impl ChaosProxy {
     /// [`ChaosStats::blocked`]). Datagrams already in the delay queue still
     /// deliver — they left the sender before the cut.
     pub fn set_partitioned(&self, cut: bool) {
-        self.partitioned.store(cut, Ordering::Relaxed);
+        self.controls.partitioned.store(cut, Ordering::Relaxed);
     }
 
     /// True iff the link is currently cut.
     pub fn is_partitioned(&self) -> bool {
-        self.partitioned.load(Ordering::Relaxed)
+        self.controls.partitioned.load(Ordering::Relaxed)
     }
 
     /// Re-aim the forwarding destination (a restarted node's fresh socket).
@@ -323,14 +390,24 @@ fn step_drop(channel: &mut LossChannel, rng: &mut StdRng, loss_override: &Atomic
     }
 }
 
+/// The per-datagram damage decision: the configured probability unless a
+/// runtime override is active.
+fn effective_rate(configured: f64, cell: &AtomicU64) -> f64 {
+    let over = f64::from_bits(cell.load(Ordering::Relaxed));
+    if over.is_nan() {
+        configured
+    } else {
+        over
+    }
+}
+
 fn proxy_main(
     socket: UdpSocket,
     dst: Arc<Mutex<SocketAddr>>,
     cfg: ChaosConfig,
     stats: Arc<ChaosStats>,
     stop: Arc<AtomicBool>,
-    partitioned: Arc<AtomicBool>,
-    loss_override: Arc<AtomicU64>,
+    controls: Controls,
 ) {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut channel = LossChannel::new(cfg.loss, cfg.burst);
@@ -350,11 +427,27 @@ fn proxy_main(
     while !stop.load(Ordering::Relaxed) {
         match socket.recv_from(&mut buf) {
             Ok((len, _)) => {
-                if partitioned.load(Ordering::Relaxed) {
+                if controls.partitioned.load(Ordering::Relaxed) {
                     stats.blocked.fetch_add(1, Ordering::Relaxed);
-                } else if step_drop(&mut channel, &mut rng, &loss_override) {
+                } else if step_drop(&mut channel, &mut rng, &controls.loss_override) {
                     stats.dropped.fetch_add(1, Ordering::Relaxed);
                 } else {
+                    // Byte-level wire damage, applied before queueing so
+                    // duplicates of a damaged frame are identically damaged
+                    // (one wire error, two deliveries — like real UDP).
+                    let mut payload = buf[..len].to_vec();
+                    let corrupt = effective_rate(cfg.corrupt, &controls.corrupt_override);
+                    if !payload.is_empty() && corrupt > 0.0 && rng.random_bool(corrupt) {
+                        let pos = rng.random_range(0..payload.len());
+                        payload[pos] ^= rng.random_range(1..=255u8);
+                        stats.corrupted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let truncate = effective_rate(cfg.truncate, &controls.truncate_override);
+                    if !payload.is_empty() && truncate > 0.0 && rng.random_bool(truncate) {
+                        // Strictly shorter prefix; an empty datagram is fine.
+                        payload.truncate(rng.random_range(0..payload.len()));
+                        stats.truncated.fetch_add(1, Ordering::Relaxed);
+                    }
                     let (lo, hi) = cfg.delay;
                     let mut delay = draw_delay(&mut rng, lo, hi);
                     if cfg.reorder > 0.0 && rng.random_bool(cfg.reorder) {
@@ -364,12 +457,12 @@ fn proxy_main(
                         stats.reordered.fetch_add(1, Ordering::Relaxed);
                     }
                     let due = Instant::now() + delay;
-                    queue.push((due, buf[..len].to_vec()));
                     if cfg.duplicate > 0.0 && rng.random_bool(cfg.duplicate) {
                         let extra = draw_delay(&mut rng, lo, hi);
-                        queue.push((Instant::now() + extra, buf[..len].to_vec()));
+                        queue.push((Instant::now() + extra, payload.clone()));
                         stats.duplicated.fetch_add(1, Ordering::Relaxed);
                     }
+                    queue.push((due, payload));
                 }
             }
             Err(e)
@@ -579,6 +672,88 @@ mod tests {
         let dst = UdpSocket::bind("127.0.0.1:0").unwrap();
         let proxy = ChaosProxy::spawn(dst.local_addr().unwrap(), ChaosConfig::default()).unwrap();
         proxy.handle().set_loss_override(Some(1.5));
+    }
+
+    #[test]
+    fn corrupt_mode_flips_exactly_one_byte_per_datagram() {
+        let dst = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let cfg = ChaosConfig { seed: 6, corrupt: 1.0, ..ChaosConfig::default() };
+        let proxy = ChaosProxy::spawn(dst.local_addr().unwrap(), cfg).unwrap();
+        let src = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let original = [7u8; 32];
+        for _ in 0..10 {
+            src.send_to(&original, proxy.addr()).unwrap();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let got = recv_all(&dst, Duration::from_millis(200));
+        let stats = proxy.shutdown();
+        assert_eq!(got.len(), 10, "corruption damages, it does not drop");
+        for payload in &got {
+            assert_eq!(payload.len(), original.len());
+            let differing = payload.iter().zip(&original).filter(|(a, b)| a != b).count();
+            assert_eq!(differing, 1, "exactly one byte must differ, got {differing}");
+        }
+        assert_eq!(stats.counters().corrupted, 10);
+        assert_eq!(stats.counters().dropped, 0);
+    }
+
+    #[test]
+    fn truncate_mode_cuts_strictly_shorter_prefixes() {
+        let dst = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let cfg = ChaosConfig { seed: 8, truncate: 1.0, ..ChaosConfig::default() };
+        let proxy = ChaosProxy::spawn(dst.local_addr().unwrap(), cfg).unwrap();
+        let src = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let original: Vec<u8> = (0..32).collect();
+        for _ in 0..10 {
+            src.send_to(&original, proxy.addr()).unwrap();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let got = recv_all(&dst, Duration::from_millis(200));
+        let stats = proxy.shutdown();
+        assert_eq!(got.len(), 10);
+        for payload in &got {
+            assert!(payload.len() < original.len(), "must be strictly shorter");
+            assert_eq!(payload[..], original[..payload.len()], "must be a prefix");
+        }
+        assert_eq!(stats.counters().truncated, 10);
+    }
+
+    #[test]
+    fn corrupt_and_truncate_overrides_flip_at_runtime() {
+        let dst = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let proxy = ChaosProxy::spawn(dst.local_addr().unwrap(), ChaosConfig::default()).unwrap();
+        let handle = proxy.handle();
+        let src = UdpSocket::bind("127.0.0.1:0").unwrap();
+
+        assert_eq!(handle.corrupt_override(), None);
+        assert_eq!(handle.truncate_override(), None);
+        handle.set_corrupt_override(Some(1.0));
+        assert_eq!(handle.corrupt_override(), Some(1.0));
+        src.send_to(&[1, 2, 3, 4], proxy.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        handle.set_corrupt_override(None);
+        handle.set_truncate_override(Some(1.0));
+        src.send_to(&[5, 6, 7, 8], proxy.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        handle.set_truncate_override(None);
+        src.send_to(&[9, 10, 11, 12], proxy.addr()).unwrap();
+        let got = recv_all(&dst, Duration::from_millis(150));
+        let stats = proxy.shutdown();
+        assert_eq!(got.len(), 3);
+        assert_eq!(stats.counters().corrupted, 1);
+        assert_eq!(stats.counters().truncated, 1);
+        assert_eq!(got[2], vec![9, 10, 11, 12], "restored link forwards untouched");
+    }
+
+    #[test]
+    fn invalid_corrupt_truncate_probabilities_are_rejected() {
+        for bad in [
+            ChaosConfig { corrupt: 1.5, ..ChaosConfig::default() },
+            ChaosConfig { truncate: -0.5, ..ChaosConfig::default() },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must not validate");
+        }
+        ChaosConfig { corrupt: 0.3, truncate: 0.3, ..ChaosConfig::default() }.validate().unwrap();
     }
 
     #[test]

@@ -106,6 +106,10 @@ pub struct ChaosSummary {
     /// Datagrams swallowed by a partitioned link (only supervised runs cut
     /// links, so this is zero under plain chaos).
     pub blocked: u64,
+    /// Datagrams forwarded with a byte flipped (CRC rejection fodder).
+    pub corrupted: u64,
+    /// Datagrams forwarded truncated (length-check rejection fodder).
+    pub truncated: u64,
 }
 
 impl ChaosSummary {
@@ -116,6 +120,8 @@ impl ChaosSummary {
         self.duplicated += stats.duplicated.load(Ordering::Relaxed);
         self.reordered += stats.reordered.load(Ordering::Relaxed);
         self.blocked += stats.blocked.load(Ordering::Relaxed);
+        self.corrupted += stats.corrupted.load(Ordering::Relaxed);
+        self.truncated += stats.truncated.load(Ordering::Relaxed);
     }
 }
 

@@ -42,6 +42,9 @@ pub(crate) struct CtlShared {
     pub restarts: AtomicU64,
     /// Node-thread panics observed so far.
     pub panics: AtomicU64,
+    /// Convergence-watchdog escalations drained so far (resyncs and
+    /// self-restarts).
+    pub watchdogs: AtomicU64,
     /// Every applied fault with its wall-clock offset, scheduled and
     /// injected alike — the live prefix of the final recovery report.
     pub applied: Mutex<Vec<(FaultKind, Duration)>>,
@@ -57,6 +60,7 @@ impl CtlShared {
             incarnations: (0..n).map(|_| AtomicU64::new(0)).collect(),
             restarts: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            watchdogs: AtomicU64::new(0),
             applied: Mutex::new(Vec::new()),
             injected: Mutex::new(VecDeque::new()),
         })
@@ -84,6 +88,10 @@ pub(crate) struct LivePlane<S> {
     pub snapshots: Vec<Arc<Mutex<Vec<u8>>>>,
     pub log: Arc<Mutex<Vec<ActivityEvent>>>,
     pub shared: Arc<CtlShared>,
+    /// Theorem 2 stabilization envelope for this ring size and tick
+    /// (`crate::supervisor::convergence_envelope`), exposed so `/status`
+    /// can report whether measured recoveries stay inside the bound.
+    pub envelope: Duration,
     pub state: PhantomData<fn() -> S>,
 }
 
@@ -106,6 +114,28 @@ where
     /// e.g. a node that crashed before its first persist).
     fn replicas(&self) -> Vec<Option<Replica<S>>> {
         self.snapshots.iter().map(|s| Replica::from_snapshot(&s.lock()).ok()).collect()
+    }
+
+    /// Apply a fleet-wide chaos rate override (`None` clears it) through
+    /// every link's handle; shared by the loss/corrupt/truncate commands.
+    fn rate_override(
+        &self,
+        what: &str,
+        rate: Option<f64>,
+        set: &dyn Fn(&ChaosHandle, Option<f64>),
+    ) -> Result<String, String> {
+        if let Some(p) = rate {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{what} rate {p} outside [0, 1]"));
+            }
+        }
+        for link in &self.links {
+            set(&link.handle, rate);
+        }
+        Ok(match rate {
+            Some(p) => format!("{what} override {p} on all {} links", self.links.len()),
+            None => format!("{what} override cleared; configured rates restored"),
+        })
     }
 
     /// Per-fault recovery evaluated up to *now*: each applied fault owns the
@@ -199,6 +229,8 @@ where
                     forwarded: counters.forwarded,
                     dropped: counters.dropped,
                     blocked: counters.blocked,
+                    corrupted: counters.corrupted,
+                    truncated: counters.truncated,
                 }
             })
             .collect();
@@ -218,6 +250,11 @@ where
             p50_recovery_ms: recovery.p50_ms,
             p99_recovery_ms: recovery.p99_ms,
             max_recovery_ms: recovery.max_ms,
+            watchdog_escalations: self.shared.watchdogs.load(Ordering::Relaxed),
+            envelope_ms: self.envelope.as_millis() as u64,
+            envelope_ok: recovery
+                .max_ms
+                .is_none_or(|max| Duration::from_millis(max) <= self.envelope),
             nodes,
             links,
         }
@@ -302,6 +339,18 @@ where
             node_family("ssr_node_generation", "Last transport generation stamped", Gauge, &|m| {
                 NodeMetrics::get(&m.generation)
             }),
+            node_family(
+                "ssr_node_watchdog_resyncs_total",
+                "Stage-1 watchdog escalations (republish to both neighbours)",
+                Counter,
+                &|m| NodeMetrics::get(&m.watchdog_resyncs),
+            ),
+            node_family(
+                "ssr_node_watchdog_restarts_total",
+                "Stage-2 watchdog escalations (amnesia self-restart)",
+                Counter,
+                &|m| NodeMetrics::get(&m.watchdog_restarts),
+            ),
             Family::new(
                 "ssr_node_up",
                 "1 while the node's thread is running",
@@ -366,6 +415,18 @@ where
                 Counter,
                 &|l| l.handle.counters().blocked as f64,
             ),
+            link_family(
+                "ssr_chaos_corrupted_total",
+                "Datagrams with a chaos-flipped byte",
+                Counter,
+                &|l| l.handle.counters().corrupted as f64,
+            ),
+            link_family(
+                "ssr_chaos_truncated_total",
+                "Datagrams truncated by chaos",
+                Counter,
+                &|l| l.handle.counters().truncated as f64,
+            ),
             link_family("ssr_chaos_partitioned", "1 while the link is cut", Gauge, &|l| {
                 f64::from(u8::from(l.handle.is_partitioned()))
             }),
@@ -396,6 +457,26 @@ where
                 "Node threads that died by panic",
                 Counter,
                 vec![Sample::plain(self.shared.panics.load(Ordering::Relaxed) as f64)],
+            ),
+            Family::new(
+                "ssr_supervisor_watchdog_total",
+                "Convergence-watchdog escalations recorded",
+                Counter,
+                vec![Sample::plain(self.shared.watchdogs.load(Ordering::Relaxed) as f64)],
+            ),
+            Family::new(
+                "ssr_envelope_ms",
+                "Theorem 2 wall-clock stabilization envelope for this ring",
+                Gauge,
+                vec![Sample::plain(self.envelope.as_millis() as f64)],
+            ),
+            Family::new(
+                "ssr_envelope_ok",
+                "1 while every measured recovery sits within the envelope",
+                Gauge,
+                vec![Sample::plain(f64::from(u8::from(
+                    recovery.max_ms.is_none_or(|max| Duration::from_millis(max) <= self.envelope),
+                )))],
             ),
             Family::new(
                 "ssr_recovery_recovered_total",
@@ -454,18 +535,13 @@ where
                 Ok(format!("link {from}->{to} {}", if cut { "partitioned" } else { "healed" }))
             }
             ChaosCmd::Loss(rate) => {
-                if let Some(p) = rate {
-                    if !(0.0..=1.0).contains(&p) {
-                        return Err(format!("loss rate {p} outside [0, 1]"));
-                    }
-                }
-                for link in &self.links {
-                    link.handle.set_loss_override(rate);
-                }
-                Ok(match rate {
-                    Some(p) => format!("loss override {p} on all {} links", self.links.len()),
-                    None => "loss override cleared; configured rates restored".to_string(),
-                })
+                self.rate_override("loss", rate, &|h, r| h.set_loss_override(r))
+            }
+            ChaosCmd::Corrupt(rate) => {
+                self.rate_override("corrupt", rate, &|h, r| h.set_corrupt_override(r))
+            }
+            ChaosCmd::Truncate(rate) => {
+                self.rate_override("truncate", rate, &|h, r| h.set_truncate_override(r))
             }
         }
     }
@@ -489,9 +565,17 @@ where
         match fault {
             FaultKind::Crash { node, .. }
             | FaultKind::Restart { node }
-            | FaultKind::CorruptSnapshot { node } => check_node(node)?,
+            | FaultKind::CorruptSnapshot { node }
+            | FaultKind::CorruptState { node }
+            | FaultKind::FreezeNode { node }
+            | FaultKind::Babble { node } => check_node(node)?,
             FaultKind::Partition { from, to } | FaultKind::Heal { from, to } => {
                 check_link(from, to)?
+            }
+            FaultKind::Watchdog { node, .. } => {
+                return Err(format!(
+                    "watchdog escalation of node {node} is recorded by the runtime, not injectable"
+                ))
             }
         }
         self.shared.injected.lock().push_back(fault);

@@ -18,10 +18,14 @@
 //!   retransmission and receiver-side latest-state (generation) filtering —
 //!   the paper's single-capacity coalescing links over real sockets.
 //! * [`chaos`] — a seeded per-link proxy dropping (i.i.d. and
-//!   Gilbert–Elliott burst, via [`ssr_mpnet::loss`]), delaying, duplicating
-//!   and reordering datagrams.
+//!   Gilbert–Elliott burst, via [`ssr_mpnet::loss`]), delaying, duplicating,
+//!   reordering, byte-corrupting and truncating datagrams (the last two
+//!   exercising the codec's CRC rejection path on the wire).
 //! * [`runner`] — the per-node thread driving the shared
-//!   [`ssr_core::Replica`] over a transport (Algorithm 4 on sockets).
+//!   [`ssr_core::Replica`] over a transport (Algorithm 4 on sockets), with
+//!   an optional per-node convergence watchdog (resync, then amnesia
+//!   self-restart) escalating when token handover starves past the
+//!   Lemma 5 `3n`-step budget.
 //! * [`metrics`] — per-node atomic counters (sends, retransmits, rule
 //!   firings, ...) rendered as CSV or an ASCII table.
 //! * [`cluster`] — orchestration: bind, wire (optionally through chaos
@@ -30,7 +34,9 @@
 //! * [`supervisor`] — fault-injected runs driven by an
 //!   [`ssr_mpnet::FaultSchedule`]: crash/restart with exponential backoff
 //!   (amnesia or CRC-checked snapshot restore), runtime link partitions,
-//!   and per-fault recovery-time measurement.
+//!   adversarial state corruption / rule-engine freezes / stale babble
+//!   bursts, and per-fault recovery-time measurement checked against the
+//!   Theorem 2 `O(n^2)` stabilization envelope.
 //! * `ctl` (via [`supervisor::run_supervised_cluster_with_ctl`]) — the
 //!   live control plane: an embedded `ssr-ctl` HTTP server exposing
 //!   `/metrics`, `/status` and `/top` from the running ring's counters and
@@ -68,9 +74,9 @@ pub use metrics::{
     FaultEventRow, MetricsRegistry, MetricsReport, NodeMetrics, NodeMetricsRow, RecoveryHistogram,
     RecoveryReport,
 };
-pub use runner::{run_node, NodeConfig, NodeControl};
+pub use runner::{run_node, NodeConfig, NodeControl, Watchdog, WatchdogEvent};
 pub use supervisor::{
-    run_supervised_cluster, run_supervised_cluster_with_ctl, ssr_amnesia, RestartRecord,
-    SupervisedReport, SupervisorConfig,
+    convergence_envelope, run_supervised_cluster, run_supervised_cluster_with_ctl, ssr_adversary,
+    ssr_amnesia, RestartRecord, SupervisedReport, SupervisorConfig, WatchdogConfig,
 };
 pub use transport::{Inbound, LocalAddrs, Neighbor, Transport, UdpTransport};

@@ -43,6 +43,12 @@ pub struct NodeMetrics {
     pub token_secondary: AtomicU64,
     /// Gauge: last transport generation this node stamped on a broadcast.
     pub generation: AtomicU64,
+    /// Stage-1 convergence-watchdog escalations (resyncs). Like the gauges,
+    /// watchdog counters exist for live introspection and the supervisor's
+    /// recovery accounting; they stay out of the frozen [`MetricsReport`].
+    pub watchdog_resyncs: AtomicU64,
+    /// Stage-2 convergence-watchdog escalations (amnesia self-restarts).
+    pub watchdog_restarts: AtomicU64,
 }
 
 impl NodeMetrics {

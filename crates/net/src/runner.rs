@@ -43,8 +43,41 @@ impl Default for NodeConfig {
     }
 }
 
-/// Control surface of one running node: how the outside world stops it and
-/// where it persists its state.
+/// One escalation of a node's convergence watchdog, reported through the
+/// [`Watchdog::outbox`] so the supervisor can turn it into a recovery row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogEvent {
+    /// Ring index of the escalating node.
+    pub node: usize,
+    /// False: stage-1 resync (republish). True: stage-2 amnesia
+    /// self-restart with a generation bump.
+    pub restart: bool,
+    /// Wall-clock offset from run start.
+    pub at: Duration,
+}
+
+/// Per-node convergence watchdog: the node-local half of the Bernard et al.
+/// reloading-wave idea. If the node's rule engine starves — no rule firing
+/// — for longer than `budget` (derived from the paper's 3n-step bound,
+/// Lemma 5, scaled by the retransmit period), the node escalates locally:
+/// first a resync (republish its state to both neighbours), then — if the
+/// starvation persists for another budget — an amnesia self-restart: forget
+/// both caches, jump the wire generation by `generation_bump` so neighbours'
+/// staleness filters accept the reborn sender, republish. No supervisor
+/// involvement; the ring heals itself.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    /// Starvation budget before each escalation stage.
+    pub budget: Duration,
+    /// Generation jump applied by a stage-2 self-restart (mirrors the
+    /// supervisor's incarnation-scaled rebind floor).
+    pub generation_bump: u32,
+    /// Escalation reports, drained by the supervisor's polling loop.
+    pub outbox: Arc<Mutex<Vec<WatchdogEvent>>>,
+}
+
+/// Control surface of one running node: how the outside world stops it,
+/// hurts it, and where it persists its state.
 #[derive(Debug, Clone)]
 pub struct NodeControl {
     /// Graceful end of the whole run (shared by every node).
@@ -55,12 +88,30 @@ pub struct NodeControl {
     /// replica here after every state change — the persisted state a
     /// snapshot-mode restart recovers from.
     pub snapshot: Option<Arc<Mutex<Vec<u8>>>>,
+    /// Adversarial state injection: a replica snapshot deposited here is
+    /// swallowed whole on the next loop iteration — the live replica is
+    /// overwritten in place ([`ssr_mpnet::FaultKind::CorruptState`]).
+    pub poison: Arc<Mutex<Option<Vec<u8>>>>,
+    /// While set, the rule engine is suspended: the node keeps receiving,
+    /// caching and retransmitting (a stuck daemon still ACKs) but never
+    /// executes a rule ([`ssr_mpnet::FaultKind::FreezeNode`]). Cleared by a
+    /// supervisor restart or a stage-2 watchdog self-restart.
+    pub frozen: Arc<AtomicBool>,
+    /// Optional convergence watchdog (None: never escalate).
+    pub watchdog: Option<Watchdog>,
 }
 
 impl NodeControl {
     /// A control that only answers to the shared `stop` flag.
     pub fn new(stop: Arc<AtomicBool>) -> Self {
-        NodeControl { stop, kill: Arc::new(AtomicBool::new(false)), snapshot: None }
+        NodeControl {
+            stop,
+            kill: Arc::new(AtomicBool::new(false)),
+            snapshot: None,
+            poison: Arc::new(Mutex::new(None)),
+            frozen: Arc::new(AtomicBool::new(false)),
+            watchdog: None,
+        }
     }
 
     /// True iff the node should exit its main loop.
@@ -88,10 +139,14 @@ pub fn run_node<A, T>(
 ) -> (Replica<A::State>, T)
 where
     A: RingAlgorithm,
-    A::State: WireState,
+    A::State: WireState + Clone,
     T: Transport<A::State>,
 {
     let mut last_privileged = replica.is_privileged(&algo, i);
+    // Watchdog bookkeeping: when the rule engine last made progress, and
+    // whether the stage-1 resync already ran for the current starvation.
+    let mut last_progress = Instant::now();
+    let mut resynced = false;
 
     // Live-introspection gauges: locally-evaluated privilege and token
     // holdings, refreshed on every replica change. Relaxed stores on the hot
@@ -129,6 +184,19 @@ where
     set_gauges(&replica, &metrics);
 
     while !control.should_exit() {
+        // Adversarial state injection: swallow a deposited poison snapshot
+        // whole — own state, both caches — and keep running on it. The
+        // replica announces its poisoned state like any other change;
+        // self-stabilization must absorb it.
+        if let Some(bytes) = control.poison.lock().take() {
+            if let Ok(poisoned) = Replica::from_snapshot(&bytes) {
+                replica = poisoned;
+                log_transition(&replica, &mut last_privileged, &metrics);
+                let _ = transport.publish(&replica.own);
+                persist(&replica);
+            }
+        }
+
         let _ = transport.pump();
         match transport.try_recv() {
             Some(Inbound { from, state }) => {
@@ -140,7 +208,10 @@ where
                 // Privilege may change on a pure cache refresh (e.g. the
                 // primary token arriving) — log before any dwell.
                 log_transition(&replica, &mut last_privileged, &metrics);
-                if replica.enabled_rule(&algo, i).is_some() {
+                // A frozen rule engine (stuck daemon) still caches and
+                // retransmits — only execution is suspended.
+                let frozen = control.frozen.load(Ordering::Relaxed);
+                if !frozen && replica.enabled_rule(&algo, i).is_some() {
                     if !cfg.exec_delay.is_zero() {
                         // Critical-section dwell: the node stays privileged
                         // while it does its work.
@@ -149,12 +220,52 @@ where
                     if replica.execute_one(&algo, i).is_some() {
                         NodeMetrics::inc(&metrics.rule_firings);
                         let _ = transport.publish(&replica.own);
+                        last_progress = Instant::now();
+                        resynced = false;
                     }
                     log_transition(&replica, &mut last_privileged, &metrics);
                 }
                 persist(&replica);
             }
             None => thread::sleep(cfg.idle_sleep),
+        }
+
+        // Convergence watchdog: escalate locally when the rule engine has
+        // starved past its budget — resync first, self-restart second.
+        if let Some(wd) = &control.watchdog {
+            if last_progress.elapsed() >= wd.budget {
+                if !resynced {
+                    // Stage 1: resync. Re-offer our state to both
+                    // neighbours in case the stall is a lost-message wedge.
+                    let _ = transport.publish(&replica.own);
+                    NodeMetrics::inc(&metrics.watchdog_resyncs);
+                    wd.outbox.lock().push(WatchdogEvent {
+                        node: i,
+                        restart: false,
+                        at: start.elapsed(),
+                    });
+                    resynced = true;
+                } else {
+                    // Stage 2: amnesia self-restart. Forget everything we
+                    // believed about the neighbours, clear a stuck-daemon
+                    // freeze, and rebind past the staleness filters.
+                    control.frozen.store(false, Ordering::Relaxed);
+                    replica.cache_pred = replica.own.clone();
+                    replica.cache_succ = replica.own.clone();
+                    transport.bump_generation(wd.generation_bump);
+                    let _ = transport.publish(&replica.own);
+                    log_transition(&replica, &mut last_privileged, &metrics);
+                    persist(&replica);
+                    NodeMetrics::inc(&metrics.watchdog_restarts);
+                    wd.outbox.lock().push(WatchdogEvent {
+                        node: i,
+                        restart: true,
+                        at: start.elapsed(),
+                    });
+                    resynced = false;
+                }
+                last_progress = Instant::now();
+            }
         }
     }
     (replica, transport)

@@ -27,10 +27,12 @@
 //! token-count invariant `1 <= privileged <= 2` last recover? The rows
 //! land in a [`RecoveryReport`] (`crate::metrics`) for CSV/ASCII rendering.
 
+use std::cell::Cell;
 use std::collections::HashSet;
 use std::fmt;
 use std::io;
 use std::mem;
+use std::net::UdpSocket;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -50,9 +52,17 @@ use crate::cluster::{
     ClusterError, ClusterReport,
 };
 use crate::ctl::{CtlShared, LiveLink, LivePlane};
+use crate::frame::encode;
 use crate::metrics::{FaultEventRow, MetricsRegistry, NodeMetrics, RecoveryReport};
-use crate::runner::{run_node, NodeConfig, NodeControl};
+use crate::runner::{run_node, NodeConfig, NodeControl, Watchdog, WatchdogEvent};
 use crate::transport::UdpTransport;
+
+/// Frames per direction of one [`FaultKind::Babble`] burst.
+const BABBLE_BURST: u32 = 64;
+
+/// Generation floor/jump unit shared by supervisor rebinds and watchdog
+/// self-restarts: far past anything a previous incarnation can have sent.
+const GENERATION_STRIDE: u32 = 1 << 24;
 
 /// Parameters of a supervised (fault-injected) cluster run.
 #[derive(Debug, Clone)]
@@ -68,6 +78,9 @@ pub struct SupervisorConfig {
     pub backoff_base: Duration,
     /// Upper bound on any single backoff sleep.
     pub backoff_cap: Duration,
+    /// Per-node convergence watchdog. `None` (the default) runs without
+    /// one — existing soaks keep their exact restart accounting.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for SupervisorConfig {
@@ -77,8 +90,51 @@ impl Default for SupervisorConfig {
             schedule: FaultSchedule::new(),
             backoff_base: Duration::from_millis(5),
             backoff_cap: Duration::from_millis(80),
+            watchdog: None,
         }
     }
+}
+
+/// Budget knobs of the per-node convergence watchdog.
+///
+/// The paper's Lemma 5 bounds a full token circulation by `3n` steps; one
+/// "step" on real sockets costs up to a retransmit period (the cluster
+/// tick), so the starvation budget is `tick * 3n * scale` with `scale`
+/// absorbing scheduling noise, and never below `floor`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Multiplier on the 3n-step circulation bound.
+    pub scale: u32,
+    /// Lower bound of the budget regardless of ring size and tick.
+    pub floor: Duration,
+}
+
+impl Default for WatchdogConfig {
+    /// `scale` 16 (a node waits sixteen worst-case circulations before
+    /// declaring starvation) and a 400 ms floor: paranoid enough for loaded
+    /// single-core CI hosts, yet still reached quickly by a genuinely stuck
+    /// ring.
+    fn default() -> Self {
+        WatchdogConfig { scale: 16, floor: Duration::from_millis(400) }
+    }
+}
+
+impl WatchdogConfig {
+    /// The starvation budget for an `n`-ring with retransmit period `tick`.
+    pub fn budget(&self, n: usize, tick: Duration) -> Duration {
+        let steps = 3u32.saturating_mul(n as u32).saturating_mul(self.scale);
+        tick.saturating_mul(steps.max(1)).max(self.floor)
+    }
+}
+
+/// The Theorem 2 stabilization envelope on wall clocks: `O(n^2)` rule steps
+/// at up to one retransmit period (`tick`) each, with a constant factor of
+/// 4 absorbing message latency and scheduling noise. Measured per-fault
+/// recovery times are compared against this bound by `ssrmin adversary` and
+/// [`SupervisedReport::within_envelope`].
+pub fn convergence_envelope(n: usize, tick: Duration) -> Duration {
+    let steps = (n * n).max(1) as u32;
+    tick.saturating_mul(steps.saturating_mul(4))
 }
 
 /// One restart performed by the supervisor (scheduled or panic-triggered).
@@ -114,6 +170,9 @@ pub struct SupervisedReport<S> {
     pub restarts: Vec<RestartRecord>,
     /// Node threads that died by panic instead of a clean kill.
     pub panics: usize,
+    /// The Theorem 2 wall-clock stabilization envelope for this run's ring
+    /// size and tick ([`convergence_envelope`]).
+    pub envelope: Duration,
 }
 
 impl<S> SupervisedReport<S> {
@@ -134,6 +193,20 @@ impl<S> SupervisedReport<S> {
     /// Restarts that detected a corrupt snapshot and degraded to amnesia.
     pub fn degraded_restarts(&self) -> usize {
         self.restarts.iter().filter(|r| r.degraded.is_some()).count()
+    }
+
+    /// Convergence-watchdog escalations recorded as recovery rows (both
+    /// resyncs and self-restarts).
+    pub fn watchdog_escalations(&self) -> usize {
+        self.kinds.iter().filter(|k| matches!(k, FaultKind::Watchdog { .. })).count()
+    }
+
+    /// True iff every *measured* recovery landed within the Theorem 2
+    /// stabilization envelope ([`convergence_envelope`]). Unmeasured
+    /// windows (still-broken mid-disruption rows) are not counted — use
+    /// [`SupervisedReport::reconverged`] for that.
+    pub fn within_envelope(&self) -> bool {
+        self.recovery.rows.iter().filter_map(|r| r.recovery).all(|d| d <= self.envelope)
     }
 }
 
@@ -157,34 +230,87 @@ pub fn ssr_amnesia(params: RingParams, seed: u64) -> impl FnMut(usize, u32) -> R
     }
 }
 
-/// For each applied fault, whether it is a *restoration point*: a restart
-/// or heal after which no node is down and no partition is open. Replays
-/// the script, so a heal that fires while some node is still crashed (the
-/// windows overlap) is correctly exempted from the re-convergence demand.
+/// A seeded *adversarial* sampler for SSRmin rings: where [`ssr_amnesia`]
+/// draws uniformly, this one draws Hoepman's worst cases — counter values
+/// at the extremes of the `0..K` circle (the maximal-gap configurations his
+/// K=N analysis shows dominate stabilization time), caches that maximally
+/// disagree with the own state, and conflicting handshake flags. The own
+/// `tra` bit is always set: the poisoned node *holds the secondary token*,
+/// so a [`FaultKind::CorruptState`] injection never empties the ring of
+/// privileges (the P7/P9 "at least one token" criterion is attacked on the
+/// upper bound, not trivially broken on the lower one).
+pub fn ssr_adversary(params: RingParams, seed: u64) -> impl FnMut(usize, u32) -> Replica<SsrState> {
+    move |node, salt| {
+        let mut rng = StdRng::seed_from_u64(
+            seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(((node as u64) << 32) | u64::from(salt)),
+        );
+        let k = params.k();
+        // Own counter at a circle extreme, secondary token held.
+        let own_x = if rng.random_bool(0.5) { 0 } else { k - 1 };
+        let own = SsrState::new(own_x, rng.random_range(0..2u8), 1);
+        // Caches at the opposite extreme and mid-gap, flags inverted: the
+        // node believes a maximally wrong picture of its neighbourhood.
+        let flip = |b: bool| u8::from(!b);
+        let pred = SsrState::new((own_x + (k - 1)) % k, flip(own.rts), flip(own.tra));
+        let succ = SsrState::new((own_x + k / 2) % k, flip(own.rts), rng.random_range(0..2u8));
+        Replica::coherent(own, pred, succ)
+    }
+}
+
+/// For each applied fault, whether it is a *restoration point*: an event
+/// after which the ring is fully operational again — no node down, no
+/// partition open, no rule engine frozen — and from which re-convergence is
+/// therefore demanded. Replays the script, so a heal that fires while some
+/// node is still crashed (the windows overlap) is correctly exempted.
+///
+/// [`FaultKind::CorruptState`] and [`FaultKind::Babble`] are *transient*
+/// disturbances: the ring keeps running, so their own windows must
+/// re-converge (when nothing else is broken). [`FaultKind::FreezeNode`]
+/// opens a disruption that only a restart — scheduled, or a stage-2
+/// watchdog self-restart — closes. Watchdog rows themselves are recorded as
+/// recovery rows but never *demand* recovery: they land mid-healing, and
+/// their short windows (often truncated by the next escalation) say nothing
+/// about the final outcome; the last row's run-end window does.
 fn restoration_points(kinds: &[FaultKind]) -> Vec<bool> {
     let mut down = HashSet::new();
     let mut open = HashSet::new();
+    let mut frozen = HashSet::new();
     kinds
         .iter()
         .map(|kind| {
-            match *kind {
+            let restores_kind = match *kind {
                 FaultKind::Crash { node, .. } => {
                     down.insert(node);
+                    false
                 }
                 FaultKind::Restart { node } => {
                     down.remove(&node);
+                    frozen.remove(&node);
+                    true
                 }
                 FaultKind::Partition { from, to } => {
                     open.insert((from, to));
+                    false
                 }
                 FaultKind::Heal { from, to } => {
                     open.remove(&(from, to));
+                    true
                 }
-                FaultKind::CorruptSnapshot { .. } => {}
-            }
-            matches!(kind, FaultKind::Restart { .. } | FaultKind::Heal { .. })
-                && down.is_empty()
-                && open.is_empty()
+                FaultKind::CorruptSnapshot { .. } => false,
+                FaultKind::CorruptState { .. } | FaultKind::Babble { .. } => true,
+                FaultKind::FreezeNode { node } => {
+                    frozen.insert(node);
+                    false
+                }
+                FaultKind::Watchdog { node, restart } => {
+                    if restart {
+                        frozen.remove(&node);
+                    }
+                    false
+                }
+            };
+            restores_kind && down.is_empty() && open.is_empty() && frozen.is_empty()
         })
         .collect()
 }
@@ -215,6 +341,9 @@ struct Harness<'a, A: RingAlgorithm> {
     start: Instant,
     metrics: &'a MetricsRegistry,
     snapshots: &'a [Arc<Mutex<Vec<u8>>>],
+    poisons: &'a [Arc<Mutex<Option<Vec<u8>>>>],
+    frozens: &'a [Arc<AtomicBool>],
+    watchdog: Option<Watchdog>,
     proxies: &'a [ChaosProxy],
     shared: Arc<CtlShared>,
     n: usize,
@@ -236,6 +365,9 @@ where
             stop: Arc::clone(&self.stop),
             kill: Arc::clone(&kill),
             snapshot: Some(Arc::clone(&self.snapshots[i])),
+            poison: Arc::clone(&self.poisons[i]),
+            frozen: Arc::clone(&self.frozens[i]),
+            watchdog: self.watchdog.clone(),
         };
         let algo = self.algo.clone();
         let log = Arc::clone(&self.log);
@@ -296,7 +428,7 @@ where
             self.cfg.seed.wrapping_add(i as u64).wrapping_add(u64::from(incarnation) << 32),
             self.metrics.arc_node(i),
         )?;
-        transport.advance_generation_to(incarnation.saturating_mul(1 << 24));
+        transport.advance_generation_to(incarnation.saturating_mul(GENERATION_STRIDE));
         transport.wire(self.proxies[2 * i + 1].addr(), self.proxies[2 * i].addr());
         let local = transport.local_addrs()?;
         self.proxies[2 * pred].set_dst(local.pred);
@@ -351,11 +483,38 @@ where
         if replica.is_privileged(self.algo, i) {
             self.log.lock().push(ActivityEvent { node: i, at, active: true });
         }
+        // A restart wipes any adversarial residue: a pending poison meant
+        // for the dead incarnation and a stuck-daemon freeze both die with
+        // the old thread.
+        *self.poisons[i].lock() = None;
+        self.frozens[i].store(false, Ordering::Relaxed);
         slots[i] = self.spawn_slot(i, replica, transport);
         self.shared.up[i].store(true, Ordering::Relaxed);
         self.shared.incarnations[i].store(u64::from(incarnation), Ordering::Relaxed);
         NodeMetrics::inc(&self.shared.restarts);
         Ok(RestartRecord { node: i, at, incarnation, mode, backoff, degraded })
+    }
+
+    /// Spray a burst of *stale-generation* frames impersonating `node` at
+    /// both of its neighbours ([`FaultKind::Babble`]). The frames are
+    /// CRC-valid and carry the node's initial state, but their generations
+    /// sit a million behind the live counter — every one must die in the
+    /// receivers' staleness filter (`stale_drops`), never in a cache.
+    /// Returns whether at least one frame left the socket.
+    fn babble(&self, node: usize) -> bool {
+        let Ok(socket) = UdpSocket::bind("127.0.0.1:0") else {
+            return false;
+        };
+        let gen_now = NodeMetrics::get(&self.metrics.node(node).generation) as u32;
+        let state = self.initial[node].clone();
+        let mut sent = false;
+        for k in 0..BABBLE_BURST {
+            let stale = gen_now.wrapping_sub(1_000_000).wrapping_sub(k);
+            let frame = encode(node as u16, stale, &state);
+            sent |= socket.send_to(&frame, self.proxies[2 * node].addr()).is_ok();
+            sent |= socket.send_to(&frame, self.proxies[2 * node + 1].addr()).is_ok();
+        }
+        sent
     }
 }
 
@@ -460,6 +619,15 @@ where
     let log: Arc<Mutex<Vec<ActivityEvent>>> = Arc::new(Mutex::new(Vec::new()));
     let snapshots: Vec<Arc<Mutex<Vec<u8>>>> =
         (0..n).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+    let poisons: Vec<Arc<Mutex<Option<Vec<u8>>>>> =
+        (0..n).map(|_| Arc::new(Mutex::new(None))).collect();
+    let frozens: Vec<Arc<AtomicBool>> = (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
+    let watchdog_outbox: Arc<Mutex<Vec<WatchdogEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let watchdog = sup.watchdog.map(|w| Watchdog {
+        budget: w.budget(n, cfg.tick),
+        generation_bump: GENERATION_STRIDE,
+        outbox: Arc::clone(&watchdog_outbox),
+    });
     let start = Instant::now();
     let shared = CtlShared::new(n);
     let harness = Harness {
@@ -472,6 +640,9 @@ where
         start,
         metrics: &metrics,
         snapshots: &snapshots,
+        poisons: &poisons,
+        frozens: &frozens,
+        watchdog,
         proxies: &proxies,
         shared: Arc::clone(&shared),
         n,
@@ -509,6 +680,7 @@ where
             snapshots: snapshots.clone(),
             log: Arc::clone(&log),
             shared: Arc::clone(&shared),
+            envelope: convergence_envelope(n, cfg.tick),
             state: std::marker::PhantomData,
         }))
     });
@@ -518,6 +690,24 @@ where
     let mut pending_mode = vec![RestartMode::Amnesia; n];
     let mut restarts: Vec<RestartRecord> = Vec::new();
     let mut panics = 0usize;
+    // Poison draws get a salt disjoint from restart incarnations so one
+    // amnesia sampler serves both without ever repeating a state.
+    let poison_seq = Cell::new(0u32);
+
+    // Turn node-local watchdog escalations into recovery rows: each drained
+    // event is recorded exactly like an applied fault, so `/status`, the
+    // recovery table and the re-convergence verdict all see the ring
+    // healing itself.
+    let drain_watchdog = || {
+        let events: Vec<WatchdogEvent> = mem::take(&mut *watchdog_outbox.lock());
+        for ev in events {
+            NodeMetrics::inc(&shared.watchdogs);
+            shared
+                .applied
+                .lock()
+                .push((FaultKind::Watchdog { node: ev.node, restart: ev.restart }, ev.at));
+        }
+    };
 
     // Restart any node whose thread died without being told to — a panic.
     // Treated as an unscheduled crash: amnesia restart with backoff.
@@ -609,6 +799,26 @@ where
                     corrupt_snapshot(&snapshots[node]);
                     true
                 }
+                FaultKind::CorruptState { node } => {
+                    let up = matches!(slots[node], Slot::Up { .. });
+                    if up {
+                        let salt = 900 + poison_seq.get();
+                        poison_seq.set(poison_seq.get() + 1);
+                        *poisons[node].lock() = Some(amnesia(node, salt).snapshot());
+                    }
+                    up
+                }
+                FaultKind::FreezeNode { node } => {
+                    let up = matches!(slots[node], Slot::Up { .. });
+                    if up {
+                        frozens[node].store(true, Ordering::Relaxed);
+                    }
+                    up
+                }
+                FaultKind::Babble { node } => harness.babble(node),
+                // Watchdog rows are recorded by the runtime, never injected
+                // (validate/inject both reject them); drop defensively.
+                FaultKind::Watchdog { .. } => false,
             };
             if applied_now {
                 shared.applied.lock().push((fault, start.elapsed()));
@@ -636,6 +846,7 @@ where
                 &mut panics,
                 &mut amnesia,
             )?;
+            drain_watchdog();
             let now = start.elapsed();
             if now >= target {
                 break;
@@ -673,6 +884,19 @@ where
             FaultKind::CorruptSnapshot { node } => {
                 corrupt_snapshot(&snapshots[node]);
             }
+            FaultKind::CorruptState { node } => {
+                let salt = 900 + poison_seq.get();
+                poison_seq.set(poison_seq.get() + 1);
+                *poisons[node].lock() = Some(amnesia(node, salt).snapshot());
+            }
+            FaultKind::FreezeNode { node } => {
+                frozens[node].store(true, Ordering::Relaxed);
+            }
+            FaultKind::Babble { node } => {
+                harness.babble(node);
+            }
+            // Unreachable: `FaultSchedule::validate` rejects watchdog rows.
+            FaultKind::Watchdog { .. } => {}
         }
         shared.applied.lock().push((ev.kind, at));
     }
@@ -696,6 +920,7 @@ where
             &mut panics,
             &mut amnesia,
         )?;
+        drain_watchdog();
         let now = start.elapsed();
         if now >= cfg.duration {
             break;
@@ -744,8 +969,13 @@ where
     let metrics = metrics.report(&handover);
 
     // Per-fault recovery: each applied fault owns the window up to the next
-    // applied fault (or run end).
-    let applied = mem::take(&mut *shared.applied.lock());
+    // applied fault (or run end). Watchdog escalations that landed between
+    // the last poll and the stop flag are collected first, and the whole
+    // list is ordered by wall clock — node-local events drain with up to a
+    // poll period of lag, so they can arrive slightly out of order.
+    drain_watchdog();
+    let mut applied = mem::take(&mut *shared.applied.lock());
+    applied.sort_by_key(|&(_, at)| at);
     let mut rows = Vec::with_capacity(applied.len());
     let mut kinds = Vec::with_capacity(applied.len());
     for (index, &(kind, at)) in applied.iter().enumerate() {
@@ -776,6 +1006,7 @@ where
         kinds,
         restarts,
         panics,
+        envelope: convergence_envelope(n, cfg.tick),
     })
 }
 
@@ -892,6 +1123,76 @@ mod tests {
             FaultKind::Restart { node: 0 },
         ];
         assert_eq!(restoration_points(&kinds), [false, true, false, true]);
+    }
+
+    #[test]
+    fn ssr_adversary_is_deterministic_and_holds_the_secondary_token() {
+        let params = RingParams::minimal(5).unwrap();
+        let mut a = ssr_adversary(params, 7);
+        let mut b = ssr_adversary(params, 7);
+        assert_eq!(a(2, 1), b(2, 1));
+        for node in 0..5 {
+            for salt in 0..4 {
+                let replica = a(node, salt);
+                assert!(replica.own.tra, "adversarial states always hold the secondary token");
+                assert!(replica.own.x == 0 || replica.own.x == params.k() - 1);
+                assert_ne!(
+                    replica.own.x, replica.cache_pred.x,
+                    "caches must disagree with the own counter"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_kinds_are_restoration_points_only_when_ring_is_whole() {
+        use RestartMode::Amnesia;
+        // A corruption while a node is down must not demand re-convergence;
+        // the same corruption on a whole ring must.
+        let kinds = [
+            FaultKind::Crash { node: 1, restart: Amnesia },
+            FaultKind::CorruptState { node: 2 },
+            FaultKind::Restart { node: 1 },
+            FaultKind::Babble { node: 0 },
+        ];
+        assert_eq!(restoration_points(&kinds), [false, false, true, true]);
+    }
+
+    #[test]
+    fn freeze_is_restored_by_watchdog_restart_or_scheduled_restart() {
+        use RestartMode::Amnesia;
+        // Watchdog rows never demand recovery themselves, but a stage-2
+        // self-restart closes the freeze so later events must re-converge.
+        let kinds = [
+            FaultKind::FreezeNode { node: 2 },
+            FaultKind::Watchdog { node: 2, restart: false },
+            FaultKind::Watchdog { node: 2, restart: true },
+            FaultKind::Babble { node: 0 },
+        ];
+        assert_eq!(restoration_points(&kinds), [false, false, false, true]);
+        // A scheduled crash+restart also clears the freeze.
+        let kinds = [
+            FaultKind::FreezeNode { node: 2 },
+            FaultKind::Crash { node: 2, restart: Amnesia },
+            FaultKind::Restart { node: 2 },
+        ];
+        assert_eq!(restoration_points(&kinds), [false, false, true]);
+    }
+
+    #[test]
+    fn watchdog_budget_and_envelope_scale_with_ring_and_tick() {
+        let tick = Duration::from_millis(5);
+        let wd = WatchdogConfig::default();
+        // 3 * 5 * 16 = 240 steps at 5 ms = 1200 ms, above the floor.
+        assert_eq!(wd.budget(5, tick), Duration::from_millis(1200));
+        // Tiny rings/ticks are clamped to the floor.
+        assert_eq!(
+            WatchdogConfig { scale: 1, floor: Duration::from_millis(400) }.budget(3, tick),
+            Duration::from_millis(400)
+        );
+        // Envelope: 4 * n^2 ticks.
+        assert_eq!(convergence_envelope(5, tick), Duration::from_millis(500));
+        assert!(convergence_envelope(10, tick) > convergence_envelope(5, tick));
     }
 
     #[test]

@@ -53,6 +53,13 @@ pub trait Transport<S> {
 
     /// Non-blocking poll for the next accepted inbound state.
     fn try_recv(&mut self) -> Option<Inbound<S>>;
+
+    /// Jump the send-side freshness counter forward by `bump`, if the
+    /// transport has one. A node performing a watchdog *self*-restart keeps
+    /// its sockets (unlike a supervisor restart) but must still overshoot
+    /// its neighbours' staleness filters past anything its pre-restart self
+    /// can have sent. Default: no-op, for transports without generations.
+    fn bump_generation(&mut self, _bump: u32) {}
 }
 
 /// One direction of the node's connectivity: a socket plus the peer (or
@@ -83,10 +90,20 @@ pub struct UdpTransport<S> {
     generation: u32,
     retransmit_base: Duration,
     next_retransmit: Instant,
+    /// Exponent of the retransmit backoff: consecutive retransmissions with
+    /// no accepted inbound datagram stretch the period by `2^exp` (capped),
+    /// so a dead or partitioned neighbourhood is probed, not hammered. Any
+    /// accepted receive — the CST equivalent of an ACK — resets it.
+    backoff_exp: u32,
     rng: StdRng,
     metrics: Arc<NodeMetrics>,
     recv_buf: Vec<u8>,
 }
+
+/// Cap of the retransmit backoff exponent: the period never stretches past
+/// `2^MAX_BACKOFF_EXP` (32×) the configured base, so a healed link is
+/// re-probed within a bounded interval.
+const MAX_BACKOFF_EXP: u32 = 5;
 
 /// The two local socket addresses of a bound, not-yet-wired transport.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +145,7 @@ impl<S: WireState> UdpTransport<S> {
             generation: 0,
             retransmit_base: retransmit,
             next_retransmit: Instant::now(),
+            backoff_exp: 0,
             rng: StdRng::seed_from_u64(seed),
             metrics,
             recv_buf: vec![0u8; 64 * 1024],
@@ -191,7 +209,10 @@ impl<S: WireState> UdpTransport<S> {
     }
 
     fn schedule_retransmit(&mut self) {
-        let base = self.retransmit_base.as_micros().max(1) as u64;
+        // The jitter window scales with the backed-off period, keeping the
+        // ring de-synchronized at every backoff stage.
+        let mult = 1u64 << self.backoff_exp.min(MAX_BACKOFF_EXP);
+        let base = (self.retransmit_base.as_micros().max(1) as u64).saturating_mul(mult);
         let jittered = self.rng.random_range((base / 2).max(1)..=base + base / 2);
         self.next_retransmit = Instant::now() + Duration::from_micros(jittered);
     }
@@ -247,17 +268,142 @@ impl<S: WireState + Clone> Transport<S> for UdpTransport<S> {
 
     fn pump(&mut self) -> io::Result<()> {
         if self.latest.is_some() && Instant::now() >= self.next_retransmit {
+            // Each retransmission into silence stretches the next period;
+            // the accepted-receive reset in `try_recv` undoes it.
+            self.backoff_exp = (self.backoff_exp + 1).min(MAX_BACKOFF_EXP);
             self.send_both(true)?;
         }
         Ok(())
     }
 
     fn try_recv(&mut self) -> Option<Inbound<S>> {
-        if let Some(got) =
-            Self::poll_end(&mut self.pred, Neighbor::Pred, &mut self.recv_buf, &self.metrics)
-        {
-            return Some(got);
+        let got = Self::poll_end(&mut self.pred, Neighbor::Pred, &mut self.recv_buf, &self.metrics)
+            .or_else(|| {
+                Self::poll_end(&mut self.succ, Neighbor::Succ, &mut self.recv_buf, &self.metrics)
+            });
+        if got.is_some() && self.backoff_exp != 0 {
+            // First accepted datagram after a silent spell: the neighbour
+            // is alive again — resume the base cadence AND pull the
+            // already-scheduled (backed-off) deadline back in, otherwise one
+            // stretched period would linger after every reset.
+            self.backoff_exp = 0;
+            self.schedule_retransmit();
         }
-        Self::poll_end(&mut self.succ, Neighbor::Succ, &mut self.recv_buf, &self.metrics)
+        got
+    }
+
+    fn bump_generation(&mut self, bump: u32) {
+        self.generation = self.generation.wrapping_add(bump);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transport(retransmit: Duration) -> (UdpTransport<u32>, UdpSocket) {
+        let metrics = Arc::new(NodeMetrics::default());
+        let mut t = UdpTransport::<u32>::bind(0, 1, 1, retransmit, 1, metrics).unwrap();
+        // A sink socket stands in for both neighbours; it never replies.
+        let sink = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let sink_addr = sink.local_addr().unwrap();
+        t.wire(sink_addr, sink_addr);
+        (t, sink)
+    }
+
+    /// Silent-neighbour policy: every retransmission into silence stretches
+    /// the period, up to the 32× cap — a dead link is probed, not hammered.
+    #[test]
+    fn retransmit_backoff_grows_to_the_cap_while_silent() {
+        let (mut t, _sink) = transport(Duration::from_micros(500));
+        t.publish(&7u32).unwrap();
+        assert_eq!(t.backoff_exp, 0, "a fresh publish is not a retransmission");
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while t.backoff_exp < MAX_BACKOFF_EXP && Instant::now() < deadline {
+            t.pump().unwrap();
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        assert_eq!(t.backoff_exp, MAX_BACKOFF_EXP, "backoff must reach and hold the cap");
+        // The scheduled period is now in the backed-off range, well past the
+        // base's maximum jitter (1.5 × 500µs).
+        let gap = t.next_retransmit.saturating_duration_since(Instant::now());
+        assert!(gap > Duration::from_micros(750), "period not backed off: {gap:?}");
+    }
+
+    /// The first *accepted* inbound datagram — the CST equivalent of an ACK
+    /// — resets the backoff to the base cadence.
+    #[test]
+    fn accepted_receive_resets_the_backoff() {
+        let (mut t, _sink) = transport(Duration::from_micros(500));
+        t.publish(&7u32).unwrap();
+        for _ in 0..200 {
+            t.pump().unwrap();
+            if t.backoff_exp >= 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(300));
+        }
+        assert!(t.backoff_exp >= 2, "backoff must have started");
+
+        let peer = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let addrs = t.local_addrs().unwrap();
+        peer.send_to(&encode(1u16, 5u32, &42u32), addrs.pred).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let got = loop {
+            if let Some(got) = t.try_recv() {
+                break got;
+            }
+            assert!(Instant::now() < deadline, "inbound datagram never accepted");
+            std::thread::sleep(Duration::from_micros(100));
+        };
+        assert_eq!(got.state, 42);
+        assert_eq!(t.backoff_exp, 0, "an accepted receive resets the backoff");
+    }
+
+    /// A rejected datagram (wrong sender) does NOT reset the backoff: only
+    /// an accepted neighbour state counts as liveness.
+    #[test]
+    fn rejected_datagrams_do_not_reset_the_backoff() {
+        let (mut t, _sink) = transport(Duration::from_micros(500));
+        t.publish(&7u32).unwrap();
+        for _ in 0..200 {
+            t.pump().unwrap();
+            if t.backoff_exp >= 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(300));
+        }
+        let exp = t.backoff_exp;
+        assert!(exp >= 2);
+
+        let peer = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let addrs = t.local_addrs().unwrap();
+        // Sender index 9 is not the expected neighbour on either socket.
+        peer.send_to(&encode(9u16, 5u32, &42u32), addrs.pred).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(t.try_recv(), None, "mis-addressed frame must be rejected");
+        assert_eq!(t.backoff_exp, exp, "rejected frames are not ACKs");
+    }
+
+    /// `bump_generation` jumps the stamped generation forward so post-bump
+    /// frames pass a receiver's staleness filter.
+    #[test]
+    fn bump_generation_overshoots_the_staleness_filter() {
+        let (mut t, sink) = transport(Duration::from_millis(50));
+        t.publish(&1u32).unwrap();
+        let before = t.generation;
+        t.bump_generation(1 << 24);
+        assert_eq!(t.generation, before.wrapping_add(1 << 24));
+        t.publish(&2u32).unwrap();
+        // Both publishes delivered datagrams to the sink; the post-bump ones
+        // must carry generations past the jump.
+        let mut buf = [0u8; 128];
+        let mut max_gen = 0u32;
+        sink.set_read_timeout(Some(Duration::from_millis(100))).unwrap();
+        while let Ok((len, _)) = sink.recv_from(&mut buf) {
+            max_gen = max_gen.max(decode::<u32>(&buf[..len]).unwrap().generation);
+        }
+        assert!(max_gen > before, "post-bump frames carry the jumped generation: {max_gen}");
+        assert!(max_gen >= 1 << 24, "the jump is visible on the wire: {max_gen}");
     }
 }

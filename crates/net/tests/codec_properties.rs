@@ -74,6 +74,57 @@ proptest! {
         prop_assert!(decode::<SsrState>(&bytes[..cut]).is_err());
     }
 
+    /// The rejection properties hold across the whole `WireState` corpus,
+    /// not just the SSRmin payload: one-byte corruption of a Dijkstra
+    /// counter (`u32`) frame is always detected.
+    #[test]
+    fn counter_single_byte_corruption_is_detected(
+        x in any::<u32>(),
+        pos_seed in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = encode(4, 11, &x);
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= xor;
+        prop_assert!(decode::<u32>(&bytes).is_err());
+    }
+
+    /// ... and truncating a counter frame anywhere is detected, and decoding
+    /// arbitrary garbage as a counter frame never panics.
+    #[test]
+    fn counter_truncation_is_detected_and_decode_is_total(
+        x in any::<u32>(),
+        cut_seed in any::<usize>(),
+        garbage in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let bytes = encode(4, 11, &x);
+        let cut = cut_seed % bytes.len();
+        prop_assert!(decode::<u32>(&bytes[..cut]).is_err());
+        let _ = decode::<u32>(&garbage);
+    }
+
+    /// The chaos proxy's exact wire-damage model — one random byte XOR'd
+    /// with a non-zero value, optionally followed by truncation to a
+    /// strictly shorter prefix — never yields a decodable frame. This is
+    /// the property `ChaosConfig::corrupt`/`truncate` rely on: damaged
+    /// datagrams die in the codec, never in the algorithm.
+    #[test]
+    fn chaos_damage_model_never_decodes(
+        state in arb_ssr_state(),
+        pos_seed in any::<usize>(),
+        xor in 1u8..=255,
+        also_truncate in any::<bool>(),
+        cut_seed in any::<usize>(),
+    ) {
+        let mut bytes = encode(9, 77, &state);
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= xor;
+        if also_truncate {
+            bytes.truncate(cut_seed % bytes.len());
+        }
+        prop_assert!(decode::<SsrState>(&bytes).is_err());
+    }
+
     /// The error taxonomy is stable for the two checks peers rely on:
     /// a wrong version byte is BadVersion, a wrong payload kind WrongKind
     /// (both checked before the checksum so peers can classify mismatches).

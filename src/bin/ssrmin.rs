@@ -23,7 +23,7 @@ use ssrmin::core::{Config, CriticalSectionProtocol, DualSsToken, RingParams, SsT
 use ssrmin::ctl::CtlListener;
 use ssrmin::daemon::{measure_convergence, random_config, trace, Engine};
 use ssrmin::mpnet::{CstSim, DelayModel, FaultPlan, FaultSchedule, SimConfig};
-use ssrmin::net::{ChaosConfig, ClusterConfig, SupervisorConfig};
+use ssrmin::net::{ChaosConfig, ClusterConfig, SupervisorConfig, WatchdogConfig};
 use ssrmin::runtime::camera::CameraNetwork;
 use ssrmin::runtime::RuntimeConfig;
 use ssrmin::{RingAlgorithm, SsrState};
@@ -97,16 +97,19 @@ USAGE:
                      POST /chaos and /faults admin endpoints while it runs
   ssrmin soak      [--nodes N] [-k K] [--ms MS] [--seed SEED]
                    [--crashes C] [--partitions P] [--mode amnesia|snapshot|mixed]
+                   [--corrupts C] [--freezes F] [--babbles B]
                    [--loss P] [--burst] [--delay-us US] [--dup P] [--reorder P]
-                   [--csv] [--ctl-addr HOST:PORT]
+                   [--corrupt P] [--truncate P] [--csv] [--ctl-addr HOST:PORT]
                      run the UDP cluster under a seeded fault schedule —
                      crash/restart with exponential backoff (amnesia or
                      snapshot restore) and link partition windows — and
                      report the recovery time of every fault event
   ssrmin ctl URL metrics|status|top
-  ssrmin ctl URL chaos partition F T | heal F T | loss P | loss off
+  ssrmin ctl URL chaos partition F T | heal F T | loss P|off |
+                       corrupt P|off | truncate P|off
   ssrmin ctl URL fault crash N [amnesia|snapshot] | restart N |
-                       partition F T | heal F T | corrupt-snapshot N
+                       partition F T | heal F T | corrupt-snapshot N |
+                       corrupt-state N | freeze N | babble N
                      one-shot client against a --ctl-addr control plane
   ssrmin top URL   [--interval-ms MS] [--once]
                      refreshing ASCII dashboard of a running ring
@@ -117,7 +120,17 @@ USAGE:
                      the last L events
   ssrmin adversary  [-n N] [-k K] [--budget B] [--seed SEED]
                      hill-climb for a worst-case schedule (and, for tiny
-                     rings, compare with the checker's exact bound)";
+                     rings, compare with the checker's exact bound)
+  ssrmin adversary  --ms MS [--nodes N] [-k K] [--seed SEED]
+                   [--corrupts C] [--freezes F] [--babbles B]
+                   [--loss P] [--corrupt P] [--truncate P] [--csv]
+                   [--ctl-addr HOST:PORT]
+                     live adversarial soak on the UDP ring: inject seeded
+                     state corruptions, rule-engine freezes and stale
+                     babble bursts with the convergence watchdog armed;
+                     fails unless the ring re-converges to 1..=2 privileged
+                     after every event, and reports measured recoveries
+                     against the Theorem 2 O(n^2) stabilization envelope";
 
 type Opts = HashMap<String, String>;
 
@@ -384,8 +397,16 @@ fn chaos_from_opts(opts: &Opts) -> Result<Option<ChaosConfig>, String> {
     let delay_us: u64 = get(opts, "delay-us", 0u64)?;
     let dup = probability(opts, "dup")?;
     let reorder = probability(opts, "reorder")?;
+    let corrupt = probability(opts, "corrupt")?;
+    let truncate = probability(opts, "truncate")?;
     let burst = opts.contains_key("burst");
-    let faulty = loss > 0.0 || delay_us > 0 || dup > 0.0 || reorder > 0.0 || burst;
+    let faulty = loss > 0.0
+        || delay_us > 0
+        || dup > 0.0
+        || reorder > 0.0
+        || corrupt > 0.0
+        || truncate > 0.0
+        || burst;
     Ok(faulty.then(|| ChaosConfig {
         seed: 0, // per-link seeds are derived by the runner/supervisor
         loss,
@@ -393,6 +414,8 @@ fn chaos_from_opts(opts: &Opts) -> Result<Option<ChaosConfig>, String> {
         delay: (Duration::ZERO, Duration::from_micros(delay_us)),
         duplicate: dup,
         reorder,
+        corrupt,
+        truncate,
     }))
 }
 
@@ -513,6 +536,9 @@ fn cmd_soak(opts: &Opts) -> Result<(), String> {
         downtime: ((ms / 20).max(1), (ms / 8).max(2)),
         partition_len: ((ms / 15).max(1), (ms / 6).max(2)),
         snapshot_ratio,
+        corrupts: get(opts, "corrupts", 0usize)?,
+        freezes: get(opts, "freezes", 0usize)?,
+        babbles: get(opts, "babbles", 0usize)?,
     };
     let schedule = FaultSchedule::random(n, &plan, seed);
 
@@ -644,6 +670,11 @@ fn cmd_transcript(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_adversary(opts: &Opts) -> Result<(), String> {
+    // `--ms`/`--nodes` selects the live soak against a real UDP ring; the
+    // bare form keeps the offline worst-case schedule search.
+    if opts.contains_key("ms") || opts.contains_key("nodes") {
+        return cmd_adversary_soak(opts);
+    }
     let params = ring_params(opts, 4)?;
     let budget: u64 = get(opts, "budget", 4_000u64)?;
     let seed: u64 = get(opts, "seed", 42u64)?;
@@ -675,11 +706,101 @@ fn cmd_adversary(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// `ssrmin adversary --ms ...` — a live adversarial soak: schedule seeded
+/// state corruptions, rule-engine freezes and stale-generation babble
+/// bursts against a real UDP ring running with the convergence watchdog
+/// enabled, then demand re-convergence to `1 <= privileged <= 2` after
+/// every adversarial event and compare measured recoveries against the
+/// Theorem 2 stabilization envelope.
+fn cmd_adversary_soak(opts: &Opts) -> Result<(), String> {
+    let params = cluster_params(opts, 5)?;
+    let (n, k) = (params.n(), params.k());
+    let ms: u64 = get(opts, "ms", 3000u64)?;
+    if ms < 100 {
+        return Err("--ms must be at least 100 (the schedule needs room)".into());
+    }
+    let seed: u64 = get(opts, "seed", 0u64)?;
+    let csv = opts.contains_key("csv");
+
+    let algo = SsrMin::new(params);
+    let initial = start_config(opts, &algo, seed)?;
+    let plan = FaultPlan {
+        crashes: 0,
+        partitions: 0,
+        window: (ms / 5, ms * 7 / 10),
+        downtime: ((ms / 20).max(1), (ms / 8).max(2)),
+        partition_len: ((ms / 15).max(1), (ms / 6).max(2)),
+        snapshot_ratio: 0.0,
+        corrupts: get(opts, "corrupts", 1usize)?,
+        freezes: get(opts, "freezes", 1usize)?,
+        babbles: get(opts, "babbles", 1usize)?,
+    };
+    let schedule = FaultSchedule::random(n, &plan, seed);
+
+    let sup = SupervisorConfig {
+        cluster: ClusterConfig {
+            seed,
+            duration: Duration::from_millis(ms),
+            warmup: Duration::from_millis(ms / 2),
+            chaos: chaos_from_opts(opts)?,
+            ..ClusterConfig::default()
+        },
+        schedule,
+        watchdog: Some(WatchdogConfig::default()),
+        ..SupervisorConfig::default()
+    };
+    let report = ssrmin::net::run_supervised_cluster_with_ctl(
+        algo,
+        initial,
+        sup,
+        // Poisons draw from the adversarial sampler: Hoepman worst-case
+        // counters with maximally disagreeing caches, secondary token held.
+        ssrmin::net::ssr_adversary(params, seed),
+        ctl_listener(opts)?,
+    )
+    .map_err(|e| e.to_string())?;
+
+    if csv {
+        print!("{}", report.recovery.to_csv());
+        return Ok(());
+    }
+    println!(
+        "adversary soak: {n} nodes, K = {k}, {ms} ms, seed = {seed}, {} recorded events",
+        report.recovery.rows.len()
+    );
+    print!("{}", report.recovery.to_ascii());
+    let c = &report.cluster;
+    println!("re-converged after every adversarial event: {}", report.reconverged());
+    println!("watchdog escalations    : {}", report.watchdog_escalations());
+    let max_measured = report.recovery.rows.iter().filter_map(|r| r.recovery).max();
+    println!(
+        "stabilization envelope (4*n^2*tick): {:?} — max measured recovery {}: {}",
+        report.envelope,
+        match max_measured {
+            Some(d) => format!("{d:?}"),
+            None => "-".to_string(),
+        },
+        if report.within_envelope() { "WITHIN" } else { "EXCEEDED" },
+    );
+    println!("privileged nodes        : {}..={}", c.coverage.min_active, c.coverage.max_active);
+    println!("handovers (activations) : {}", c.coverage.activations);
+    println!(
+        "chaos                   : {} forwarded, {} dropped, {} corrupted, {} truncated",
+        c.chaos.forwarded, c.chaos.dropped, c.chaos.corrupted, c.chaos.truncated
+    );
+    if !report.reconverged() {
+        return Err("ring did NOT re-converge after every adversarial event".into());
+    }
+    Ok(())
+}
+
 const CTL_USAGE: &str = "\
 usage: ssrmin ctl URL metrics|status|top
-       ssrmin ctl URL chaos partition F T | heal F T | loss P | loss off
+       ssrmin ctl URL chaos partition F T | heal F T | loss P|off |
+                            corrupt P|off | truncate P|off
        ssrmin ctl URL fault crash N [amnesia|snapshot] | restart N |
-                            partition F T | heal F T | corrupt-snapshot N";
+                            partition F T | heal F T | corrupt-snapshot N |
+                            corrupt-state N | freeze N | babble N";
 
 /// `ssrmin ctl <url> <command...>` — one-shot client against a running
 /// ring's `--ctl-addr` control plane.

@@ -19,7 +19,10 @@ use std::time::{Duration, Instant};
 use ssrmin::core::{RingParams, SsrMin};
 use ssrmin::ctl::{post, CtlListener, Json};
 use ssrmin::mpnet::FaultSchedule;
-use ssrmin::net::{run_supervised_cluster_with_ctl, ssr_amnesia, ClusterConfig, SupervisorConfig};
+use ssrmin::net::{
+    run_supervised_cluster_with_ctl, ssr_adversary, ssr_amnesia, ClusterConfig, SupervisorConfig,
+    WatchdogConfig,
+};
 
 /// One raw HTTP/1.1 exchange; returns (status code, body).
 fn raw(addr: SocketAddr, request: &str) -> (u16, String) {
@@ -211,6 +214,116 @@ fn ctl_plane_scrapes_and_recovers_through_the_api() {
     assert_eq!(report.panics, 0);
     assert!(report.reconverged(), "{}", report.recovery.to_ascii());
     assert!(report.cluster.chaos.blocked > 0, "the live partition must have blocked datagrams");
+}
+
+/// Acceptance for the adversary plane over HTTP: `POST /chaos` flips the
+/// byte-corruption rate live (damage shows up in the per-link counters and
+/// dies in the codec), `POST /faults` injects corrupt-state, babble and
+/// freeze on the running ring, the convergence watchdog heals the freeze
+/// and its escalations surface in `/status` — all while the Theorem 2
+/// envelope comparison is exported.
+#[test]
+fn adversarial_faults_and_wire_damage_over_the_api() {
+    let params = RingParams::new(5, 6).unwrap();
+    let algo = SsrMin::new(params);
+    let listener = CtlListener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = listener.local_addr();
+    let url = format!("http://{addr}");
+
+    let cfg = SupervisorConfig {
+        cluster: ClusterConfig {
+            seed: 47,
+            duration: Duration::from_millis(10_000),
+            warmup: Duration::from_millis(300),
+            ..ClusterConfig::default()
+        },
+        schedule: FaultSchedule::new(),
+        watchdog: Some(WatchdogConfig { scale: 4, floor: Duration::from_millis(300) }),
+        ..SupervisorConfig::default()
+    };
+    let runner = thread::spawn(move || {
+        run_supervised_cluster_with_ctl(
+            algo,
+            algo.legitimate_anchor(0),
+            cfg,
+            ssr_adversary(algo.params(), 47),
+            Some(listener),
+        )
+        .unwrap()
+    });
+
+    // Healthy ring first; the envelope comparison is exported from the start.
+    let doc = wait_status(addr, "healthy ring", |doc| {
+        doc.get("token_count_ok") == Some(&Json::Bool(true))
+    });
+    assert!(doc.get("envelope_ms").and_then(Json::as_u64).is_some_and(|ms| ms > 0), "{doc:?}");
+    assert_eq!(doc.get("watchdog_escalations").and_then(Json::as_u64), Some(0));
+    assert_eq!(doc.get("envelope_ok"), Some(&Json::Bool(true)));
+
+    // Live wire damage: a 25% byte-corruption rate on every link. Damaged
+    // frames show in the per-link counters (and die in the codec — the
+    // ring's invariant stays intact below).
+    let reply = post(&url, "/chaos", "corrupt 0.25").unwrap();
+    assert!(reply.ok(), "{}: {}", reply.status, reply.body);
+    wait_status(addr, "corrupted datagrams counted", |doc| {
+        doc.get("links")
+            .and_then(Json::as_arr)
+            .map(|links| {
+                links.iter().filter_map(|l| l.get("corrupted").and_then(Json::as_u64)).sum()
+            })
+            .unwrap_or(0u64)
+            > 0
+    });
+    let reply = post(&url, "/chaos", "corrupt off").unwrap();
+    assert!(reply.ok(), "{}: {}", reply.status, reply.body);
+    let reply = post(&url, "/chaos", "truncate 0").unwrap();
+    assert!(reply.ok(), "truncate takes a plain rate too: {}", reply.body);
+
+    // Rate validation over the wire: out-of-range is a parse error.
+    assert_eq!(post(&url, "/chaos", "corrupt 1.5").unwrap().status, 400);
+    assert_eq!(post(&url, "/chaos", "truncate banana").unwrap().status, 400);
+
+    // Live adversarial state corruption, then a babble burst: each is
+    // queued, applied, and the ring re-converges through the API.
+    let reply = post(&url, "/faults", "corrupt-state 2").unwrap();
+    assert!(reply.ok(), "{}: {}", reply.status, reply.body);
+    assert!(reply.body.contains("queued"), "{}", reply.body);
+    wait_status(addr, "state corruption absorbed", |doc| {
+        doc.get("faults_applied").and_then(Json::as_u64) == Some(1)
+            && doc.get("token_count_ok") == Some(&Json::Bool(true))
+    });
+    let reply = post(&url, "/faults", "babble 1").unwrap();
+    assert!(reply.ok(), "{}: {}", reply.status, reply.body);
+    wait_status(addr, "babble absorbed", |doc| {
+        doc.get("faults_applied").and_then(Json::as_u64) == Some(2)
+            && doc.get("token_count_ok") == Some(&Json::Bool(true))
+    });
+
+    // Freeze a node's rule engine: the watchdog must escalate (visible in
+    // /status and /metrics) and the ring must re-converge on its own.
+    let reply = post(&url, "/faults", "freeze 3").unwrap();
+    assert!(reply.ok(), "{}: {}", reply.status, reply.body);
+    wait_status(addr, "watchdog escalation heals the freeze", |doc| {
+        doc.get("watchdog_escalations").and_then(Json::as_u64).is_some_and(|w| w > 0)
+            && doc.get("token_count_ok") == Some(&Json::Bool(true))
+    });
+    let (_, metrics) = raw_get(addr, "/metrics");
+    assert!(metrics.contains("ssr_supervisor_watchdog_total"), "{metrics}");
+    assert!(metrics.contains("ssr_chaos_corrupted_total"), "{metrics}");
+    assert!(metrics.contains("ssr_envelope_ms"), "{metrics}");
+
+    // Watchdog escalations are recorded by the runtime, never injectable.
+    assert_eq!(post(&url, "/faults", "watchdog 1").unwrap().status, 400);
+
+    let report = runner.join().unwrap();
+    assert_eq!(report.panics, 0);
+    assert!(report.reconverged(), "{}", report.recovery.to_ascii());
+    assert!(report.watchdog_escalations() >= 1);
+    let has = |f: fn(&ssrmin::mpnet::FaultKind) -> bool| report.kinds.iter().any(f);
+    assert!(has(|k| matches!(k, ssrmin::mpnet::FaultKind::CorruptState { .. })));
+    assert!(has(|k| matches!(k, ssrmin::mpnet::FaultKind::Babble { .. })));
+    assert!(has(|k| matches!(k, ssrmin::mpnet::FaultKind::FreezeNode { .. })));
+    assert!(report.cluster.chaos.corrupted > 0, "live corruption must have damaged datagrams");
 }
 
 /// The CLI front-end end-to-end: `ssrmin cluster --ctl-addr 127.0.0.1:0`

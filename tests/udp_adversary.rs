@@ -1,0 +1,226 @@
+//! End-to-end adversary tests of the supervised UDP cluster: runtime state
+//! corruption, rule-engine freezes, stale babble bursts and byte-level wire
+//! damage, each absorbed by self-stabilization (plus, for freezes, the
+//! convergence watchdog) on real sockets.
+//!
+//! Timing discipline matches `tests/udp_faults.rs`: assertions are about
+//! *eventual* re-convergence within generous windows, never about absolute
+//! speed, so a loaded single-core CI host does not flake them.
+
+use std::net::UdpSocket;
+use std::time::Duration;
+
+use ssrmin::core::{RingParams, SsrMin, SsrState};
+use ssrmin::mpnet::{FaultKind, FaultSchedule, GilbertElliott};
+use ssrmin::net::{
+    decode, encode, run_supervised_cluster, ssr_adversary, ssr_amnesia, ChaosConfig, ChaosProxy,
+    ClusterConfig, SupervisorConfig, WatchdogConfig,
+};
+
+fn params(n: usize) -> RingParams {
+    RingParams::new(n, n as u32 + 1).unwrap()
+}
+
+fn sup(seed: u64, ms: u64, schedule: FaultSchedule) -> SupervisorConfig {
+    SupervisorConfig {
+        cluster: ClusterConfig {
+            seed,
+            duration: Duration::from_millis(ms),
+            warmup: Duration::from_millis(ms / 2),
+            ..ClusterConfig::default()
+        },
+        schedule,
+        watchdog: Some(WatchdogConfig::default()),
+        ..SupervisorConfig::default()
+    }
+}
+
+/// Acceptance: a live 5-node ring whose replica is overwritten mid-run with
+/// a seeded Hoepman worst-case state re-converges to `1 <= privileged <= 2`
+/// (P7), keeps at least one token held throughout (the adversarial state
+/// itself carries the secondary token, P9), and the measured recovery lands
+/// within the Theorem 2 `O(n^2)` stabilization envelope.
+#[test]
+fn corrupt_state_reconverges_within_envelope() {
+    let algo = SsrMin::new(params(5));
+    let schedule = FaultSchedule::new()
+        .with(700, FaultKind::CorruptState { node: 2 })
+        .with(1200, FaultKind::CorruptState { node: 4 });
+    let report = run_supervised_cluster(
+        algo,
+        algo.legitimate_anchor(0),
+        sup(31, 2400, schedule),
+        ssr_adversary(algo.params(), 31),
+    )
+    .unwrap();
+
+    assert_eq!(report.recovery.rows.len(), 2, "every injection gets a recovery row");
+    assert!(
+        report.reconverged(),
+        "ring did not re-converge after state corruption:\n{}",
+        report.recovery.to_ascii()
+    );
+    assert!(
+        report.within_envelope(),
+        "recovery exceeded the O(n^2) envelope {:?}:\n{}",
+        report.envelope,
+        report.recovery.to_ascii()
+    );
+    // The adversarial state holds the secondary token (own.tra), so the ring
+    // stays covered through the poison — up to sub-tick handover transients
+    // while the illegitimate configuration is being absorbed (P9 is only
+    // guaranteed once legitimacy returns).
+    assert!(
+        report.cluster.coverage.uncovered < Duration::from_millis(10),
+        "ring lost all tokens for {:?}",
+        report.cluster.coverage.uncovered
+    );
+    // Tokens kept moving after the poison.
+    assert!(report.cluster.coverage.activations >= 10);
+    assert_eq!(report.panics, 0);
+}
+
+/// Acceptance: freezing a node's rule engine (the thread keeps ACKing and
+/// retransmitting but never executes a rule) starves the whole ring; the
+/// convergence watchdog escalates — resync, then amnesia self-restart with
+/// a generation bump — each escalation recorded as a recovery row, and the
+/// ring re-converges without any scheduled restart.
+#[test]
+fn freeze_heals_via_watchdog_escalation() {
+    let algo = SsrMin::new(params(5));
+    let schedule = FaultSchedule::new().with(600, FaultKind::FreezeNode { node: 2 });
+    // A tight budget so escalation happens well inside the run.
+    let mut cfg = sup(37, 3000, schedule);
+    cfg.watchdog = Some(WatchdogConfig { scale: 4, floor: Duration::from_millis(300) });
+    let report = run_supervised_cluster(
+        algo,
+        algo.legitimate_anchor(0),
+        cfg,
+        ssr_amnesia(algo.params(), 37),
+    )
+    .unwrap();
+
+    assert!(
+        report.watchdog_escalations() >= 1,
+        "a frozen ring must trip the watchdog:\n{}",
+        report.recovery.to_ascii()
+    );
+    assert!(report.kinds.iter().any(|k| matches!(k, FaultKind::Watchdog { .. })));
+    // The escalations un-froze the ring: the last recorded event's window
+    // (which extends to the end of the run) sees the invariant return.
+    let last = report.recovery.rows.last().expect("freeze + escalations were recorded");
+    assert!(
+        last.recovery.is_some(),
+        "ring never re-converged after watchdog escalation:\n{}",
+        report.recovery.to_ascii()
+    );
+    // No scheduled restart happened — recovery was purely watchdog-driven.
+    assert!(report.restarts.is_empty());
+    assert_eq!(report.panics, 0);
+}
+
+/// Acceptance: a babble burst — CRC-valid frames impersonating a live node
+/// with generations a million behind — is entirely absorbed by the
+/// receiver-side staleness filter: stale drops rise, and the ring stays
+/// converged with at most two privileged nodes.
+#[test]
+fn babble_is_filtered_and_harmless() {
+    let algo = SsrMin::new(params(5));
+    let schedule = FaultSchedule::new()
+        .with(500, FaultKind::Babble { node: 1 })
+        .with(900, FaultKind::Babble { node: 3 });
+    let report = run_supervised_cluster(
+        algo,
+        algo.legitimate_anchor(0),
+        sup(41, 2000, schedule),
+        ssr_amnesia(algo.params(), 41),
+    )
+    .unwrap();
+
+    let stale: u64 = report.cluster.metrics.rows.iter().map(|r| r.stale_drops).sum();
+    assert!(stale > 0, "babbled stale-generation frames must be dropped by the filter");
+    assert!(report.reconverged(), "{}", report.recovery.to_ascii());
+    assert!(report.cluster.coverage.max_active <= 2, "babble must not mint extra privileges");
+    assert!(report.cluster.coverage.min_active >= 1);
+    assert_eq!(report.panics, 0);
+}
+
+/// Acceptance (wire damage, deterministic): with `corrupt = 1.0` every
+/// datagram through the chaos proxy has one byte flipped, and *every* such
+/// frame is rejected by the CRC-32 codec — the corrupted counter equals the
+/// rejected count. Same for `truncate = 1.0` and the length checks.
+#[test]
+fn every_wire_corrupted_frame_is_rejected_by_the_codec() {
+    for (label, cfg) in [
+        ("corrupt", ChaosConfig { corrupt: 1.0, seed: 5, ..ChaosConfig::default() }),
+        ("truncate", ChaosConfig { truncate: 1.0, seed: 6, ..ChaosConfig::default() }),
+    ] {
+        let dst = UdpSocket::bind("127.0.0.1:0").unwrap();
+        dst.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+        let proxy = ChaosProxy::spawn(dst.local_addr().unwrap(), cfg).unwrap();
+        let src = UdpSocket::bind("127.0.0.1:0").unwrap();
+
+        let total = 64u64;
+        for g in 0..total {
+            let frame = encode(3, g as u32, &SsrState::new(2, 1, 0));
+            src.send_to(&frame, proxy.addr()).unwrap();
+        }
+
+        let mut rejected = 0u64;
+        let mut received = 0u64;
+        let mut buf = [0u8; 256];
+        while received < total {
+            let Ok((len, _)) = dst.recv_from(&mut buf) else { break };
+            received += 1;
+            if decode::<SsrState>(&buf[..len]).is_err() {
+                rejected += 1;
+            }
+        }
+        let stats = proxy.shutdown();
+        let counters = stats.counters();
+        let damaged = match label {
+            "corrupt" => counters.corrupted,
+            _ => counters.truncated,
+        };
+        assert_eq!(received, total, "{label}: the proxy forwards damaged datagrams");
+        assert_eq!(damaged, total, "{label}: every datagram must be damaged at probability 1");
+        assert_eq!(
+            rejected, damaged,
+            "{label}: corrupted counter must equal the codec-rejected count"
+        );
+    }
+}
+
+/// Acceptance (watchdog false positives): a 7-node ring under 20% i.i.d.
+/// loss *plus* Gilbert–Elliott bursts, with the default (paranoid) budget,
+/// triggers **zero** escalations over a full soak — packet loss alone never
+/// looks like starvation, because retransmission keeps rules firing.
+#[test]
+fn watchdog_has_no_false_positives_under_lossy_links() {
+    let algo = SsrMin::new(params(7));
+    let mut cfg = sup(43, 2500, FaultSchedule::new());
+    cfg.cluster.chaos = Some(ChaosConfig {
+        loss: 0.2,
+        burst: Some(GilbertElliott::default()),
+        ..ChaosConfig::default()
+    });
+    let report = run_supervised_cluster(
+        algo,
+        algo.legitimate_anchor(0),
+        cfg,
+        ssr_amnesia(algo.params(), 43),
+    )
+    .unwrap();
+
+    assert_eq!(
+        report.watchdog_escalations(),
+        0,
+        "loss must never look like starvation:\n{}",
+        report.recovery.to_ascii()
+    );
+    assert!(report.recovery.rows.is_empty());
+    assert!(report.cluster.chaos.dropped > 0, "the lossy links must have been active");
+    assert!(report.cluster.coverage.max_active <= 2);
+    assert!(report.cluster.coverage.activations >= 10);
+    assert_eq!(report.panics, 0);
+}

@@ -157,6 +157,7 @@ fn compound_soak_under_chaos_reconverges_after_every_fault() {
         downtime: (80, 150),
         partition_len: (100, 200),
         snapshot_ratio: 0.5,
+        ..FaultPlan::default()
     };
     let schedule = FaultSchedule::random(5, &plan, 23);
     let n_events = schedule.len();
