@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use ssr_core::SsrState;
-use ssr_net::{decode, encode};
+use ssr_net::{decode, encode, encode_tenant};
 
 fn bench_encode(c: &mut Criterion) {
     let mut group = c.benchmark_group("wire_encode");
@@ -59,5 +59,25 @@ fn bench_round_trip(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_encode, bench_decode, bench_round_trip);
+fn bench_tenant_frames(c: &mut Criterion) {
+    // The multi-tenant serve path stamps every datagram with a version-2
+    // tenant header; its overhead relative to v1 must stay negligible.
+    let mut group = c.benchmark_group("wire_tenant");
+    let state = SsrState { x: 321, rts: true, tra: false };
+    let bytes = encode_tenant(9, 3, 7, &state);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_v2", |b| {
+        let mut generation = 0u32;
+        b.iter(|| {
+            generation = generation.wrapping_add(1);
+            black_box(encode_tenant(black_box(9), black_box(3), black_box(generation), &state))
+        })
+    });
+    group.bench_function("decode_v2", |b| {
+        b.iter(|| black_box(decode::<SsrState>(black_box(&bytes))).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_round_trip, bench_tenant_frames);
 criterion_main!(benches);

@@ -148,6 +148,7 @@ pub fn write_response<W: Write>(
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         411 => "Length Required",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",

@@ -11,6 +11,7 @@ use std::fmt::Write as _;
 
 use ssr_mpnet::FaultKind;
 
+use crate::http::Request;
 use crate::json::Json;
 use crate::prom::Family;
 
@@ -367,6 +368,15 @@ pub trait ControlPlane: Send + Sync {
     /// Queues a fault for the supervisor to inject; returns a one-line
     /// confirmation.
     fn inject(&self, fault: FaultKind) -> Result<String, String>;
+    /// First-chance routing hook for planes that serve endpoints beyond the
+    /// fixed set (e.g. `ssr-serve`'s `/tenants` registry and lease API).
+    /// Return `Some((status, content_type, body))` to answer the request,
+    /// `None` to fall through to the built-in routes. The default plane
+    /// serves nothing extra.
+    fn handle(&self, request: &Request) -> Option<(u16, &'static str, String)> {
+        let _ = request;
+        None
+    }
 }
 
 #[cfg(test)]

@@ -131,6 +131,12 @@ fn handle_connection(mut stream: TcpStream, plane: &dyn ControlPlane) {
 /// Dispatches one request against the plane. Pure apart from plane calls,
 /// so unit tests exercise routing without sockets.
 fn route(request: &Request, plane: &dyn ControlPlane) -> (u16, &'static str, String) {
+    // Plane-specific endpoints (e.g. ssr-serve's tenant registry) get first
+    // refusal, so a plane can extend — or deliberately shadow — the fixed
+    // routes without this crate knowing its URL space.
+    if let Some(response) = plane.handle(request) {
+        return response;
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/metrics") => {
             (200, "text/plain; version=0.0.4; charset=utf-8", prom::render(&plane.metrics()))
@@ -279,6 +285,50 @@ mod tests {
         assert_eq!(status, 404);
         let (status, _, _) = route(&req("DELETE", "/status", ""), plane.as_ref());
         assert_eq!(status, 405);
+    }
+
+    /// A plane using the first-chance routing hook: extends the URL space
+    /// with its own endpoint (and method) and shadows a built-in route.
+    struct ExtendedPlane(Arc<MockPlane>);
+
+    impl ControlPlane for ExtendedPlane {
+        fn status(&self) -> RingStatus {
+            self.0.status()
+        }
+        fn metrics(&self) -> Vec<Family> {
+            self.0.metrics()
+        }
+        fn chaos(&self, cmd: ChaosCmd) -> Result<String, String> {
+            self.0.chaos(cmd)
+        }
+        fn inject(&self, fault: FaultKind) -> Result<String, String> {
+            self.0.inject(fault)
+        }
+        fn handle(&self, request: &Request) -> Option<(u16, &'static str, String)> {
+            match (request.method.as_str(), request.path.as_str()) {
+                ("GET", "/tenants") => Some((200, "application/json", "[]".to_string())),
+                ("DELETE", "/tenants/1") => Some((200, "text/plain", "deleted\n".to_string())),
+                ("GET", "/top") => Some((200, "text/plain", "shadowed\n".to_string())),
+                _ => None,
+            }
+        }
+    }
+
+    #[test]
+    fn plane_handle_extends_and_shadows_routes() {
+        let plane = ExtendedPlane(MockPlane::new());
+        let (status, ct, body) = route(&req("GET", "/tenants", ""), &plane);
+        assert_eq!((status, ct, body.as_str()), (200, "application/json", "[]"));
+        // Methods the fixed routes would 405 reach the plane first.
+        let (status, _, _) = route(&req("DELETE", "/tenants/1", ""), &plane);
+        assert_eq!(status, 200);
+        let (status, _, _) = route(&req("DELETE", "/status", ""), &plane);
+        assert_eq!(status, 405, "unhandled methods still fall through to 405");
+        // A handled path shadows the built-in; unhandled built-ins survive.
+        let (_, _, body) = route(&req("GET", "/top", ""), &plane);
+        assert_eq!(body, "shadowed\n");
+        let (status, _, _) = route(&req("GET", "/status", ""), &plane);
+        assert_eq!(status, 200);
     }
 
     #[test]

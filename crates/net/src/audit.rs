@@ -1,0 +1,306 @@
+//! Live (ℓ,k)-critical-section auditing of activity traces.
+//!
+//! `ssr_core::lkcs` states the paper's Theorem 1 guarantee as a
+//! [`CsSpec`] — "at least ℓ, at most k of the n processes privileged" —
+//! and audits *configurations* with [`ssr_core::audit_cs`]. A real cluster
+//! never hands us configurations, only the stream of privilege transitions
+//! the node runners log ([`ActivityEvent`]). This module replays that
+//! stream against a [`CsSpec`]: every interval between consecutive events
+//! has a definite privileged count, so the trace partitions into satisfied
+//! and violating time, violation *episodes* (maximal violating spans) can
+//! be counted, and the whole thing works incrementally — `ssr-serve` feeds
+//! events as they arrive and scrapes the running totals into its per-tenant
+//! `cs_violations_total` metric, while `ssrmin soak` audits the recorded
+//! trace after the fact.
+//!
+//! The replay is the same fold `cluster::stabilization_time` performs for
+//! the (1,2) band, generalized to any spec and taught to measure durations
+//! rather than find a single threshold instant.
+
+use std::time::Duration;
+
+use ssr_core::CsSpec;
+use ssr_runtime::activity::ActivityEvent;
+
+/// Running totals of a trace audit: how much audited time satisfied the
+/// spec, how much violated it, and how often violation episodes began.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCsAudit {
+    /// Total audited time (intervals at or after the audit start).
+    pub audited: Duration,
+    /// Audited time whose privileged count violated the spec.
+    pub violated: Duration,
+    /// Number of violation episodes: maximal spans of violating time
+    /// (consecutive violating intervals count once).
+    pub violations: u64,
+    /// Smallest privileged count seen over audited time.
+    pub min_active: usize,
+    /// Largest privileged count seen over audited time.
+    pub max_active: usize,
+    /// Audited intervals folded (diagnostics).
+    pub intervals: u64,
+}
+
+impl TraceCsAudit {
+    /// True iff no audited time violated the spec.
+    pub fn clean(&self) -> bool {
+        self.violations == 0 && self.violated.is_zero()
+    }
+}
+
+/// Incremental trace auditor: feed privilege transitions in time order,
+/// read the [`TraceCsAudit`] totals at any point.
+#[derive(Debug, Clone)]
+pub struct TraceAuditor {
+    spec: CsSpec,
+    /// Audit window start: time before this (convergence warmup, or the
+    /// measured stabilization instant) is not charged either way.
+    from: Duration,
+    active: Vec<bool>,
+    count: usize,
+    /// End of the last folded interval.
+    cursor: Duration,
+    /// Whether the previous audited interval violated the spec (episode
+    /// boundary detection).
+    in_violation: bool,
+    audit: TraceCsAudit,
+}
+
+impl TraceAuditor {
+    /// Start an audit of a ring whose initial privilege vector is
+    /// `initial_active`, ignoring time before `from`.
+    ///
+    /// # Panics
+    ///
+    /// If `initial_active.len()` does not match `spec`'s process count.
+    pub fn new(spec: CsSpec, initial_active: &[bool], from: Duration) -> Self {
+        assert_eq!(
+            initial_active.len(),
+            spec.n,
+            "initial activity vector must cover all n processes"
+        );
+        TraceAuditor {
+            spec,
+            from,
+            active: initial_active.to_vec(),
+            count: initial_active.iter().filter(|&&a| a).count(),
+            cursor: Duration::ZERO,
+            in_violation: false,
+            audit: TraceCsAudit { min_active: usize::MAX, ..TraceCsAudit::default() },
+        }
+    }
+
+    /// The spec being audited.
+    pub fn spec(&self) -> CsSpec {
+        self.spec
+    }
+
+    /// Current privileged count (as of the last folded instant).
+    pub fn privileged(&self) -> usize {
+        self.count
+    }
+
+    /// Fold one privilege transition. Events must arrive in non-decreasing
+    /// `at` order (sort batches first); an event earlier than the cursor is
+    /// clamped to it, so a slightly-stale straggler degrades accuracy
+    /// rather than corrupting the totals.
+    pub fn push(&mut self, event: ActivityEvent) {
+        let at = event.at.max(self.cursor);
+        self.fold_interval(at);
+        if let Some(slot) = self.active.get_mut(event.node) {
+            if *slot != event.active {
+                *slot = event.active;
+                if event.active {
+                    self.count += 1;
+                } else {
+                    self.count -= 1;
+                }
+            }
+        }
+    }
+
+    /// Fold audited time up to `now` without a transition — the live
+    /// auditor calls this between event batches so idle (steady-state)
+    /// time is charged to the current count.
+    pub fn advance_to(&mut self, now: Duration) {
+        if now > self.cursor {
+            self.fold_interval(now);
+        }
+    }
+
+    /// The running totals.
+    pub fn audit(&self) -> TraceCsAudit {
+        let mut a = self.audit;
+        if a.min_active == usize::MAX {
+            a.min_active = 0;
+        }
+        a
+    }
+
+    fn fold_interval(&mut self, until: Duration) {
+        let begin = self.cursor.max(self.from);
+        self.cursor = until;
+        if until <= begin {
+            return;
+        }
+        let span = until - begin;
+        let satisfied = self.spec.satisfied_by(self.count);
+        self.audit.audited += span;
+        self.audit.intervals += 1;
+        self.audit.min_active = self.audit.min_active.min(self.count);
+        self.audit.max_active = self.audit.max_active.max(self.count);
+        if !satisfied {
+            self.audit.violated += span;
+            if !self.in_violation {
+                self.audit.violations += 1;
+            }
+        }
+        self.in_violation = !satisfied;
+    }
+}
+
+/// Audit a recorded trace in one call: replay `events` (sorted by time)
+/// from the ring's initial privilege vector, auditing the window
+/// `[from, to]` against `spec`.
+pub fn audit_trace(
+    spec: CsSpec,
+    initial_active: &[bool],
+    events: &[ActivityEvent],
+    from: Duration,
+    to: Duration,
+) -> TraceCsAudit {
+    let mut auditor = TraceAuditor::new(spec, initial_active, from);
+    let mut ordered: Vec<&ActivityEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| e.at);
+    for event in ordered {
+        if event.at > to {
+            break;
+        }
+        auditor.push(*event);
+    }
+    auditor.advance_to(to);
+    auditor.audit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{run_cluster, ClusterConfig};
+    use ssr_core::{CriticalSectionProtocol, RingParams, SsrMin};
+
+    fn ev(node: usize, at_ms: u64, active: bool) -> ActivityEvent {
+        ActivityEvent { node, at: Duration::from_millis(at_ms), active }
+    }
+
+    /// A hand-recorded legitimate handover: exactly the (1,2) pattern the
+    /// paper's Figure 1 shows — the successor activates before the
+    /// predecessor deactivates, so the count breathes between 1 and 2 and
+    /// never violates the (1,2)-CS spec.
+    #[test]
+    fn graceful_handover_trace_is_clean() {
+        let spec = CsSpec::new(1, 2, 4);
+        let initial = [true, false, false, false];
+        let events = [
+            ev(1, 10, true),
+            ev(0, 12, false),
+            ev(2, 20, true),
+            ev(1, 22, false),
+            ev(3, 30, true),
+            ev(2, 31, false),
+        ];
+        let audit = audit_trace(spec, &initial, &events, Duration::ZERO, Duration::from_millis(40));
+        assert!(audit.clean(), "{audit:?}");
+        assert_eq!(audit.audited, Duration::from_millis(40));
+        assert_eq!((audit.min_active, audit.max_active), (1, 2));
+    }
+
+    /// A trace that loses the token (count 0) and later floods it (count 3)
+    /// produces two distinct violation episodes with the right durations.
+    #[test]
+    fn token_loss_and_flood_are_counted_as_episodes() {
+        let spec = CsSpec::new(1, 2, 3);
+        let initial = [true, false, false];
+        let events = [
+            // 10..15: nobody privileged — episode 1, 5 ms.
+            ev(0, 10, false),
+            ev(1, 15, true),
+            // 20..22: all three privileged — episode 2, 2 ms.
+            ev(0, 20, true),
+            ev(2, 20, true),
+            ev(0, 22, false),
+            ev(2, 22, false),
+        ];
+        let audit = audit_trace(spec, &initial, &events, Duration::ZERO, Duration::from_millis(30));
+        assert_eq!(audit.violations, 2);
+        assert_eq!(audit.violated, Duration::from_millis(7));
+        assert_eq!((audit.min_active, audit.max_active), (0, 3));
+        assert!(!audit.clean());
+    }
+
+    /// Time before the audit-window start is not charged: the same losing
+    /// trace audited from after its recovery is clean.
+    #[test]
+    fn warmup_window_is_excluded() {
+        let spec = CsSpec::new(1, 2, 3);
+        let initial = [false, false, false]; // illegitimate start: count 0
+        let events = [ev(1, 8, true)];
+        let dirty = audit_trace(spec, &initial, &events, Duration::ZERO, Duration::from_millis(20));
+        assert_eq!(dirty.violations, 1);
+        assert_eq!(dirty.violated, Duration::from_millis(8));
+
+        let clean = audit_trace(
+            spec,
+            &initial,
+            &events,
+            Duration::from_millis(8),
+            Duration::from_millis(20),
+        );
+        assert!(clean.clean(), "{clean:?}");
+        assert_eq!(clean.audited, Duration::from_millis(12));
+    }
+
+    /// Incremental feeding (push + advance_to in batches) reaches the same
+    /// totals as the batch replay.
+    #[test]
+    fn incremental_matches_batch() {
+        let spec = CsSpec::new(1, 2, 3);
+        let initial = [true, false, false];
+        let events = [ev(1, 5, true), ev(0, 7, false), ev(1, 11, false), ev(2, 13, true)];
+        let batch = audit_trace(
+            spec,
+            &initial,
+            &events,
+            Duration::from_millis(2),
+            Duration::from_millis(20),
+        );
+
+        let mut inc = TraceAuditor::new(spec, &initial, Duration::from_millis(2));
+        for chunk in events.chunks(2) {
+            for e in chunk {
+                inc.push(*e);
+            }
+            inc.advance_to(chunk.last().unwrap().at);
+        }
+        inc.advance_to(Duration::from_millis(20));
+        assert_eq!(inc.audit(), batch);
+    }
+
+    /// The auditor against a *recorded cluster trace*: run a real loopback
+    /// UDP ring from its legitimate anchor and audit the recorded activity
+    /// stream against SSRmin's own (1,2)-CS spec — the audited window after
+    /// warmup must be violation-free (Theorem 1 on wall clocks).
+    #[test]
+    fn recorded_cluster_trace_satisfies_the_ssrmin_spec() {
+        let algo = SsrMin::new(RingParams::minimal(4).unwrap());
+        let cfg = ClusterConfig { seed: 11, ..ClusterConfig::default() };
+        let warmup = cfg.warmup;
+        let duration = cfg.duration;
+        let report = run_cluster(algo, algo.legitimate_anchor(0), cfg).unwrap();
+        let audit =
+            audit_trace(algo.cs_spec(), &report.initial_active, &report.events, warmup, duration);
+        assert!(audit.intervals > 0, "the ring must have circulated");
+        assert!(audit.clean(), "P9 violated on a clean ring: {audit:?}");
+        assert!((1..=2).contains(&audit.min_active), "{audit:?}");
+        assert!((1..=2).contains(&audit.max_active), "{audit:?}");
+    }
+}

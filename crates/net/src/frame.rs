@@ -1,18 +1,33 @@
 //! The datagram frame: a versioned, checksummed, length-delimited envelope
 //! around a [`WireState`] payload.
 //!
-//! Layout (all integers little-endian):
+//! Version 1 layout (all integers little-endian):
 //!
 //! ```text
 //! offset  size  field
 //! 0       2     magic  b"SR"
-//! 2       1     version (currently 1)
+//! 2       1     version (1)
 //! 3       1     payload kind (WireState::KIND)
 //! 4       2     sender ring index
 //! 6       4     generation counter (monotone per sender)
 //! 10      2     payload length
 //! 12      len   payload (WireState::encode_payload)
 //! 12+len  4     CRC-32 (IEEE) over bytes [0, 12+len)
+//! ```
+//!
+//! Version 2 adds a tenant id for multi-ring hosting (`ssr-serve`): a
+//! 16-bit tenant between the generation and the length, shifting the
+//! payload to offset 14. The decoder accepts both versions — a v1 frame is
+//! a v2 frame on tenant 0 — so single-ring deployments keep their exact
+//! wire bytes and mixed-version rings interoperate on the default tenant.
+//!
+//! ```text
+//! offset  size  field
+//! 0..10         as version 1, with version byte 2
+//! 10      2     tenant id
+//! 12      2     payload length
+//! 14      len   payload
+//! 14+len  4     CRC-32 (IEEE) over bytes [0, 14+len)
 //! ```
 //!
 //! One frame is one datagram; the explicit length field additionally makes
@@ -26,13 +41,17 @@ use ssr_core::WireState;
 
 /// Frame magic bytes.
 pub const MAGIC: [u8; 2] = *b"SR";
-/// Current wire protocol version.
+/// Wire protocol version without a tenant id (single-ring deployments).
 pub const VERSION: u8 = 1;
-/// Bytes before the payload.
+/// Wire protocol version carrying a tenant id (multi-ring hosting).
+pub const VERSION_TENANT: u8 = 2;
+/// Bytes before the payload in a version-1 frame.
 pub const HEADER_LEN: usize = 12;
+/// Bytes before the payload in a version-2 (tenant-carrying) frame.
+pub const TENANT_HEADER_LEN: usize = 14;
 /// Trailing checksum bytes.
 pub const CRC_LEN: usize = 4;
-/// Smallest possible frame (empty payload).
+/// Smallest possible frame (version 1, empty payload).
 pub const MIN_FRAME_LEN: usize = HEADER_LEN + CRC_LEN;
 /// Largest payload the codec accepts (fits any state we ship and keeps
 /// frames far below typical UDP MTUs).
@@ -90,7 +109,10 @@ impl fmt::Display for CodecError {
             }
             CodecError::BadMagic { found } => write!(f, "bad magic bytes {found:02x?}"),
             CodecError::BadVersion { found } => {
-                write!(f, "unsupported wire version {found} (expected {VERSION})")
+                write!(
+                    f,
+                    "unsupported wire version {found} (expected {VERSION} or {VERSION_TENANT})"
+                )
             }
             CodecError::WrongKind { expected, found } => {
                 write!(f, "payload kind {found} does not match expected kind {expected}")
@@ -111,6 +133,9 @@ impl std::error::Error for CodecError {}
 /// A decoded state broadcast.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Frame<S> {
+    /// Tenant (ring) id the frame belongs to; 0 for version-1 frames and
+    /// the single-ring default.
+    pub tenant: u16,
     /// Ring index of the sending node.
     pub sender: u16,
     /// Sender's generation counter (monotone per sender; receivers drop
@@ -125,26 +150,52 @@ pub struct Frame<S> {
 /// `ssr_core::wire`, so frames and persisted snapshots use one checksum.
 pub use ssr_core::wire::crc32;
 
-/// Encode one state broadcast as a datagram.
+/// Encode one state broadcast as a version-1 datagram (tenant 0).
 pub fn encode<S: WireState>(sender: u16, generation: u32, state: &S) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(MIN_FRAME_LEN + S::PAYLOAD_LEN.unwrap_or(16));
+    encode_header(VERSION, None, sender, generation, state)
+}
+
+/// Encode one state broadcast as a version-2 datagram carrying `tenant`.
+pub fn encode_tenant<S: WireState>(
+    tenant: u16,
+    sender: u16,
+    generation: u32,
+    state: &S,
+) -> Vec<u8> {
+    encode_header(VERSION_TENANT, Some(tenant), sender, generation, state)
+}
+
+fn encode_header<S: WireState>(
+    version: u8,
+    tenant: Option<u16>,
+    sender: u16,
+    generation: u32,
+    state: &S,
+) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(TENANT_HEADER_LEN + CRC_LEN + S::PAYLOAD_LEN.unwrap_or(16));
     buf.extend_from_slice(&MAGIC);
-    buf.push(VERSION);
+    buf.push(version);
     buf.push(S::KIND);
     buf.extend_from_slice(&sender.to_le_bytes());
     buf.extend_from_slice(&generation.to_le_bytes());
+    if let Some(tenant) = tenant {
+        buf.extend_from_slice(&tenant.to_le_bytes());
+    }
     buf.extend_from_slice(&[0, 0]); // length, patched below
+    let header_len = buf.len();
     state.encode_payload(&mut buf);
-    let payload_len = buf.len() - HEADER_LEN;
+    let payload_len = buf.len() - header_len;
     assert!(payload_len <= MAX_PAYLOAD_LEN, "payload too large for the wire format");
     let len = u16::try_from(payload_len).expect("payload length fits u16");
-    buf[10..12].copy_from_slice(&len.to_le_bytes());
+    buf[header_len - 2..header_len].copy_from_slice(&len.to_le_bytes());
     let crc = crc32(&buf);
     buf.extend_from_slice(&crc.to_le_bytes());
     buf
 }
 
-/// Decode a datagram produced by [`encode`] (or corrupted in flight).
+/// Decode a datagram produced by [`encode`] / [`encode_tenant`] (or
+/// corrupted in flight). Accepts both wire versions; version-1 frames
+/// decode with `tenant == 0`.
 pub fn decode<S: WireState>(bytes: &[u8]) -> Result<Frame<S>, CodecError> {
     if bytes.len() < MIN_FRAME_LEN {
         return Err(CodecError::TooShort { len: bytes.len() });
@@ -152,20 +203,27 @@ pub fn decode<S: WireState>(bytes: &[u8]) -> Result<Frame<S>, CodecError> {
     if bytes[0..2] != MAGIC {
         return Err(CodecError::BadMagic { found: [bytes[0], bytes[1]] });
     }
-    if bytes[2] != VERSION {
-        return Err(CodecError::BadVersion { found: bytes[2] });
-    }
+    let (tenant, header_len) = match bytes[2] {
+        VERSION => (0, HEADER_LEN),
+        VERSION_TENANT => {
+            if bytes.len() < TENANT_HEADER_LEN + CRC_LEN {
+                return Err(CodecError::TooShort { len: bytes.len() });
+            }
+            (u16::from_le_bytes([bytes[10], bytes[11]]), TENANT_HEADER_LEN)
+        }
+        found => return Err(CodecError::BadVersion { found }),
+    };
     if bytes[3] != S::KIND {
         return Err(CodecError::WrongKind { expected: S::KIND, found: bytes[3] });
     }
-    let claimed = u16::from_le_bytes([bytes[10], bytes[11]]) as usize;
-    let actual = bytes.len() - MIN_FRAME_LEN;
+    let claimed = u16::from_le_bytes([bytes[header_len - 2], bytes[header_len - 1]]) as usize;
+    let actual = bytes.len() - header_len - CRC_LEN;
     if claimed != actual || claimed > MAX_PAYLOAD_LEN {
         return Err(CodecError::BadLength { claimed, actual });
     }
-    let body = &bytes[..HEADER_LEN + claimed];
+    let body = &bytes[..header_len + claimed];
     let stored = u32::from_le_bytes(
-        bytes[HEADER_LEN + claimed..].try_into().expect("exactly CRC_LEN bytes remain"),
+        bytes[header_len + claimed..].try_into().expect("exactly CRC_LEN bytes remain"),
     );
     let computed = crc32(body);
     if computed != stored {
@@ -173,9 +231,9 @@ pub fn decode<S: WireState>(bytes: &[u8]) -> Result<Frame<S>, CodecError> {
     }
     let sender = u16::from_le_bytes([bytes[4], bytes[5]]);
     let generation = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]);
-    let state = S::decode_payload(&bytes[HEADER_LEN..HEADER_LEN + claimed])
+    let state = S::decode_payload(&bytes[header_len..header_len + claimed])
         .ok_or(CodecError::BadPayload)?;
-    Ok(Frame { sender, generation, state })
+    Ok(Frame { tenant, sender, generation, state })
 }
 
 #[cfg(test)]
@@ -195,7 +253,7 @@ mod tests {
         let s = SsrState { x: 6, rts: true, tra: false };
         let buf = encode(3, 41, &s);
         let frame: Frame<SsrState> = decode(&buf).unwrap();
-        assert_eq!(frame, Frame { sender: 3, generation: 41, state: s });
+        assert_eq!(frame, Frame { tenant: 0, sender: 3, generation: 41, state: s });
 
         let buf = encode(0, 0, &9u32);
         let frame: Frame<u32> = decode(&buf).unwrap();
@@ -208,10 +266,35 @@ mod tests {
     }
 
     #[test]
+    fn round_trips_tenant_frames() {
+        let s = SsrState { x: 9, rts: false, tra: true };
+        let buf = encode_tenant(17, 4, 99, &s);
+        assert_eq!(buf[2], VERSION_TENANT);
+        assert_eq!(buf.len(), encode(4, 99, &s).len() + 2, "v2 adds exactly the tenant field");
+        let frame: Frame<SsrState> = decode(&buf).unwrap();
+        assert_eq!(frame, Frame { tenant: 17, sender: 4, generation: 99, state: s });
+
+        // Tenant 0 is expressible in both versions and means the same ring.
+        let v2: Frame<SsrState> = decode(&encode_tenant(0, 4, 99, &s)).unwrap();
+        let v1: Frame<SsrState> = decode(&encode(4, 99, &s)).unwrap();
+        assert_eq!(v1, v2);
+
+        let buf = encode_tenant(u16::MAX, 0, 0, &D4State { x: false, up: true });
+        assert_eq!(decode::<D4State>(&buf).unwrap().tenant, u16::MAX);
+    }
+
+    #[test]
     fn rejects_wrong_version_and_kind() {
         let mut buf = encode(1, 1, &SsrState { x: 0, rts: false, tra: false });
-        buf[2] = 2;
-        assert!(matches!(decode::<SsrState>(&buf), Err(CodecError::BadVersion { found: 2 })));
+        buf[2] = 7;
+        assert!(matches!(decode::<SsrState>(&buf), Err(CodecError::BadVersion { found: 7 })));
+
+        // A v1 frame whose version byte is rewritten to 2 reads its length
+        // field from payload bytes and its checksum no longer covers what it
+        // claims — it must not decode, whatever the specific error.
+        let mut buf = encode(1, 1, &SsrState { x: 0, rts: false, tra: false });
+        buf[2] = VERSION_TENANT;
+        assert!(decode::<SsrState>(&buf).is_err());
 
         let buf = encode(1, 1, &7u32);
         // A Dijkstra frame is not an SSRmin frame.
@@ -219,22 +302,25 @@ mod tests {
             decode::<SsrState>(&buf),
             Err(CodecError::WrongKind { expected: 1, found: 2 })
         ));
+        let buf = encode_tenant(3, 1, 1, &7u32);
+        assert!(matches!(decode::<SsrState>(&buf), Err(CodecError::WrongKind { .. })));
     }
 
     #[test]
     fn rejects_corruption_everywhere() {
         let s = SsrState { x: 5, rts: false, tra: true };
-        let good = encode(2, 100, &s);
-        for i in 0..good.len() {
-            for bit in 0..8 {
-                let mut bad = good.clone();
-                bad[i] ^= 1 << bit;
-                // Either an error, or (for CRC-colliding flips, which a
-                // single bit flip cannot produce) the identical frame.
-                assert!(
-                    decode::<SsrState>(&bad).is_err(),
-                    "single-bit flip at byte {i} bit {bit} must not pass"
-                );
+        for good in [encode(2, 100, &s), encode_tenant(6, 2, 100, &s)] {
+            for i in 0..good.len() {
+                for bit in 0..8 {
+                    let mut bad = good.clone();
+                    bad[i] ^= 1 << bit;
+                    // Either an error, or (for CRC-colliding flips, which a
+                    // single bit flip cannot produce) the identical frame.
+                    assert!(
+                        decode::<SsrState>(&bad).is_err(),
+                        "single-bit flip at byte {i} bit {bit} must not pass"
+                    );
+                }
             }
         }
     }
@@ -242,14 +328,16 @@ mod tests {
     #[test]
     fn rejects_truncation_and_length_lies() {
         let s = SsrState { x: 1, rts: true, tra: true };
-        let good = encode(0, 1, &s);
-        for cut in 0..good.len() {
-            assert!(decode::<SsrState>(&good[..cut]).is_err());
+        for good in [encode(0, 1, &s), encode_tenant(5, 0, 1, &s)] {
+            for cut in 0..good.len() {
+                assert!(decode::<SsrState>(&good[..cut]).is_err());
+            }
+            // Length field inflated: payload bytes disagree.
+            let mut lie = good.clone();
+            let len_off = if good[2] == VERSION { 10 } else { 12 };
+            lie[len_off] = 200;
+            assert!(decode::<SsrState>(&lie).is_err());
         }
-        // Length field inflated: payload bytes disagree.
-        let mut lie = good.clone();
-        lie[10] = 200;
-        assert!(decode::<SsrState>(&lie).is_err());
     }
 
     #[test]

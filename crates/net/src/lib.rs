@@ -28,6 +28,11 @@
 //!   Lemma 5 `3n`-step budget.
 //! * [`metrics`] — per-node atomic counters (sends, retransmits, rule
 //!   firings, ...) rendered as CSV or an ASCII table.
+//! * [`audit`] — live (ℓ,k)-critical-section auditing: replays the
+//!   activity stream against an [`ssr_core::CsSpec`], measuring satisfied
+//!   vs violating time and counting violation episodes — incrementally for
+//!   `ssr-serve`'s per-tenant `cs_violations_total`, or post-hoc over a
+//!   recorded trace for `ssrmin soak`.
 //! * [`cluster`] — orchestration: bind, wire (optionally through chaos
 //!   proxies), run, observe; reports convergence time, handover latency
 //!   and the token-count invariant on wall clocks.
@@ -56,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod chaos;
 pub mod cluster;
 pub(crate) mod ctl;
@@ -65,11 +71,12 @@ pub mod runner;
 pub mod supervisor;
 pub mod transport;
 
+pub use audit::{audit_trace, TraceAuditor, TraceCsAudit};
 pub use chaos::{
     ChaosConfig, ChaosCounters, ChaosHandle, ChaosProxy, ChaosStats, InvalidChaosConfig,
 };
 pub use cluster::{run_cluster, ChaosSummary, ClusterConfig, ClusterError, ClusterReport};
-pub use frame::{crc32, decode, encode, CodecError, Frame};
+pub use frame::{crc32, decode, encode, encode_tenant, CodecError, Frame};
 pub use metrics::{
     FaultEventRow, MetricsRegistry, MetricsReport, NodeMetrics, NodeMetricsRow, RecoveryHistogram,
     RecoveryReport,

@@ -49,6 +49,10 @@ pub struct NodeMetrics {
     pub watchdog_resyncs: AtomicU64,
     /// Stage-2 convergence-watchdog escalations (amnesia self-restarts).
     pub watchdog_restarts: AtomicU64,
+    /// Well-formed frames dropped because they carried another ring's
+    /// tenant id (multi-tenant hosting; stays out of the frozen
+    /// [`MetricsReport`] like the gauges).
+    pub tenant_drops: AtomicU64,
 }
 
 impl NodeMetrics {

@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use ssr_core::WireState;
 
-use crate::frame::{decode, encode, Frame};
+use crate::frame::{decode, encode, encode_tenant, Frame};
 use crate::metrics::NodeMetrics;
 
 /// Which ring neighbour a message relates to.
@@ -84,6 +84,10 @@ struct LinkEnd {
 #[derive(Debug)]
 pub struct UdpTransport<S> {
     me: u16,
+    /// Ring (tenant) id stamped on outgoing frames and required on incoming
+    /// ones. Tenant 0 — the single-ring default — keeps the version-1 wire
+    /// format byte-for-byte; any other tenant switches to version-2 frames.
+    tenant: u16,
     pred: LinkEnd,
     succ: LinkEnd,
     latest: Option<S>,
@@ -139,6 +143,7 @@ impl<S: WireState> UdpTransport<S> {
         };
         Ok(UdpTransport {
             me,
+            tenant: 0,
             pred: mk(pred_index)?,
             succ: mk(succ_index)?,
             latest: None,
@@ -167,6 +172,20 @@ impl<S: WireState> UdpTransport<S> {
         self.succ.peer = succ_peer;
     }
 
+    /// Join ring `tenant`: outgoing frames are stamped with it and inbound
+    /// frames from any other tenant are dropped (counted in
+    /// `tenant_drops`). The multi-tenant mux of `ssr-serve` — sockets are
+    /// per-ring anyway, so this is the defence against mis-wired proxies or
+    /// stale peers delivering another ring's traffic.
+    pub fn set_tenant(&mut self, tenant: u16) {
+        self.tenant = tenant;
+    }
+
+    /// The ring (tenant) id this transport is joined to.
+    pub fn tenant(&self) -> u16 {
+        self.tenant
+    }
+
     /// Jump the send-side generation counter forward to at least `floor`.
     ///
     /// A node restarted on a *fresh* transport (its old sockets died with a
@@ -187,7 +206,11 @@ impl<S: WireState> UdpTransport<S> {
         // mistaken for stale duplicates by the receiver's filter.
         for end in [&self.pred, &self.succ] {
             self.generation = self.generation.wrapping_add(1);
-            let buf = encode(self.me, self.generation, state);
+            let buf = if self.tenant == 0 {
+                encode(self.me, self.generation, state)
+            } else {
+                encode_tenant(self.tenant, self.me, self.generation, state)
+            };
             match end.socket.send_to(&buf, end.peer) {
                 Ok(_) => {
                     NodeMetrics::inc(&self.metrics.sends);
@@ -220,6 +243,7 @@ impl<S: WireState> UdpTransport<S> {
     fn poll_end(
         end: &mut LinkEnd,
         from: Neighbor,
+        tenant: u16,
         buf: &mut [u8],
         metrics: &NodeMetrics,
     ) -> Option<Inbound<S>> {
@@ -230,7 +254,12 @@ impl<S: WireState> UdpTransport<S> {
                 Err(_) => return None,
             };
             match decode::<S>(&buf[..len]) {
-                Ok(Frame { sender, generation, state }) => {
+                Ok(Frame { tenant: frame_tenant, sender, generation, state }) => {
+                    if frame_tenant != tenant {
+                        // Another ring's traffic: well-formed, wrong tenant.
+                        NodeMetrics::inc(&metrics.tenant_drops);
+                        continue;
+                    }
                     if sender != end.expect_sender {
                         // Mis-wired or spoofed: not from the ring neighbour
                         // this socket belongs to.
@@ -277,10 +306,23 @@ impl<S: WireState + Clone> Transport<S> for UdpTransport<S> {
     }
 
     fn try_recv(&mut self) -> Option<Inbound<S>> {
-        let got = Self::poll_end(&mut self.pred, Neighbor::Pred, &mut self.recv_buf, &self.metrics)
-            .or_else(|| {
-                Self::poll_end(&mut self.succ, Neighbor::Succ, &mut self.recv_buf, &self.metrics)
-            });
+        let tenant = self.tenant;
+        let got = Self::poll_end(
+            &mut self.pred,
+            Neighbor::Pred,
+            tenant,
+            &mut self.recv_buf,
+            &self.metrics,
+        )
+        .or_else(|| {
+            Self::poll_end(
+                &mut self.succ,
+                Neighbor::Succ,
+                tenant,
+                &mut self.recv_buf,
+                &self.metrics,
+            )
+        });
         if got.is_some() && self.backoff_exp != 0 {
             // First accepted datagram after a silent spell: the neighbour
             // is alive again — resume the base cadence AND pull the
@@ -383,6 +425,48 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         assert_eq!(t.try_recv(), None, "mis-addressed frame must be rejected");
         assert_eq!(t.backoff_exp, exp, "rejected frames are not ACKs");
+    }
+
+    /// Frames carrying another ring's tenant id — including v1 frames,
+    /// which are tenant 0 — are dropped before the sender and staleness
+    /// checks: the multi-tenant mux.
+    #[test]
+    fn tenant_mismatch_is_dropped() {
+        use crate::frame::encode_tenant;
+        let (mut t, _sink) = transport(Duration::from_millis(50));
+        t.set_tenant(3);
+        assert_eq!(t.tenant(), 3);
+        let peer = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let addrs = t.local_addrs().unwrap();
+        peer.send_to(&encode_tenant(4u16, 1u16, 5u32, &42u32), addrs.pred).unwrap();
+        peer.send_to(&encode(1u16, 6u32, &41u32), addrs.pred).unwrap();
+        peer.send_to(&encode_tenant(3u16, 1u16, 7u32, &40u32), addrs.pred).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let got = loop {
+            if let Some(got) = t.try_recv() {
+                break got;
+            }
+            assert!(Instant::now() < deadline, "own-tenant frame never accepted");
+            std::thread::sleep(Duration::from_micros(100));
+        };
+        assert_eq!(got.state, 40, "only the own-tenant frame may be accepted");
+        assert_eq!(NodeMetrics::get(&t.metrics.tenant_drops), 2);
+        assert_eq!(t.try_recv(), None);
+    }
+
+    /// A tenant-joined transport stamps its tenant on the wire in v2 frames
+    /// (tenant 0 keeps the v1 format byte-for-byte).
+    #[test]
+    fn publish_stamps_the_tenant() {
+        use crate::frame::VERSION_TENANT;
+        let (mut t, sink) = transport(Duration::from_millis(50));
+        t.set_tenant(9);
+        t.publish(&5u32).unwrap();
+        let mut buf = [0u8; 128];
+        sink.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+        let (len, _) = sink.recv_from(&mut buf).unwrap();
+        assert_eq!(buf[2], VERSION_TENANT);
+        assert_eq!(decode::<u32>(&buf[..len]).unwrap().tenant, 9);
     }
 
     /// `bump_generation` jumps the stamped generation forward so post-bump

@@ -1,0 +1,833 @@
+//! The multi-tenant host: a registry of [`HostedRing`]s, one background
+//! auditor thread, and the [`ControlPlane`] that exposes it all over the
+//! existing `ssr-ctl` HTTP listener.
+//!
+//! One host owns many tenants. Each tenant is an independent SSRmin ring
+//! (own nodes, seed, chaos profile) sharing nothing but the machine and the
+//! control listener; frames carry the tenant id on the wire, so even a
+//! misdelivered datagram cannot cross rings (the transport counts and drops
+//! it). The auditor thread continuously replays every tenant's privilege
+//! trace against its [`CsSpec`] — violations become the
+//! `ssr_cs_violations_total{tenant=...}` counter — and expires/revokes
+//! leases against the ring's current token holder.
+//!
+//! HTTP surface (everything tenant-scoped accepts the numeric id or the
+//! tenant name):
+//!
+//! ```text
+//! GET    /tenants                  registry listing (JSON)
+//! POST   /tenants                  create (body: TenantSpec key=value grammar)
+//! GET    /tenants/{id}             one tenant's detail (JSON)
+//! DELETE /tenants/{id}             stop and remove the tenant
+//! POST   /tenants/{id}/acquire     lease the token (body: client name; 409 when held)
+//! POST   /tenants/{id}/release     release a lease (body: lease id)
+//! POST   /tenants/{id}/chaos       per-tenant chaos grammar (loss 0.2, partition 0 1, ...)
+//! POST   /tenants/{id}/faults      per-tenant fault grammar (crash 2, restart 2, ...)
+//! GET    /status · /top · /metrics aggregate views with per-tenant labels
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use ssr_ctl::http::Request;
+use ssr_ctl::plane::parse_chaos_cmd;
+use ssr_ctl::{ChaosCmd, ControlPlane, Family, Json, MetricKind, NodeStatus, RingStatus, Sample};
+use ssr_mpnet::FaultKind;
+use ssr_net::metrics::NodeMetrics;
+use ssr_net::{convergence_envelope, TraceAuditor, TraceCsAudit};
+
+use crate::lease::{Acquire, LeaseManager};
+use crate::ring::HostedRing;
+use crate::tenant::TenantSpec;
+
+/// Auditor cadence: how often tenant traces are folded and leases refreshed.
+const AUDIT_TICK: Duration = Duration::from_millis(20);
+
+/// Events younger than this stay queued: node threads append to the
+/// activity log concurrently, so very recent timestamps may still arrive
+/// out of order. The window must exceed worst-case scheduling skew between
+/// threads — a node thread descheduled for longer than this on a heavily
+/// oversubscribed machine records its transition after the audit horizon
+/// has passed it, which would reconstruct as a phantom CS episode.
+const AUDIT_SETTLE: Duration = Duration::from_millis(500);
+
+/// One registered tenant.
+pub struct TenantEntry {
+    /// Registry id (also the wire-level tenant id; 0 is reserved for
+    /// single-tenant v1 traffic).
+    pub id: u16,
+    /// The spec it was created from.
+    pub spec: TenantSpec,
+    /// The running ring.
+    pub ring: Mutex<HostedRing>,
+    /// The tenant's lease authority.
+    pub lease: LeaseManager,
+    audit: Mutex<TraceAuditor>,
+}
+
+impl TenantEntry {
+    /// The latest CS-audit snapshot for this tenant.
+    pub fn audit(&self) -> TraceCsAudit {
+        self.audit.lock().audit()
+    }
+}
+
+/// The tenant registry plus its background auditor.
+pub struct ServeHost {
+    started: Instant,
+    tenants: Mutex<BTreeMap<u16, Arc<TenantEntry>>>,
+    next_id: Mutex<u16>,
+    stop: Arc<AtomicBool>,
+    auditor: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ServeHost {
+    /// An empty host with its auditor thread running.
+    pub fn spawn() -> Arc<ServeHost> {
+        let host = Arc::new(ServeHost {
+            started: Instant::now(),
+            tenants: Mutex::new(BTreeMap::new()),
+            next_id: Mutex::new(1),
+            stop: Arc::new(AtomicBool::new(false)),
+            auditor: Mutex::new(None),
+        });
+        let weak = Arc::downgrade(&host);
+        let stop = Arc::clone(&host.stop);
+        let handle = std::thread::Builder::new()
+            .name("ssr-serve-audit".to_string())
+            .spawn(move || audit_loop(weak, stop))
+            .expect("spawn serve auditor");
+        *host.auditor.lock() = Some(handle);
+        host
+    }
+
+    /// Milliseconds since the host started.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Create a tenant from `spec`; returns its registry id.
+    pub fn create(&self, spec: TenantSpec) -> Result<u16, String> {
+        spec.validate()?;
+        // Reserve the id under the registry lock so concurrent creates
+        // cannot collide, but spawn the ring outside it: binding 2n sockets
+        // must not stall every scrape.
+        let id = {
+            let tenants = self.tenants.lock();
+            if tenants.values().any(|t| t.spec.name == spec.name) {
+                return Err(format!("tenant name '{}' already exists", spec.name));
+            }
+            let mut next = self.next_id.lock();
+            let id = *next;
+            if id == u16::MAX {
+                return Err("tenant id space exhausted".to_string());
+            }
+            *next += 1;
+            id
+        };
+        let ring = HostedRing::spawn(id, spec.clone()).map_err(|e| e.to_string())?;
+        // Audit from the stabilization envelope onwards: a fresh tenant
+        // starts legitimate, but restarts/chaos during bring-up of *other*
+        // tenants on a loaded machine deserve the same slack the soak
+        // harness grants.
+        let from = convergence_envelope(spec.nodes, spec.tick).max(Duration::from_millis(400));
+        let audit = TraceAuditor::new(spec.cs_spec(), ring.initial_active(), from);
+        let lease = LeaseManager::new(ring.started(), spec.lease_ttl);
+        let entry = Arc::new(TenantEntry {
+            id,
+            spec,
+            ring: Mutex::new(ring),
+            lease,
+            audit: Mutex::new(audit),
+        });
+        let mut tenants = self.tenants.lock();
+        if tenants.values().any(|t| t.spec.name == entry.spec.name) {
+            // Lost a create race on the name while binding sockets.
+            entry.ring.lock().stop();
+            return Err(format!("tenant name '{}' already exists", entry.spec.name));
+        }
+        tenants.insert(id, entry);
+        Ok(id)
+    }
+
+    /// Stop and remove a tenant.
+    pub fn delete(&self, key: &str) -> Result<u16, String> {
+        let entry = self.lookup(key)?;
+        self.tenants.lock().remove(&entry.id);
+        entry.ring.lock().stop();
+        Ok(entry.id)
+    }
+
+    /// Find a tenant by decimal id or by name.
+    pub fn lookup(&self, key: &str) -> Result<Arc<TenantEntry>, String> {
+        let tenants = self.tenants.lock();
+        if let Ok(id) = key.parse::<u16>() {
+            if let Some(entry) = tenants.get(&id) {
+                return Ok(Arc::clone(entry));
+            }
+        }
+        tenants
+            .values()
+            .find(|t| t.spec.name == key)
+            .map(Arc::clone)
+            .ok_or_else(|| format!("no tenant '{key}'"))
+    }
+
+    /// All tenants, id order.
+    pub fn list(&self) -> Vec<Arc<TenantEntry>> {
+        self.tenants.lock().values().map(Arc::clone).collect()
+    }
+
+    /// Fold every tenant's pending activity into its auditor and refresh
+    /// its leases. The auditor thread calls this continuously; tests call
+    /// it directly for determinism.
+    pub fn audit_tick(&self) {
+        for entry in self.list() {
+            let (events, horizon, holder) = {
+                let ring = entry.ring.lock();
+                let horizon = ring.age().saturating_sub(AUDIT_SETTLE);
+                (ring.drain_activity(horizon), horizon, ring.primary_holder())
+            };
+            {
+                let mut audit = entry.audit.lock();
+                for event in events {
+                    audit.push(event);
+                }
+                audit.advance_to(horizon);
+            }
+            entry.lease.refresh(holder);
+        }
+    }
+
+    /// Stop the auditor and every tenant ring (idempotent; also runs on
+    /// drop).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.auditor.lock().take() {
+            let _ = handle.join();
+        }
+        let entries: Vec<_> = {
+            let mut tenants = self.tenants.lock();
+            let entries = tenants.values().map(Arc::clone).collect();
+            tenants.clear();
+            entries
+        };
+        for entry in entries {
+            entry.ring.lock().stop();
+        }
+    }
+}
+
+impl Drop for ServeHost {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn audit_loop(host: Weak<ServeHost>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        let Some(host) = host.upgrade() else { return };
+        host.audit_tick();
+        drop(host);
+        std::thread::sleep(AUDIT_TICK);
+    }
+}
+
+/// The [`ControlPlane`] face of a [`ServeHost`].
+pub struct ServePlane {
+    host: Arc<ServeHost>,
+}
+
+impl ServePlane {
+    /// Wrap a host for serving.
+    pub fn new(host: Arc<ServeHost>) -> ServePlane {
+        ServePlane { host }
+    }
+
+    fn tenant_json(&self, entry: &TenantEntry) -> Json {
+        let (privileged, holder, n, up, escalations) = {
+            let ring = entry.ring.lock();
+            (
+                ring.privileged_count(),
+                ring.primary_holder(),
+                ring.n(),
+                (0..ring.n()).filter(|&i| ring.node_up(i)).count(),
+                ring.watchdog_escalations(),
+            )
+        };
+        let audit = entry.audit();
+        let lease = entry.lease.counters();
+        let held = entry.lease.current();
+        Json::obj(vec![
+            ("id", Json::num(entry.id as f64)),
+            ("name", Json::str(&entry.spec.name)),
+            ("n", Json::num(n as f64)),
+            ("nodes_up", Json::num(up as f64)),
+            ("privileged", Json::num(privileged as f64)),
+            ("token_count_ok", Json::Bool(entry.spec.cs_spec().satisfied_by(privileged))),
+            ("holder", holder.map(|h| Json::num(h as f64)).unwrap_or(Json::Null)),
+            ("watchdog_escalations", Json::num(escalations as f64)),
+            ("spec", Json::str(entry.spec.render())),
+            (
+                "audit",
+                Json::obj(vec![
+                    ("audited_us", Json::num(audit.audited.as_micros() as f64)),
+                    ("violated_us", Json::num(audit.violated.as_micros() as f64)),
+                    ("violations", Json::num(audit.violations as f64)),
+                    ("min_active", Json::num(audit.min_active as f64)),
+                    ("max_active", Json::num(audit.max_active as f64)),
+                ]),
+            ),
+            (
+                "lease",
+                Json::obj(vec![
+                    ("held", Json::Bool(held.is_some())),
+                    ("holder_node", held.map(|l| Json::num(l.node as f64)).unwrap_or(Json::Null)),
+                    ("ttl_ms", Json::num(entry.spec.lease_ttl.as_millis() as f64)),
+                    ("grants", Json::num(lease.grants as f64)),
+                    ("releases", Json::num(lease.releases as f64)),
+                    ("expirations", Json::num(lease.expirations as f64)),
+                    ("revocations", Json::num(lease.revocations as f64)),
+                    ("conflicts", Json::num(lease.conflicts as f64)),
+                    ("unavailable", Json::num(lease.unavailable as f64)),
+                ]),
+            ),
+        ])
+    }
+
+    fn registry_json(&self) -> Json {
+        let tenants = self.host.list().iter().map(|t| self.tenant_json(t)).collect();
+        Json::obj(vec![
+            ("uptime_ms", Json::num(self.host.uptime_ms() as f64)),
+            ("tenants", Json::Arr(tenants)),
+        ])
+    }
+
+    fn acquire(&self, entry: &TenantEntry, body: &str) -> (u16, &'static str, String) {
+        let client = body.trim();
+        let client = if client.is_empty() { "anon" } else { client };
+        let holder = entry.ring.lock().primary_holder();
+        match entry.lease.acquire(client, holder) {
+            Acquire::Granted(lease) => {
+                let doc = Json::obj(vec![
+                    ("lease", Json::num(lease.id as f64)),
+                    ("node", Json::num(lease.node as f64)),
+                    ("ttl_ms", Json::num(entry.spec.lease_ttl.as_millis() as f64)),
+                ]);
+                (200, "application/json", doc.render())
+            }
+            Acquire::Held { retry_in } => {
+                let doc = Json::obj(vec![
+                    ("error", Json::str("lease held")),
+                    ("retry_in_ms", Json::num(retry_in.as_millis() as f64)),
+                ]);
+                (409, "application/json", doc.render())
+            }
+            Acquire::NoHolder => {
+                let doc = Json::obj(vec![("error", Json::str("no token holder"))]);
+                (409, "application/json", doc.render())
+            }
+        }
+    }
+
+    fn release(&self, entry: &TenantEntry, body: &str) -> (u16, &'static str, String) {
+        let Ok(id) = body.trim().parse::<u64>() else {
+            return (400, "text/plain", format!("release body must be a lease id, got '{body}'"));
+        };
+        let holder = entry.ring.lock().primary_holder();
+        match entry.lease.release(id, holder) {
+            Ok(()) => (200, "text/plain", format!("lease {id} released\n")),
+            Err(e) => (409, "text/plain", e),
+        }
+    }
+
+    fn render_host_top(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let tenants = self.host.list();
+        let _ = writeln!(
+            out,
+            "ssr-serve  uptime={:.1}s  tenants={}",
+            self.host.uptime_ms() as f64 / 1000.0,
+            tenants.len(),
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:>4} {:12} {:>3} {:>3} {:>4} {:>9} {:>6} {:>7} {:>9} {:>9} {:>5}",
+            "id",
+            "name",
+            "n",
+            "up",
+            "priv",
+            "violat",
+            "lease",
+            "grants",
+            "conflicts",
+            "expired",
+            "wdog"
+        );
+        for t in tenants {
+            let (n, up, privileged, escalations) = {
+                let ring = t.ring.lock();
+                (
+                    ring.n(),
+                    (0..ring.n()).filter(|&i| ring.node_up(i)).count(),
+                    ring.privileged_count(),
+                    ring.watchdog_escalations(),
+                )
+            };
+            let audit = t.audit();
+            let lease = t.lease.counters();
+            let _ = writeln!(
+                out,
+                "{:>4} {:12} {:>3} {:>3} {:>4} {:>9} {:>6} {:>7} {:>9} {:>9} {:>5}",
+                t.id,
+                t.spec.name,
+                n,
+                up,
+                privileged,
+                audit.violations,
+                if t.lease.current().is_some() { "held" } else { "-" },
+                lease.grants,
+                lease.conflicts,
+                lease.expirations,
+                escalations,
+            );
+        }
+        out
+    }
+}
+
+/// The serve index: what a human curl gets at `/`.
+const SERVE_INDEX: &str = "ssr-serve control endpoints:\n\
+  GET    /status                  aggregate + per-tenant JSON\n\
+  GET    /top                     per-tenant dashboard (text)\n\
+  GET    /metrics                 Prometheus metrics, per-tenant labels\n\
+  GET    /tenants                 registry listing (JSON)\n\
+  POST   /tenants                 create tenant (body: name=a nodes=5 ...)\n\
+  GET    /tenants/{id}            tenant detail (id or name)\n\
+  DELETE /tenants/{id}            stop and remove tenant\n\
+  POST   /tenants/{id}/acquire    lease the token (body: client name)\n\
+  POST   /tenants/{id}/release    release a lease (body: lease id)\n\
+  POST   /tenants/{id}/chaos      chaos grammar (loss 0.2 | partition 0 1 | ...)\n\
+  POST   /tenants/{id}/faults     fault grammar (crash 2 | restart 2 | ...)\n";
+
+impl ControlPlane for ServePlane {
+    fn status(&self) -> RingStatus {
+        // Aggregate shape for compatibility with generic ctl clients: n is
+        // the total node count, per-node rows concatenate tenants in id
+        // order. The JSON served at /status (see handle) is richer.
+        let tenants = self.host.list();
+        let mut nodes = Vec::new();
+        let mut privileged = 0;
+        let mut ok = true;
+        let mut escalations = 0;
+        for t in &tenants {
+            let ring = t.ring.lock();
+            let p = ring.privileged_count();
+            privileged += p;
+            ok &= t.spec.cs_spec().satisfied_by(p);
+            escalations += ring.watchdog_escalations();
+            for i in 0..ring.n() {
+                let m = ring.metrics().node(i);
+                nodes.push(NodeStatus {
+                    node: i,
+                    up: ring.node_up(i),
+                    incarnation: u64::from(ring.incarnation(i)),
+                    privileged: NodeMetrics::get(&m.privileged) == 1,
+                    primary: NodeMetrics::get(&m.token_primary) == 1,
+                    secondary: NodeMetrics::get(&m.token_secondary) == 1,
+                    state: None,
+                    coherent: None,
+                    generation: NodeMetrics::get(&m.generation),
+                    sends: NodeMetrics::get(&m.sends),
+                    receives: NodeMetrics::get(&m.receives),
+                    rule_firings: NodeMetrics::get(&m.rule_firings),
+                    activations: NodeMetrics::get(&m.activations),
+                });
+            }
+        }
+        RingStatus {
+            n: nodes.len(),
+            uptime_ms: self.host.uptime_ms(),
+            phase: format!("serving {} tenants", tenants.len()),
+            privileged,
+            token_count_ok: ok,
+            faults_applied: 0,
+            restarts: 0,
+            panics: 0,
+            recovered: 0,
+            unrecovered: 0,
+            last_recovery_ms: None,
+            p50_recovery_ms: None,
+            p99_recovery_ms: None,
+            max_recovery_ms: None,
+            watchdog_escalations: escalations,
+            envelope_ms: 0,
+            envelope_ok: true,
+            nodes,
+            links: Vec::new(),
+        }
+    }
+
+    fn metrics(&self) -> Vec<Family> {
+        let tenants = self.host.list();
+        let mut up = Vec::new();
+        let mut priv_samples = Vec::new();
+        let mut violations = Vec::new();
+        let mut violated_us = Vec::new();
+        let mut audited_us = Vec::new();
+        let mut grants = Vec::new();
+        let mut releases = Vec::new();
+        let mut expirations = Vec::new();
+        let mut revocations = Vec::new();
+        let mut conflicts = Vec::new();
+        let mut held = Vec::new();
+        let mut sends = Vec::new();
+        let mut receives = Vec::new();
+        let mut firings = Vec::new();
+        let mut activations = Vec::new();
+        let mut tenant_drops = Vec::new();
+        let mut node_priv = Vec::new();
+        for t in &tenants {
+            let label = |extra: Option<(&str, String)>| {
+                let mut labels = vec![("tenant".to_string(), t.spec.name.clone())];
+                if let Some((k, v)) = extra {
+                    labels.push((k.to_string(), v));
+                }
+                labels
+            };
+            let one = |value: f64| Sample { labels: label(None), value };
+            let ring = t.ring.lock();
+            up.push(one((0..ring.n()).filter(|&i| ring.node_up(i)).count() as f64));
+            priv_samples.push(one(ring.privileged_count() as f64));
+            let audit = t.audit();
+            violations.push(one(audit.violations as f64));
+            violated_us.push(one(audit.violated.as_micros() as f64));
+            audited_us.push(one(audit.audited.as_micros() as f64));
+            let lease = t.lease.counters();
+            grants.push(one(lease.grants as f64));
+            releases.push(one(lease.releases as f64));
+            expirations.push(one(lease.expirations as f64));
+            revocations.push(one(lease.revocations as f64));
+            conflicts.push(one(lease.conflicts as f64));
+            held.push(one(if t.lease.current().is_some() { 1.0 } else { 0.0 }));
+            for i in 0..ring.n() {
+                let m = ring.metrics().node(i);
+                let labels = label(Some(("node", i.to_string())));
+                let sample = |value: f64| Sample { labels: labels.clone(), value };
+                sends.push(sample(NodeMetrics::get(&m.sends) as f64));
+                receives.push(sample(NodeMetrics::get(&m.receives) as f64));
+                firings.push(sample(NodeMetrics::get(&m.rule_firings) as f64));
+                activations.push(sample(NodeMetrics::get(&m.activations) as f64));
+                tenant_drops.push(sample(NodeMetrics::get(&m.tenant_drops) as f64));
+                node_priv.push(sample(NodeMetrics::get(&m.privileged) as f64));
+            }
+        }
+        vec![
+            Family::new(
+                "ssr_tenant_nodes_up",
+                "Node threads currently up, per tenant",
+                MetricKind::Gauge,
+                up,
+            ),
+            Family::new(
+                "ssr_tenant_privileged",
+                "Nodes currently evaluating themselves privileged, per tenant",
+                MetricKind::Gauge,
+                priv_samples,
+            ),
+            Family::new(
+                "ssr_cs_violations_total",
+                "Critical-section spec violation episodes found by the trace auditor",
+                MetricKind::Counter,
+                violations,
+            ),
+            Family::new(
+                "ssr_cs_violated_us_total",
+                "Audited microseconds spent violating the tenant's CS spec",
+                MetricKind::Counter,
+                violated_us,
+            ),
+            Family::new(
+                "ssr_cs_audited_us_total",
+                "Audited microseconds, per tenant",
+                MetricKind::Counter,
+                audited_us,
+            ),
+            Family::new(
+                "ssr_lease_grants_total",
+                "Leases granted, per tenant",
+                MetricKind::Counter,
+                grants,
+            ),
+            Family::new(
+                "ssr_lease_releases_total",
+                "Leases released by their client, per tenant",
+                MetricKind::Counter,
+                releases,
+            ),
+            Family::new(
+                "ssr_lease_expirations_total",
+                "Leases that hit their TTL, per tenant",
+                MetricKind::Counter,
+                expirations,
+            ),
+            Family::new(
+                "ssr_lease_revocations_total",
+                "Leases revoked by a token handover, per tenant",
+                MetricKind::Counter,
+                revocations,
+            ),
+            Family::new(
+                "ssr_lease_conflicts_total",
+                "Acquire attempts refused because a lease was held, per tenant",
+                MetricKind::Counter,
+                conflicts,
+            ),
+            Family::new(
+                "ssr_lease_held",
+                "Whether a lease is currently held, per tenant",
+                MetricKind::Gauge,
+                held,
+            ),
+            Family::new(
+                "ssr_node_sends_total",
+                "Datagrams sent, per tenant and node",
+                MetricKind::Counter,
+                sends,
+            ),
+            Family::new(
+                "ssr_node_receives_total",
+                "Datagrams received, per tenant and node",
+                MetricKind::Counter,
+                receives,
+            ),
+            Family::new(
+                "ssr_node_rule_firings_total",
+                "Guarded-rule firings, per tenant and node",
+                MetricKind::Counter,
+                firings,
+            ),
+            Family::new(
+                "ssr_node_activations_total",
+                "Critical-section activations, per tenant and node",
+                MetricKind::Counter,
+                activations,
+            ),
+            Family::new(
+                "ssr_node_tenant_drops_total",
+                "Frames dropped for carrying the wrong tenant id, per tenant and node",
+                MetricKind::Counter,
+                tenant_drops,
+            ),
+            Family::new(
+                "ssr_node_privileged",
+                "Whether the node currently evaluates itself privileged",
+                MetricKind::Gauge,
+                node_priv,
+            ),
+        ]
+    }
+
+    fn chaos(&self, _cmd: ChaosCmd) -> Result<String, String> {
+        Err("chaos is per-tenant here: POST /tenants/{id}/chaos".to_string())
+    }
+
+    fn inject(&self, _fault: FaultKind) -> Result<String, String> {
+        Err("faults are per-tenant here: POST /tenants/{id}/faults".to_string())
+    }
+
+    fn handle(&self, request: &Request) -> Option<(u16, &'static str, String)> {
+        let parts: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+        let method = request.method.as_str();
+        match (method, parts.as_slice()) {
+            ("GET", []) => Some((200, "text/plain", SERVE_INDEX.to_string())),
+            ("GET", ["status"]) => Some((200, "application/json", self.registry_json().render())),
+            ("GET", ["top"]) => Some((200, "text/plain", self.render_host_top())),
+            ("GET", ["tenants"]) => Some((200, "application/json", self.registry_json().render())),
+            ("POST", ["tenants"]) => Some(match TenantSpec::parse(&request.body_str()) {
+                Ok(spec) => match self.host.create(spec) {
+                    Ok(id) => {
+                        let entry = self.host.lookup(&id.to_string()).expect("just created");
+                        let doc = Json::obj(vec![
+                            ("id", Json::num(id as f64)),
+                            ("name", Json::str(&entry.spec.name)),
+                        ]);
+                        (200, "application/json", doc.render())
+                    }
+                    Err(e) => (409, "text/plain", e),
+                },
+                Err(e) => (400, "text/plain", e),
+            }),
+            ("GET", ["tenants", key]) => Some(match self.host.lookup(key) {
+                Ok(entry) => (200, "application/json", self.tenant_json(&entry).render()),
+                Err(e) => (404, "text/plain", e),
+            }),
+            ("DELETE", ["tenants", key]) => Some(match self.host.delete(key) {
+                Ok(id) => (200, "text/plain", format!("tenant {id} deleted\n")),
+                Err(e) => (404, "text/plain", e),
+            }),
+            ("POST", ["tenants", key, action]) => {
+                let entry = match self.host.lookup(key) {
+                    Ok(entry) => entry,
+                    Err(e) => return Some((404, "text/plain", e)),
+                };
+                Some(match *action {
+                    "acquire" => self.acquire(&entry, &request.body_str()),
+                    "release" => self.release(&entry, &request.body_str()),
+                    "chaos" => match parse_chaos_cmd(&request.body_str()) {
+                        Ok(cmd) => match entry.ring.lock().chaos(cmd) {
+                            Ok(line) => (200, "text/plain", format!("{line}\n")),
+                            Err(e) => (422, "text/plain", e),
+                        },
+                        Err(e) => (400, "text/plain", e),
+                    },
+                    "faults" => match request.body_str().trim().parse::<FaultKind>() {
+                        Ok(fault) => match entry.ring.lock().inject(fault) {
+                            Ok(line) => (200, "text/plain", format!("{line}\n")),
+                            Err(e) => (422, "text/plain", e),
+                        },
+                        Err(e) => (400, "text/plain", e.to_string()),
+                    },
+                    other => (404, "text/plain", format!("no tenant action '{other}'")),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn small(name: &str) -> TenantSpec {
+        TenantSpec { nodes: 3, ..TenantSpec::named(name) }
+    }
+
+    #[test]
+    fn registry_creates_looks_up_and_deletes() {
+        let host = ServeHost::spawn();
+        let a = host.create(small("alpha")).unwrap();
+        let b = host.create(small("beta")).unwrap();
+        assert_ne!(a, b);
+        assert!(host.create(small("alpha")).is_err(), "duplicate name");
+        assert_eq!(host.lookup("alpha").unwrap().id, a);
+        assert_eq!(host.lookup(&b.to_string()).unwrap().id, b);
+        assert!(host.lookup("gamma").is_err());
+        assert_eq!(host.list().len(), 2);
+        host.delete("alpha").unwrap();
+        assert!(host.lookup("alpha").is_err());
+        assert_eq!(host.list().len(), 1);
+        host.shutdown();
+    }
+
+    #[test]
+    fn plane_routes_the_tenant_lifecycle() {
+        let host = ServeHost::spawn();
+        let plane = ServePlane::new(Arc::clone(&host));
+
+        let (status, _, body) =
+            plane.handle(&req("POST", "/tenants", "name=alpha nodes=3")).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let id = Json::parse(&body).unwrap().get("id").unwrap().as_u64().unwrap();
+
+        let (status, _, body) = plane.handle(&req("GET", "/tenants", "")).unwrap();
+        assert_eq!(status, 200);
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(doc.get("tenants").unwrap().as_arr().unwrap().len(), 1);
+
+        let (status, _, _) = plane.handle(&req("GET", "/tenants/alpha", "")).unwrap();
+        assert_eq!(status, 200);
+        let (status, _, _) = plane.handle(&req("GET", "/tenants/zzz", "")).unwrap();
+        assert_eq!(status, 404);
+
+        let (status, _, body) =
+            plane.handle(&req("POST", "/tenants", "name=alpha nodes=3")).unwrap();
+        assert_eq!(status, 409, "duplicate create must conflict: {body}");
+        let (status, _, _) = plane.handle(&req("POST", "/tenants", "garbage")).unwrap();
+        assert_eq!(status, 400);
+
+        let (status, _, body) =
+            plane.handle(&req("POST", &format!("/tenants/{id}/faults"), "crash 1")).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let (status, _, _) =
+            plane.handle(&req("POST", &format!("/tenants/{id}/faults"), "crash 99")).unwrap();
+        assert_eq!(status, 422);
+        let (status, _, _) =
+            plane.handle(&req("POST", &format!("/tenants/{id}/chaos"), "loss 0.5")).unwrap();
+        assert_eq!(status, 422, "clean tenant has no chaos layer");
+
+        let (status, _, _) = plane.handle(&req("DELETE", "/tenants/alpha", "")).unwrap();
+        assert_eq!(status, 200);
+        let (status, _, _) = plane.handle(&req("DELETE", "/tenants/alpha", "")).unwrap();
+        assert_eq!(status, 404);
+
+        assert!(plane.handle(&req("GET", "/metrics", "")).is_none(), "metrics fall through");
+        host.shutdown();
+    }
+
+    #[test]
+    fn lease_flow_over_the_plane() {
+        let host = ServeHost::spawn();
+        let plane = ServePlane::new(Arc::clone(&host));
+        host.create(small("t")).unwrap();
+
+        // Wait for the ring to surface a primary holder.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let lease_id = loop {
+            let (status, _, body) =
+                plane.handle(&req("POST", "/tenants/t/acquire", "alice")).unwrap();
+            if status == 200 {
+                break Json::parse(&body).unwrap().get("lease").unwrap().as_u64().unwrap();
+            }
+            assert!(Instant::now() < deadline, "never acquired: {status} {body}");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+
+        let (status, _, body) = plane.handle(&req("POST", "/tenants/t/acquire", "bob")).unwrap();
+        assert_eq!(status, 409, "second client must conflict: {body}");
+
+        let (status, _, _) =
+            plane.handle(&req("POST", "/tenants/t/release", &lease_id.to_string())).unwrap();
+        assert_eq!(status, 200);
+        let (status, _, _) =
+            plane.handle(&req("POST", "/tenants/t/release", &lease_id.to_string())).unwrap();
+        assert_eq!(status, 409, "double release");
+
+        let entry = host.lookup("t").unwrap();
+        let counters = entry.lease.counters();
+        assert_eq!(counters.grants, 1);
+        assert_eq!(counters.releases, 1);
+        assert_eq!(counters.conflicts, 1);
+        host.shutdown();
+    }
+
+    #[test]
+    fn metrics_carry_per_tenant_labels() {
+        let host = ServeHost::spawn();
+        let plane = ServePlane::new(Arc::clone(&host));
+        host.create(small("m1")).unwrap();
+        host.create(small("m2")).unwrap();
+        let text = ssr_ctl::prom::render(&plane.metrics());
+        assert!(text.contains("ssr_cs_violations_total{tenant=\"m1\"}"), "{text}");
+        assert!(text.contains("ssr_cs_violations_total{tenant=\"m2\"}"), "{text}");
+        assert!(text.contains("ssr_node_sends_total{tenant=\"m1\",node=\"0\"}"), "{text}");
+        assert!(text.contains("ssr_lease_grants_total{tenant=\"m1\"}"), "{text}");
+        host.shutdown();
+    }
+}

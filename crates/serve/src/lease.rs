@@ -1,0 +1,339 @@
+//! TTL'd token leases: an application-facing claim on a tenant's token.
+//!
+//! SSRmin guarantees each tenant ring always has one primary token holder
+//! (P9) and at most two privileged nodes ((1,2)-CS). The lease layer turns
+//! that protocol-level privilege into an application-level contract: at
+//! most one *client* of a tenant holds a lease at any instant. A lease is
+//! granted against the node currently holding the primary token, lives for
+//! a TTL, and dies early if the client releases it or the ring hands the
+//! token to another node (graceful handover revokes the lease — the claim
+//! was on *that* node's privilege).
+//!
+//! All grant/close decisions happen under one mutex and the closed-lease
+//! history records microsecond windows, so exclusivity is provable after
+//! the fact: sort the windows by grant time and no window may open before
+//! the previous one ended.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// How a lease ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseEnd {
+    /// The client released it.
+    Released,
+    /// The TTL ran out before the client released.
+    Expired,
+    /// The ring handed the token to another node while the lease lived.
+    Revoked,
+}
+
+/// A currently granted lease.
+#[derive(Debug, Clone)]
+pub struct Lease {
+    /// Unique (per tenant) lease id, also the release capability.
+    pub id: u64,
+    /// Client-supplied name (diagnostics only; the id is the capability).
+    pub client: String,
+    /// Ring node whose token privilege backs this lease.
+    pub node: usize,
+    /// When the lease was granted.
+    pub granted_at: Instant,
+    /// When it expires unless released first.
+    pub expires_at: Instant,
+}
+
+/// One closed lease, as microsecond offsets from the manager's epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseWindow {
+    /// Lease id.
+    pub id: u64,
+    /// Backing node.
+    pub node: usize,
+    /// Grant time, µs since the manager's epoch.
+    pub granted_us: u64,
+    /// End time, µs since the manager's epoch.
+    pub ended_us: u64,
+    /// Why it ended.
+    pub end: LeaseEnd,
+}
+
+/// Monotonic counters of lease traffic (mirrored into `/metrics`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeaseCounters {
+    /// Leases granted.
+    pub grants: u64,
+    /// Leases released by their client.
+    pub releases: u64,
+    /// Leases that hit their TTL.
+    pub expirations: u64,
+    /// Leases revoked by a token handover.
+    pub revocations: u64,
+    /// Acquire attempts refused because a lease was held (HTTP 409).
+    pub conflicts: u64,
+    /// Acquire attempts refused because no node held the primary token at
+    /// that instant (transient, e.g. mid-handover or mid-fault).
+    pub unavailable: u64,
+}
+
+/// Outcome of an acquire attempt.
+#[derive(Debug, Clone)]
+pub enum Acquire {
+    /// Lease granted.
+    Granted(Lease),
+    /// Another client holds the lease until (at the latest) its TTL.
+    Held {
+        /// Remaining TTL of the blocking lease.
+        retry_in: Duration,
+    },
+    /// No node currently reports holding the primary token.
+    NoHolder,
+}
+
+struct LeaseInner {
+    next_id: u64,
+    current: Option<Lease>,
+    counters: LeaseCounters,
+    history: Vec<LeaseWindow>,
+}
+
+/// The per-tenant lease authority.
+pub struct LeaseManager {
+    epoch: Instant,
+    ttl: Duration,
+    inner: Mutex<LeaseInner>,
+}
+
+impl LeaseManager {
+    /// A manager granting leases of `ttl` with window timestamps relative
+    /// to `epoch` (the tenant ring's start).
+    pub fn new(epoch: Instant, ttl: Duration) -> Self {
+        LeaseManager {
+            epoch,
+            ttl,
+            inner: Mutex::new(LeaseInner {
+                next_id: 1,
+                current: None,
+                counters: LeaseCounters::default(),
+                history: Vec::new(),
+            }),
+        }
+    }
+
+    /// The configured TTL.
+    pub fn ttl(&self) -> Duration {
+        self.ttl
+    }
+
+    fn us(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.epoch).as_micros() as u64
+    }
+
+    /// Close the current lease if it expired, or if the token moved off the
+    /// leased node (`holder` is the node currently holding the primary
+    /// token, if visible). Called under the lock before every decision and
+    /// periodically by the host's refresh loop.
+    fn refresh_locked(&self, inner: &mut LeaseInner, holder: Option<usize>, now: Instant) {
+        let Some(lease) = inner.current.as_ref() else { return };
+        if now >= lease.expires_at {
+            // The TTL ran out at expires_at, not when we noticed.
+            let window = LeaseWindow {
+                id: lease.id,
+                node: lease.node,
+                granted_us: self.us(lease.granted_at),
+                ended_us: self.us(lease.expires_at),
+                end: LeaseEnd::Expired,
+            };
+            inner.history.push(window);
+            inner.counters.expirations += 1;
+            inner.current = None;
+        } else if holder.is_some() && holder != Some(lease.node) {
+            let window = LeaseWindow {
+                id: lease.id,
+                node: lease.node,
+                granted_us: self.us(lease.granted_at),
+                ended_us: self.us(now),
+                end: LeaseEnd::Revoked,
+            };
+            inner.history.push(window);
+            inner.counters.revocations += 1;
+            inner.current = None;
+        }
+    }
+
+    /// Periodic maintenance: expire / revoke the current lease against the
+    /// ring's current primary holder.
+    pub fn refresh(&self, holder: Option<usize>) {
+        let mut inner = self.inner.lock();
+        self.refresh_locked(&mut inner, holder, Instant::now());
+    }
+
+    /// Try to acquire the tenant's lease for `client`. `holder` is the node
+    /// currently holding the primary token (the grant target).
+    pub fn acquire(&self, client: &str, holder: Option<usize>) -> Acquire {
+        let now = Instant::now();
+        let mut inner = self.inner.lock();
+        self.refresh_locked(&mut inner, holder, now);
+        if let Some(expires_at) = inner.current.as_ref().map(|l| l.expires_at) {
+            inner.counters.conflicts += 1;
+            return Acquire::Held { retry_in: expires_at.saturating_duration_since(now) };
+        }
+        let Some(node) = holder else {
+            inner.counters.unavailable += 1;
+            return Acquire::NoHolder;
+        };
+        let lease = Lease {
+            id: inner.next_id,
+            client: client.to_string(),
+            node,
+            granted_at: now,
+            expires_at: now + self.ttl,
+        };
+        inner.next_id += 1;
+        inner.counters.grants += 1;
+        inner.current = Some(lease.clone());
+        Acquire::Granted(lease)
+    }
+
+    /// Release lease `id`. Err if the id does not name the live lease (it
+    /// never existed, already expired, or was revoked — the client's claim
+    /// is gone either way).
+    pub fn release(&self, id: u64, holder: Option<usize>) -> Result<(), String> {
+        let now = Instant::now();
+        let mut inner = self.inner.lock();
+        self.refresh_locked(&mut inner, holder, now);
+        match inner.current.as_ref() {
+            Some(lease) if lease.id == id => {
+                let window = LeaseWindow {
+                    id: lease.id,
+                    node: lease.node,
+                    granted_us: self.us(lease.granted_at),
+                    ended_us: self.us(now),
+                    end: LeaseEnd::Released,
+                };
+                inner.history.push(window);
+                inner.counters.releases += 1;
+                inner.current = None;
+                Ok(())
+            }
+            Some(lease) => Err(format!("lease {id} is not held (current is {})", lease.id)),
+            None => Err(format!("lease {id} is not held")),
+        }
+    }
+
+    /// The live lease, if any (after expiry maintenance).
+    pub fn current(&self) -> Option<Lease> {
+        let mut inner = self.inner.lock();
+        self.refresh_locked(&mut inner, None, Instant::now());
+        inner.current.clone()
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn counters(&self) -> LeaseCounters {
+        self.inner.lock().counters
+    }
+
+    /// Closed-lease windows so far (grant order).
+    pub fn history(&self) -> Vec<LeaseWindow> {
+        self.inner.lock().history.clone()
+    }
+}
+
+/// Check that a closed-lease history proves mutual exclusion: sorted by
+/// grant time, every window must start at or after the previous one ended.
+/// Returns the first overlapping pair if any.
+pub fn first_overlap(history: &[LeaseWindow]) -> Option<(LeaseWindow, LeaseWindow)> {
+    let mut sorted: Vec<LeaseWindow> = history.to_vec();
+    sorted.sort_by_key(|w| w.granted_us);
+    sorted.windows(2).find(|pair| pair[1].granted_us < pair[0].ended_us).map(|p| (p[0], p[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager(ttl_ms: u64) -> LeaseManager {
+        LeaseManager::new(Instant::now(), Duration::from_millis(ttl_ms))
+    }
+
+    #[test]
+    fn grants_are_exclusive_until_released() {
+        let m = manager(10_000);
+        let lease = match m.acquire("alice", Some(2)) {
+            Acquire::Granted(l) => l,
+            other => panic!("expected grant, got {other:?}"),
+        };
+        assert_eq!(lease.node, 2);
+        assert!(matches!(m.acquire("bob", Some(2)), Acquire::Held { .. }));
+        assert!(m.release(lease.id + 1, Some(2)).is_err(), "wrong id");
+        m.release(lease.id, Some(2)).unwrap();
+        assert!(m.release(lease.id, Some(2)).is_err(), "double release");
+        assert!(matches!(m.acquire("bob", Some(2)), Acquire::Granted(_)));
+        let c = m.counters();
+        assert_eq!((c.grants, c.releases, c.conflicts), (2, 1, 1));
+        assert!(first_overlap(&m.history()).is_none());
+    }
+
+    #[test]
+    fn no_holder_means_no_grant() {
+        let m = manager(10_000);
+        assert!(matches!(m.acquire("alice", None), Acquire::NoHolder));
+        assert_eq!(m.counters().unavailable, 1);
+    }
+
+    #[test]
+    fn expiry_frees_the_lease_and_backdates_the_window() {
+        let m = manager(15);
+        let lease = match m.acquire("alice", Some(0)) {
+            Acquire::Granted(l) => l,
+            other => panic!("expected grant, got {other:?}"),
+        };
+        std::thread::sleep(Duration::from_millis(40));
+        // Nobody refreshed in between: the next acquire both expires the
+        // old lease and grants the new one, atomically.
+        assert!(matches!(m.acquire("bob", Some(1)), Acquire::Granted(_)));
+        let history = m.history();
+        assert_eq!(history.len(), 1);
+        assert_eq!(history[0].end, LeaseEnd::Expired);
+        assert_eq!(history[0].id, lease.id);
+        // The window closed at TTL, not at detection ~40ms later.
+        assert!(history[0].ended_us - history[0].granted_us < 30_000);
+        assert!(m.release(lease.id, Some(1)).is_err(), "expired lease cannot be released");
+        assert!(first_overlap(&m.history()).is_none());
+    }
+
+    #[test]
+    fn handover_revokes_the_lease() {
+        let m = manager(10_000);
+        let lease = match m.acquire("alice", Some(0)) {
+            Acquire::Granted(l) => l,
+            other => panic!("expected grant, got {other:?}"),
+        };
+        m.refresh(Some(0)); // same holder: nothing happens
+        assert!(m.current().is_some());
+        m.refresh(None); // holder invisible (mid-handover): keep waiting
+        assert!(m.current().is_some());
+        m.refresh(Some(1)); // token moved: revoke
+        assert!(m.current().is_none());
+        let history = m.history();
+        assert_eq!(history.len(), 1);
+        assert_eq!(history[0].end, LeaseEnd::Revoked);
+        assert_eq!(history[0].id, lease.id);
+        assert_eq!(m.counters().revocations, 1);
+    }
+
+    #[test]
+    fn overlap_detector_catches_bad_histories() {
+        let w = |granted_us, ended_us| LeaseWindow {
+            id: 0,
+            node: 0,
+            granted_us,
+            ended_us,
+            end: LeaseEnd::Released,
+        };
+        assert!(first_overlap(&[w(0, 10), w(10, 20), w(25, 30)]).is_none());
+        let bad = first_overlap(&[w(0, 10), w(9, 20)]).unwrap();
+        assert_eq!((bad.0.ended_us, bad.1.granted_us), (10, 9));
+    }
+}

@@ -1,0 +1,40 @@
+//! `ssr-serve`: multi-tenant ring hosting with a token-lease API.
+//!
+//! The lower crates run **one** SSRmin ring per process. This crate turns
+//! that into a service: a [`ServeHost`] registers many tenants at runtime,
+//! each an independent ring with its own [`TenantSpec`] (size, K bound,
+//! seed, tick, chaos profile, lease TTL, audited CS spec), all running over
+//! the shared UDP transport — frames carry the tenant id in the versioned
+//! wire codec, so rings cannot cross-talk even through misdelivery — and
+//! all observable through one `ssr-ctl` HTTP plane with per-tenant metric
+//! labels.
+//!
+//! On top of the protocol's token, the lease layer ([`LeaseManager`])
+//! offers applications a familiar contract: `POST /tenants/{id}/acquire`
+//! grants a TTL'd lease on the node currently holding the primary token —
+//! at most one client per tenant holds one, concurrent acquires get HTTP
+//! 409, and the lease dies on release, TTL expiry, or when the ring's
+//! graceful handover moves the token to another node.
+//!
+//! A background auditor thread replays every tenant's privilege trace
+//! against its (ℓ,k)-CS spec ([`ssr_net::TraceAuditor`]); violation
+//! episodes surface as `ssr_cs_violations_total{tenant=...}`.
+//!
+//! Layering: `ssr-core` (protocol) → `ssr-net` (UDP ring, faults,
+//! auditing) → `ssr-ctl` (HTTP plane) → **`ssr-serve`** (tenancy +
+//! leases) → the `ssrmin serve` / `ssrmin load` binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod host;
+pub mod lease;
+pub mod ring;
+pub mod tenant;
+
+pub use host::{ServeHost, ServePlane, TenantEntry};
+pub use lease::{
+    first_overlap, Acquire, Lease, LeaseCounters, LeaseEnd, LeaseManager, LeaseWindow,
+};
+pub use ring::HostedRing;
+pub use tenant::TenantSpec;

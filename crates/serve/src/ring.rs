@@ -1,0 +1,494 @@
+//! One hosted tenant ring: n `run_node` threads over tenant-stamped
+//! [`UdpTransport`]s, optionally behind per-link chaos proxies, living
+//! until the tenant is deleted.
+//!
+//! This is `ssr_net::cluster`'s three-phase bring-up (bind → wire → spawn)
+//! rebuilt for indefinite runs: instead of a fixed measurement window the
+//! ring runs until its stop flag flips, and the supervisor machinery is
+//! folded in per node — every node carries the two-stage convergence
+//! watchdog, and the registry can crash, restart (amnesia + generation
+//! overshoot past the staleness filters), freeze or state-corrupt
+//! individual nodes at runtime, exactly like `ssrmin soak`'s fault
+//! injector but scoped to one tenant.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use ssr_core::{Replica, SsrMin, SsrState};
+use ssr_ctl::ChaosCmd;
+use ssr_mpnet::FaultKind;
+use ssr_net::chaos::{ChaosConfig, ChaosHandle, ChaosProxy};
+use ssr_net::metrics::{MetricsRegistry, NodeMetrics};
+use ssr_net::runner::{run_node, NodeConfig, NodeControl, Watchdog, WatchdogEvent};
+use ssr_net::transport::UdpTransport;
+use ssr_net::{ssr_adversary, ssr_amnesia};
+use ssr_runtime::activity::ActivityEvent;
+
+use crate::tenant::TenantSpec;
+
+/// Generation overshoot per incarnation, mirroring the supervisor's rebind
+/// floor: far larger than any generation a previous incarnation can have
+/// stamped within its lifetime.
+const GENERATION_STRIDE: u32 = 1 << 24;
+
+/// One node's control surface and (when crashed) its parked remains.
+struct NodeSlot {
+    kill: Arc<AtomicBool>,
+    frozen: Arc<AtomicBool>,
+    poison: Arc<Mutex<Option<Vec<u8>>>>,
+    thread: Option<JoinHandle<(Replica<SsrState>, UdpTransport<SsrState>)>>,
+    /// Replica + transport handed back by a crashed node's thread, reused
+    /// on restart so the ring keeps its wiring.
+    parked: Option<(Replica<SsrState>, UdpTransport<SsrState>)>,
+    incarnation: u32,
+}
+
+/// A live tenant ring.
+pub struct HostedRing {
+    algo: SsrMin,
+    tenant: u16,
+    spec: TenantSpec,
+    start: Instant,
+    stop: Arc<AtomicBool>,
+    slots: Vec<NodeSlot>,
+    metrics: MetricsRegistry,
+    log: Arc<Mutex<Vec<ActivityEvent>>>,
+    initial_active: Vec<bool>,
+    /// Directed-link proxies (2n when the spec wants chaos, else empty);
+    /// link `2i` is `i → succ(i)`, link `2i+1` is `i → pred(i)`.
+    proxies: Vec<ChaosProxy>,
+    handles: Vec<ChaosHandle>,
+    watchdog_outbox: Arc<Mutex<Vec<WatchdogEvent>>>,
+}
+
+impl HostedRing {
+    /// Bind, wire and start a tenant ring. `tenant` is the wire-level ring
+    /// id stamped on every frame.
+    pub fn spawn(tenant: u16, spec: TenantSpec) -> io::Result<HostedRing> {
+        let params = spec.params().map_err(io::Error::other)?;
+        let algo = SsrMin::new(params);
+        let n = spec.nodes;
+        let metrics = MetricsRegistry::new(n);
+        let stop = Arc::new(AtomicBool::new(false));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let watchdog_outbox = Arc::new(Mutex::new(Vec::new()));
+        let start = Instant::now();
+
+        // Phase 1: bind every node's sockets, joined to the tenant.
+        let mut transports = Vec::with_capacity(n);
+        for i in 0..n {
+            let pred = (i + n - 1) % n;
+            let succ = (i + 1) % n;
+            let mut t = UdpTransport::<SsrState>::bind(
+                i as u16,
+                pred as u16,
+                succ as u16,
+                spec.tick,
+                spec.seed.wrapping_add(i as u64),
+                metrics.arc_node(i),
+            )?;
+            t.set_tenant(tenant);
+            transports.push(t);
+        }
+        let addrs = transports.iter().map(|t| t.local_addrs()).collect::<io::Result<Vec<_>>>()?;
+
+        // Phase 2: wire the ring, through chaos proxies when asked for.
+        let mut proxies = Vec::new();
+        let mut handles = Vec::new();
+        for (i, t) in transports.iter_mut().enumerate() {
+            let pred = (i + n - 1) % n;
+            let succ = (i + 1) % n;
+            // Destination of states this node sends *to* each neighbour:
+            // the neighbour's socket facing back at us.
+            let to_succ = addrs[succ].pred;
+            let to_pred = addrs[pred].succ;
+            if spec.wants_chaos() {
+                let mk = |dst, link_idx: u64| -> io::Result<ChaosProxy> {
+                    let cfg = ChaosConfig {
+                        seed: spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(link_idx),
+                        loss: spec.loss,
+                        corrupt: spec.corrupt,
+                        ..ChaosConfig::default()
+                    };
+                    ChaosProxy::spawn(dst, cfg)
+                };
+                let p_succ = mk(to_succ, 2 * i as u64)?;
+                let p_pred = mk(to_pred, 2 * i as u64 + 1)?;
+                t.wire(p_pred.addr(), p_succ.addr());
+                handles.push(p_succ.handle());
+                handles.push(p_pred.handle());
+                proxies.push(p_succ);
+                proxies.push(p_pred);
+            } else {
+                t.wire(to_pred, to_succ);
+            }
+        }
+
+        // Phase 3: spawn the node threads from the legitimate anchor with
+        // coherent caches — a freshly provisioned tenant is immediately in
+        // service; self-stabilization is for what the world does later.
+        let initial = algo.legitimate_anchor(0);
+        let mut ring = HostedRing {
+            algo,
+            tenant,
+            spec,
+            start,
+            stop,
+            slots: Vec::with_capacity(n),
+            metrics,
+            log,
+            initial_active: Vec::with_capacity(n),
+            proxies,
+            handles,
+            watchdog_outbox,
+        };
+        for (i, transport) in transports.into_iter().enumerate() {
+            let pred = (i + n - 1) % n;
+            let succ = (i + 1) % n;
+            let replica = Replica::coherent(initial[i], initial[pred], initial[succ]);
+            ring.initial_active.push(replica.is_privileged(&ring.algo, i));
+            let slot = ring.make_slot(i);
+            ring.slots.push(slot);
+            ring.launch(i, replica, transport);
+        }
+        Ok(ring)
+    }
+
+    fn make_slot(&self, _i: usize) -> NodeSlot {
+        NodeSlot {
+            kill: Arc::new(AtomicBool::new(false)),
+            frozen: Arc::new(AtomicBool::new(false)),
+            poison: Arc::new(Mutex::new(None)),
+            thread: None,
+            parked: None,
+            incarnation: 0,
+        }
+    }
+
+    /// The per-node convergence-watchdog budget: the Lemma 5 `3n`-step
+    /// bound scaled by the retransmit period, with the same slack and floor
+    /// the soak supervisor uses.
+    fn watchdog_budget(&self) -> Duration {
+        let steps = (3 * self.spec.nodes).max(1) as u32;
+        self.spec.tick.saturating_mul(steps.saturating_mul(16)).max(Duration::from_millis(400))
+    }
+
+    fn launch(&mut self, i: usize, replica: Replica<SsrState>, transport: UdpTransport<SsrState>) {
+        let control = NodeControl {
+            stop: Arc::clone(&self.stop),
+            kill: Arc::clone(&self.slots[i].kill),
+            snapshot: None,
+            poison: Arc::clone(&self.slots[i].poison),
+            frozen: Arc::clone(&self.slots[i].frozen),
+            watchdog: Some(Watchdog {
+                budget: self.watchdog_budget(),
+                generation_bump: GENERATION_STRIDE,
+                outbox: Arc::clone(&self.watchdog_outbox),
+            }),
+        };
+        let algo = self.algo;
+        let cfg = NodeConfig { exec_delay: self.spec.exec_delay, ..NodeConfig::default() };
+        let log = Arc::clone(&self.log);
+        let start = self.start;
+        let metrics = self.metrics.arc_node(i);
+        self.slots[i].thread = Some(std::thread::spawn(move || {
+            run_node(algo, i, replica, transport, cfg, control, log, start, metrics)
+        }));
+    }
+
+    /// Ring size.
+    pub fn n(&self) -> usize {
+        self.spec.nodes
+    }
+
+    /// The wire-level tenant id.
+    pub fn tenant(&self) -> u16 {
+        self.tenant
+    }
+
+    /// Time since the ring started.
+    pub fn age(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// The ring's start instant (activity-event timestamps are relative to
+    /// it).
+    pub fn started(&self) -> Instant {
+        self.start
+    }
+
+    /// Initial privilege vector (the trace auditor's starting point).
+    pub fn initial_active(&self) -> &[bool] {
+        &self.initial_active
+    }
+
+    /// Drain recorded activity events older than `horizon` (ring-relative),
+    /// leaving newer ones for the next drain so late-arriving transitions
+    /// from other node threads keep their time order.
+    pub fn drain_activity(&self, horizon: Duration) -> Vec<ActivityEvent> {
+        let mut log = self.log.lock();
+        let mut drained = Vec::new();
+        let mut keep = Vec::with_capacity(log.len());
+        for event in log.drain(..) {
+            if event.at <= horizon {
+                drained.push(event);
+            } else {
+                keep.push(event);
+            }
+        }
+        *log = keep;
+        drained.sort_by_key(|e| e.at);
+        drained
+    }
+
+    /// Per-node metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Number of nodes currently evaluating themselves privileged (gauge
+    /// scan; the authoritative audit replays the activity trace).
+    pub fn privileged_count(&self) -> usize {
+        (0..self.n()).filter(|&i| NodeMetrics::get(&self.metrics.node(i).privileged) == 1).count()
+    }
+
+    /// The node currently holding the primary token, if exactly visible.
+    pub fn primary_holder(&self) -> Option<usize> {
+        (0..self.n()).find(|&i| {
+            self.slots[i].thread.is_some()
+                && NodeMetrics::get(&self.metrics.node(i).token_primary) == 1
+        })
+    }
+
+    /// Whether node `i`'s thread is up (not crashed).
+    pub fn node_up(&self, i: usize) -> bool {
+        self.slots[i].thread.is_some()
+    }
+
+    /// Node `i`'s incarnation count (restarts).
+    pub fn incarnation(&self, i: usize) -> u32 {
+        self.slots[i].incarnation
+    }
+
+    /// Total watchdog escalations reported by this ring's nodes.
+    pub fn watchdog_escalations(&self) -> u64 {
+        self.watchdog_outbox.lock().len() as u64
+    }
+
+    /// Apply a runtime chaos adjustment to the tenant's links.
+    pub fn chaos(&self, cmd: ChaosCmd) -> Result<String, String> {
+        if self.handles.is_empty() {
+            return Err("tenant has no chaos layer (created without loss/corrupt)".to_string());
+        }
+        match cmd {
+            ChaosCmd::Partition { from, to, cut } => {
+                let link = self.directed_link(from, to)?;
+                self.handles[link].set_partitioned(cut);
+                Ok(format!("link {from}->{to} {}", if cut { "partitioned" } else { "healed" }))
+            }
+            ChaosCmd::Loss(p) => {
+                for h in &self.handles {
+                    h.set_loss_override(p);
+                }
+                Ok(format!("loss override {p:?} on all links"))
+            }
+            ChaosCmd::Corrupt(p) => {
+                for h in &self.handles {
+                    h.set_corrupt_override(p);
+                }
+                Ok(format!("corrupt override {p:?} on all links"))
+            }
+            ChaosCmd::Truncate(p) => {
+                for h in &self.handles {
+                    h.set_truncate_override(p);
+                }
+                Ok(format!("truncate override {p:?} on all links"))
+            }
+        }
+    }
+
+    /// Inject one fault into this tenant, supervisor-style.
+    pub fn inject(&mut self, fault: FaultKind) -> Result<String, String> {
+        let n = self.n();
+        let check = |node: usize| -> Result<usize, String> {
+            if node < n {
+                Ok(node)
+            } else {
+                Err(format!("node {node} outside ring of {n}"))
+            }
+        };
+        match fault {
+            FaultKind::Crash { node, .. } => {
+                let node = check(node)?;
+                self.crash(node)
+            }
+            FaultKind::Restart { node } => {
+                let node = check(node)?;
+                self.restart(node)
+            }
+            FaultKind::FreezeNode { node } => {
+                let node = check(node)?;
+                self.slots[node].frozen.store(true, Ordering::Relaxed);
+                Ok(format!("node {node} frozen (watchdog stage-2 will thaw it)"))
+            }
+            FaultKind::CorruptState { node } => {
+                let node = check(node)?;
+                let params = self.algo.params();
+                let mut sample = ssr_adversary(
+                    params,
+                    self.spec.seed ^ u64::from(self.slots[node].incarnation).wrapping_add(0xC0),
+                );
+                let poisoned = sample(node, self.slots[node].incarnation);
+                *self.slots[node].poison.lock() = Some(poisoned.snapshot());
+                Ok(format!("node {node} state poisoned"))
+            }
+            FaultKind::Partition { from, to } => {
+                self.chaos(ChaosCmd::Partition { from, to, cut: true })
+            }
+            FaultKind::Heal { from, to } => {
+                self.chaos(ChaosCmd::Partition { from, to, cut: false })
+            }
+            other => Err(format!("fault '{other}' is not supported on hosted tenants")),
+        }
+    }
+
+    fn crash(&mut self, node: usize) -> Result<String, String> {
+        let slot = &mut self.slots[node];
+        let Some(thread) = slot.thread.take() else {
+            return Err(format!("node {node} is already down"));
+        };
+        slot.kill.store(true, Ordering::Relaxed);
+        let remains = thread.join().map_err(|_| format!("node {node} thread panicked"))?;
+        slot.kill.store(false, Ordering::Relaxed);
+        slot.frozen.store(false, Ordering::Relaxed);
+        slot.parked = Some(remains);
+        // The privilege this node was logging is gone with the process.
+        self.log.lock().push(ActivityEvent { node, at: self.start.elapsed(), active: false });
+        Ok(format!("node {node} crashed"))
+    }
+
+    fn restart(&mut self, node: usize) -> Result<String, String> {
+        let slot = &mut self.slots[node];
+        let Some((_, mut transport)) = slot.parked.take() else {
+            return Err(format!("node {node} is not down"));
+        };
+        slot.incarnation += 1;
+        transport.advance_generation_to(slot.incarnation.saturating_mul(GENERATION_STRIDE));
+        let mut amnesia = ssr_amnesia(self.algo.params(), self.spec.seed);
+        let replica = amnesia(node, slot.incarnation);
+        let incarnation = slot.incarnation;
+        self.launch(node, replica, transport);
+        Ok(format!("node {node} restarted (amnesia, incarnation {incarnation})"))
+    }
+
+    /// Index of the directed chaos link `from → to`, if they are ring
+    /// neighbours.
+    fn directed_link(&self, from: usize, to: usize) -> Result<usize, String> {
+        let n = self.n();
+        if from >= n || to >= n {
+            return Err(format!("link {from}->{to} outside ring of {n}"));
+        }
+        if to == (from + 1) % n {
+            Ok(2 * from)
+        } else if to == (from + n - 1) % n {
+            Ok(2 * from + 1)
+        } else {
+            Err(format!("{from}->{to} is not a ring link"))
+        }
+    }
+
+    /// Stop every node thread and shut the chaos layer down. Idempotent;
+    /// called on tenant deletion (and by drop).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for slot in &mut self.slots {
+            if let Some(thread) = slot.thread.take() {
+                let _ = thread.join();
+            }
+            slot.parked = None;
+        }
+        for proxy in self.proxies.drain(..) {
+            proxy.shutdown();
+        }
+        self.handles.clear();
+    }
+}
+
+impl Drop for HostedRing {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wait_until(deadline_ms: u64, mut ok: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+        while Instant::now() < deadline {
+            if ok() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        false
+    }
+
+    #[test]
+    fn hosts_a_ring_that_circulates_and_stops() {
+        let mut ring = HostedRing::spawn(7, TenantSpec::named("t")).unwrap();
+        assert_eq!(ring.n(), 5);
+        assert_eq!(ring.tenant(), 7);
+        assert!(
+            wait_until(5_000, || {
+                ring.metrics().node(0).rule_firings.load(std::sync::atomic::Ordering::Relaxed) > 3
+            }),
+            "node 0 never fired rules"
+        );
+        assert!(
+            wait_until(2_000, || (1..=2).contains(&ring.privileged_count())),
+            "privileged count never entered the (1,2) band"
+        );
+        ring.stop();
+        ring.stop(); // idempotent
+    }
+
+    #[test]
+    fn crash_restart_cycle_brings_the_node_back() {
+        let mut ring = HostedRing::spawn(1, TenantSpec::named("t")).unwrap();
+        assert!(ring.inject("crash 2".parse().unwrap()).is_ok());
+        assert!(!ring.node_up(2));
+        assert!(ring.inject("crash 2".parse().unwrap()).is_err(), "already down");
+        assert!(ring.inject("restart 2".parse().unwrap()).is_ok());
+        assert!(ring.node_up(2));
+        assert_eq!(ring.incarnation(2), 1);
+        // The restarted incarnation rejoins: its rule engine fires again.
+        assert!(
+            wait_until(5_000, || {
+                ring.metrics().node(2).rule_firings.load(std::sync::atomic::Ordering::Relaxed) > 0
+            }),
+            "restarted node never fired a rule"
+        );
+        assert!(ring.inject("babble 0".parse().unwrap()).is_err(), "unsupported fault");
+        ring.stop();
+    }
+
+    #[test]
+    fn chaos_commands_need_a_chaos_layer() {
+        let mut ring = HostedRing::spawn(2, TenantSpec::named("clean")).unwrap();
+        assert!(ring.chaos(ChaosCmd::Loss(Some(0.5))).is_err());
+        ring.stop();
+
+        let spec = TenantSpec { loss: 0.1, ..TenantSpec::named("lossy") };
+        let mut ring = HostedRing::spawn(3, spec).unwrap();
+        assert!(ring.chaos(ChaosCmd::Loss(Some(0.5))).is_ok());
+        assert!(ring.chaos(ChaosCmd::Partition { from: 0, to: 1, cut: true }).is_ok());
+        assert!(ring.chaos(ChaosCmd::Partition { from: 0, to: 2, cut: true }).is_err());
+        ring.stop();
+    }
+}

@@ -1,0 +1,220 @@
+//! Tenant specifications: what a client asks for when it creates a ring.
+//!
+//! A tenant is one independent SSRmin ring with its own size, K bound,
+//! seed, chaos profile, lease TTL and audited [`CsSpec`]. Specs arrive as
+//! the body of `POST /tenants` in a deliberately simple `key=value`
+//! grammar (whitespace-separated, same shape as the CLI flags), so no JSON
+//! parser is needed on the client side:
+//!
+//! ```text
+//! name=alpha nodes=5 seed=3 loss=0.2 ttl-ms=250
+//! ```
+
+use std::time::Duration;
+
+use ssr_core::{CsSpec, RingParams};
+
+/// Everything needed to host one tenant ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Registry name (unique per host; also the `tenant` metric label).
+    pub name: String,
+    /// Ring size n.
+    pub nodes: usize,
+    /// SSRmin K bound; 0 means the minimal legal `n + 1`.
+    pub k: u32,
+    /// Seed for the transport jitter, chaos and fault samplers.
+    pub seed: u64,
+    /// Base retransmit period of the tenant's transports.
+    pub tick: Duration,
+    /// Critical-section dwell of each node.
+    pub exec_delay: Duration,
+    /// Default TTL of leases granted on this tenant.
+    pub lease_ttl: Duration,
+    /// Per-link i.i.d. datagram loss probability (chaos proxies are only
+    /// spawned when some chaos knob is nonzero).
+    pub loss: f64,
+    /// Per-link datagram corruption probability.
+    pub corrupt: f64,
+    /// Audited lower bound ℓ (None: SSRmin's own guarantee, 1).
+    pub cs_l: Option<usize>,
+    /// Audited upper bound k (None: SSRmin's own guarantee, 2).
+    pub cs_k: Option<usize>,
+}
+
+impl Default for TenantSpec {
+    fn default() -> Self {
+        TenantSpec {
+            name: String::new(),
+            nodes: 5,
+            k: 0,
+            seed: 0,
+            tick: Duration::from_millis(5),
+            exec_delay: Duration::from_millis(1),
+            lease_ttl: Duration::from_millis(250),
+            loss: 0.0,
+            corrupt: 0.0,
+            cs_l: None,
+            cs_k: None,
+        }
+    }
+}
+
+impl TenantSpec {
+    /// A named spec with every other knob at its default.
+    pub fn named(name: impl Into<String>) -> Self {
+        TenantSpec { name: name.into(), ..TenantSpec::default() }
+    }
+
+    /// Parse the `key=value` grammar of `POST /tenants`. Unknown keys are
+    /// rejected so typos fail loudly.
+    pub fn parse(body: &str) -> Result<TenantSpec, String> {
+        let mut spec = TenantSpec::default();
+        for word in body.split_whitespace() {
+            let (key, value) =
+                word.split_once('=').ok_or_else(|| format!("expected key=value, got '{word}'"))?;
+            let num = |what: &str| -> Result<u64, String> {
+                value.parse().map_err(|_| format!("unparseable {what} '{value}'"))
+            };
+            match key {
+                "name" => spec.name = value.to_string(),
+                "nodes" | "n" => spec.nodes = num("node count")? as usize,
+                "k" => spec.k = num("K bound")? as u32,
+                "seed" => spec.seed = num("seed")?,
+                "tick-ms" => spec.tick = Duration::from_millis(num("tick")?),
+                "exec-ms" => spec.exec_delay = Duration::from_millis(num("exec delay")?),
+                "ttl-ms" => spec.lease_ttl = Duration::from_millis(num("lease ttl")?),
+                "loss" => {
+                    spec.loss = value.parse().map_err(|_| format!("unparseable loss '{value}'"))?;
+                }
+                "corrupt" => {
+                    spec.corrupt =
+                        value.parse().map_err(|_| format!("unparseable corrupt '{value}'"))?;
+                }
+                "cs-l" => spec.cs_l = Some(num("cs-l")? as usize),
+                "cs-k" => spec.cs_k = Some(num("cs-k")? as usize),
+                other => return Err(format!("unknown key '{other}'")),
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Check the spec is hostable; returns a one-line reason if not.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("tenant needs a name".to_string());
+        }
+        if !self.name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') {
+            return Err(format!("tenant name '{}' must be [A-Za-z0-9_-]", self.name));
+        }
+        self.params().map_err(|e| e.to_string())?;
+        for (what, p) in [("loss", self.loss), ("corrupt", self.corrupt)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{what} {p} outside [0, 1]"));
+            }
+        }
+        if self.tick.is_zero() {
+            return Err("tick must be positive".to_string());
+        }
+        if self.lease_ttl.is_zero() {
+            return Err("lease ttl must be positive".to_string());
+        }
+        let spec = self.unchecked_cs();
+        if !(1 <= spec.l && spec.l <= spec.k && spec.k <= spec.n) {
+            return Err(format!(
+                "cs spec ({}, {}) must satisfy 1 <= l <= k <= n={}",
+                spec.l, spec.k, spec.n
+            ));
+        }
+        Ok(())
+    }
+
+    /// The ring parameters (K bound 0 resolves to the minimal `n + 1`).
+    pub fn params(&self) -> ssr_core::Result<RingParams> {
+        if self.k == 0 {
+            RingParams::minimal(self.nodes)
+        } else {
+            RingParams::new(self.nodes, self.k)
+        }
+    }
+
+    /// The audited critical-section spec (defaults to SSRmin's own (1,2)
+    /// guarantee over the tenant's n).
+    pub fn cs_spec(&self) -> CsSpec {
+        let raw = self.unchecked_cs();
+        CsSpec::new(raw.l, raw.k, raw.n)
+    }
+
+    /// Whether the tenant gets chaos proxies on its links.
+    pub fn wants_chaos(&self) -> bool {
+        self.loss > 0.0 || self.corrupt > 0.0
+    }
+
+    fn unchecked_cs(&self) -> RawCs {
+        RawCs { l: self.cs_l.unwrap_or(1), k: self.cs_k.unwrap_or(2), n: self.nodes }
+    }
+
+    /// Render the spec back into its own `key=value` grammar (diagnostics
+    /// and round-trip tests).
+    pub fn render(&self) -> String {
+        format!(
+            "name={} nodes={} k={} seed={} tick-ms={} exec-ms={} ttl-ms={} loss={} corrupt={} cs-l={} cs-k={}",
+            self.name,
+            self.nodes,
+            self.k,
+            self.seed,
+            self.tick.as_millis(),
+            self.exec_delay.as_millis(),
+            self.lease_ttl.as_millis(),
+            self.loss,
+            self.corrupt,
+            self.cs_l.unwrap_or(1),
+            self.cs_k.unwrap_or(2),
+        )
+    }
+}
+
+struct RawCs {
+    l: usize,
+    k: usize,
+    n: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_key_value_grammar() {
+        let spec =
+            TenantSpec::parse("name=alpha nodes=7 seed=3 loss=0.2 ttl-ms=100 cs-k=3").unwrap();
+        assert_eq!(spec.name, "alpha");
+        assert_eq!(spec.nodes, 7);
+        assert_eq!(spec.seed, 3);
+        assert!((spec.loss - 0.2).abs() < 1e-12);
+        assert_eq!(spec.lease_ttl, Duration::from_millis(100));
+        assert_eq!(spec.cs_spec(), CsSpec::new(1, 3, 7));
+        assert!(spec.wants_chaos());
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(TenantSpec::parse("nodes=5").is_err(), "nameless");
+        assert!(TenantSpec::parse("name=a nodes=2").is_err(), "ring too small");
+        assert!(TenantSpec::parse("name=a loss=1.5").is_err(), "loss out of range");
+        assert!(TenantSpec::parse("name=a frobnicate=1").is_err(), "unknown key");
+        assert!(TenantSpec::parse("name=a cs-l=3 cs-k=2").is_err(), "l > k");
+        assert!(TenantSpec::parse("name=bad name!").is_err(), "bad name characters");
+        assert!(TenantSpec::parse("name=a ttl-ms=0").is_err(), "zero ttl");
+    }
+
+    #[test]
+    fn defaults_round_trip_through_render() {
+        let spec = TenantSpec::named("t1");
+        let again = TenantSpec::parse(&spec.render()).unwrap();
+        assert_eq!(again.name, "t1");
+        assert_eq!(again.nodes, spec.nodes);
+        assert_eq!(again.cs_spec(), spec.cs_spec());
+    }
+}

@@ -7,26 +7,38 @@
 //! ssrmin camera     [-n 6] [--ms 1000] [--loss 0.05] [--seed 0]
 //! ssrmin cluster    [--nodes 5] [--ms 700] [--loss 0.0] [--seed 0] [--csv]
 //! ssrmin soak       [--nodes 5] [--ms 2000] [--crashes 2] [--partitions 1] [--mode mixed] [--seed 0] [--csv]
+//! ssrmin adversary  [-n 4] [--budget 4000] | [--ms 3000] [--nodes 5] ...
 //! ssrmin converge   [-n 8] [-k 0(=n+1)] [--seeds 20] [--daemon ...]
+//! ssrmin transcript [-n 5] [--ticks 3000] [--loss 0.1] [--tail 25]
+//! ssrmin serve      [--ctl-addr 127.0.0.1:0] [--tenants 4] [--nodes 5] [--ms 0]
+//! ssrmin load       [--tenants 8] [--nodes 5] [--clients 2] [--ms 2000]
+//! ssrmin ctl URL …  / ssrmin top URL — clients against a --ctl-addr plane
 //! ```
 //!
 //! Arguments are `--key value` pairs (or `-n`/`-k` shorthands); anything
-//! missing takes the default shown above.
+//! missing takes the default shown above. The parsing helpers live in
+//! [`ssrmin::cli`].
 
-use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use ssrmin::analysis::{privileged_strip, summarize, DaemonKind, Table};
-use ssrmin::core::{Config, CriticalSectionProtocol, DualSsToken, RingParams, SsToken, SsrMin};
-use ssrmin::ctl::CtlListener;
+use ssrmin::analysis::{privileged_strip, summarize, Table};
+use ssrmin::cli::{
+    chaos_from_opts, cluster_params, ctl_listener, daemon_kind, get, parse, ring_params,
+    start_config, Opts,
+};
+use ssrmin::core::{CriticalSectionProtocol, DualSsToken, SsToken, SsrMin};
+use ssrmin::ctl::{CtlListener, Json};
 use ssrmin::daemon::{measure_convergence, random_config, trace, Engine};
 use ssrmin::mpnet::{CstSim, DelayModel, FaultPlan, FaultSchedule, SimConfig};
-use ssrmin::net::{ChaosConfig, ClusterConfig, SupervisorConfig, WatchdogConfig};
+use ssrmin::net::{audit_trace, ClusterConfig, SupervisorConfig, WatchdogConfig};
 use ssrmin::runtime::camera::CameraNetwork;
 use ssrmin::runtime::RuntimeConfig;
-use ssrmin::{RingAlgorithm, SsrState};
+use ssrmin::serve::{ServeHost, ServePlane, TenantSpec};
+use ssrmin::RingAlgorithm;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +63,8 @@ fn main() -> ExitCode {
                 "converge" => cmd_converge(&opts),
                 "transcript" => cmd_transcript(&opts),
                 "adversary" => cmd_adversary(&opts),
+                "serve" => cmd_serve(&opts),
+                "load" => cmd_load(&opts),
                 "help" | "--help" | "-h" => {
                     println!("{USAGE}");
                     Ok(())
@@ -104,6 +118,25 @@ USAGE:
                      crash/restart with exponential backoff (amnesia or
                      snapshot restore) and link partition windows — and
                      report the recovery time of every fault event
+  ssrmin serve     [--ctl-addr HOST:PORT] [--tenants T] [--nodes N] [--ms MS]
+                   [--seed SEED] [--tick-ms MS] [--ttl-ms MS]
+                     host T independent tenant rings over the shared UDP
+                     transport behind one control plane: a runtime tenant
+                     registry (POST/DELETE /tenants), a TTL'd token-lease
+                     API (POST /tenants/{id}/acquire|release), per-tenant
+                     chaos/fault injection, and /metrics with per-tenant
+                     labels; --ms 0 (the default) serves until killed, a
+                     nonzero --ms exits and fails if any chaos-free tenant
+                     violated its (l,k)-CS spec
+  ssrmin load      [--tenants T] [--nodes N] [--clients C] [--ms MS]
+                   [--seed SEED] [--ttl-ms MS] [--sweep T1,T2,...]
+                   [--out FILE]
+                     provision T tenants x N nodes in-process, drive
+                     acquire/release lease traffic from C clients per
+                     tenant over real HTTP, and report ops/sec plus
+                     p50/p99/max lease latency per sweep point; writes the
+                     scaling curve to FILE (default BENCH_serve.json) and
+                     fails if any tenant violated its CS spec
   ssrmin ctl URL metrics|status|top
   ssrmin ctl URL chaos partition F T | heal F T | loss P|off |
                        corrupt P|off | truncate P|off
@@ -131,66 +164,6 @@ USAGE:
                      fails unless the ring re-converges to 1..=2 privileged
                      after every event, and reports measured recoveries
                      against the Theorem 2 O(n^2) stabilization envelope";
-
-type Opts = HashMap<String, String>;
-
-/// Flags that take no value; parsed as `flag -> "true"`.
-const BOOL_FLAGS: &[&str] = &["csv", "burst"];
-
-fn parse(args: &[String]) -> Option<(String, Opts)> {
-    let mut it = args.iter();
-    let cmd = it.next()?.clone();
-    let mut opts = Opts::new();
-    let mut key: Option<String> = None;
-    for a in it {
-        if let Some(k) = key.take() {
-            opts.insert(k, a.clone());
-        } else if let Some(stripped) = a.strip_prefix("--") {
-            if BOOL_FLAGS.contains(&stripped) {
-                opts.insert(stripped.to_string(), "true".into());
-                continue;
-            }
-            key = Some(stripped.to_string());
-        } else if let Some(stripped) = a.strip_prefix('-') {
-            key = Some(match stripped {
-                "n" => "n".into(),
-                "k" => "k".into(),
-                other => other.to_string(),
-            });
-        } else {
-            return None;
-        }
-    }
-    if key.is_some() {
-        return None; // dangling flag without value
-    }
-    Some((cmd, opts))
-}
-
-fn get<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, String> {
-    match opts.get(key) {
-        None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v:?}")),
-    }
-}
-
-fn ring_params(opts: &Opts, default_n: usize) -> Result<RingParams, String> {
-    let n: usize = get(opts, "n", default_n)?;
-    let k: u32 = get(opts, "k", 0u32)?;
-    let k = if k == 0 { n as u32 + 1 } else { k };
-    RingParams::new(n, k).map_err(|e| e.to_string())
-}
-
-fn daemon_kind(opts: &Opts) -> Result<DaemonKind, String> {
-    match opts.get("daemon").map(String::as_str).unwrap_or("central") {
-        "central" => Ok(DaemonKind::CentralFirst),
-        "sync" | "synchronous" => Ok(DaemonKind::Synchronous),
-        "random" => Ok(DaemonKind::CentralRandom),
-        "delay" => Ok(DaemonKind::DelayDijkstra),
-        "distributed" => Ok(DaemonKind::DistributedRandom(0.5)),
-        other => Err(format!("unknown daemon {other:?}")),
-    }
-}
 
 fn cmd_run(opts: &Opts) -> Result<(), String> {
     let params = ring_params(opts, 5)?;
@@ -355,81 +328,6 @@ fn cmd_camera(opts: &Opts) -> Result<(), String> {
         println!("  camera {i}: {:>5.1}%", d * 100.0);
     }
     Ok(())
-}
-
-/// A fault knob that must be a probability: in `[0, 1]`, default 0.
-fn probability(opts: &Opts, key: &str) -> Result<f64, String> {
-    let p: f64 = get(opts, key, 0.0f64)?;
-    if !(0.0..=1.0).contains(&p) {
-        return Err(format!("--{key} must be a probability in [0, 1], got {p}"));
-    }
-    Ok(p)
-}
-
-/// Ring dimensions of the UDP subcommands: `--nodes` (not `-n`, to make it
-/// obvious these are OS threads with real sockets — though `-n` still
-/// works) and `-k` defaulting to n + 1.
-fn cluster_params(opts: &Opts, default_n: usize) -> Result<RingParams, String> {
-    let n: usize = match opts.get("nodes") {
-        Some(v) => v.parse().map_err(|_| format!("invalid value for --nodes: {v:?}"))?,
-        None => get(opts, "n", default_n)?,
-    };
-    let k: u32 = get(opts, "k", 0u32)?;
-    let k = if k == 0 { n as u32 + 1 } else { k };
-    RingParams::new(n, k).map_err(|e| e.to_string())
-}
-
-/// The `--start legit|random|adversarial` initial configuration shared by
-/// `run`, `cluster` and `soak`.
-fn start_config(opts: &Opts, algo: &SsrMin, seed: u64) -> Result<Config<SsrState>, String> {
-    match opts.get("start").map(String::as_str).unwrap_or("legit") {
-        "legit" => Ok(algo.legitimate_anchor(0)),
-        "random" => Ok(random_config::random_ssr_config(algo.params(), seed)),
-        "adversarial" => Ok(random_config::adversarial_ssr_config(algo.params())),
-        other => Err(format!("unknown start {other:?}")),
-    }
-}
-
-/// The chaos knobs shared by `cluster` and `soak`: `Some` config iff any
-/// fault knob is set (per-link seeds are derived downstream).
-fn chaos_from_opts(opts: &Opts) -> Result<Option<ChaosConfig>, String> {
-    let loss = probability(opts, "loss")?;
-    let delay_us: u64 = get(opts, "delay-us", 0u64)?;
-    let dup = probability(opts, "dup")?;
-    let reorder = probability(opts, "reorder")?;
-    let corrupt = probability(opts, "corrupt")?;
-    let truncate = probability(opts, "truncate")?;
-    let burst = opts.contains_key("burst");
-    let faulty = loss > 0.0
-        || delay_us > 0
-        || dup > 0.0
-        || reorder > 0.0
-        || corrupt > 0.0
-        || truncate > 0.0
-        || burst;
-    Ok(faulty.then(|| ChaosConfig {
-        seed: 0, // per-link seeds are derived by the runner/supervisor
-        loss,
-        burst: burst.then(ssrmin::mpnet::GilbertElliott::default),
-        delay: (Duration::ZERO, Duration::from_micros(delay_us)),
-        duplicate: dup,
-        reorder,
-        corrupt,
-        truncate,
-    }))
-}
-
-/// Bind the optional `--ctl-addr` control-plane listener and announce the
-/// resolved address (meaningful with port 0) on stdout.
-fn ctl_listener(opts: &Opts) -> Result<Option<CtlListener>, String> {
-    let Some(addr) = opts.get("ctl-addr") else {
-        return Ok(None);
-    };
-    let addr: SocketAddr =
-        addr.parse().map_err(|_| format!("invalid value for --ctl-addr: {addr:?}"))?;
-    let listener = CtlListener::bind(addr).map_err(|e| format!("ctl bind {addr}: {e}"))?;
-    println!("ctl listening on http://{}", listener.local_addr());
-    Ok(Some(listener))
 }
 
 fn cmd_cluster(opts: &Opts) -> Result<(), String> {
@@ -600,6 +498,23 @@ fn cmd_soak(opts: &Opts) -> Result<(), String> {
         "chaos                   : {} forwarded, {} dropped, {} duplicated, {} reordered, {} blocked by partitions",
         c.chaos.forwarded, c.chaos.dropped, c.chaos.duplicated, c.chaos.reordered, c.chaos.blocked
     );
+    // Post-hoc (l,k)-CS audit of the recorded privilege trace: episodes
+    // during fault windows are expected (that's what the soak provokes);
+    // what fails the soak is the invariant still being violated at the end.
+    let audit = audit_trace(
+        algo.cs_spec(),
+        &c.initial_active,
+        &c.events,
+        Duration::from_millis(ms / 2),
+        c.observed,
+    );
+    println!(
+        "(l,k)-CS trace audit    : {} episodes, {:?} violating of {:?} audited, privileged {}..={}",
+        audit.violations, audit.violated, audit.audited, audit.min_active, audit.max_active
+    );
+    if matches!(c.stabilized_at, Some(t) if t >= c.observed) {
+        return Err("CS spec still violated at run end — soak failed".into());
+    }
     Ok(())
 }
 
@@ -794,6 +709,287 @@ fn cmd_adversary_soak(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Build the pre-provisioned tenant specs of `serve` and `load`: `t1..tT`,
+/// seeds spread from `--seed`.
+fn provision_specs(
+    tenants: usize,
+    nodes: usize,
+    seed: u64,
+    tick_ms: u64,
+    ttl_ms: u64,
+) -> Vec<TenantSpec> {
+    (1..=tenants)
+        .map(|i| TenantSpec {
+            nodes,
+            seed: seed.wrapping_add(i as u64),
+            tick: Duration::from_millis(tick_ms),
+            lease_ttl: Duration::from_millis(ttl_ms),
+            ..TenantSpec::named(format!("t{i}"))
+        })
+        .collect()
+}
+
+/// `ssrmin serve` — host a multi-tenant ring service until killed (or for
+/// `--ms` milliseconds, then audit and exit).
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    let tenants: usize = get(opts, "tenants", 4usize)?;
+    let nodes: usize = get(opts, "nodes", 5usize)?;
+    let ms: u64 = get(opts, "ms", 0u64)?;
+    let seed: u64 = get(opts, "seed", 0u64)?;
+    let tick_ms: u64 = get(opts, "tick-ms", 5u64)?;
+    let ttl_ms: u64 = get(opts, "ttl-ms", 250u64)?;
+    let addr = opts.get("ctl-addr").map(String::as_str).unwrap_or("127.0.0.1:0");
+    let addr: SocketAddr =
+        addr.parse().map_err(|_| format!("invalid value for --ctl-addr: {addr:?}"))?;
+    let listener = CtlListener::bind(addr).map_err(|e| format!("ctl bind {addr}: {e}"))?;
+
+    let host = ServeHost::spawn();
+    for spec in provision_specs(tenants, nodes, seed, tick_ms, ttl_ms) {
+        host.create(spec)?;
+    }
+    println!(
+        "serve listening on http://{} ({tenants} tenants x {nodes} nodes)",
+        listener.local_addr()
+    );
+    let mut server = listener.serve(Arc::new(ServePlane::new(Arc::clone(&host))));
+
+    if ms == 0 {
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(Duration::from_millis(ms));
+    server.shutdown();
+
+    let mut violated = false;
+    for entry in host.list() {
+        let audit = entry.audit();
+        let lease = entry.lease.counters();
+        let clean = !entry.spec.wants_chaos();
+        println!(
+            "tenant {} ({}): privileged {}..={}, {} violation episodes ({:?} of {:?}), \
+             leases {} granted / {} conflicts{}",
+            entry.id,
+            entry.spec.name,
+            audit.min_active,
+            audit.max_active,
+            audit.violations,
+            audit.violated,
+            audit.audited,
+            lease.grants,
+            lease.conflicts,
+            if clean { "" } else { " [chaos]" },
+        );
+        violated |= clean && audit.violations > 0;
+    }
+    host.shutdown();
+    if violated {
+        return Err("a chaos-free tenant violated its CS spec".into());
+    }
+    Ok(())
+}
+
+/// One `ssrmin load` measurement row.
+struct LoadRow {
+    tenants: usize,
+    nodes: usize,
+    ops: u64,
+    ops_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    max_us: u64,
+    conflicts: u64,
+    cs_violations: u64,
+}
+
+/// Sorted-latency quantile: `q` in [0, 100].
+fn quantile_us(sorted: &[u64], q: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as u64 * q / 100) as usize]
+}
+
+/// Run one load round: T tenants x C clients hammering acquire/release
+/// over real HTTP against an in-process serve host.
+fn load_round(
+    tenants: usize,
+    nodes: usize,
+    clients: usize,
+    ms: u64,
+    seed: u64,
+    ttl_ms: u64,
+) -> Result<LoadRow, String> {
+    let host = ServeHost::spawn();
+    for spec in provision_specs(tenants, nodes, seed, 5, ttl_ms) {
+        host.create(spec)?;
+    }
+    let listener = CtlListener::bind("127.0.0.1:0".parse().expect("loopback addr"))
+        .map_err(|e| format!("ctl bind: {e}"))?;
+    let url = listener.local_addr().to_string();
+    let mut server = listener.serve(Arc::new(ServePlane::new(Arc::clone(&host))));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for tenant in 1..=tenants {
+        for client in 0..clients {
+            let url = url.clone();
+            let stop = Arc::clone(&stop);
+            workers.push(std::thread::spawn(move || {
+                let acquire = format!("/tenants/{tenant}/acquire");
+                let release = format!("/tenants/{tenant}/release");
+                let me = format!("client-{client}");
+                // Cheap xorshift for retry jitter (decorrelates clients).
+                let mut rng = seed ^ ((tenant as u64) << 32) ^ client as u64 ^ 0x9E37;
+                let mut latencies_us: Vec<u64> = Vec::new();
+                'outer: while !stop.load(Ordering::Relaxed) {
+                    // One op = keep trying until the lease is ours, then
+                    // release it. Latency is first-try to grant: what a
+                    // queued application actually waits.
+                    let began = Instant::now();
+                    let lease = loop {
+                        match ssrmin::ctl::post(&url, &acquire, &me) {
+                            Ok(reply) if reply.status == 200 => {
+                                let id = Json::parse(&reply.body)
+                                    .ok()
+                                    .and_then(|d| d.get("lease").and_then(Json::as_u64));
+                                match id {
+                                    Some(id) => break id,
+                                    None => continue 'outer,
+                                }
+                            }
+                            _ => {
+                                if stop.load(Ordering::Relaxed) {
+                                    continue 'outer;
+                                }
+                                rng ^= rng << 13;
+                                rng ^= rng >> 7;
+                                rng ^= rng << 17;
+                                std::thread::sleep(Duration::from_micros(200 + rng % 1800));
+                            }
+                        }
+                    };
+                    latencies_us.push(began.elapsed().as_micros() as u64);
+                    let _ = ssrmin::ctl::post(&url, &release, &lease.to_string());
+                }
+                latencies_us
+            }));
+        }
+    }
+
+    std::thread::sleep(Duration::from_millis(ms));
+    stop.store(true, Ordering::Relaxed);
+    let mut latencies: Vec<u64> = Vec::new();
+    for worker in workers {
+        latencies.extend(worker.join().map_err(|_| "load worker panicked".to_string())?);
+    }
+    server.shutdown();
+
+    let mut conflicts = 0;
+    let mut cs_violations = 0;
+    for entry in host.list() {
+        conflicts += entry.lease.counters().conflicts;
+        cs_violations += entry.audit().violations;
+    }
+    host.shutdown();
+
+    latencies.sort_unstable();
+    let ops = latencies.len() as u64;
+    Ok(LoadRow {
+        tenants,
+        nodes,
+        ops,
+        ops_per_sec: ops as f64 / (ms as f64 / 1000.0),
+        p50_us: quantile_us(&latencies, 50),
+        p99_us: quantile_us(&latencies, 99),
+        max_us: latencies.last().copied().unwrap_or(0),
+        conflicts,
+        cs_violations,
+    })
+}
+
+/// `ssrmin load` — the serve-mode load generator and scaling-curve bench.
+fn cmd_load(opts: &Opts) -> Result<(), String> {
+    let tenants: usize = get(opts, "tenants", 8usize)?;
+    let nodes: usize = get(opts, "nodes", 5usize)?;
+    let clients: usize = get(opts, "clients", 2usize)?;
+    let ms: u64 = get(opts, "ms", 2000u64)?;
+    if ms < 100 {
+        return Err("--ms must be at least 100".into());
+    }
+    let seed: u64 = get(opts, "seed", 0u64)?;
+    let ttl_ms: u64 = get(opts, "ttl-ms", 100u64)?;
+    let out = opts.get("out").map(String::as_str).unwrap_or("BENCH_serve.json");
+    let sweep: Vec<usize> = match opts.get("sweep") {
+        Some(list) => list
+            .split(',')
+            .map(|w| w.trim().parse().map_err(|_| format!("invalid --sweep entry {w:?}")))
+            .collect::<Result<_, _>>()?,
+        None => vec![tenants],
+    };
+    if sweep.is_empty() || sweep.contains(&0) {
+        return Err("--sweep needs positive tenant counts".into());
+    }
+
+    println!(
+        "lease load: {} x {nodes} nodes, {clients} clients/tenant, {ms} ms per point, seed = {seed}",
+        sweep.iter().map(|t| t.to_string()).collect::<Vec<_>>().join("/"),
+    );
+    let mut rows = Vec::new();
+    for &t in &sweep {
+        let row = load_round(t, nodes, clients, ms, seed, ttl_ms)?;
+        println!(
+            "tenants={:<3} nodes={} ops={:<6} ops/sec={:<8.1} lease latency p50={}us p99={}us \
+             max={}us conflicts={} cs_violations={}",
+            row.tenants,
+            row.nodes,
+            row.ops,
+            row.ops_per_sec,
+            row.p50_us,
+            row.p99_us,
+            row.max_us,
+            row.conflicts,
+            row.cs_violations,
+        );
+        rows.push(row);
+    }
+
+    let doc = Json::obj(vec![
+        ("schema", Json::str("ssr-serve-load/v1")),
+        ("clients_per_tenant", Json::num(clients as f64)),
+        ("ms_per_point", Json::num(ms as f64)),
+        ("ttl_ms", Json::num(ttl_ms as f64)),
+        ("seed", Json::num(seed as f64)),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("tenants", Json::num(r.tenants as f64)),
+                            ("nodes", Json::num(r.nodes as f64)),
+                            ("ops", Json::num(r.ops as f64)),
+                            ("ops_per_sec", Json::Num(r.ops_per_sec)),
+                            ("p50_us", Json::num(r.p50_us as f64)),
+                            ("p99_us", Json::num(r.p99_us as f64)),
+                            ("max_us", Json::num(r.max_us as f64)),
+                            ("conflicts", Json::num(r.conflicts as f64)),
+                            ("cs_violations", Json::num(r.cs_violations as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(out, doc.render() + "\n").map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+
+    if rows.iter().any(|r| r.cs_violations > 0) {
+        return Err("a tenant violated its CS spec under load".into());
+    }
+    Ok(())
+}
+
 const CTL_USAGE: &str = "\
 usage: ssrmin ctl URL metrics|status|top
        ssrmin ctl URL chaos partition F T | heal F T | loss P|off |
@@ -878,41 +1074,6 @@ mod tests {
     }
 
     #[test]
-    fn parse_accepts_flags_and_shorthands() {
-        let args: Vec<String> =
-            ["run", "-n", "5", "--steps", "9"].iter().map(|s| s.to_string()).collect();
-        let (cmd, o) = parse(&args).unwrap();
-        assert_eq!(cmd, "run");
-        assert_eq!(o.get("n").unwrap(), "5");
-        assert_eq!(o.get("steps").unwrap(), "9");
-    }
-
-    #[test]
-    fn parse_rejects_dangling_flag_and_bare_word() {
-        let args: Vec<String> = ["run", "--steps"].iter().map(|s| s.to_string()).collect();
-        assert!(parse(&args).is_none());
-        let args: Vec<String> = ["run", "bare"].iter().map(|s| s.to_string()).collect();
-        assert!(parse(&args).is_none());
-    }
-
-    #[test]
-    fn get_parses_and_defaults() {
-        let o = opts(&[("n", "7")]);
-        assert_eq!(get(&o, "n", 3usize).unwrap(), 7);
-        assert_eq!(get(&o, "missing", 42u64).unwrap(), 42);
-        let bad = opts(&[("n", "x")]);
-        assert!(get(&bad, "n", 3usize).is_err());
-    }
-
-    #[test]
-    fn ring_params_defaults_k_to_n_plus_one() {
-        let o = opts(&[("n", "6")]);
-        let p = ring_params(&o, 5).unwrap();
-        assert_eq!(p.n(), 6);
-        assert_eq!(p.k(), 7);
-    }
-
-    #[test]
     fn subcommands_run_end_to_end() {
         cmd_run(&opts(&[("n", "4"), ("steps", "6")])).unwrap();
         cmd_simulate(&opts(&[("n", "4"), ("ticks", "2000")])).unwrap();
@@ -928,33 +1089,6 @@ mod tests {
         assert!(cmd_run(&opts(&[("start", "bogus")])).is_err());
         assert!(cmd_simulate(&opts(&[("algo", "bogus")])).is_err());
         assert!(daemon_kind(&opts(&[("daemon", "bogus")])).is_err());
-    }
-
-    #[test]
-    fn cluster_params_honors_nodes_and_defaults_k() {
-        let p = cluster_params(&opts(&[("nodes", "7")]), 5).unwrap();
-        assert_eq!((p.n(), p.k()), (7, 8));
-        let p = cluster_params(&opts(&[("n", "4"), ("k", "9")]), 5).unwrap();
-        assert_eq!((p.n(), p.k()), (4, 9));
-        assert!(cluster_params(&opts(&[("nodes", "x")]), 5).is_err());
-    }
-
-    #[test]
-    fn chaos_from_opts_is_none_without_fault_knobs() {
-        assert!(chaos_from_opts(&opts(&[])).unwrap().is_none());
-        let chaos = chaos_from_opts(&opts(&[("loss", "0.1")])).unwrap().unwrap();
-        assert_eq!(chaos.loss, 0.1);
-        let chaos = chaos_from_opts(&opts(&[("burst", "true")])).unwrap().unwrap();
-        assert!(chaos.burst.is_some());
-        assert!(chaos_from_opts(&opts(&[("loss", "1.5")])).is_err());
-    }
-
-    #[test]
-    fn ctl_listener_binds_ephemeral_and_rejects_garbage() {
-        assert!(ctl_listener(&opts(&[])).unwrap().is_none());
-        let listener = ctl_listener(&opts(&[("ctl-addr", "127.0.0.1:0")])).unwrap().unwrap();
-        assert_ne!(listener.local_addr().port(), 0, "ephemeral port must resolve");
-        assert!(ctl_listener(&opts(&[("ctl-addr", "nonsense")])).is_err());
     }
 
     #[test]

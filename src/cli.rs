@@ -1,0 +1,239 @@
+//! Shared command-line plumbing for the `ssrmin` binary (and anything else
+//! that wants its flag grammar).
+//!
+//! Every subcommand parses `--key value` pairs into an [`Opts`] map and
+//! pulls typed values out with [`get`]. The helpers here are the pieces
+//! that used to be duplicated across subcommands in the binary: ring
+//! dimensioning ([`ring_params`] / [`cluster_params`]), the
+//! `--start legit|random|adversarial` initial configuration
+//! ([`start_config`]), the chaos knobs ([`chaos_from_opts`]), and the
+//! optional `--ctl-addr` control listener ([`ctl_listener`]).
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use crate::analysis::DaemonKind;
+use crate::core::{Config, RingParams, SsrMin, SsrState};
+use crate::ctl::CtlListener;
+use crate::daemon::random_config;
+use crate::net::ChaosConfig;
+
+/// Parsed `--key value` options of one subcommand invocation.
+pub type Opts = HashMap<String, String>;
+
+/// Flags that take no value; parsed as `flag -> "true"`.
+pub const BOOL_FLAGS: &[&str] = &["csv", "burst"];
+
+/// Split an argument vector into `(subcommand, options)`. Returns `None`
+/// on a dangling flag or a bare word where a `--flag` was expected.
+pub fn parse(args: &[String]) -> Option<(String, Opts)> {
+    let mut it = args.iter();
+    let cmd = it.next()?.clone();
+    let mut opts = Opts::new();
+    let mut key: Option<String> = None;
+    for a in it {
+        if let Some(k) = key.take() {
+            opts.insert(k, a.clone());
+        } else if let Some(stripped) = a.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&stripped) {
+                opts.insert(stripped.to_string(), "true".into());
+                continue;
+            }
+            key = Some(stripped.to_string());
+        } else if let Some(stripped) = a.strip_prefix('-') {
+            key = Some(match stripped {
+                "n" => "n".into(),
+                "k" => "k".into(),
+                other => other.to_string(),
+            });
+        } else {
+            return None;
+        }
+    }
+    if key.is_some() {
+        return None; // dangling flag without value
+    }
+    Some((cmd, opts))
+}
+
+/// Fetch `--key` as a `T`, falling back to `default` when absent.
+pub fn get<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v:?}")),
+    }
+}
+
+/// Ring dimensions of the model-level subcommands: `-n` and `-k`, with
+/// `-k 0` (or absent) meaning the minimal legal `n + 1`.
+pub fn ring_params(opts: &Opts, default_n: usize) -> Result<RingParams, String> {
+    let n: usize = get(opts, "n", default_n)?;
+    let k: u32 = get(opts, "k", 0u32)?;
+    let k = if k == 0 { n as u32 + 1 } else { k };
+    RingParams::new(n, k).map_err(|e| e.to_string())
+}
+
+/// Ring dimensions of the UDP subcommands: `--nodes` (not `-n`, to make it
+/// obvious these are OS threads with real sockets — though `-n` still
+/// works) and `-k` defaulting to n + 1.
+pub fn cluster_params(opts: &Opts, default_n: usize) -> Result<RingParams, String> {
+    let n: usize = match opts.get("nodes") {
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --nodes: {v:?}"))?,
+        None => get(opts, "n", default_n)?,
+    };
+    let k: u32 = get(opts, "k", 0u32)?;
+    let k = if k == 0 { n as u32 + 1 } else { k };
+    RingParams::new(n, k).map_err(|e| e.to_string())
+}
+
+/// The `--daemon central|sync|random|delay|distributed` scheduler choice.
+pub fn daemon_kind(opts: &Opts) -> Result<DaemonKind, String> {
+    match opts.get("daemon").map(String::as_str).unwrap_or("central") {
+        "central" => Ok(DaemonKind::CentralFirst),
+        "sync" | "synchronous" => Ok(DaemonKind::Synchronous),
+        "random" => Ok(DaemonKind::CentralRandom),
+        "delay" => Ok(DaemonKind::DelayDijkstra),
+        "distributed" => Ok(DaemonKind::DistributedRandom(0.5)),
+        other => Err(format!("unknown daemon {other:?}")),
+    }
+}
+
+/// A fault knob that must be a probability: in `[0, 1]`, default 0.
+pub fn probability(opts: &Opts, key: &str) -> Result<f64, String> {
+    let p: f64 = get(opts, key, 0.0f64)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("--{key} must be a probability in [0, 1], got {p}"));
+    }
+    Ok(p)
+}
+
+/// The `--start legit|random|adversarial` initial configuration shared by
+/// `run`, `cluster` and `soak`.
+pub fn start_config(opts: &Opts, algo: &SsrMin, seed: u64) -> Result<Config<SsrState>, String> {
+    match opts.get("start").map(String::as_str).unwrap_or("legit") {
+        "legit" => Ok(algo.legitimate_anchor(0)),
+        "random" => Ok(random_config::random_ssr_config(algo.params(), seed)),
+        "adversarial" => Ok(random_config::adversarial_ssr_config(algo.params())),
+        other => Err(format!("unknown start {other:?}")),
+    }
+}
+
+/// The chaos knobs shared by `cluster` and `soak`: `Some` config iff any
+/// fault knob is set (per-link seeds are derived downstream).
+pub fn chaos_from_opts(opts: &Opts) -> Result<Option<ChaosConfig>, String> {
+    let loss = probability(opts, "loss")?;
+    let delay_us: u64 = get(opts, "delay-us", 0u64)?;
+    let dup = probability(opts, "dup")?;
+    let reorder = probability(opts, "reorder")?;
+    let corrupt = probability(opts, "corrupt")?;
+    let truncate = probability(opts, "truncate")?;
+    let burst = opts.contains_key("burst");
+    let faulty = loss > 0.0
+        || delay_us > 0
+        || dup > 0.0
+        || reorder > 0.0
+        || corrupt > 0.0
+        || truncate > 0.0
+        || burst;
+    Ok(faulty.then(|| ChaosConfig {
+        seed: 0, // per-link seeds are derived by the runner/supervisor
+        loss,
+        burst: burst.then(crate::mpnet::GilbertElliott::default),
+        delay: (Duration::ZERO, Duration::from_micros(delay_us)),
+        duplicate: dup,
+        reorder,
+        corrupt,
+        truncate,
+    }))
+}
+
+/// Bind the optional `--ctl-addr` control-plane listener and announce the
+/// resolved address (meaningful with port 0) on stdout.
+pub fn ctl_listener(opts: &Opts) -> Result<Option<CtlListener>, String> {
+    let Some(addr) = opts.get("ctl-addr") else {
+        return Ok(None);
+    };
+    let addr: SocketAddr =
+        addr.parse().map_err(|_| format!("invalid value for --ctl-addr: {addr:?}"))?;
+    let listener = CtlListener::bind(addr).map_err(|e| format!("ctl bind {addr}: {e}"))?;
+    println!("ctl listening on http://{}", listener.local_addr());
+    Ok(Some(listener))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(pairs: &[(&str, &str)]) -> Opts {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn parse_accepts_flags_and_shorthands() {
+        let args: Vec<String> =
+            ["run", "-n", "5", "--steps", "9"].iter().map(|s| s.to_string()).collect();
+        let (cmd, o) = parse(&args).unwrap();
+        assert_eq!(cmd, "run");
+        assert_eq!(o.get("n").unwrap(), "5");
+        assert_eq!(o.get("steps").unwrap(), "9");
+    }
+
+    #[test]
+    fn parse_rejects_dangling_flag_and_bare_word() {
+        let args: Vec<String> = ["run", "--steps"].iter().map(|s| s.to_string()).collect();
+        assert!(parse(&args).is_none());
+        let args: Vec<String> = ["run", "bare"].iter().map(|s| s.to_string()).collect();
+        assert!(parse(&args).is_none());
+    }
+
+    #[test]
+    fn get_parses_and_defaults() {
+        let o = opts(&[("n", "7")]);
+        assert_eq!(get(&o, "n", 3usize).unwrap(), 7);
+        assert_eq!(get(&o, "missing", 42u64).unwrap(), 42);
+        let bad = opts(&[("n", "x")]);
+        assert!(get(&bad, "n", 3usize).is_err());
+    }
+
+    #[test]
+    fn ring_params_defaults_k_to_n_plus_one() {
+        let o = opts(&[("n", "6")]);
+        let p = ring_params(&o, 5).unwrap();
+        assert_eq!(p.n(), 6);
+        assert_eq!(p.k(), 7);
+    }
+
+    #[test]
+    fn cluster_params_honors_nodes_and_defaults_k() {
+        let p = cluster_params(&opts(&[("nodes", "7")]), 5).unwrap();
+        assert_eq!((p.n(), p.k()), (7, 8));
+        let p = cluster_params(&opts(&[("n", "4"), ("k", "9")]), 5).unwrap();
+        assert_eq!((p.n(), p.k()), (4, 9));
+        assert!(cluster_params(&opts(&[("nodes", "x")]), 5).is_err());
+    }
+
+    #[test]
+    fn daemon_kind_rejects_unknown() {
+        assert!(daemon_kind(&opts(&[("daemon", "bogus")])).is_err());
+        assert!(daemon_kind(&opts(&[])).is_ok());
+    }
+
+    #[test]
+    fn chaos_from_opts_is_none_without_fault_knobs() {
+        assert!(chaos_from_opts(&opts(&[])).unwrap().is_none());
+        let chaos = chaos_from_opts(&opts(&[("loss", "0.1")])).unwrap().unwrap();
+        assert_eq!(chaos.loss, 0.1);
+        let chaos = chaos_from_opts(&opts(&[("burst", "true")])).unwrap().unwrap();
+        assert!(chaos.burst.is_some());
+        assert!(chaos_from_opts(&opts(&[("loss", "1.5")])).is_err());
+    }
+
+    #[test]
+    fn ctl_listener_binds_ephemeral_and_rejects_garbage() {
+        assert!(ctl_listener(&opts(&[])).unwrap().is_none());
+        let listener = ctl_listener(&opts(&[("ctl-addr", "127.0.0.1:0")])).unwrap().unwrap();
+        assert_ne!(listener.local_addr().port(), 0, "ephemeral port must resolve");
+        assert!(ctl_listener(&opts(&[("ctl-addr", "nonsense")])).is_err());
+    }
+}

@@ -20,6 +20,11 @@
 //!   HTTP server embedded into running clusters (`/metrics`, `/status`,
 //!   `/top`, `POST /chaos`, `POST /faults`) plus the matching client behind
 //!   `ssrmin ctl` and `ssrmin top`.
+//! * [`serve`](ssr_serve) — multi-tenant ring hosting: a runtime tenant
+//!   registry (many independent rings over the shared UDP transport, with
+//!   tenant-stamped frames), a TTL'd token-lease API, and per-tenant
+//!   live (ℓ,k)-CS auditing, all behind one ctl plane (`ssrmin serve` /
+//!   `ssrmin load`).
 //! * [`analysis`](ssr_analysis) — token statistics, convergence statistics,
 //!   domination-graph analysis, adversary synthesis, table rendering.
 //! * [`verify`](ssr_verify) — explicit-state model checking: closure,
@@ -35,7 +40,10 @@ pub use ssr_daemon as daemon;
 pub use ssr_mpnet as mpnet;
 pub use ssr_net as net;
 pub use ssr_runtime as runtime;
+pub use ssr_serve as serve;
 pub use ssr_verify as verify;
+
+pub mod cli;
 
 pub use ssr_core::{
     Config, RingAlgorithm, RingParams, SsToken, SsrMin, SsrRule, SsrState, TokenKind, TokenSet,

@@ -1,0 +1,287 @@
+//! End-to-end tests of `ssr-serve`: the multi-tenant ring host, the
+//! token-lease API, and the `ssrmin load` generator.
+//!
+//! Acceptance for the serve subsystem:
+//!
+//! * a tenant running under 20% datagram loss keeps the P9 `>= 1`
+//!   privileged invariant while its neighbors run clean — verified per
+//!   tenant by the live (ℓ,k)-CS trace auditor, never globally;
+//! * a lease is never held by two clients of the same tenant at once,
+//!   across voluntary releases, TTL expirations, and revocations;
+//! * `ssrmin load` completes a T=8, n=5 round printing ops/sec plus
+//!   p50/p99 lease latency and writes `BENCH_serve.json`;
+//! * sixteen concurrent tenants all publish per-tenant `/metrics` labels.
+//!
+//! Timing discipline matches the other UDP suites: assertions are about
+//! eventual observation within generous deadlines, never absolute speed.
+
+use std::process::Command;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ssrmin::ctl::{get, post, CtlListener, Json};
+use ssrmin::serve::{first_overlap, ServeHost, ServePlane, TenantSpec};
+
+/// Every test here runs dozens of node threads; letting them share the
+/// machine makes the timing-sensitive audits flaky, so they take turns.
+static HEAVY: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    HEAVY.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Bring up an in-process serve host with the given tenants behind a real
+/// HTTP listener; returns (host, server guard, target address string).
+fn serve(specs: Vec<TenantSpec>) -> (Arc<ServeHost>, ssrmin::ctl::CtlServer, String) {
+    let host = ServeHost::spawn();
+    for spec in specs {
+        host.create(spec).expect("tenant comes up");
+    }
+    let listener = CtlListener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let url = listener.local_addr().to_string();
+    let server = listener.serve(Arc::new(ServePlane::new(Arc::clone(&host))));
+    (host, server, url)
+}
+
+/// Polls `GET /tenants/{key}` until `pred` accepts the parsed document.
+fn wait_tenant(url: &str, key: &str, what: &str, pred: impl Fn(&Json) -> bool) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut last = String::new();
+    while Instant::now() < deadline {
+        let reply = get(url, &format!("/tenants/{key}")).expect("plane answers");
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let doc = Json::parse(&reply.body).expect("tenant detail is valid JSON");
+        if pred(&doc) {
+            return doc;
+        }
+        last = reply.body;
+        thread::sleep(Duration::from_millis(25));
+    }
+    panic!("timed out waiting for {what}; last detail: {last}");
+}
+
+fn audited_us(doc: &Json) -> u64 {
+    doc.get("audit").and_then(|a| a.get("audited_us")).and_then(Json::as_u64).unwrap_or(0)
+}
+
+/// Acceptance (a): one tenant takes 20% loss on every link while two
+/// neighbors run clean over the same UDP transport and ctl plane. Each
+/// tenant's trace audit is independent: the clean tenants must show zero
+/// violating episodes, and the lossy tenant must still never drop below
+/// one privileged node (P9) once its convergence envelope has passed.
+#[test]
+fn lossy_tenant_keeps_p9_while_neighbors_run_clean() {
+    let _turn = exclusive();
+    let lossy = TenantSpec { nodes: 5, loss: 0.2, seed: 11, ..TenantSpec::named("lossy") };
+    let clean1 = TenantSpec { nodes: 5, seed: 12, ..TenantSpec::named("clean1") };
+    let clean2 = TenantSpec { nodes: 5, seed: 13, ..TenantSpec::named("clean2") };
+    let (host, _server, url) = serve(vec![lossy, clean1, clean2]);
+
+    // Let every ring converge, pass its audit horizon, and accumulate a
+    // meaningful audited window (the auditor only scores steady state).
+    for name in ["lossy", "clean1", "clean2"] {
+        wait_tenant(&url, name, "audited steady-state window", |doc| {
+            audited_us(doc) > 1_500_000
+                && doc.get("nodes_up").and_then(Json::as_u64) == Some(5)
+                && doc.get("token_count_ok") == Some(&Json::Bool(true))
+        });
+    }
+
+    for name in ["clean1", "clean2"] {
+        let doc = wait_tenant(&url, name, "clean audit", |_| true);
+        let audit = doc.get("audit").expect("audit block");
+        assert_eq!(
+            audit.get("violations").and_then(Json::as_u64),
+            Some(0),
+            "clean tenant {name} must have no violating episodes: {doc:?}"
+        );
+        assert!(
+            audit.get("min_active").and_then(Json::as_u64).is_some_and(|m| m >= 1),
+            "clean tenant {name} must keep P9: {doc:?}"
+        );
+    }
+    let doc = wait_tenant(&url, "lossy", "lossy audit", |_| true);
+    let audit = doc.get("audit").expect("audit block");
+    assert!(
+        audit.get("min_active").and_then(Json::as_u64).is_some_and(|m| m >= 1),
+        "the lossy tenant must keep >= 1 privileged through 20% loss: {doc:?}"
+    );
+
+    // The same isolation shows up in the Prometheus exposition: every
+    // series of the shared families carries a tenant label.
+    let reply = get(&url, "/metrics").unwrap();
+    assert_eq!(reply.status, 200);
+    for name in ["lossy", "clean1", "clean2"] {
+        assert!(
+            reply.body.contains(&format!("ssr_cs_violations_total{{tenant=\"{name}\"}}")),
+            "per-tenant violation counter for {name}:\n{}",
+            reply.body
+        );
+    }
+    assert!(
+        reply.body.contains("ssr_node_sends_total{tenant=\"lossy\",node=\"0\"}"),
+        "{}",
+        reply.body
+    );
+    host.shutdown();
+}
+
+/// Acceptance (b): concurrent clients of one tenant hammer the lease API
+/// through real HTTP — some release voluntarily, some sit on the lease
+/// until the TTL revokes it. Exclusivity is judged from the manager's own
+/// grant history: no two lease windows of the tenant may ever overlap.
+#[test]
+fn a_lease_is_never_held_by_two_clients_at_once() {
+    let _turn = exclusive();
+    let spec = TenantSpec {
+        nodes: 3,
+        seed: 21,
+        lease_ttl: Duration::from_millis(30),
+        ..TenantSpec::named("leasehog")
+    };
+    let (host, _server, url) = serve(vec![spec]);
+
+    // Wait for a token holder so acquires can be granted at all.
+    wait_tenant(&url, "leasehog", "a primary token holder", |doc| {
+        doc.get("holder").and_then(Json::as_u64).is_some()
+    });
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..4)
+        .map(|c| {
+            let url = url.clone();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let me = format!("client-{c}");
+                let mut granted = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    match post(&url, "/tenants/leasehog/acquire", &me) {
+                        Ok(reply) if reply.status == 200 => {
+                            granted += 1;
+                            let id = Json::parse(&reply.body)
+                                .ok()
+                                .and_then(|d| d.get("lease").and_then(Json::as_u64))
+                                .expect("grant carries the lease id");
+                            if c % 2 == 0 {
+                                // Polite client: release promptly.
+                                let _ = post(&url, "/tenants/leasehog/release", &id.to_string());
+                            } else {
+                                // Hog: sit past the TTL and let the
+                                // manager expire the lease.
+                                thread::sleep(Duration::from_millis(45));
+                            }
+                        }
+                        _ => thread::sleep(Duration::from_millis(2)),
+                    }
+                }
+                granted
+            })
+        })
+        .collect();
+
+    thread::sleep(Duration::from_millis(2500));
+    stop.store(true, Ordering::Relaxed);
+    let granted: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert!(granted >= 8, "the clients must actually obtain leases, got {granted}");
+
+    let entry = host.lookup("leasehog").unwrap();
+    let history = entry.lease.history();
+    assert!(history.len() as u64 >= granted, "every grant leaves a history window");
+    if let Some((a, b)) = first_overlap(&history) {
+        panic!("two clients held the lease at once: {a:?} overlaps {b:?}");
+    }
+    // The hogs never release: their leases end involuntarily — by TTL
+    // expiry, or earlier by revocation when the ring hands the token on
+    // (on a fast loopback ring the handover usually wins the race).
+    let counters = entry.lease.counters();
+    assert!(
+        counters.expirations + counters.revocations > 0,
+        "the hogs' leases must end involuntarily: {counters:?}"
+    );
+    assert!(counters.releases > 0, "the polite clients must have released: {counters:?}");
+    host.shutdown();
+}
+
+/// Acceptance (c): the load generator completes a full T=8, n=5 round as a
+/// real subprocess, prints the ops/sec scaling row with p50/p99 lease
+/// latency, and writes a parseable `BENCH_serve.json`.
+#[test]
+fn load_subcommand_prints_curves_and_writes_bench() {
+    let _turn = exclusive();
+    let out = std::env::temp_dir().join(format!("BENCH_serve_{}.json", std::process::id()));
+    let output = Command::new(env!("CARGO_BIN_EXE_ssrmin"))
+        .args(["load", "--tenants", "8", "--nodes", "5", "--ms", "1200"])
+        .args(["--out", out.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "load must exit cleanly:\n{stdout}\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(stdout.contains("tenants=8"), "{stdout}");
+    assert!(stdout.contains("ops/sec="), "{stdout}");
+    assert!(stdout.contains("p50="), "{stdout}");
+    assert!(stdout.contains("p99="), "{stdout}");
+    assert!(stdout.contains("cs_violations=0"), "{stdout}");
+
+    let body = std::fs::read_to_string(&out).expect("bench file written");
+    let doc = Json::parse(&body).expect("bench file is valid JSON");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("ssr-serve-load/v1"), "{body}");
+    let rows = doc.get("rows").and_then(Json::as_arr).expect("rows array");
+    assert_eq!(rows.len(), 1, "{body}");
+    assert_eq!(rows[0].get("tenants").and_then(Json::as_u64), Some(8), "{body}");
+    assert_eq!(rows[0].get("nodes").and_then(Json::as_u64), Some(5), "{body}");
+    assert!(rows[0].get("ops").and_then(Json::as_u64).is_some_and(|o| o > 0), "{body}");
+    assert!(rows[0].get("ops_per_sec").and_then(Json::as_f64).is_some_and(|o| o > 0.0), "{body}");
+    assert_eq!(rows[0].get("cs_violations").and_then(Json::as_u64), Some(0), "{body}");
+    let _ = std::fs::remove_file(&out);
+}
+
+/// Acceptance (tentpole scale): sixteen concurrent tenants on one host,
+/// every one of them scrapeable with its own label set via `/metrics` and
+/// listed in the registry.
+#[test]
+fn sixteen_tenants_publish_per_tenant_metrics() {
+    let _turn = exclusive();
+    let specs: Vec<TenantSpec> = (1..=16)
+        .map(|i| TenantSpec {
+            nodes: 3,
+            seed: 100 + i as u64,
+            ..TenantSpec::named(format!("m{i}"))
+        })
+        .collect();
+    let (host, _server, url) = serve(specs);
+
+    let reply = get(&url, "/tenants").unwrap();
+    assert_eq!(reply.status, 200);
+    let doc = Json::parse(&reply.body).unwrap();
+    assert_eq!(
+        doc.get("tenants").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(16),
+        "{}",
+        reply.body
+    );
+
+    // Every tenant circulates: all nodes up, invariant satisfied.
+    for i in 1..=16 {
+        wait_tenant(&url, &format!("m{i}"), "tenant circulating", |doc| {
+            doc.get("nodes_up").and_then(Json::as_u64) == Some(3)
+                && doc.get("token_count_ok") == Some(&Json::Bool(true))
+        });
+    }
+
+    let reply = get(&url, "/metrics").unwrap();
+    assert_eq!(reply.status, 200);
+    for i in 1..=16 {
+        assert!(
+            reply.body.contains(&format!("ssr_tenant_privileged{{tenant=\"m{i}\"}}")),
+            "per-tenant gauge for m{i}:\n{}",
+            reply.body
+        );
+    }
+    host.shutdown();
+}

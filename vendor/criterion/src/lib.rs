@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -144,20 +145,83 @@ fn human_time(ns: f64) -> String {
     }
 }
 
+/// One reported measurement, accumulated for the optional JSON sink.
+struct JsonRow {
+    name: String,
+    ns_per_iter: f64,
+    iters: u64,
+    budget_ms: u64,
+    rate: Option<(f64, &'static str)>,
+}
+
+/// All rows reported by this process so far; the sink rewrites the whole
+/// file on every report so a partial run still leaves valid JSON behind.
+static JSON_ROWS: Mutex<Vec<JsonRow>> = Mutex::new(Vec::new());
+
+/// When `CRITERION_JSON` names a file, mirror every reported measurement
+/// into it as a machine-readable document (the committed `BENCH_*.json`
+/// files at the repo root are produced this way).
+fn sink_json(row: JsonRow) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let mut rows = JSON_ROWS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    rows.push(row);
+    let mut out = String::from("{\"schema\":\"ssr-criterion/v1\",\"results\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // Names are code identifiers plus '/', but escape defensively.
+        let name: String = r
+            .name
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                c if c.is_control() => "?".chars().collect(),
+                c => vec![c],
+            })
+            .collect();
+        out.push_str(&format!(
+            "{{\"name\":\"{name}\",\"ns_per_iter\":{:.1},\"iters\":{},\"budget_ms\":{}",
+            r.ns_per_iter, r.iters, r.budget_ms
+        ));
+        if let Some((rate, unit)) = r.rate {
+            out.push_str(&format!(
+                ",\"throughput_per_sec\":{rate:.1},\"throughput_unit\":\"{unit}\""
+            ));
+        }
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion: cannot write {path}: {e}");
+    }
+}
+
 fn report(label: &str, bencher: &Bencher, throughput: Option<Throughput>) {
     let ns = bencher.per_iter_ns();
     let mut line = format!("{label:<48} time: {:>12}   ({} iters)", human_time(ns), bencher.iters);
+    let mut rate = None;
     if let Some(tp) = throughput {
         let (count, unit) = match tp {
             Throughput::Elements(e) => (e as f64, "elem/s"),
             Throughput::Bytes(b) => (b as f64, "B/s"),
         };
         if ns.is_finite() && ns > 0.0 {
-            let rate = count / (ns / 1_000_000_000.0);
-            line.push_str(&format!("   thrpt: {rate:.3e} {unit}"));
+            let per_sec = count / (ns / 1_000_000_000.0);
+            line.push_str(&format!("   thrpt: {per_sec:.3e} {unit}"));
+            rate = Some((per_sec, unit));
         }
     }
     println!("{line}");
+    sink_json(JsonRow {
+        name: label.to_string(),
+        ns_per_iter: ns,
+        iters: bencher.iters,
+        budget_ms: bencher.budget.as_millis() as u64,
+        rate,
+    });
 }
 
 /// The top-level benchmark driver.
@@ -292,6 +356,21 @@ mod tests {
             b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
         });
         group.finish();
+    }
+
+    #[test]
+    fn json_sink_writes_machine_readable_results() {
+        let path = std::env::temp_dir().join(format!("criterion_sink_{}.json", std::process::id()));
+        std::env::set_var("CRITERION_JSON", &path);
+        let mut c = Criterion { budget: Duration::from_millis(2) };
+        c.bench_function("sink_probe", |b| b.iter(|| black_box(2 + 2)));
+        std::env::remove_var("CRITERION_JSON");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("{\"schema\":\"ssr-criterion/v1\""), "{body}");
+        assert!(body.contains("\"name\":\"sink_probe\""), "{body}");
+        assert!(body.contains("\"ns_per_iter\":"), "{body}");
+        assert!(body.trim_end().ends_with("]}"), "{body}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
