@@ -9,7 +9,7 @@
 use std::fmt;
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{RngCore, RngExt, SeedableRng};
 
 use ssr_core::{Config, RingAlgorithm, RingParams, SsrState};
 
@@ -171,6 +171,24 @@ pub enum FaultKind {
         /// Ring index of the impersonated node.
         node: usize,
     },
+    /// Membership churn: a new node joins the ring at the tail position —
+    /// between the current last node and node 0 — via the re-splice
+    /// protocol. `node` is the index the joiner takes, which must equal the
+    /// ring size at the moment the event fires (a join always extends the
+    /// ring at its tail, so the anchor keeps index 0).
+    Join {
+        /// Ring index the joining node takes (== ring size before the join).
+        node: usize,
+    },
+    /// Membership churn: the node leaves the ring and its two neighbours
+    /// re-splice around it. Node 0 (the anchor / bottom machine) can never
+    /// leave, and a leave that would shrink the ring below the minimum legal
+    /// size is rejected by [`FaultSchedule::validate`]. Later events use the
+    /// post-leave indices (everything above `node` shifts down by one).
+    Leave {
+        /// Ring index of the leaving node (0 < node < current size).
+        node: usize,
+    },
     /// Recorded (never scheduled): the node's convergence watchdog fired.
     /// With `restart == false` it resynchronised by republishing its state;
     /// with `restart == true` it performed an amnesia self-restart with a
@@ -195,6 +213,8 @@ impl fmt::Display for FaultKind {
             FaultKind::CorruptState { node } => write!(f, "corrupt state of node {node}"),
             FaultKind::FreezeNode { node } => write!(f, "freeze node {node}"),
             FaultKind::Babble { node } => write!(f, "babble as node {node}"),
+            FaultKind::Join { node } => write!(f, "join as node {node}"),
+            FaultKind::Leave { node } => write!(f, "leave node {node}"),
             FaultKind::Watchdog { node, restart: false } => {
                 write!(f, "watchdog resync node {node}")
             }
@@ -228,6 +248,7 @@ impl std::str::FromStr for FaultKind {
     /// * `partition <from> <to>` · `heal <from> <to>`
     /// * `corrupt-snapshot <node>` (alias: `corrupt <node>`)
     /// * `corrupt-state <node>` · `freeze <node>` · `babble <node>`
+    /// * `join <node>` · `leave <node>` — membership churn (re-splice)
     ///
     /// [`FaultKind::Watchdog`] is recorded by the runtime, never parsed.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
@@ -271,10 +292,12 @@ impl std::str::FromStr for FaultKind {
             "corrupt-state" => FaultKind::CorruptState { node: index(words.next(), "node")? },
             "freeze" => FaultKind::FreezeNode { node: index(words.next(), "node")? },
             "babble" => FaultKind::Babble { node: index(words.next(), "node")? },
+            "join" => FaultKind::Join { node: index(words.next(), "node")? },
+            "leave" => FaultKind::Leave { node: index(words.next(), "node")? },
             other => {
                 return err(format!(
                     "unknown fault '{other}' (expected crash/restart/partition/heal/\
-                     corrupt-snapshot/corrupt-state/freeze/babble)"
+                     corrupt-snapshot/corrupt-state/freeze/babble/join/leave)"
                 ))
             }
         };
@@ -359,22 +382,30 @@ impl FaultSchedule {
         self.with(at, FaultKind::Partition { from, to }).with(heal_at, FaultKind::Heal { from, to })
     }
 
-    /// Check the schedule is executable on an `n`-ring: indices in range,
+    /// Check the schedule is executable on a ring that *starts* at size `n`:
+    /// indices in range against the ring size current at each event,
     /// partitions only between ring neighbours, no crash of a node already
     /// down, no restart of a node that is up, no heal of an intact link.
+    /// Membership events ([`FaultKind::Join`] / [`FaultKind::Leave`]) are
+    /// checked against the running size: a join must extend the tail, a
+    /// leave must not remove the anchor (node 0) or shrink the ring below
+    /// the minimum legal size, and both require a whole ring at that moment
+    /// (no node down, no link cut) because a re-splice needs both
+    /// neighbours live and reachable.
     pub fn validate(&self, n: usize) -> Result<(), FaultScheduleError> {
         let err = |msg: String| Err(FaultScheduleError(msg));
         if n == 0 {
             return err("empty ring".into());
         }
-        let neighbours = |a: usize, b: usize| b == (a + 1) % n || b == (a + n - 1) % n;
+        let mut size = n;
         let mut down = vec![false; n];
         let mut cut: Vec<(usize, usize)> = Vec::new();
         for ev in &self.events {
+            let neighbours = |a: usize, b: usize| b == (a + 1) % size || b == (a + size - 1) % size;
             match ev.kind {
                 FaultKind::Crash { node, .. } => {
-                    if node >= n {
-                        return err(format!("crash of node {node} on an {n}-ring"));
+                    if node >= size {
+                        return err(format!("crash of node {node} on a {size}-ring"));
                     }
                     if down[node] {
                         return err(format!("node {node} crashed twice without a restart"));
@@ -382,8 +413,8 @@ impl FaultSchedule {
                     down[node] = true;
                 }
                 FaultKind::Restart { node } => {
-                    if node >= n {
-                        return err(format!("restart of node {node} on an {n}-ring"));
+                    if node >= size {
+                        return err(format!("restart of node {node} on a {size}-ring"));
                     }
                     if !down[node] {
                         return err(format!("restart of node {node}, which is not down"));
@@ -391,7 +422,7 @@ impl FaultSchedule {
                     down[node] = false;
                 }
                 FaultKind::Partition { from, to } => {
-                    if from >= n || to >= n || !neighbours(from, to) {
+                    if from >= size || to >= size || !neighbours(from, to) {
                         return err(format!("partition {from}->{to} is not a ring link"));
                     }
                     if cut.contains(&(from, to)) {
@@ -406,27 +437,68 @@ impl FaultSchedule {
                     cut.swap_remove(pos);
                 }
                 FaultKind::CorruptSnapshot { node } => {
-                    if node >= n {
-                        return err(format!("snapshot corruption of node {node} on an {n}-ring"));
+                    if node >= size {
+                        return err(format!("snapshot corruption of node {node} on a {size}-ring"));
                     }
                 }
                 // The adversarial trio is idempotent on a live node — only
                 // the index needs checking. (Corrupting/freezing/babbling a
                 // *down* node is a harmless no-op the supervisor skips.)
                 FaultKind::CorruptState { node } => {
-                    if node >= n {
-                        return err(format!("state corruption of node {node} on an {n}-ring"));
+                    if node >= size {
+                        return err(format!("state corruption of node {node} on a {size}-ring"));
                     }
                 }
                 FaultKind::FreezeNode { node } => {
-                    if node >= n {
-                        return err(format!("freeze of node {node} on an {n}-ring"));
+                    if node >= size {
+                        return err(format!("freeze of node {node} on a {size}-ring"));
                     }
                 }
                 FaultKind::Babble { node } => {
-                    if node >= n {
-                        return err(format!("babble as node {node} on an {n}-ring"));
+                    if node >= size {
+                        return err(format!("babble as node {node} on a {size}-ring"));
                     }
+                }
+                FaultKind::Join { node } => {
+                    if down.iter().any(|&d| d) || !cut.is_empty() {
+                        return err(format!(
+                            "join as node {node} while the ring is not whole \
+                             (a re-splice needs both neighbours up and both links intact)"
+                        ));
+                    }
+                    if node != size {
+                        return err(format!(
+                            "join as node {node} on a {size}-ring (a join must extend \
+                             the tail, so the joiner's index must equal the ring size)"
+                        ));
+                    }
+                    size += 1;
+                    down.push(false);
+                }
+                FaultKind::Leave { node } => {
+                    if down.iter().any(|&d| d) || !cut.is_empty() {
+                        return err(format!(
+                            "leave of node {node} while the ring is not whole \
+                             (a re-splice needs both neighbours up and both links intact)"
+                        ));
+                    }
+                    if node == 0 {
+                        return err("leave of node 0, the ring anchor (the bottom machine \
+                             never leaves)"
+                            .into());
+                    }
+                    if node >= size {
+                        return err(format!("leave of node {node} on a {size}-ring"));
+                    }
+                    if size - 1 < RingParams::MIN_N {
+                        return err(format!(
+                            "leave of node {node} would splice the ring below \
+                             n={}",
+                            RingParams::MIN_N
+                        ));
+                    }
+                    size -= 1;
+                    down.pop();
                 }
                 FaultKind::Watchdog { node, .. } => {
                     return err(format!(
@@ -503,6 +575,105 @@ impl FaultSchedule {
         }
         debug_assert!(schedule.validate(n).is_ok(), "random schedule must validate");
         schedule
+    }
+
+    /// Generate a seeded Poisson churn schedule for a ring that starts at
+    /// size `n`: membership events with exponentially distributed
+    /// inter-arrival times at `plan.rate` expected events per 1000 time
+    /// units, each event a fair coin flip between a tail join and the leave
+    /// of a uniformly random non-anchor node (the flip is forced at the
+    /// `plan.min_n` / `plan.max_n` bounds). The same `(n, plan, seed)`
+    /// triple yields the identical schedule, so the discrete-event
+    /// simulator and the UDP cluster replay one churn model.
+    pub fn churn(n: usize, plan: &ChurnPlan, seed: u64) -> Result<Self, FaultScheduleError> {
+        plan.validate()?;
+        let err = |msg: String| Err(FaultScheduleError(msg));
+        if !(plan.min_n..=plan.max_n).contains(&n) {
+            return err(format!(
+                "starting size {n} outside the churn bounds [{}, {}]",
+                plan.min_n, plan.max_n
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut schedule = FaultSchedule::new();
+        let mut size = n;
+        let mut t = plan.window.0 as f64;
+        loop {
+            // Exponential inter-arrival via inverse CDF; the 53-bit uniform
+            // is offset by half an ulp so `ln` never sees zero.
+            let u = ((rng.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64);
+            t += -u.ln() * 1000.0 / plan.rate;
+            if !t.is_finite() || t >= plan.window.1 as f64 {
+                break;
+            }
+            let join = if size >= plan.max_n {
+                false
+            } else if size <= plan.min_n {
+                true
+            } else {
+                rng.random_bool(0.5)
+            };
+            let kind = if join {
+                let node = size;
+                size += 1;
+                FaultKind::Join { node }
+            } else {
+                let node = rng.random_range(1..size);
+                size -= 1;
+                FaultKind::Leave { node }
+            };
+            schedule = schedule.with(t as u64, kind);
+        }
+        debug_assert!(schedule.validate(n).is_ok(), "churn schedule must validate");
+        Ok(schedule)
+    }
+}
+
+/// Knobs of [`FaultSchedule::churn`] — the shared Poisson membership-churn
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnPlan {
+    /// Expected membership events per 1000 time units (the Poisson rate).
+    pub rate: f64,
+    /// Events are generated inside `[window.0, window.1)`.
+    pub window: (u64, u64),
+    /// The ring never shrinks below this size (and never below the legal
+    /// minimum of [`RingParams::MIN_N`]).
+    pub min_n: usize,
+    /// The ring never grows beyond this size. Keep `max_n < K` so the
+    /// Dijkstra guard stays sound (Hoepman: K may equal N but not be less).
+    pub max_n: usize,
+}
+
+impl Default for ChurnPlan {
+    /// One expected event per second (millisecond units) inside a 1-second
+    /// window, ring size kept within [3, 8].
+    fn default() -> Self {
+        ChurnPlan { rate: 1.0, window: (150, 1_150), min_n: RingParams::MIN_N, max_n: 8 }
+    }
+}
+
+impl ChurnPlan {
+    /// Check the plan can generate a valid schedule; typed error if not.
+    pub fn validate(&self) -> Result<(), FaultScheduleError> {
+        let err = |msg: String| Err(FaultScheduleError(msg));
+        if !(self.rate.is_finite() && self.rate > 0.0) {
+            return err(format!("churn rate {} must be positive and finite", self.rate));
+        }
+        if self.window.0 >= self.window.1 {
+            return err(format!("empty churn window [{}, {})", self.window.0, self.window.1));
+        }
+        if self.min_n < RingParams::MIN_N {
+            return err(format!(
+                "churn floor min_n={} below the minimum legal ring size {}",
+                self.min_n,
+                RingParams::MIN_N
+            ));
+        }
+        if self.max_n < self.min_n {
+            return err(format!("churn bounds min_n={} > max_n={}", self.min_n, self.max_n));
+        }
+        Ok(())
     }
 }
 
@@ -718,5 +889,95 @@ mod tests {
         assert!(has(|k| matches!(k, FaultKind::CorruptState { .. })));
         assert!(has(|k| matches!(k, FaultKind::FreezeNode { .. })));
         assert!(has(|k| matches!(k, FaultKind::Babble { .. })));
+    }
+
+    #[test]
+    fn membership_grammar_parses() {
+        assert_eq!("join 5".parse::<FaultKind>(), Ok(FaultKind::Join { node: 5 }));
+        assert_eq!("leave 2".parse::<FaultKind>(), Ok(FaultKind::Leave { node: 2 }));
+        assert!("join".parse::<FaultKind>().is_err());
+        assert!("leave 2 now".parse::<FaultKind>().is_err());
+        assert_eq!(FaultKind::Join { node: 5 }.to_string(), "join as node 5");
+        assert_eq!(FaultKind::Leave { node: 2 }.to_string(), "leave node 2");
+    }
+
+    #[test]
+    fn validate_tracks_the_running_ring_size() {
+        // A join raises the size, so later events may use the new tail index.
+        let s = FaultSchedule::new()
+            .with(100, FaultKind::Join { node: 5 })
+            .with(200, FaultKind::CorruptState { node: 5 })
+            .with(300, FaultKind::Leave { node: 5 })
+            .with(400, FaultKind::Leave { node: 4 })
+            .with(500, FaultKind::Leave { node: 3 });
+        s.validate(5).unwrap();
+        // ... but the shrunken ring rejects indices the 6-ring accepted.
+        let s = s.with(600, FaultKind::Babble { node: 4 });
+        let e = s.validate(5).unwrap_err();
+        assert!(e.to_string().contains("3-ring"), "{e}");
+    }
+
+    #[test]
+    fn validate_rejects_illegal_membership_events() {
+        // Join must extend the tail.
+        let s = FaultSchedule::new().with(10, FaultKind::Join { node: 3 });
+        assert!(s.validate(5).unwrap_err().to_string().contains("extend the tail"));
+        // The anchor never leaves.
+        let s = FaultSchedule::new().with(10, FaultKind::Leave { node: 0 });
+        assert!(s.validate(5).unwrap_err().to_string().contains("anchor"));
+        // No splicing below the minimum legal ring size.
+        let s = FaultSchedule::new().with(10, FaultKind::Leave { node: 1 });
+        assert!(s.validate(3).unwrap_err().to_string().contains("below"));
+        // Membership events need a whole ring: no node down ...
+        let s = FaultSchedule::new()
+            .with(10, FaultKind::Crash { node: 2, restart: RestartMode::Amnesia })
+            .with(20, FaultKind::Join { node: 5 });
+        assert!(s.validate(5).unwrap_err().to_string().contains("not whole"));
+        // ... and no link cut.
+        let s = FaultSchedule::new()
+            .with(10, FaultKind::Partition { from: 0, to: 1 })
+            .with(20, FaultKind::Leave { node: 2 });
+        assert!(s.validate(5).unwrap_err().to_string().contains("not whole"));
+    }
+
+    #[test]
+    fn churn_schedules_are_deterministic_bounded_and_valid() {
+        let plan = ChurnPlan { rate: 20.0, window: (100, 2_100), min_n: 4, max_n: 9 };
+        let a = FaultSchedule::churn(5, &plan, 7).unwrap();
+        let b = FaultSchedule::churn(5, &plan, 7).unwrap();
+        assert_eq!(a, b, "equal seeds must yield identical churn");
+        assert_ne!(a, FaultSchedule::churn(5, &plan, 8).unwrap());
+        a.validate(5).unwrap();
+        assert!(!a.is_empty(), "rate 20/1000 over 2000 units should produce events");
+        // Replay the size and check the plan bounds were honoured.
+        let mut size = 5usize;
+        for ev in a.events() {
+            assert!((plan.window.0..plan.window.1).contains(&ev.at));
+            match ev.kind {
+                FaultKind::Join { node } => {
+                    assert_eq!(node, size);
+                    size += 1;
+                }
+                FaultKind::Leave { node } => {
+                    assert!(node > 0 && node < size);
+                    size -= 1;
+                }
+                other => panic!("churn produced a non-membership event {other}"),
+            }
+            assert!((plan.min_n..=plan.max_n).contains(&size));
+        }
+    }
+
+    #[test]
+    fn churn_plans_reject_nonsense() {
+        let bad = |plan: ChurnPlan| FaultSchedule::churn(5, &plan, 0).unwrap_err().to_string();
+        assert!(bad(ChurnPlan { rate: 0.0, ..ChurnPlan::default() }).contains("rate"));
+        assert!(bad(ChurnPlan { rate: f64::NAN, ..ChurnPlan::default() }).contains("rate"));
+        assert!(bad(ChurnPlan { window: (10, 10), ..ChurnPlan::default() }).contains("window"));
+        assert!(bad(ChurnPlan { min_n: 2, ..ChurnPlan::default() }).contains("minimum legal"));
+        assert!(bad(ChurnPlan { min_n: 9, max_n: 8, ..ChurnPlan::default() }).contains("bounds"));
+        // Starting size outside the bounds.
+        let plan = ChurnPlan { min_n: 6, max_n: 9, ..ChurnPlan::default() };
+        assert!(FaultSchedule::churn(5, &plan, 0).unwrap_err().to_string().contains("outside"));
     }
 }

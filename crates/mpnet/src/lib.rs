@@ -59,8 +59,8 @@ pub mod transcript;
 pub use csv::{per_node_transitions_to_csv, timeline_to_csv};
 pub use event::{DelayModel, EventKind, EventQueue, Time};
 pub use faults::{
-    FaultEvent, FaultKind, FaultParseError, FaultPlan, FaultSchedule, FaultScheduleError,
-    RestartMode,
+    ChurnPlan, FaultEvent, FaultKind, FaultParseError, FaultPlan, FaultSchedule,
+    FaultScheduleError, RestartMode,
 };
 pub use link::Link;
 pub use loss::{GilbertElliott, LossChannel};

@@ -116,6 +116,11 @@ pub struct CstSim<A: RingAlgorithm> {
     outages: Vec<Vec<(Time, Time)>>,
     transcript: Option<Transcript<A::State>>,
     events_processed: u64,
+    // ---- counters retired by membership re-splices (links are rebuilt and
+    // leavers drop out, but `stats()` must stay cumulative) ----
+    retired_transmissions: u64,
+    retired_losses: u64,
+    retired_rules: u64,
 }
 
 impl<A: RingAlgorithm> CstSim<A> {
@@ -188,6 +193,9 @@ impl<A: RingAlgorithm> CstSim<A> {
             outages: vec![Vec::new(); 2 * n],
             transcript: None,
             events_processed: 0,
+            retired_transmissions: 0,
+            retired_losses: 0,
+            retired_rules: 0,
         };
         sim.rebuild_counters();
         sim.record_sample();
@@ -384,6 +392,100 @@ impl<A: RingAlgorithm> CstSim<A> {
         self.pauses[node].iter().any(|&(f, u)| at >= f && at < u)
     }
 
+    /// Membership churn, grow side: splice a joining node into the ring at
+    /// the tail position (between the current last node and node 0, so the
+    /// anchor keeps index 0). `algo` is the same algorithm re-parameterised
+    /// for `n + 1`; `own` is the state the joiner boots with — for SSRmin a
+    /// graceful joiner adopts its predecessor's counter with no token bits,
+    /// but any state is legal (self-stabilization must absorb it). The
+    /// join handshake seeds the joiner's caches and both neighbours'
+    /// facing cache entries coherently; the re-splice flushes all in-flight
+    /// messages and per-link overrides (the old links are gone) and
+    /// restarts every node's gossip timer with a fresh stagger.
+    ///
+    /// Schedule-level validation (ring bounds, whole-ring requirement)
+    /// lives in [`crate::FaultSchedule::validate`]; this method only
+    /// asserts the ring shape.
+    pub fn splice_join(&mut self, algo: A, own: A::State) {
+        let n = self.nodes.len();
+        assert_eq!(algo.n(), n + 1, "splice_join needs an algorithm for n + 1");
+        let tail = n - 1;
+        let node = Node::coherent(own, self.nodes[tail].own.clone(), self.nodes[0].own.clone());
+        self.nodes[tail].cache_succ = node.own.clone();
+        self.nodes[0].cache_pred = node.own.clone();
+        self.nodes.push(node);
+        self.pauses.push(Vec::new());
+        self.resplice(algo);
+    }
+
+    /// Membership churn, shrink side: splice `node` out of the ring; its
+    /// two neighbours re-point at each other and seed their facing cache
+    /// entries from each other's real state (the leave handshake). Node 0
+    /// is the anchor and can never leave. Later indices shift down by one,
+    /// as do their pending corruptions and pause windows; the leaver's own
+    /// pending faults die with it. Counters of the departed node are
+    /// retired so [`CstSim::stats`] stays cumulative.
+    pub fn splice_leave(&mut self, algo: A, node: usize) {
+        let n = self.nodes.len();
+        assert_eq!(algo.n(), n - 1, "splice_leave needs an algorithm for n - 1");
+        assert!(node < n, "node out of range");
+        assert!(node != 0, "node 0 is the ring anchor and cannot leave");
+        let removed = self.nodes.remove(node);
+        self.retired_rules += removed.rules_executed;
+        self.pauses.remove(node);
+        self.corruptions.retain(|&(_, nd, _)| nd != node);
+        for c in &mut self.corruptions {
+            if c.1 > node {
+                c.1 -= 1;
+            }
+        }
+        let pred = node - 1;
+        let succ = if node == self.nodes.len() { 0 } else { node };
+        self.nodes[pred].cache_succ = self.nodes[succ].own.clone();
+        self.nodes[succ].cache_pred = self.nodes[pred].own.clone();
+        self.resplice(algo);
+    }
+
+    /// Rebuild everything ring-shaped after a membership change: links,
+    /// loss channels, timers and the incremental counters. In-flight
+    /// arrivals, deferred executions, link-delay overrides and outage
+    /// windows are dropped — a re-splice tears the old links down — while
+    /// pending corruptions and pause windows survive (adjusted by the
+    /// caller) and are re-queued no earlier than `now`.
+    fn resplice(&mut self, algo: A) {
+        let n = self.nodes.len();
+        debug_assert_eq!(algo.n(), n);
+        self.algo = algo;
+        self.retired_transmissions += self.links.iter().map(|l| l.transmissions).sum::<u64>();
+        self.retired_losses += self.links.iter().map(|l| l.losses).sum::<u64>();
+        let mut links = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            let succ = if i + 1 == n { 0 } else { i + 1 };
+            let pred = if i == 0 { n - 1 } else { i - 1 };
+            links.push(Link::new(i, succ));
+            links.push(Link::new(i, pred));
+        }
+        self.links = links;
+        self.queue = EventQueue::new();
+        self.exec_scheduled = vec![false; n];
+        self.link_loss = vec![LossChannel::new(self.cfg.loss, self.cfg.burst); 2 * n];
+        self.link_delay = vec![None; 2 * n];
+        self.outages = vec![Vec::new(); 2 * n];
+        for i in 0..n {
+            let first = self.now + self.rng.random_range(1..=self.cfg.timer_interval.max(1));
+            self.queue.push(first, EventKind::Timer { node: i });
+        }
+        for c in &mut self.corruptions {
+            c.0 = c.0.max(self.now);
+            self.queue.push(c.0, EventKind::Corruption { node: c.1 });
+        }
+        self.priv_flags = vec![false; n];
+        self.node_tokens = vec![0; n];
+        self.cache_ok = vec![[true; 2]; n];
+        self.rebuild_counters();
+        self.record_sample();
+    }
+
     /// Start recording an event transcript keeping the most recent
     /// `capacity` events (see [`Transcript`]). Costs allocations per event.
     pub fn enable_transcript(&mut self, capacity: usize) {
@@ -406,12 +508,16 @@ impl<A: RingAlgorithm> CstSim<A> {
         &self.timeline
     }
 
-    /// Aggregate message statistics.
+    /// Aggregate message statistics (cumulative across membership
+    /// re-splices: counters of rebuilt links and departed nodes are
+    /// retired, not forgotten).
     pub fn stats(&self) -> SimStats {
         SimStats {
-            transmissions: self.links.iter().map(|l| l.transmissions).sum(),
-            losses: self.links.iter().map(|l| l.losses).sum(),
-            rules_executed: self.nodes.iter().map(|nd| nd.rules_executed).sum(),
+            transmissions: self.retired_transmissions
+                + self.links.iter().map(|l| l.transmissions).sum::<u64>(),
+            losses: self.retired_losses + self.links.iter().map(|l| l.losses).sum::<u64>(),
+            rules_executed: self.retired_rules
+                + self.nodes.iter().map(|nd| nd.rules_executed).sum::<u64>(),
             events: self.events_processed,
         }
     }
@@ -963,5 +1069,122 @@ mod tests {
         assert!(st.transmissions > 0);
         assert!(st.events > 0);
         assert_eq!(st.losses, 0);
+    }
+
+    use ssr_core::SsrState;
+
+    /// A graceful SSRmin joiner: adopt the predecessor's counter, hold no
+    /// token bits (mirrors the UDP re-splice handshake).
+    fn graceful_joiner(sim: &CstSim<SsrMin>) -> SsrState {
+        let tail = sim.ground_config().len() - 1;
+        SsrState::new(sim.node(tail).own.x, 0, 0)
+    }
+
+    /// Drive one seeded churn schedule through the DES and assert the ring
+    /// re-converges to a stably legitimate configuration — checked against
+    /// the *current* n's Theorem-2 envelope — after every membership event.
+    #[test]
+    fn churn_schedule_reconverges_within_envelope_of_current_n() {
+        use crate::faults::{ChurnPlan, FaultKind, FaultSchedule};
+        let k = 12; // headroom: the ring may grow to max_n = 9 < K
+        let plan = ChurnPlan { rate: 4.0, window: (500, 4_500), min_n: 3, max_n: 9 };
+        let schedule = FaultSchedule::churn(5, &plan, 21).unwrap();
+        assert!(!schedule.is_empty(), "seed 21 must produce churn events");
+        let a = SsrMin::new(params(5, k));
+        let cfg = SimConfig { seed: 21, loss: 0.1, ..SimConfig::default() };
+        let mut sim = CstSim::new(a, a.legitimate_anchor(0), cfg).unwrap();
+        for ev in schedule.events() {
+            sim.run_until(ev.at);
+            let n = sim.ground_config().len();
+            match ev.kind {
+                FaultKind::Join { node } => {
+                    assert_eq!(node, n);
+                    let own = graceful_joiner(&sim);
+                    sim.splice_join(SsrMin::new(params(n + 1, k)), own);
+                }
+                FaultKind::Leave { node } => {
+                    sim.splice_leave(SsrMin::new(params(n - 1, k)), node);
+                }
+                other => panic!("churn schedules only hold membership events, got {other}"),
+            }
+            // Theorem 2 for the post-event ring: O(n²) rounds; one gossip
+            // round is one timer interval of ticks.
+            let n_now = sim.ground_config().len();
+            let envelope = 4 * (n_now as u64) * (n_now as u64) * sim.cfg.timer_interval;
+            let t0 = sim.now();
+            let since = sim.run_until_stably_legitimate(t0 + envelope, 200);
+            assert!(
+                since.is_some(),
+                "event '{}' at {} did not reconverge within the {n_now}-ring envelope",
+                ev.kind,
+                ev.at
+            );
+        }
+        // The resized ring keeps circulating and the stats stayed cumulative.
+        let before = sim.stats();
+        sim.run_until(sim.now() + 10_000);
+        let after = sim.stats();
+        assert!(after.rules_executed > before.rules_executed + 10);
+        assert!(after.transmissions > before.transmissions);
+    }
+
+    /// A graceful join/leave on a legitimate quiescent ring never loses the
+    /// token: the membership event lands between handovers, so safety (1..=2
+    /// privileged) holds across the splice itself, not just eventually.
+    #[test]
+    fn graceful_splice_preserves_the_token_through_the_event() {
+        let k = 10;
+        let a = SsrMin::new(params(5, k));
+        let cfg = SimConfig { seed: 3, ..SimConfig::default() };
+        let mut sim = CstSim::new(a, a.legitimate_anchor(0), cfg).unwrap();
+        sim.run_until(2_000);
+        let own = graceful_joiner(&sim);
+        sim.splice_join(SsrMin::new(params(6, k)), own);
+        sim.run_until(4_000);
+        sim.splice_leave(SsrMin::new(params(5, k)), 2);
+        sim.run_until(8_000);
+        let sum = sim.timeline().summary(0).unwrap();
+        assert_eq!(sum.zero_privileged_time, 0, "{sum:?}");
+        assert!(sum.max_privileged <= 2, "{sum:?}");
+    }
+
+    #[test]
+    fn splice_retires_counters_and_survives_pending_faults() {
+        let k = 10;
+        let a = SsrMin::new(params(5, k));
+        let cfg = SimConfig { seed: 7, loss: 0.2, ..SimConfig::default() };
+        let mut sim = CstSim::new(a, a.legitimate_anchor(0), cfg).unwrap();
+        // Pending faults that straddle the splice: node 4's corruption and
+        // node 2's pause survive (node 3's corruption leaves with node 3).
+        sim.schedule_corruption(6_000, 3, "6.1.1".parse().unwrap());
+        sim.schedule_corruption(6_000, 4, "1.0.1".parse().unwrap());
+        sim.schedule_pause(2, 5_000, 5_500);
+        sim.run_until(3_000);
+        let before = sim.stats();
+        assert!(before.transmissions > 0 && before.losses > 0);
+        sim.splice_leave(SsrMin::new(params(4, k)), 3);
+        let after = sim.stats();
+        assert!(after.transmissions >= before.transmissions, "stats must stay cumulative");
+        assert!(after.rules_executed >= before.rules_executed);
+        // The shifted corruption (old node 4 is now node 3) still fires,
+        // and the ring still restabilizes afterwards.
+        assert!(sim.run_until_stably_legitimate(120_000, 500).is_some());
+        assert!(sim.stats().events > after.events);
+    }
+
+    #[test]
+    #[should_panic(expected = "anchor")]
+    fn splice_leave_rejects_the_anchor() {
+        let a = SsrMin::new(params(5, 10));
+        let mut sim = CstSim::new(a, a.legitimate_anchor(0), SimConfig::default()).unwrap();
+        sim.splice_leave(SsrMin::new(params(4, 10)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n + 1")]
+    fn splice_join_rejects_a_mismatched_algorithm() {
+        let a = SsrMin::new(params(5, 10));
+        let mut sim = CstSim::new(a, a.legitimate_anchor(0), SimConfig::default()).unwrap();
+        sim.splice_join(SsrMin::new(params(7, 10)), SsrState::new(0, 0, 0));
     }
 }

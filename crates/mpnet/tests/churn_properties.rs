@@ -1,0 +1,85 @@
+//! Property tests for membership churn on the DES: whatever seeded
+//! join/leave interleaving [`ssr_mpnet::FaultSchedule::churn`] draws, the
+//! simulated ring eventually re-stabilizes to a legitimate configuration
+//! holding exactly one primary token — self-stabilization absorbs live
+//! resizing just like transient state faults.
+
+use proptest::prelude::*;
+
+use ssr_core::{RingParams, SsrMin, SsrState};
+use ssr_mpnet::{ChurnPlan, CstSim, FaultKind, FaultSchedule, SimConfig};
+
+fn params(n: usize, k: u32) -> RingParams {
+    RingParams::new(n, k).unwrap()
+}
+
+/// A graceful SSRmin joiner: adopt the predecessor's counter, hold no token
+/// bits (mirrors the UDP re-splice handshake).
+fn graceful_joiner(sim: &CstSim<SsrMin>) -> SsrState {
+    let tail = sim.ground_config().len() - 1;
+    SsrState::new(sim.node(tail).own.x, 0, 0)
+}
+
+proptest! {
+    // Each case drives a full DES run; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any seeded join/leave interleaving preserves "eventually exactly one
+    /// privileged node": after the schedule drains, the ring re-converges to
+    /// a stably legitimate configuration with a single primary token.
+    #[test]
+    fn any_churn_interleaving_restabilizes_to_one_token(
+        seed in any::<u64>(),
+        n0 in 4usize..=6,
+        rate_x10 in 5u64..=60,
+        loss_pct in 0u32..=15,
+    ) {
+        let k = 12; // max_n = 9 < K keeps every drawn join sound
+        let plan = ChurnPlan {
+            rate: rate_x10 as f64 / 10.0,
+            window: (400, 3_400),
+            min_n: 3,
+            max_n: 9,
+        };
+        let schedule = FaultSchedule::churn(n0, &plan, seed).unwrap();
+        let a = SsrMin::new(params(n0, k));
+        let cfg = SimConfig { seed, loss: f64::from(loss_pct) / 100.0, ..SimConfig::default() };
+        let timer_interval = cfg.timer_interval;
+        let mut sim = CstSim::new(a, a.legitimate_anchor(0), cfg).unwrap();
+        for ev in schedule.events() {
+            sim.run_until(ev.at);
+            let n = sim.ground_config().len();
+            match ev.kind {
+                FaultKind::Join { node } => {
+                    prop_assert_eq!(node, n, "churn joins splice at the tail");
+                    let own = graceful_joiner(&sim);
+                    sim.splice_join(SsrMin::new(params(n + 1, k)), own);
+                }
+                FaultKind::Leave { node } => {
+                    prop_assert!(node > 0 && node < n, "leave {} out of ring", node);
+                    sim.splice_leave(SsrMin::new(params(n - 1, k)), node);
+                }
+                ref other => prop_assert!(false, "non-membership event {} in churn", other),
+            }
+        }
+        // Generous post-churn budget: the Theorem 2 O(n^2) envelope for the
+        // final ring size, from the last event.
+        let n_end = sim.ground_config().len();
+        let envelope = 4 * (n_end as u64) * (n_end as u64) * timer_interval;
+        let t0 = sim.now();
+        let since = sim.run_until_stably_legitimate(t0 + 4 * envelope, 200);
+        prop_assert!(
+            since.is_some(),
+            "seed {} never restabilized after {} churn events (final n = {})",
+            seed,
+            schedule.events().len(),
+            n_end
+        );
+        let ground = sim.ground_config();
+        prop_assert_eq!(
+            sim.algorithm().primary_count(&ground),
+            1,
+            "a stably legitimate ring holds exactly one primary token"
+        );
+    }
+}

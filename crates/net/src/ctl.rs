@@ -577,6 +577,13 @@ where
                     "watchdog escalation of node {node} is recorded by the runtime, not injectable"
                 ))
             }
+            FaultKind::Join { .. } | FaultKind::Leave { .. } => {
+                return Err(
+                    "membership changes go through the re-splice layer (ssrmin churn or the \
+                     serve node routes), not fault injection"
+                        .to_string(),
+                )
+            }
         }
         self.shared.injected.lock().push_back(fault);
         Ok(format!("queued: {fault}"))

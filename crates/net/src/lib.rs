@@ -42,6 +42,12 @@
 //!   adversarial state corruption / rule-engine freezes / stale babble
 //!   bursts, and per-fault recovery-time measurement checked against the
 //!   Theorem 2 `O(n^2)` stabilization envelope.
+//! * [`membership`] — live ring resizing: a [`membership::RingMembership`]
+//!   host where join and leave are first-class runtime operations, realized
+//!   as a park → re-splice → cache-seed → relaunch handshake between a
+//!   member and its two neighbours, with stable slot ids, a liveness-timeout
+//!   reaper for crashed-forever members, and watchdog budgets that rescale
+//!   to the live ring size through [`runner::SharedBudget`].
 //! * `ctl` (via [`supervisor::run_supervised_cluster_with_ctl`]) — the
 //!   live control plane: an embedded `ssr-ctl` HTTP server exposing
 //!   `/metrics`, `/status` and `/top` from the running ring's counters and
@@ -66,6 +72,7 @@ pub mod chaos;
 pub mod cluster;
 pub(crate) mod ctl;
 pub mod frame;
+pub mod membership;
 pub mod metrics;
 pub mod runner;
 pub mod supervisor;
@@ -77,11 +84,12 @@ pub use chaos::{
 };
 pub use cluster::{run_cluster, ChaosSummary, ClusterConfig, ClusterError, ClusterReport};
 pub use frame::{crc32, decode, encode, encode_tenant, CodecError, Frame};
+pub use membership::{MembershipConfig, MembershipError, RingMembership};
 pub use metrics::{
     FaultEventRow, MetricsRegistry, MetricsReport, NodeMetrics, NodeMetricsRow, RecoveryHistogram,
     RecoveryReport,
 };
-pub use runner::{run_node, NodeConfig, NodeControl, Watchdog, WatchdogEvent};
+pub use runner::{run_node, NodeConfig, NodeControl, SharedBudget, Watchdog, WatchdogEvent};
 pub use supervisor::{
     convergence_envelope, run_supervised_cluster, run_supervised_cluster_with_ctl, ssr_adversary,
     ssr_amnesia, RestartRecord, SupervisedReport, SupervisorConfig, WatchdogConfig,

@@ -1,0 +1,819 @@
+//! Live ring membership: join and leave as first-class runtime operations.
+//!
+//! [`RingMembership`] hosts an SSRmin ring over real UDP sockets — one thread
+//! per member, exactly like the supervisor — but lets the ring *resize* while
+//! tokens circulate. The re-splice protocol is a three-party handshake:
+//!
+//! 1. **Park the would-be neighbours.** Their runner threads are asked to
+//!    exit (kill flag, then join), handing back each node's live replica and
+//!    transport. While parked, the rest of the ring keeps circulating; the
+//!    splice site simply looks like two slow nodes for a few milliseconds.
+//! 2. **Re-point the links.** Each neighbour's facing [`UdpTransport`] end is
+//!    re-spliced ([`UdpTransport::resplice`]): new peer address, new expected
+//!    sender slot, and a cleared generation watermark so the new neighbour's
+//!    unrelated generation counter is accepted from its first frame. In-flight
+//!    datagrams from the departed peer die on the sender-slot check.
+//! 3. **Seed the caches and relaunch.** A graceful joiner adopts its
+//!    predecessor's counter with no token bits (`SsrState::new(pred.x, 0, 0)`)
+//!    so the splice does not mint a privilege; neighbour caches are seeded
+//!    with each other's true state so no stale cache entry survives the
+//!    splice. All parties relaunch on their re-wired transports.
+//!
+//! Slot identifiers are *stable wire IDs*: a member keeps the slot index it
+//! was born with for its whole life, and slots are never reused. This is
+//! sound because SSRmin's local rules depend only on "am I node 0" and K —
+//! never on the numeric value of a non-anchor index — so a node whose slot id
+//! exceeds the current ring size still evaluates the same guards. The ring
+//! *order* is a separate `Vec<usize>` of slot ids, with the anchor (slot 0,
+//! the bottom machine of the Dijkstra construction) permanently at position
+//! zero: the anchor never joins, leaves, or gets reaped.
+//!
+//! Every member's starvation watchdog reads the live ring size through a
+//! [`SharedBudget`], so the moment a splice commits, all budgets rescale to
+//! the new `n` — no restart required.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use ssr_core::{Replica, RingParams, SsrMin, SsrState};
+use ssr_mpnet::FaultKind;
+use ssr_runtime::activity::ActivityEvent;
+
+use crate::chaos::{ChaosConfig, ChaosProxy};
+use crate::metrics::{MetricsRegistry, NodeMetrics};
+use crate::runner::{run_node, NodeConfig, NodeControl, Watchdog, WatchdogEvent};
+use crate::supervisor::{convergence_envelope, WatchdogConfig};
+use crate::transport::{LocalAddrs, Neighbor, UdpTransport};
+
+/// Per-incarnation generation stride, mirroring the supervisor's rebind
+/// floor: each relaunch of a slot advances its generation floor past
+/// anything its previous life could have sent.
+const GENERATION_STRIDE: u32 = 1 << 24;
+
+/// How long a membership operation waits for a graceful leaver to hand its
+/// privilege downstream before killing it anyway, as a multiple of the
+/// Theorem-2 envelope for the current ring.
+const GRACE_ENVELOPES: u32 = 2;
+
+/// Error raised by membership operations. Wraps a human-readable reason;
+/// construction is private to this module so every message goes through the
+/// same vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipError(String);
+
+impl fmt::Display for MembershipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for MembershipError {}
+
+/// Static configuration of a [`RingMembership`] host.
+#[derive(Debug, Clone)]
+pub struct MembershipConfig {
+    /// Heartbeat/retransmit period of every member.
+    pub tick: Duration,
+    /// Artificial rule-execution delay (models slow machines).
+    pub exec_delay: Duration,
+    /// Base seed; per-link chaos seeds and transport jitter derive from it.
+    pub seed: u64,
+    /// Optional chaos layer: every directed link gets its own proxy with a
+    /// seed derived from `seed` and the link's stable identity.
+    pub chaos: Option<ChaosConfig>,
+    /// Starvation watchdog configuration; `None` disables watchdogs.
+    pub watchdog: Option<WatchdogConfig>,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        MembershipConfig {
+            tick: Duration::from_millis(5),
+            exec_delay: Duration::from_millis(1),
+            seed: 0,
+            chaos: None,
+            watchdog: Some(WatchdogConfig::default()),
+        }
+    }
+}
+
+/// One member slot: runner-thread handles plus the slot's outbound chaos
+/// proxies. Slots are tombstoned (`None` in the parent vector) when their
+/// member is spliced out; the indices are never reused.
+struct MemberSlot {
+    kill: Arc<AtomicBool>,
+    frozen: Arc<AtomicBool>,
+    poison: Arc<Mutex<Option<Vec<u8>>>>,
+    thread: Option<JoinHandle<(Replica<SsrState>, UdpTransport<SsrState>)>>,
+    parked: Option<(Replica<SsrState>, UdpTransport<SsrState>)>,
+    /// Set while the member is crashed; [`RingMembership::reap_dead`] splices
+    /// the member out once this exceeds the liveness timeout.
+    down_since: Option<Instant>,
+    /// Socket addresses captured at bind time — stable for the slot's life,
+    /// so neighbours can re-splice toward a member without stopping it.
+    addrs: LocalAddrs,
+    /// Outbound proxy toward the predecessor (link id `2·slot + 1`).
+    proxy_pred: Option<ChaosProxy>,
+    /// Outbound proxy toward the successor (link id `2·slot`).
+    proxy_succ: Option<ChaosProxy>,
+    /// Relaunch count; scales the generation floor on restart.
+    incarnation: u32,
+}
+
+/// A live, resizable SSRmin ring over UDP loopback.
+pub struct RingMembership {
+    algo: SsrMin,
+    cfg: MembershipConfig,
+    start: Instant,
+    stop: Arc<AtomicBool>,
+    slots: Vec<Option<MemberSlot>>,
+    /// Slot ids in ring order; `ring[0] == 0` (the anchor) always.
+    ring: Vec<usize>,
+    metrics: MetricsRegistry,
+    log: Arc<Mutex<Vec<ActivityEvent>>>,
+    ring_size: Arc<AtomicUsize>,
+    watchdog_outbox: Arc<Mutex<Vec<WatchdogEvent>>>,
+    resplices: u64,
+}
+
+impl RingMembership {
+    /// Spawn a ring of `params.n()` members from the legitimate anchor
+    /// configuration. `params.k()` bounds how far the ring can ever grow:
+    /// joins are accepted only while `n + 1 < K` (Hoepman's construction is
+    /// proved for `K > N`), so spawn with K headroom if you plan to grow.
+    pub fn spawn(params: RingParams, cfg: MembershipConfig) -> std::io::Result<Self> {
+        let n = params.n();
+        let algo = SsrMin::new(params);
+        let mut metrics = MetricsRegistry::new(0);
+        let mut transports = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for i in 0..n {
+            metrics.grow();
+            let pred = (i + n - 1) % n;
+            let succ = (i + 1) % n;
+            let t = UdpTransport::<SsrState>::bind(
+                i as u16,
+                pred as u16,
+                succ as u16,
+                cfg.tick,
+                cfg.seed.wrapping_add(i as u64),
+                metrics.arc_node(i),
+            )?;
+            addrs.push(t.local_addrs()?);
+            transports.push(t);
+        }
+
+        let mut host = RingMembership {
+            algo,
+            start: Instant::now(),
+            stop: Arc::new(AtomicBool::new(false)),
+            slots: Vec::with_capacity(n),
+            ring: (0..n).collect(),
+            metrics,
+            log: Arc::new(Mutex::new(Vec::new())),
+            ring_size: Arc::new(AtomicUsize::new(n)),
+            watchdog_outbox: Arc::new(Mutex::new(Vec::new())),
+            resplices: 0,
+            cfg,
+        };
+
+        // Wire each member's two outbound directions, through per-link chaos
+        // proxies when configured, then stand the slots up.
+        for (i, mut t) in transports.into_iter().enumerate() {
+            let pred = (i + n - 1) % n;
+            let succ = (i + 1) % n;
+            let to_succ = addrs[succ].pred;
+            let to_pred = addrs[pred].succ;
+            let (proxy_pred, proxy_succ) = if host.cfg.chaos.is_some() {
+                let ps = ChaosProxy::spawn(to_succ, host.link_chaos(2 * i as u64))?;
+                let pp = ChaosProxy::spawn(to_pred, host.link_chaos(2 * i as u64 + 1))?;
+                t.wire(pp.addr(), ps.addr());
+                (Some(pp), Some(ps))
+            } else {
+                t.wire(to_pred, to_succ);
+                (None, None)
+            };
+            host.slots.push(Some(MemberSlot {
+                kill: Arc::new(AtomicBool::new(false)),
+                frozen: Arc::new(AtomicBool::new(false)),
+                poison: Arc::new(Mutex::new(None)),
+                thread: None,
+                parked: None,
+                down_since: None,
+                addrs: addrs[i],
+                proxy_pred,
+                proxy_succ,
+                incarnation: 0,
+            }));
+            let initial = host.algo.legitimate_anchor(0);
+            let replica = Replica::coherent(initial[i], initial[pred], initial[succ]);
+            host.launch(i, replica, t);
+        }
+        Ok(host)
+    }
+
+    /// Chaos configuration for one directed link, seeded from the base seed
+    /// and the link's stable identity so re-spliced links draw fresh but
+    /// reproducible fault processes.
+    fn link_chaos(&self, link_salt: u64) -> ChaosConfig {
+        let base = self.cfg.chaos.unwrap_or_default();
+        ChaosConfig {
+            seed: self.cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(link_salt),
+            ..base
+        }
+    }
+
+    /// Current ring size.
+    pub fn n(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Slot ids in ring order (position 0 is the anchor).
+    pub fn ring_order(&self) -> Vec<usize> {
+        self.ring.clone()
+    }
+
+    /// How many more members the ring can accept before hitting the K bound.
+    pub fn capacity_remaining(&self) -> usize {
+        (self.algo.params().k() as usize).saturating_sub(self.ring.len() + 1)
+    }
+
+    /// Lifetime count of committed re-splice operations (joins + leaves).
+    pub fn resplices(&self) -> u64 {
+        self.resplices
+    }
+
+    /// Handle on the live ring size, shared with every member's watchdog
+    /// budget. Mostly useful for asserting the budget rescaled in tests.
+    pub fn ring_size_handle(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.ring_size)
+    }
+
+    /// Metrics registry covering every slot ever created. Departed members'
+    /// counters remain readable (slots are never reused).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Number of stage-2 watchdog escalations so far.
+    pub fn watchdog_escalations(&self) -> usize {
+        self.watchdog_outbox.lock().len()
+    }
+
+    /// Whether the member in `slot` has a live runner thread.
+    pub fn node_up(&self, slot: usize) -> bool {
+        self.slots.get(slot).and_then(|s| s.as_ref()).is_some_and(|s| s.thread.is_some())
+    }
+
+    /// Count of live members currently evaluating themselves privileged.
+    pub fn privileged_count(&self) -> usize {
+        self.ring
+            .iter()
+            .filter(|&&slot| {
+                self.node_up(slot) && NodeMetrics::get(&self.metrics.node(slot).privileged) == 1
+            })
+            .count()
+    }
+
+    /// Poll until the ring holds the (1,2)-critical-section invariant
+    /// (`1 <= privileged <= 2`) continuously for a short settle window.
+    /// Returns the time at which the stable window *began* (the
+    /// time-to-reconverge), or `None` if the deadline passes first.
+    pub fn wait_reconverged(&self, deadline: Duration) -> Option<Duration> {
+        let t0 = Instant::now();
+        let hold = Duration::from_millis(30);
+        let mut stable_since: Option<Instant> = None;
+        loop {
+            if (1..=2).contains(&self.privileged_count()) {
+                let entered = *stable_since.get_or_insert_with(Instant::now);
+                if entered.elapsed() >= hold {
+                    return Some(entered.duration_since(t0));
+                }
+            } else {
+                stable_since = None;
+            }
+            if t0.elapsed() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Admit one member at the tail of the ring (between the current last
+    /// member and the anchor). Returns the new member's slot id.
+    ///
+    /// The joiner binds its sockets first, so a failure here leaves the ring
+    /// untouched; only then are the two would-be neighbours parked,
+    /// re-spliced toward the joiner, cache-seeded, and relaunched.
+    pub fn join(&mut self) -> Result<usize, MembershipError> {
+        let n = self.ring.len();
+        let k = self.algo.params().k();
+        if (n + 1) as u32 >= k {
+            return Err(MembershipError(format!(
+                "ring is at K capacity: K={k} must exceed n={} after the join; \
+                 spawn with a larger K to leave growth headroom",
+                n + 1
+            )));
+        }
+        let tail = *self.ring.last().expect("ring is never empty");
+        let anchor = self.ring[0];
+        if !self.node_up(tail) || !self.node_up(anchor) {
+            return Err(MembershipError(format!(
+                "a join needs both would-be neighbours up (tail slot {tail}, anchor slot {anchor})"
+            )));
+        }
+
+        // Phase 1 — fallible setup, ring untouched. Bind the joiner and (if
+        // chaotic) its outbound proxies.
+        let slot = self.slots.len();
+        let grown = self.metrics.grow();
+        debug_assert_eq!(grown, slot);
+        let mut t = UdpTransport::<SsrState>::bind(
+            slot as u16,
+            tail as u16,
+            anchor as u16,
+            self.cfg.tick,
+            self.cfg.seed.wrapping_add(slot as u64),
+            self.metrics.arc_node(slot),
+        )
+        .map_err(|e| MembershipError(format!("bind joiner sockets: {e}")))?;
+        let j_addrs =
+            t.local_addrs().map_err(|e| MembershipError(format!("joiner local addrs: {e}")))?;
+        let tail_addrs = self.slot_ref(tail)?.addrs;
+        let anchor_addrs = self.slot_ref(anchor)?.addrs;
+        let (proxy_pred, proxy_succ) = if self.cfg.chaos.is_some() {
+            let ps = ChaosProxy::spawn(anchor_addrs.pred, self.link_chaos(2 * slot as u64))
+                .map_err(|e| MembershipError(format!("spawn joiner chaos proxy: {e}")))?;
+            let pp = ChaosProxy::spawn(tail_addrs.succ, self.link_chaos(2 * slot as u64 + 1))
+                .map_err(|e| MembershipError(format!("spawn joiner chaos proxy: {e}")))?;
+            t.wire(pp.addr(), ps.addr());
+            (Some(pp), Some(ps))
+        } else {
+            t.wire(tail_addrs.succ, anchor_addrs.pred);
+            (None, None)
+        };
+
+        // Phase 2 — the handshake. Park both neighbours; their replicas and
+        // transports are now in our hands while the rest of the ring runs on.
+        let (mut tail_rep, mut tail_tr) = self.park(tail)?;
+        let (mut anchor_rep, mut anchor_tr) = match self.park(anchor) {
+            Ok(parked) => parked,
+            Err(e) => {
+                self.relaunch(tail, tail_rep, tail_tr);
+                return Err(e);
+            }
+        };
+
+        // Phase 3 — re-point the links. The tail's succ-ward end and the
+        // anchor's pred-ward end both now face the joiner; cleared generation
+        // watermarks accept the joiner's fresh counter from frame one.
+        let tail_peer = match &self.slot_ref(tail)?.proxy_succ {
+            Some(p) => {
+                p.set_dst(j_addrs.pred);
+                p.addr()
+            }
+            None => j_addrs.pred,
+        };
+        tail_tr.resplice(Neighbor::Succ, slot as u16, tail_peer);
+        let anchor_peer = match &self.slot_ref(anchor)?.proxy_pred {
+            Some(p) => {
+                p.set_dst(j_addrs.succ);
+                p.addr()
+            }
+            None => j_addrs.succ,
+        };
+        anchor_tr.resplice(Neighbor::Pred, slot as u16, anchor_peer);
+
+        // Phase 4 — graceful state handover. The joiner copies its
+        // predecessor's counter with no token bits: under SSRmin's rules the
+        // new edge (tail -> joiner) is immediately quiescent and the joiner
+        // simply waits its turn, so the splice mints no extra privilege.
+        let own = SsrState::new(tail_rep.own.x, 0, 0);
+        let replica = Replica::coherent(own, tail_rep.own, anchor_rep.own);
+        tail_rep.cache_succ = own;
+        anchor_rep.cache_pred = own;
+
+        self.relaunch(tail, tail_rep, tail_tr);
+        self.relaunch(anchor, anchor_rep, anchor_tr);
+        self.slots.push(Some(MemberSlot {
+            kill: Arc::new(AtomicBool::new(false)),
+            frozen: Arc::new(AtomicBool::new(false)),
+            poison: Arc::new(Mutex::new(None)),
+            thread: None,
+            parked: None,
+            down_since: None,
+            addrs: j_addrs,
+            proxy_pred,
+            proxy_succ,
+            incarnation: 0,
+        }));
+        self.launch(slot, replica, t);
+
+        self.ring.push(slot);
+        self.ring_size.store(self.ring.len(), Ordering::Relaxed);
+        self.resplices += 1;
+        Ok(slot)
+    }
+
+    /// Retire the member at ring `position` gracefully: wait (bounded) for
+    /// it to hand any privilege downstream, stop it, and have its neighbours
+    /// splice around it. Returns the retired slot id.
+    pub fn leave(&mut self, position: usize) -> Result<usize, MembershipError> {
+        self.splice_out(position, true)
+    }
+
+    /// Crash the member at ring `position`: its thread stops but the ring is
+    /// *not* re-spliced — neighbours see a dead peer until either
+    /// [`RingMembership::restart`] brings it back or
+    /// [`RingMembership::reap_dead`] splices it out. Returns the slot id.
+    pub fn crash(&mut self, position: usize) -> Result<usize, MembershipError> {
+        let slot = self.slot_at(position)?;
+        let remains = self.park(slot)?;
+        let s = self.slot_mut(slot)?;
+        s.parked = Some(remains);
+        s.down_since = Some(Instant::now());
+        self.log.lock().push(ActivityEvent { at: self.start.elapsed(), node: slot, active: false });
+        Ok(slot)
+    }
+
+    /// Restart a previously crashed member in-place with a generation-floor
+    /// rebind, clearing its liveness clock.
+    pub fn restart(&mut self, position: usize) -> Result<usize, MembershipError> {
+        let slot = self.slot_at(position)?;
+        let s = self.slot_mut(slot)?;
+        let Some((replica, mut transport)) = s.parked.take() else {
+            return Err(MembershipError(format!("slot {slot} is not crashed; nothing to restart")));
+        };
+        s.incarnation += 1;
+        transport.advance_generation_to(s.incarnation.saturating_mul(GENERATION_STRIDE));
+        self.launch(slot, replica, transport);
+        self.log.lock().push(ActivityEvent { at: self.start.elapsed(), node: slot, active: true });
+        Ok(slot)
+    }
+
+    /// Splice out every non-anchor member that has been crashed for at least
+    /// `liveness`, while the ring stays at or above the n=3 floor and the
+    /// dead member's neighbours are up. Returns the reaped slot ids.
+    pub fn reap_dead(&mut self, liveness: Duration) -> Vec<usize> {
+        let mut reaped = Vec::new();
+        loop {
+            let candidate = self.ring.iter().enumerate().skip(1).find_map(|(pos, &slot)| {
+                let expired = self.slots[slot]
+                    .as_ref()
+                    .and_then(|s| s.down_since)
+                    .is_some_and(|t| t.elapsed() >= liveness);
+                (expired && self.splicable(pos)).then_some(pos)
+            });
+            let Some(pos) = candidate else { break };
+            match self.splice_out(pos, false) {
+                Ok(slot) => reaped.push(slot),
+                Err(_) => break,
+            }
+        }
+        reaped
+    }
+
+    /// Apply a scheduled membership event from the shared churn fault model.
+    /// `Join { node }` must name the current ring size (tail append);
+    /// `Leave { node }` names a ring position.
+    pub fn apply_membership(&mut self, kind: &FaultKind) -> Result<usize, MembershipError> {
+        match kind {
+            FaultKind::Join { node } => {
+                if *node != self.ring.len() {
+                    return Err(MembershipError(format!(
+                        "join as node {node} does not extend the tail of a {}-ring",
+                        self.ring.len()
+                    )));
+                }
+                self.join()
+            }
+            FaultKind::Leave { node } => self.leave(*node),
+            other => Err(MembershipError(format!("'{other}' is not a membership event"))),
+        }
+    }
+
+    /// Stop every member and tear the host down.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for slot in self.slots.iter_mut().flatten() {
+            if let Some(handle) = slot.thread.take() {
+                let _ = handle.join();
+            }
+            slot.parked = None;
+            if let Some(p) = slot.proxy_pred.take() {
+                p.shutdown();
+            }
+            if let Some(p) = slot.proxy_succ.take() {
+                p.shutdown();
+            }
+        }
+    }
+
+    /// Whether the member at ring `position` could be spliced out right now.
+    fn splicable(&self, position: usize) -> bool {
+        let n = self.ring.len();
+        if position == 0 || position >= n || n - 1 < RingParams::MIN_N {
+            return false;
+        }
+        let pred = self.ring[position - 1];
+        let succ = self.ring[(position + 1) % n];
+        self.node_up(pred) && self.node_up(succ)
+    }
+
+    fn splice_out(&mut self, position: usize, graceful: bool) -> Result<usize, MembershipError> {
+        let n = self.ring.len();
+        if position >= n {
+            return Err(MembershipError(format!(
+                "ring position {position} is out of range on a {n}-ring"
+            )));
+        }
+        if position == 0 {
+            return Err(MembershipError(
+                "ring position 0 is the anchor (the bottom machine never leaves)".into(),
+            ));
+        }
+        if n - 1 < RingParams::MIN_N {
+            return Err(MembershipError(format!(
+                "removing a member would splice the ring below n={}",
+                RingParams::MIN_N
+            )));
+        }
+        let leaver = self.ring[position];
+        let pred = self.ring[position - 1];
+        let succ = self.ring[(position + 1) % n];
+        if !self.node_up(pred) || !self.node_up(succ) {
+            return Err(MembershipError(format!(
+                "a splice-out needs both neighbours up (slots {pred} and {succ})"
+            )));
+        }
+
+        // A graceful leaver first hands any privilege downstream; we poll its
+        // gauge with a Theorem-2-scaled bound, then stop it regardless.
+        if graceful && self.node_up(leaver) {
+            let deadline =
+                Instant::now() + convergence_envelope(n, self.cfg.tick) * GRACE_ENVELOPES;
+            while Instant::now() < deadline {
+                if NodeMetrics::get(&self.metrics.node(leaver).privileged) == 0 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+
+        // Stop the leaver (or collect its parked remains) and drop its
+        // sockets and proxies; in-flight frames it sent die on the
+        // neighbours' re-spliced sender-slot checks.
+        if self.node_up(leaver) {
+            let _remains = self.park(leaver)?;
+        }
+        if let Some(s) = self.slots[leaver].take() {
+            if let Some(p) = s.proxy_pred {
+                p.shutdown();
+            }
+            if let Some(p) = s.proxy_succ {
+                p.shutdown();
+            }
+        }
+        // The spliced member's privilege is gone with it; zero its gauges so
+        // observers never read a stale token.
+        let m = self.metrics.node(leaver);
+        NodeMetrics::set(&m.privileged, 0);
+        NodeMetrics::set(&m.token_primary, 0);
+        NodeMetrics::set(&m.token_secondary, 0);
+        self.log.lock().push(ActivityEvent {
+            at: self.start.elapsed(),
+            node: leaver,
+            active: false,
+        });
+
+        // Neighbours handshake around the hole.
+        let (mut pred_rep, mut pred_tr) = self.park(pred)?;
+        let (mut succ_rep, mut succ_tr) = match self.park(succ) {
+            Ok(parked) => parked,
+            Err(e) => {
+                self.relaunch(pred, pred_rep, pred_tr);
+                return Err(e);
+            }
+        };
+        let pred_addrs = self.slot_ref(pred)?.addrs;
+        let succ_addrs = self.slot_ref(succ)?.addrs;
+        let pred_peer = match &self.slot_ref(pred)?.proxy_succ {
+            Some(p) => {
+                p.set_dst(succ_addrs.pred);
+                p.addr()
+            }
+            None => succ_addrs.pred,
+        };
+        pred_tr.resplice(Neighbor::Succ, succ as u16, pred_peer);
+        let succ_peer = match &self.slot_ref(succ)?.proxy_pred {
+            Some(p) => {
+                p.set_dst(pred_addrs.succ);
+                p.addr()
+            }
+            None => pred_addrs.succ,
+        };
+        succ_tr.resplice(Neighbor::Pred, pred as u16, succ_peer);
+        pred_rep.cache_succ = succ_rep.own;
+        succ_rep.cache_pred = pred_rep.own;
+        self.relaunch(pred, pred_rep, pred_tr);
+        self.relaunch(succ, succ_rep, succ_tr);
+
+        self.ring.remove(position);
+        self.ring_size.store(self.ring.len(), Ordering::Relaxed);
+        self.resplices += 1;
+        Ok(leaver)
+    }
+
+    /// Ask the runner thread in `slot` to exit and hand back its replica and
+    /// transport. The slot stays allocated; callers decide whether the
+    /// remains are relaunched, parked, or dropped.
+    fn park(
+        &mut self,
+        slot: usize,
+    ) -> Result<(Replica<SsrState>, UdpTransport<SsrState>), MembershipError> {
+        let s = self.slot_mut(slot)?;
+        let Some(handle) = s.thread.take() else {
+            return Err(MembershipError(format!("slot {slot} is not running")));
+        };
+        s.kill.store(true, Ordering::Relaxed);
+        let remains = handle
+            .join()
+            .map_err(|_| MembershipError(format!("slot {slot} runner thread panicked")))?;
+        let s = self.slot_mut(slot)?;
+        s.kill.store(false, Ordering::Relaxed);
+        s.frozen.store(false, Ordering::Relaxed);
+        Ok(remains)
+    }
+
+    /// Relaunch a parked neighbour after a splice, bumping its generation
+    /// floor so frames from before the splice can never outrank it.
+    fn relaunch(
+        &mut self,
+        slot: usize,
+        replica: Replica<SsrState>,
+        mut transport: UdpTransport<SsrState>,
+    ) {
+        let incarnation = match self.slot_mut(slot) {
+            Ok(s) => {
+                s.incarnation += 1;
+                s.incarnation
+            }
+            Err(_) => return,
+        };
+        transport.advance_generation_to(incarnation.saturating_mul(GENERATION_STRIDE));
+        self.launch(slot, replica, transport);
+    }
+
+    fn launch(
+        &mut self,
+        slot: usize,
+        replica: Replica<SsrState>,
+        transport: UdpTransport<SsrState>,
+    ) {
+        let control = {
+            let s = self.slots[slot].as_ref().expect("launch into a live slot");
+            NodeControl {
+                stop: Arc::clone(&self.stop),
+                kill: Arc::clone(&s.kill),
+                snapshot: None,
+                poison: Arc::clone(&s.poison),
+                frozen: Arc::clone(&s.frozen),
+                watchdog: self.cfg.watchdog.map(|w| Watchdog {
+                    budget: w.shared_budget(Arc::clone(&self.ring_size), self.cfg.tick),
+                    generation_bump: GENERATION_STRIDE,
+                    outbox: Arc::clone(&self.watchdog_outbox),
+                }),
+            }
+        };
+        let algo = self.algo;
+        let cfg = NodeConfig { exec_delay: self.cfg.exec_delay, ..NodeConfig::default() };
+        let log = Arc::clone(&self.log);
+        let start = self.start;
+        let metrics = self.metrics.arc_node(slot);
+        let handle = std::thread::spawn(move || {
+            run_node(algo, slot, replica, transport, cfg, control, log, start, metrics)
+        });
+        let s = self.slots[slot].as_mut().expect("launch into a live slot");
+        s.down_since = None;
+        s.thread = Some(handle);
+    }
+
+    fn slot_at(&self, position: usize) -> Result<usize, MembershipError> {
+        self.ring.get(position).copied().ok_or_else(|| {
+            MembershipError(format!(
+                "ring position {position} is out of range on a {}-ring",
+                self.ring.len()
+            ))
+        })
+    }
+
+    fn slot_ref(&self, slot: usize) -> Result<&MemberSlot, MembershipError> {
+        self.slots
+            .get(slot)
+            .and_then(|s| s.as_ref())
+            .ok_or_else(|| MembershipError(format!("slot {slot} has been spliced out")))
+    }
+
+    fn slot_mut(&mut self, slot: usize) -> Result<&mut MemberSlot, MembershipError> {
+        self.slots
+            .get_mut(slot)
+            .and_then(|s| s.as_mut())
+            .ok_or_else(|| MembershipError(format!("slot {slot} has been spliced out")))
+    }
+}
+
+impl Drop for RingMembership {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_cfg(seed: u64) -> MembershipConfig {
+        MembershipConfig {
+            tick: Duration::from_millis(2),
+            exec_delay: Duration::from_micros(200),
+            seed,
+            chaos: None,
+            watchdog: Some(WatchdogConfig::default()),
+        }
+    }
+
+    fn settle(ring: &RingMembership) -> Duration {
+        convergence_envelope(ring.n(), Duration::from_millis(2)).max(Duration::from_millis(500)) * 4
+    }
+
+    #[test]
+    fn join_then_leave_resplices_a_live_ring() {
+        let params = RingParams::new(4, 10).unwrap();
+        let mut ring = RingMembership::spawn(params, quiet_cfg(11)).unwrap();
+        assert!(ring.wait_reconverged(settle(&ring)).is_some());
+
+        let slot = ring.join().expect("join");
+        assert_eq!(slot, 4);
+        assert_eq!(ring.n(), 5);
+        assert_eq!(ring.ring_size_handle().load(Ordering::Relaxed), 5);
+        assert!(ring.wait_reconverged(settle(&ring)).is_some(), "after join");
+
+        let retired = ring.leave(2).expect("leave");
+        assert_eq!(retired, 2);
+        assert_eq!(ring.n(), 4);
+        assert_eq!(ring.ring_order(), vec![0, 1, 3, 4]);
+        assert!(ring.wait_reconverged(settle(&ring)).is_some(), "after leave");
+        assert_eq!(ring.resplices(), 2);
+        ring.stop();
+    }
+
+    #[test]
+    fn capacity_and_anchor_guards_are_typed_errors() {
+        let params = RingParams::minimal(3).unwrap(); // K = 4: no join headroom
+        let mut ring = RingMembership::spawn(params, quiet_cfg(7)).unwrap();
+        let err = ring.join().unwrap_err().to_string();
+        assert!(err.contains("K capacity"), "{err}");
+        let err = ring.leave(0).unwrap_err().to_string();
+        assert!(err.contains("anchor"), "{err}");
+        let err = ring.leave(1).unwrap_err().to_string();
+        assert!(err.contains("below n=3"), "{err}");
+        ring.stop();
+    }
+
+    #[test]
+    fn crash_then_reap_splices_out_the_dead() {
+        let params = RingParams::new(5, 12).unwrap();
+        let mut ring = RingMembership::spawn(params, quiet_cfg(23)).unwrap();
+        assert!(ring.wait_reconverged(settle(&ring)).is_some());
+
+        let slot = ring.crash(2).expect("crash");
+        assert!(!ring.node_up(slot));
+        // Not yet expired: nothing reaped.
+        assert!(ring.reap_dead(Duration::from_secs(60)).is_empty());
+        assert_eq!(ring.n(), 5);
+        // Expired: the dead member is spliced out by its neighbours.
+        let reaped = ring.reap_dead(Duration::ZERO);
+        assert_eq!(reaped, vec![slot]);
+        assert_eq!(ring.n(), 4);
+        assert!(ring.wait_reconverged(settle(&ring)).is_some(), "after reap");
+        ring.stop();
+    }
+
+    #[test]
+    fn crash_restart_keeps_the_member() {
+        let params = RingParams::new(4, 9).unwrap();
+        let mut ring = RingMembership::spawn(params, quiet_cfg(31)).unwrap();
+        assert!(ring.wait_reconverged(settle(&ring)).is_some());
+        let slot = ring.crash(3).expect("crash");
+        let back = ring.restart(3).expect("restart");
+        assert_eq!(slot, back);
+        assert!(ring.node_up(slot));
+        assert_eq!(ring.n(), 4);
+        assert!(ring.wait_reconverged(settle(&ring)).is_some(), "after restart");
+        ring.stop();
+    }
+}

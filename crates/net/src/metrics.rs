@@ -101,6 +101,14 @@ impl MetricsRegistry {
         Arc::clone(&self.nodes[i])
     }
 
+    /// Append a fresh node slot (a member joining a dynamic ring) and
+    /// return its index. Existing handles stay valid — slots are never
+    /// reused, so a departed member's counters remain readable.
+    pub fn grow(&mut self) -> usize {
+        self.nodes.push(Arc::new(NodeMetrics::default()));
+        self.nodes.len() - 1
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()

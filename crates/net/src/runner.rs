@@ -13,7 +13,7 @@
 //! replica and the transport, so a restarted incarnation can reuse the same
 //! sockets and the ring needs no re-wiring.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -56,6 +56,56 @@ pub struct WatchdogEvent {
     pub at: Duration,
 }
 
+/// A starvation budget that tracks the *live* ring size instead of
+/// capturing `n` at spawn. The Lemma-5 bound the budget derives from is
+/// `3n` steps, so the correct budget is a function of the ring size — and
+/// since a membership re-splice changes `n` mid-run, every node re-reads
+/// the shared size on each watchdog check. Whoever performs the re-splice
+/// (the supervisor, a [`crate::membership::RingMembership`], a hosted
+/// tenant) updates the shared counter and every node's watchdog rescales
+/// on its next check, with no restart and no channel.
+#[derive(Debug, Clone)]
+pub struct SharedBudget {
+    /// Live ring size; shared with the component that performs re-splices.
+    ring_size: Arc<AtomicUsize>,
+    /// Base retransmit period of the cluster's transports.
+    tick: Duration,
+    /// Multiplier on the `3n`-step Lemma 5 bound.
+    scale: u32,
+    /// Lower bound protecting small rings from scheduler noise.
+    floor: Duration,
+}
+
+impl SharedBudget {
+    /// A budget reading the live ring size from `ring_size`.
+    pub fn new(ring_size: Arc<AtomicUsize>, tick: Duration, scale: u32, floor: Duration) -> Self {
+        SharedBudget { ring_size, tick, scale, floor }
+    }
+
+    /// A budget over a ring whose size never changes (no membership layer).
+    pub fn fixed(n: usize, tick: Duration, scale: u32, floor: Duration) -> Self {
+        SharedBudget::new(Arc::new(AtomicUsize::new(n)), tick, scale, floor)
+    }
+
+    /// The shared size counter, for the component that re-splices the ring.
+    pub fn ring_size_handle(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.ring_size)
+    }
+
+    /// Record a new ring size; every node's next watchdog check uses it.
+    pub fn set_ring_size(&self, n: usize) {
+        self.ring_size.store(n, Ordering::Relaxed);
+    }
+
+    /// The budget for the ring size as of *now*:
+    /// `max(tick · 3n · scale, floor)`.
+    pub fn current(&self) -> Duration {
+        let n = self.ring_size.load(Ordering::Relaxed).max(1);
+        let steps = (3 * n as u64).saturating_mul(u64::from(self.scale));
+        (self.tick * u32::try_from(steps).unwrap_or(u32::MAX)).max(self.floor)
+    }
+}
+
 /// Per-node convergence watchdog: the node-local half of the Bernard et al.
 /// reloading-wave idea. If the node's rule engine starves — no rule firing
 /// — for longer than `budget` (derived from the paper's 3n-step bound,
@@ -67,8 +117,9 @@ pub struct WatchdogEvent {
 /// involvement; the ring heals itself.
 #[derive(Debug, Clone)]
 pub struct Watchdog {
-    /// Starvation budget before each escalation stage.
-    pub budget: Duration,
+    /// Starvation budget before each escalation stage, re-read on every
+    /// check so it rescales when a re-splice changes the ring size.
+    pub budget: SharedBudget,
     /// Generation jump applied by a stage-2 self-restart (mirrors the
     /// supervisor's incarnation-scaled rebind floor).
     pub generation_bump: u32,
@@ -233,7 +284,7 @@ where
         // Convergence watchdog: escalate locally when the rule engine has
         // starved past its budget — resync first, self-restart second.
         if let Some(wd) = &control.watchdog {
-            if last_progress.elapsed() >= wd.budget {
+            if last_progress.elapsed() >= wd.budget.current() {
                 if !resynced {
                     // Stage 1: resync. Re-offer our state to both
                     // neighbours in case the stall is a lost-message wedge.

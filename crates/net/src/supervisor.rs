@@ -125,6 +125,16 @@ impl WatchdogConfig {
         let steps = 3u32.saturating_mul(n as u32).saturating_mul(self.scale);
         tick.saturating_mul(steps.max(1)).max(self.floor)
     }
+
+    /// A [`SharedBudget`] over the live ring-size counter `ring_size`, so
+    /// watchdog budgets rescale when a membership re-splice changes `n`.
+    pub fn shared_budget(
+        &self,
+        ring_size: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+        tick: Duration,
+    ) -> crate::runner::SharedBudget {
+        crate::runner::SharedBudget::new(ring_size, tick, self.scale, self.floor)
+    }
 }
 
 /// The Theorem 2 stabilization envelope on wall clocks: `O(n^2)` rule steps
@@ -309,6 +319,9 @@ fn restoration_points(kinds: &[FaultKind]) -> Vec<bool> {
                     }
                     false
                 }
+                // Membership events only validate on a whole ring, and the
+                // post-splice ring must re-converge to the new n's envelope.
+                FaultKind::Join { .. } | FaultKind::Leave { .. } => true,
             };
             restores_kind && down.is_empty() && open.is_empty() && frozen.is_empty()
         })
@@ -568,6 +581,20 @@ where
     algo.validate_config(&initial)?;
     let n = algo.n();
     sup.schedule.validate(n).map_err(|e| ClusterError::Schedule(e.to_string()))?;
+    // The supervised cluster keeps a fixed topology; membership churn runs
+    // through `crate::membership::RingMembership` (`ssrmin churn`) instead.
+    if let Some(ev) = sup
+        .schedule
+        .events()
+        .iter()
+        .find(|e| matches!(e.kind, FaultKind::Join { .. } | FaultKind::Leave { .. }))
+    {
+        return Err(ClusterError::Schedule(format!(
+            "membership event '{}' needs the re-splice layer (ssrmin churn); \
+             the fixed-n supervisor cannot resize its ring",
+            ev.kind
+        )));
+    }
     let cfg = sup.cluster;
     let metrics = MetricsRegistry::new(n);
 
@@ -623,8 +650,12 @@ where
         (0..n).map(|_| Arc::new(Mutex::new(None))).collect();
     let frozens: Vec<Arc<AtomicBool>> = (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
     let watchdog_outbox: Arc<Mutex<Vec<WatchdogEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    // The budget reads `n` through a shared counter rather than capturing
+    // it: the supervised cluster itself never resizes, but the same
+    // watchdog serves the membership layer, where `n` changes live.
+    let ring_size = Arc::new(std::sync::atomic::AtomicUsize::new(n));
     let watchdog = sup.watchdog.map(|w| Watchdog {
-        budget: w.budget(n, cfg.tick),
+        budget: w.shared_budget(Arc::clone(&ring_size), cfg.tick),
         generation_bump: GENERATION_STRIDE,
         outbox: Arc::clone(&watchdog_outbox),
     });
@@ -817,8 +848,11 @@ where
                 }
                 FaultKind::Babble { node } => harness.babble(node),
                 // Watchdog rows are recorded by the runtime, never injected
-                // (validate/inject both reject them); drop defensively.
-                FaultKind::Watchdog { .. } => false,
+                // (validate/inject both reject them), and membership events
+                // need the re-splice layer; drop both defensively.
+                FaultKind::Watchdog { .. } | FaultKind::Join { .. } | FaultKind::Leave { .. } => {
+                    false
+                }
             };
             if applied_now {
                 shared.applied.lock().push((fault, start.elapsed()));
@@ -895,8 +929,9 @@ where
             FaultKind::Babble { node } => {
                 harness.babble(node);
             }
-            // Unreachable: `FaultSchedule::validate` rejects watchdog rows.
-            FaultKind::Watchdog { .. } => {}
+            // Unreachable: `FaultSchedule::validate` rejects watchdog rows
+            // and the membership pre-check above rejects join/leave.
+            FaultKind::Watchdog { .. } | FaultKind::Join { .. } | FaultKind::Leave { .. } => {}
         }
         shared.applied.lock().push((ev.kind, at));
     }

@@ -186,6 +186,24 @@ impl<S: WireState> UdpTransport<S> {
         self.tenant
     }
 
+    /// Re-point one link end at a new ring neighbour — the membership
+    /// re-splice. `side` names the direction being re-spliced, `expect` the
+    /// new neighbour's ring (slot) index, and `peer` where this end now
+    /// sends to (the new neighbour's opposite link end, or a chaos proxy in
+    /// front of it). The staleness filter is reset: the new neighbour's
+    /// generation counter is unrelated to the old one's, so the first frame
+    /// from it must be accepted — while in-flight frames from the departed
+    /// neighbour still die on the `expect` sender check.
+    pub fn resplice(&mut self, side: Neighbor, expect: u16, peer: SocketAddr) {
+        let end = match side {
+            Neighbor::Pred => &mut self.pred,
+            Neighbor::Succ => &mut self.succ,
+        };
+        end.expect_sender = expect;
+        end.peer = peer;
+        end.last_generation = None;
+    }
+
     /// Jump the send-side generation counter forward to at least `floor`.
     ///
     /// A node restarted on a *fresh* transport (its old sockets died with a

@@ -23,8 +23,17 @@
 //! POST   /tenants/{id}/release     release a lease (body: lease id)
 //! POST   /tenants/{id}/chaos       per-tenant chaos grammar (loss 0.2, partition 0 1, ...)
 //! POST   /tenants/{id}/faults      per-tenant fault grammar (crash 2, restart 2, ...)
+//! POST   /tenants/{id}/nodes       splice one node in at the ring tail
+//! DELETE /tenants/{id}/nodes/{idx} splice node `idx` (slot id) out of the ring
 //! GET    /status · /top · /metrics aggregate views with per-tenant labels
 //! ```
+//!
+//! Membership changes re-splice the tenant's ring while it runs (see
+//! [`HostedRing::add_node`] / [`HostedRing::remove_node`]); the live size and
+//! splice count surface as the `ssr_ring_size` gauge and `ssr_resplice_total`
+//! counter. The CS auditor is rebuilt across each splice — the (l,k) bound is
+//! a statement about the *current* membership — with the pre-splice audit
+//! totals folded into the tenant's cumulative counters.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -55,6 +64,49 @@ const AUDIT_TICK: Duration = Duration::from_millis(20);
 /// has passed it, which would reconstruct as a phantom CS episode.
 const AUDIT_SETTLE: Duration = Duration::from_millis(500);
 
+/// The auditor for one membership epoch plus the folded totals of every
+/// epoch before it. A re-splice changes what the (l,k) bound quantifies
+/// over, so the auditor is rebuilt per epoch and its totals accumulate here.
+struct AuditState {
+    auditor: TraceAuditor,
+    /// Totals folded from completed membership epochs.
+    base: TraceCsAudit,
+    /// The ring's re-splice count when `auditor` was (re)built.
+    resplices_seen: u64,
+}
+
+impl AuditState {
+    /// Merge two audit totals; an empty (never-audited) side is an identity
+    /// so its normalized-to-zero `min_active` cannot pollute the other.
+    fn merge(a: TraceCsAudit, b: TraceCsAudit) -> TraceCsAudit {
+        if a.audited.is_zero() {
+            return b;
+        }
+        if b.audited.is_zero() {
+            return a;
+        }
+        TraceCsAudit {
+            audited: a.audited + b.audited,
+            violated: a.violated + b.violated,
+            violations: a.violations + b.violations,
+            min_active: a.min_active.min(b.min_active),
+            max_active: a.max_active.max(b.max_active),
+            intervals: a.intervals + b.intervals,
+        }
+    }
+
+    fn combined(&self) -> TraceCsAudit {
+        Self::merge(self.base, self.auditor.audit())
+    }
+
+    /// Fold the current epoch into the base totals and start a fresh one.
+    fn rebuild(&mut self, auditor: TraceAuditor, resplices: u64) {
+        self.base = Self::merge(self.base, self.auditor.audit());
+        self.auditor = auditor;
+        self.resplices_seen = resplices;
+    }
+}
+
 /// One registered tenant.
 pub struct TenantEntry {
     /// Registry id (also the wire-level tenant id; 0 is reserved for
@@ -66,13 +118,14 @@ pub struct TenantEntry {
     pub ring: Mutex<HostedRing>,
     /// The tenant's lease authority.
     pub lease: LeaseManager,
-    audit: Mutex<TraceAuditor>,
+    audit: Mutex<AuditState>,
 }
 
 impl TenantEntry {
-    /// The latest CS-audit snapshot for this tenant.
+    /// The latest CS-audit snapshot for this tenant, cumulative across
+    /// membership epochs.
     pub fn audit(&self) -> TraceCsAudit {
-        self.audit.lock().audit()
+        self.audit.lock().combined()
     }
 }
 
@@ -135,7 +188,11 @@ impl ServeHost {
         // tenants on a loaded machine deserve the same slack the soak
         // harness grants.
         let from = convergence_envelope(spec.nodes, spec.tick).max(Duration::from_millis(400));
-        let audit = TraceAuditor::new(spec.cs_spec(), ring.initial_active(), from);
+        let audit = AuditState {
+            auditor: TraceAuditor::new(spec.cs_spec(), ring.initial_active(), from),
+            base: TraceCsAudit::default(),
+            resplices_seen: 0,
+        };
         let lease = LeaseManager::new(ring.started(), spec.lease_ttl);
         let entry = Arc::new(TenantEntry {
             id,
@@ -187,17 +244,39 @@ impl ServeHost {
     /// it directly for determinism.
     pub fn audit_tick(&self) {
         for entry in self.list() {
-            let (events, horizon, holder) = {
+            let (events, horizon, holder, rebuild) = {
                 let ring = entry.ring.lock();
                 let horizon = ring.age().saturating_sub(AUDIT_SETTLE);
-                (ring.drain_activity(horizon), horizon, ring.primary_holder())
+                // A re-splice changes what the (l,k) bound quantifies over:
+                // rebuild the auditor for the new membership, auditing again
+                // once the post-splice stabilization envelope has passed.
+                let resplices = ring.resplices();
+                let rebuild = (resplices != entry.audit.lock().resplices_seen).then(|| {
+                    let slots = ring.slot_count();
+                    let active: Vec<bool> = (0..slots)
+                        .map(|i| {
+                            ring.node_up(i)
+                                && NodeMetrics::get(&ring.metrics().node(i).privileged) == 1
+                        })
+                        .collect();
+                    let cs = entry.spec.cs_spec();
+                    let spec = ssr_core::CsSpec::new(cs.l, cs.k, slots);
+                    let from = ring.age()
+                        + convergence_envelope(ring.n(), entry.spec.tick)
+                            .max(Duration::from_millis(400));
+                    (TraceAuditor::new(spec, &active, from), resplices)
+                });
+                (ring.drain_activity(horizon), horizon, ring.primary_holder(), rebuild)
             };
             {
                 let mut audit = entry.audit.lock();
-                for event in events {
-                    audit.push(event);
+                if let Some((auditor, resplices)) = rebuild {
+                    audit.rebuild(auditor, resplices);
                 }
-                audit.advance_to(horizon);
+                for event in events {
+                    audit.auditor.push(event);
+                }
+                audit.auditor.advance_to(horizon);
             }
             entry.lease.refresh(holder);
         }
@@ -249,14 +328,16 @@ impl ServePlane {
     }
 
     fn tenant_json(&self, entry: &TenantEntry) -> Json {
-        let (privileged, holder, n, up, escalations) = {
+        let (privileged, holder, n, up, escalations, order, resplices) = {
             let ring = entry.ring.lock();
             (
                 ring.privileged_count(),
                 ring.primary_holder(),
                 ring.n(),
-                (0..ring.n()).filter(|&i| ring.node_up(i)).count(),
+                ring.ring_order().iter().filter(|&&i| ring.node_up(i)).count(),
                 ring.watchdog_escalations(),
+                ring.ring_order(),
+                ring.resplices(),
             )
         };
         let audit = entry.audit();
@@ -267,6 +348,8 @@ impl ServePlane {
             ("name", Json::str(&entry.spec.name)),
             ("n", Json::num(n as f64)),
             ("nodes_up", Json::num(up as f64)),
+            ("ring", Json::Arr(order.iter().map(|&s| Json::num(s as f64)).collect())),
+            ("resplices", Json::num(resplices as f64)),
             ("privileged", Json::num(privileged as f64)),
             ("token_count_ok", Json::Bool(entry.spec.cs_spec().satisfied_by(privileged))),
             ("holder", holder.map(|h| Json::num(h as f64)).unwrap_or(Json::Null)),
@@ -376,7 +459,7 @@ impl ServePlane {
                 let ring = t.ring.lock();
                 (
                     ring.n(),
-                    (0..ring.n()).filter(|&i| ring.node_up(i)).count(),
+                    ring.ring_order().iter().filter(|&&i| ring.node_up(i)).count(),
                     ring.privileged_count(),
                     ring.watchdog_escalations(),
                 )
@@ -415,7 +498,9 @@ const SERVE_INDEX: &str = "ssr-serve control endpoints:\n\
   POST   /tenants/{id}/acquire    lease the token (body: client name)\n\
   POST   /tenants/{id}/release    release a lease (body: lease id)\n\
   POST   /tenants/{id}/chaos      chaos grammar (loss 0.2 | partition 0 1 | ...)\n\
-  POST   /tenants/{id}/faults     fault grammar (crash 2 | restart 2 | ...)\n";
+  POST   /tenants/{id}/faults     fault grammar (crash 2 | restart 2 | ...)\n\
+  POST   /tenants/{id}/nodes      splice one node in at the ring tail\n\
+  DELETE /tenants/{id}/nodes/{idx} splice node {idx} (slot id) out\n";
 
 impl ControlPlane for ServePlane {
     fn status(&self) -> RingStatus {
@@ -433,7 +518,7 @@ impl ControlPlane for ServePlane {
             privileged += p;
             ok &= t.spec.cs_spec().satisfied_by(p);
             escalations += ring.watchdog_escalations();
-            for i in 0..ring.n() {
+            for i in ring.ring_order() {
                 let m = ring.metrics().node(i);
                 nodes.push(NodeStatus {
                     node: i,
@@ -478,6 +563,8 @@ impl ControlPlane for ServePlane {
     fn metrics(&self) -> Vec<Family> {
         let tenants = self.host.list();
         let mut up = Vec::new();
+        let mut ring_size = Vec::new();
+        let mut resplices = Vec::new();
         let mut priv_samples = Vec::new();
         let mut violations = Vec::new();
         let mut violated_us = Vec::new();
@@ -504,7 +591,9 @@ impl ControlPlane for ServePlane {
             };
             let one = |value: f64| Sample { labels: label(None), value };
             let ring = t.ring.lock();
-            up.push(one((0..ring.n()).filter(|&i| ring.node_up(i)).count() as f64));
+            up.push(one(ring.ring_order().iter().filter(|&&i| ring.node_up(i)).count() as f64));
+            ring_size.push(one(ring.n() as f64));
+            resplices.push(one(ring.resplices() as f64));
             priv_samples.push(one(ring.privileged_count() as f64));
             let audit = t.audit();
             violations.push(one(audit.violations as f64));
@@ -517,7 +606,9 @@ impl ControlPlane for ServePlane {
             revocations.push(one(lease.revocations as f64));
             conflicts.push(one(lease.conflicts as f64));
             held.push(one(if t.lease.current().is_some() { 1.0 } else { 0.0 }));
-            for i in 0..ring.n() {
+            // Per-node counters cover every slot ever created: a spliced-out
+            // member's totals stay visible (Prometheus counters never vanish).
+            for i in 0..ring.slot_count() {
                 let m = ring.metrics().node(i);
                 let labels = label(Some(("node", i.to_string())));
                 let sample = |value: f64| Sample { labels: labels.clone(), value };
@@ -535,6 +626,18 @@ impl ControlPlane for ServePlane {
                 "Node threads currently up, per tenant",
                 MetricKind::Gauge,
                 up,
+            ),
+            Family::new(
+                "ssr_ring_size",
+                "Live ring size (members currently spliced in), per tenant",
+                MetricKind::Gauge,
+                ring_size,
+            ),
+            Family::new(
+                "ssr_resplice_total",
+                "Committed membership re-splices (adds + removes), per tenant",
+                MetricKind::Counter,
+                resplices,
             ),
             Family::new(
                 "ssr_tenant_privileged",
@@ -679,6 +782,23 @@ impl ControlPlane for ServePlane {
                     Err(e) => return Some((404, "text/plain", e)),
                 };
                 Some(match *action {
+                    "nodes" => {
+                        let added = {
+                            let mut ring = entry.ring.lock();
+                            ring.add_node().map(|slot| (slot, ring.n(), ring.resplices()))
+                        };
+                        match added {
+                            Ok((slot, n, resplices)) => {
+                                let doc = Json::obj(vec![
+                                    ("slot", Json::num(slot as f64)),
+                                    ("n", Json::num(n as f64)),
+                                    ("resplices", Json::num(resplices as f64)),
+                                ]);
+                                (200, "application/json", doc.render())
+                            }
+                            Err(e) => (422, "text/plain", e),
+                        }
+                    }
                     "acquire" => self.acquire(&entry, &request.body_str()),
                     "release" => self.release(&entry, &request.body_str()),
                     "chaos" => match parse_chaos_cmd(&request.body_str()) {
@@ -696,6 +816,24 @@ impl ControlPlane for ServePlane {
                         Err(e) => (400, "text/plain", e.to_string()),
                     },
                     other => (404, "text/plain", format!("no tenant action '{other}'")),
+                })
+            }
+            ("DELETE", ["tenants", key, "nodes", idx]) => {
+                let entry = match self.host.lookup(key) {
+                    Ok(entry) => entry,
+                    Err(e) => return Some((404, "text/plain", e)),
+                };
+                let Ok(slot) = idx.parse::<usize>() else {
+                    return Some((
+                        400,
+                        "text/plain",
+                        format!("node index must be a slot id, got '{idx}'"),
+                    ));
+                };
+                let removed = entry.ring.lock().remove_node(slot);
+                Some(match removed {
+                    Ok(line) => (200, "text/plain", format!("{line}\n")),
+                    Err(e) => (422, "text/plain", e),
                 })
             }
             _ => None,
@@ -814,6 +952,43 @@ mod tests {
         assert_eq!(counters.grants, 1);
         assert_eq!(counters.releases, 1);
         assert_eq!(counters.conflicts, 1);
+        host.shutdown();
+    }
+
+    #[test]
+    fn nodes_routes_resize_a_tenant_ring() {
+        let host = ServeHost::spawn();
+        let plane = ServePlane::new(Arc::clone(&host));
+        // k=9 leaves growth headroom over 4 nodes.
+        host.create(TenantSpec { nodes: 4, k: 9, ..TenantSpec::named("grow") }).unwrap();
+
+        let (status, _, body) = plane.handle(&req("POST", "/tenants/grow/nodes", "")).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(doc.get("slot").unwrap().as_u64().unwrap(), 4);
+        assert_eq!(doc.get("n").unwrap().as_u64().unwrap(), 5);
+
+        let (status, _, body) = plane.handle(&req("DELETE", "/tenants/grow/nodes/2", "")).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let (status, _, _) = plane.handle(&req("DELETE", "/tenants/grow/nodes/0", "")).unwrap();
+        assert_eq!(status, 422, "anchor removal must be refused");
+        let (status, _, _) = plane.handle(&req("DELETE", "/tenants/grow/nodes/x", "")).unwrap();
+        assert_eq!(status, 400);
+        let (status, _, _) = plane.handle(&req("DELETE", "/tenants/zzz/nodes/1", "")).unwrap();
+        assert_eq!(status, 404);
+
+        // The detail document reflects the new membership, and the metric
+        // families carry the live size and splice count.
+        let (_, _, body) = plane.handle(&req("GET", "/tenants/grow", "")).unwrap();
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(doc.get("n").unwrap().as_u64().unwrap(), 4);
+        assert_eq!(doc.get("resplices").unwrap().as_u64().unwrap(), 2);
+        let text = ssr_ctl::prom::render(&plane.metrics());
+        assert!(text.contains("ssr_ring_size{tenant=\"grow\"} 4"), "{text}");
+        assert!(text.contains("ssr_resplice_total{tenant=\"grow\"} 2"), "{text}");
+        // Audit keeps running across the splices without panicking on the
+        // grown slot id.
+        host.audit_tick();
         host.shutdown();
     }
 

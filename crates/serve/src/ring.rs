@@ -1,6 +1,6 @@
-//! One hosted tenant ring: n `run_node` threads over tenant-stamped
+//! One hosted tenant ring: `run_node` threads over tenant-stamped
 //! [`UdpTransport`]s, optionally behind per-link chaos proxies, living
-//! until the tenant is deleted.
+//! until the tenant is deleted — and *resizable* while it runs.
 //!
 //! This is `ssr_net::cluster`'s three-phase bring-up (bind → wire → spawn)
 //! rebuilt for indefinite runs: instead of a fixed measurement window the
@@ -10,21 +10,33 @@
 //! overshoot past the staleness filters), freeze or state-corrupt
 //! individual nodes at runtime, exactly like `ssrmin soak`'s fault
 //! injector but scoped to one tenant.
+//!
+//! Membership is dynamic. A slot id is a *stable wire identity*: a member
+//! keeps the id it was born with and ids are never reused, which is sound
+//! because SSRmin's guards depend only on "am I node 0" and K, never on a
+//! non-anchor index's numeric value. The ring order is a separate vector of
+//! slot ids with the anchor (slot 0) pinned at position zero. [`HostedRing::add_node`]
+//! splices a new member in at the tail and [`HostedRing::remove_node`] has a member's
+//! neighbours splice around it, both through the same park → re-splice →
+//! cache-seed → relaunch handshake as `ssr_net::membership`; every node's
+//! watchdog budget reads the live ring size through a [`SharedBudget`] and
+//! rescales the moment a splice commits.
 
 use std::io;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use ssr_core::{Replica, SsrMin, SsrState};
+use ssr_core::{Replica, RingParams, SsrMin, SsrState};
 use ssr_ctl::ChaosCmd;
 use ssr_mpnet::FaultKind;
 use ssr_net::chaos::{ChaosConfig, ChaosHandle, ChaosProxy};
+use ssr_net::convergence_envelope;
 use ssr_net::metrics::{MetricsRegistry, NodeMetrics};
-use ssr_net::runner::{run_node, NodeConfig, NodeControl, Watchdog, WatchdogEvent};
-use ssr_net::transport::UdpTransport;
+use ssr_net::runner::{run_node, NodeConfig, NodeControl, SharedBudget, Watchdog, WatchdogEvent};
+use ssr_net::transport::{LocalAddrs, Neighbor, UdpTransport};
 use ssr_net::{ssr_adversary, ssr_amnesia};
 use ssr_runtime::activity::ActivityEvent;
 
@@ -45,6 +57,16 @@ struct NodeSlot {
     /// on restart so the ring keeps its wiring.
     parked: Option<(Replica<SsrState>, UdpTransport<SsrState>)>,
     incarnation: u32,
+    /// Socket addresses captured at bind time — stable for the slot's life,
+    /// so neighbours can re-splice toward this member without stopping it.
+    addrs: LocalAddrs,
+    /// Outbound chaos proxy toward the successor (directed link `2·slot`).
+    proxy_succ: Option<ChaosProxy>,
+    /// Outbound chaos proxy toward the predecessor (link `2·slot + 1`).
+    proxy_pred: Option<ChaosProxy>,
+    /// Tombstone: the member has been spliced out; the slot id is retired
+    /// forever and its metrics stay readable.
+    spliced: bool,
 }
 
 /// A live tenant ring.
@@ -54,14 +76,17 @@ pub struct HostedRing {
     spec: TenantSpec,
     start: Instant,
     stop: Arc<AtomicBool>,
+    /// Slot id → control surface. Indices are stable and never reused.
     slots: Vec<NodeSlot>,
+    /// Slot ids in ring order; `ring[0] == 0` (the anchor) always.
+    ring: Vec<usize>,
     metrics: MetricsRegistry,
     log: Arc<Mutex<Vec<ActivityEvent>>>,
     initial_active: Vec<bool>,
-    /// Directed-link proxies (2n when the spec wants chaos, else empty);
-    /// link `2i` is `i → succ(i)`, link `2i+1` is `i → pred(i)`.
-    proxies: Vec<ChaosProxy>,
-    handles: Vec<ChaosHandle>,
+    /// Live ring size shared with every member's watchdog budget.
+    ring_size: Arc<AtomicUsize>,
+    /// Lifetime count of committed re-splice operations (adds + removes).
+    resplices: u64,
     watchdog_outbox: Arc<Mutex<Vec<WatchdogEvent>>>,
 }
 
@@ -96,41 +121,7 @@ impl HostedRing {
         }
         let addrs = transports.iter().map(|t| t.local_addrs()).collect::<io::Result<Vec<_>>>()?;
 
-        // Phase 2: wire the ring, through chaos proxies when asked for.
-        let mut proxies = Vec::new();
-        let mut handles = Vec::new();
-        for (i, t) in transports.iter_mut().enumerate() {
-            let pred = (i + n - 1) % n;
-            let succ = (i + 1) % n;
-            // Destination of states this node sends *to* each neighbour:
-            // the neighbour's socket facing back at us.
-            let to_succ = addrs[succ].pred;
-            let to_pred = addrs[pred].succ;
-            if spec.wants_chaos() {
-                let mk = |dst, link_idx: u64| -> io::Result<ChaosProxy> {
-                    let cfg = ChaosConfig {
-                        seed: spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(link_idx),
-                        loss: spec.loss,
-                        corrupt: spec.corrupt,
-                        ..ChaosConfig::default()
-                    };
-                    ChaosProxy::spawn(dst, cfg)
-                };
-                let p_succ = mk(to_succ, 2 * i as u64)?;
-                let p_pred = mk(to_pred, 2 * i as u64 + 1)?;
-                t.wire(p_pred.addr(), p_succ.addr());
-                handles.push(p_succ.handle());
-                handles.push(p_pred.handle());
-                proxies.push(p_succ);
-                proxies.push(p_pred);
-            } else {
-                t.wire(to_pred, to_succ);
-            }
-        }
-
-        // Phase 3: spawn the node threads from the legitimate anchor with
-        // coherent caches — a freshly provisioned tenant is immediately in
-        // service; self-stabilization is for what the world does later.
+        // Phase 3 shell first so phases 2–3 can use its helpers.
         let initial = algo.legitimate_anchor(0);
         let mut ring = HostedRing {
             algo,
@@ -139,42 +130,76 @@ impl HostedRing {
             start,
             stop,
             slots: Vec::with_capacity(n),
+            ring: (0..n).collect(),
             metrics,
             log,
             initial_active: Vec::with_capacity(n),
-            proxies,
-            handles,
+            ring_size: Arc::new(AtomicUsize::new(n)),
+            resplices: 0,
             watchdog_outbox,
         };
-        for (i, transport) in transports.into_iter().enumerate() {
+
+        // Phase 2: wire the ring, through chaos proxies when asked for, and
+        // spawn the node threads from the legitimate anchor with coherent
+        // caches — a freshly provisioned tenant is immediately in service;
+        // self-stabilization is for what the world does later.
+        for (i, mut t) in transports.into_iter().enumerate() {
             let pred = (i + n - 1) % n;
             let succ = (i + 1) % n;
+            // Destination of states this node sends *to* each neighbour:
+            // the neighbour's socket facing back at us.
+            let to_succ = addrs[succ].pred;
+            let to_pred = addrs[pred].succ;
+            let (proxy_succ, proxy_pred) = if ring.spec.wants_chaos() {
+                let p_succ = ChaosProxy::spawn(to_succ, ring.link_chaos(2 * i as u64))?;
+                let p_pred = ChaosProxy::spawn(to_pred, ring.link_chaos(2 * i as u64 + 1))?;
+                t.wire(p_pred.addr(), p_succ.addr());
+                (Some(p_succ), Some(p_pred))
+            } else {
+                t.wire(to_pred, to_succ);
+                (None, None)
+            };
             let replica = Replica::coherent(initial[i], initial[pred], initial[succ]);
             ring.initial_active.push(replica.is_privileged(&ring.algo, i));
-            let slot = ring.make_slot(i);
-            ring.slots.push(slot);
-            ring.launch(i, replica, transport);
+            ring.slots.push(NodeSlot {
+                kill: Arc::new(AtomicBool::new(false)),
+                frozen: Arc::new(AtomicBool::new(false)),
+                poison: Arc::new(Mutex::new(None)),
+                thread: None,
+                parked: None,
+                incarnation: 0,
+                addrs: addrs[i],
+                proxy_succ,
+                proxy_pred,
+                spliced: false,
+            });
+            ring.launch(i, replica, t);
         }
         Ok(ring)
     }
 
-    fn make_slot(&self, _i: usize) -> NodeSlot {
-        NodeSlot {
-            kill: Arc::new(AtomicBool::new(false)),
-            frozen: Arc::new(AtomicBool::new(false)),
-            poison: Arc::new(Mutex::new(None)),
-            thread: None,
-            parked: None,
-            incarnation: 0,
+    /// Chaos configuration for one directed link, seeded from the tenant
+    /// seed and the link's stable identity.
+    fn link_chaos(&self, link_idx: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed: self.spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(link_idx),
+            loss: self.spec.loss,
+            corrupt: self.spec.corrupt,
+            ..ChaosConfig::default()
         }
     }
 
     /// The per-node convergence-watchdog budget: the Lemma 5 `3n`-step
     /// bound scaled by the retransmit period, with the same slack and floor
-    /// the soak supervisor uses.
-    fn watchdog_budget(&self) -> Duration {
-        let steps = (3 * self.spec.nodes).max(1) as u32;
-        self.spec.tick.saturating_mul(steps.saturating_mul(16)).max(Duration::from_millis(400))
+    /// the soak supervisor uses — reading `n` live, so it rescales when the
+    /// ring does.
+    fn watchdog_budget(&self) -> SharedBudget {
+        SharedBudget::new(
+            Arc::clone(&self.ring_size),
+            self.spec.tick,
+            16,
+            Duration::from_millis(400),
+        )
     }
 
     fn launch(&mut self, i: usize, replica: Replica<SsrState>, transport: UdpTransport<SsrState>) {
@@ -200,9 +225,29 @@ impl HostedRing {
         }));
     }
 
-    /// Ring size.
+    /// Current ring size (live members).
     pub fn n(&self) -> usize {
-        self.spec.nodes
+        self.ring.len()
+    }
+
+    /// Slot ids in ring order (position 0 is the anchor).
+    pub fn ring_order(&self) -> Vec<usize> {
+        self.ring.clone()
+    }
+
+    /// Total slots ever created (live + spliced); slot ids are `0..slot_count`.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether `slot` names a live (not spliced-out) member.
+    pub fn slot_live(&self, slot: usize) -> bool {
+        self.slots.get(slot).is_some_and(|s| !s.spliced)
+    }
+
+    /// Lifetime count of committed re-splice operations (adds + removes).
+    pub fn resplices(&self) -> u64 {
+        self.resplices
     }
 
     /// The wire-level tenant id.
@@ -245,7 +290,8 @@ impl HostedRing {
         drained
     }
 
-    /// Per-node metrics registry.
+    /// Per-node metrics registry. Spliced-out members' counters remain
+    /// readable (slots are never reused).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
     }
@@ -253,25 +299,28 @@ impl HostedRing {
     /// Number of nodes currently evaluating themselves privileged (gauge
     /// scan; the authoritative audit replays the activity trace).
     pub fn privileged_count(&self) -> usize {
-        (0..self.n()).filter(|&i| NodeMetrics::get(&self.metrics.node(i).privileged) == 1).count()
+        self.ring
+            .iter()
+            .filter(|&&i| NodeMetrics::get(&self.metrics.node(i).privileged) == 1)
+            .count()
     }
 
     /// The node currently holding the primary token, if exactly visible.
     pub fn primary_holder(&self) -> Option<usize> {
-        (0..self.n()).find(|&i| {
+        self.ring.iter().copied().find(|&i| {
             self.slots[i].thread.is_some()
                 && NodeMetrics::get(&self.metrics.node(i).token_primary) == 1
         })
     }
 
-    /// Whether node `i`'s thread is up (not crashed).
+    /// Whether slot `i`'s thread is up (live member, not crashed).
     pub fn node_up(&self, i: usize) -> bool {
-        self.slots[i].thread.is_some()
+        self.slots.get(i).is_some_and(|s| s.thread.is_some())
     }
 
-    /// Node `i`'s incarnation count (restarts).
+    /// Slot `i`'s incarnation count (restarts + splice relaunches).
     pub fn incarnation(&self, i: usize) -> u32 {
-        self.slots[i].incarnation
+        self.slots.get(i).map_or(0, |s| s.incarnation)
     }
 
     /// Total watchdog escalations reported by this ring's nodes.
@@ -279,31 +328,267 @@ impl HostedRing {
         self.watchdog_outbox.lock().len() as u64
     }
 
+    /// Splice one member in at the tail of the ring (between the current
+    /// last member and the anchor). Returns the new member's slot id.
+    pub fn add_node(&mut self) -> Result<usize, String> {
+        let n = self.ring.len();
+        let k = self.algo.params().k();
+        if (n + 1) as u32 >= k {
+            return Err(format!(
+                "ring is at K capacity: k={k} must exceed n={} after the add; \
+                 create the tenant with a larger k to leave growth headroom",
+                n + 1
+            ));
+        }
+        let tail = *self.ring.last().expect("ring is never empty");
+        let anchor = self.ring[0];
+        if !self.node_up(tail) || !self.node_up(anchor) {
+            return Err(format!(
+                "an add needs both would-be neighbours up (tail slot {tail}, anchor slot {anchor})"
+            ));
+        }
+
+        // Fallible setup first, ring untouched: bind the joiner (and its
+        // outbound proxies) before parking anyone.
+        let slot = self.slots.len();
+        let grown = self.metrics.grow();
+        debug_assert_eq!(grown, slot);
+        let mut t = UdpTransport::<SsrState>::bind(
+            slot as u16,
+            tail as u16,
+            anchor as u16,
+            self.spec.tick,
+            self.spec.seed.wrapping_add(slot as u64),
+            self.metrics.arc_node(slot),
+        )
+        .map_err(|e| format!("bind joiner sockets: {e}"))?;
+        t.set_tenant(self.tenant);
+        let j_addrs = t.local_addrs().map_err(|e| format!("joiner local addrs: {e}"))?;
+        let tail_addrs = self.slots[tail].addrs;
+        let anchor_addrs = self.slots[anchor].addrs;
+        let (proxy_succ, proxy_pred) = if self.spec.wants_chaos() {
+            let ps = ChaosProxy::spawn(anchor_addrs.pred, self.link_chaos(2 * slot as u64))
+                .map_err(|e| format!("spawn joiner chaos proxy: {e}"))?;
+            let pp = ChaosProxy::spawn(tail_addrs.succ, self.link_chaos(2 * slot as u64 + 1))
+                .map_err(|e| format!("spawn joiner chaos proxy: {e}"))?;
+            t.wire(pp.addr(), ps.addr());
+            (Some(ps), Some(pp))
+        } else {
+            t.wire(tail_addrs.succ, anchor_addrs.pred);
+            (None, None)
+        };
+
+        // Handshake: park both neighbours, re-point their facing link ends
+        // at the joiner, seed caches, relaunch everyone.
+        let (mut tail_rep, mut tail_tr) = self.park(tail)?;
+        let (mut anchor_rep, mut anchor_tr) = match self.park(anchor) {
+            Ok(parked) => parked,
+            Err(e) => {
+                self.relaunch(tail, tail_rep, tail_tr);
+                return Err(e);
+            }
+        };
+        let tail_peer = match &self.slots[tail].proxy_succ {
+            Some(p) => {
+                p.set_dst(j_addrs.pred);
+                p.addr()
+            }
+            None => j_addrs.pred,
+        };
+        tail_tr.resplice(Neighbor::Succ, slot as u16, tail_peer);
+        let anchor_peer = match &self.slots[anchor].proxy_pred {
+            Some(p) => {
+                p.set_dst(j_addrs.succ);
+                p.addr()
+            }
+            None => j_addrs.succ,
+        };
+        anchor_tr.resplice(Neighbor::Pred, slot as u16, anchor_peer);
+
+        // Graceful handover: the joiner adopts its predecessor's counter
+        // with no token bits, so the splice mints no extra privilege.
+        let own = SsrState::new(tail_rep.own.x, 0, 0);
+        let replica = Replica::coherent(own, tail_rep.own, anchor_rep.own);
+        tail_rep.cache_succ = own;
+        anchor_rep.cache_pred = own;
+
+        self.relaunch(tail, tail_rep, tail_tr);
+        self.relaunch(anchor, anchor_rep, anchor_tr);
+        self.slots.push(NodeSlot {
+            kill: Arc::new(AtomicBool::new(false)),
+            frozen: Arc::new(AtomicBool::new(false)),
+            poison: Arc::new(Mutex::new(None)),
+            thread: None,
+            parked: None,
+            incarnation: 0,
+            addrs: j_addrs,
+            proxy_succ,
+            proxy_pred,
+            spliced: false,
+        });
+        self.launch(slot, replica, t);
+
+        self.ring.push(slot);
+        self.ring_size.store(self.ring.len(), Ordering::Relaxed);
+        self.resplices += 1;
+        Ok(slot)
+    }
+
+    /// Splice the member in `slot` out of the ring: wait (bounded) for it
+    /// to hand any privilege downstream, stop it, and have its neighbours
+    /// re-splice around it. The slot id is retired forever.
+    pub fn remove_node(&mut self, slot: usize) -> Result<String, String> {
+        let Some(position) = self.ring.iter().position(|&s| s == slot) else {
+            return Err(if self.slot_live(slot) {
+                format!("slot {slot} is not in the ring")
+            } else {
+                format!("slot {slot} is not a live member")
+            });
+        };
+        if position == 0 {
+            return Err("slot 0 is the ring anchor (the bottom machine never leaves)".to_string());
+        }
+        let n = self.ring.len();
+        if n - 1 < RingParams::MIN_N {
+            return Err(format!(
+                "removing a member would splice the ring below n={}",
+                RingParams::MIN_N
+            ));
+        }
+        let pred = self.ring[position - 1];
+        let succ = self.ring[(position + 1) % n];
+        if !self.node_up(pred) || !self.node_up(succ) {
+            return Err(format!("a remove needs both neighbours up (slots {pred} and {succ})"));
+        }
+
+        // A graceful leaver first hands any privilege downstream; poll its
+        // gauge with a Theorem-2-scaled bound, then stop it regardless.
+        if self.node_up(slot) {
+            let deadline = Instant::now() + convergence_envelope(n, self.spec.tick) * 2;
+            while Instant::now() < deadline {
+                if NodeMetrics::get(&self.metrics.node(slot).privileged) == 0 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let _remains = self.park(slot)?;
+        } else {
+            self.slots[slot].parked = None;
+        }
+        self.slots[slot].spliced = true;
+        // The spliced member's privilege is gone with it; zero its gauges so
+        // scrapes never report a stale token.
+        let m = self.metrics.node(slot);
+        NodeMetrics::set(&m.privileged, 0);
+        NodeMetrics::set(&m.token_primary, 0);
+        NodeMetrics::set(&m.token_secondary, 0);
+        if let Some(p) = self.slots[slot].proxy_succ.take() {
+            p.shutdown();
+        }
+        if let Some(p) = self.slots[slot].proxy_pred.take() {
+            p.shutdown();
+        }
+        self.log.lock().push(ActivityEvent { node: slot, at: self.start.elapsed(), active: false });
+
+        // Neighbours handshake around the hole.
+        let (mut pred_rep, mut pred_tr) = self.park(pred)?;
+        let (mut succ_rep, mut succ_tr) = match self.park(succ) {
+            Ok(parked) => parked,
+            Err(e) => {
+                self.relaunch(pred, pred_rep, pred_tr);
+                return Err(e);
+            }
+        };
+        let succ_addrs = self.slots[succ].addrs;
+        let pred_addrs = self.slots[pred].addrs;
+        let pred_peer = match &self.slots[pred].proxy_succ {
+            Some(p) => {
+                p.set_dst(succ_addrs.pred);
+                p.addr()
+            }
+            None => succ_addrs.pred,
+        };
+        pred_tr.resplice(Neighbor::Succ, succ as u16, pred_peer);
+        let succ_peer = match &self.slots[succ].proxy_pred {
+            Some(p) => {
+                p.set_dst(pred_addrs.succ);
+                p.addr()
+            }
+            None => pred_addrs.succ,
+        };
+        succ_tr.resplice(Neighbor::Pred, pred as u16, succ_peer);
+        pred_rep.cache_succ = succ_rep.own;
+        succ_rep.cache_pred = pred_rep.own;
+        self.relaunch(pred, pred_rep, pred_tr);
+        self.relaunch(succ, succ_rep, succ_tr);
+
+        self.ring.remove(position);
+        self.ring_size.store(self.ring.len(), Ordering::Relaxed);
+        self.resplices += 1;
+        Ok(format!("slot {slot} spliced out; ring is now {} nodes", self.ring.len()))
+    }
+
+    /// Ask the runner thread in `slot` to exit and hand back its replica
+    /// and transport.
+    fn park(&mut self, slot: usize) -> Result<(Replica<SsrState>, UdpTransport<SsrState>), String> {
+        let s = &mut self.slots[slot];
+        let Some(thread) = s.thread.take() else {
+            return Err(format!("node {slot} is already down"));
+        };
+        s.kill.store(true, Ordering::Relaxed);
+        let remains = thread.join().map_err(|_| format!("node {slot} thread panicked"))?;
+        let s = &mut self.slots[slot];
+        s.kill.store(false, Ordering::Relaxed);
+        s.frozen.store(false, Ordering::Relaxed);
+        Ok(remains)
+    }
+
+    /// Relaunch a parked splice participant, bumping its generation floor so
+    /// frames from before the splice can never outrank it.
+    fn relaunch(
+        &mut self,
+        slot: usize,
+        replica: Replica<SsrState>,
+        mut transport: UdpTransport<SsrState>,
+    ) {
+        self.slots[slot].incarnation += 1;
+        let incarnation = self.slots[slot].incarnation;
+        transport.advance_generation_to(incarnation.saturating_mul(GENERATION_STRIDE));
+        self.launch(slot, replica, transport);
+    }
+
     /// Apply a runtime chaos adjustment to the tenant's links.
     pub fn chaos(&self, cmd: ChaosCmd) -> Result<String, String> {
-        if self.handles.is_empty() {
+        if !self.spec.wants_chaos() {
             return Err("tenant has no chaos layer (created without loss/corrupt)".to_string());
         }
+        let live_handles = || {
+            self.slots
+                .iter()
+                .flat_map(|s| [s.proxy_succ.as_ref(), s.proxy_pred.as_ref()])
+                .flatten()
+                .map(ChaosProxy::handle)
+        };
         match cmd {
             ChaosCmd::Partition { from, to, cut } => {
-                let link = self.directed_link(from, to)?;
-                self.handles[link].set_partitioned(cut);
+                let handle = self.directed_link(from, to)?;
+                handle.set_partitioned(cut);
                 Ok(format!("link {from}->{to} {}", if cut { "partitioned" } else { "healed" }))
             }
             ChaosCmd::Loss(p) => {
-                for h in &self.handles {
+                for h in live_handles() {
                     h.set_loss_override(p);
                 }
                 Ok(format!("loss override {p:?} on all links"))
             }
             ChaosCmd::Corrupt(p) => {
-                for h in &self.handles {
+                for h in live_handles() {
                     h.set_corrupt_override(p);
                 }
                 Ok(format!("corrupt override {p:?} on all links"))
             }
             ChaosCmd::Truncate(p) => {
-                for h in &self.handles {
+                for h in live_handles() {
                     h.set_truncate_override(p);
                 }
                 Ok(format!("truncate override {p:?} on all links"))
@@ -313,30 +598,29 @@ impl HostedRing {
 
     /// Inject one fault into this tenant, supervisor-style.
     pub fn inject(&mut self, fault: FaultKind) -> Result<String, String> {
-        let n = self.n();
-        let check = |node: usize| -> Result<usize, String> {
-            if node < n {
+        let check = |ring: &HostedRing, node: usize| -> Result<usize, String> {
+            if ring.slot_live(node) && ring.ring.contains(&node) {
                 Ok(node)
             } else {
-                Err(format!("node {node} outside ring of {n}"))
+                Err(format!("node {node} is not a live member of the ring"))
             }
         };
         match fault {
             FaultKind::Crash { node, .. } => {
-                let node = check(node)?;
+                let node = check(self, node)?;
                 self.crash(node)
             }
             FaultKind::Restart { node } => {
-                let node = check(node)?;
+                let node = check(self, node)?;
                 self.restart(node)
             }
             FaultKind::FreezeNode { node } => {
-                let node = check(node)?;
+                let node = check(self, node)?;
                 self.slots[node].frozen.store(true, Ordering::Relaxed);
                 Ok(format!("node {node} frozen (watchdog stage-2 will thaw it)"))
             }
             FaultKind::CorruptState { node } => {
-                let node = check(node)?;
+                let node = check(self, node)?;
                 let params = self.algo.params();
                 let mut sample = ssr_adversary(
                     params,
@@ -352,20 +636,30 @@ impl HostedRing {
             FaultKind::Heal { from, to } => {
                 self.chaos(ChaosCmd::Partition { from, to, cut: false })
             }
+            FaultKind::Join { node } => {
+                if node != self.ring.len() {
+                    return Err(format!(
+                        "join as node {node} does not extend the tail of a {}-ring",
+                        self.ring.len()
+                    ));
+                }
+                let slot = self.add_node()?;
+                Ok(format!("slot {slot} joined; ring is now {} nodes", self.ring.len()))
+            }
+            FaultKind::Leave { node } => {
+                let slot = *self
+                    .ring
+                    .get(node)
+                    .ok_or_else(|| format!("ring position {node} is out of range"))?;
+                self.remove_node(slot)
+            }
             other => Err(format!("fault '{other}' is not supported on hosted tenants")),
         }
     }
 
     fn crash(&mut self, node: usize) -> Result<String, String> {
-        let slot = &mut self.slots[node];
-        let Some(thread) = slot.thread.take() else {
-            return Err(format!("node {node} is already down"));
-        };
-        slot.kill.store(true, Ordering::Relaxed);
-        let remains = thread.join().map_err(|_| format!("node {node} thread panicked"))?;
-        slot.kill.store(false, Ordering::Relaxed);
-        slot.frozen.store(false, Ordering::Relaxed);
-        slot.parked = Some(remains);
+        let remains = self.park(node)?;
+        self.slots[node].parked = Some(remains);
         // The privilege this node was logging is gone with the process.
         self.log.lock().push(ActivityEvent { node, at: self.start.elapsed(), active: false });
         Ok(format!("node {node} crashed"))
@@ -385,20 +679,21 @@ impl HostedRing {
         Ok(format!("node {node} restarted (amnesia, incarnation {incarnation})"))
     }
 
-    /// Index of the directed chaos link `from → to`, if they are ring
-    /// neighbours.
-    fn directed_link(&self, from: usize, to: usize) -> Result<usize, String> {
-        let n = self.n();
-        if from >= n || to >= n {
-            return Err(format!("link {from}->{to} outside ring of {n}"));
-        }
-        if to == (from + 1) % n {
-            Ok(2 * from)
-        } else if to == (from + n - 1) % n {
-            Ok(2 * from + 1)
+    /// Chaos handle of the directed link `from → to`, if they are *current*
+    /// ring neighbours (slot ids).
+    fn directed_link(&self, from: usize, to: usize) -> Result<ChaosHandle, String> {
+        let n = self.ring.len();
+        let Some(pos) = self.ring.iter().position(|&s| s == from) else {
+            return Err(format!("node {from} is not a live member of the ring"));
+        };
+        let proxy = if self.ring[(pos + 1) % n] == to {
+            self.slots[from].proxy_succ.as_ref()
+        } else if self.ring[(pos + n - 1) % n] == to {
+            self.slots[from].proxy_pred.as_ref()
         } else {
-            Err(format!("{from}->{to} is not a ring link"))
-        }
+            return Err(format!("{from}->{to} is not a ring link"));
+        };
+        proxy.map(ChaosProxy::handle).ok_or_else(|| format!("link {from}->{to} has no proxy"))
     }
 
     /// Stop every node thread and shut the chaos layer down. Idempotent;
@@ -410,11 +705,13 @@ impl HostedRing {
                 let _ = thread.join();
             }
             slot.parked = None;
+            if let Some(proxy) = slot.proxy_succ.take() {
+                proxy.shutdown();
+            }
+            if let Some(proxy) = slot.proxy_pred.take() {
+                proxy.shutdown();
+            }
         }
-        for proxy in self.proxies.drain(..) {
-            proxy.shutdown();
-        }
-        self.handles.clear();
     }
 }
 
@@ -489,6 +786,60 @@ mod tests {
         assert!(ring.chaos(ChaosCmd::Loss(Some(0.5))).is_ok());
         assert!(ring.chaos(ChaosCmd::Partition { from: 0, to: 1, cut: true }).is_ok());
         assert!(ring.chaos(ChaosCmd::Partition { from: 0, to: 2, cut: true }).is_err());
+        ring.stop();
+    }
+
+    #[test]
+    fn add_and_remove_resize_the_hosted_ring() {
+        // k=12 leaves growth headroom over the default 5 nodes.
+        let spec = TenantSpec { k: 12, ..TenantSpec::named("elastic") };
+        let mut ring = HostedRing::spawn(9, spec).unwrap();
+        assert!(
+            wait_until(5_000, || (1..=2).contains(&ring.privileged_count())),
+            "never converged"
+        );
+
+        let slot = ring.add_node().expect("add");
+        assert_eq!(slot, 5);
+        assert_eq!(ring.n(), 6);
+        assert_eq!(ring.resplices(), 1);
+        assert!(
+            wait_until(5_000, || (1..=2).contains(&ring.privileged_count())),
+            "never reconverged after add"
+        );
+
+        let msg = ring.remove_node(2).expect("remove");
+        assert!(msg.contains("spliced out"), "{msg}");
+        assert_eq!(ring.n(), 5);
+        assert!(!ring.slot_live(2));
+        assert_eq!(ring.ring_order(), vec![0, 1, 3, 4, 5]);
+        assert!(
+            wait_until(5_000, || (1..=2).contains(&ring.privileged_count())),
+            "never reconverged after remove"
+        );
+
+        // Guards: the anchor never leaves, retired slots stay retired, and
+        // shrinking below n=3 is refused.
+        assert!(ring.remove_node(0).unwrap_err().contains("anchor"));
+        assert!(ring.remove_node(2).unwrap_err().contains("not a live member"));
+        for slot in [1, 3] {
+            ring.remove_node(slot).expect("shrink");
+        }
+        assert_eq!(ring.n(), 3);
+        assert!(ring.remove_node(4).unwrap_err().contains("below n=3"));
+        ring.stop();
+    }
+
+    #[test]
+    fn membership_events_arrive_via_fault_injection_too() {
+        let spec = TenantSpec { k: 9, ..TenantSpec::named("churny") };
+        let mut ring = HostedRing::spawn(4, spec).unwrap();
+        assert!(ring.inject("join 5".parse().unwrap()).is_ok());
+        assert_eq!(ring.n(), 6);
+        assert!(ring.inject("join 4".parse().unwrap()).is_err(), "must extend the tail");
+        assert!(ring.inject("leave 3".parse().unwrap()).is_ok());
+        assert_eq!(ring.n(), 5);
+        assert!(ring.inject("leave 0".parse().unwrap()).is_err(), "anchor");
         ring.stop();
     }
 }

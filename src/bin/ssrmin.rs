@@ -12,6 +12,7 @@
 //! ssrmin transcript [-n 5] [--ticks 3000] [--loss 0.1] [--tail 25]
 //! ssrmin serve      [--ctl-addr 127.0.0.1:0] [--tenants 4] [--nodes 5] [--ms 0]
 //! ssrmin load       [--tenants 8] [--nodes 5] [--clients 2] [--ms 2000]
+//! ssrmin churn      [--nodes 5] [--ms 4000] [--rate 2.0] [--sweep 0.5,2,8] [--loss 0.0]
 //! ssrmin ctl URL …  / ssrmin top URL — clients against a --ctl-addr plane
 //! ```
 //!
@@ -33,8 +34,11 @@ use ssrmin::cli::{
 use ssrmin::core::{CriticalSectionProtocol, DualSsToken, SsToken, SsrMin};
 use ssrmin::ctl::{CtlListener, Json};
 use ssrmin::daemon::{measure_convergence, random_config, trace, Engine};
-use ssrmin::mpnet::{CstSim, DelayModel, FaultPlan, FaultSchedule, SimConfig};
-use ssrmin::net::{audit_trace, ClusterConfig, SupervisorConfig, WatchdogConfig};
+use ssrmin::mpnet::{ChurnPlan, CstSim, DelayModel, FaultPlan, FaultSchedule, SimConfig};
+use ssrmin::net::{
+    audit_trace, convergence_envelope, ChaosConfig, ClusterConfig, MembershipConfig,
+    RingMembership, SupervisorConfig, WatchdogConfig,
+};
 use ssrmin::runtime::camera::CameraNetwork;
 use ssrmin::runtime::RuntimeConfig;
 use ssrmin::serve::{ServeHost, ServePlane, TenantSpec};
@@ -65,6 +69,7 @@ fn main() -> ExitCode {
                 "adversary" => cmd_adversary(&opts),
                 "serve" => cmd_serve(&opts),
                 "load" => cmd_load(&opts),
+                "churn" => cmd_churn(&opts),
                 "help" | "--help" | "-h" => {
                     println!("{USAGE}");
                     Ok(())
@@ -137,6 +142,18 @@ USAGE:
                      p50/p99/max lease latency per sweep point; writes the
                      scaling curve to FILE (default BENCH_serve.json) and
                      fails if any tenant violated its CS spec
+  ssrmin churn     [--nodes N] [-k K] [--ms MS] [--rate R] [--sweep R1,R2,...]
+                   [--min-n N] [--max-n N] [--loss P] [--tick-ms MS]
+                   [--seed SEED] [--out FILE]
+                     live join/leave soak: run a UDP ring whose membership
+                     churns under a seeded Poisson schedule (rate R events
+                     per second, ring size clamped to [min-n, max-n]),
+                     re-splicing neighbours around every joiner and leaver
+                     while tokens circulate; asserts the ring re-converges
+                     to 1..=2 privileged within the Theorem 2 envelope for
+                     the post-event ring size after every membership event,
+                     and writes time-to-reconverge vs churn-rate curves to
+                     FILE (default BENCH_churn.json)
   ssrmin ctl URL metrics|status|top
   ssrmin ctl URL chaos partition F T | heal F T | loss P|off |
                        corrupt P|off | truncate P|off
@@ -986,6 +1003,247 @@ fn cmd_load(opts: &Opts) -> Result<(), String> {
 
     if rows.iter().any(|r| r.cs_violations > 0) {
         return Err("a tenant violated its CS spec under load".into());
+    }
+    Ok(())
+}
+
+struct ChurnEventRow {
+    at_ms: u64,
+    kind: String,
+    slot: usize,
+    n_after: usize,
+    reconverge_ms: Option<u64>,
+    envelope_ms: u64,
+    ok: bool,
+}
+
+struct ChurnRow {
+    rate: f64,
+    joins: usize,
+    leaves: usize,
+    reconverged: usize,
+    violations: usize,
+    mean_reconverge_ms: f64,
+    max_reconverge_ms: u64,
+    escalations: usize,
+    curve: Vec<ChurnEventRow>,
+}
+
+/// One churn soak at a fixed event rate: spawn the membership host, replay
+/// the seeded Poisson join/leave schedule in real time, and measure the
+/// time back into the `1..=2`-privileged band after every event.
+#[allow(clippy::too_many_arguments)]
+fn churn_round(
+    nodes: usize,
+    k: u32,
+    rate: f64,
+    ms: u64,
+    min_n: usize,
+    max_n: usize,
+    loss: f64,
+    tick: Duration,
+    seed: u64,
+) -> Result<ChurnRow, String> {
+    let params = ssrmin::RingParams::new(nodes, k).map_err(|e| e.to_string())?;
+    let plan = ChurnPlan { rate, window: (300, ms), min_n, max_n };
+    let schedule = FaultSchedule::churn(nodes, &plan, seed).map_err(|e| e.to_string())?;
+    let chaos = (loss > 0.0).then(|| ChaosConfig { seed, loss, ..ChaosConfig::default() });
+    let cfg = MembershipConfig { tick, seed, chaos, ..MembershipConfig::default() };
+    let mut ring = RingMembership::spawn(params, cfg).map_err(|e| e.to_string())?;
+
+    let settle = (convergence_envelope(nodes, tick) * 4).max(Duration::from_secs(2));
+    if ring.wait_reconverged(settle).is_none() {
+        return Err("the ring never converged before the churn window".into());
+    }
+
+    let mut curve = Vec::new();
+    let (mut joins, mut leaves) = (0, 0);
+    let t0 = Instant::now();
+    for event in schedule.events() {
+        // Sleep until the event's scheduled instant; if the previous
+        // reconvergence wait overshot it, apply back-to-back.
+        let at = Duration::from_millis(event.at);
+        if let Some(gap) = at.checked_sub(t0.elapsed()) {
+            std::thread::sleep(gap);
+        }
+        let slot = ring
+            .apply_membership(&event.kind)
+            .map_err(|e| format!("apply '{}': {e}", event.kind))?;
+        match event.kind {
+            ssrmin::mpnet::FaultKind::Join { .. } => joins += 1,
+            _ => leaves += 1,
+        }
+        let n_after = ring.n();
+        // The Theorem 2 O(n^2) stabilization envelope for the *post-event*
+        // ring size, with the soak harness's wall-clock floor.
+        let envelope = convergence_envelope(n_after, tick).max(Duration::from_millis(400));
+        // Wait past the envelope so violations still report their real
+        // reconvergence time instead of just a timeout.
+        let reconverge = ring.wait_reconverged(envelope * 4);
+        let ok = reconverge.is_some_and(|d| d <= envelope);
+        curve.push(ChurnEventRow {
+            at_ms: event.at,
+            kind: event.kind.to_string(),
+            slot,
+            n_after,
+            reconverge_ms: reconverge.map(|d| d.as_millis() as u64),
+            envelope_ms: envelope.as_millis() as u64,
+            ok,
+        });
+    }
+    let escalations = ring.watchdog_escalations();
+    ring.stop();
+
+    let times: Vec<u64> = curve.iter().filter_map(|r| r.reconverge_ms).collect();
+    Ok(ChurnRow {
+        rate,
+        joins,
+        leaves,
+        reconverged: times.len(),
+        violations: curve.iter().filter(|r| !r.ok).count(),
+        mean_reconverge_ms: if times.is_empty() {
+            0.0
+        } else {
+            times.iter().sum::<u64>() as f64 / times.len() as f64
+        },
+        max_reconverge_ms: times.iter().copied().max().unwrap_or(0),
+        escalations,
+        curve,
+    })
+}
+
+fn cmd_churn(opts: &Opts) -> Result<(), String> {
+    let nodes: usize = match opts.get("nodes") {
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --nodes: {v:?}"))?,
+        None => get(opts, "n", 5usize)?,
+    };
+    let ms: u64 = get(opts, "ms", 4000u64)?;
+    if ms < 600 {
+        return Err("--ms must be at least 600".into());
+    }
+    let seed: u64 = get(opts, "seed", 0u64)?;
+    let tick = Duration::from_millis(get(opts, "tick-ms", 5u64)?.max(1));
+    let loss: f64 = get(opts, "loss", 0.0f64)?;
+    let min_n: usize = get(opts, "min-n", 3usize)?;
+    let max_n: usize = get(opts, "max-n", nodes + 3)?;
+    let k: u32 = get(opts, "k", 0u32)?;
+    // Joins are only sound while n < K (Hoepman's proof needs K > N), so
+    // the default K leaves headroom for the whole churn band.
+    let k = if k == 0 { max_n as u32 + 2 } else { k };
+    if k <= max_n as u32 {
+        return Err(format!("-k {k} must exceed --max-n {max_n} (joins need K > n)"));
+    }
+    let rate: f64 = get(opts, "rate", 2.0f64)?;
+    let sweep: Vec<f64> = match opts.get("sweep") {
+        Some(list) => list
+            .split(',')
+            .map(|w| w.trim().parse().map_err(|_| format!("invalid --sweep entry {w:?}")))
+            .collect::<Result<_, _>>()?,
+        None => vec![rate],
+    };
+    if sweep.is_empty() || sweep.iter().any(|r| !r.is_finite() || *r <= 0.0) {
+        return Err("--sweep needs positive churn rates".into());
+    }
+    let out = opts.get("out").map(String::as_str).unwrap_or("BENCH_churn.json");
+
+    println!(
+        "churn soak: {nodes} nodes (k = {k}), {} ms per rate, ring clamped to [{min_n}, {max_n}], \
+         loss = {loss}, seed = {seed}",
+        ms,
+    );
+    let mut rows = Vec::new();
+    for &r in &sweep {
+        let row = churn_round(nodes, k, r, ms, min_n, max_n, loss, tick, seed)?;
+        println!(
+            "rate={:<5} events={:<3} (join {} / leave {}) reconverged={} mean={:.1}ms max={}ms \
+             envelope_violations={} watchdog={}",
+            row.rate,
+            row.curve.len(),
+            row.joins,
+            row.leaves,
+            row.reconverged,
+            row.mean_reconverge_ms,
+            row.max_reconverge_ms,
+            row.violations,
+            row.escalations,
+        );
+        for e in &row.curve {
+            println!(
+                "  t={:<6} {:24} -> n={} reconverge={} envelope={}ms{}",
+                e.at_ms,
+                e.kind,
+                e.n_after,
+                e.reconverge_ms.map(|t| format!("{t}ms")).unwrap_or_else(|| "never".into()),
+                e.envelope_ms,
+                if e.ok { "" } else { "  ** OUTSIDE ENVELOPE **" },
+            );
+        }
+        rows.push(row);
+    }
+
+    let doc = Json::obj(vec![
+        ("schema", Json::str("ssrmin-churn/v1")),
+        ("nodes", Json::num(nodes as f64)),
+        ("k", Json::num(k as f64)),
+        ("ms_per_rate", Json::num(ms as f64)),
+        ("tick_ms", Json::num(tick.as_millis() as f64)),
+        ("min_n", Json::num(min_n as f64)),
+        ("max_n", Json::num(max_n as f64)),
+        ("loss", Json::Num(loss)),
+        ("seed", Json::num(seed as f64)),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("rate", Json::Num(r.rate)),
+                            ("events", Json::num(r.curve.len() as f64)),
+                            ("joins", Json::num(r.joins as f64)),
+                            ("leaves", Json::num(r.leaves as f64)),
+                            ("reconverged", Json::num(r.reconverged as f64)),
+                            ("envelope_violations", Json::num(r.violations as f64)),
+                            ("mean_reconverge_ms", Json::Num(r.mean_reconverge_ms)),
+                            ("max_reconverge_ms", Json::num(r.max_reconverge_ms as f64)),
+                            ("watchdog_escalations", Json::num(r.escalations as f64)),
+                            (
+                                "curve",
+                                Json::Arr(
+                                    r.curve
+                                        .iter()
+                                        .map(|e| {
+                                            Json::obj(vec![
+                                                ("at_ms", Json::num(e.at_ms as f64)),
+                                                ("kind", Json::str(&e.kind)),
+                                                ("slot", Json::num(e.slot as f64)),
+                                                ("n_after", Json::num(e.n_after as f64)),
+                                                (
+                                                    "reconverge_ms",
+                                                    e.reconverge_ms
+                                                        .map(|t| Json::num(t as f64))
+                                                        .unwrap_or(Json::Null),
+                                                ),
+                                                ("envelope_ms", Json::num(e.envelope_ms as f64)),
+                                                ("ok", Json::Bool(e.ok)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(out, doc.render() + "\n").map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+
+    let bad: usize = rows.iter().map(|r| r.violations).sum();
+    if bad > 0 {
+        return Err(format!(
+            "{bad} membership event(s) did not re-converge within the Theorem 2 envelope"
+        ));
     }
     Ok(())
 }

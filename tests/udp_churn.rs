@@ -1,0 +1,143 @@
+//! End-to-end membership-churn tests of the live UDP ring: real sockets,
+//! real threads, join/leave re-splices performed while tokens circulate —
+//! a 5 → 9 → 4-node live resize under 20% chaos loss, plus back-to-back
+//! membership events and the seeded churn-schedule driver.
+//!
+//! Timing discipline matches `tests/udp_cluster.rs`: assertions are about
+//! *eventual* re-convergence within generous windows — four Theorem 2
+//! envelopes for the post-event ring size — never about absolute speed.
+
+use std::time::Duration;
+
+use ssrmin::core::RingParams;
+use ssrmin::mpnet::{ChurnPlan, FaultSchedule};
+use ssrmin::net::{convergence_envelope, ChaosConfig, MembershipConfig, RingMembership};
+
+const TICK: Duration = Duration::from_millis(4);
+
+fn config(seed: u64, loss: f64) -> MembershipConfig {
+    MembershipConfig {
+        tick: TICK,
+        seed,
+        chaos: (loss > 0.0).then(|| ChaosConfig { seed, loss, ..ChaosConfig::default() }),
+        ..MembershipConfig::default()
+    }
+}
+
+/// A generous re-convergence window for the current ring size: four
+/// Theorem 2 envelopes, floored for loaded CI hosts.
+fn settle(ring: &RingMembership) -> Duration {
+    (convergence_envelope(ring.n(), TICK) * 4).max(Duration::from_secs(2))
+}
+
+fn wait(ring: &RingMembership, what: &str) -> Duration {
+    ring.wait_reconverged(settle(ring))
+        .unwrap_or_else(|| panic!("{what}: ring (n = {}) did not re-converge", ring.n()))
+}
+
+/// Acceptance: a live 5-node UDP ring under 20% chaos loss grows to 9
+/// members one join at a time, then shrinks to 4 one leave at a time, and
+/// re-converges to the 1..=2-privileged band after every single re-splice.
+#[test]
+fn live_resize_5_to_9_to_4_under_loss_reconverges_every_step() {
+    let params = RingParams::new(5, 12).unwrap(); // K = 12 > 9 = max ring size
+    let mut ring = RingMembership::spawn(params, config(29, 0.2)).unwrap();
+    wait(&ring, "initial convergence");
+
+    for expect in 6..=9 {
+        let slot = ring.join().unwrap();
+        assert_eq!(slot, expect - 1, "joins append at the tail slot");
+        assert_eq!(ring.n(), expect);
+        wait(&ring, "after join");
+    }
+    assert_eq!(ring.capacity_remaining(), 2, "K = 12 leaves n < 11");
+
+    // Shrink 9 -> 4, alternating which ring position leaves (the anchor at
+    // position 0 never does).
+    for (expect, position) in [(8, 4), (7, 1), (6, 5), (5, 2), (4, 1)] {
+        ring.leave(position).unwrap();
+        assert_eq!(ring.n(), expect);
+        wait(&ring, "after leave");
+    }
+
+    assert_eq!(ring.resplices(), 9, "each join and each leave is one re-splice");
+    assert_eq!(ring.ring_order()[0], 0, "the anchor keeps ring position 0");
+    ring.stop();
+}
+
+/// Acceptance: back-to-back membership events — applied with no settling
+/// gap between them — are absorbed too; convergence is only demanded after
+/// the burst.
+#[test]
+fn back_to_back_membership_events_are_absorbed() {
+    let params = RingParams::new(4, 9).unwrap();
+    let mut ring = RingMembership::spawn(params, config(31, 0.0)).unwrap();
+    wait(&ring, "initial convergence");
+
+    // join + join + leave + join with zero think time.
+    ring.join().unwrap();
+    ring.join().unwrap();
+    ring.leave(2).unwrap();
+    ring.join().unwrap();
+    assert_eq!(ring.n(), 6);
+    wait(&ring, "after the membership burst");
+
+    assert_eq!(ring.resplices(), 4);
+    ring.stop();
+}
+
+/// Acceptance: a seeded churn schedule from the shared fault model drives
+/// the live UDP ring through `apply_membership`, and every event
+/// re-converges — the same schedule the DES consumes, replayed on sockets.
+#[test]
+fn seeded_churn_schedule_replays_on_the_live_ring() {
+    let n0 = 4;
+    let plan = ChurnPlan { rate: 3.0, window: (0, 2_000), min_n: 3, max_n: 7 };
+    let schedule = FaultSchedule::churn(n0, &plan, 57).unwrap();
+    assert!(!schedule.is_empty(), "seed 57 must draw churn events");
+
+    let params = RingParams::new(n0, 9).unwrap(); // K = 9 > 7 = max_n
+    let mut ring = RingMembership::spawn(params, config(57, 0.05)).unwrap();
+    wait(&ring, "initial convergence");
+
+    for ev in schedule.events() {
+        ring.apply_membership(&ev.kind).unwrap_or_else(|e| panic!("apply '{}': {e}", ev.kind));
+        wait(&ring, "after scheduled event");
+    }
+    assert_eq!(ring.resplices() as usize, schedule.events().len());
+    assert!((3..=7).contains(&ring.n()), "ring stayed inside the churn band");
+    ring.stop();
+}
+
+/// The CLI front-end: `ssrmin churn` runs a short seeded soak, reports the
+/// per-event reconvergence curve, and writes the benchmark JSON.
+#[test]
+fn churn_cli_reports_and_writes_bench_json() {
+    let dir = std::env::temp_dir().join(format!("ssrmin-churn-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_path = dir.join("BENCH_churn.json");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_ssrmin"))
+        .args([
+            "churn",
+            "--nodes",
+            "4",
+            "--ms",
+            "1500",
+            "--rate",
+            "3",
+            "--seed",
+            "5",
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("churn soak: 4 nodes"), "{stdout}");
+    assert!(stdout.contains("envelope_violations=0"), "{stdout}");
+    let json = std::fs::read_to_string(&out_path).unwrap();
+    assert!(json.contains("\"schema\":\"ssrmin-churn/v1\""), "{json}");
+    assert!(json.contains("\"curve\""), "{json}");
+    std::fs::remove_dir_all(&dir).ok();
+}
