@@ -66,6 +66,9 @@ pub struct LinkStatus {
     pub corrupted: u64,
     /// Datagrams truncated by chaos (codec must reject them).
     pub truncated: u64,
+    /// Datagrams tail-dropped by the link's netem pacing buffer
+    /// (congestion loss — distinct from `dropped`, the seeded chaos loss).
+    pub netem_dropped: u64,
 }
 
 /// One full ring snapshot: what `/status` serialises and `/top` renders.
@@ -154,6 +157,7 @@ impl RingStatus {
                     ("blocked", Json::num(link.blocked as f64)),
                     ("corrupted", Json::num(link.corrupted as f64)),
                     ("truncated", Json::num(link.truncated as f64)),
+                    ("netem_dropped", Json::num(link.netem_dropped as f64)),
                 ])
             })
             .collect();
@@ -281,7 +285,7 @@ fn fmt_ms(v: Option<u64>) -> String {
 }
 
 /// A runtime chaos adjustment accepted by `POST /chaos`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ChaosCmd {
     /// Cut (`cut = true`) or heal (`cut = false`) the directed link
     /// `from -> to`.
@@ -302,13 +306,18 @@ pub enum ChaosCmd {
     /// Override the truncation rate on *all* links (`None` restores the
     /// configured rate).
     Truncate(Option<f64>),
+    /// Swap the netem pacing profile on *all* links to the named link
+    /// profile (`None` switches pacing off). The runtime resolves the name
+    /// — builtin profiles plus whatever profile files it loaded.
+    Netem(Option<String>),
 }
 
 /// Parses a `POST /chaos` body.
 ///
 /// Grammar (one command per request):
 /// `partition <from> <to>` · `heal <from> <to>` · `loss <p>` · `loss off` ·
-/// `corrupt <p>` · `corrupt off` · `truncate <p>` · `truncate off`.
+/// `corrupt <p>` · `corrupt off` · `truncate <p>` · `truncate off` ·
+/// `netem <profile>` · `netem off`.
 pub fn parse_chaos_cmd(body: &str) -> Result<ChaosCmd, String> {
     let mut words = body.split_whitespace();
     let verb = words.next().ok_or("empty chaos command")?;
@@ -321,9 +330,15 @@ pub fn parse_chaos_cmd(body: &str) -> Result<ChaosCmd, String> {
         "loss" => ChaosCmd::Loss(parse_rate(words.next(), "loss")?),
         "corrupt" => ChaosCmd::Corrupt(parse_rate(words.next(), "corrupt")?),
         "truncate" => ChaosCmd::Truncate(parse_rate(words.next(), "truncate")?),
+        "netem" => match words.next() {
+            Some("off") => ChaosCmd::Netem(None),
+            Some(name) => ChaosCmd::Netem(Some(name.to_string())),
+            None => return Err("netem needs a profile name or 'off'".to_string()),
+        },
         other => {
             return Err(format!(
-                "unknown chaos command '{other}' (expected partition/heal/loss/corrupt/truncate)"
+                "unknown chaos command '{other}' (expected \
+                 partition/heal/loss/corrupt/truncate/netem)"
             ))
         }
     };
@@ -444,6 +459,7 @@ mod tests {
                     blocked: 0,
                     corrupted: 1,
                     truncated: 0,
+                    netem_dropped: 0,
                 },
                 LinkStatus {
                     from: 1,
@@ -454,6 +470,7 @@ mod tests {
                     blocked: 4,
                     corrupted: 0,
                     truncated: 2,
+                    netem_dropped: 5,
                 },
             ],
         }
@@ -501,6 +518,13 @@ mod tests {
         assert_eq!(parse_chaos_cmd("corrupt off"), Ok(ChaosCmd::Corrupt(None)));
         assert_eq!(parse_chaos_cmd("truncate 1"), Ok(ChaosCmd::Truncate(Some(1.0))));
         assert_eq!(parse_chaos_cmd("truncate off"), Ok(ChaosCmd::Truncate(None)));
+        assert_eq!(
+            parse_chaos_cmd("netem lossy-wan"),
+            Ok(ChaosCmd::Netem(Some("lossy-wan".to_string())))
+        );
+        assert_eq!(parse_chaos_cmd("netem off"), Ok(ChaosCmd::Netem(None)));
+        assert!(parse_chaos_cmd("netem").is_err());
+        assert!(parse_chaos_cmd("netem wan extra").is_err());
         assert!(parse_chaos_cmd("").is_err());
         assert!(parse_chaos_cmd("partition 0").is_err());
         assert!(parse_chaos_cmd("loss 1.5").is_err());
@@ -521,6 +545,7 @@ mod tests {
         let links = parsed.get("links").unwrap().as_arr().unwrap();
         assert_eq!(links[0].get("corrupted").and_then(Json::as_u64), Some(1));
         assert_eq!(links[1].get("truncated").and_then(Json::as_u64), Some(2));
+        assert_eq!(links[1].get("netem_dropped").and_then(Json::as_u64), Some(5));
         let text = status().render_top();
         assert!(text.contains("watchdog=2"), "{text}");
         assert!(text.contains("envelope=80ms"), "{text}");

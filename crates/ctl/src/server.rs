@@ -234,6 +234,7 @@ mod tests {
                     blocked: 0,
                     corrupted: 0,
                     truncated: 0,
+                    netem_dropped: 0,
                 }],
             }
         }

@@ -132,6 +132,27 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Pending entries as `(at, seq, kind)` sorted in pop order, plus the
+    /// next insertion sequence number. Used by cluster checkpointing: a
+    /// queue rebuilt from this snapshot pops identically to the original,
+    /// including ties.
+    pub fn snapshot(&self) -> (Vec<(Time, u64, EventKind)>, u64) {
+        let mut entries: Vec<_> =
+            self.heap.iter().map(|Reverse(e)| (e.at, e.seq, e.kind)).collect();
+        entries.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+        (entries, self.seq)
+    }
+
+    /// Rebuild a queue from [`EventQueue::snapshot`] output. `next_seq`
+    /// must be greater than every restored entry's sequence number so that
+    /// post-restore pushes keep losing ties to checkpointed events, exactly
+    /// as they would have in the original run.
+    pub fn from_snapshot(entries: Vec<(Time, u64, EventKind)>, next_seq: u64) -> Self {
+        let heap =
+            entries.into_iter().map(|(at, seq, kind)| Reverse(Entry { at, seq, kind })).collect();
+        EventQueue { heap, seq: next_seq }
+    }
 }
 
 #[cfg(test)]

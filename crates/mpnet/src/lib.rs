@@ -62,11 +62,11 @@ pub use faults::{
     ChurnPlan, FaultEvent, FaultKind, FaultParseError, FaultPlan, FaultSchedule,
     FaultScheduleError, RestartMode,
 };
-pub use link::Link;
+pub use link::{Link, LinkModel};
 pub use loss::{GilbertElliott, LossChannel};
 pub use model_gap::{token_existence_check, GapCheck};
 pub use node::Node;
 pub use nst::{NstConfig, NstSim, NstStats};
 pub use observe::{per_node_max_gap, Sample, Timeline, TimelineSummary};
-pub use sim::{CstSim, SimConfig, SimStats};
+pub use sim::{CstSim, SimConfig, SimStats, CHECKPOINT_KIND_DES, NETEM_FRAME_BYTES};
 pub use transcript::{EventRecord, Transcript};

@@ -9,7 +9,46 @@
 //! This is both faithful to the model and exactly what a real firmware
 //! sender with a 1-deep TX queue would do.
 
-use crate::event::Time;
+use rand::rngs::StdRng;
+
+use crate::event::{DelayModel, Time};
+
+/// The delivery-scheduling seam of the simulator: given a frame offered on
+/// a directed link *now*, decide when (or whether) it arrives.
+///
+/// Two implementations exist: the classic [`DelayModel`] (fixed/uniform
+/// delay, infinite bandwidth, never drops) and `ssr_netem::NetemLink`
+/// (rate + latency + jitter + finite drop-tail buffer), which is how the
+/// E2E recovery envelopes re-run in-simulator under realistic profiles.
+/// Simulated ticks are treated as microseconds by the netem model.
+pub trait LinkModel {
+    /// Offer a frame of `len_bytes` at time `now`. Returns the absolute
+    /// delivery time (strictly after `now`), or `None` if the model
+    /// dropped the frame (finite buffer overflow).
+    ///
+    /// `rng` is the simulator's global stream; models with their own
+    /// per-link stream (netem) must ignore it so that installing them
+    /// does not shift unrelated draws.
+    fn offer_frame(&mut self, now: Time, len_bytes: usize, rng: &mut StdRng) -> Option<Time>;
+}
+
+impl LinkModel for DelayModel {
+    fn offer_frame(&mut self, now: Time, _len_bytes: usize, rng: &mut StdRng) -> Option<Time> {
+        Some(now + self.sample(rng))
+    }
+}
+
+impl LinkModel for ssr_netem::NetemLink {
+    fn offer_frame(&mut self, now: Time, len_bytes: usize, _rng: &mut StdRng) -> Option<Time> {
+        match self.offer(now, len_bytes) {
+            // A zero-latency zero-jitter profile could answer `now`; clamp
+            // to now + 1 so a message is never delivered at its send
+            // instant (the same invariant DelayModel::sample enforces).
+            ssr_netem::Verdict::DeliverAt(at) => Some(at.max(now + 1)),
+            ssr_netem::Verdict::Dropped => None,
+        }
+    }
+}
 
 /// A directed link `src → dst` carrying at most one state message.
 #[derive(Debug, Clone)]
@@ -79,6 +118,25 @@ impl<S: Clone> Link<S> {
     /// dropped by the loss process).
     pub fn record_loss(&mut self) {
         self.losses += 1;
+    }
+
+    /// The message currently in flight, if any (checkpoint serialization).
+    pub fn in_flight(&self) -> Option<&S> {
+        self.in_flight.as_ref()
+    }
+
+    /// Rebuild a link from checkpointed state, private flags included.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        src: usize,
+        dst: usize,
+        in_flight: Option<S>,
+        pending: bool,
+        transmissions: u64,
+        losses: u64,
+        sent_at: Time,
+    ) -> Self {
+        Link { src, dst, in_flight, pending, transmissions, losses, sent_at }
     }
 }
 

@@ -60,6 +60,13 @@ impl LossChannel {
         LossChannel::new(0.0, None)
     }
 
+    /// Rebuild a channel mid-burst from checkpointed state. Restoring `bad`
+    /// (not just the parameters) is what keeps the post-restore drop
+    /// sequence identical to the original run's.
+    pub fn with_state(base_loss: f64, burst: Option<GilbertElliott>, bad: bool) -> Self {
+        LossChannel { base_loss, burst, bad: bad && burst.is_some() }
+    }
+
     /// True iff the burst overlay is currently in the bad state.
     pub fn is_bad(&self) -> bool {
         self.bad

@@ -4,16 +4,28 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use ssr_core::{Config, RingAlgorithm};
+use ssr_core::{Config, RingAlgorithm, WireState};
+use ssr_netem::checkpoint::put_bytes;
+use ssr_netem::{CheckpointError, ChunkReader, ChunkWriter, Cursor, LinkProfile, NetemLink};
 
 use crate::event::{DelayModel, EventKind, EventQueue, Time};
-use crate::link::Link;
+use crate::link::{Link, LinkModel};
 use crate::node::Node;
 use crate::observe::{Sample, Timeline};
 use crate::transcript::{EventRecord, Transcript};
 
 pub use crate::loss::GilbertElliott;
 use crate::loss::LossChannel;
+
+/// Writer-defined kind of a [`CstSim::checkpoint`] file (the `kind` field
+/// of the `SSRC` header): a full DES cluster state.
+pub const CHECKPOINT_KIND_DES: u16 = 1;
+
+/// Frame length, in bytes, the DES charges the netem serializer per CST
+/// state broadcast: the wire header plus payload of `ssr-net`, rounded up
+/// to a realistic small datagram. Fixed so serialization delay — and hence
+/// the whole delivery schedule — depends only on profile and seed.
+pub const NETEM_FRAME_BYTES: usize = 64;
 
 /// Simulator parameters.
 #[derive(Debug, Clone, Copy)]
@@ -121,6 +133,13 @@ pub struct CstSim<A: RingAlgorithm> {
     retired_transmissions: u64,
     retired_losses: u64,
     retired_rules: u64,
+    /// Per-directed-link netem emulators (installed by [`CstSim::set_netem`],
+    /// indexed like `links`); `None` entries use the [`DelayModel`] path.
+    netem: Vec<Option<NetemLink>>,
+    /// The installed profile and its seed, kept so membership re-splices
+    /// rebuild the emulator set for the new ring size.
+    netem_profile: Option<(LinkProfile, u64)>,
+    retired_netem_drops: u64,
 }
 
 impl<A: RingAlgorithm> CstSim<A> {
@@ -196,6 +215,9 @@ impl<A: RingAlgorithm> CstSim<A> {
             retired_transmissions: 0,
             retired_losses: 0,
             retired_rules: 0,
+            netem: vec![None; 2 * n],
+            netem_profile: None,
+            retired_netem_drops: 0,
         };
         sim.rebuild_counters();
         sim.record_sample();
@@ -363,6 +385,58 @@ impl<A: RingAlgorithm> CstSim<A> {
         self.link_delay[idx] = Some(model);
     }
 
+    /// Install a netem link profile on every directed link: even indices
+    /// (`i → succ(i)`) run the profile's `forward` direction, odd indices
+    /// (`i → pred(i)`) its `reverse`. Each link direction gets its own
+    /// deterministic jitter stream derived from `seed` and the link index,
+    /// independent of the simulator's global RNG, and the per-link loss
+    /// channel is rebuilt from the profile's `loss` rate (the global
+    /// `SimConfig::burst` overlay still applies). Replaces both the global
+    /// delay model and any [`CstSim::set_link_delay`] overrides; survives
+    /// membership re-splices (emulators are rebuilt for the new ring).
+    pub fn set_netem(&mut self, profile: &LinkProfile, seed: u64) {
+        self.netem_profile = Some((profile.clone(), seed));
+        self.install_netem();
+    }
+
+    /// (Re)build the emulator set from the stored profile, if any.
+    fn install_netem(&mut self) {
+        let Some((profile, seed)) = self.netem_profile.clone() else {
+            return;
+        };
+        let m = self.links.len();
+        self.netem = (0..m)
+            .map(|idx| {
+                let dir = if idx % 2 == 0 { profile.forward } else { profile.reverse };
+                Some(NetemLink::new(dir, seed, idx))
+            })
+            .collect();
+        for idx in 0..m {
+            let dir = if idx % 2 == 0 { &profile.forward } else { &profile.reverse };
+            self.link_loss[idx] = LossChannel::new(dir.loss, self.cfg.burst);
+        }
+    }
+
+    /// The installed netem profile, if any.
+    pub fn netem_profile(&self) -> Option<&LinkProfile> {
+        self.netem_profile.as_ref().map(|(p, _)| p)
+    }
+
+    /// The emulator of directed link `idx` (indexed like the links: `2i` is
+    /// `i → succ(i)`, `2i+1` is `i → pred(i)`), if netem is installed.
+    pub fn netem_link(&self, idx: usize) -> Option<&NetemLink> {
+        self.netem.get(idx).and_then(|l| l.as_ref())
+    }
+
+    /// Frames tail-dropped by netem buffers so far, cumulative across
+    /// membership re-splices. A strict subset of [`SimStats::losses`]:
+    /// buffer drops are congestion, not the random-loss process, and the
+    /// distinction is what E20 measures.
+    pub fn netem_buffer_drops(&self) -> u64 {
+        self.retired_netem_drops
+            + self.netem.iter().flatten().map(|l| l.stats().buffer_drops).sum::<u64>()
+    }
+
     /// Schedule an outage of the directed link `src → dst`: every delivery
     /// inside `[from, until)` is lost. Models a unidirectional radio shadow
     /// (asymmetric interference), a fault CST's periodic retransmission
@@ -471,6 +545,10 @@ impl<A: RingAlgorithm> CstSim<A> {
         self.link_loss = vec![LossChannel::new(self.cfg.loss, self.cfg.burst); 2 * n];
         self.link_delay = vec![None; 2 * n];
         self.outages = vec![Vec::new(); 2 * n];
+        self.retired_netem_drops +=
+            self.netem.iter().flatten().map(|l| l.stats().buffer_drops).sum::<u64>();
+        self.netem = vec![None; 2 * n];
+        self.install_netem();
         for i in 0..n {
             let first = self.now + self.rng.random_range(1..=self.cfg.timer_interval.max(1));
             self.queue.push(first, EventKind::Timer { node: i });
@@ -690,10 +768,28 @@ impl<A: RingAlgorithm> CstSim<A> {
     fn offer(&mut self, src: usize, link_idx: usize) {
         debug_assert_eq!(self.links[link_idx].src, src);
         let state = self.nodes[src].own.clone();
-        if self.links[link_idx].try_send(state, self.now) {
-            let model = self.link_delay[link_idx].unwrap_or(self.cfg.delay);
-            let delay = model.sample(&mut self.rng);
-            self.queue.push(self.now + delay, EventKind::Arrival { link: link_idx });
+        if !self.links[link_idx].try_send(state, self.now) {
+            return;
+        }
+        let deliver_at = match self.netem[link_idx].as_mut() {
+            Some(nl) => nl.offer_frame(self.now, NETEM_FRAME_BYTES, &mut self.rng),
+            None => {
+                let mut model = self.link_delay[link_idx].unwrap_or(self.cfg.delay);
+                model.offer_frame(self.now, NETEM_FRAME_BYTES, &mut self.rng)
+            }
+        };
+        match deliver_at {
+            Some(at) => self.queue.push(at, EventKind::Arrival { link: link_idx }),
+            None => {
+                // Tail drop: the frame never left the NIC. Free the link and
+                // account the loss like any other (the netem link's own
+                // buffer_drops counter keeps the congestion/loss split).
+                let (_, had_pending) = self.links[link_idx].complete();
+                debug_assert!(!had_pending, "a just-accepted send has no pending successor");
+                self.links[link_idx].record_loss();
+                let dst = self.links[link_idx].dst;
+                self.log(EventRecord::Lost { from: src, to: dst });
+            }
         }
     }
 
@@ -709,6 +805,467 @@ impl<A: RingAlgorithm> CstSim<A> {
             legitimate: self.ground_legit,
         };
         self.timeline.push(sample);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cluster checkpointing: the full simulator state — replica states (via
+// the existing CRC-32 snapshot codec), in-flight frames, netem queues,
+// the fault-schedule cursor and every RNG cursor — serializes into one
+// `SSRC` chunk file that `restore` turns back into a running simulator.
+// The timeline and transcript are *observers*, not state: a restored run
+// starts them fresh, which is exactly what byte-identical replay wants
+// (both the original and the replay observe from the checkpoint onward).
+// ---------------------------------------------------------------------
+
+fn put_delay(buf: &mut Vec<u8>, m: DelayModel) {
+    match m {
+        DelayModel::Fixed(d) => {
+            buf.push(0);
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
+        DelayModel::Uniform { min, max } => {
+            buf.push(1);
+            buf.extend_from_slice(&min.to_le_bytes());
+            buf.extend_from_slice(&max.to_le_bytes());
+        }
+    }
+}
+
+fn read_delay(c: &mut Cursor<'_>, tag: [u8; 4]) -> Result<DelayModel, CheckpointError> {
+    match c.u8()? {
+        0 => Ok(DelayModel::Fixed(c.u64()?)),
+        1 => Ok(DelayModel::Uniform { min: c.u64()?, max: c.u64()? }),
+        _ => Err(CheckpointError::BadChunk { tag }),
+    }
+}
+
+fn put_burst(buf: &mut Vec<u8>, b: Option<GilbertElliott>) {
+    match b {
+        None => buf.push(0),
+        Some(ge) => {
+            buf.push(1);
+            buf.extend_from_slice(&ge.p_enter.to_bits().to_le_bytes());
+            buf.extend_from_slice(&ge.p_exit.to_bits().to_le_bytes());
+            buf.extend_from_slice(&ge.loss_bad.to_bits().to_le_bytes());
+        }
+    }
+}
+
+fn read_burst(c: &mut Cursor<'_>, tag: [u8; 4]) -> Result<Option<GilbertElliott>, CheckpointError> {
+    match c.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(GilbertElliott { p_enter: c.f64()?, p_exit: c.f64()?, loss_bad: c.f64()? })),
+        _ => Err(CheckpointError::BadChunk { tag }),
+    }
+}
+
+fn put_state<S: WireState>(buf: &mut Vec<u8>, s: &S) {
+    let mut tmp = Vec::new();
+    s.encode_payload(&mut tmp);
+    put_bytes(buf, &tmp);
+}
+
+fn read_state<S: WireState>(c: &mut Cursor<'_>, tag: [u8; 4]) -> Result<S, CheckpointError> {
+    S::decode_payload(c.bytes()?).ok_or(CheckpointError::BadChunk { tag })
+}
+
+fn put_windows(buf: &mut Vec<u8>, windows: &[(Time, Time)]) {
+    buf.extend_from_slice(&(windows.len() as u32).to_le_bytes());
+    for &(from, until) in windows {
+        buf.extend_from_slice(&from.to_le_bytes());
+        buf.extend_from_slice(&until.to_le_bytes());
+    }
+}
+
+fn read_windows(c: &mut Cursor<'_>) -> Result<Vec<(Time, Time)>, CheckpointError> {
+    let count = c.u32()? as usize;
+    let mut out = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        out.push((c.u64()?, c.u64()?));
+    }
+    Ok(out)
+}
+
+impl<A: RingAlgorithm> CstSim<A>
+where
+    A::State: WireState,
+{
+    /// Serialize the entire simulator into a versioned, CRC-32-sealed
+    /// checkpoint (see [`ssr_netem::checkpoint`] for the container format;
+    /// the kind is [`CHECKPOINT_KIND_DES`]). `meta` is opaque caller data
+    /// stored verbatim and handed back by [`CstSim::restore`] — `ssrmin`
+    /// stores the run plan (end time, transcript capacity) there.
+    ///
+    /// Per-node replica states ride in the *existing* snapshot codec
+    /// ([`ssr_core::encode_snapshot`]), so a node chunk is bitwise the same
+    /// artifact a daemon writes at shutdown.
+    pub fn checkpoint(&self, meta: &[u8]) -> Vec<u8> {
+        let n = self.nodes.len();
+        let mut w = ChunkWriter::new(CHECKPOINT_KIND_DES);
+
+        let mut b = Vec::new();
+        b.extend_from_slice(&self.cfg.seed.to_le_bytes());
+        put_delay(&mut b, self.cfg.delay);
+        b.extend_from_slice(&self.cfg.loss.to_bits().to_le_bytes());
+        put_burst(&mut b, self.cfg.burst);
+        b.extend_from_slice(&self.cfg.timer_interval.to_le_bytes());
+        b.push(u8::from(self.cfg.send_on_receipt));
+        b.extend_from_slice(&self.cfg.exec_delay.to_le_bytes());
+        b.extend_from_slice(&(n as u32).to_le_bytes());
+        w.chunk(*b"cfg ", &b);
+
+        let mut b = Vec::new();
+        for v in [
+            self.now,
+            self.events_processed,
+            self.retired_transmissions,
+            self.retired_losses,
+            self.retired_rules,
+            self.retired_netem_drops,
+        ] {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+        w.chunk(*b"time", &b);
+
+        let mut b = Vec::new();
+        for word in self.rng.state() {
+            b.extend_from_slice(&word.to_le_bytes());
+        }
+        w.chunk(*b"rng ", &b);
+
+        for node in &self.nodes {
+            w.chunk(*b"node", &node.snapshot());
+        }
+
+        for link in &self.links {
+            let mut b = Vec::new();
+            b.extend_from_slice(&(link.src as u32).to_le_bytes());
+            b.extend_from_slice(&(link.dst as u32).to_le_bytes());
+            match link.in_flight() {
+                None => b.push(0),
+                Some(s) => {
+                    b.push(1);
+                    put_state(&mut b, s);
+                }
+            }
+            b.push(u8::from(link.has_pending()));
+            b.extend_from_slice(&link.transmissions.to_le_bytes());
+            b.extend_from_slice(&link.losses.to_le_bytes());
+            b.extend_from_slice(&link.sent_at.to_le_bytes());
+            w.chunk(*b"link", &b);
+        }
+
+        for ch in &self.link_loss {
+            let mut b = Vec::new();
+            b.extend_from_slice(&ch.base_loss.to_bits().to_le_bytes());
+            put_burst(&mut b, ch.burst);
+            b.push(u8::from(ch.is_bad()));
+            w.chunk(*b"loss", &b);
+        }
+
+        let mut b = Vec::new();
+        for d in &self.link_delay {
+            match d {
+                None => b.push(0),
+                Some(m) => {
+                    b.push(1);
+                    put_delay(&mut b, *m);
+                }
+            }
+        }
+        w.chunk(*b"ldly", &b);
+
+        let (entries, next_seq) = self.queue.snapshot();
+        let mut b = Vec::new();
+        b.extend_from_slice(&next_seq.to_le_bytes());
+        b.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        for (at, seq, kind) in entries {
+            b.extend_from_slice(&at.to_le_bytes());
+            b.extend_from_slice(&seq.to_le_bytes());
+            let (disc, idx) = match kind {
+                EventKind::Arrival { link } => (0u8, link),
+                EventKind::Timer { node } => (1, node),
+                EventKind::Corruption { node } => (2, node),
+                EventKind::Execute { node } => (3, node),
+            };
+            b.push(disc);
+            b.extend_from_slice(&(idx as u32).to_le_bytes());
+        }
+        w.chunk(*b"evnt", &b);
+
+        // The fault-schedule cursor: corruptions not yet applied. (Applied
+        // ones were swap_removed; their queue events exist only pre-fire.)
+        let mut b = Vec::new();
+        b.extend_from_slice(&(self.corruptions.len() as u32).to_le_bytes());
+        for (at, node, state) in &self.corruptions {
+            b.extend_from_slice(&at.to_le_bytes());
+            b.extend_from_slice(&(*node as u32).to_le_bytes());
+            put_state(&mut b, state);
+        }
+        w.chunk(*b"corr", &b);
+
+        let b: Vec<u8> = self.exec_scheduled.iter().map(|&x| u8::from(x)).collect();
+        w.chunk(*b"exec", &b);
+
+        let mut b = Vec::new();
+        for windows in &self.pauses {
+            put_windows(&mut b, windows);
+        }
+        w.chunk(*b"paus", &b);
+
+        let mut b = Vec::new();
+        for windows in &self.outages {
+            put_windows(&mut b, windows);
+        }
+        w.chunk(*b"outg", &b);
+
+        if let Some((profile, seed)) = &self.netem_profile {
+            let mut b = Vec::new();
+            put_bytes(&mut b, profile.name.as_bytes());
+            profile.forward.encode_into(&mut b);
+            profile.reverse.encode_into(&mut b);
+            b.extend_from_slice(&seed.to_le_bytes());
+            w.chunk(*b"ntem", &b);
+            for nl in &self.netem {
+                let nl = nl.as_ref().expect("set_netem installs every link");
+                w.chunk(*b"ntml", &nl.snapshot());
+            }
+        }
+
+        w.chunk(*b"meta", meta);
+        w.finish()
+    }
+
+    /// Restore a simulator from [`CstSim::checkpoint`] bytes and return it
+    /// together with the stored `meta` payload. `algo` must be the same
+    /// algorithm the checkpointed run used (same ring size — checked — and
+    /// same parameters, which the state chunks implicitly pin via their
+    /// wire `KIND` and payloads).
+    ///
+    /// The restored simulator resumes the exact event, RNG, loss and netem
+    /// streams of the original: running both to the same end time yields
+    /// byte-identical transcripts and verdicts. The timeline and transcript
+    /// restart empty (observers, not state).
+    pub fn restore(algo: A, bytes: &[u8]) -> Result<(Self, Vec<u8>), CheckpointError> {
+        let r = ChunkReader::parse_kind(bytes, CHECKPOINT_KIND_DES)?;
+        let bad = |tag: [u8; 4]| CheckpointError::BadChunk { tag };
+
+        let tag = *b"cfg ";
+        let mut c = Cursor::new(tag, r.require(tag)?);
+        let seed = c.u64()?;
+        let delay = read_delay(&mut c, tag)?;
+        let loss = c.f64()?;
+        let burst = read_burst(&mut c, tag)?;
+        let timer_interval = c.u64()?;
+        let send_on_receipt = c.u8()? != 0;
+        let exec_delay = c.u64()?;
+        let n = c.u32()? as usize;
+        c.finish()?;
+        let cfg =
+            SimConfig { seed, delay, loss, burst, timer_interval, send_on_receipt, exec_delay };
+        if algo.n() != n || n == 0 {
+            return Err(bad(tag));
+        }
+
+        let tag = *b"time";
+        let mut c = Cursor::new(tag, r.require(tag)?);
+        let now = c.u64()?;
+        let events_processed = c.u64()?;
+        let retired_transmissions = c.u64()?;
+        let retired_losses = c.u64()?;
+        let retired_rules = c.u64()?;
+        let retired_netem_drops = c.u64()?;
+        c.finish()?;
+
+        let tag = *b"rng ";
+        let mut c = Cursor::new(tag, r.require(tag)?);
+        let rng_state = [c.u64()?, c.u64()?, c.u64()?, c.u64()?];
+        c.finish()?;
+
+        let nodes: Vec<Node<A::State>> = r
+            .all(*b"node")
+            .map(|chunk| Node::from_snapshot(chunk).map_err(|_| bad(*b"node")))
+            .collect::<Result<_, _>>()?;
+        if nodes.len() != n {
+            return Err(CheckpointError::MissingChunk { tag: *b"node" });
+        }
+
+        let tag = *b"link";
+        let mut links = Vec::with_capacity(2 * n);
+        for chunk in r.all(tag) {
+            let mut c = Cursor::new(tag, chunk);
+            let src = c.u32()? as usize;
+            let dst = c.u32()? as usize;
+            let in_flight = match c.u8()? {
+                0 => None,
+                1 => Some(read_state::<A::State>(&mut c, tag)?),
+                _ => return Err(bad(tag)),
+            };
+            let pending = c.u8()? != 0;
+            let transmissions = c.u64()?;
+            let losses = c.u64()?;
+            let sent_at = c.u64()?;
+            c.finish()?;
+            if src >= n || dst >= n {
+                return Err(bad(tag));
+            }
+            links.push(Link::from_parts(
+                src,
+                dst,
+                in_flight,
+                pending,
+                transmissions,
+                losses,
+                sent_at,
+            ));
+        }
+        if links.len() != 2 * n {
+            return Err(CheckpointError::MissingChunk { tag });
+        }
+
+        let tag = *b"loss";
+        let mut link_loss = Vec::with_capacity(2 * n);
+        for chunk in r.all(tag) {
+            let mut c = Cursor::new(tag, chunk);
+            let base_loss = c.f64()?;
+            let ge = read_burst(&mut c, tag)?;
+            let is_bad = c.u8()? != 0;
+            c.finish()?;
+            link_loss.push(LossChannel::with_state(base_loss, ge, is_bad));
+        }
+        if link_loss.len() != 2 * n {
+            return Err(CheckpointError::MissingChunk { tag });
+        }
+
+        let tag = *b"ldly";
+        let mut c = Cursor::new(tag, r.require(tag)?);
+        let mut link_delay = Vec::with_capacity(2 * n);
+        for _ in 0..2 * n {
+            link_delay.push(match c.u8()? {
+                0 => None,
+                1 => Some(read_delay(&mut c, tag)?),
+                _ => return Err(bad(tag)),
+            });
+        }
+        c.finish()?;
+
+        let tag = *b"evnt";
+        let mut c = Cursor::new(tag, r.require(tag)?);
+        let next_seq = c.u64()?;
+        let count = c.u32()? as usize;
+        let mut entries = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let at = c.u64()?;
+            let seq = c.u64()?;
+            let disc = c.u8()?;
+            let idx = c.u32()? as usize;
+            let kind = match disc {
+                0 if idx < 2 * n => EventKind::Arrival { link: idx },
+                1 if idx < n => EventKind::Timer { node: idx },
+                2 if idx < n => EventKind::Corruption { node: idx },
+                3 if idx < n => EventKind::Execute { node: idx },
+                _ => return Err(bad(tag)),
+            };
+            if seq >= next_seq {
+                return Err(bad(tag));
+            }
+            entries.push((at, seq, kind));
+        }
+        c.finish()?;
+        let queue = EventQueue::from_snapshot(entries, next_seq);
+
+        let tag = *b"corr";
+        let mut c = Cursor::new(tag, r.require(tag)?);
+        let count = c.u32()? as usize;
+        let mut corruptions = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            let at = c.u64()?;
+            let node = c.u32()? as usize;
+            let state = read_state::<A::State>(&mut c, tag)?;
+            if node >= n {
+                return Err(bad(tag));
+            }
+            corruptions.push((at, node, state));
+        }
+        c.finish()?;
+
+        let tag = *b"exec";
+        let chunk = r.require(tag)?;
+        if chunk.len() != n {
+            return Err(bad(tag));
+        }
+        let exec_scheduled: Vec<bool> = chunk.iter().map(|&x| x != 0).collect();
+
+        let tag = *b"paus";
+        let mut c = Cursor::new(tag, r.require(tag)?);
+        let pauses: Vec<_> = (0..n).map(|_| read_windows(&mut c)).collect::<Result<_, _>>()?;
+        c.finish()?;
+
+        let tag = *b"outg";
+        let mut c = Cursor::new(tag, r.require(tag)?);
+        let outages: Vec<_> = (0..2 * n).map(|_| read_windows(&mut c)).collect::<Result<_, _>>()?;
+        c.finish()?;
+
+        let tag = *b"ntem";
+        let (netem, netem_profile) = match r.find(tag) {
+            None => (vec![None; 2 * n], None),
+            Some(chunk) => {
+                let mut c = Cursor::new(tag, chunk);
+                let name = String::from_utf8(c.bytes()?.to_vec()).map_err(|_| bad(tag))?;
+                let forward = ssr_netem::DirProfile::decode(&mut c, tag)?;
+                let reverse = ssr_netem::DirProfile::decode(&mut c, tag)?;
+                let netem_seed = c.u64()?;
+                c.finish()?;
+                let profile = LinkProfile { name, forward, reverse };
+                let netem: Vec<Option<NetemLink>> = r
+                    .all(*b"ntml")
+                    .map(|chunk| NetemLink::restore(*b"ntml", chunk).map(Some))
+                    .collect::<Result<_, _>>()?;
+                if netem.len() != 2 * n {
+                    return Err(CheckpointError::MissingChunk { tag: *b"ntml" });
+                }
+                (netem, Some((profile, netem_seed)))
+            }
+        };
+
+        let meta = r.find(*b"meta").unwrap_or_default().to_vec();
+
+        let mut sim = CstSim {
+            algo,
+            cfg,
+            nodes,
+            links,
+            queue,
+            now,
+            rng: StdRng::from_state(rng_state),
+            timeline: Timeline::new(),
+            corruptions,
+            exec_scheduled,
+            link_loss,
+            priv_flags: vec![false; n],
+            priv_count: 0,
+            priv_mask: 0,
+            node_tokens: vec![0; n],
+            tokens_total_ctr: 0,
+            cache_ok: vec![[true; 2]; n],
+            bad_entries: 0,
+            ground_legit: false,
+            link_delay,
+            pauses,
+            outages,
+            transcript: None,
+            events_processed,
+            retired_transmissions,
+            retired_losses,
+            retired_rules,
+            netem,
+            netem_profile,
+            retired_netem_drops,
+        };
+        sim.rebuild_counters();
+        sim.record_sample();
+        Ok((sim, meta))
     }
 }
 
@@ -1186,5 +1743,179 @@ mod tests {
         let a = SsrMin::new(params(5, 10));
         let mut sim = CstSim::new(a, a.legitimate_anchor(0), SimConfig::default()).unwrap();
         sim.splice_join(SsrMin::new(params(7, 10)), SsrState::new(0, 0, 0));
+    }
+
+    // ---- netem link models -------------------------------------------
+
+    fn netem_sim(seed: u64, profile: &str) -> CstSim<SsrMin> {
+        let p = params(5, 7);
+        let a = SsrMin::new(p);
+        // Netem times are microseconds; a gossip timer every 20 ms keeps
+        // the WAN profiles (40–60 ms latency) meaningfully slower than LAN.
+        let cfg = SimConfig { seed, timer_interval: 20_000, ..SimConfig::default() };
+        let mut sim = CstSim::new(a, a.legitimate_anchor(0), cfg).unwrap();
+        sim.set_netem(&ssr_netem::LinkProfile::builtin(profile).unwrap(), seed);
+        sim
+    }
+
+    #[test]
+    fn netem_runs_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut sim = netem_sim(seed, "wan");
+            sim.run_until(2_000_000);
+            (sim.ground_config(), sim.stats(), sim.netem_buffer_drops())
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn wan_throttles_circulation_relative_to_lan_but_stays_safe() {
+        let mut lan = netem_sim(5, "lan");
+        let mut wan = netem_sim(5, "wan");
+        lan.run_until(3_000_000);
+        wan.run_until(3_000_000);
+        assert!(
+            wan.stats().rules_executed < lan.stats().rules_executed,
+            "40 ms links must hand over slower than 100 µs links ({} vs {})",
+            wan.stats().rules_executed,
+            lan.stats().rules_executed
+        );
+        assert!(lan.stats().rules_executed > 50, "lan ring must circulate");
+        let sum = lan.timeline().summary(0).unwrap();
+        assert_eq!(sum.zero_privileged_time, 0, "safety under netem");
+    }
+
+    #[test]
+    fn lossy_wan_drops_and_netem_drops_stay_distinct() {
+        let mut sim = netem_sim(9, "lossy-wan");
+        sim.run_until(4_000_000);
+        let st = sim.stats();
+        assert!(st.losses > 0, "5% profile loss must fire");
+        // Buffer drops are a subset of losses; with a 32-frame buffer and
+        // one-deep senders they should be rare or zero, never exceeding
+        // the loss total.
+        assert!(sim.netem_buffer_drops() <= st.losses);
+        assert!(st.rules_executed > 10, "circulation survives the lossy WAN");
+    }
+
+    #[test]
+    fn cst_single_capacity_links_self_pace_even_a_one_frame_buffer() {
+        use ssr_netem::{DirProfile, Jitter, LinkProfile};
+        // The paper's links carry one message per direction at a time, and
+        // the coalescing sender never offers a second frame before the
+        // first delivers — CST is *self-clocking*, so in the DES even a
+        // 1-frame netem buffer cannot overflow, no matter how slow the
+        // serializer. (Drop-tail fires at the UDP proxy, where kernel
+        // datagrams race the pacer asynchronously.) The serializer still
+        // throttles: one 64-byte frame at 64 kbit/s occupies it for 8 ms.
+        let dir = DirProfile {
+            rate_bps: 64_000,
+            latency_us: 1_000,
+            jitter: Jitter::None,
+            buffer_frames: 1,
+            loss: 0.0,
+        };
+        let profile = LinkProfile::symmetric("crawl", dir);
+        let p = params(5, 7);
+        let a = SsrMin::new(p);
+        let cfg = SimConfig { seed: 2, timer_interval: 5_000, ..SimConfig::default() };
+        let mut crawl = CstSim::new(a, a.legitimate_anchor(0), cfg).unwrap();
+        crawl.set_netem(&profile, 2);
+        let mut lan = CstSim::new(a, a.legitimate_anchor(0), cfg).unwrap();
+        lan.set_netem(&LinkProfile::builtin("lan").unwrap(), 2);
+        crawl.run_until(1_000_000);
+        lan.run_until(1_000_000);
+        assert_eq!(crawl.netem_buffer_drops(), 0, "self-clocked senders cannot overflow");
+        assert_eq!(crawl.stats().losses, 0);
+        assert!(crawl.stats().rules_executed > 0, "the ring still makes progress");
+        assert!(
+            crawl.stats().rules_executed < lan.stats().rules_executed / 2,
+            "the 8 ms serializer must throttle circulation ({} vs {})",
+            crawl.stats().rules_executed,
+            lan.stats().rules_executed
+        );
+    }
+
+    #[test]
+    fn netem_survives_a_resplice() {
+        let mut sim = netem_sim(4, "lan");
+        sim.run_until(500_000);
+        let own = graceful_joiner(&sim);
+        sim.splice_join(SsrMin::new(params(6, 7)), own);
+        assert_eq!(sim.netem_profile().unwrap().name, "lan");
+        assert!(sim.netem_link(11).is_some(), "12 directed links after the join");
+        let before = sim.stats().rules_executed;
+        sim.run_until(1_500_000);
+        assert!(sim.stats().rules_executed > before, "resized netem ring circulates");
+    }
+
+    // ---- cluster checkpoint / replay ---------------------------------
+
+    #[test]
+    fn checkpoint_restore_replays_byte_identically() {
+        let p = params(5, 7);
+        let a = SsrMin::new(p);
+        let cfg = SimConfig { seed: 17, timer_interval: 20_000, ..SimConfig::default() };
+        let mut sim = CstSim::new(a, a.legitimate_anchor(0), cfg).unwrap();
+        sim.set_netem(&ssr_netem::LinkProfile::builtin("lossy-wan").unwrap(), 17);
+        // A fault cursor that straddles the checkpoint: one corruption
+        // before it (already applied), one after (still pending).
+        sim.schedule_corruption(400_000, 2, "6.1.1".parse().unwrap());
+        sim.schedule_corruption(1_200_000, 4, "1.0.1".parse().unwrap());
+        sim.schedule_pause(3, 900_000, 1_100_000);
+        sim.run_until(800_000);
+
+        let bytes = sim.checkpoint(b"run-to-3M");
+        let (mut replay, meta) = CstSim::restore(SsrMin::new(p), &bytes).unwrap();
+        assert_eq!(meta, b"run-to-3M");
+        assert_eq!(replay.now(), sim.now());
+        assert_eq!(replay.ground_config(), sim.ground_config());
+
+        // Observe both runs from the checkpoint onward and drive them to
+        // the same end: every event must match, byte for byte.
+        sim.enable_transcript(1 << 14);
+        replay.enable_transcript(1 << 14);
+        sim.run_until(3_000_000);
+        replay.run_until(3_000_000);
+        assert_eq!(sim.stats(), replay.stats());
+        assert_eq!(sim.ground_config(), replay.ground_config());
+        assert_eq!(sim.netem_buffer_drops(), replay.netem_buffer_drops());
+        let a_t = sim.transcript().unwrap().render();
+        let b_t = replay.transcript().unwrap().render();
+        assert!(!a_t.is_empty());
+        assert_eq!(a_t, b_t, "replay transcript must be byte-identical");
+    }
+
+    #[test]
+    fn checkpoint_without_netem_also_round_trips() {
+        let p = params(4, 6);
+        let a = SsrMin::new(p);
+        let cfg = SimConfig { seed: 8, loss: 0.2, exec_delay: 3, ..SimConfig::default() };
+        let mut sim = CstSim::new(a, a.legitimate_anchor(1), cfg).unwrap();
+        sim.set_link_delay(1, 2, DelayModel::Uniform { min: 2, max: 11 });
+        sim.run_until(4_000);
+        let bytes = sim.checkpoint(&[]);
+        let (mut replay, meta) = CstSim::restore(SsrMin::new(p), &bytes).unwrap();
+        assert!(meta.is_empty());
+        sim.enable_transcript(4096);
+        replay.enable_transcript(4096);
+        sim.run_until(20_000);
+        replay.run_until(20_000);
+        assert_eq!(sim.transcript().unwrap().render(), replay.transcript().unwrap().render());
+        assert_eq!(sim.stats(), replay.stats());
+    }
+
+    #[test]
+    fn restore_rejects_the_wrong_ring_size_and_damage() {
+        let p = params(5, 7);
+        let a = SsrMin::new(p);
+        let sim = CstSim::new(a, a.legitimate_anchor(0), SimConfig::default()).unwrap();
+        let bytes = sim.checkpoint(&[]);
+        assert!(CstSim::restore(SsrMin::new(params(6, 7)), &bytes).is_err());
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        assert!(CstSim::restore(SsrMin::new(p), &bad).is_err(), "corruption fails closed");
+        assert!(CstSim::restore(SsrMin::new(p), &bytes[..bytes.len() - 3]).is_err());
     }
 }

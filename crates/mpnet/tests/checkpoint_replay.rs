@@ -1,0 +1,95 @@
+//! Property tests for the cluster checkpoint/replay contract on the DES:
+//! whatever seed, ring size, netem profile, fault schedule and cut point
+//! are drawn, (a) two fresh runs with equal inputs produce byte-identical
+//! transcripts, and (b) a checkpoint taken mid-run, restored and run to
+//! the same end time reproduces the original's transcript, statistics and
+//! final configuration exactly — the property `ssrmin replay` ships.
+
+use proptest::prelude::*;
+
+use ssr_core::{RingParams, SsrMin, SsrState};
+use ssr_mpnet::{CstSim, SimConfig};
+use ssr_netem::{LinkProfile, BUILTIN_PROFILES};
+
+const TIMER: u64 = 5_000;
+const T_END: u64 = 2_000_000;
+
+/// One faulted, netem-paced simulation: legitimate start, `faults` seeded
+/// corruptions spread over the run.
+fn build(n: usize, seed: u64, profile_idx: usize, faults: usize) -> CstSim<SsrMin> {
+    let k = n as u32 + 2;
+    let algo = SsrMin::new(RingParams::new(n, k).unwrap());
+    let cfg = SimConfig { seed, timer_interval: TIMER, ..SimConfig::default() };
+    let mut sim = CstSim::new(algo, algo.legitimate_anchor(0), cfg).unwrap();
+    let profile = LinkProfile::builtin(BUILTIN_PROFILES[profile_idx]).unwrap();
+    sim.set_netem(&profile, seed);
+    for f in 0..faults {
+        let at = (f as u64 + 1) * T_END / (faults as u64 + 1);
+        let victim = (seed as usize).wrapping_add(f) % n;
+        let poison = SsrState::new((seed as u32).wrapping_add(f as u32) % k, 1, (f as u8) & 1);
+        sim.schedule_corruption(at, victim, poison);
+    }
+    sim
+}
+
+proptest! {
+    // Each case drives full DES runs; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same seed + same profile ⇒ identical delivery schedule: two fresh
+    /// simulators with equal inputs agree event for event.
+    #[test]
+    fn equal_seeds_and_profiles_replay_identically(
+        seed in any::<u64>(),
+        n in 3usize..=6,
+        profile_idx in 0usize..4,
+        faults in 0usize..=3,
+    ) {
+        let mut a = build(n, seed, profile_idx, faults);
+        let mut b = build(n, seed, profile_idx, faults);
+        a.enable_transcript(8192);
+        b.enable_transcript(8192);
+        a.run_until(T_END);
+        b.run_until(T_END);
+        prop_assert_eq!(a.transcript().unwrap().render(), b.transcript().unwrap().render());
+        prop_assert_eq!(a.stats(), b.stats());
+        prop_assert_eq!(a.netem_buffer_drops(), b.netem_buffer_drops());
+        prop_assert_eq!(a.ground_config(), b.ground_config());
+    }
+
+    /// Checkpoint → restore → replay reproduces the original transcript
+    /// exactly, wherever the cut lands relative to the fault schedule.
+    #[test]
+    fn checkpoint_restore_replays_byte_identically(
+        seed in any::<u64>(),
+        n in 3usize..=6,
+        profile_idx in 0usize..4,
+        faults in 0usize..=3,
+        cut_tenths in 1u64..=9,
+    ) {
+        let t_cut = T_END * cut_tenths / 10;
+        let mut original = build(n, seed, profile_idx, faults);
+        original.run_until(t_cut);
+        let bytes = original.checkpoint(b"replay-meta");
+
+        // Original finishes, recording the post-cut stretch.
+        original.enable_transcript(8192);
+        original.run_until(T_END);
+
+        let k = n as u32 + 2;
+        let algo = SsrMin::new(RingParams::new(n, k).unwrap());
+        let (mut replay, meta) = CstSim::restore(algo, &bytes).unwrap();
+        prop_assert_eq!(meta.as_slice(), b"replay-meta" as &[u8]);
+        replay.enable_transcript(8192);
+        replay.run_until(T_END);
+
+        prop_assert_eq!(
+            original.transcript().unwrap().render(),
+            replay.transcript().unwrap().render()
+        );
+        prop_assert_eq!(original.stats(), replay.stats());
+        prop_assert_eq!(original.netem_buffer_drops(), replay.netem_buffer_drops());
+        prop_assert_eq!(original.ground_config(), replay.ground_config());
+        prop_assert_eq!(original.local_privileged(), replay.local_privileged());
+    }
+}

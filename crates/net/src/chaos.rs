@@ -15,6 +15,19 @@
 //!   like packets that left the wire before the cut);
 //! * [`ChaosProxy::set_dst`] — re-aim the forwarding destination, needed
 //!   when a crashed node comes back on fresh sockets.
+//!
+//! Since the netem work the proxy also carries an optional **pacing
+//! stage** ahead of the damage model: an [`ssr_netem::NetemLink`]
+//! (serialization rate + propagation latency + jitter + finite drop-tail
+//! buffer) evaluated on the proxy's microsecond clock. A datagram first
+//! meets the pacer — which may tail-drop it (counted separately in
+//! [`ChaosStats::netem_dropped`], *not* in `dropped`: congestion is not
+//! random loss) or assign its earliest delivery instant — and only then
+//! the seeded loss/damage process. Profiles swap at runtime via
+//! [`ChaosHandle::set_netem`] (the `POST /chaos netem <profile>` path)
+//! without disturbing the seeded RNG streams: pacer jitter draws from its
+//! own per-link stream, so enabling or swapping a profile never shifts
+//! the loss/damage decisions of a seeded run.
 
 use std::fmt;
 use std::io;
@@ -28,18 +41,58 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use ssr_mpnet::loss::{GilbertElliott, LossChannel};
+use ssr_netem::{DirProfile, NetemLink, ProfileError, Verdict};
 
 /// Why a [`ChaosConfig`] is not executable.
 #[derive(Debug, Clone, PartialEq)]
-pub struct InvalidChaosConfig(String);
+pub enum InvalidChaosConfig {
+    /// A probability knob is outside `[0, 1]` (or NaN).
+    Probability {
+        /// Which knob (`loss`, `duplicate`, `burst.p_enter`, …).
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A delay range has its lower bound above its upper bound.
+    InvertedDelay {
+        /// Which range (`delay` or `delay_reverse`).
+        name: &'static str,
+        /// Lower bound.
+        lo: Duration,
+        /// Upper bound.
+        hi: Duration,
+    },
+    /// A netem pacing profile fails [`DirProfile::validate`]: zero rate,
+    /// buffer smaller than one frame, jitter exceeding latency, bad
+    /// lognormal sigma or loss outside `[0, 1]`.
+    Netem(ProfileError),
+}
 
 impl fmt::Display for InvalidChaosConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid chaos config: {}", self.0)
+        match self {
+            InvalidChaosConfig::Probability { name, value } => {
+                write!(
+                    f,
+                    "invalid chaos config: {name} must be a probability in [0, 1], got {value}"
+                )
+            }
+            InvalidChaosConfig::InvertedDelay { name, lo, hi } => {
+                write!(f, "invalid chaos config: {name} range is inverted: {lo:?} > {hi:?}")
+            }
+            InvalidChaosConfig::Netem(e) => write!(f, "invalid chaos config: {e}"),
+        }
     }
 }
 
-impl std::error::Error for InvalidChaosConfig {}
+impl std::error::Error for InvalidChaosConfig {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InvalidChaosConfig::Netem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Fault knobs of one proxied link (mirrors the simulator's fault model).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,6 +118,19 @@ pub struct ChaosConfig {
     /// shorter prefix (possibly empty) — a fragmentation/MTU-style wire
     /// error the codec's length checks must reject.
     pub truncate: f64,
+    /// Delay range of the *reverse* direction (`i → pred(i)`, odd link
+    /// indices). `None` = symmetric: reverse links use [`ChaosConfig::delay`].
+    /// Resolved per directed link by [`ChaosConfig::for_direction`] before a
+    /// proxy is spawned.
+    pub delay_reverse: Option<(Duration, Duration)>,
+    /// Optional netem pacing profile of the *forward* direction
+    /// (`i → succ(i)`, even link indices): serialization rate, propagation
+    /// latency, jitter and a finite drop-tail buffer, applied ahead of the
+    /// damage model. `None` = no pacing stage.
+    pub netem: Option<DirProfile>,
+    /// Pacing profile of the *reverse* direction. `None` = symmetric:
+    /// reverse links use [`ChaosConfig::netem`].
+    pub netem_reverse: Option<DirProfile>,
 }
 
 impl Default for ChaosConfig {
@@ -78,21 +144,25 @@ impl Default for ChaosConfig {
             reorder: 0.0,
             corrupt: 0.0,
             truncate: 0.0,
+            delay_reverse: None,
+            netem: None,
+            netem_reverse: None,
         }
     }
 }
 
 impl ChaosConfig {
     /// Check every knob is executable: probabilities in `[0, 1]` (including
-    /// the burst overlay's), `delay.0 <= delay.1`. [`ChaosProxy::spawn`]
-    /// rejects invalid configs, mirroring the CLI-side validation, so a
-    /// typo'd probability fails fast instead of silently misbehaving.
+    /// the burst overlay's), delay ranges not inverted, netem profiles
+    /// passing [`DirProfile::validate`]. [`ChaosProxy::spawn`] rejects
+    /// invalid configs, mirroring the CLI-side validation, so a typo'd
+    /// probability fails fast instead of silently misbehaving.
     pub fn validate(&self) -> Result<(), InvalidChaosConfig> {
-        let prob = |name: &str, p: f64| {
+        let prob = |name: &'static str, p: f64| {
             if (0.0..=1.0).contains(&p) {
                 Ok(())
             } else {
-                Err(InvalidChaosConfig(format!("{name} must be a probability in [0, 1], got {p}")))
+                Err(InvalidChaosConfig::Probability { name, value: p })
             }
         };
         prob("loss", self.loss)?;
@@ -105,13 +175,55 @@ impl ChaosConfig {
             prob("burst.p_exit", ge.p_exit)?;
             prob("burst.loss_bad", ge.loss_bad)?;
         }
-        if self.delay.0 > self.delay.1 {
-            return Err(InvalidChaosConfig(format!(
-                "delay range is inverted: {:?} > {:?}",
-                self.delay.0, self.delay.1
-            )));
+        let range = |name: &'static str, (lo, hi): (Duration, Duration)| {
+            if lo > hi {
+                Err(InvalidChaosConfig::InvertedDelay { name, lo, hi })
+            } else {
+                Ok(())
+            }
+        };
+        range("delay", self.delay)?;
+        if let Some(r) = self.delay_reverse {
+            range("delay_reverse", r)?;
+        }
+        if let Some(p) = self.netem {
+            p.validate("netem.forward").map_err(InvalidChaosConfig::Netem)?;
+        }
+        if let Some(p) = self.netem_reverse {
+            p.validate("netem.reverse").map_err(InvalidChaosConfig::Netem)?;
         }
         Ok(())
+    }
+
+    /// Resolve the per-direction knobs into the concrete config of one
+    /// directed link: forward links (`i → succ(i)`, even indices) use
+    /// `delay`/`netem` as-is; reverse links (`i → pred(i)`, odd indices)
+    /// substitute `delay_reverse`/`netem_reverse` when set, falling back to
+    /// the forward values (symmetric default). The `_reverse` fields are
+    /// cleared in the result so a proxy never sees unresolved asymmetry.
+    ///
+    /// When the resolved direction carries a pacing profile, that profile's
+    /// `loss` becomes the direction's i.i.d. loss rate, replacing
+    /// [`ChaosConfig::loss`] — the same ownership the DES gives a profile
+    /// ([`ssr_mpnet::CstSim`]'s `set_netem` rebuilds each link's loss
+    /// channel from the profile), so `lossy-wan` loses datagrams on UDP
+    /// exactly where it loses frames in simulation.
+    pub fn for_direction(&self, reverse: bool) -> ChaosConfig {
+        let mut cfg = *self;
+        if reverse {
+            if let Some(d) = self.delay_reverse {
+                cfg.delay = d;
+            }
+            if let Some(p) = self.netem_reverse {
+                cfg.netem = Some(p);
+            }
+        }
+        if let Some(p) = cfg.netem {
+            cfg.loss = p.loss;
+        }
+        cfg.delay_reverse = None;
+        cfg.netem_reverse = None;
+        cfg
     }
 }
 
@@ -134,6 +246,14 @@ pub struct ChaosStats {
     /// Datagrams forwarded cut to a shorter prefix by the truncation
     /// process.
     pub truncated: AtomicU64,
+    /// Datagrams tail-dropped by the netem pacing buffer. Deliberately
+    /// distinct from [`ChaosStats::dropped`]: congestion loss is a
+    /// deterministic consequence of offered load, not a draw of the seeded
+    /// random-loss process.
+    pub netem_dropped: AtomicU64,
+    /// Gauge: frames occupying the netem pacing buffer after the most
+    /// recent offer (zero when pacing is off).
+    pub netem_queue_depth: AtomicU64,
 }
 
 impl ChaosStats {
@@ -148,6 +268,8 @@ impl ChaosStats {
             blocked: self.blocked.load(Ordering::Relaxed),
             corrupted: self.corrupted.load(Ordering::Relaxed),
             truncated: self.truncated.load(Ordering::Relaxed),
+            netem_dropped: self.netem_dropped.load(Ordering::Relaxed),
+            netem_queue_depth: self.netem_queue_depth.load(Ordering::Relaxed),
         }
     }
 }
@@ -169,6 +291,10 @@ pub struct ChaosCounters {
     pub corrupted: u64,
     /// See [`ChaosStats::truncated`].
     pub truncated: u64,
+    /// See [`ChaosStats::netem_dropped`].
+    pub netem_dropped: u64,
+    /// See [`ChaosStats::netem_queue_depth`].
+    pub netem_queue_depth: u64,
 }
 
 /// Sentinel for "no override": the bits of `f64::NAN`.
@@ -200,24 +326,36 @@ fn load_override(cell: &AtomicU64) -> Option<f64> {
     }
 }
 
-/// The shared runtime-control cells of one proxy: the partition switch and
-/// the live probability overrides, cloned between the proxy thread, the
-/// owning [`ChaosProxy`] and every [`ChaosHandle`].
+/// The requested netem pacing state, written by handles and polled by the
+/// proxy thread. `epoch` bumps on every [`ChaosHandle::set_netem`] so the
+/// proxy applies each swap exactly once.
+#[derive(Debug, Clone, Copy)]
+struct NetemCell {
+    profile: Option<DirProfile>,
+    epoch: u64,
+}
+
+/// The shared runtime-control cells of one proxy: the partition switch,
+/// the live probability overrides and the netem pacing profile, cloned
+/// between the proxy thread, the owning [`ChaosProxy`] and every
+/// [`ChaosHandle`].
 #[derive(Debug, Clone)]
 struct Controls {
     partitioned: Arc<AtomicBool>,
     loss_override: Arc<AtomicU64>,
     corrupt_override: Arc<AtomicU64>,
     truncate_override: Arc<AtomicU64>,
+    netem: Arc<Mutex<NetemCell>>,
 }
 
 impl Controls {
-    fn new() -> Self {
+    fn new(netem: Option<DirProfile>) -> Self {
         Controls {
             partitioned: Arc::new(AtomicBool::new(false)),
             loss_override: Arc::new(AtomicU64::new(no_override())),
             corrupt_override: Arc::new(AtomicU64::new(no_override())),
             truncate_override: Arc::new(AtomicU64::new(no_override())),
+            netem: Arc::new(Mutex::new(NetemCell { profile: netem, epoch: 0 })),
         }
     }
 }
@@ -287,6 +425,27 @@ impl ChaosHandle {
     pub fn truncate_override(&self) -> Option<f64> {
         load_override(&self.controls.truncate_override)
     }
+
+    /// Swap the netem pacing profile at runtime (`None` switches pacing
+    /// off) — the `POST /chaos netem <profile>|off` path. The profile is
+    /// validated first; the proxy applies the swap on its next loop
+    /// iteration (≤ its read timeout away). Frames already paced keep
+    /// their assigned delivery instants; when pacing was already on, the
+    /// link's jitter stream and counters continue uninterrupted.
+    pub fn set_netem(&self, profile: Option<DirProfile>) -> Result<(), InvalidChaosConfig> {
+        if let Some(p) = profile {
+            p.validate("netem").map_err(InvalidChaosConfig::Netem)?;
+        }
+        let mut cell = self.controls.netem.lock();
+        cell.profile = profile;
+        cell.epoch += 1;
+        Ok(())
+    }
+
+    /// The pacing profile currently requested (`None` = pacing off).
+    pub fn netem_profile(&self) -> Option<DirProfile> {
+        self.controls.netem.lock().profile
+    }
 }
 
 /// A running chaos proxy thread for one directed link.
@@ -311,7 +470,7 @@ impl ChaosProxy {
         let addr = socket.local_addr()?;
         let stats = Arc::new(ChaosStats::default());
         let stop = Arc::new(AtomicBool::new(false));
-        let controls = Controls::new();
+        let controls = Controls::new(cfg.netem);
         let dst = Arc::new(Mutex::new(dst));
         let handle = {
             let stats = Arc::clone(&stats);
@@ -414,6 +573,14 @@ fn proxy_main(
     // Delay queue: (due, payload). Kept small; datagrams are tiny.
     let mut queue: Vec<(Instant, Vec<u8>)> = Vec::new();
     let mut buf = vec![0u8; 64 * 1024];
+    // Netem pacing: the link emulator runs on microseconds elapsed since
+    // the proxy started, and its verdicts map back onto wall-clock
+    // instants. The jitter stream is the per-link netem stream (stream
+    // index 0 of this link's already-unique seed) — deliberately disjoint
+    // from `rng` so pacing never shifts the seeded loss/damage decisions.
+    let epoch = Instant::now();
+    let mut netem: Option<NetemLink> = cfg.netem.map(|p| NetemLink::new(p, cfg.seed, 0));
+    let mut netem_epoch = 0u64;
 
     let draw_delay = |rng: &mut StdRng, lo: Duration, hi: Duration| -> Duration {
         if hi <= lo {
@@ -425,10 +592,50 @@ fn proxy_main(
     };
 
     while !stop.load(Ordering::Relaxed) {
+        // Apply a pending netem profile swap exactly once per epoch bump.
+        {
+            let cell = *controls.netem.lock();
+            if cell.epoch != netem_epoch {
+                netem_epoch = cell.epoch;
+                match (cell.profile, netem.as_mut()) {
+                    (Some(p), Some(link)) => link.set_profile(p),
+                    (Some(p), None) => netem = Some(NetemLink::new(p, cfg.seed, 0)),
+                    (None, _) => {
+                        netem = None;
+                        stats.netem_queue_depth.store(0, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
         match socket.recv_from(&mut buf) {
             Ok((len, _)) => {
-                if controls.partitioned.load(Ordering::Relaxed) {
+                // Pacing stage, ahead of the damage model: the netem link
+                // either tail-drops the datagram (a congestion loss, not a
+                // chaos one) or fixes its earliest delivery instant. A
+                // partitioned link is cut before the pacer — blocked frames
+                // never occupy its buffer.
+                let mut paced: Option<Instant> = None;
+                let mut paced_drop = false;
+                let partitioned = controls.partitioned.load(Ordering::Relaxed);
+                if let Some(link) = netem.as_mut().filter(|_| !partitioned) {
+                    let now_us = epoch.elapsed().as_micros() as u64;
+                    match link.offer(now_us, len) {
+                        Verdict::Dropped => {
+                            paced_drop = true;
+                            stats.netem_dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Verdict::DeliverAt(at_us) => {
+                            paced = Some(epoch + Duration::from_micros(at_us));
+                        }
+                    }
+                    stats
+                        .netem_queue_depth
+                        .store(link.queue_depth(now_us) as u64, Ordering::Relaxed);
+                }
+                if partitioned {
                     stats.blocked.fetch_add(1, Ordering::Relaxed);
+                } else if paced_drop {
+                    // Already counted; the frame never reaches the wire.
                 } else if step_drop(&mut channel, &mut rng, &controls.loss_override) {
                     stats.dropped.fetch_add(1, Ordering::Relaxed);
                 } else {
@@ -456,10 +663,14 @@ fn proxy_main(
                         delay += draw_delay(&mut rng, hi, hi * 2 + Duration::from_micros(200));
                         stats.reordered.fetch_add(1, Ordering::Relaxed);
                     }
-                    let due = Instant::now() + delay;
+                    // With pacing on, the netem delivery instant is the
+                    // earliest the frame clears the emulated wire; the
+                    // chaos delay rides on top of it.
+                    let base = paced.unwrap_or_else(Instant::now);
+                    let due = base + delay;
                     if cfg.duplicate > 0.0 && rng.random_bool(cfg.duplicate) {
                         let extra = draw_delay(&mut rng, lo, hi);
-                        queue.push((Instant::now() + extra, payload.clone()));
+                        queue.push((base + extra, payload.clone()));
                         stats.duplicated.fetch_add(1, Ordering::Relaxed);
                     }
                     queue.push((due, payload));
@@ -770,6 +981,170 @@ mod tests {
         let got_new = recv_all(&new, Duration::from_millis(150));
         proxy.shutdown();
         assert_eq!(got_new, vec![vec![2]], "post-reaim datagrams go to the new socket");
+    }
+
+    fn pacing_profile(latency_us: u64, rate_bps: u64, buffer_frames: usize) -> DirProfile {
+        DirProfile {
+            rate_bps,
+            latency_us,
+            jitter: ssr_netem::Jitter::None,
+            buffer_frames,
+            loss: 0.0,
+        }
+    }
+
+    #[test]
+    fn typed_validation_errors_name_the_offending_knob() {
+        let bad_prob = ChaosConfig { corrupt: 1.5, ..ChaosConfig::default() };
+        assert_eq!(
+            bad_prob.validate(),
+            Err(InvalidChaosConfig::Probability { name: "corrupt", value: 1.5 })
+        );
+        let bad_rev = ChaosConfig {
+            delay_reverse: Some((Duration::from_millis(9), Duration::from_millis(3))),
+            ..ChaosConfig::default()
+        };
+        assert!(matches!(
+            bad_rev.validate(),
+            Err(InvalidChaosConfig::InvertedDelay { name: "delay_reverse", .. })
+        ));
+        for (bad, why) in [
+            (pacing_profile(100, 0, 4), "zero rate"),
+            (pacing_profile(100, 1_000_000, 0), "buffer below one frame"),
+            (
+                DirProfile {
+                    jitter: ssr_netem::Jitter::Uniform { max_us: 500 },
+                    ..pacing_profile(100, 1_000_000, 4)
+                },
+                "jitter above latency",
+            ),
+        ] {
+            let cfg = ChaosConfig { netem: Some(bad), ..ChaosConfig::default() };
+            assert!(
+                matches!(cfg.validate(), Err(InvalidChaosConfig::Netem(_))),
+                "{why} must be a netem error"
+            );
+            let dst = UdpSocket::bind("127.0.0.1:0").unwrap();
+            let err = ChaosProxy::spawn(dst.local_addr().unwrap(), cfg).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput, "{why}");
+        }
+        ChaosConfig { netem: Some(pacing_profile(100, 1_000_000, 4)), ..ChaosConfig::default() }
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn for_direction_resolves_asymmetry_with_symmetric_default() {
+        let fast = pacing_profile(100, 1_000_000_000, 128);
+        let thin = DirProfile { loss: 0.01, ..pacing_profile(30_000, 5_000_000, 16) };
+        let cfg = ChaosConfig {
+            loss: 0.5,
+            delay: (Duration::ZERO, Duration::from_millis(1)),
+            delay_reverse: Some((Duration::from_millis(5), Duration::from_millis(9))),
+            netem: Some(fast),
+            netem_reverse: Some(thin),
+            ..ChaosConfig::default()
+        };
+        let fwd = cfg.for_direction(false);
+        assert_eq!(fwd.delay, cfg.delay);
+        assert_eq!(fwd.netem, Some(fast));
+        assert_eq!(fwd.loss, 0.0, "the profile's loss owns the direction");
+        assert_eq!((fwd.delay_reverse, fwd.netem_reverse), (None, None), "resolved");
+        let rev = cfg.for_direction(true);
+        assert_eq!(rev.delay, (Duration::from_millis(5), Duration::from_millis(9)));
+        assert_eq!(rev.netem, Some(thin));
+        assert_eq!(rev.loss, 0.01);
+
+        // Symmetric default: no `_reverse` fields means both directions
+        // resolve identically (and without a profile, `loss` survives).
+        let sym = ChaosConfig { loss: 0.5, ..ChaosConfig::default() };
+        assert_eq!(sym.for_direction(false), sym.for_direction(true));
+        assert_eq!(sym.for_direction(true).loss, 0.5);
+    }
+
+    #[test]
+    fn netem_pacing_delays_datagrams() {
+        let dst = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let cfg = ChaosConfig {
+            seed: 3,
+            netem: Some(pacing_profile(30_000, 1_000_000_000, 64)),
+            ..ChaosConfig::default()
+        };
+        let proxy = ChaosProxy::spawn(dst.local_addr().unwrap(), cfg).unwrap();
+        let src = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let sent_at = Instant::now();
+        src.send_to(&[42], proxy.addr()).unwrap();
+        dst.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+        let mut buf = [0u8; 16];
+        let (len, _) = dst.recv_from(&mut buf).unwrap();
+        let waited = sent_at.elapsed();
+        let stats = proxy.shutdown();
+        assert_eq!(&buf[..len], &[42]);
+        assert!(waited >= Duration::from_millis(25), "30 ms latency, arrived after {waited:?}");
+        assert_eq!(stats.counters().netem_dropped, 0);
+        assert_eq!(stats.counters().dropped, 0);
+    }
+
+    #[test]
+    fn netem_buffer_drops_count_apart_from_chaos_loss() {
+        let dst = UdpSocket::bind("127.0.0.1:0").unwrap();
+        // 8 kbit/s: a 32-byte datagram serializes in 32 ms; buffer of one
+        // frame, so a back-to-back burst mostly tail-drops.
+        let cfg = ChaosConfig {
+            seed: 9,
+            netem: Some(pacing_profile(0, 8_000, 1)),
+            ..ChaosConfig::default()
+        };
+        let proxy = ChaosProxy::spawn(dst.local_addr().unwrap(), cfg).unwrap();
+        let src = UdpSocket::bind("127.0.0.1:0").unwrap();
+        for i in 0..20u8 {
+            src.send_to(&[i; 32], proxy.addr()).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        let stats = proxy.shutdown();
+        let c = stats.counters();
+        assert!(c.netem_dropped > 0, "a 1-frame buffer under a burst must tail-drop");
+        assert_eq!(c.dropped, 0, "congestion loss is not chaos loss");
+        assert_eq!(c.forwarded + c.netem_dropped, 20, "every datagram is accounted once");
+    }
+
+    #[test]
+    fn netem_swaps_at_runtime_through_the_handle() {
+        let dst = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let proxy = ChaosProxy::spawn(dst.local_addr().unwrap(), ChaosConfig::default()).unwrap();
+        let handle = proxy.handle();
+        let src = UdpSocket::bind("127.0.0.1:0").unwrap();
+        dst.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+        let mut buf = [0u8; 16];
+        let mut round_trip = |tag: u8| {
+            let sent_at = Instant::now();
+            src.send_to(&[tag], proxy.addr()).unwrap();
+            let (len, _) = dst.recv_from(&mut buf).unwrap();
+            assert_eq!(&buf[..len], &[tag]);
+            sent_at.elapsed()
+        };
+
+        assert_eq!(handle.netem_profile(), None);
+        assert!(round_trip(1) < Duration::from_millis(20), "no pacing yet");
+
+        let slow = pacing_profile(50_000, 1_000_000_000, 64);
+        handle.set_netem(Some(slow)).unwrap();
+        assert_eq!(handle.netem_profile(), Some(slow));
+        std::thread::sleep(Duration::from_millis(10)); // let the proxy apply it
+        assert!(round_trip(2) >= Duration::from_millis(40), "50 ms pacing latency");
+
+        handle.set_netem(None).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(round_trip(3) < Duration::from_millis(20), "pacing off again");
+
+        assert!(
+            matches!(
+                handle.set_netem(Some(pacing_profile(1, 0, 1))),
+                Err(InvalidChaosConfig::Netem(_))
+            ),
+            "swaps validate like spawns"
+        );
+        proxy.shutdown();
     }
 
     #[test]

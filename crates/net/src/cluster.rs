@@ -110,6 +110,9 @@ pub struct ChaosSummary {
     pub corrupted: u64,
     /// Datagrams forwarded truncated (length-check rejection fodder).
     pub truncated: u64,
+    /// Datagrams tail-dropped by netem pacing buffers — congestion loss,
+    /// deliberately kept apart from `dropped` (the seeded random loss).
+    pub netem_dropped: u64,
 }
 
 impl ChaosSummary {
@@ -122,6 +125,7 @@ impl ChaosSummary {
         self.blocked += stats.blocked.load(Ordering::Relaxed);
         self.corrupted += stats.corrupted.load(Ordering::Relaxed);
         self.truncated += stats.truncated.load(Ordering::Relaxed);
+        self.netem_dropped += stats.netem_dropped.load(Ordering::Relaxed);
     }
 }
 
@@ -198,6 +202,8 @@ where
         let mut to_succ = addrs[succ].pred;
         let mut to_pred = addrs[pred].succ;
         if let Some(chaos) = cfg.chaos {
+            // Odd link indices are the reverse direction (`i → pred(i)`),
+            // so asymmetric delay/netem knobs resolve here.
             let mk = |link_idx: usize, dst| -> io::Result<ChaosProxy> {
                 ChaosProxy::spawn(
                     dst,
@@ -206,7 +212,7 @@ where
                             .seed
                             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                             .wrapping_add(link_idx as u64),
-                        ..chaos
+                        ..chaos.for_direction(link_idx % 2 == 1)
                     },
                 )
             };

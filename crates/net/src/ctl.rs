@@ -231,6 +231,7 @@ where
                     blocked: counters.blocked,
                     corrupted: counters.corrupted,
                     truncated: counters.truncated,
+                    netem_dropped: counters.netem_dropped,
                 }
             })
             .collect();
@@ -430,6 +431,18 @@ where
             link_family("ssr_chaos_partitioned", "1 while the link is cut", Gauge, &|l| {
                 f64::from(u8::from(l.handle.is_partitioned()))
             }),
+            link_family(
+                "ssr_netem_buffer_drops_total",
+                "Datagrams tail-dropped by the netem pacing buffer (congestion, not chaos loss)",
+                Counter,
+                &|l| l.handle.counters().netem_dropped as f64,
+            ),
+            link_family(
+                "ssr_netem_queue_depth",
+                "Frames occupying the netem pacing buffer after the last offer",
+                Gauge,
+                &|l| l.handle.counters().netem_queue_depth as f64,
+            ),
         ]);
 
         let uptime = self.start.elapsed();
@@ -543,6 +556,31 @@ where
             ChaosCmd::Truncate(rate) => {
                 self.rate_override("truncate", rate, &|h, r| h.set_truncate_override(r))
             }
+            ChaosCmd::Netem(name) => match name {
+                Some(name) => {
+                    let profile =
+                        ssr_netem::LinkProfile::resolve(&name).map_err(|e| e.to_string())?;
+                    let n = self.metrics.len();
+                    for link in &self.links {
+                        // Forward ring direction is `i → succ(i)`; the
+                        // profile's reverse half paces the other way.
+                        let forward = link.to == (link.from + 1) % n;
+                        let dir = if forward { profile.forward } else { profile.reverse };
+                        link.handle.set_netem(Some(dir)).map_err(|e| e.to_string())?;
+                    }
+                    Ok(format!(
+                        "netem profile '{}' pacing all {} links",
+                        profile.name,
+                        self.links.len()
+                    ))
+                }
+                None => {
+                    for link in &self.links {
+                        link.handle.set_netem(None).map_err(|e| e.to_string())?;
+                    }
+                    Ok(format!("netem pacing off on all {} links", self.links.len()))
+                }
+            },
         }
     }
 

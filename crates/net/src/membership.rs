@@ -218,12 +218,13 @@ impl RingMembership {
 
     /// Chaos configuration for one directed link, seeded from the base seed
     /// and the link's stable identity so re-spliced links draw fresh but
-    /// reproducible fault processes.
+    /// reproducible fault processes. Odd salts are reverse-direction links
+    /// (`i → pred(i)`), which resolves the asymmetric delay/netem knobs.
     fn link_chaos(&self, link_salt: u64) -> ChaosConfig {
         let base = self.cfg.chaos.unwrap_or_default();
         ChaosConfig {
             seed: self.cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(link_salt),
-            ..base
+            ..base.for_direction(link_salt % 2 == 1)
         }
     }
 

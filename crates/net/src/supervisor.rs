@@ -631,7 +631,9 @@ where
                         .seed
                         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                         .wrapping_add(link_idx as u64),
-                    ..chaos_base
+                    // Odd link indices run `i → pred(i)`: resolve the
+                    // asymmetric delay/netem knobs for that direction.
+                    ..chaos_base.for_direction(link_idx % 2 == 1)
                 },
             )
         };

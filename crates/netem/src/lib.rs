@@ -1,0 +1,45 @@
+//! # ssr-netem — realistic link models and deterministic checkpointing
+//!
+//! Every envelope measured before this crate existed assumed lossy-but-
+//! instant links: the chaos proxy drops, delays, duplicates and corrupts,
+//! but a link had no bandwidth, no queue, and the same delay in both
+//! directions. This crate adds the missing physics as a *seeded, std-only*
+//! emulator shared by the discrete-event simulator (`ssr-mpnet`) and the
+//! UDP chaos proxy (`ssr-net`):
+//!
+//! * [`profile`] — link profiles: per-direction rate (serialization
+//!   delay), propagation latency, jitter distribution (uniform or
+//!   lognormal), a finite drop-tail buffer and a loss rate, parsed from a
+//!   TOML-subset or JSON profile file (`profiles/*.toml` at the repo root)
+//!   with builtin `lan` / `wan` / `lossy-wan` / `asymmetric` profiles;
+//! * [`link`] — [`NetemLink`], the virtual-time emulator core: offered a
+//!   frame at time *t*, it either tail-drops (buffer full) or answers the
+//!   exact microsecond the frame finishes serializing, propagating and
+//!   jittering. The DES consumes the verdict in simulated ticks; the UDP
+//!   proxy maps the same arithmetic onto wall-clock instants — one model,
+//!   two clocks;
+//! * [`rng`] — per-link deterministic RNG streams (independent of the
+//!   loss-channel streams) plus the Box–Muller normal sampler behind
+//!   lognormal jitter;
+//! * [`checkpoint`] — the versioned, CRC-32-sealed chunk codec used by
+//!   cluster checkpoints: a whole run (replica states, in-flight frames,
+//!   RNG cursors, fault cursors) serializes to one file that `ssrmin
+//!   replay` restores for a byte-identical re-run.
+//!
+//! Everything here is deterministic by construction: the number of RNG
+//! draws a verdict consumes is part of each type's documented contract, so
+//! same seed + same profile ⇒ the same delivery schedule, and a restored
+//! checkpoint resumes the exact streams the original run would have drawn.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod link;
+pub mod profile;
+pub mod rng;
+
+pub use checkpoint::{CheckpointError, ChunkReader, ChunkWriter, Cursor};
+pub use link::{NetemLink, NetemStats, Verdict};
+pub use profile::{DirProfile, Jitter, LinkProfile, ProfileError, BUILTIN_PROFILES};
+pub use rng::{link_rng, link_stream_seed, standard_normal};

@@ -1,0 +1,280 @@
+//! [`NetemLink`] — the virtual-time emulator core of one *direction* of a
+//! link: a FlowForge-style rate + latency + finite-buffer model with a
+//! seeded jitter stream.
+//!
+//! The model is a single-server FIFO queue in front of a propagation
+//! delay. Offered a frame at time `t` (microseconds on whatever clock the
+//! caller runs — simulated ticks in the DES, elapsed wall-clock in the
+//! UDP proxy):
+//!
+//! 1. frames whose serialization finished before `t` have left the
+//!    buffer; if the remaining occupancy is `buffer_frames`, the new
+//!    frame is **tail-dropped** (no RNG draw — drops must not desync the
+//!    jitter stream);
+//! 2. otherwise the frame departs the serializer at
+//!    `max(t, busy_until) + len·8/rate`, and
+//! 3. is delivered at `depart + latency + jitter`, with jitter drawn from
+//!    the link's own RNG stream (draw count fixed per jitter kind).
+//!
+//! Deliveries can reorder when jitter is large relative to spacing —
+//! exactly like real datagrams — but serialization itself is FIFO.
+//! The whole state (profile, RNG cursor, queue, counters) serializes into
+//! a checkpoint chunk and restores bit-exactly.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+
+use crate::checkpoint::{put_bytes, CheckpointError, Cursor};
+use crate::profile::DirProfile;
+use crate::rng::link_rng;
+
+/// The emulator's answer to an offered frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The frame fits: it is delivered at this absolute time (µs).
+    DeliverAt(u64),
+    /// The drop-tail buffer was full; the frame is lost.
+    Dropped,
+}
+
+/// Monotonic counters of one emulated link direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetemStats {
+    /// Frames offered to the link.
+    pub offered: u64,
+    /// Frames tail-dropped by the finite buffer.
+    pub buffer_drops: u64,
+    /// Frames scheduled for delivery.
+    pub delivered: u64,
+}
+
+/// One direction of an emulated link (see the module docs for the model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetemLink {
+    profile: DirProfile,
+    rng: StdRng,
+    /// Time the serializer frees up (µs).
+    busy_until: u64,
+    /// Departure times of frames still occupying the buffer (FIFO:
+    /// monotonically non-decreasing), including the frame in service.
+    departures: VecDeque<u64>,
+    stats: NetemStats,
+}
+
+impl NetemLink {
+    /// A fresh link under `profile`, with the jitter stream derived from
+    /// the run seed and the directed link index (see
+    /// [`crate::rng::link_stream_seed`]).
+    pub fn new(profile: DirProfile, seed: u64, link: usize) -> Self {
+        NetemLink {
+            profile,
+            rng: link_rng(seed, link),
+            busy_until: 0,
+            departures: VecDeque::new(),
+            stats: NetemStats::default(),
+        }
+    }
+
+    /// The profile in force.
+    pub fn profile(&self) -> &DirProfile {
+        &self.profile
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &NetemStats {
+        &self.stats
+    }
+
+    /// Frames currently occupying the buffer as of time `now`.
+    pub fn queue_depth(&self, now: u64) -> usize {
+        self.departures.iter().filter(|&&d| d > now).count()
+    }
+
+    /// Offer a `len_bytes` frame at absolute time `now_us`.
+    pub fn offer(&mut self, now_us: u64, len_bytes: usize) -> Verdict {
+        self.stats.offered += 1;
+        while matches!(self.departures.front(), Some(&d) if d <= now_us) {
+            self.departures.pop_front();
+        }
+        if self.departures.len() >= self.profile.buffer_frames {
+            self.stats.buffer_drops += 1;
+            return Verdict::Dropped;
+        }
+        let depart = now_us.max(self.busy_until) + self.profile.serialization_us(len_bytes);
+        self.busy_until = depart;
+        self.departures.push_back(depart);
+        let jitter = self.profile.jitter.sample(&mut self.rng);
+        self.stats.delivered += 1;
+        Verdict::DeliverAt(depart + self.profile.latency_us + jitter)
+    }
+
+    /// Swap the profile at runtime (a `POST /chaos netem <name>` flip).
+    /// In-queue frames keep their old departure times; the RNG stream and
+    /// counters continue uninterrupted.
+    pub fn set_profile(&mut self, profile: DirProfile) {
+        self.profile = profile;
+    }
+
+    // -- checkpointing ------------------------------------------------
+
+    /// Serialize the full link state (profile, RNG cursor, queue,
+    /// counters) into a checkpoint chunk payload.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(96 + 8 * self.departures.len());
+        self.profile.encode_into(&mut buf);
+        for w in self.rng.state() {
+            buf.extend_from_slice(&w.to_le_bytes());
+        }
+        buf.extend_from_slice(&self.busy_until.to_le_bytes());
+        let mut queue = Vec::with_capacity(8 * self.departures.len());
+        for &d in &self.departures {
+            queue.extend_from_slice(&d.to_le_bytes());
+        }
+        put_bytes(&mut buf, &queue);
+        buf.extend_from_slice(&self.stats.offered.to_le_bytes());
+        buf.extend_from_slice(&self.stats.buffer_drops.to_le_bytes());
+        buf.extend_from_slice(&self.stats.delivered.to_le_bytes());
+        buf
+    }
+
+    /// Restore a link from a [`NetemLink::snapshot`] payload.
+    pub fn restore(tag: [u8; 4], bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let mut c = Cursor::new(tag, bytes);
+        let profile = DirProfile::decode(&mut c, tag)?;
+        let rng_state = [c.u64()?, c.u64()?, c.u64()?, c.u64()?];
+        let busy_until = c.u64()?;
+        let queue_bytes = c.bytes()?;
+        if queue_bytes.len() % 8 != 0 {
+            return Err(CheckpointError::BadChunk { tag });
+        }
+        let departures: VecDeque<u64> = queue_bytes
+            .chunks_exact(8)
+            .map(|w| u64::from_le_bytes(w.try_into().expect("8 bytes")))
+            .collect();
+        let stats = NetemStats { offered: c.u64()?, buffer_drops: c.u64()?, delivered: c.u64()? };
+        c.finish()?;
+        Ok(NetemLink { profile, rng: StdRng::from_state(rng_state), busy_until, departures, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{Jitter, LinkProfile};
+
+    fn lan() -> DirProfile {
+        LinkProfile::builtin("lan").unwrap().forward
+    }
+
+    #[test]
+    fn delivery_time_is_serialization_plus_latency_plus_jitter() {
+        let mut p = lan();
+        p.jitter = Jitter::None;
+        let mut link = NetemLink::new(p, 1, 0);
+        // 125 bytes at 1 Gbit/s = 1 µs serialization; latency 100 µs.
+        assert_eq!(link.offer(1_000, 125), Verdict::DeliverAt(1_101));
+        // Next frame queues behind the first: departs at 1002.
+        assert_eq!(link.offer(1_000, 125), Verdict::DeliverAt(1_102));
+        assert_eq!(link.queue_depth(1_000), 2);
+        assert_eq!(link.queue_depth(1_001), 1);
+        assert_eq!(link.queue_depth(1_002), 0);
+    }
+
+    #[test]
+    fn serializer_idles_then_resumes() {
+        let mut p = lan();
+        p.jitter = Jitter::None;
+        let mut link = NetemLink::new(p, 1, 0);
+        assert_eq!(link.offer(10, 125), Verdict::DeliverAt(111));
+        // Long gap: serializer is idle again, no queueing.
+        assert_eq!(link.offer(5_000, 125), Verdict::DeliverAt(5_101));
+    }
+
+    #[test]
+    fn drop_tail_when_buffer_full() {
+        let mut p = lan();
+        p.jitter = Jitter::None;
+        p.rate_bps = 1_000_000; // 1 Mbit/s: 125 bytes = 1 ms each
+        p.buffer_frames = 2;
+        let mut link = NetemLink::new(p, 1, 0);
+        assert!(matches!(link.offer(0, 125), Verdict::DeliverAt(_)));
+        assert!(matches!(link.offer(0, 125), Verdict::DeliverAt(_)));
+        assert_eq!(link.offer(0, 125), Verdict::Dropped, "third frame finds the buffer full");
+        assert_eq!(link.stats().buffer_drops, 1);
+        // After the first frame drains, one slot frees up.
+        assert!(matches!(link.offer(1_500, 125), Verdict::DeliverAt(_)));
+        assert_eq!(link.stats().offered, 4);
+        assert_eq!(link.stats().delivered, 3);
+    }
+
+    #[test]
+    fn drops_consume_no_rng_draw() {
+        let mut p = lan();
+        p.rate_bps = 1_000_000;
+        p.buffer_frames = 1;
+        p.jitter = Jitter::Uniform { max_us: 10 };
+        let mut with_drop = NetemLink::new(p, 7, 3);
+        let mut without = NetemLink::new(p, 7, 3);
+        let a1 = with_drop.offer(0, 125);
+        assert_eq!(with_drop.offer(0, 125), Verdict::Dropped);
+        let a2 = with_drop.offer(10_000, 125);
+        assert_eq!(without.offer(0, 125), a1);
+        assert_eq!(without.offer(10_000, 125), a2, "a drop must not shift the jitter stream");
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_link() {
+        let p = LinkProfile::builtin("wan").unwrap().forward;
+        let run = |seed, link| {
+            let mut l = NetemLink::new(p, seed, link);
+            (0..200u64).map(|i| l.offer(i * 50, 64)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5, 2), run(5, 2));
+        assert_ne!(run(5, 2), run(5, 3), "different links draw different jitter");
+        assert_ne!(run(5, 2), run(6, 2), "different seeds draw different jitter");
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let p = LinkProfile::builtin("lossy-wan").unwrap().forward;
+        let mut original = NetemLink::new(p, 11, 4);
+        for i in 0..57u64 {
+            original.offer(i * 200, 80);
+        }
+        let snap = original.snapshot();
+        let mut restored = NetemLink::restore(*b"test", &snap).unwrap();
+        assert_eq!(restored, original);
+        for i in 57..200u64 {
+            assert_eq!(original.offer(i * 200, 80), restored.offer(i * 200, 80), "offer {i}");
+        }
+        assert_eq!(original.stats(), restored.stats());
+    }
+
+    #[test]
+    fn restore_rejects_damage() {
+        let snap = NetemLink::new(lan(), 1, 0).snapshot();
+        assert!(NetemLink::restore(*b"test", &snap[..snap.len() - 1]).is_err());
+        let mut extra = snap.clone();
+        extra.push(0);
+        assert!(NetemLink::restore(*b"test", &extra).is_err());
+        let mut bad_jitter = snap.clone();
+        bad_jitter[16] = 9; // jitter kind byte
+        assert!(NetemLink::restore(*b"test", &bad_jitter).is_err());
+    }
+
+    #[test]
+    fn runtime_profile_swap_keeps_stream_and_queue() {
+        let mut link = NetemLink::new(lan(), 3, 1);
+        let v = link.offer(0, 125);
+        assert!(matches!(v, Verdict::DeliverAt(_)));
+        let wan = LinkProfile::builtin("wan").unwrap().forward;
+        link.set_profile(wan);
+        assert_eq!(link.profile(), &wan);
+        match link.offer(10, 125) {
+            Verdict::DeliverAt(at) => assert!(at >= wan.latency_us, "wan latency applies"),
+            Verdict::Dropped => panic!("buffer cannot be full"),
+        }
+        assert_eq!(link.stats().offered, 2);
+    }
+}

@@ -1,0 +1,859 @@
+//! Link profiles: the configuration language of the emulator.
+//!
+//! A profile names the physics of one bidirectional ring edge, per
+//! direction: serialization rate, propagation latency, a jitter
+//! distribution, a finite drop-tail buffer, and a loss rate that is handed
+//! to the existing shared loss machinery (`ssr_mpnet::loss` in the DES,
+//! the chaos proxy's channel on the wire). Profiles load from a small
+//! TOML-subset file or a JSON object (auto-detected), and four builtin
+//! profiles — `lan`, `wan`, `lossy-wan`, `asymmetric` — are compiled in
+//! and mirrored verbatim under `profiles/` at the repo root so runs are
+//! reproducible without any file at all.
+//!
+//! ```toml
+//! name = "wan"
+//!
+//! [forward]
+//! rate = "50mbit"        # or a bare integer in bits/second
+//! latency_us = 40000
+//! jitter = "lognormal"   # none | uniform | lognormal
+//! jitter_us = 2000       # uniform: max; lognormal: median
+//! jitter_sigma = 0.4     # lognormal only
+//! buffer_frames = 64
+//! loss = 0.001
+//!
+//! # [reverse] omitted = symmetric
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rand::RngCore;
+
+use crate::rng::standard_normal;
+
+/// Per-transmission jitter added on top of the propagation latency.
+///
+/// The number of RNG draws a sample consumes is fixed per variant —
+/// `None` 0, `Uniform` 1, `LogNormal` 2 (Box–Muller) — which is part of
+/// the determinism contract checkpoints rely on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Jitter {
+    /// No jitter: delivery at exactly serialization + latency.
+    None,
+    /// Uniform jitter in `[0, max_us]` microseconds.
+    Uniform {
+        /// Maximum jitter in microseconds (inclusive).
+        max_us: u64,
+    },
+    /// Lognormal jitter: `median_us · exp(sigma · Z)` with `Z` standard
+    /// normal — corten's WAN jitter shape (long right tail).
+    LogNormal {
+        /// Median jitter in microseconds.
+        median_us: u64,
+        /// Log-space standard deviation (`> 0`, dimensionless).
+        sigma: f64,
+    },
+}
+
+impl Jitter {
+    /// Sample one jitter value in microseconds.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> u64 {
+        match *self {
+            Jitter::None => 0,
+            Jitter::Uniform { max_us } => {
+                use rand::RngExt;
+                if max_us == 0 {
+                    // Still consume the draw: the count per variant is fixed.
+                    let _ = rng.next_u64();
+                    0
+                } else {
+                    rng.random_range(0..=max_us)
+                }
+            }
+            Jitter::LogNormal { median_us, sigma } => {
+                let z = standard_normal(rng);
+                let v = median_us as f64 * (sigma * z).exp();
+                // Clamp the (unbounded) right tail to something a queue can
+                // survive; 64× the median is already a 10-sigma event for
+                // the sigmas profiles use.
+                v.clamp(0.0, median_us as f64 * 64.0) as u64
+            }
+        }
+    }
+
+    /// The nominal magnitude used for validation: uniform max / lognormal
+    /// median (zero for no jitter).
+    pub fn nominal_us(&self) -> u64 {
+        match *self {
+            Jitter::None => 0,
+            Jitter::Uniform { max_us } => max_us,
+            Jitter::LogNormal { median_us, .. } => median_us,
+        }
+    }
+}
+
+/// The physics of one *direction* of a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirProfile {
+    /// Serialization rate in bits per second (must be positive): a frame
+    /// of `L` bytes occupies the serializer for `L·8·10⁶ / rate_bps` µs.
+    pub rate_bps: u64,
+    /// Propagation latency in microseconds.
+    pub latency_us: u64,
+    /// Jitter added per transmission.
+    pub jitter: Jitter,
+    /// Drop-tail buffer capacity in frames, *including* the frame in
+    /// service (must be ≥ 1): an arrival finding the buffer full is lost.
+    pub buffer_frames: usize,
+    /// Loss probability applied by the existing loss machinery (not by
+    /// the pacer itself, so netem buffer drops and random loss stay
+    /// distinguishable in counters).
+    pub loss: f64,
+}
+
+impl DirProfile {
+    /// Serialization time of a `len_bytes` frame in microseconds,
+    /// clamped to at least 1 µs so a frame never serializes instantly.
+    pub fn serialization_us(&self, len_bytes: usize) -> u64 {
+        let bits = (len_bytes as u128) * 8 * 1_000_000;
+        ((bits / self.rate_bps.max(1) as u128) as u64).max(1)
+    }
+
+    /// Append the direction's binary encoding (the layout shared by
+    /// `NetemLink` snapshots and cluster-checkpoint profile chunks).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.rate_bps.to_le_bytes());
+        buf.extend_from_slice(&self.latency_us.to_le_bytes());
+        match self.jitter {
+            Jitter::None => buf.push(0),
+            Jitter::Uniform { max_us } => {
+                buf.push(1);
+                buf.extend_from_slice(&max_us.to_le_bytes());
+            }
+            Jitter::LogNormal { median_us, sigma } => {
+                buf.push(2);
+                buf.extend_from_slice(&median_us.to_le_bytes());
+                buf.extend_from_slice(&sigma.to_bits().to_le_bytes());
+            }
+        }
+        buf.extend_from_slice(&(self.buffer_frames as u64).to_le_bytes());
+        buf.extend_from_slice(&self.loss.to_bits().to_le_bytes());
+    }
+
+    /// Read an encoding produced by [`DirProfile::encode_into`] from a
+    /// checkpoint cursor.
+    pub fn decode(
+        c: &mut crate::checkpoint::Cursor<'_>,
+        tag: [u8; 4],
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        let rate_bps = c.u64()?;
+        let latency_us = c.u64()?;
+        let jitter = match c.u8()? {
+            0 => Jitter::None,
+            1 => Jitter::Uniform { max_us: c.u64()? },
+            2 => Jitter::LogNormal { median_us: c.u64()?, sigma: c.f64()? },
+            _ => return Err(crate::checkpoint::CheckpointError::BadChunk { tag }),
+        };
+        let buffer_frames = c.u64()? as usize;
+        let loss = c.f64()?;
+        Ok(DirProfile { rate_bps, latency_us, jitter, buffer_frames, loss })
+    }
+
+    /// Validate the direction's fields, naming the direction in errors.
+    pub fn validate(&self, dir: &'static str) -> Result<(), ProfileError> {
+        if self.rate_bps == 0 {
+            return Err(ProfileError::ZeroRate { dir });
+        }
+        if self.buffer_frames < 1 {
+            return Err(ProfileError::BufferTooSmall { dir });
+        }
+        let jitter_us = self.jitter.nominal_us();
+        if jitter_us > self.latency_us {
+            return Err(ProfileError::JitterExceedsLatency {
+                dir,
+                jitter_us,
+                latency_us: self.latency_us,
+            });
+        }
+        if let Jitter::LogNormal { sigma, .. } = self.jitter {
+            if !(sigma.is_finite() && sigma > 0.0 && sigma <= 4.0) {
+                return Err(ProfileError::BadSigma { dir, sigma });
+            }
+        }
+        if !(self.loss.is_finite() && (0.0..=1.0).contains(&self.loss)) {
+            return Err(ProfileError::LossOutOfRange { dir, loss: self.loss });
+        }
+        Ok(())
+    }
+}
+
+/// A named bidirectional link profile. `forward` is the ring direction
+/// `i → succ(i)`; `reverse` is `i → pred(i)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkProfile {
+    /// Profile name (`lan`, `wan`, …) — the handle used by `POST /chaos
+    /// netem <name>` and `ssrmin --profile <name>`.
+    pub name: String,
+    /// Physics of the `i → succ(i)` direction.
+    pub forward: DirProfile,
+    /// Physics of the `i → pred(i)` direction.
+    pub reverse: DirProfile,
+}
+
+/// Names of the compiled-in profiles (mirrored under `profiles/`).
+pub const BUILTIN_PROFILES: &[&str] = &["lan", "wan", "lossy-wan", "asymmetric"];
+
+impl LinkProfile {
+    /// A profile with identical physics in both directions.
+    pub fn symmetric(name: &str, dir: DirProfile) -> Self {
+        LinkProfile { name: name.to_string(), forward: dir, reverse: dir }
+    }
+
+    /// The compiled-in profile of that name, if any.
+    pub fn builtin(name: &str) -> Option<Self> {
+        let sym = |dir| Some(LinkProfile::symmetric(name, dir));
+        match name {
+            // Switched gigabit LAN: fat pipe, sub-millisecond latency.
+            "lan" => sym(DirProfile {
+                rate_bps: 1_000_000_000,
+                latency_us: 100,
+                jitter: Jitter::Uniform { max_us: 20 },
+                buffer_frames: 128,
+                loss: 0.0,
+            }),
+            // Continental WAN: 50 Mbit/s, 40 ms, lognormal jitter, light loss.
+            "wan" => sym(DirProfile {
+                rate_bps: 50_000_000,
+                latency_us: 40_000,
+                jitter: Jitter::LogNormal { median_us: 2_000, sigma: 0.4 },
+                buffer_frames: 64,
+                loss: 0.001,
+            }),
+            // Congested / wireless WAN: thin, far, jittery, 5% loss.
+            "lossy-wan" => sym(DirProfile {
+                rate_bps: 10_000_000,
+                latency_us: 60_000,
+                jitter: Jitter::LogNormal { median_us: 5_000, sigma: 0.6 },
+                buffer_frames: 32,
+                loss: 0.05,
+            }),
+            // ADSL-shaped asymmetry: fast down, thin jittery up.
+            "asymmetric" => Some(LinkProfile {
+                name: name.to_string(),
+                forward: DirProfile {
+                    rate_bps: 100_000_000,
+                    latency_us: 10_000,
+                    jitter: Jitter::Uniform { max_us: 500 },
+                    buffer_frames: 64,
+                    loss: 0.0,
+                },
+                reverse: DirProfile {
+                    rate_bps: 5_000_000,
+                    latency_us: 30_000,
+                    jitter: Jitter::Uniform { max_us: 5_000 },
+                    buffer_frames: 16,
+                    loss: 0.01,
+                },
+            }),
+            _ => None,
+        }
+    }
+
+    /// Parse a profile from text: a JSON object if the first non-blank
+    /// byte is `{`, the TOML subset otherwise.
+    pub fn parse(text: &str) -> Result<Self, ProfileError> {
+        let sections = if text.trim_start().starts_with('{') {
+            parse_json_sections(text)?
+        } else {
+            parse_toml_sections(text)?
+        };
+        Self::from_sections(sections)
+    }
+
+    /// Resolve a profile by name or path: a builtin name first, then
+    /// `profiles/<name>.toml` relative to the working directory, then
+    /// `name` taken as a literal file path.
+    pub fn resolve(name: &str) -> Result<Self, ProfileError> {
+        if let Some(p) = Self::builtin(name) {
+            return Ok(p);
+        }
+        for candidate in [format!("profiles/{name}.toml"), name.to_string()] {
+            if let Ok(text) = std::fs::read_to_string(&candidate) {
+                return Self::parse(&text);
+            }
+        }
+        Err(ProfileError::UnknownProfile(name.to_string()))
+    }
+
+    /// Validate both directions.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        self.forward.validate("forward")?;
+        self.reverse.validate("reverse")
+    }
+
+    fn from_sections(sections: Sections) -> Result<Self, ProfileError> {
+        let name = match sections.get("").and_then(|top| top.get("name")) {
+            Some(Value::Str(s)) => s.clone(),
+            Some(_) => return Err(ProfileError::parse("`name` must be a string")),
+            None => return Err(ProfileError::parse("missing top-level `name`")),
+        };
+        let forward = match sections.get("forward") {
+            Some(map) => dir_from_map(map)?,
+            None => return Err(ProfileError::parse("missing [forward] section")),
+        };
+        let reverse = match sections.get("reverse") {
+            Some(map) => dir_from_map(map)?,
+            None => forward,
+        };
+        for key in sections.keys() {
+            if !matches!(key.as_str(), "" | "forward" | "reverse") {
+                return Err(ProfileError::UnknownKey(format!("[{key}]")));
+            }
+        }
+        let profile = LinkProfile { name, forward, reverse };
+        profile.validate()?;
+        Ok(profile)
+    }
+}
+
+impl fmt::Display for LinkProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dir = |d: &DirProfile| {
+            format!(
+                "{} bit/s, {} µs latency, jitter {:?}, buffer {} frames, loss {}",
+                d.rate_bps, d.latency_us, d.jitter, d.buffer_frames, d.loss
+            )
+        };
+        write!(f, "{}: fwd {}; rev {}", self.name, dir(&self.forward), dir(&self.reverse))
+    }
+}
+
+/// Why a profile failed to load or validate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileError {
+    /// `rate_bps` is zero (a link that never transmits).
+    ZeroRate {
+        /// Offending direction (`forward` / `reverse`).
+        dir: &'static str,
+    },
+    /// `buffer_frames` is zero — the buffer must hold at least the frame
+    /// in service.
+    BufferTooSmall {
+        /// Offending direction.
+        dir: &'static str,
+    },
+    /// The nominal jitter exceeds the propagation latency (deliveries
+    /// would routinely reorder against the profile's own intent).
+    JitterExceedsLatency {
+        /// Offending direction.
+        dir: &'static str,
+        /// Nominal jitter (uniform max / lognormal median) in µs.
+        jitter_us: u64,
+        /// Configured latency in µs.
+        latency_us: u64,
+    },
+    /// Lognormal sigma not in `(0, 4]`.
+    BadSigma {
+        /// Offending direction.
+        dir: &'static str,
+        /// The rejected value.
+        sigma: f64,
+    },
+    /// Loss probability outside `[0, 1]`.
+    LossOutOfRange {
+        /// Offending direction.
+        dir: &'static str,
+        /// The rejected value.
+        loss: f64,
+    },
+    /// The text did not parse (bad syntax, wrong type, bad rate suffix).
+    Parse(String),
+    /// A key or section the schema does not define.
+    UnknownKey(String),
+    /// Neither a builtin profile nor a readable file.
+    UnknownProfile(String),
+}
+
+impl ProfileError {
+    fn parse(msg: impl Into<String>) -> Self {
+        ProfileError::Parse(msg.into())
+    }
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::ZeroRate { dir } => write!(f, "netem {dir}: rate must be positive"),
+            ProfileError::BufferTooSmall { dir } => {
+                write!(f, "netem {dir}: buffer must hold at least 1 frame")
+            }
+            ProfileError::JitterExceedsLatency { dir, jitter_us, latency_us } => {
+                write!(f, "netem {dir}: jitter {jitter_us} µs exceeds latency {latency_us} µs")
+            }
+            ProfileError::BadSigma { dir, sigma } => {
+                write!(f, "netem {dir}: lognormal sigma {sigma} not in (0, 4]")
+            }
+            ProfileError::LossOutOfRange { dir, loss } => {
+                write!(f, "netem {dir}: loss {loss} not a probability")
+            }
+            ProfileError::Parse(msg) => write!(f, "netem profile parse error: {msg}"),
+            ProfileError::UnknownKey(k) => write!(f, "netem profile: unknown key {k}"),
+            ProfileError::UnknownProfile(name) => write!(
+                f,
+                "unknown netem profile {name:?} (builtins: lan, wan, lossy-wan, asymmetric; \
+                 or a profiles/<name>.toml path)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+// ---------------------------------------------------------------------
+// The shared intermediate form: section name → key → scalar value. The
+// TOML subset and the JSON object syntax both lower to this.
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Num(f64),
+}
+
+type Sections = HashMap<String, HashMap<String, Value>>;
+
+fn dir_from_map(map: &HashMap<String, Value>) -> Result<DirProfile, ProfileError> {
+    for key in map.keys() {
+        if !matches!(
+            key.as_str(),
+            "rate"
+                | "latency_us"
+                | "jitter"
+                | "jitter_us"
+                | "jitter_sigma"
+                | "buffer_frames"
+                | "loss"
+        ) {
+            return Err(ProfileError::UnknownKey(key.clone()));
+        }
+    }
+    let rate_bps = match map.get("rate") {
+        Some(Value::Str(s)) => parse_rate(s)?,
+        Some(Value::Num(n)) => as_u64("rate", *n)?,
+        None => return Err(ProfileError::parse("missing `rate`")),
+    };
+    let latency_us = match map.get("latency_us") {
+        Some(Value::Num(n)) => as_u64("latency_us", *n)?,
+        Some(Value::Str(_)) => return Err(ProfileError::parse("`latency_us` must be a number")),
+        None => return Err(ProfileError::parse("missing `latency_us`")),
+    };
+    let jitter_kind = match map.get("jitter") {
+        Some(Value::Str(s)) => s.as_str(),
+        Some(Value::Num(_)) => return Err(ProfileError::parse("`jitter` must be a string")),
+        None => "none",
+    };
+    let jitter_us = match map.get("jitter_us") {
+        Some(Value::Num(n)) => as_u64("jitter_us", *n)?,
+        Some(Value::Str(_)) => return Err(ProfileError::parse("`jitter_us` must be a number")),
+        None => 0,
+    };
+    let jitter_sigma = match map.get("jitter_sigma") {
+        Some(Value::Num(n)) => *n,
+        Some(Value::Str(_)) => return Err(ProfileError::parse("`jitter_sigma` must be a number")),
+        None => 0.0,
+    };
+    let jitter = match jitter_kind {
+        "none" => Jitter::None,
+        "uniform" => Jitter::Uniform { max_us: jitter_us },
+        "lognormal" => Jitter::LogNormal { median_us: jitter_us, sigma: jitter_sigma },
+        other => return Err(ProfileError::parse(format!("unknown jitter kind {other:?}"))),
+    };
+    let buffer_frames = match map.get("buffer_frames") {
+        Some(Value::Num(n)) => as_u64("buffer_frames", *n)? as usize,
+        Some(Value::Str(_)) => return Err(ProfileError::parse("`buffer_frames` must be a number")),
+        None => return Err(ProfileError::parse("missing `buffer_frames`")),
+    };
+    let loss = match map.get("loss") {
+        Some(Value::Num(n)) => *n,
+        Some(Value::Str(_)) => return Err(ProfileError::parse("`loss` must be a number")),
+        None => 0.0,
+    };
+    Ok(DirProfile { rate_bps, latency_us, jitter, buffer_frames, loss })
+}
+
+fn as_u64(key: &str, n: f64) -> Result<u64, ProfileError> {
+    if n.is_finite() && n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 {
+        Ok(n as u64)
+    } else {
+        Err(ProfileError::parse(format!("`{key}` must be a non-negative integer, got {n}")))
+    }
+}
+
+/// Parse a rate string: a bare integer in bits/second or an integer with a
+/// `kbit` / `mbit` / `gbit` suffix (decimal multipliers, like `tc`).
+fn parse_rate(s: &str) -> Result<u64, ProfileError> {
+    let s = s.trim().to_ascii_lowercase();
+    let (digits, mult) = if let Some(d) = s.strip_suffix("kbit") {
+        (d, 1_000u64)
+    } else if let Some(d) = s.strip_suffix("mbit") {
+        (d, 1_000_000)
+    } else if let Some(d) = s.strip_suffix("gbit") {
+        (d, 1_000_000_000)
+    } else {
+        (s.as_str(), 1)
+    };
+    digits
+        .trim()
+        .parse::<u64>()
+        .ok()
+        .and_then(|v| v.checked_mul(mult))
+        .ok_or_else(|| ProfileError::parse(format!("bad rate {s:?}")))
+}
+
+// ---------------------------------------------------------------------
+// TOML subset: `key = value` lines, `[section]` headers, `#` comments.
+
+fn parse_toml_sections(text: &str) -> Result<Sections, ProfileError> {
+    let mut sections = Sections::new();
+    let mut current = String::new();
+    sections.entry(current.clone()).or_default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(inner) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            current = inner.trim().to_string();
+            sections.entry(current.clone()).or_default();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(ProfileError::parse(format!("line {}: expected key = value", lineno + 1)));
+        };
+        let value = parse_scalar(value.trim())
+            .ok_or_else(|| ProfileError::parse(format!("line {}: bad value", lineno + 1)))?;
+        sections
+            .get_mut(&current)
+            .expect("section entry exists")
+            .insert(key.trim().to_string(), value);
+    }
+    Ok(sections)
+}
+
+/// Strip a `#` comment that is not inside a double-quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_scalar(s: &str) -> Option<Value> {
+    if let Some(inner) = s.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+        if inner.contains('"') {
+            return None;
+        }
+        return Some(Value::Str(inner.to_string()));
+    }
+    s.replace('_', "").parse::<f64>().ok().filter(|n| n.is_finite()).map(Value::Num)
+}
+
+// ---------------------------------------------------------------------
+// JSON subset: one object of scalars and one level of nested objects.
+
+fn parse_json_sections(text: &str) -> Result<Sections, ProfileError> {
+    let mut p = JsonParser { bytes: text.as_bytes(), pos: 0 };
+    let mut sections = Sections::new();
+    sections.entry(String::new()).or_default();
+    p.ws();
+    p.expect(b'{')?;
+    loop {
+        p.ws();
+        if p.eat(b'}') {
+            break;
+        }
+        let key = p.string()?;
+        p.ws();
+        p.expect(b':')?;
+        p.ws();
+        if p.peek() == Some(b'{') {
+            p.expect(b'{')?;
+            let map = sections.entry(key).or_default();
+            loop {
+                p.ws();
+                if p.eat(b'}') {
+                    break;
+                }
+                let k = p.string()?;
+                p.ws();
+                p.expect(b':')?;
+                p.ws();
+                map.insert(k, p.scalar()?);
+                p.ws();
+                if !p.eat(b',') {
+                    p.ws();
+                    p.expect(b'}')?;
+                    break;
+                }
+            }
+        } else {
+            let v = p.scalar()?;
+            sections.get_mut("").expect("top section exists").insert(key, v);
+        }
+        p.ws();
+        if !p.eat(b',') {
+            p.ws();
+            p.expect(b'}')?;
+            break;
+        }
+    }
+    p.ws();
+    if p.pos != p.bytes.len() {
+        return Err(ProfileError::parse("trailing bytes after JSON object"));
+    }
+    Ok(sections)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+    fn expect(&mut self, b: u8) -> Result<(), ProfileError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(ProfileError::parse(format!("expected {:?} at byte {}", b as char, self.pos)))
+        }
+    }
+    fn string(&mut self) -> Result<String, ProfileError> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| ProfileError::parse("non-UTF-8 string"))?;
+                if s.contains('\\') {
+                    return Err(ProfileError::parse("escape sequences unsupported"));
+                }
+                self.pos += 1;
+                return Ok(s.to_string());
+            }
+            self.pos += 1;
+        }
+        Err(ProfileError::parse("unterminated string"))
+    }
+    fn scalar(&mut self) -> Result<Value, ProfileError> {
+        if self.peek() == Some(b'"') {
+            return self.string().map(Value::Str);
+        }
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|n| n.is_finite())
+            .map(Value::Num)
+            .ok_or_else(|| ProfileError::parse(format!("bad scalar at byte {start}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builtins_exist_and_validate() {
+        for name in BUILTIN_PROFILES {
+            let p = LinkProfile::builtin(name).unwrap_or_else(|| panic!("builtin {name}"));
+            assert_eq!(p.name, *name);
+            p.validate().unwrap();
+        }
+        assert!(LinkProfile::builtin("dialup").is_none());
+    }
+
+    #[test]
+    fn toml_roundtrip_matches_builtin() {
+        let text = r#"
+name = "wan"
+
+[forward]
+rate = "50mbit"     # 50 Mbit/s
+latency_us = 40000
+jitter = "lognormal"
+jitter_us = 2000
+jitter_sigma = 0.4
+buffer_frames = 64
+loss = 0.001
+"#;
+        let parsed = LinkProfile::parse(text).unwrap();
+        assert_eq!(parsed, LinkProfile::builtin("wan").unwrap());
+    }
+
+    #[test]
+    fn json_parses_per_direction() {
+        let text = r#"{"name":"adsl",
+            "forward": {"rate":"100mbit","latency_us":10000,"jitter":"uniform",
+                        "jitter_us":500,"buffer_frames":64},
+            "reverse": {"rate":"5mbit","latency_us":30000,"jitter":"uniform",
+                        "jitter_us":5000,"buffer_frames":16,"loss":0.01}}"#;
+        let parsed = LinkProfile::parse(text).unwrap();
+        let builtin = LinkProfile::builtin("asymmetric").unwrap();
+        assert_eq!(parsed.forward, builtin.forward);
+        assert_eq!(parsed.reverse, builtin.reverse);
+    }
+
+    #[test]
+    fn reverse_defaults_to_forward() {
+        let p = LinkProfile::parse(
+            "name = \"x\"\n[forward]\nrate = 1000000\nlatency_us = 10\nbuffer_frames = 4\n",
+        )
+        .unwrap();
+        assert_eq!(p.forward, p.reverse);
+        assert_eq!(p.forward.jitter, Jitter::None);
+    }
+
+    #[test]
+    fn typed_validation_errors() {
+        let mk = |rate, buffer, jitter, latency| {
+            LinkProfile::symmetric(
+                "t",
+                DirProfile {
+                    rate_bps: rate,
+                    latency_us: latency,
+                    jitter,
+                    buffer_frames: buffer,
+                    loss: 0.0,
+                },
+            )
+            .validate()
+        };
+        assert_eq!(mk(0, 4, Jitter::None, 10), Err(ProfileError::ZeroRate { dir: "forward" }));
+        assert_eq!(
+            mk(1000, 0, Jitter::None, 10),
+            Err(ProfileError::BufferTooSmall { dir: "forward" })
+        );
+        assert_eq!(
+            mk(1000, 4, Jitter::Uniform { max_us: 50 }, 10),
+            Err(ProfileError::JitterExceedsLatency {
+                dir: "forward",
+                jitter_us: 50,
+                latency_us: 10
+            })
+        );
+        assert!(matches!(
+            mk(1000, 4, Jitter::LogNormal { median_us: 5, sigma: -1.0 }, 10),
+            Err(ProfileError::BadSigma { .. })
+        ));
+        let mut bad_loss = LinkProfile::builtin("lan").unwrap();
+        bad_loss.reverse.loss = 1.5;
+        assert_eq!(
+            bad_loss.validate(),
+            Err(ProfileError::LossOutOfRange { dir: "reverse", loss: 1.5 })
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(matches!(LinkProfile::parse("nonsense"), Err(ProfileError::Parse(_))));
+        assert!(matches!(
+            LinkProfile::parse(
+                "name = \"x\"\n[forward]\nrate = \"fast\"\nlatency_us = 1\nbuffer_frames = 1\n"
+            ),
+            Err(ProfileError::Parse(_))
+        ));
+        assert!(matches!(
+            LinkProfile::parse("name = \"x\"\n[forward]\nrate = 1\nlatency_us = 1\nbuffer_frames = 1\nwombat = 3\n"),
+            Err(ProfileError::UnknownKey(_))
+        ));
+        assert!(matches!(
+            LinkProfile::parse("name = \"x\"\n[sideways]\nrate = 1\n"),
+            Err(ProfileError::Parse(_)) | Err(ProfileError::UnknownKey(_))
+        ));
+        assert!(matches!(
+            LinkProfile::resolve("no-such-profile-anywhere"),
+            Err(ProfileError::UnknownProfile(_))
+        ));
+    }
+
+    #[test]
+    fn rate_suffixes() {
+        assert_eq!(parse_rate("250kbit").unwrap(), 250_000);
+        assert_eq!(parse_rate("10mbit").unwrap(), 10_000_000);
+        assert_eq!(parse_rate("1gbit").unwrap(), 1_000_000_000);
+        assert_eq!(parse_rate("123456").unwrap(), 123_456);
+        assert!(parse_rate("fast").is_err());
+    }
+
+    #[test]
+    fn serialization_time_scales_with_length_and_rate() {
+        let d = LinkProfile::builtin("lan").unwrap().forward;
+        // 1 Gbit/s: 125 bytes = 1000 bits = 1 µs.
+        assert_eq!(d.serialization_us(125), 1);
+        assert_eq!(d.serialization_us(1250), 10);
+        let slow = DirProfile { rate_bps: 1_000_000, ..d };
+        assert_eq!(slow.serialization_us(125), 1000);
+        assert_eq!(slow.serialization_us(0), 1, "clamped to 1 µs");
+    }
+
+    #[test]
+    fn jitter_draw_counts_are_fixed() {
+        // Each variant must consume a fixed number of draws regardless of
+        // outcome — the determinism contract of checkpointed streams.
+        let drained = |j: Jitter, n: usize| {
+            let mut rng = StdRng::seed_from_u64(9);
+            for _ in 0..n {
+                j.sample(&mut rng);
+            }
+            rng.state()
+        };
+        let after = |draws: usize| {
+            let mut r = StdRng::seed_from_u64(9);
+            for _ in 0..draws {
+                let _ = rand::RngCore::next_u64(&mut r);
+            }
+            r.state()
+        };
+        assert_eq!(drained(Jitter::None, 10), after(0));
+        assert_eq!(drained(Jitter::Uniform { max_us: 7 }, 10), after(10));
+        assert_eq!(drained(Jitter::Uniform { max_us: 0 }, 10), after(10));
+        assert_eq!(drained(Jitter::LogNormal { median_us: 5, sigma: 0.5 }, 10), after(20));
+    }
+
+    #[test]
+    fn lognormal_jitter_has_a_long_but_bounded_tail() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let j = Jitter::LogNormal { median_us: 2_000, sigma: 0.6 };
+        let samples: Vec<u64> = (0..10_000).map(|_| j.sample(&mut rng)).collect();
+        let over_median = samples.iter().filter(|&&s| s > 2_000).count();
+        assert!((4000..6000).contains(&over_median), "median property: {over_median}");
+        assert!(samples.iter().all(|&s| s <= 2_000 * 64), "tail clamp");
+        assert!(samples.iter().any(|&s| s > 6_000), "tail exists");
+    }
+}

@@ -1,0 +1,80 @@
+//! Per-link deterministic RNG streams and the normal sampler behind
+//! lognormal jitter.
+//!
+//! The chaos proxy already derives per-link *loss* seeds as
+//! `seed · φ + link`; netem pacing must not share that stream (a pacing
+//! draw would otherwise shift every loss decision after it), so link
+//! emulator streams mix the link index through a different odd constant
+//! before the golden-ratio multiply. Both derivations are stable contracts:
+//! checkpoints store the resulting RNG cursors, and replay must land on the
+//! very same streams.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Derive the seed of directed link `link`'s netem stream from a run seed.
+///
+/// Distinct from the chaos-proxy loss-seed derivation (`seed · φ + link`)
+/// so pacing and loss never share a stream.
+pub fn link_stream_seed(seed: u64, link: usize) -> u64 {
+    (seed ^ (link as u64).wrapping_mul(0xD1B5_4A32_D192_ED03))
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0x632B_E593_04B4_CC87)
+}
+
+/// The netem RNG of directed link `link` under run seed `seed`.
+pub fn link_rng(seed: u64, link: usize) -> StdRng {
+    StdRng::seed_from_u64(link_stream_seed(seed, link))
+}
+
+/// One standard-normal sample via Box–Muller.
+///
+/// Always consumes exactly **two** RNG draws — the draw count is part of
+/// the determinism contract (a data-dependent draw count would make
+/// checkpointed streams diverge on replay).
+pub fn standard_normal<R: RngCore>(rng: &mut R) -> f64 {
+    // Two 53-bit uniforms in (0, 1]; u1 is kept away from zero so ln(u1)
+    // is finite.
+    let u1 = ((rng.next_u64() >> 11) as f64 + 1.0) * (1.0 / (1u64 << 53) as f64);
+    let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_streams_are_distinct_and_deterministic() {
+        let mut a = link_rng(7, 0);
+        let mut a2 = link_rng(7, 0);
+        let mut b = link_rng(7, 1);
+        let sa: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let sa2: Vec<u64> = (0..32).map(|_| a2.next_u64()).collect();
+        let sb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(sa, sa2, "same (seed, link) must give the same stream");
+        assert_ne!(sa, sb, "different links must give different streams");
+    }
+
+    #[test]
+    fn netem_stream_differs_from_chaos_loss_stream() {
+        // The chaos proxy derives loss seeds as seed·φ + link; the netem
+        // derivation must not collide with it for small link indices.
+        for link in 0..64usize {
+            let loss_seed = 7u64.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(link as u64);
+            assert_ne!(link_stream_seed(7, link), loss_seed, "link {link}");
+        }
+    }
+
+    #[test]
+    fn standard_normal_is_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+        assert!(samples.iter().all(|s| s.is_finite()));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the emulator's determinism contract (satellite task
+//! of the netem PR): a link's delivery schedule is a *pure function* of
+//! (profile, seed, link index, offered load) — two runs agree verdict for
+//! verdict — and a snapshot taken mid-stream resumes the identical
+//! schedule, jitter draw for jitter draw.
+
+use proptest::prelude::*;
+
+use ssr_netem::{DirProfile, Jitter, NetemLink, Verdict};
+
+fn arb_jitter() -> impl Strategy<Value = Jitter> {
+    (0u8..=2, 1u64..=5_000, 1u64..=2_000, 5u32..=150).prop_map(
+        |(which, max_us, median_us, centi_sigma)| match which {
+            0 => Jitter::None,
+            1 => Jitter::Uniform { max_us },
+            _ => Jitter::LogNormal { median_us, sigma: f64::from(centi_sigma) / 100.0 },
+        },
+    )
+}
+
+fn arb_profile() -> impl Strategy<Value = DirProfile> {
+    (1_000u64..=1_000_000_000, 0u64..=100_000, arb_jitter(), 1usize..=32).prop_map(
+        |(rate_bps, latency_us, jitter, buffer_frames)| DirProfile {
+            rate_bps,
+            latency_us,
+            jitter,
+            buffer_frames,
+            loss: 0.0,
+        },
+    )
+}
+
+/// An offered load: (inter-arrival gap µs, frame length) pairs. Gaps of
+/// zero model bursts that exercise the drop-tail buffer.
+fn arb_load() -> impl Strategy<Value = Vec<(u64, usize)>> {
+    proptest::collection::vec((0u64..=30_000, 16usize..=1_500), 1..200)
+}
+
+fn schedule(link: &mut NetemLink, load: &[(u64, usize)], start: u64) -> Vec<Verdict> {
+    let mut now = start;
+    load.iter()
+        .map(|&(gap, len)| {
+            now += gap;
+            link.offer(now, len)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same seed + same profile + same offered load ⇒ byte-identical
+    /// delivery schedule — the property `ssrmin replay` stands on.
+    #[test]
+    fn equal_seed_and_profile_give_identical_schedules(
+        profile in arb_profile(),
+        load in arb_load(),
+        seed in any::<u64>(),
+        link_idx in 0usize..64,
+    ) {
+        let mut a = NetemLink::new(profile, seed, link_idx);
+        let mut b = NetemLink::new(profile, seed, link_idx);
+        prop_assert_eq!(schedule(&mut a, &load, 0), schedule(&mut b, &load, 0));
+        prop_assert_eq!(a.stats().delivered, b.stats().delivered);
+        prop_assert_eq!(a.stats().buffer_drops, b.stats().buffer_drops);
+    }
+
+    /// A snapshot taken after an arbitrary prefix of the load resumes the
+    /// exact remaining schedule: queue occupancy, serializer state, RNG
+    /// cursor and counters all survive the freeze/thaw.
+    #[test]
+    fn snapshot_resumes_the_exact_stream(
+        profile in arb_profile(),
+        load in arb_load(),
+        seed in any::<u64>(),
+        cut in 0usize..=200,
+    ) {
+        let cut = cut.min(load.len());
+        let (head, tail) = load.split_at(cut);
+        let mut live = NetemLink::new(profile, seed, 3);
+        let head_verdicts = schedule(&mut live, head, 0);
+        let resume_at = head.iter().map(|(gap, _)| gap).sum::<u64>();
+
+        // Freeze, thaw, and race the survivor against the original.
+        let frozen = live.snapshot();
+        let mut thawed = NetemLink::restore(*b"test", &frozen).expect("round-trip");
+        prop_assert_eq!(thawed.profile(), live.profile());
+        prop_assert_eq!(thawed.stats().offered, head_verdicts.len() as u64);
+
+        let live_tail = schedule(&mut live, tail, resume_at);
+        let thawed_tail = schedule(&mut thawed, tail, resume_at);
+        prop_assert_eq!(live_tail, thawed_tail);
+        prop_assert_eq!(live.stats().delivered, thawed.stats().delivered);
+        prop_assert_eq!(live.stats().buffer_drops, thawed.stats().buffer_drops);
+    }
+
+    /// Runtime profile swaps preserve the RNG cursor: swapping to the same
+    /// profile mid-stream is a no-op for the remaining schedule.
+    #[test]
+    fn identity_swap_is_invisible(
+        profile in arb_profile(),
+        load in arb_load(),
+        seed in any::<u64>(),
+    ) {
+        let mid = load.len() / 2;
+        let mut plain = NetemLink::new(profile, seed, 0);
+        let mut swapped = NetemLink::new(profile, seed, 0);
+        let _ = schedule(&mut plain, &load[..mid], 0);
+        let _ = schedule(&mut swapped, &load[..mid], 0);
+        swapped.set_profile(profile);
+        let resume_at = load[..mid].iter().map(|(gap, _)| gap).sum::<u64>();
+        prop_assert_eq!(
+            schedule(&mut plain, &load[mid..], resume_at),
+            schedule(&mut swapped, &load[mid..], resume_at)
+        );
+    }
+}

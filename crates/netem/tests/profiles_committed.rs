@@ -1,0 +1,45 @@
+//! The committed `profiles/*.toml` files must stay in lockstep with the
+//! compiled-in profiles: a run pinned to `--profile wan` must mean the
+//! same physics whether it resolves the builtin or reads the file.
+
+use ssr_netem::{LinkProfile, BUILTIN_PROFILES};
+
+fn repo_root() -> std::path::PathBuf {
+    // crates/netem → repo root is two levels up from CARGO_MANIFEST_DIR.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root")
+        .to_path_buf()
+}
+
+#[test]
+fn every_builtin_is_committed_and_identical() {
+    for name in BUILTIN_PROFILES {
+        let path = repo_root().join("profiles").join(format!("{name}.toml"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+        let parsed =
+            LinkProfile::parse(&text).unwrap_or_else(|e| panic!("parsing {}: {e}", path.display()));
+        let builtin = LinkProfile::builtin(name).expect("builtin exists");
+        assert_eq!(parsed, builtin, "profiles/{name}.toml diverged from the builtin");
+    }
+}
+
+#[test]
+fn committed_profiles_validate() {
+    let dir = repo_root().join("profiles");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("profiles/ exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("toml") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let profile =
+            LinkProfile::parse(&text).unwrap_or_else(|e| panic!("parsing {}: {e}", path.display()));
+        profile.validate().unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        seen += 1;
+    }
+    assert!(seen >= 4, "at least lan/wan/lossy-wan/asymmetric committed, saw {seen}");
+}

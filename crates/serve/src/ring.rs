@@ -593,6 +593,36 @@ impl HostedRing {
                 }
                 Ok(format!("truncate override {p:?} on all links"))
             }
+            ChaosCmd::Netem(name) => match name {
+                Some(name) => {
+                    let profile =
+                        ssr_netem::LinkProfile::resolve(&name).map_err(|e| e.to_string())?;
+                    // proxy_succ carries the forward (i -> succ) half of the
+                    // profile, proxy_pred the reverse half.
+                    let mut paced = 0usize;
+                    for s in &self.slots {
+                        if let Some(p) = s.proxy_succ.as_ref() {
+                            p.handle()
+                                .set_netem(Some(profile.forward))
+                                .map_err(|e| e.to_string())?;
+                            paced += 1;
+                        }
+                        if let Some(p) = s.proxy_pred.as_ref() {
+                            p.handle()
+                                .set_netem(Some(profile.reverse))
+                                .map_err(|e| e.to_string())?;
+                            paced += 1;
+                        }
+                    }
+                    Ok(format!("netem profile '{}' pacing {paced} links", profile.name))
+                }
+                None => {
+                    for h in live_handles() {
+                        h.set_netem(None).map_err(|e| e.to_string())?;
+                    }
+                    Ok("netem pacing off on all links".to_string())
+                }
+            },
         }
     }
 

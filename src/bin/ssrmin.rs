@@ -13,6 +13,8 @@
 //! ssrmin serve      [--ctl-addr 127.0.0.1:0] [--tenants 4] [--nodes 5] [--ms 0]
 //! ssrmin load       [--tenants 8] [--nodes 5] [--clients 2] [--ms 2000]
 //! ssrmin churn      [--nodes 5] [--ms 4000] [--rate 2.0] [--sweep 0.5,2,8] [--loss 0.0]
+//! ssrmin netem      [-n 5] [--profiles lan,wan,lossy-wan] [--seeds 5] [--faults 3] | [--checkpoint ck.bin] [--transcript-out run.log]
+//! ssrmin replay     --from ck.bin [--transcript-out run.log]
 //! ssrmin ctl URL …  / ssrmin top URL — clients against a --ctl-addr plane
 //! ```
 //!
@@ -70,6 +72,8 @@ fn main() -> ExitCode {
                 "serve" => cmd_serve(&opts),
                 "load" => cmd_load(&opts),
                 "churn" => cmd_churn(&opts),
+                "netem" => cmd_netem(&opts),
+                "replay" => cmd_replay(&opts),
                 "help" | "--help" | "-h" => {
                     println!("{USAGE}");
                     Ok(())
@@ -107,7 +111,7 @@ USAGE:
   ssrmin cluster   [--nodes N] [-k K] [--ms MS] [--seed SEED]
                    [--start legit|random|adversarial] [--loss P] [--burst]
                    [--delay-us US] [--dup P] [--reorder P] [--csv]
-                   [--ctl-addr HOST:PORT]
+                   [--netem PROFILE] [--ctl-addr HOST:PORT]
                      spawn N OS threads exchanging CST states over real
                      loopback UDP sockets (with a chaos proxy per link when
                      any fault knob is set) and report convergence time,
@@ -118,7 +122,8 @@ USAGE:
                    [--crashes C] [--partitions P] [--mode amnesia|snapshot|mixed]
                    [--corrupts C] [--freezes F] [--babbles B]
                    [--loss P] [--burst] [--delay-us US] [--dup P] [--reorder P]
-                   [--corrupt P] [--truncate P] [--csv] [--ctl-addr HOST:PORT]
+                   [--corrupt P] [--truncate P] [--netem PROFILE] [--csv]
+                   [--ctl-addr HOST:PORT]
                      run the UDP cluster under a seeded fault schedule —
                      crash/restart with exponential backoff (amnesia or
                      snapshot restore) and link partition windows — and
@@ -154,9 +159,33 @@ USAGE:
                      the post-event ring size after every membership event,
                      and writes time-to-reconverge vs churn-rate curves to
                      FILE (default BENCH_churn.json)
+  ssrmin netem     [-n N] [-k K] [--profiles P1,P2,...] [--seeds S] [--faults F]
+                   [--timer-us US] [--seed SEED] [--out FILE]
+                   [--checkpoint FILE] [--checkpoint-at T] [--ticks T]
+                   [--transcript-out FILE] [--tail L]
+                     re-measure the recovery envelopes under realistic link
+                     profiles (rate + latency + jitter + finite buffer;
+                     builtin lan|wan|lossy-wan|asymmetric, or a name under
+                     profiles/, or a TOML/JSON path): for each profile run
+                     the deterministic CST simulator from random initial
+                     configurations, inject F state corruptions per seed,
+                     and compare every measured recovery against the
+                     Theorem 2 envelope (4n^2 timer periods); writes the
+                     curves to FILE (default BENCH_netem.json). With
+                     --checkpoint, instead run ONE faulted simulation,
+                     snapshot the entire cluster (states, in-flight frames,
+                     netem queues, fault cursor, RNG cursors) at T into
+                     FILE, finish the run and write its event transcript +
+                     verdict to --transcript-out for `ssrmin replay` to
+                     reproduce
+  ssrmin replay    --from FILE [--transcript-out FILE]
+                     restore a `ssrmin netem --checkpoint` file and re-run
+                     it to the recorded end time: same checkpoint, same
+                     bytes — the transcript and verdict are byte-identical
+                     to the original run's (compare with cmp/diff)
   ssrmin ctl URL metrics|status|top
   ssrmin ctl URL chaos partition F T | heal F T | loss P|off |
-                       corrupt P|off | truncate P|off
+                       corrupt P|off | truncate P|off | netem NAME|off
   ssrmin ctl URL fault crash N [amnesia|snapshot] | restart N |
                        partition F T | heal F T | corrupt-snapshot N |
                        corrupt-state N | freeze N | babble N
@@ -409,11 +438,13 @@ fn cmd_cluster(opts: &Opts) -> Result<(), String> {
     println!("handovers (activations) : {}", report.coverage.activations);
     if faulty {
         println!(
-            "chaos                   : {} forwarded, {} dropped, {} duplicated, {} reordered",
+            "chaos                   : {} forwarded, {} dropped, {} duplicated, {} reordered, \
+             {} netem buffer drops",
             report.chaos.forwarded,
             report.chaos.dropped,
             report.chaos.duplicated,
-            report.chaos.reordered
+            report.chaos.reordered,
+            report.chaos.netem_dropped
         );
     }
     println!("\nper-node metrics:");
@@ -512,8 +543,8 @@ fn cmd_soak(opts: &Opts) -> Result<(), String> {
     println!("privileged nodes        : {}..={}", c.coverage.min_active, c.coverage.max_active);
     println!("handovers (activations) : {}", c.coverage.activations);
     println!(
-        "chaos                   : {} forwarded, {} dropped, {} duplicated, {} reordered, {} blocked by partitions",
-        c.chaos.forwarded, c.chaos.dropped, c.chaos.duplicated, c.chaos.reordered, c.chaos.blocked
+        "chaos                   : {} forwarded, {} dropped, {} duplicated, {} reordered, {} blocked by partitions, {} netem buffer drops",
+        c.chaos.forwarded, c.chaos.dropped, c.chaos.duplicated, c.chaos.reordered, c.chaos.blocked, c.chaos.netem_dropped
     );
     // Post-hoc (l,k)-CS audit of the recorded privilege trace: episodes
     // during fault windows are expected (that's what the soak provokes);
@@ -1248,10 +1279,369 @@ fn cmd_churn(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// One measured event of a `ssrmin netem` sweep: the initial convergence or
+/// one corruption recovery, with its Theorem 2 comparison.
+struct NetemPoint {
+    seed: u64,
+    kind: String,
+    at: u64,
+    recover: Option<u64>,
+    ok: bool,
+}
+
+/// Aggregate of one profile across all seeds.
+struct NetemProfileRow {
+    profile: String,
+    converged: usize,
+    recovered: usize,
+    faults: usize,
+    max_recover: u64,
+    mean_recover: f64,
+    violations: usize,
+    losses: u64,
+    buffer_drops: u64,
+    curve: Vec<NetemPoint>,
+}
+
+/// Parse `--profiles a,b,c` (default `lan,wan,lossy-wan`).
+fn netem_profiles(opts: &Opts) -> Result<Vec<String>, String> {
+    let names: Vec<String> = match opts.get("profiles") {
+        Some(list) => {
+            list.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect()
+        }
+        None => ["lan", "wan", "lossy-wan"].iter().map(|s| s.to_string()).collect(),
+    };
+    if names.is_empty() {
+        return Err("--profiles needs at least one profile name".into());
+    }
+    Ok(names)
+}
+
+/// The Theorem 2 envelope in simulator ticks: `4·n²` retransmission
+/// periods, the DES analogue of [`convergence_envelope`].
+fn envelope_ticks(n: usize, timer: u64) -> u64 {
+    4 * (n as u64) * (n as u64) * timer
+}
+
+/// A deterministic poison state for fault `f` of `seed`: node `victim`'s
+/// entry in an independently seeded random configuration.
+fn netem_poison(
+    params: ssrmin::RingParams,
+    seed: u64,
+    f: usize,
+    victim: usize,
+) -> ssrmin::core::SsrState {
+    let salt = seed.wrapping_mul(0x100_0000_01b3).wrapping_add(f as u64);
+    random_config::random_ssr_config(params, salt)[victim]
+}
+
+fn cmd_netem(opts: &Opts) -> Result<(), String> {
+    let params = ring_params(opts, 5)?;
+    let timer: u64 = get(opts, "timer-us", 20_000u64)?.max(1);
+    let profiles = netem_profiles(opts)?;
+    let seed0: u64 = get(opts, "seed", 0u64)?;
+    if opts.contains_key("checkpoint") {
+        return cmd_netem_checkpoint(opts, params, &profiles[0], seed0, timer);
+    }
+
+    let seeds: u64 = get(opts, "seeds", 5u64)?.max(1);
+    let faults: usize = get(opts, "faults", 3usize)?;
+    let out = opts.get("out").map(String::as_str).unwrap_or("BENCH_netem.json");
+    let n = params.n();
+    let envelope = envelope_ticks(n, timer);
+    let window = 2 * timer;
+    let algo = SsrMin::new(params);
+    println!(
+        "netem sweep: n = {n}, k = {}, profiles {profiles:?}, {seeds} seeds x {faults} faults, \
+         timer = {timer} us",
+        params.k(),
+    );
+    println!("Theorem 2 envelope (4n^2 timer periods): {envelope} us\n");
+    println!(
+        "{:<12} {:>9} {:>11} {:>13} {:>13} {:>10} {:>12}",
+        "profile", "converged", "recovered", "mean-recover", "max-recover", "violations", "drops"
+    );
+
+    let mut rows = Vec::new();
+    for name in &profiles {
+        let profile = ssrmin::netem::LinkProfile::resolve(name).map_err(|e| e.to_string())?;
+        let mut row = NetemProfileRow {
+            profile: profile.name.clone(),
+            converged: 0,
+            recovered: 0,
+            faults: 0,
+            max_recover: 0,
+            mean_recover: 0.0,
+            violations: 0,
+            losses: 0,
+            buffer_drops: 0,
+            curve: Vec::new(),
+        };
+        let mut recover_sum = 0u64;
+        for s in 0..seeds {
+            let seed = seed0.wrapping_add(s);
+            let cfg = SimConfig { seed, timer_interval: timer, ..SimConfig::default() };
+            let initial = random_config::random_ssr_config(params, seed ^ 0x5EED);
+            let mut sim = CstSim::new(algo, initial, cfg).map_err(|e| e.to_string())?;
+            sim.set_netem(&profile, seed);
+
+            // Initial convergence from a random configuration (Theorem 4
+            // operationally: the ground config enters the legitimate cycle
+            // and stays there for a full window).
+            let conv = sim.run_until_stably_legitimate(20 * envelope, window);
+            let ok = conv.is_some_and(|t| t <= envelope);
+            row.converged += usize::from(conv.is_some());
+            row.violations += usize::from(!ok);
+            row.curve.push(NetemPoint { seed, kind: "converge".into(), at: 0, recover: conv, ok });
+            if conv.is_none() {
+                continue; // state unknown — corrupting it measures nothing
+            }
+
+            // E15/E17-style single-fault recoveries: overwrite one node's
+            // state, measure time back to stable legitimacy.
+            for f in 0..faults {
+                let victim = (seed as usize + 1 + 2 * f) % n;
+                let fault_at = sim.now() + 1;
+                sim.schedule_corruption(fault_at, victim, netem_poison(params, seed, f, victim));
+                let since = sim.run_until_stably_legitimate(fault_at + 20 * envelope, window);
+                let recover = since.map(|t| t.saturating_sub(fault_at));
+                let ok = recover.is_some_and(|t| t <= envelope);
+                row.faults += 1;
+                row.violations += usize::from(!ok);
+                if let Some(t) = recover {
+                    row.recovered += 1;
+                    recover_sum += t;
+                    row.max_recover = row.max_recover.max(t);
+                }
+                row.curve.push(NetemPoint {
+                    seed,
+                    kind: format!("corrupt P{victim}"),
+                    at: fault_at,
+                    recover,
+                    ok,
+                });
+            }
+            let stats = sim.stats();
+            row.losses += stats.losses;
+            row.buffer_drops += sim.netem_buffer_drops();
+        }
+        row.mean_recover =
+            if row.recovered > 0 { recover_sum as f64 / row.recovered as f64 } else { 0.0 };
+        println!(
+            "{:<12} {:>6}/{:<2} {:>8}/{:<2} {:>10.0}us {:>11}us {:>10} {:>12}",
+            row.profile,
+            row.converged,
+            seeds,
+            row.recovered,
+            row.faults,
+            row.mean_recover,
+            row.max_recover,
+            row.violations,
+            row.buffer_drops,
+        );
+        rows.push(row);
+    }
+
+    let doc = Json::obj(vec![
+        ("schema", Json::str("ssrmin-netem/v1")),
+        ("n", Json::num(n as f64)),
+        ("k", Json::num(params.k() as f64)),
+        ("timer_us", Json::num(timer as f64)),
+        ("envelope_us", Json::num(envelope as f64)),
+        ("seeds", Json::num(seeds as f64)),
+        ("faults_per_seed", Json::num(faults as f64)),
+        ("seed", Json::num(seed0 as f64)),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("profile", Json::str(&r.profile)),
+                            ("converged", Json::num(r.converged as f64)),
+                            ("recovered", Json::num(r.recovered as f64)),
+                            ("faults", Json::num(r.faults as f64)),
+                            ("mean_recover_us", Json::Num(r.mean_recover)),
+                            ("max_recover_us", Json::num(r.max_recover as f64)),
+                            ("envelope_violations", Json::num(r.violations as f64)),
+                            ("losses", Json::num(r.losses as f64)),
+                            ("netem_buffer_drops", Json::num(r.buffer_drops as f64)),
+                            (
+                                "curve",
+                                Json::Arr(
+                                    r.curve
+                                        .iter()
+                                        .map(|p| {
+                                            Json::obj(vec![
+                                                ("seed", Json::num(p.seed as f64)),
+                                                ("kind", Json::str(&p.kind)),
+                                                ("at_us", Json::num(p.at as f64)),
+                                                (
+                                                    "recover_us",
+                                                    p.recover
+                                                        .map(|t| Json::num(t as f64))
+                                                        .unwrap_or(Json::Null),
+                                                ),
+                                                ("ok", Json::Bool(p.ok)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(out, doc.render() + "\n").map_err(|e| format!("write {out}: {e}"))?;
+    println!("\nwrote {out}");
+
+    let bad: usize = rows.iter().map(|r| r.violations).sum();
+    if bad > 0 {
+        return Err(format!("{bad} event(s) outside the Theorem 2 envelope"));
+    }
+    Ok(())
+}
+
+/// Meta payload a `--checkpoint` run stores in the container (and `replay`
+/// reads back): four LE u64 words — n, k, end tick, transcript capacity.
+fn encode_replay_meta(params: ssrmin::RingParams, t_end: u64, tail: usize) -> Vec<u8> {
+    let mut b = Vec::with_capacity(32);
+    for v in [params.n() as u64, u64::from(params.k()), t_end, tail as u64] {
+        b.extend_from_slice(&v.to_le_bytes());
+    }
+    b
+}
+
+fn decode_replay_meta(meta: &[u8]) -> Result<(ssrmin::RingParams, u64, usize), String> {
+    if meta.len() != 32 {
+        return Err(format!("checkpoint meta is {} bytes, expected 32", meta.len()));
+    }
+    let word = |i: usize| u64::from_le_bytes(meta[8 * i..8 * i + 8].try_into().expect("8 bytes"));
+    let params = ssrmin::RingParams::new(word(0) as usize, word(1) as u32)
+        .map_err(|e| format!("checkpoint meta ring params: {e}"))?;
+    Ok((params, word(2), word(3) as usize))
+}
+
+/// The replay-compared outcome: the transcript tail plus a verdict block.
+/// Determinism contract: a restored run and the original produce this text
+/// byte-for-byte identically.
+fn netem_outcome(sim: &CstSim<SsrMin>) -> String {
+    let stats = sim.stats();
+    let legit = sim.algorithm().is_legitimate(&sim.ground_config());
+    format!(
+        "{}---\nt_end {}\nevents {}\ntransmissions {}\nlosses {}\nnetem_buffer_drops {}\n\
+         rules_executed {}\nprivileged {:?}\nlegitimate {}\nverdict {}\n",
+        sim.transcript().expect("transcript enabled").render(),
+        sim.now(),
+        stats.events,
+        stats.transmissions,
+        stats.losses,
+        sim.netem_buffer_drops(),
+        stats.rules_executed,
+        sim.local_privileged(),
+        legit,
+        if legit && (1..=2).contains(&sim.local_privileged().len()) { "PASS" } else { "FAIL" },
+    )
+}
+
+/// Write `text` to `--transcript-out` if given, else stdout.
+fn emit_outcome(opts: &Opts, text: &str) -> Result<(), String> {
+    match opts.get("transcript-out") {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
+            println!("wrote transcript + verdict to {path}");
+            Ok(())
+        }
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+/// The `--checkpoint` arm of `ssrmin netem`: one faulted deterministic run,
+/// snapshotted mid-flight, finished, and its outcome emitted for `ssrmin
+/// replay` to reproduce.
+fn cmd_netem_checkpoint(
+    opts: &Opts,
+    params: ssrmin::RingParams,
+    profile: &str,
+    seed: u64,
+    timer: u64,
+) -> Result<(), String> {
+    let ck_path = opts.get("checkpoint").expect("caller checked");
+    let ticks: u64 = get(opts, "ticks", 40 * envelope_ticks(params.n(), timer))?;
+    let ck_at: u64 = get(opts, "checkpoint-at", ticks / 2)?;
+    let tail: usize = get(opts, "tail", 64usize)?.max(1);
+    let faults: usize = get(opts, "faults", 3usize)?;
+    if ck_at >= ticks {
+        return Err(format!("--checkpoint-at {ck_at} must be before --ticks {ticks}"));
+    }
+    let profile = ssrmin::netem::LinkProfile::resolve(profile).map_err(|e| e.to_string())?;
+    let algo = SsrMin::new(params);
+    let cfg = SimConfig { seed, timer_interval: timer, ..SimConfig::default() };
+    let initial = random_config::random_ssr_config(params, seed ^ 0x5EED);
+    let mut sim = CstSim::new(algo, initial, cfg).map_err(|e| e.to_string())?;
+    sim.set_netem(&profile, seed);
+    // A seeded fault schedule spread over the whole run, so corruptions
+    // straddle the checkpoint: some land before it (already absorbed),
+    // the rest ride the snapshot's fault cursor into the replay.
+    let n = params.n();
+    for f in 0..faults {
+        let at = (f as u64 + 1) * ticks / (faults as u64 + 1);
+        let victim = (seed as usize + 1 + 2 * f) % n;
+        sim.schedule_corruption(at, victim, netem_poison(params, seed, f, victim));
+    }
+
+    sim.run_until(ck_at);
+    let bytes = sim.checkpoint(&encode_replay_meta(params, ticks, tail));
+    std::fs::write(ck_path, &bytes).map_err(|e| format!("write {ck_path}: {e}"))?;
+    println!(
+        "checkpoint: n = {n}, k = {}, profile '{}', seed {seed}, {faults} fault(s) — \
+         {} bytes at t = {ck_at} of {ticks} -> {ck_path}",
+        params.k(),
+        profile.name,
+        bytes.len(),
+    );
+
+    // Finish the run recording the post-checkpoint transcript — exactly
+    // the stretch a replayed restore will re-execute.
+    sim.enable_transcript(tail);
+    sim.run_until(ticks);
+    emit_outcome(opts, &netem_outcome(&sim))
+}
+
+fn cmd_replay(opts: &Opts) -> Result<(), String> {
+    let path = opts.get("from").ok_or("replay needs --from FILE (see ssrmin help)")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    // The ring dimensions travel in the meta chunk; peek at it to build
+    // the algorithm before the full restore.
+    let reader = ssrmin::netem::ChunkReader::parse_kind(&bytes, ssrmin::mpnet::CHECKPOINT_KIND_DES)
+        .map_err(|e| format!("{path}: {e}"))?;
+    let meta = reader
+        .find(*b"meta")
+        .ok_or_else(|| format!("{path}: checkpoint has no meta chunk"))?
+        .to_vec();
+    let (params, t_end, tail) = decode_replay_meta(&meta)?;
+    let algo = SsrMin::new(params);
+    let (mut sim, _) = CstSim::restore(algo, &bytes).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "replay: n = {}, k = {}, restored at t = {} — running to t = {t_end}",
+        params.n(),
+        params.k(),
+        sim.now(),
+    );
+    sim.enable_transcript(tail);
+    sim.run_until(t_end);
+    emit_outcome(opts, &netem_outcome(&sim))
+}
+
 const CTL_USAGE: &str = "\
 usage: ssrmin ctl URL metrics|status|top
        ssrmin ctl URL chaos partition F T | heal F T | loss P|off |
-                            corrupt P|off | truncate P|off
+                            corrupt P|off | truncate P|off | netem NAME|off
        ssrmin ctl URL fault crash N [amnesia|snapshot] | restart N |
                             partition F T | heal F T | corrupt-snapshot N |
                             corrupt-state N | freeze N | babble N";

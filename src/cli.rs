@@ -120,7 +120,10 @@ pub fn start_config(opts: &Opts, algo: &SsrMin, seed: u64) -> Result<Config<SsrS
 }
 
 /// The chaos knobs shared by `cluster` and `soak`: `Some` config iff any
-/// fault knob is set (per-link seeds are derived downstream).
+/// fault knob is set (per-link seeds are derived downstream). `--netem
+/// <profile>` resolves a link profile (builtin name, `profiles/<name>.toml`
+/// or a literal path) and stores its forward/reverse halves for
+/// [`ChaosConfig::for_direction`] to pick per directed link.
 pub fn chaos_from_opts(opts: &Opts) -> Result<Option<ChaosConfig>, String> {
     let loss = probability(opts, "loss")?;
     let delay_us: u64 = get(opts, "delay-us", 0u64)?;
@@ -129,22 +132,30 @@ pub fn chaos_from_opts(opts: &Opts) -> Result<Option<ChaosConfig>, String> {
     let corrupt = probability(opts, "corrupt")?;
     let truncate = probability(opts, "truncate")?;
     let burst = opts.contains_key("burst");
+    let netem = match opts.get("netem") {
+        Some(name) => Some(ssr_netem::LinkProfile::resolve(name).map_err(|e| e.to_string())?),
+        None => None,
+    };
     let faulty = loss > 0.0
         || delay_us > 0
         || dup > 0.0
         || reorder > 0.0
         || corrupt > 0.0
         || truncate > 0.0
-        || burst;
+        || burst
+        || netem.is_some();
     Ok(faulty.then(|| ChaosConfig {
         seed: 0, // per-link seeds are derived by the runner/supervisor
         loss,
         burst: burst.then(crate::mpnet::GilbertElliott::default),
         delay: (Duration::ZERO, Duration::from_micros(delay_us)),
+        delay_reverse: None,
         duplicate: dup,
         reorder,
         corrupt,
         truncate,
+        netem: netem.as_ref().map(|p| p.forward),
+        netem_reverse: netem.as_ref().map(|p| p.reverse),
     }))
 }
 

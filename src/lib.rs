@@ -39,6 +39,7 @@ pub use ssr_ctl as ctl;
 pub use ssr_daemon as daemon;
 pub use ssr_mpnet as mpnet;
 pub use ssr_net as net;
+pub use ssr_netem as netem;
 pub use ssr_runtime as runtime;
 pub use ssr_serve as serve;
 pub use ssr_verify as verify;
