@@ -1,0 +1,668 @@
+//! Degraded-mode token service: random-walk circulation for broken rings.
+//!
+//! SSRmin's graceful handover (Theorem 2) assumes an intact bidirectional
+//! ring. The membership layer routinely breaks that assumption on purpose —
+//! mid-splice parks, crashed members awaiting a restart or the liveness
+//! reaper — and during those windows the handshake protocol simply stalls
+//! at the hole. Bernard, Bui & Sohier's self-stabilizing random-walk token
+//! circulation needs no ring at all: a single walker token is forwarded to
+//! a uniformly random live neighbour, and a *reloading wave* regenerates
+//! the token when it is lost with a crashed host. This module is the shared
+//! model of that fallback, used by both the live UDP membership host
+//! (`ssr-net`) and the DES twin below:
+//!
+//! * [`RandomWalker`] — the walker itself: a seeded position on the ring's
+//!   liveness view, stepping to a uniformly random live neighbour (edges
+//!   across a dead position are unusable, so a one-hole ring walks a path
+//!   and reflects at the hole), regenerating at the first live position
+//!   when its own host dies.
+//! * [`FallbackArbiter`] — the mode state machine (`Normal` ⇄ `Degraded`)
+//!   plus the grant ledger: every critical-section grant — walker-mode or
+//!   handshake-mode — is a [`GrantWindow`], every mode switch a
+//!   [`ModeSwitch`], and [`FallbackArbiter::audit`] proves after the fact
+//!   that exclusivity was never violated across a mode switch: walker
+//!   grants are pairwise disjoint, confined to degraded intervals (after
+//!   the quiesce margin that lets any in-flight handshake CS dwell end),
+//!   and never overlapped by a handshake grant.
+//! * [`FallbackSim`] — a discrete-event twin of the whole arrangement, so
+//!   the break/heal interleaving space can be explored at scales (and
+//!   event rates) the socket layer cannot reach.
+//!
+//! The walker's progress guarantee is the cover-time envelope
+//! ([`cover_time_envelope`]): on the path left by a broken ring the
+//! worst-case expected hitting time is `(m-1)^2` steps for `m` live nodes,
+//! and the envelope applies the same 4x slack the Theorem 2 wall-clock
+//! envelope uses.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Which protocol granted a critical-section window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrantMode {
+    /// Degraded mode: the random walker visited the node.
+    Walker,
+    /// Normal mode: SSRmin's handshake privileged the node.
+    Handshake,
+}
+
+/// One critical-section grant, microseconds from the arbiter's epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrantWindow {
+    /// Granted node (a stable slot id on the live host, a ring index in
+    /// the DES twin).
+    pub node: usize,
+    /// Who granted it.
+    pub mode: GrantMode,
+    /// Grant open, µs since epoch.
+    pub from_us: u64,
+    /// Grant close, µs since epoch.
+    pub to_us: u64,
+}
+
+/// One mode transition of the fallback state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModeSwitch {
+    /// When, µs since the arbiter's epoch.
+    pub at_us: u64,
+    /// True: entered degraded mode. False: handed back to the handshake.
+    pub degraded: bool,
+}
+
+/// Monotonic counters of the fallback service.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FallbackStats {
+    /// Times the ring entered degraded mode.
+    pub entries: u64,
+    /// Times it handed back to the handshake protocol.
+    pub exits: u64,
+    /// Walker forwarding steps taken (one logical message each).
+    pub steps: u64,
+    /// Critical-section grants issued by the walker.
+    pub grants: u64,
+    /// Reloading-wave token regenerations (walker lost with its host).
+    pub regenerations: u64,
+}
+
+/// The Bernard–Bui–Sohier walker over a ring liveness view.
+///
+/// Positions index the view vector (ring order); an edge between adjacent
+/// positions is usable only when both endpoints are live, so a dead member
+/// leaves a hole the walker reflects at rather than crosses.
+#[derive(Debug, Clone)]
+pub struct RandomWalker {
+    rng: StdRng,
+    pos: usize,
+    /// Forwarding steps taken.
+    pub steps: u64,
+    /// Reloading-wave regenerations performed.
+    pub regenerations: u64,
+}
+
+impl RandomWalker {
+    /// A walker starting at ring position `pos`, drawing neighbour choices
+    /// from a deterministic stream seeded with `seed`.
+    pub fn new(seed: u64, pos: usize) -> RandomWalker {
+        RandomWalker { rng: StdRng::seed_from_u64(seed), pos, steps: 0, regenerations: 0 }
+    }
+
+    /// Current ring position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Move the walker to ring position `pos` without stepping — used when
+    /// degraded mode takes over from the handshake, so the walker is
+    /// minted where the handshake token last was (possibly on a now-dead
+    /// host, in which case the next step runs the reloading wave).
+    pub fn reposition(&mut self, pos: usize) {
+        self.pos = pos;
+    }
+
+    /// Forward the walker one step over the liveness view `up` (indexed by
+    /// ring position). Returns the position granted this step, or `None`
+    /// when no position is live. If the walker's own host is dead the
+    /// reloading wave regenerates it at the first live position; otherwise
+    /// it moves to a uniformly random live neighbour (staying put only when
+    /// both neighbouring edges are broken).
+    pub fn step(&mut self, up: &[bool]) -> Option<usize> {
+        let m = up.len();
+        let first_live = up.iter().position(|&u| u)?;
+        if self.pos >= m || !up[self.pos] {
+            // Reloading wave: the token died with its host; mint a fresh
+            // one at the lowest live ring position (nearest the anchor).
+            self.pos = first_live;
+            self.regenerations += 1;
+            self.steps += 1;
+            return Some(self.pos);
+        }
+        let succ = (self.pos + 1) % m;
+        let pred = (self.pos + m - 1) % m;
+        let mut choices = [0usize; 2];
+        let mut live_deg = 0;
+        if m > 1 && up[succ] {
+            choices[live_deg] = succ;
+            live_deg += 1;
+        }
+        if m > 2 && pred != succ && up[pred] {
+            choices[live_deg] = pred;
+            live_deg += 1;
+        }
+        if live_deg > 0 {
+            self.pos = choices[self.rng.random_range(0..live_deg)];
+        }
+        self.steps += 1;
+        Some(self.pos)
+    }
+}
+
+/// Cover-time envelope of the walker on a broken ring with `live` live
+/// members: the worst case (a path) has expected hitting time `(m-1)^2`
+/// steps, and the envelope applies the same 4x slack as the Theorem 2
+/// wall-clock envelope. Any degraded window in which consecutive walker
+/// grants (or the window edges) gap by more than this is a stall.
+pub fn cover_time_envelope(live: usize, step: Duration) -> Duration {
+    let m = live.max(2) as u32;
+    step.saturating_mul(4 * (m - 1) * (m - 1))
+}
+
+/// The fallback state machine plus grant ledger shared by the live host
+/// and the DES twin. Degraded holds are counted, not boolean: overlapping
+/// causes (a crash during a splice) keep the ring degraded until every
+/// hold is released.
+#[derive(Debug, Clone)]
+pub struct FallbackArbiter {
+    walker: RandomWalker,
+    /// Liveness per ring position, paired with the stable node label grants
+    /// are recorded under.
+    view: Vec<(usize, bool)>,
+    holds: u32,
+    /// Epoch µs when the current degraded interval became grant-eligible.
+    eligible_us: u64,
+    quiesce_us: u64,
+    windows: Vec<GrantWindow>,
+    switches: Vec<ModeSwitch>,
+    stats: FallbackStats,
+}
+
+impl FallbackArbiter {
+    /// An arbiter whose walker draws from `seed` and whose degraded
+    /// intervals only issue grants `quiesce_us` after entry — the margin
+    /// that lets any handshake CS dwell in flight at the break finish
+    /// before the walker's first grant.
+    pub fn new(seed: u64, quiesce_us: u64) -> FallbackArbiter {
+        FallbackArbiter {
+            walker: RandomWalker::new(seed, 0),
+            view: Vec::new(),
+            holds: 0,
+            eligible_us: 0,
+            quiesce_us,
+            windows: Vec::new(),
+            switches: Vec::new(),
+            stats: FallbackStats::default(),
+        }
+    }
+
+    /// Replace the liveness view: `(node label, up)` in ring order.
+    pub fn set_view(&mut self, view: Vec<(usize, bool)>) {
+        self.view = view;
+    }
+
+    /// Mint the walker at ring position `pos` — where the handshake token
+    /// last was when the break opened. A dead `pos` makes the walker's
+    /// first step a reloading-wave regeneration.
+    pub fn seed_walker(&mut self, pos: usize) {
+        self.walker.reposition(pos);
+    }
+
+    /// Whether the ring is currently degraded.
+    pub fn degraded(&self) -> bool {
+        self.holds > 0
+    }
+
+    /// Take one degraded hold (crash opened, splice began, ...). The first
+    /// hold switches the mode.
+    pub fn enter(&mut self, now_us: u64) {
+        self.holds += 1;
+        if self.holds == 1 {
+            self.stats.entries += 1;
+            self.eligible_us = now_us.saturating_add(self.quiesce_us);
+            self.switches.push(ModeSwitch { at_us: now_us, degraded: true });
+        }
+    }
+
+    /// Release one degraded hold; releasing the last one hands the segment
+    /// back to the handshake protocol.
+    pub fn exit(&mut self, now_us: u64) {
+        debug_assert!(self.holds > 0, "fallback exit without a matching enter");
+        self.holds = self.holds.saturating_sub(1);
+        if self.holds == 0 {
+            self.stats.exits += 1;
+            self.switches.push(ModeSwitch { at_us: now_us, degraded: false });
+        }
+    }
+
+    /// One walker tick at `now_us`: in degraded mode (past the quiesce
+    /// margin) forward the walker over the current view and grant its
+    /// position a CS window of `dwell_us`. Returns the granted node label.
+    pub fn tick(&mut self, now_us: u64, dwell_us: u64) -> Option<usize> {
+        if self.holds == 0 || now_us < self.eligible_us {
+            return None;
+        }
+        let up: Vec<bool> = self.view.iter().map(|&(_, u)| u).collect();
+        let pos = self.walker.step(&up)?;
+        self.stats.steps = self.walker.steps;
+        self.stats.regenerations = self.walker.regenerations;
+        let node = self.view[pos].0;
+        self.stats.grants += 1;
+        self.windows.push(GrantWindow {
+            node,
+            mode: GrantMode::Walker,
+            from_us: now_us,
+            to_us: now_us.saturating_add(dwell_us),
+        });
+        Some(node)
+    }
+
+    /// Record a handshake-mode grant (the DES twin's token dwell; the live
+    /// host derives these from its activity trace instead).
+    pub fn grant_handshake(&mut self, node: usize, from_us: u64, to_us: u64) {
+        self.windows.push(GrantWindow { node, mode: GrantMode::Handshake, from_us, to_us });
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> FallbackStats {
+        let mut stats = self.stats;
+        stats.steps = self.walker.steps;
+        stats.regenerations = self.walker.regenerations;
+        stats
+    }
+
+    /// Every grant issued so far, in issue order.
+    pub fn windows(&self) -> &[GrantWindow] {
+        &self.windows
+    }
+
+    /// Every mode switch so far, in time order.
+    pub fn switches(&self) -> &[ModeSwitch] {
+        &self.switches
+    }
+
+    /// The handover audit: prove that exclusivity survived every mode
+    /// switch. Returns human-readable violations (empty = clean):
+    ///
+    /// 1. mode switches alternate enter/exit in nondecreasing time order;
+    /// 2. walker grants never overlap any other grant (walker or
+    ///    handshake) — the walker is the sole CS authority while it runs;
+    /// 3. every walker grant lies inside a degraded interval, at or after
+    ///    the quiesce margin;
+    /// 4. no handshake grant intrudes into the grant-eligible part of a
+    ///    degraded interval.
+    pub fn audit(&self) -> Vec<String> {
+        audit_handover(&self.windows, &self.switches, self.quiesce_us)
+    }
+}
+
+/// Degraded intervals `[enter, exit)` reconstructed from a switch list; an
+/// unclosed interval extends to `u64::MAX`.
+fn degraded_intervals(switches: &[ModeSwitch]) -> Vec<(u64, u64)> {
+    let mut intervals = Vec::new();
+    let mut open: Option<u64> = None;
+    for s in switches {
+        match (s.degraded, open) {
+            (true, None) => open = Some(s.at_us),
+            (false, Some(from)) => {
+                intervals.push((from, s.at_us));
+                open = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(from) = open {
+        intervals.push((from, u64::MAX));
+    }
+    intervals
+}
+
+/// The standalone handover audit over a grant ledger and a mode-switch
+/// history (see [`FallbackArbiter::audit`]).
+pub fn audit_handover(
+    windows: &[GrantWindow],
+    switches: &[ModeSwitch],
+    quiesce_us: u64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+
+    // 1. Switches must alternate and be time-ordered.
+    let mut last_at = 0u64;
+    let mut degraded = false;
+    for s in switches {
+        if s.at_us < last_at {
+            violations.push(format!("mode switch at {}us precedes {}us", s.at_us, last_at));
+        }
+        if s.degraded == degraded {
+            violations.push(format!(
+                "mode switch at {}us repeats {} state",
+                s.at_us,
+                if degraded { "degraded" } else { "normal" }
+            ));
+        }
+        degraded = s.degraded;
+        last_at = s.at_us;
+    }
+
+    // 2. No overlap involving a walker grant. Handshake grants may overlap
+    // each other: SSRmin's (1,2)-CS allows two privileged nodes.
+    let mut sorted: Vec<GrantWindow> = windows.to_vec();
+    sorted.sort_by_key(|w| (w.from_us, w.to_us));
+    for pair in sorted.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        let walker_involved = a.mode == GrantMode::Walker || b.mode == GrantMode::Walker;
+        if walker_involved && b.from_us < a.to_us {
+            violations.push(format!(
+                "grant overlap across modes: node {} [{}..{}us, {:?}] vs node {} \
+                 [{}..{}us, {:?}]",
+                a.node, a.from_us, a.to_us, a.mode, b.node, b.from_us, b.to_us, b.mode
+            ));
+        }
+    }
+
+    // 3 + 4. Containment against degraded intervals.
+    let intervals = degraded_intervals(switches);
+    for w in windows {
+        let eligible = intervals
+            .iter()
+            .find(|&&(from, to)| w.from_us >= from.saturating_add(quiesce_us) && w.to_us <= to);
+        let intrudes = intervals
+            .iter()
+            .any(|&(from, to)| w.from_us < to && w.to_us > from.saturating_add(quiesce_us));
+        match w.mode {
+            GrantMode::Walker if eligible.is_none() => violations.push(format!(
+                "walker grant to node {} [{}..{}us] outside any quiesced degraded interval",
+                w.node, w.from_us, w.to_us
+            )),
+            GrantMode::Handshake if intrudes => violations.push(format!(
+                "handshake grant to node {} [{}..{}us] inside a degraded interval",
+                w.node, w.from_us, w.to_us
+            )),
+            _ => {}
+        }
+    }
+    violations
+}
+
+/// Discrete-event twin of the degraded-mode arrangement: an `n`-ring whose
+/// token circulates one position per tick in normal mode (the handshake,
+/// abstracted to its grant schedule), with seeded break/heal events that
+/// switch the segment to the random walker and back. Time is µs; every
+/// tick advances `step_us`.
+#[derive(Debug, Clone)]
+pub struct FallbackSim {
+    n: usize,
+    step_us: u64,
+    now_us: u64,
+    up: Vec<bool>,
+    /// Ring position of the handshake token (None while degraded or lost).
+    token: Option<usize>,
+    arb: FallbackArbiter,
+}
+
+impl FallbackSim {
+    /// A healthy `n`-ring with its token at the anchor. The walker's
+    /// quiesce margin is one tick, matching the live host's dwell bound.
+    pub fn new(n: usize, seed: u64, step_us: u64) -> FallbackSim {
+        let step_us = step_us.max(1);
+        let mut arb = FallbackArbiter::new(seed, step_us);
+        arb.set_view((0..n).map(|i| (i, true)).collect());
+        FallbackSim { n, step_us, now_us: 0, up: vec![true; n], token: Some(0), arb }
+    }
+
+    /// Current simulated time, µs.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Whether the sim is in normal (handshake) mode.
+    pub fn mode_normal(&self) -> bool {
+        !self.arb.degraded()
+    }
+
+    /// The handshake token's position, if it exists.
+    pub fn token(&self) -> Option<usize> {
+        self.token
+    }
+
+    /// Live-node count.
+    pub fn live(&self) -> usize {
+        self.up.iter().filter(|&&u| u).count()
+    }
+
+    /// Crash ring position `node`. Refused (returning false) when it is
+    /// already down or when it is the last live node — the walker needs a
+    /// segment to serve.
+    pub fn break_node(&mut self, node: usize) -> bool {
+        if node >= self.n || !self.up[node] || self.live() <= 1 {
+            return false;
+        }
+        self.up[node] = false;
+        self.arb.set_view((0..self.n).map(|i| (i, self.up[i])).collect());
+        if !self.arb.degraded() {
+            // Mint the walker where the handshake token last was; if the
+            // token died with this very host the walker's first step runs
+            // the reloading wave.
+            self.arb.seed_walker(self.token.unwrap_or(0));
+        }
+        if self.token == Some(node) {
+            self.token = None;
+        }
+        self.arb.enter(self.now_us);
+        true
+    }
+
+    /// Heal ring position `node`. When the last hole closes the segment
+    /// hands back to the handshake: the token resumes at the walker's last
+    /// position (graceful handover), or regenerates at the anchor if the
+    /// walker never ran.
+    pub fn heal_node(&mut self, node: usize) -> bool {
+        if node >= self.n || self.up[node] {
+            return false;
+        }
+        self.up[node] = true;
+        self.arb.set_view((0..self.n).map(|i| (i, self.up[i])).collect());
+        self.arb.exit(self.now_us);
+        if !self.arb.degraded() {
+            let resume = self.arb.windows().iter().rev().find(|w| w.mode == GrantMode::Walker);
+            self.token = Some(match (resume, self.token) {
+                (Some(w), _) => w.node,
+                (None, Some(t)) => t,
+                (None, None) => 0,
+            });
+        }
+        true
+    }
+
+    /// One simulation tick: the walker steps in degraded mode, the token
+    /// advances to the next live position in normal mode; either way the
+    /// visited node gets a half-tick CS grant.
+    pub fn tick(&mut self) {
+        let dwell = self.step_us / 2;
+        if self.arb.degraded() {
+            self.arb.tick(self.now_us, dwell.max(1));
+        } else if let Some(at) = self.token {
+            let next = (1..=self.n).map(|d| (at + d) % self.n).find(|&p| self.up[p]).unwrap_or(at);
+            self.token = Some(next);
+            self.arb.grant_handshake(next, self.now_us, self.now_us + dwell.max(1));
+        }
+        self.now_us += self.step_us;
+    }
+
+    /// Run `ticks` simulation ticks.
+    pub fn run(&mut self, ticks: u64) {
+        for _ in 0..ticks {
+            self.tick();
+        }
+    }
+
+    /// Counter snapshot of the fallback service.
+    pub fn stats(&self) -> FallbackStats {
+        self.arb.stats()
+    }
+
+    /// The grant ledger.
+    pub fn windows(&self) -> &[GrantWindow] {
+        self.arb.windows()
+    }
+
+    /// The handover audit over everything this sim has done.
+    pub fn audit(&self) -> Vec<String> {
+        self.arb.audit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walker_reflects_at_the_hole_and_covers_the_path() {
+        // Ring of 6 with position 3 dead: the walker lives on the path
+        // 4-5-0-1-2 and must visit every live node well within the cover
+        // envelope.
+        let up = [true, true, true, false, true, true];
+        let mut w = RandomWalker::new(7, 0);
+        let mut visited = [false; 6];
+        let budget = 4 * 5 * 5; // cover_time_envelope in steps for m=6 live... generous
+        for _ in 0..budget {
+            let pos = w.step(&up).unwrap();
+            assert_ne!(pos, 3, "the walker crossed a dead position");
+            visited[pos] = true;
+        }
+        for (i, &v) in visited.iter().enumerate() {
+            assert!(v || i == 3, "position {i} never visited in {budget} steps");
+        }
+        assert_eq!(w.regenerations, 0);
+    }
+
+    #[test]
+    fn reloading_wave_regenerates_a_lost_token() {
+        let mut up = [true; 4];
+        let mut w = RandomWalker::new(3, 2);
+        up[2] = false;
+        // First live position after the dead host is 0.
+        let pos = w.step(&up).unwrap();
+        assert_eq!(pos, 0);
+        assert_eq!(w.regenerations, 1);
+        // A fully dead view yields no grant at all.
+        assert!(w.step(&[false, false]).is_none());
+    }
+
+    #[test]
+    fn walker_is_deterministic_per_seed() {
+        let up = [true, true, false, true, true];
+        let runs: Vec<Vec<usize>> = (0..2)
+            .map(|_| {
+                let mut w = RandomWalker::new(99, 0);
+                (0..64).map(|_| w.step(&up).unwrap()).collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+    }
+
+    #[test]
+    fn arbiter_confines_walker_grants_to_quiesced_degraded_intervals() {
+        let mut arb = FallbackArbiter::new(1, 10);
+        arb.set_view(vec![(0, true), (1, true), (2, false), (3, true)]);
+        assert!(arb.tick(0, 5).is_none(), "no grants in normal mode");
+        arb.enter(100);
+        assert!(arb.tick(105, 5).is_none(), "no grants inside the quiesce margin");
+        assert!(arb.tick(110, 5).is_some());
+        assert!(arb.tick(120, 5).is_some());
+        arb.exit(130);
+        assert!(arb.tick(140, 5).is_none(), "no grants after hand-back");
+        arb.grant_handshake(1, 150, 155);
+        assert!(arb.audit().is_empty(), "{:?}", arb.audit());
+        let stats = arb.stats();
+        assert_eq!((stats.entries, stats.exits, stats.grants), (1, 1, 2));
+    }
+
+    #[test]
+    fn audit_flags_cross_mode_overlap_and_stray_grants() {
+        let switches =
+            [ModeSwitch { at_us: 100, degraded: true }, ModeSwitch { at_us: 200, degraded: false }];
+        // A handshake grant overlapping a walker grant inside the window.
+        let windows = [
+            GrantWindow { node: 1, mode: GrantMode::Walker, from_us: 120, to_us: 130 },
+            GrantWindow { node: 2, mode: GrantMode::Handshake, from_us: 125, to_us: 135 },
+        ];
+        let v = audit_handover(&windows, &switches, 10);
+        assert!(v.iter().any(|m| m.contains("overlap")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("inside a degraded interval")), "{v:?}");
+
+        // A walker grant outside any degraded interval.
+        let stray = [GrantWindow { node: 0, mode: GrantMode::Walker, from_us: 300, to_us: 310 }];
+        let v = audit_handover(&stray, &switches, 10);
+        assert!(v.iter().any(|m| m.contains("outside any quiesced")), "{v:?}");
+
+        // Unbalanced switches.
+        let bad =
+            [ModeSwitch { at_us: 10, degraded: true }, ModeSwitch { at_us: 20, degraded: true }];
+        assert!(!audit_handover(&[], &bad, 0).is_empty());
+    }
+
+    #[test]
+    fn sim_breaks_heal_and_hand_back_with_a_clean_audit() {
+        let mut sim = FallbackSim::new(6, 42, 1_000);
+        sim.run(20);
+        assert!(sim.mode_normal());
+        assert!(sim.break_node(3));
+        assert!(!sim.break_node(3), "already down");
+        sim.run(200);
+        assert!(!sim.mode_normal());
+        assert!(sim.stats().grants > 0, "walker never granted during the break");
+        assert!(sim.heal_node(3));
+        sim.run(20);
+        assert!(sim.mode_normal());
+        assert!(sim.token().is_some());
+        assert!(sim.audit().is_empty(), "{:?}", sim.audit());
+        let s = sim.stats();
+        assert_eq!((s.entries, s.exits), (1, 1));
+    }
+
+    #[test]
+    fn sim_token_loss_triggers_the_reloading_wave() {
+        let mut sim = FallbackSim::new(5, 9, 1_000);
+        sim.run(3);
+        let at = sim.token().unwrap();
+        assert!(sim.break_node(at), "break the token holder itself");
+        assert!(sim.token().is_none(), "token died with its host");
+        sim.run(100);
+        assert!(sim.stats().regenerations >= 1, "reloading wave never ran");
+        sim.heal_node(at);
+        sim.run(10);
+        assert!(sim.token().is_some());
+        assert!(sim.audit().is_empty(), "{:?}", sim.audit());
+    }
+
+    #[test]
+    fn sim_scales_to_large_rings() {
+        let mut sim = FallbackSim::new(1_000, 5, 100);
+        sim.run(50);
+        sim.break_node(500);
+        sim.run(2_000);
+        sim.heal_node(500);
+        sim.run(50);
+        assert!(sim.mode_normal());
+        assert!(sim.audit().is_empty(), "{:?}", sim.audit());
+        assert!(sim.stats().grants > 0);
+    }
+
+    #[test]
+    fn cover_envelope_grows_quadratically_with_the_live_segment() {
+        let step = Duration::from_millis(1);
+        assert_eq!(cover_time_envelope(2, step), Duration::from_millis(4));
+        assert_eq!(cover_time_envelope(5, step), Duration::from_millis(64));
+        assert!(cover_time_envelope(1, step) >= Duration::from_millis(4));
+    }
+}

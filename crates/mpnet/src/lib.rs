@@ -46,6 +46,7 @@
 
 pub mod csv;
 pub mod event;
+pub mod fallback;
 pub mod faults;
 pub mod link;
 pub mod loss;
@@ -58,6 +59,10 @@ pub mod transcript;
 
 pub use csv::{per_node_transitions_to_csv, timeline_to_csv};
 pub use event::{DelayModel, EventKind, EventQueue, Time};
+pub use fallback::{
+    audit_handover, cover_time_envelope, FallbackArbiter, FallbackSim, FallbackStats, GrantMode,
+    GrantWindow, ModeSwitch, RandomWalker,
+};
 pub use faults::{
     ChurnPlan, FaultEvent, FaultKind, FaultParseError, FaultPlan, FaultSchedule,
     FaultScheduleError, RestartMode,

@@ -1,0 +1,140 @@
+//! Property tests for the degraded-mode fallback DES twin: whatever seeded
+//! break/heal interleaving is drawn, the segment keeps a single token
+//! authority (walker while broken, handshake token otherwise), hands back
+//! cleanly once every hole closes, and the handover audit finds no
+//! exclusivity violation across any mode switch.
+
+use proptest::prelude::*;
+
+use ssr_mpnet::fallback::{cover_time_envelope, FallbackSim, GrantMode};
+
+/// Drive one op against the sim: `true` breaks the node, `false` heals it.
+/// Refusals (already down, already up, last live node) are no-ops by
+/// construction, which is exactly the API contract under test.
+fn apply(sim: &mut FallbackSim, node: usize, brk: bool) {
+    if brk {
+        sim.break_node(node);
+    } else {
+        sim.heal_node(node);
+    }
+}
+
+proptest! {
+    // Each case replays a full interleaving; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any break/heal interleaving — including overlapping holes, breaking
+    /// the token holder, and healing in arbitrary order — ends with the
+    /// handshake back in charge, a token present, and a clean audit.
+    #[test]
+    fn any_break_heal_interleaving_hands_back_cleanly(
+        seed in any::<u64>(),
+        n in 4usize..=9,
+        ops in proptest::collection::vec((0usize..9, any::<bool>(), 1u64..=120), 1..24),
+    ) {
+        let mut sim = FallbackSim::new(n, seed, 1_000);
+        sim.run(10);
+        for &(node, brk, gap) in &ops {
+            apply(&mut sim, node % n, brk);
+            sim.run(gap);
+        }
+        // Close every hole, then give the segment a settling window.
+        for node in 0..n {
+            sim.heal_node(node);
+        }
+        sim.run(20);
+        prop_assert!(sim.mode_normal(), "all holes closed but still degraded");
+        prop_assert_eq!(sim.live(), n);
+        prop_assert!(sim.token().is_some(), "hand-back lost the token");
+        let violations = sim.audit();
+        prop_assert!(violations.is_empty(), "audit violations: {:?}", violations);
+        let stats = sim.stats();
+        prop_assert_eq!(stats.entries, stats.exits, "unbalanced degraded holds");
+    }
+
+    /// During a single-hole break the walker serves every live node within
+    /// a generous multiple of the cover-time envelope — the degraded
+    /// segment starves nobody.
+    #[test]
+    fn walker_covers_every_live_node_during_a_break(
+        seed in any::<u64>(),
+        n in 4usize..=8,
+        victim in 0usize..8,
+    ) {
+        let victim = victim % n;
+        let step_us = 1_000u64;
+        let mut sim = FallbackSim::new(n, seed, step_us);
+        sim.run(5);
+        prop_assert!(sim.break_node(victim));
+        // 20x the envelope in ticks: the cover bound is on the expectation,
+        // so leave astronomical headroom for unlucky neighbour draws.
+        let envelope_ticks =
+            cover_time_envelope(n - 1, std::time::Duration::from_micros(step_us)).as_micros()
+                as u64
+                / step_us;
+        sim.run(20 * envelope_ticks.max(1));
+        let mut visited = vec![false; n];
+        for w in sim.windows().iter().filter(|w| w.mode == GrantMode::Walker) {
+            visited[w.node] = true;
+        }
+        for (node, &v) in visited.iter().enumerate() {
+            prop_assert!(
+                v || node == victim,
+                "live node {} never granted in 20x the cover envelope (n = {}, victim {})",
+                node, n, victim
+            );
+        }
+        prop_assert!(!visited[victim], "the walker granted a dead node");
+        sim.heal_node(victim);
+        sim.run(5);
+        let violations = sim.audit();
+        prop_assert!(violations.is_empty(), "audit violations: {:?}", violations);
+    }
+
+    /// The whole arrangement is deterministic per seed: identical op
+    /// scripts replay to identical grant ledgers and mode histories.
+    #[test]
+    fn fallback_runs_are_deterministic_per_seed(
+        seed in any::<u64>(),
+        n in 4usize..=7,
+        ops in proptest::collection::vec((0usize..7, any::<bool>(), 1u64..=60), 1..12),
+    ) {
+        let run = || {
+            let mut sim = FallbackSim::new(n, seed, 500);
+            sim.run(8);
+            for &(node, brk, gap) in &ops {
+                apply(&mut sim, node % n, brk);
+                sim.run(gap);
+            }
+            (sim.windows().to_vec(), sim.stats())
+        };
+        let (windows_a, stats_a) = run();
+        let (windows_b, stats_b) = run();
+        prop_assert_eq!(windows_a, windows_b);
+        prop_assert_eq!(stats_a, stats_b);
+    }
+
+    /// Breaking the token holder itself loses the handshake token with its
+    /// host; the reloading wave regenerates a walker token, and the final
+    /// heal hands a token back to the handshake regardless.
+    #[test]
+    fn token_loss_is_always_recovered(
+        seed in any::<u64>(),
+        n in 4usize..=8,
+    ) {
+        let mut sim = FallbackSim::new(n, seed, 1_000);
+        sim.run(7);
+        let holder = sim.token().expect("normal mode holds a token");
+        prop_assert!(sim.break_node(holder));
+        prop_assert!(sim.token().is_none(), "token should die with its host");
+        sim.run(200);
+        let stats = sim.stats();
+        prop_assert!(stats.regenerations >= 1, "reloading wave never ran");
+        prop_assert!(stats.grants > 0, "walker served nothing during the break");
+        sim.heal_node(holder);
+        sim.run(10);
+        prop_assert!(sim.token().is_some(), "no token after the hand-back");
+        let violations = sim.audit();
+        prop_assert!(violations.is_empty(), "audit violations: {:?}", violations);
+    }
+}

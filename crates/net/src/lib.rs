@@ -84,7 +84,7 @@ pub use chaos::{
 };
 pub use cluster::{run_cluster, ChaosSummary, ClusterConfig, ClusterError, ClusterReport};
 pub use frame::{crc32, decode, encode, encode_tenant, CodecError, Frame};
-pub use membership::{MembershipConfig, MembershipError, RingMembership};
+pub use membership::{FallbackConfig, MembershipConfig, MembershipError, RingMembership};
 pub use metrics::{
     FaultEventRow, MetricsRegistry, MetricsReport, NodeMetrics, NodeMetricsRow, RecoveryHistogram,
     RecoveryReport,

@@ -40,6 +40,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use ssr_core::{Replica, RingParams, SsrMin, SsrState};
+use ssr_mpnet::fallback::{FallbackArbiter, FallbackStats};
 use ssr_mpnet::FaultKind;
 use ssr_runtime::activity::ActivityEvent;
 
@@ -59,19 +60,120 @@ const GENERATION_STRIDE: u32 = 1 << 24;
 /// Theorem-2 envelope for the current ring.
 const GRACE_ENVELOPES: u32 = 2;
 
-/// Error raised by membership operations. Wraps a human-readable reason;
-/// construction is private to this module so every message goes through the
-/// same vocabulary.
+/// Error raised by membership operations. Typed so callers can branch on
+/// the failure class (a drain timeout is a warning; an exhausted K bound
+/// calls for [`RingMembership::renegotiate_k`]) while `Display` keeps the
+/// human-readable vocabulary older callers match on.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct MembershipError(String);
+pub enum MembershipError {
+    /// A join would violate Hoepman's `K > N` bound.
+    AtCapacity {
+        /// Ring size *after* the rejected join.
+        n: usize,
+        /// The spawn-time (or renegotiated) K.
+        k: u32,
+    },
+    /// Ring position 0 (the anchor) can never leave.
+    Anchor,
+    /// A splice-out would shrink the ring below [`RingParams::MIN_N`].
+    BelowMinimum,
+    /// A ring position beyond the current ring.
+    OutOfRange {
+        /// The offending ring position.
+        position: usize,
+        /// Current ring size.
+        n: usize,
+    },
+    /// The slot has no live runner thread.
+    NotRunning {
+        /// The slot id.
+        slot: usize,
+    },
+    /// A restart was asked of a slot that is not crashed.
+    NotCrashed {
+        /// The slot id.
+        slot: usize,
+    },
+    /// The slot was spliced out earlier; slot ids are never reused.
+    SplicedOut {
+        /// The slot id.
+        slot: usize,
+    },
+    /// A graceful leaver never handed its privilege downstream within the
+    /// watchdog-scaled drain deadline; the splice-out was **forced** and
+    /// has already committed when this is returned.
+    DrainTimeout {
+        /// The forced-out slot id.
+        slot: usize,
+        /// How long the drain was waited for, in milliseconds.
+        waited_ms: u64,
+    },
+    /// A K-renegotiation was rejected or aborted.
+    KRenegotiation(String),
+    /// A socket-layer failure (bind, local-addr lookup, proxy spawn).
+    Io(String),
+    /// Any other invalid request.
+    Invalid(String),
+}
 
 impl fmt::Display for MembershipError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        match self {
+            MembershipError::AtCapacity { n, k } => write!(
+                f,
+                "ring is at K capacity: K={k} must exceed n={n} after the join; \
+                 spawn with a larger K to leave growth headroom"
+            ),
+            MembershipError::Anchor => {
+                f.write_str("ring position 0 is the anchor (the bottom machine never leaves)")
+            }
+            MembershipError::BelowMinimum => {
+                write!(f, "removing a member would splice the ring below n={}", RingParams::MIN_N)
+            }
+            MembershipError::OutOfRange { position, n } => {
+                write!(f, "ring position {position} is out of range on a {n}-ring")
+            }
+            MembershipError::NotRunning { slot } => write!(f, "slot {slot} is not running"),
+            MembershipError::NotCrashed { slot } => {
+                write!(f, "slot {slot} is not crashed; nothing to restart")
+            }
+            MembershipError::SplicedOut { slot } => {
+                write!(f, "slot {slot} has been spliced out")
+            }
+            MembershipError::DrainTimeout { slot, waited_ms } => write!(
+                f,
+                "graceful drain of slot {slot} timed out after {waited_ms}ms; \
+                 the splice-out was forced"
+            ),
+            MembershipError::KRenegotiation(why) => write!(f, "K renegotiation failed: {why}"),
+            MembershipError::Io(why) => f.write_str(why),
+            MembershipError::Invalid(why) => f.write_str(why),
+        }
     }
 }
 
 impl std::error::Error for MembershipError {}
+
+/// Configuration of the degraded-mode random-walk fallback (Bernard–Bui–
+/// Sohier). While the ring is broken — mid-splice park, a crashed member
+/// awaiting restart or reaping, a K-renegotiation — every member's
+/// handshake rule engine is suspended and a walker token is forwarded to a
+/// uniformly random live neighbour instead, so the segment keeps granting
+/// the critical section through the break.
+#[derive(Debug, Clone, Copy)]
+pub struct FallbackConfig {
+    /// Walker forwarding period (one step, hence one logical message, per
+    /// period while degraded).
+    pub step: Duration,
+    /// Seed of the walker's neighbour-choice stream.
+    pub seed: u64,
+}
+
+impl Default for FallbackConfig {
+    fn default() -> Self {
+        FallbackConfig { step: Duration::from_millis(1), seed: 0 }
+    }
+}
 
 /// Static configuration of a [`RingMembership`] host.
 #[derive(Debug, Clone)]
@@ -87,6 +189,9 @@ pub struct MembershipConfig {
     pub chaos: Option<ChaosConfig>,
     /// Starvation watchdog configuration; `None` disables watchdogs.
     pub watchdog: Option<WatchdogConfig>,
+    /// Degraded-mode random-walk fallback; `None` (the default) keeps the
+    /// pre-fallback behaviour where broken-ring intervals simply stall.
+    pub fallback: Option<FallbackConfig>,
 }
 
 impl Default for MembershipConfig {
@@ -97,6 +202,7 @@ impl Default for MembershipConfig {
             seed: 0,
             chaos: None,
             watchdog: Some(WatchdogConfig::default()),
+            fallback: None,
         }
     }
 }
@@ -122,6 +228,9 @@ struct MemberSlot {
     proxy_succ: Option<ChaosProxy>,
     /// Relaunch count; scales the generation floor on restart.
     incarnation: u32,
+    /// Whether this slot currently owns a degraded-mode hold (set on crash,
+    /// released on restart or splice-out).
+    degraded_hold: bool,
 }
 
 /// A live, resizable SSRmin ring over UDP loopback.
@@ -138,6 +247,28 @@ pub struct RingMembership {
     ring_size: Arc<AtomicUsize>,
     watchdog_outbox: Arc<Mutex<Vec<WatchdogEvent>>>,
     resplices: u64,
+    /// Ring-wide degraded-mode suspension, shared with every member's
+    /// [`NodeControl`]: while set, no handshake rule engine executes.
+    suspended: Arc<AtomicBool>,
+    fallback: Option<FallbackHandle>,
+    drain_timeouts: u64,
+    k_renegotiations: u64,
+}
+
+/// The live half of the degraded-mode subsystem: the shared arbiter (grant
+/// ledger + mode state machine) and the walker thread that ticks it.
+struct FallbackHandle {
+    arbiter: Arc<Mutex<FallbackArbiter>>,
+    thread: Option<JoinHandle<()>>,
+    /// Margin between suspension and the walker's first grant, covering
+    /// any handshake CS dwell in flight when the break opened.
+    quiesce: Duration,
+    /// Sum of all members' rule firings captured at degraded entry, to
+    /// prove post-hoc that no engine executed while suspended.
+    firings_at_enter: u64,
+    /// Suspension breaches found at degraded exits (rule firings beyond
+    /// the in-flight allowance).
+    breaches: Vec<String>,
 }
 
 impl RingMembership {
@@ -178,8 +309,54 @@ impl RingMembership {
             ring_size: Arc::new(AtomicUsize::new(n)),
             watchdog_outbox: Arc::new(Mutex::new(Vec::new())),
             resplices: 0,
+            suspended: Arc::new(AtomicBool::new(false)),
+            fallback: None,
+            drain_timeouts: 0,
+            k_renegotiations: 0,
             cfg,
         };
+
+        // Degraded-mode service: a walker thread forwards the fallback
+        // token every `step` while the ring-wide suspension flag is up.
+        // The grant dwell is kept under the forwarding period so walker
+        // grants are disjoint by construction.
+        if let Some(fb) = host.cfg.fallback {
+            let quiesce = (host.cfg.exec_delay * 4 + host.cfg.tick).max(Duration::from_millis(2));
+            let mut arbiter = FallbackArbiter::new(
+                fb.seed,
+                u64::try_from(quiesce.as_micros()).unwrap_or(u64::MAX),
+            );
+            arbiter.set_view((0..n).map(|i| (i, true)).collect());
+            let arbiter = Arc::new(Mutex::new(arbiter));
+            let dwell = (fb.step / 2)
+                .max(Duration::from_micros(50))
+                .min(host.cfg.exec_delay.max(Duration::from_micros(50)));
+            let thread = {
+                let arbiter = Arc::clone(&arbiter);
+                let suspended = Arc::clone(&host.suspended);
+                let stop = Arc::clone(&host.stop);
+                let start = host.start;
+                let step = fb.step.max(Duration::from_micros(200));
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        if suspended.load(Ordering::Relaxed) {
+                            let now =
+                                u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                            let dwell_us = u64::try_from(dwell.as_micros()).unwrap_or(1).max(1);
+                            arbiter.lock().tick(now, dwell_us);
+                        }
+                        std::thread::sleep(step);
+                    }
+                })
+            };
+            host.fallback = Some(FallbackHandle {
+                arbiter,
+                thread: Some(thread),
+                quiesce,
+                firings_at_enter: 0,
+                breaches: Vec::new(),
+            });
+        }
 
         // Wire each member's two outbound directions, through per-link chaos
         // proxies when configured, then stand the slots up.
@@ -208,6 +385,7 @@ impl RingMembership {
                 proxy_pred,
                 proxy_succ,
                 incarnation: 0,
+                degraded_hold: false,
             }));
             let initial = host.algo.legitimate_anchor(0);
             let replica = Replica::coherent(initial[i], initial[pred], initial[succ]);
@@ -265,6 +443,217 @@ impl RingMembership {
         self.watchdog_outbox.lock().len()
     }
 
+    /// Whether the ring is currently in degraded (random-walk) mode.
+    pub fn degraded(&self) -> bool {
+        self.fallback.as_ref().is_some_and(|fb| fb.arbiter.lock().degraded())
+    }
+
+    /// Counter snapshot of the degraded-mode service, if enabled.
+    pub fn fallback_stats(&self) -> Option<FallbackStats> {
+        self.fallback.as_ref().map(|fb| fb.arbiter.lock().stats())
+    }
+
+    /// Every critical-section grant the fallback arbiter has recorded
+    /// (walker grants only on the live ring), µs offsets from run start.
+    pub fn fallback_windows(&self) -> Vec<ssr_mpnet::fallback::GrantWindow> {
+        self.fallback.as_ref().map(|fb| fb.arbiter.lock().windows().to_vec()).unwrap_or_default()
+    }
+
+    /// Every degraded-mode switch so far, µs offsets from run start.
+    pub fn fallback_switches(&self) -> Vec<ssr_mpnet::fallback::ModeSwitch> {
+        self.fallback.as_ref().map(|fb| fb.arbiter.lock().switches().to_vec()).unwrap_or_default()
+    }
+
+    /// The handover audit: the arbiter's exclusivity checks (walker grants
+    /// disjoint, confined to quiesced degraded intervals, well-formed mode
+    /// switches) plus any suspension breach found at a degraded exit (rule
+    /// firings beyond the in-flight allowance while engines were meant to
+    /// be suspended). Empty means the (1,2)-CS discipline held across every
+    /// mode switch.
+    pub fn fallback_audit(&self) -> Vec<String> {
+        let Some(fb) = &self.fallback else { return Vec::new() };
+        let mut violations = fb.arbiter.lock().audit();
+        violations.extend(fb.breaches.iter().cloned());
+        violations
+    }
+
+    /// The quiesce margin between degraded entry and the walker's first
+    /// grant, if the fallback is enabled — gap measurements start there.
+    pub fn fallback_quiesce(&self) -> Option<Duration> {
+        self.fallback.as_ref().map(|fb| fb.quiesce)
+    }
+
+    /// How many graceful drains escalated to a forced splice-out.
+    pub fn drain_timeouts(&self) -> u64 {
+        self.drain_timeouts
+    }
+
+    /// How many committed K-renegotiations this ring has performed.
+    pub fn k_renegotiations(&self) -> u64 {
+        self.k_renegotiations
+    }
+
+    /// Freeze (or thaw) the member at ring `position`: its rule engine
+    /// stops executing while the node keeps caching and retransmitting —
+    /// the stuck-daemon fault, exposed here so drain-deadline behaviour can
+    /// be exercised deterministically. Returns the slot id.
+    pub fn freeze(&mut self, position: usize, on: bool) -> Result<usize, MembershipError> {
+        let slot = self.slot_at(position)?;
+        self.slot_ref(slot)?.frozen.store(on, Ordering::Relaxed);
+        Ok(slot)
+    }
+
+    /// Grow the ring's K bound past its spawn-time value: a two-phase
+    /// K-bump broadcast. **Prepare** parks every live member (the ring is
+    /// degraded for the duration, so the fallback walker keeps granting);
+    /// an abort relaunches the already-parked members under the old K.
+    /// **Commit** swaps the algorithm to the new parameters and relaunches
+    /// everyone with a generation-floor rebind, so any in-flight frame from
+    /// the old-K ring dies on the staleness filters. Member states need no
+    /// translation: every counter valid under the old K is valid under a
+    /// larger K, and self-stabilization re-converges from there.
+    ///
+    /// Returns the committed K.
+    pub fn renegotiate_k(&mut self, new_k: u32) -> Result<u32, MembershipError> {
+        let old_k = self.algo.params().k();
+        let n = self.ring.len();
+        if new_k <= old_k {
+            return Err(MembershipError::KRenegotiation(format!(
+                "new K={new_k} does not exceed the current K={old_k}"
+            )));
+        }
+        let params = RingParams::new(n, new_k).map_err(|e| {
+            MembershipError::KRenegotiation(format!("invalid parameters n={n}, K={new_k}: {e}"))
+        })?;
+        self.fallback_enter();
+        let result = self.renegotiate_commit(params);
+        self.fallback_exit();
+        if result.is_ok() {
+            self.k_renegotiations += 1;
+        }
+        result
+    }
+
+    fn renegotiate_commit(&mut self, params: RingParams) -> Result<u32, MembershipError> {
+        // Phase 1 — prepare: park every live member in ring order. Any
+        // failure aborts by relaunching the already-parked under the old K.
+        let mut parked = Vec::new();
+        let order = self.ring.clone();
+        for &slot in &order {
+            if !self.node_up(slot) {
+                continue;
+            }
+            match self.park(slot) {
+                Ok((replica, transport)) => parked.push((slot, replica, transport)),
+                Err(e) => {
+                    for (s, replica, transport) in parked {
+                        self.relaunch(s, replica, transport);
+                    }
+                    return Err(MembershipError::KRenegotiation(format!(
+                        "prepare could not park slot {slot}: {e}"
+                    )));
+                }
+            }
+        }
+        // Phase 2 — commit: swap the algorithm and relaunch everyone; the
+        // relaunch bumps each member's generation floor past its old-K life.
+        self.algo = SsrMin::new(params);
+        let k = params.k();
+        for (slot, replica, transport) in parked {
+            self.relaunch(slot, replica, transport);
+        }
+        Ok(k)
+    }
+
+    /// Wall-clock µs since run start (the fallback ledger's time base).
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Sum of rule firings over every slot ever created.
+    fn total_rule_firings(&self) -> u64 {
+        (0..self.slots.len()).map(|i| NodeMetrics::get(&self.metrics.node(i).rule_firings)).sum()
+    }
+
+    /// Refresh the arbiter's liveness view mid-degraded-window (a park or
+    /// launch changed who is up). No-op in normal mode: `fallback_enter`
+    /// sets the view itself.
+    fn fallback_sync_view(&self) {
+        if let Some(fb) = &self.fallback {
+            let mut arb = fb.arbiter.lock();
+            if arb.degraded() {
+                arb.set_view(self.ring.iter().map(|&s| (s, self.node_up(s))).collect());
+            }
+        }
+    }
+
+    /// Take one degraded hold: suspend every handshake rule engine and let
+    /// the walker serve the segment. The first hold seeds the walker at the
+    /// primary token's ring position, so the walk begins where the
+    /// handshake left off.
+    fn fallback_enter(&mut self) {
+        let now = self.now_us();
+        let firings = self.total_rule_firings();
+        let seed_pos = self
+            .ring
+            .iter()
+            .position(|&s| {
+                self.node_up(s) && NodeMetrics::get(&self.metrics.node(s).token_primary) == 1
+            })
+            .unwrap_or(0);
+        let view: Vec<(usize, bool)> = self.ring.iter().map(|&s| (s, self.node_up(s))).collect();
+        if let Some(fb) = &mut self.fallback {
+            let mut arb = fb.arbiter.lock();
+            arb.set_view(view);
+            if !arb.degraded() {
+                fb.firings_at_enter = firings;
+                arb.seed_walker(seed_pos);
+                self.suspended.store(true, Ordering::Relaxed);
+            }
+            arb.enter(now);
+        }
+    }
+
+    /// Release one degraded hold; releasing the last hands the segment back
+    /// to the handshake. The hand-back waits out the walker's in-flight
+    /// grant dwell (so no engine resumes inside it) and audits that no rule
+    /// engine fired beyond the in-flight allowance while suspended.
+    fn fallback_exit(&mut self) {
+        let start = self.start;
+        let firings_now = self.total_rule_firings();
+        let live = self.ring.iter().filter(|&&s| self.node_up(s)).count() as u64;
+        let view: Vec<(usize, bool)> = self.ring.iter().map(|&s| (s, self.node_up(s))).collect();
+        if let Some(fb) = &mut self.fallback {
+            let mut arb = fb.arbiter.lock();
+            arb.set_view(view);
+            // Holding the arbiter lock blocks the walker thread, so no new
+            // grant can open while we wait out the last one.
+            let now = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let open_until = arb
+                .windows()
+                .iter()
+                .rev()
+                .find(|w| w.mode == ssr_mpnet::fallback::GrantMode::Walker)
+                .map(|w| w.to_us)
+                .unwrap_or(0);
+            if open_until > now {
+                std::thread::sleep(Duration::from_micros(open_until - now + 1));
+            }
+            let now = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            arb.exit(now);
+            if !arb.degraded() {
+                self.suspended.store(false, Ordering::Relaxed);
+                let fired = firings_now.saturating_sub(fb.firings_at_enter);
+                if fired > live {
+                    fb.breaches.push(format!(
+                        "{fired} rule firings during a degraded window exceed the \
+                         in-flight allowance of {live} (one per live engine)"
+                    ));
+                }
+            }
+        }
+    }
+
     /// Whether the member in `slot` has a live runner thread.
     pub fn node_up(&self, slot: usize) -> bool {
         self.slots.get(slot).and_then(|s| s.as_ref()).is_some_and(|s| s.thread.is_some())
@@ -314,16 +703,12 @@ impl RingMembership {
         let n = self.ring.len();
         let k = self.algo.params().k();
         if (n + 1) as u32 >= k {
-            return Err(MembershipError(format!(
-                "ring is at K capacity: K={k} must exceed n={} after the join; \
-                 spawn with a larger K to leave growth headroom",
-                n + 1
-            )));
+            return Err(MembershipError::AtCapacity { n: n + 1, k });
         }
         let tail = *self.ring.last().expect("ring is never empty");
         let anchor = self.ring[0];
         if !self.node_up(tail) || !self.node_up(anchor) {
-            return Err(MembershipError(format!(
+            return Err(MembershipError::Invalid(format!(
                 "a join needs both would-be neighbours up (tail slot {tail}, anchor slot {anchor})"
             )));
         }
@@ -341,16 +726,16 @@ impl RingMembership {
             self.cfg.seed.wrapping_add(slot as u64),
             self.metrics.arc_node(slot),
         )
-        .map_err(|e| MembershipError(format!("bind joiner sockets: {e}")))?;
+        .map_err(|e| MembershipError::Io(format!("bind joiner sockets: {e}")))?;
         let j_addrs =
-            t.local_addrs().map_err(|e| MembershipError(format!("joiner local addrs: {e}")))?;
+            t.local_addrs().map_err(|e| MembershipError::Io(format!("joiner local addrs: {e}")))?;
         let tail_addrs = self.slot_ref(tail)?.addrs;
         let anchor_addrs = self.slot_ref(anchor)?.addrs;
         let (proxy_pred, proxy_succ) = if self.cfg.chaos.is_some() {
             let ps = ChaosProxy::spawn(anchor_addrs.pred, self.link_chaos(2 * slot as u64))
-                .map_err(|e| MembershipError(format!("spawn joiner chaos proxy: {e}")))?;
+                .map_err(|e| MembershipError::Io(format!("spawn joiner chaos proxy: {e}")))?;
             let pp = ChaosProxy::spawn(tail_addrs.succ, self.link_chaos(2 * slot as u64 + 1))
-                .map_err(|e| MembershipError(format!("spawn joiner chaos proxy: {e}")))?;
+                .map_err(|e| MembershipError::Io(format!("spawn joiner chaos proxy: {e}")))?;
             t.wire(pp.addr(), ps.addr());
             (Some(pp), Some(ps))
         } else {
@@ -358,6 +743,25 @@ impl RingMembership {
             (None, None)
         };
 
+        // Phases 2-4 break the ring at the splice site: run them under a
+        // degraded-mode hold so the fallback walker serves the segment.
+        self.fallback_enter();
+        let result = self.join_commit(slot, tail, anchor, t, j_addrs, proxy_pred, proxy_succ);
+        self.fallback_exit();
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn join_commit(
+        &mut self,
+        slot: usize,
+        tail: usize,
+        anchor: usize,
+        t: UdpTransport<SsrState>,
+        j_addrs: LocalAddrs,
+        proxy_pred: Option<ChaosProxy>,
+        proxy_succ: Option<ChaosProxy>,
+    ) -> Result<usize, MembershipError> {
         // Phase 2 — the handshake. Park both neighbours; their replicas and
         // transports are now in our hands while the rest of the ring runs on.
         let (mut tail_rep, mut tail_tr) = self.park(tail)?;
@@ -411,6 +815,7 @@ impl RingMembership {
             proxy_pred,
             proxy_succ,
             incarnation: 0,
+            degraded_hold: false,
         }));
         self.launch(slot, replica, t);
 
@@ -433,10 +838,21 @@ impl RingMembership {
     /// [`RingMembership::reap_dead`] splices it out. Returns the slot id.
     pub fn crash(&mut self, position: usize) -> Result<usize, MembershipError> {
         let slot = self.slot_at(position)?;
-        let remains = self.park(slot)?;
+        // The hole this crash opens persists until a restart or a reap, so
+        // the degraded hold it takes is released there, not here.
+        self.fallback_enter();
+        let remains = match self.park(slot) {
+            Ok(remains) => remains,
+            Err(e) => {
+                self.fallback_exit();
+                return Err(e);
+            }
+        };
         let s = self.slot_mut(slot)?;
         s.parked = Some(remains);
         s.down_since = Some(Instant::now());
+        s.degraded_hold = true;
+        self.fallback_sync_view();
         self.log.lock().push(ActivityEvent { at: self.start.elapsed(), node: slot, active: false });
         Ok(slot)
     }
@@ -447,12 +863,18 @@ impl RingMembership {
         let slot = self.slot_at(position)?;
         let s = self.slot_mut(slot)?;
         let Some((replica, mut transport)) = s.parked.take() else {
-            return Err(MembershipError(format!("slot {slot} is not crashed; nothing to restart")));
+            return Err(MembershipError::NotCrashed { slot });
         };
         s.incarnation += 1;
+        let hold = std::mem::take(&mut s.degraded_hold);
         transport.advance_generation_to(s.incarnation.saturating_mul(GENERATION_STRIDE));
         self.launch(slot, replica, transport);
         self.log.lock().push(ActivityEvent { at: self.start.elapsed(), node: slot, active: true });
+        if hold {
+            // The hole this member opened at crash time has closed; release
+            // its degraded hold (the ring hands back once all holds drop).
+            self.fallback_exit();
+        }
         Ok(slot)
     }
 
@@ -485,7 +907,7 @@ impl RingMembership {
         match kind {
             FaultKind::Join { node } => {
                 if *node != self.ring.len() {
-                    return Err(MembershipError(format!(
+                    return Err(MembershipError::Invalid(format!(
                         "join as node {node} does not extend the tail of a {}-ring",
                         self.ring.len()
                     )));
@@ -493,13 +915,18 @@ impl RingMembership {
                 self.join()
             }
             FaultKind::Leave { node } => self.leave(*node),
-            other => Err(MembershipError(format!("'{other}' is not a membership event"))),
+            other => Err(MembershipError::Invalid(format!("'{other}' is not a membership event"))),
         }
     }
 
     /// Stop every member and tear the host down.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        if let Some(fb) = &mut self.fallback {
+            if let Some(handle) = fb.thread.take() {
+                let _ = handle.join();
+            }
+        }
         for slot in self.slots.iter_mut().flatten() {
             if let Some(handle) = slot.thread.take() {
                 let _ = handle.join();
@@ -528,43 +955,79 @@ impl RingMembership {
     fn splice_out(&mut self, position: usize, graceful: bool) -> Result<usize, MembershipError> {
         let n = self.ring.len();
         if position >= n {
-            return Err(MembershipError(format!(
-                "ring position {position} is out of range on a {n}-ring"
-            )));
+            return Err(MembershipError::OutOfRange { position, n });
         }
         if position == 0 {
-            return Err(MembershipError(
-                "ring position 0 is the anchor (the bottom machine never leaves)".into(),
-            ));
+            return Err(MembershipError::Anchor);
         }
         if n - 1 < RingParams::MIN_N {
-            return Err(MembershipError(format!(
-                "removing a member would splice the ring below n={}",
-                RingParams::MIN_N
-            )));
+            return Err(MembershipError::BelowMinimum);
         }
         let leaver = self.ring[position];
         let pred = self.ring[position - 1];
         let succ = self.ring[(position + 1) % n];
         if !self.node_up(pred) || !self.node_up(succ) {
-            return Err(MembershipError(format!(
+            return Err(MembershipError::Invalid(format!(
                 "a splice-out needs both neighbours up (slots {pred} and {succ})"
             )));
         }
 
-        // A graceful leaver first hands any privilege downstream; we poll its
-        // gauge with a Theorem-2-scaled bound, then stop it regardless.
+        // A graceful leaver first hands any privilege downstream. The drain
+        // is bounded: one watchdog budget per GRACE_ENVELOPE (the Theorem-2
+        // envelope when watchdogs are off). A leaver still privileged at
+        // the deadline is spliced out anyway — the ring must not park its
+        // neighbours forever — and the caller gets a typed
+        // [`MembershipError::DrainTimeout`] recording the escalation.
+        let mut drained = true;
+        let mut waited = Duration::ZERO;
         if graceful && self.node_up(leaver) {
-            let deadline =
-                Instant::now() + convergence_envelope(n, self.cfg.tick) * GRACE_ENVELOPES;
-            while Instant::now() < deadline {
+            let budget = match self.cfg.watchdog {
+                Some(w) => w.budget(n, self.cfg.tick),
+                None => convergence_envelope(n, self.cfg.tick),
+            };
+            let deadline = budget * GRACE_ENVELOPES;
+            let t0 = Instant::now();
+            drained = loop {
                 if NodeMetrics::get(&self.metrics.node(leaver).privileged) == 0 {
-                    break;
+                    break true;
+                }
+                if t0.elapsed() >= deadline {
+                    break false;
                 }
                 std::thread::sleep(Duration::from_millis(1));
-            }
+            };
+            waited = t0.elapsed();
         }
 
+        // The splice itself breaks the ring: run it under a degraded-mode
+        // hold. A reaped member that crashed earlier also owns a hold;
+        // release it once the splice has removed the member.
+        let leaver_hold = self.slots[leaver].as_ref().is_some_and(|s| s.degraded_hold);
+        self.fallback_enter();
+        let result = self.splice_commit(position, leaver, pred, succ);
+        self.fallback_exit();
+        if result.is_ok() && leaver_hold {
+            self.fallback_exit();
+        }
+        match result {
+            Ok(slot) if !drained => {
+                self.drain_timeouts += 1;
+                Err(MembershipError::DrainTimeout {
+                    slot,
+                    waited_ms: u64::try_from(waited.as_millis()).unwrap_or(u64::MAX),
+                })
+            }
+            other => other,
+        }
+    }
+
+    fn splice_commit(
+        &mut self,
+        position: usize,
+        leaver: usize,
+        pred: usize,
+        succ: usize,
+    ) -> Result<usize, MembershipError> {
         // Stop the leaver (or collect its parked remains) and drop its
         // sockets and proxies; in-flight frames it sent die on the
         // neighbours' re-spliced sender-slot checks.
@@ -638,15 +1101,16 @@ impl RingMembership {
     ) -> Result<(Replica<SsrState>, UdpTransport<SsrState>), MembershipError> {
         let s = self.slot_mut(slot)?;
         let Some(handle) = s.thread.take() else {
-            return Err(MembershipError(format!("slot {slot} is not running")));
+            return Err(MembershipError::NotRunning { slot });
         };
         s.kill.store(true, Ordering::Relaxed);
         let remains = handle
             .join()
-            .map_err(|_| MembershipError(format!("slot {slot} runner thread panicked")))?;
+            .map_err(|_| MembershipError::Invalid(format!("slot {slot} runner thread panicked")))?;
         let s = self.slot_mut(slot)?;
         s.kill.store(false, Ordering::Relaxed);
         s.frozen.store(false, Ordering::Relaxed);
+        self.fallback_sync_view();
         Ok(remains)
     }
 
@@ -683,6 +1147,7 @@ impl RingMembership {
                 snapshot: None,
                 poison: Arc::clone(&s.poison),
                 frozen: Arc::clone(&s.frozen),
+                suspended: Arc::clone(&self.suspended),
                 watchdog: self.cfg.watchdog.map(|w| Watchdog {
                     budget: w.shared_budget(Arc::clone(&self.ring_size), self.cfg.tick),
                     generation_bump: GENERATION_STRIDE,
@@ -701,29 +1166,25 @@ impl RingMembership {
         let s = self.slots[slot].as_mut().expect("launch into a live slot");
         s.down_since = None;
         s.thread = Some(handle);
+        self.fallback_sync_view();
     }
 
     fn slot_at(&self, position: usize) -> Result<usize, MembershipError> {
-        self.ring.get(position).copied().ok_or_else(|| {
-            MembershipError(format!(
-                "ring position {position} is out of range on a {}-ring",
-                self.ring.len()
-            ))
-        })
+        self.ring
+            .get(position)
+            .copied()
+            .ok_or(MembershipError::OutOfRange { position, n: self.ring.len() })
     }
 
     fn slot_ref(&self, slot: usize) -> Result<&MemberSlot, MembershipError> {
-        self.slots
-            .get(slot)
-            .and_then(|s| s.as_ref())
-            .ok_or_else(|| MembershipError(format!("slot {slot} has been spliced out")))
+        self.slots.get(slot).and_then(|s| s.as_ref()).ok_or(MembershipError::SplicedOut { slot })
     }
 
     fn slot_mut(&mut self, slot: usize) -> Result<&mut MemberSlot, MembershipError> {
         self.slots
             .get_mut(slot)
             .and_then(|s| s.as_mut())
-            .ok_or_else(|| MembershipError(format!("slot {slot} has been spliced out")))
+            .ok_or(MembershipError::SplicedOut { slot })
     }
 }
 
@@ -744,6 +1205,7 @@ mod tests {
             seed,
             chaos: None,
             watchdog: Some(WatchdogConfig::default()),
+            fallback: None,
         }
     }
 
@@ -801,6 +1263,24 @@ mod tests {
         assert_eq!(reaped, vec![slot]);
         assert_eq!(ring.n(), 4);
         assert!(ring.wait_reconverged(settle(&ring)).is_some(), "after reap");
+        ring.stop();
+    }
+
+    #[test]
+    fn k_renegotiation_grows_the_ring_past_spawn_k() {
+        let params = RingParams::minimal(3).unwrap(); // K = 4: no join headroom
+        let mut ring = RingMembership::spawn(params, quiet_cfg(41)).unwrap();
+        assert!(ring.wait_reconverged(settle(&ring)).is_some());
+        assert!(matches!(ring.join().unwrap_err(), MembershipError::AtCapacity { .. }));
+        // A shrink (or no-op) is rejected with a typed error.
+        assert!(matches!(ring.renegotiate_k(4).unwrap_err(), MembershipError::KRenegotiation(_)));
+        assert_eq!(ring.renegotiate_k(8).expect("K bump"), 8);
+        assert_eq!(ring.k_renegotiations(), 1);
+        assert!(ring.wait_reconverged(settle(&ring)).is_some(), "after renegotiation");
+        let slot = ring.join().expect("join after the K bump");
+        assert_eq!(slot, 3);
+        assert_eq!(ring.n(), 4);
+        assert!(ring.wait_reconverged(settle(&ring)).is_some(), "after post-bump join");
         ring.stop();
     }
 

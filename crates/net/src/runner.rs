@@ -148,6 +148,15 @@ pub struct NodeControl {
     /// executes a rule ([`ssr_mpnet::FaultKind::FreezeNode`]). Cleared by a
     /// supervisor restart or a stage-2 watchdog self-restart.
     pub frozen: Arc<AtomicBool>,
+    /// Degraded-mode suspension, usually ring-wide (one flag shared by
+    /// every node): while set, the handshake's rule engine must not grant
+    /// or hand over privileges because a random-walk fallback token is
+    /// circulating instead (see `crate::membership`). Unlike [`frozen`],
+    /// this also pauses the watchdog — a suspended engine is not starving
+    /// — and a stage-2 self-restart never clears it.
+    ///
+    /// [`frozen`]: NodeControl::frozen
+    pub suspended: Arc<AtomicBool>,
     /// Optional convergence watchdog (None: never escalate).
     pub watchdog: Option<Watchdog>,
 }
@@ -161,6 +170,7 @@ impl NodeControl {
             snapshot: None,
             poison: Arc::new(Mutex::new(None)),
             frozen: Arc::new(AtomicBool::new(false)),
+            suspended: Arc::new(AtomicBool::new(false)),
             watchdog: None,
         }
     }
@@ -260,8 +270,11 @@ where
                 // primary token arriving) — log before any dwell.
                 log_transition(&replica, &mut last_privileged, &metrics);
                 // A frozen rule engine (stuck daemon) still caches and
-                // retransmits — only execution is suspended.
-                let frozen = control.frozen.load(Ordering::Relaxed);
+                // retransmits — only execution is suspended. A degraded-mode
+                // suspension behaves the same at this point: the handshake
+                // must not fire while the fallback walker is circulating.
+                let frozen = control.frozen.load(Ordering::Relaxed)
+                    || control.suspended.load(Ordering::Relaxed);
                 if !frozen && replica.enabled_rule(&algo, i).is_some() {
                     if !cfg.exec_delay.is_zero() {
                         // Critical-section dwell: the node stays privileged
@@ -282,7 +295,14 @@ where
         }
 
         // Convergence watchdog: escalate locally when the rule engine has
-        // starved past its budget — resync first, self-restart second.
+        // starved past its budget — resync first, self-restart second. A
+        // degraded-mode suspension pauses the clock: the engine is idle by
+        // design, not starving, and a stage-2 amnesia restart mid-fallback
+        // would mint handshake privileges against the walker's exclusivity.
+        if control.suspended.load(Ordering::Relaxed) {
+            last_progress = Instant::now();
+            resynced = false;
+        }
         if let Some(wd) = &control.watchdog {
             if last_progress.elapsed() >= wd.budget.current() {
                 if !resynced {

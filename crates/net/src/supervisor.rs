@@ -380,6 +380,9 @@ where
             snapshot: Some(Arc::clone(&self.snapshots[i])),
             poison: Arc::clone(&self.poisons[i]),
             frozen: Arc::clone(&self.frozens[i]),
+            // The harness has no membership layer, hence no degraded mode:
+            // the flag exists but nothing ever sets it.
+            suspended: Arc::new(AtomicBool::new(false)),
             watchdog: self.watchdog.clone(),
         };
         let algo = self.algo.clone();

@@ -25,6 +25,7 @@
 //! POST   /tenants/{id}/faults      per-tenant fault grammar (crash 2, restart 2, ...)
 //! POST   /tenants/{id}/nodes       splice one node in at the ring tail
 //! DELETE /tenants/{id}/nodes/{idx} splice node `idx` (slot id) out of the ring
+//! POST   /tenants/{id}/k           renegotiate the ring's K upward (body: new k)
 //! GET    /status · /top · /metrics aggregate views with per-tenant labels
 //! ```
 //!
@@ -34,6 +35,13 @@
 //! counter. The CS auditor is rebuilt across each splice — the (l,k) bound is
 //! a statement about the *current* membership — with the pre-splice audit
 //! totals folded into the tenant's cumulative counters.
+//!
+//! Every membership operation (splice in/out, K renegotiation) parks the
+//! tenant's lease authority for its duration: a held lease survives the
+//! re-splice with its TTL clock stopped (re-validated at unpark instead of
+//! silently expiring mid-splice), and `POST .../acquire` answers 503 with a
+//! retry-after hint instead of blocking on the ring mutex. Both surface as
+//! `ssr_lease_parked_total{tenant=...}`.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -328,7 +336,7 @@ impl ServePlane {
     }
 
     fn tenant_json(&self, entry: &TenantEntry) -> Json {
-        let (privileged, holder, n, up, escalations, order, resplices) = {
+        let (privileged, holder, n, up, escalations, order, resplices, k, renegotiations) = {
             let ring = entry.ring.lock();
             (
                 ring.privileged_count(),
@@ -338,6 +346,8 @@ impl ServePlane {
                 ring.watchdog_escalations(),
                 ring.ring_order(),
                 ring.resplices(),
+                ring.k(),
+                ring.k_renegotiations(),
             )
         };
         let audit = entry.audit();
@@ -347,6 +357,8 @@ impl ServePlane {
             ("id", Json::num(entry.id as f64)),
             ("name", Json::str(&entry.spec.name)),
             ("n", Json::num(n as f64)),
+            ("k", Json::num(k as f64)),
+            ("k_renegotiations", Json::num(renegotiations as f64)),
             ("nodes_up", Json::num(up as f64)),
             ("ring", Json::Arr(order.iter().map(|&s| Json::num(s as f64)).collect())),
             ("resplices", Json::num(resplices as f64)),
@@ -377,6 +389,8 @@ impl ServePlane {
                     ("revocations", Json::num(lease.revocations as f64)),
                     ("conflicts", Json::num(lease.conflicts as f64)),
                     ("unavailable", Json::num(lease.unavailable as f64)),
+                    ("parked", Json::num(lease.parked as f64)),
+                    ("parked_now", Json::Bool(entry.lease.is_parked())),
                 ]),
             ),
         ])
@@ -390,11 +404,38 @@ impl ServePlane {
         ])
     }
 
+    /// The retry-after hint handed to parked clients: twice the post-splice
+    /// stabilization envelope of the grown ring, the same slack the auditor
+    /// grants a fresh membership epoch before holding it to the (l,k) bound.
+    fn park_hint(&self, entry: &TenantEntry) -> Duration {
+        let n = entry.ring.lock().n();
+        convergence_envelope(n + 1, entry.spec.tick).max(Duration::from_millis(50)) * 2
+    }
+
+    /// Run one membership operation with the tenant's lease authority
+    /// parked: a held lease's TTL clock stops for the duration and is
+    /// re-validated against the post-splice token holder at unpark.
+    fn with_parked_lease<T>(&self, entry: &TenantEntry, op: impl FnOnce() -> T) -> T {
+        entry.lease.park(self.park_hint(entry));
+        let out = op();
+        let holder = entry.ring.lock().primary_holder();
+        entry.lease.unpark(holder);
+        out
+    }
+
     fn acquire(&self, entry: &TenantEntry, body: &str) -> (u16, &'static str, String) {
         let client = body.trim();
         let client = if client.is_empty() { "anon" } else { client };
-        let holder = entry.ring.lock().primary_holder();
-        match entry.lease.acquire(client, holder) {
+        // A mid-splice ring holds its mutex for the whole re-splice: check
+        // the park flag before touching the ring so clients get the 503 +
+        // retry-after immediately instead of blocking behind the splice.
+        let outcome = if entry.lease.is_parked() {
+            entry.lease.acquire(client, None)
+        } else {
+            let holder = entry.ring.lock().primary_holder();
+            entry.lease.acquire(client, holder)
+        };
+        match outcome {
             Acquire::Granted(lease) => {
                 let doc = Json::obj(vec![
                     ("lease", Json::num(lease.id as f64)),
@@ -413,6 +454,13 @@ impl ServePlane {
             Acquire::NoHolder => {
                 let doc = Json::obj(vec![("error", Json::str("no token holder"))]);
                 (409, "application/json", doc.render())
+            }
+            Acquire::Parked { retry_in } => {
+                let doc = Json::obj(vec![
+                    ("error", Json::str("ring mid-splice; lease authority parked")),
+                    ("retry_in_ms", Json::num(retry_in.as_millis() as f64)),
+                ]);
+                (503, "application/json", doc.render())
             }
         }
     }
@@ -500,7 +548,8 @@ const SERVE_INDEX: &str = "ssr-serve control endpoints:\n\
   POST   /tenants/{id}/chaos      chaos grammar (loss 0.2 | partition 0 1 | ...)\n\
   POST   /tenants/{id}/faults     fault grammar (crash 2 | restart 2 | ...)\n\
   POST   /tenants/{id}/nodes      splice one node in at the ring tail\n\
-  DELETE /tenants/{id}/nodes/{idx} splice node {idx} (slot id) out\n";
+  DELETE /tenants/{id}/nodes/{idx} splice node {idx} (slot id) out\n\
+  POST   /tenants/{id}/k          renegotiate K upward (body: new k)\n";
 
 impl ControlPlane for ServePlane {
     fn status(&self) -> RingStatus {
@@ -574,6 +623,8 @@ impl ControlPlane for ServePlane {
         let mut expirations = Vec::new();
         let mut revocations = Vec::new();
         let mut conflicts = Vec::new();
+        let mut parked = Vec::new();
+        let mut renegotiations = Vec::new();
         let mut held = Vec::new();
         let mut sends = Vec::new();
         let mut receives = Vec::new();
@@ -605,6 +656,8 @@ impl ControlPlane for ServePlane {
             expirations.push(one(lease.expirations as f64));
             revocations.push(one(lease.revocations as f64));
             conflicts.push(one(lease.conflicts as f64));
+            parked.push(one(lease.parked as f64));
+            renegotiations.push(one(ring.k_renegotiations() as f64));
             held.push(one(if t.lease.current().is_some() { 1.0 } else { 0.0 }));
             // Per-node counters cover every slot ever created: a spliced-out
             // member's totals stay visible (Prometheus counters never vanish).
@@ -692,6 +745,19 @@ impl ControlPlane for ServePlane {
                 "Acquire attempts refused because a lease was held, per tenant",
                 MetricKind::Counter,
                 conflicts,
+            ),
+            Family::new(
+                "ssr_lease_parked_total",
+                "Lease park events: held leases carried across a re-splice with the \
+                 TTL clock stopped, plus acquires refused 503 mid-splice, per tenant",
+                MetricKind::Counter,
+                parked,
+            ),
+            Family::new(
+                "ssr_k_renegotiations_total",
+                "Committed upward K renegotiations, per tenant",
+                MetricKind::Counter,
+                renegotiations,
             ),
             Family::new(
                 "ssr_lease_held",
@@ -783,10 +849,10 @@ impl ControlPlane for ServePlane {
                 };
                 Some(match *action {
                     "nodes" => {
-                        let added = {
+                        let added = self.with_parked_lease(&entry, || {
                             let mut ring = entry.ring.lock();
                             ring.add_node().map(|slot| (slot, ring.n(), ring.resplices()))
-                        };
+                        });
                         match added {
                             Ok((slot, n, resplices)) => {
                                 let doc = Json::obj(vec![
@@ -801,6 +867,34 @@ impl ControlPlane for ServePlane {
                     }
                     "acquire" => self.acquire(&entry, &request.body_str()),
                     "release" => self.release(&entry, &request.body_str()),
+                    "k" => match request.body_str().trim().parse::<u32>() {
+                        Ok(new_k) => {
+                            let renegotiated = self.with_parked_lease(&entry, || {
+                                let mut ring = entry.ring.lock();
+                                ring.renegotiate_k(new_k)
+                                    .map(|k| (k, ring.k_renegotiations(), ring.n()))
+                            });
+                            match renegotiated {
+                                Ok((k, renegotiations, n)) => {
+                                    let doc = Json::obj(vec![
+                                        ("k", Json::num(k as f64)),
+                                        ("n", Json::num(n as f64)),
+                                        ("renegotiations", Json::num(renegotiations as f64)),
+                                    ]);
+                                    (200, "application/json", doc.render())
+                                }
+                                Err(e) => (422, "text/plain", e),
+                            }
+                        }
+                        Err(_) => (
+                            400,
+                            "text/plain",
+                            format!(
+                                "k body must be an integer, got '{}'",
+                                request.body_str().trim()
+                            ),
+                        ),
+                    },
                     "chaos" => match parse_chaos_cmd(&request.body_str()) {
                         Ok(cmd) => match entry.ring.lock().chaos(cmd) {
                             Ok(line) => (200, "text/plain", format!("{line}\n")),
@@ -830,7 +924,8 @@ impl ControlPlane for ServePlane {
                         format!("node index must be a slot id, got '{idx}'"),
                     ));
                 };
-                let removed = entry.ring.lock().remove_node(slot);
+                let removed =
+                    self.with_parked_lease(&entry, || entry.ring.lock().remove_node(slot));
                 Some(match removed {
                     Ok(line) => (200, "text/plain", format!("{line}\n")),
                     Err(e) => (422, "text/plain", e),

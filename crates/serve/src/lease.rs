@@ -75,6 +75,10 @@ pub struct LeaseCounters {
     /// Acquire attempts refused because no node held the primary token at
     /// that instant (transient, e.g. mid-handover or mid-fault).
     pub unavailable: u64,
+    /// Park events: a held lease carried across a re-splice (its TTL clock
+    /// stopped) plus acquire attempts refused with HTTP 503 while the
+    /// tenant's ring was mid-splice.
+    pub parked: u64,
 }
 
 /// Outcome of an acquire attempt.
@@ -89,6 +93,23 @@ pub enum Acquire {
     },
     /// No node currently reports holding the primary token.
     NoHolder,
+    /// The tenant's ring is mid-splice; the lease authority is parked.
+    /// Retry once the splice completes (HTTP 503 + retry-after).
+    Parked {
+        /// Expected remaining splice time (the parker's hint).
+        retry_in: Duration,
+    },
+}
+
+/// While a re-splice rebuilds the ring, the lease authority is parked: the
+/// TTL clock stops for a held lease (it is re-validated at unpark instead
+/// of silently expiring mid-splice) and acquires are refused with a
+/// retry-after hint. Parks nest — overlapping membership operations each
+/// take a depth — and the earliest `since` wins for clock arithmetic.
+struct ParkState {
+    since: Instant,
+    hint: Duration,
+    depth: u32,
 }
 
 struct LeaseInner {
@@ -96,6 +117,7 @@ struct LeaseInner {
     current: Option<Lease>,
     counters: LeaseCounters,
     history: Vec<LeaseWindow>,
+    park: Option<ParkState>,
 }
 
 /// The per-tenant lease authority.
@@ -117,6 +139,7 @@ impl LeaseManager {
                 current: None,
                 counters: LeaseCounters::default(),
                 history: Vec::new(),
+                park: None,
             }),
         }
     }
@@ -135,6 +158,11 @@ impl LeaseManager {
     /// token, if visible). Called under the lock before every decision and
     /// periodically by the host's refresh loop.
     fn refresh_locked(&self, inner: &mut LeaseInner, holder: Option<usize>, now: Instant) {
+        // A parked authority makes no expiry or revocation decisions: the
+        // TTL clock is stopped and the holder view is mid-splice noise.
+        if inner.park.is_some() {
+            return;
+        }
         let Some(lease) = inner.current.as_ref() else { return };
         if now >= lease.expires_at {
             // The TTL ran out at expires_at, not when we noticed.
@@ -174,6 +202,11 @@ impl LeaseManager {
     pub fn acquire(&self, client: &str, holder: Option<usize>) -> Acquire {
         let now = Instant::now();
         let mut inner = self.inner.lock();
+        if let Some(park) = &inner.park {
+            let retry_in = park.hint.saturating_sub(park.since.elapsed());
+            inner.counters.parked += 1;
+            return Acquire::Parked { retry_in: retry_in.max(Duration::from_millis(5)) };
+        }
         self.refresh_locked(&mut inner, holder, now);
         if let Some(expires_at) = inner.current.as_ref().map(|l| l.expires_at) {
             inner.counters.conflicts += 1;
@@ -227,6 +260,54 @@ impl LeaseManager {
         let mut inner = self.inner.lock();
         self.refresh_locked(&mut inner, None, Instant::now());
         inner.current.clone()
+    }
+
+    /// Whether the lease authority is currently parked (ring mid-splice).
+    pub fn is_parked(&self) -> bool {
+        self.inner.lock().park.is_some()
+    }
+
+    /// Park the lease authority for the duration of a re-splice. `hint` is
+    /// the expected splice time, returned to clients as the retry-after.
+    /// A held lease survives: its TTL clock stops until [`unpark`] instead
+    /// of silently expiring mid-splice. Parks nest.
+    ///
+    /// [`unpark`]: LeaseManager::unpark
+    pub fn park(&self, hint: Duration) {
+        let mut inner = self.inner.lock();
+        match &mut inner.park {
+            Some(park) => {
+                park.depth += 1;
+                park.hint = park.hint.max(hint);
+            }
+            None => {
+                inner.park = Some(ParkState { since: Instant::now(), hint, depth: 1 });
+                if inner.current.is_some() {
+                    inner.counters.parked += 1;
+                }
+            }
+        }
+    }
+
+    /// Release one park depth. Dropping the last park re-validates a held
+    /// lease against the post-splice ring: its expiry is pushed out by the
+    /// parked duration (the stopped clock), then the ordinary refresh rules
+    /// apply — if the token moved to another node during the splice the
+    /// lease is revoked, not TTL-expired.
+    pub fn unpark(&self, holder: Option<usize>) {
+        let now = Instant::now();
+        let mut inner = self.inner.lock();
+        let Some(park) = &mut inner.park else { return };
+        park.depth -= 1;
+        if park.depth > 0 {
+            return;
+        }
+        let parked_for = park.since.elapsed();
+        inner.park = None;
+        if let Some(lease) = inner.current.as_mut() {
+            lease.expires_at += parked_for;
+        }
+        self.refresh_locked(&mut inner, holder, now);
     }
 
     /// Snapshot of the traffic counters.
@@ -321,6 +402,59 @@ mod tests {
         assert_eq!(history[0].end, LeaseEnd::Revoked);
         assert_eq!(history[0].id, lease.id);
         assert_eq!(m.counters().revocations, 1);
+    }
+
+    #[test]
+    fn parking_stops_the_ttl_clock_across_a_resplice() {
+        let m = manager(40);
+        let lease = match m.acquire("alice", Some(0)) {
+            Acquire::Granted(l) => l,
+            other => panic!("expected grant, got {other:?}"),
+        };
+        m.park(Duration::from_millis(100));
+        assert!(m.is_parked());
+        // Acquire during the splice: parked, not a silent expiry.
+        assert!(matches!(m.acquire("bob", Some(0)), Acquire::Parked { .. }));
+        // Outlive the TTL while parked: the clock is stopped.
+        std::thread::sleep(Duration::from_millis(60));
+        m.refresh(Some(3)); // mid-splice holder noise must not revoke
+        m.unpark(Some(0));
+        assert!(!m.is_parked());
+        let live = m.current().expect("lease survived the re-splice");
+        assert_eq!(live.id, lease.id);
+        m.release(lease.id, Some(0)).unwrap();
+        let c = m.counters();
+        assert_eq!(c.expirations, 0);
+        assert_eq!(c.revocations, 0);
+        assert_eq!(c.parked, 2, "one held-lease park + one refused acquire");
+        assert!(first_overlap(&m.history()).is_none());
+    }
+
+    #[test]
+    fn unpark_revokes_if_the_token_moved_during_the_splice() {
+        let m = manager(10_000);
+        let lease = match m.acquire("alice", Some(0)) {
+            Acquire::Granted(l) => l,
+            other => panic!("expected grant, got {other:?}"),
+        };
+        m.park(Duration::from_millis(50));
+        m.unpark(Some(4)); // token landed elsewhere after the splice
+        assert!(m.current().is_none());
+        let history = m.history();
+        assert_eq!(history.len(), 1);
+        assert_eq!(history[0].end, LeaseEnd::Revoked);
+        assert_eq!(history[0].id, lease.id);
+    }
+
+    #[test]
+    fn parks_nest() {
+        let m = manager(10_000);
+        m.park(Duration::from_millis(10));
+        m.park(Duration::from_millis(30));
+        m.unpark(None);
+        assert!(m.is_parked(), "inner unpark keeps the outer park");
+        m.unpark(None);
+        assert!(!m.is_parked());
     }
 
     #[test]

@@ -88,6 +88,12 @@ pub struct HostedRing {
     /// Lifetime count of committed re-splice operations (adds + removes).
     resplices: u64,
     watchdog_outbox: Arc<Mutex<Vec<WatchdogEvent>>>,
+    /// Ring-wide degraded-mode suspension shared with every node's control:
+    /// held up while a K-renegotiation rebuilds the ring so no rule engine
+    /// executes against half-committed parameters.
+    suspended: Arc<AtomicBool>,
+    /// Lifetime count of committed K-renegotiations.
+    k_renegotiations: u64,
 }
 
 impl HostedRing {
@@ -137,6 +143,8 @@ impl HostedRing {
             ring_size: Arc::new(AtomicUsize::new(n)),
             resplices: 0,
             watchdog_outbox,
+            suspended: Arc::new(AtomicBool::new(false)),
+            k_renegotiations: 0,
         };
 
         // Phase 2: wire the ring, through chaos proxies when asked for, and
@@ -209,6 +217,7 @@ impl HostedRing {
             snapshot: None,
             poison: Arc::clone(&self.slots[i].poison),
             frozen: Arc::clone(&self.slots[i].frozen),
+            suspended: Arc::clone(&self.suspended),
             watchdog: Some(Watchdog {
                 budget: self.watchdog_budget(),
                 generation_bump: GENERATION_STRIDE,
@@ -555,6 +564,62 @@ impl HostedRing {
         let incarnation = self.slots[slot].incarnation;
         transport.advance_generation_to(incarnation.saturating_mul(GENERATION_STRIDE));
         self.launch(slot, replica, transport);
+    }
+
+    /// The tenant's current K bound.
+    pub fn k(&self) -> u32 {
+        self.algo.params().k()
+    }
+
+    /// Lifetime count of committed K-renegotiations.
+    pub fn k_renegotiations(&self) -> u64 {
+        self.k_renegotiations
+    }
+
+    /// Grow the tenant's K bound past its creation-time value: the same
+    /// two-phase K-bump the membership layer performs. **Prepare** parks
+    /// every live member under the ring-wide suspension (no rule engine may
+    /// execute against half-committed parameters); an abort relaunches the
+    /// already-parked members under the old K. **Commit** swaps the
+    /// algorithm and relaunches everyone with a generation-floor rebind, so
+    /// frames from the old-K ring die on the staleness filters. Returns the
+    /// committed K.
+    pub fn renegotiate_k(&mut self, new_k: u32) -> Result<u32, String> {
+        let old_k = self.algo.params().k();
+        let n = self.ring.len();
+        if new_k <= old_k {
+            return Err(format!("new k={new_k} does not exceed the current k={old_k}"));
+        }
+        let params = RingParams::new(n, new_k)
+            .map_err(|e| format!("invalid parameters n={n}, k={new_k}: {e}"))?;
+        self.suspended.store(true, Ordering::Relaxed);
+        let mut parked = Vec::new();
+        let order = self.ring.clone();
+        for &slot in &order {
+            if !self.node_up(slot) {
+                continue;
+            }
+            match self.park(slot) {
+                Ok((replica, transport)) => parked.push((slot, replica, transport)),
+                Err(e) => {
+                    for (s, replica, transport) in parked {
+                        self.relaunch(s, replica, transport);
+                    }
+                    self.suspended.store(false, Ordering::Relaxed);
+                    return Err(format!(
+                        "k renegotiation aborted: could not park slot {slot}: {e}"
+                    ));
+                }
+            }
+        }
+        self.algo = SsrMin::new(params);
+        self.spec.k = new_k;
+        for (slot, replica, transport) in parked {
+            self.relaunch(slot, replica, transport);
+        }
+        self.suspended.store(false, Ordering::Relaxed);
+        self.k_renegotiations += 1;
+        Ok(new_k)
     }
 
     /// Apply a runtime chaos adjustment to the tenant's links.

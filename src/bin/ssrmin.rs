@@ -13,6 +13,7 @@
 //! ssrmin serve      [--ctl-addr 127.0.0.1:0] [--tenants 4] [--nodes 5] [--ms 0]
 //! ssrmin load       [--tenants 8] [--nodes 5] [--clients 2] [--ms 2000]
 //! ssrmin churn      [--nodes 5] [--ms 4000] [--rate 2.0] [--sweep 0.5,2,8] [--loss 0.0]
+//! ssrmin fallback   [--nodes 5] [--ms 8000] [--rounds 3] [--step-ms 1] [--seed 0]
 //! ssrmin netem      [-n 5] [--profiles lan,wan,lossy-wan] [--seeds 5] [--faults 3] | [--checkpoint ck.bin] [--transcript-out run.log]
 //! ssrmin replay     --from ck.bin [--transcript-out run.log]
 //! ssrmin ctl URL …  / ssrmin top URL — clients against a --ctl-addr plane
@@ -36,10 +37,13 @@ use ssrmin::cli::{
 use ssrmin::core::{CriticalSectionProtocol, DualSsToken, SsToken, SsrMin};
 use ssrmin::ctl::{CtlListener, Json};
 use ssrmin::daemon::{measure_convergence, random_config, trace, Engine};
-use ssrmin::mpnet::{ChurnPlan, CstSim, DelayModel, FaultPlan, FaultSchedule, SimConfig};
+use ssrmin::mpnet::{
+    cover_time_envelope, ChurnPlan, CstSim, DelayModel, FaultPlan, FaultSchedule, GrantMode,
+    SimConfig,
+};
 use ssrmin::net::{
-    audit_trace, convergence_envelope, ChaosConfig, ClusterConfig, MembershipConfig,
-    RingMembership, SupervisorConfig, WatchdogConfig,
+    audit_trace, convergence_envelope, ChaosConfig, ClusterConfig, FallbackConfig,
+    MembershipConfig, MembershipError, RingMembership, SupervisorConfig, WatchdogConfig,
 };
 use ssrmin::runtime::camera::CameraNetwork;
 use ssrmin::runtime::RuntimeConfig;
@@ -72,6 +76,7 @@ fn main() -> ExitCode {
                 "serve" => cmd_serve(&opts),
                 "load" => cmd_load(&opts),
                 "churn" => cmd_churn(&opts),
+                "fallback" => cmd_fallback(&opts),
                 "netem" => cmd_netem(&opts),
                 "replay" => cmd_replay(&opts),
                 "help" | "--help" | "-h" => {
@@ -159,6 +164,21 @@ USAGE:
                      the post-event ring size after every membership event,
                      and writes time-to-reconverge vs churn-rate curves to
                      FILE (default BENCH_churn.json)
+  ssrmin fallback  [--nodes N] [--ms MS] [--rounds R] [--hold-ms H]
+                   [--tick-ms MS] [--step-ms MS] [--seed SEED] [--out FILE]
+                     degraded-mode soak: run a UDP membership ring spawned
+                     deliberately at K = n+1 (zero growth headroom) with
+                     the random-walk fallback armed, then (a) crash/restart
+                     R members and measure walker token grants, grant gaps
+                     vs the cover-time envelope, hand-back latency and the
+                     message cost of random-walk vs handshake circulation
+                     during each broken-ring window; (b) renegotiate K
+                     upward two-phase under live load and prove a join that
+                     was refused AtCapacity succeeds afterwards; (c) audit
+                     every grant across every mode switch for exclusivity;
+                     writes the curves to FILE (default BENCH_fallback.json)
+                     and fails on any audit violation, walker stall past
+                     the cover-time envelope, or failed renegotiated join
   ssrmin netem     [-n N] [-k K] [--profiles P1,P2,...] [--seeds S] [--faults F]
                    [--timer-us US] [--seed SEED] [--out FILE]
                    [--checkpoint FILE] [--checkpoint-at T] [--ticks T]
@@ -1275,6 +1295,315 @@ fn cmd_churn(opts: &Opts) -> Result<(), String> {
         return Err(format!(
             "{bad} membership event(s) did not re-converge within the Theorem 2 envelope"
         ));
+    }
+    Ok(())
+}
+
+/// One crash/restart round of a `ssrmin fallback` soak.
+struct FallbackRound {
+    victim: usize,
+    hold_ms: u64,
+    live: usize,
+    walker_grants: u64,
+    walker_steps: u64,
+    regenerations: u64,
+    max_gap_us: u64,
+    cover_envelope_us: u64,
+    gap_ok: bool,
+    handback_ms: u64,
+    reconverge_ms: Option<u64>,
+    walker_msgs_per_sec: f64,
+}
+
+/// Sum of handshake datagrams sent and CS activations across the live ring.
+fn ring_traffic(ring: &RingMembership) -> (u64, u64) {
+    use ssrmin::net::metrics::NodeMetrics;
+    let (mut sends, mut activations) = (0, 0);
+    for i in ring.ring_order() {
+        let m = ring.metrics().node(i);
+        sends += NodeMetrics::get(&m.sends);
+        activations += NodeMetrics::get(&m.activations);
+    }
+    (sends, activations)
+}
+
+/// `ssrmin fallback` — the degraded-mode soak: random-walk token service
+/// during broken-ring windows, K renegotiation under live load, and the
+/// handover exclusivity audit; writes BENCH_fallback.json.
+fn cmd_fallback(opts: &Opts) -> Result<(), String> {
+    let nodes: usize = get(opts, "nodes", 5usize)?;
+    let ms: u64 = get(opts, "ms", 8000u64)?;
+    if ms < 1500 {
+        return Err("--ms must be at least 1500 (baseline + rounds + renegotiation)".into());
+    }
+    let rounds: usize = get(opts, "rounds", 3usize)?.max(1);
+    let seed: u64 = get(opts, "seed", 0u64)?;
+    let tick = Duration::from_millis(get(opts, "tick-ms", 5u64)?.max(1));
+    let step = Duration::from_millis(get(opts, "step-ms", 1u64)?.max(1));
+    let hold = Duration::from_millis(
+        get(opts, "hold-ms", (ms / (rounds as u64 * 4)).clamp(250, 1500))?.max(100),
+    );
+    let out = opts.get("out").map(String::as_str).unwrap_or("BENCH_fallback.json");
+    if nodes < 4 {
+        return Err("--nodes must be at least 4 (a crash must leave n >= 3 live)".into());
+    }
+
+    // Spawn deliberately at K = n + 1: zero growth headroom, so phase C's
+    // join is refused AtCapacity until the K renegotiation commits.
+    let k0 = nodes as u32 + 1;
+    let params = ssrmin::RingParams::new(nodes, k0).map_err(|e| e.to_string())?;
+    let cfg = MembershipConfig {
+        tick,
+        seed,
+        fallback: Some(FallbackConfig { step, seed: seed ^ 0xFA11_BAC6 }),
+        ..MembershipConfig::default()
+    };
+    let mut ring = RingMembership::spawn(params, cfg).map_err(|e| e.to_string())?;
+    let envelope = convergence_envelope(nodes, tick).max(Duration::from_millis(400));
+    let settle = (envelope * 4).max(Duration::from_secs(2));
+    if ring.wait_reconverged(settle).is_none() {
+        return Err("the ring never converged before the soak".into());
+    }
+    let quiesce = ring.fallback_quiesce().expect("fallback configured");
+    println!(
+        "fallback soak: {nodes} nodes, K = {k0} (no headroom), tick = {tick:?}, \
+         walker step = {step:?}, quiesce = {quiesce:?}, {rounds} rounds x {hold:?} hold, \
+         seed = {seed}"
+    );
+
+    // Phase A — handshake baseline: message and activation rate of the
+    // intact ring, the denominator of the message-cost comparison.
+    let baseline = Duration::from_millis((ms / 4).clamp(500, 3000));
+    let (sends0, act0) = ring_traffic(&ring);
+    std::thread::sleep(baseline);
+    let (sends1, act1) = ring_traffic(&ring);
+    let base_sends = sends1 - sends0;
+    let base_sends_per_sec = base_sends as f64 / baseline.as_secs_f64();
+    println!(
+        "baseline ({baseline:?}): {base_sends} datagrams ({base_sends_per_sec:.0}/s), \
+         {} CS activations",
+        act1 - act0,
+    );
+
+    // Phase B — broken-ring windows: crash a member, let the walker serve
+    // the segment for the hold window, restart, measure the hand-back.
+    let mut round_rows: Vec<FallbackRound> = Vec::new();
+    for round in 0..rounds {
+        let victim = 1 + (round % (nodes - 1));
+        let live = nodes - 1;
+        let cover = cover_time_envelope(live, step);
+        let stats0 = ring.fallback_stats().expect("fallback configured");
+        let windows_before = ring.fallback_windows().len();
+        ring.crash(victim).map_err(|e| format!("crash position {victim}: {e}"))?;
+        if !ring.degraded() {
+            return Err(format!("round {round}: ring not degraded after the crash"));
+        }
+        std::thread::sleep(hold);
+        let handback = Instant::now();
+        ring.restart(victim).map_err(|e| format!("restart position {victim}: {e}"))?;
+        let handback_ms = handback.elapsed().as_millis() as u64;
+        if ring.degraded() {
+            return Err(format!("round {round}: ring still degraded after the restart"));
+        }
+        let reconverge = ring.wait_reconverged(envelope * 4);
+        let stats1 = ring.fallback_stats().expect("fallback configured");
+
+        // Grant-gap analysis over this round's degraded interval: from
+        // eligibility (entry + quiesce) through each walker grant to the
+        // exit, no gap may exceed the cover-time envelope.
+        let switches = ring.fallback_switches();
+        let entered = switches[switches.len() - 2];
+        let exited = switches[switches.len() - 1];
+        debug_assert!(entered.degraded && !exited.degraded);
+        let eligible_us = entered.at_us + quiesce.as_micros() as u64;
+        let mut grant_starts: Vec<u64> = ring.fallback_windows()[windows_before..]
+            .iter()
+            .filter(|w| w.mode == GrantMode::Walker)
+            .map(|w| w.from_us)
+            .collect();
+        grant_starts.sort_unstable();
+        let mut max_gap = 0u64;
+        let mut cursor = eligible_us;
+        for &at in &grant_starts {
+            max_gap = max_gap.max(at.saturating_sub(cursor));
+            cursor = at;
+        }
+        max_gap = max_gap.max(exited.at_us.saturating_sub(cursor));
+        let cover_us = cover.as_micros() as u64;
+        // The walker thread polls every step period, so allow one period of
+        // scheduling slack on top of the envelope.
+        let gap_ok = max_gap <= cover_us + step.as_micros() as u64;
+
+        let walker_grants = stats1.grants - stats0.grants;
+        let walker_steps = stats1.steps - stats0.steps;
+        let row = FallbackRound {
+            victim,
+            hold_ms: hold.as_millis() as u64,
+            live,
+            walker_grants,
+            walker_steps,
+            regenerations: stats1.regenerations - stats0.regenerations,
+            max_gap_us: max_gap,
+            cover_envelope_us: cover_us,
+            gap_ok,
+            handback_ms,
+            reconverge_ms: reconverge.map(|d| d.as_millis() as u64),
+            walker_msgs_per_sec: walker_steps as f64 / hold.as_secs_f64(),
+        };
+        println!(
+            "round {round}: crash P{victim} ({live} live) -> {walker_grants} walker grants, \
+             {walker_steps} steps ({:.0} msgs/s vs {base_sends_per_sec:.0} handshake), \
+             {} regenerations, max gap {}us (cover envelope {}us{}), hand-back {}ms, \
+             reconverge {}",
+            row.walker_msgs_per_sec,
+            row.regenerations,
+            max_gap,
+            cover_us,
+            if gap_ok { "" } else { " ** STALL **" },
+            handback_ms,
+            row.reconverge_ms.map(|t| format!("{t}ms")).unwrap_or_else(|| "never".into()),
+        );
+        round_rows.push(row);
+    }
+
+    // Phase C — K renegotiation under live load: the join must be refused
+    // at K = n + 1, accepted after the two-phase K bump.
+    let at_capacity = match ring.join() {
+        Err(e @ MembershipError::AtCapacity { .. }) => e.to_string(),
+        Ok(slot) => return Err(format!("join at K capacity unexpectedly succeeded (slot {slot})")),
+        Err(e) => return Err(format!("join at K capacity failed oddly: {e}")),
+    };
+    println!("join at capacity refused: {at_capacity}");
+    let k1 = 2 * nodes as u32 + 2;
+    let reneg_at = Instant::now();
+    ring.renegotiate_k(k1).map_err(|e| format!("renegotiate K -> {k1}: {e}"))?;
+    let renegotiate_ms = reneg_at.elapsed().as_millis() as u64;
+    if ring.wait_reconverged(envelope * 4).is_none() {
+        return Err("the ring never reconverged after the K renegotiation".into());
+    }
+    let joined = ring.join().map_err(|e| format!("post-renegotiation join: {e}"))?;
+    let grow_envelope = convergence_envelope(ring.n(), tick).max(Duration::from_millis(400));
+    let grow_reconverge = ring.wait_reconverged(grow_envelope * 4);
+    println!(
+        "K renegotiated {k0} -> {k1} in {renegotiate_ms}ms under live load; \
+         join now succeeds (slot {joined}, n = {}), reconverged {}",
+        ring.n(),
+        grow_reconverge.map(|d| format!("{d:?}")).unwrap_or_else(|| "NEVER".into()),
+    );
+
+    // The handover audit across everything the soak did: every walker
+    // grant confined to quiesced degraded intervals, no cross-mode overlap,
+    // no handshake rule engine firing while suspended.
+    let violations = ring.fallback_audit();
+    let stats = ring.fallback_stats().expect("fallback configured");
+    let drain_timeouts = ring.drain_timeouts();
+    let renegotiations = ring.k_renegotiations();
+    ring.stop();
+    println!(
+        "fallback totals: {} entries / {} exits, {} steps, {} grants, {} regenerations; \
+         handover audit: {}",
+        stats.entries,
+        stats.exits,
+        stats.steps,
+        stats.grants,
+        stats.regenerations,
+        if violations.is_empty() {
+            "clean".to_string()
+        } else {
+            format!("{} VIOLATION(S)", violations.len())
+        },
+    );
+    for v in &violations {
+        println!("  audit: {v}");
+    }
+
+    let doc = Json::obj(vec![
+        ("schema", Json::str("ssrmin-fallback/v1")),
+        ("nodes", Json::num(nodes as f64)),
+        ("k_spawn", Json::num(k0 as f64)),
+        ("k_renegotiated", Json::num(k1 as f64)),
+        ("tick_ms", Json::num(tick.as_millis() as f64)),
+        ("step_ms", Json::num(step.as_millis() as f64)),
+        ("quiesce_us", Json::num(quiesce.as_micros() as f64)),
+        ("seed", Json::num(seed as f64)),
+        (
+            "baseline",
+            Json::obj(vec![
+                ("ms", Json::num(baseline.as_millis() as f64)),
+                ("sends", Json::num(base_sends as f64)),
+                ("sends_per_sec", Json::Num(base_sends_per_sec)),
+                ("activations", Json::num((act1 - act0) as f64)),
+            ]),
+        ),
+        (
+            "rounds",
+            Json::Arr(
+                round_rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("victim", Json::num(r.victim as f64)),
+                            ("hold_ms", Json::num(r.hold_ms as f64)),
+                            ("live", Json::num(r.live as f64)),
+                            ("walker_grants", Json::num(r.walker_grants as f64)),
+                            ("walker_steps", Json::num(r.walker_steps as f64)),
+                            ("walker_msgs_per_sec", Json::Num(r.walker_msgs_per_sec)),
+                            ("regenerations", Json::num(r.regenerations as f64)),
+                            ("max_gap_us", Json::num(r.max_gap_us as f64)),
+                            ("cover_envelope_us", Json::num(r.cover_envelope_us as f64)),
+                            ("gap_ok", Json::Bool(r.gap_ok)),
+                            ("handback_ms", Json::num(r.handback_ms as f64)),
+                            (
+                                "reconverge_ms",
+                                r.reconverge_ms.map(|t| Json::num(t as f64)).unwrap_or(Json::Null),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "renegotiation",
+            Json::obj(vec![
+                ("refused", Json::str(&at_capacity)),
+                ("renegotiate_ms", Json::num(renegotiate_ms as f64)),
+                ("joined_slot", Json::num(joined as f64)),
+                ("n_after", Json::num((nodes + 1) as f64)),
+                (
+                    "reconverge_ms",
+                    grow_reconverge.map(|d| Json::num(d.as_millis() as f64)).unwrap_or(Json::Null),
+                ),
+                ("renegotiations", Json::num(renegotiations as f64)),
+            ]),
+        ),
+        (
+            "fallback",
+            Json::obj(vec![
+                ("entries", Json::num(stats.entries as f64)),
+                ("exits", Json::num(stats.exits as f64)),
+                ("steps", Json::num(stats.steps as f64)),
+                ("grants", Json::num(stats.grants as f64)),
+                ("regenerations", Json::num(stats.regenerations as f64)),
+            ]),
+        ),
+        ("drain_timeouts", Json::num(drain_timeouts as f64)),
+        ("audit_violations", Json::Arr(violations.iter().map(Json::str).collect())),
+    ]);
+    std::fs::write(out, doc.render() + "\n").map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+
+    if !violations.is_empty() {
+        return Err(format!("{} handover audit violation(s)", violations.len()));
+    }
+    let stalls = round_rows.iter().filter(|r| !r.gap_ok).count();
+    if stalls > 0 {
+        return Err(format!("{stalls} degraded window(s) stalled past the cover-time envelope"));
+    }
+    if round_rows.iter().any(|r| r.walker_grants == 0) {
+        return Err("a degraded window produced no walker grants".into());
+    }
+    if grow_reconverge.is_none() {
+        return Err("the grown ring never reconverged after the renegotiated join".into());
     }
     Ok(())
 }

@@ -241,6 +241,124 @@ fn load_subcommand_prints_curves_and_writes_bench() {
     let _ = std::fs::remove_file(&out);
 }
 
+/// Acceptance (K renegotiation): a tenant spawned at the minimal K = n + 1
+/// has zero growth headroom — `POST /nodes` is refused with an actionable
+/// 422 — until `POST /k` renegotiates the bound upward over live traffic,
+/// after which the same add succeeds and the detail document and metrics
+/// reflect the renegotiation.
+#[test]
+fn k_capacity_is_renegotiated_over_http() {
+    let _turn = exclusive();
+    // k = 0 resolves to the minimal legal bound: K = n + 1 = 4.
+    let spec = TenantSpec { nodes: 3, seed: 31, ..TenantSpec::named("kgrow") };
+    let (host, _server, url) = serve(vec![spec]);
+    wait_tenant(&url, "kgrow", "tenant circulating", |doc| {
+        doc.get("nodes_up").and_then(Json::as_u64) == Some(3)
+            && doc.get("token_count_ok") == Some(&Json::Bool(true))
+    });
+
+    // n + 1 == K: the add must be refused and the error must say how to
+    // get out of the corner.
+    let reply = post(&url, "/tenants/kgrow/nodes", "").unwrap();
+    assert_eq!(reply.status, 422, "{}", reply.body);
+    assert!(reply.body.contains("K capacity"), "{}", reply.body);
+    assert!(reply.body.contains("larger k"), "{}", reply.body);
+
+    // Garbage and non-increasing bounds are rejected typed; a real raise
+    // goes through the two-phase renegotiation and reports it.
+    let reply = post(&url, "/tenants/kgrow/k", "four").unwrap();
+    assert_eq!(reply.status, 400, "{}", reply.body);
+    let reply = post(&url, "/tenants/kgrow/k", "4").unwrap();
+    assert_eq!(reply.status, 422, "{}", reply.body);
+    let reply = post(&url, "/tenants/kgrow/k", "8").unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let doc = Json::parse(&reply.body).unwrap();
+    assert_eq!(doc.get("k").and_then(Json::as_u64), Some(8), "{}", reply.body);
+    assert_eq!(doc.get("renegotiations").and_then(Json::as_u64), Some(1), "{}", reply.body);
+
+    // The refused add now succeeds and the grown ring re-converges.
+    let reply = post(&url, "/tenants/kgrow/nodes", "").unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let doc = Json::parse(&reply.body).unwrap();
+    assert_eq!(doc.get("n").and_then(Json::as_u64), Some(4), "{}", reply.body);
+    wait_tenant(&url, "kgrow", "grown ring circulating", |doc| {
+        doc.get("nodes_up").and_then(Json::as_u64) == Some(4)
+            && doc.get("k").and_then(Json::as_u64) == Some(8)
+            && doc.get("k_renegotiations").and_then(Json::as_u64) == Some(1)
+            && doc.get("token_count_ok") == Some(&Json::Bool(true))
+    });
+
+    let reply = get(&url, "/metrics").unwrap();
+    assert_eq!(reply.status, 200);
+    assert!(reply.body.contains("ssr_k_renegotiations_total{tenant=\"kgrow\"}"), "{}", reply.body);
+    host.shutdown();
+}
+
+/// Acceptance (lease survival across re-splice): while the lease authority
+/// is parked — exactly what every membership route does around its splice —
+/// acquires answer 503 with a retry-after hint, the park surfaces in the
+/// tenant detail and in `ssr_lease_parked_total`, and acquires flow again
+/// once the authority is unparked against the live holder. The park is
+/// driven through the host handle because the ctl server answers requests
+/// inline on one thread, so a real mid-splice HTTP acquire cannot be raced
+/// from a test.
+#[test]
+fn mid_splice_acquires_get_503_with_retry_after() {
+    let _turn = exclusive();
+    let spec = TenantSpec {
+        nodes: 3,
+        seed: 41,
+        lease_ttl: Duration::from_secs(2),
+        ..TenantSpec::named("parker")
+    };
+    let (host, _server, url) = serve(vec![spec]);
+    wait_tenant(&url, "parker", "a primary token holder", |doc| {
+        doc.get("holder").and_then(Json::as_u64).is_some()
+    });
+
+    let entry = host.lookup("parker").unwrap();
+    entry.lease.park(Duration::from_millis(300));
+
+    let reply = post(&url, "/tenants/parker/acquire", "impatient").unwrap();
+    assert_eq!(reply.status, 503, "{}", reply.body);
+    let doc = Json::parse(&reply.body).expect("503 carries a JSON hint");
+    assert!(
+        doc.get("retry_in_ms").and_then(Json::as_u64).is_some_and(|ms| ms > 0),
+        "{}",
+        reply.body
+    );
+
+    let doc = wait_tenant(&url, "parker", "the park surfacing", |_| true);
+    let lease = doc.get("lease").expect("lease block");
+    assert_eq!(lease.get("parked_now"), Some(&Json::Bool(true)), "{doc:?}");
+    assert!(
+        lease.get("parked").and_then(Json::as_u64).is_some_and(|p| p >= 1),
+        "refused acquires must count as park events: {doc:?}"
+    );
+    let reply = get(&url, "/metrics").unwrap();
+    assert_eq!(reply.status, 200);
+    assert!(reply.body.contains("ssr_lease_parked_total{tenant=\"parker\"}"), "{}", reply.body);
+
+    // Splice done: unpark against the live holder; acquires flow again.
+    let holder = entry.ring.lock().primary_holder();
+    entry.lease.unpark(holder);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let reply = post(&url, "/tenants/parker/acquire", "patient").unwrap();
+        if reply.status == 200 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "acquire never succeeded after unpark: {} {}",
+            reply.status,
+            reply.body
+        );
+        thread::sleep(Duration::from_millis(5));
+    }
+    host.shutdown();
+}
+
 /// Acceptance (tentpole scale): sixteen concurrent tenants on one host,
 /// every one of them scrapeable with its own label set via `/metrics` and
 /// listed in the registry.

@@ -11,7 +11,9 @@ use std::time::Duration;
 
 use ssrmin::core::RingParams;
 use ssrmin::mpnet::{ChurnPlan, FaultSchedule};
-use ssrmin::net::{convergence_envelope, ChaosConfig, MembershipConfig, RingMembership};
+use ssrmin::net::{
+    convergence_envelope, ChaosConfig, MembershipConfig, MembershipError, RingMembership,
+};
 
 const TICK: Duration = Duration::from_millis(4);
 
@@ -106,6 +108,43 @@ fn seeded_churn_schedule_replays_on_the_live_ring() {
     }
     assert_eq!(ring.resplices() as usize, schedule.events().len());
     assert!((3..=7).contains(&ring.n()), "ring stayed inside the churn band");
+    ring.stop();
+}
+
+/// Acceptance: K renegotiation composes with churn under loss. A ring
+/// spawned with minimal headroom churns through joins and leaves under 10%
+/// datagram loss, hits its K ceiling, renegotiates the bound upward live,
+/// and keeps absorbing churn past the old ceiling — re-converging after
+/// every single re-splice.
+#[test]
+fn k_renegotiation_under_churn_and_loss() {
+    let n0 = 4;
+    let params = RingParams::new(n0, 6).unwrap(); // room for exactly one join
+    let mut ring = RingMembership::spawn(params, config(61, 0.1)).unwrap();
+    wait(&ring, "initial convergence");
+
+    ring.join().unwrap();
+    wait(&ring, "after the first join");
+    let err = ring.join().expect_err("K = 6 cannot admit a sixth member");
+    assert!(matches!(err, MembershipError::AtCapacity { .. }), "got: {err}");
+
+    assert_eq!(ring.renegotiate_k(12).unwrap(), 12);
+    wait(&ring, "after the K renegotiation");
+
+    // Churn past the old ceiling: grow to 7, shrink back to 5, all under
+    // the same 10% loss.
+    for _ in 0..2 {
+        ring.join().unwrap();
+        wait(&ring, "join past the old K");
+    }
+    assert_eq!(ring.n(), 7);
+    for _ in 0..2 {
+        ring.leave(1).unwrap();
+        wait(&ring, "leave after the renegotiation");
+    }
+    assert_eq!(ring.n(), 5);
+    assert_eq!(ring.k_renegotiations(), 1);
+    assert_eq!(ring.drain_timeouts(), 0, "graceful leaves must drain in time");
     ring.stop();
 }
 

@@ -1,0 +1,260 @@
+//! End-to-end degraded-mode tests of the live UDP ring: crash windows
+//! served by the random-walk fallback, the audited hand-back to SSRmin's
+//! handshake, the bounded graceful-leave drain with its typed escalation,
+//! and K renegotiation growing a ring past its spawn-time capacity.
+//!
+//! Every test binds real sockets and spawns a thread per member, and the
+//! fallback timing assertions assume the walker thread is scheduled at its
+//! step cadence — so the tests take turns through a shared mutex (CI runs
+//! the suite with `--test-threads=1` as well, belt and braces).
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use ssrmin::core::RingParams;
+use ssrmin::net::{
+    convergence_envelope, FallbackConfig, MembershipConfig, MembershipError, RingMembership,
+};
+
+static HEAVY: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    HEAVY.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+const TICK: Duration = Duration::from_millis(4);
+
+fn config(seed: u64) -> MembershipConfig {
+    MembershipConfig {
+        tick: TICK,
+        seed,
+        fallback: Some(FallbackConfig { step: Duration::from_millis(1), seed }),
+        ..MembershipConfig::default()
+    }
+}
+
+fn settle(ring: &RingMembership) -> Duration {
+    (convergence_envelope(ring.n(), TICK) * 4).max(Duration::from_secs(2))
+}
+
+fn wait(ring: &RingMembership, what: &str) -> Duration {
+    ring.wait_reconverged(settle(ring))
+        .unwrap_or_else(|| panic!("{what}: ring (n = {}) did not re-converge", ring.n()))
+}
+
+/// The ring position of the live member currently holding the primary
+/// token, retried until the token sits at position >= 2 (the anchor can
+/// never leave, and the jam below may land on the holder's predecessor).
+fn primary_position(ring: &RingMembership) -> usize {
+    use ssrmin::net::metrics::NodeMetrics;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let found = ring.ring_order().iter().enumerate().skip(2).find_map(|(pos, &slot)| {
+            (ring.node_up(slot) && NodeMetrics::get(&ring.metrics().node(slot).token_primary) == 1)
+                .then_some(pos)
+        });
+        if let Some(pos) = found {
+            return pos;
+        }
+        assert!(Instant::now() < deadline, "no primary token holder surfaced at position >= 2");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Acceptance: a crash switches the ring to degraded mode, the random
+/// walker issues token grants for the whole broken window, and the restart
+/// hands back to the handshake with a clean exclusivity audit.
+#[test]
+fn walker_serves_the_broken_ring_and_hands_back_audited() {
+    let _turn = exclusive();
+    let params = RingParams::new(5, 8).unwrap();
+    let mut ring = RingMembership::spawn(params, config(11)).unwrap();
+    wait(&ring, "initial convergence");
+    assert!(!ring.degraded());
+
+    ring.crash(2).unwrap();
+    assert!(ring.degraded(), "a crash must open a degraded window");
+
+    // The walker must grant within its cover-time envelope; poll with a
+    // generous deadline and then hold the window open a little longer so
+    // the grant ledger has real traffic to audit.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while ring.fallback_stats().unwrap().grants == 0 {
+        assert!(Instant::now() < deadline, "the walker never granted during the crash window");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    let during = ring.fallback_stats().unwrap();
+    assert!(during.grants > 10, "walker grants must keep flowing, got {}", during.grants);
+    assert_eq!(during.entries, 1);
+    assert_eq!(during.exits, 0);
+
+    ring.restart(2).unwrap();
+    assert!(!ring.degraded(), "the restart must close the only degraded hold");
+    wait(&ring, "after the hand-back");
+
+    let stats = ring.fallback_stats().unwrap();
+    assert_eq!((stats.entries, stats.exits), (1, 1));
+    let violations = ring.fallback_audit();
+    assert!(violations.is_empty(), "handover audit: {violations:?}");
+    ring.stop();
+}
+
+/// Acceptance: membership splices (join and graceful leave) take degraded
+/// holds of their own, so tokens keep being granted mid-splice and the
+/// audit stays clean across every mode switch.
+#[test]
+fn splices_run_under_degraded_holds_with_a_clean_audit() {
+    let _turn = exclusive();
+    let params = RingParams::new(4, 9).unwrap();
+    let mut ring = RingMembership::spawn(params, config(23)).unwrap();
+    wait(&ring, "initial convergence");
+
+    ring.join().unwrap();
+    wait(&ring, "after join");
+    ring.leave(2).unwrap();
+    wait(&ring, "after leave");
+
+    let stats = ring.fallback_stats().unwrap();
+    assert_eq!(stats.entries, stats.exits, "every splice hold must be released");
+    assert!(stats.entries >= 2, "join and leave each take a degraded hold");
+    let violations = ring.fallback_audit();
+    assert!(violations.is_empty(), "handover audit: {violations:?}");
+    assert!(!ring.degraded());
+    ring.stop();
+}
+
+/// Acceptance: a graceful leave whose leaver cannot shed its privilege
+/// (rule engine frozen) escalates at the drain deadline to a forced
+/// splice-out — the splice commits, the ring shrinks, and the caller gets
+/// the typed [`MembershipError::DrainTimeout`] rather than a hang.
+#[test]
+fn frozen_leaver_hits_the_drain_deadline_and_is_force_spliced() {
+    let _turn = exclusive();
+    let params = RingParams::new(4, 7).unwrap();
+    // No watchdog: it would unfreeze the leaver by amnesia-restarting it
+    // mid-drain, and the drain budget collapses to the Theorem 2 envelope.
+    let cfg = MembershipConfig { watchdog: None, ..config(37) };
+    let mut ring = RingMembership::spawn(params, cfg).unwrap();
+    wait(&ring, "initial convergence");
+
+    // Freeze the current primary holder: it keeps caching and
+    // retransmitting but can never execute the handover rule. The token
+    // jams either on the frozen node itself or — if it slipped past before
+    // the freeze landed — on its predecessor, which cannot complete a
+    // handshake with a frozen successor. While the jam forms the gauge can
+    // still dip (each neighbour message refreshes it), so wait until one of
+    // the two has its privilege pinned continuously; only that node is
+    // guaranteed to poll 1 for the whole drain.
+    let frozen = primary_position(&ring);
+    ring.freeze(frozen, true).unwrap();
+    let position = {
+        use ssrmin::net::metrics::NodeMetrics;
+        let candidates = [frozen, frozen - 1];
+        let slots = candidates.map(|p| ring.ring_order()[p]);
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut pinned = [0u32; 2];
+        loop {
+            assert!(Instant::now() < deadline, "the token never jammed near the frozen node");
+            for (pin, &slot) in pinned.iter_mut().zip(&slots) {
+                *pin = if NodeMetrics::get(&ring.metrics().node(slot).privileged) == 1 {
+                    *pin + 1
+                } else {
+                    0
+                };
+            }
+            if let Some(at) = pinned.iter().position(|&p| p >= 150) {
+                break candidates[at];
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    };
+
+    let t0 = Instant::now();
+    let err = ring.leave(position).expect_err("a frozen leaver cannot drain in time");
+    let waited = t0.elapsed();
+    match err {
+        MembershipError::DrainTimeout { slot, waited_ms } => {
+            assert!(waited_ms > 0, "the escalation must record how long it waited");
+            assert!(
+                !ring.ring_order().contains(&slot),
+                "the splice-out must still commit on timeout"
+            );
+        }
+        other => panic!("expected DrainTimeout, got: {other}"),
+    }
+    assert_eq!(ring.n(), 3, "the ring must shrink despite the timeout");
+    assert_eq!(ring.drain_timeouts(), 1);
+    // The deadline is bounded: two drain envelopes plus scheduling slack.
+    let budget = convergence_envelope(4, TICK) * 2;
+    assert!(
+        waited < budget + Duration::from_secs(2),
+        "drain waited {waited:?}, deadline was {budget:?}"
+    );
+    ring.stop();
+}
+
+/// Acceptance: a ring spawned with zero growth headroom (K = n + 1) grows
+/// past its spawn-time K via the two-phase renegotiation while tokens
+/// circulate, and the previously refused join then succeeds.
+#[test]
+fn k_renegotiation_grows_a_live_ring_past_spawn_k() {
+    let _turn = exclusive();
+    let n = 4;
+    let params = RingParams::new(n, n as u32 + 1).unwrap();
+    let mut ring = RingMembership::spawn(params, config(41)).unwrap();
+    wait(&ring, "initial convergence");
+
+    let err = ring.join().expect_err("K = n + 1 leaves no room to grow");
+    assert!(matches!(err, MembershipError::AtCapacity { .. }), "got: {err}");
+    assert!(err.to_string().contains("larger K"), "the error must say how to fix it: {err}");
+
+    let new_k = 2 * n as u32 + 2;
+    assert_eq!(ring.renegotiate_k(new_k).unwrap(), new_k);
+    assert_eq!(ring.k_renegotiations(), 1);
+    wait(&ring, "after the K renegotiation");
+
+    let slot = ring.join().expect("the renegotiated K must admit the join");
+    assert_eq!(slot, n, "joins append at the tail slot");
+    assert_eq!(ring.n(), n + 1);
+    wait(&ring, "after the post-renegotiation join");
+
+    let violations = ring.fallback_audit();
+    assert!(violations.is_empty(), "handover audit: {violations:?}");
+    ring.stop();
+}
+
+/// The CLI front-end: `ssrmin fallback` runs a short soak, reports walker
+/// service and the renegotiated growth, and writes the benchmark JSON.
+#[test]
+fn fallback_cli_reports_and_writes_bench_json() {
+    let _turn = exclusive();
+    let dir = std::env::temp_dir().join(format!("ssrmin-fallback-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_path = dir.join("BENCH_fallback.json");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_ssrmin"))
+        .args([
+            "fallback",
+            "--nodes",
+            "4",
+            "--ms",
+            "2500",
+            "--rounds",
+            "1",
+            "--seed",
+            "3",
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fallback soak: 4 nodes"), "{stdout}");
+    assert!(stdout.contains("handover audit: clean"), "{stdout}");
+    assert!(stdout.contains("join at capacity refused"), "{stdout}");
+    let json = std::fs::read_to_string(&out_path).unwrap();
+    assert!(json.contains("\"schema\":\"ssrmin-fallback/v1\""), "{json}");
+    assert!(json.contains("\"audit_violations\":[]"), "{json}");
+    std::fs::remove_dir_all(&dir).ok();
+}
