@@ -16,28 +16,40 @@
 //!   across a dead position are unusable, so a one-hole ring walks a path
 //!   and reflects at the hole), regenerating at the first live position
 //!   when its own host dies.
+//! * [`live_segments`] — the partition geometry: holes cut the ring into
+//!   maximal live arcs, and every arc is a first-class degraded-service
+//!   *domain* with its own walker. Following Dastidar & Herman's separation
+//!   of circulating tokens, concurrently live walkers are provably disjoint
+//!   because their domains never share a position.
 //! * [`FallbackArbiter`] — the mode state machine (`Normal` ⇄ `Degraded`)
 //!   plus the grant ledger: every critical-section grant — walker-mode or
-//!   handshake-mode — is a [`GrantWindow`], every mode switch a
-//!   [`ModeSwitch`], and [`FallbackArbiter::audit`] proves after the fact
-//!   that exclusivity was never violated across a mode switch: walker
-//!   grants are pairwise disjoint, confined to degraded intervals (after
-//!   the quiesce margin that lets any in-flight handshake CS dwell end),
-//!   and never overlapped by a handshake grant.
+//!   handshake-mode — is a [`GrantWindow`] stamped with its domain, every
+//!   mode switch a [`ModeSwitch`], and every merge-on-heal a [`MergeEvent`].
+//!   When two arcs re-join, the walker with the lower `(generation, slot)`
+//!   anchor survives and the other is retired under a quiesced hand-over.
+//!   [`FallbackArbiter::audit`] proves after the fact that exclusivity was
+//!   never violated across any split/merge interleaving: ≤ 1 open walker
+//!   grant per domain at every instant, no node granted by two domains at
+//!   once, retired domains silent after their merge, walker grants confined
+//!   to quiesced degraded intervals and never overlapped by a handshake
+//!   grant.
 //! * [`FallbackSim`] — a discrete-event twin of the whole arrangement, so
 //!   the break/heal interleaving space can be explored at scales (and
 //!   event rates) the socket layer cannot reach.
 //!
-//! The walker's progress guarantee is the cover-time envelope
-//! ([`cover_time_envelope`]): on the path left by a broken ring the
-//! worst-case expected hitting time is `(m-1)^2` steps for `m` live nodes,
-//! and the envelope applies the same 4x slack the Theorem 2 wall-clock
-//! envelope uses.
+//! The walker's progress guarantee is per segment: the cover-time envelope
+//! ([`cover_time_envelope`]) of a walker on its own arc of `m` live nodes
+//! is `4·(m-1)²` steps — the worst-case expected hitting time on a path
+//! with the same 4x slack the Theorem 2 wall-clock envelope uses.
 
 use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+
+/// Domain label of handshake grants in the ledger. Walker domains are the
+/// walker ids, which start at 1.
+pub const HANDSHAKE_DOMAIN: u64 = 0;
 
 /// Which protocol granted a critical-section window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +68,11 @@ pub struct GrantWindow {
     pub node: usize,
     /// Who granted it.
     pub mode: GrantMode,
+    /// Service domain: the id of the segment walker that issued a walker
+    /// grant, or [`HANDSHAKE_DOMAIN`] for handshake grants. Two degraded
+    /// segments are distinct domains over disjoint arcs, so their grants
+    /// may legitimately overlap in time.
+    pub domain: u64,
     /// Grant open, µs since epoch.
     pub from_us: u64,
     /// Grant close, µs since epoch.
@@ -71,6 +88,38 @@ pub struct ModeSwitch {
     pub degraded: bool,
 }
 
+/// One merge-on-heal: two live arcs re-joined and the higher-anchor walker
+/// retired into the lower-anchor survivor under a quiesced hand-over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeEvent {
+    /// When, µs since the arbiter's epoch.
+    pub at_us: u64,
+    /// Walker id that keeps serving the merged domain.
+    pub survivor: u64,
+    /// Walker id retired by this merge; it must never grant again.
+    pub retired: u64,
+    /// The surviving walker's `(generation, slot)` anchor — the lower of
+    /// the two by the merge tie-break.
+    pub anchor: (u64, usize),
+}
+
+/// A snapshot of one live degraded-service domain: the segment's walker,
+/// its arc, and its anchor identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// The walker id — the domain label its grants carry.
+    pub domain: u64,
+    /// Ring positions of the arc, in arc order (may wrap position 0).
+    pub positions: Vec<usize>,
+    /// The segment's `(generation, slot)` anchor: the minimum over its
+    /// live members, the identity merges tie-break on.
+    pub anchor: (u64, usize),
+    /// The walker's current ring position.
+    pub position: usize,
+    /// Forwarding steps this walker has taken.
+    pub steps: u64,
+}
+
 /// Monotonic counters of the fallback service.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FallbackStats {
@@ -78,12 +127,18 @@ pub struct FallbackStats {
     pub entries: u64,
     /// Times it handed back to the handshake protocol.
     pub exits: u64,
-    /// Walker forwarding steps taken (one logical message each).
+    /// Walker forwarding steps taken (one logical message each), summed
+    /// over every walker this arbiter ever ran.
     pub steps: u64,
-    /// Critical-section grants issued by the walker.
+    /// Critical-section grants issued by walkers.
     pub grants: u64,
     /// Reloading-wave token regenerations (walker lost with its host).
     pub regenerations: u64,
+    /// Segment walkers minted over the arbiter's lifetime.
+    pub walkers: u64,
+    /// Merge-on-heal retirements: walkers absorbed into a lower-anchor
+    /// survivor when two live arcs re-joined.
+    pub merges: u64,
 }
 
 /// The Bernard–Bui–Sohier walker over a ring liveness view.
@@ -158,68 +213,237 @@ impl RandomWalker {
     }
 }
 
-/// Cover-time envelope of the walker on a broken ring with `live` live
+/// Cover-time envelope of one segment walker on its arc of `live` live
 /// members: the worst case (a path) has expected hitting time `(m-1)^2`
 /// steps, and the envelope applies the same 4x slack as the Theorem 2
 /// wall-clock envelope. Any degraded window in which consecutive walker
-/// grants (or the window edges) gap by more than this is a stall.
+/// grants of the segment (or the window edges) gap by more than this is a
+/// stall.
 pub fn cover_time_envelope(live: usize, step: Duration) -> Duration {
     let m = live.max(2) as u32;
     step.saturating_mul(4 * (m - 1) * (m - 1))
 }
 
+/// The maximal live arcs of a broken ring: holes partition the circular
+/// position space into segments, each returned in arc order (an arc may
+/// wrap past position 0). An intact view is one segment covering the whole
+/// ring; a fully dead view has none.
+pub fn live_segments(up: &[bool]) -> Vec<Vec<usize>> {
+    let n = up.len();
+    let live = up.iter().filter(|&&u| u).count();
+    if live == 0 {
+        return Vec::new();
+    }
+    if live == n {
+        return vec![(0..n).collect()];
+    }
+    let first_hole = up.iter().position(|&u| !u).expect("live < n");
+    let mut segments = Vec::new();
+    let mut run: Vec<usize> = Vec::new();
+    for d in 1..=n {
+        let p = (first_hole + d) % n;
+        if up[p] {
+            run.push(p);
+        } else if !run.is_empty() {
+            segments.push(std::mem::take(&mut run));
+        }
+    }
+    if !run.is_empty() {
+        segments.push(run);
+    }
+    segments.sort_by_key(|s| s[0].min(*s.last().expect("non-empty run")));
+    segments
+}
+
+/// One degraded-service domain: a walker bound to a live arc, carrying the
+/// arc's `(generation, slot)` anchor and its own grant-eligibility time
+/// (fresh and freshly merged domains re-quiesce before granting).
+#[derive(Debug, Clone)]
+struct SegmentWalker {
+    id: u64,
+    walker: RandomWalker,
+    positions: Vec<usize>,
+    anchor: (u64, usize),
+    eligible_us: u64,
+}
+
 /// The fallback state machine plus grant ledger shared by the live host
 /// and the DES twin. Degraded holds are counted, not boolean: overlapping
 /// causes (a crash during a splice) keep the ring degraded until every
-/// hold is released.
+/// hold is released. Every live arc of the current view owns one walker;
+/// view changes split, spawn, merge and retire walkers as arcs break and
+/// re-join.
 #[derive(Debug, Clone)]
 pub struct FallbackArbiter {
-    walker: RandomWalker,
-    /// Liveness per ring position, paired with the stable node label grants
-    /// are recorded under.
-    view: Vec<(usize, bool)>,
+    seed: u64,
+    walkers: Vec<SegmentWalker>,
+    next_walker: u64,
+    /// Per ring position: (stable node label, generation, up).
+    view: Vec<(usize, u64, bool)>,
     holds: u32,
     /// Epoch µs when the current degraded interval became grant-eligible.
     eligible_us: u64,
     quiesce_us: u64,
     windows: Vec<GrantWindow>,
     switches: Vec<ModeSwitch>,
+    merges: Vec<MergeEvent>,
+    /// Steps / regenerations of walkers already retired or dropped.
+    retired_steps: u64,
+    retired_regens: u64,
     stats: FallbackStats,
 }
 
 impl FallbackArbiter {
-    /// An arbiter whose walker draws from `seed` and whose degraded
-    /// intervals only issue grants `quiesce_us` after entry — the margin
-    /// that lets any handshake CS dwell in flight at the break finish
-    /// before the walker's first grant.
+    /// An arbiter whose walkers draw from streams derived from `seed` and
+    /// whose degraded intervals only issue grants `quiesce_us` after entry
+    /// — the margin that lets any handshake CS dwell in flight at the
+    /// break finish before the first walker grant. The same margin re-arms
+    /// per segment at every merge-on-heal.
     pub fn new(seed: u64, quiesce_us: u64) -> FallbackArbiter {
         FallbackArbiter {
-            walker: RandomWalker::new(seed, 0),
+            seed,
+            walkers: Vec::new(),
+            next_walker: 1,
             view: Vec::new(),
             holds: 0,
             eligible_us: 0,
             quiesce_us,
             windows: Vec::new(),
             switches: Vec::new(),
+            merges: Vec::new(),
+            retired_steps: 0,
+            retired_regens: 0,
             stats: FallbackStats::default(),
         }
     }
 
-    /// Replace the liveness view: `(node label, up)` in ring order.
-    pub fn set_view(&mut self, view: Vec<(usize, bool)>) {
-        self.view = view;
+    /// Replace the liveness view: `(node label, up)` in ring order, all
+    /// generations zero (the DES twin's shape — anchors tie-break on the
+    /// slot label alone). `now_us` timestamps any resulting merge.
+    pub fn set_view(&mut self, view: Vec<(usize, bool)>, now_us: u64) {
+        self.set_view_full(view.into_iter().map(|(label, up)| (label, 0, up)).collect(), now_us);
     }
 
-    /// Mint the walker at ring position `pos` — where the handshake token
-    /// last was when the break opened. A dead `pos` makes the walker's
-    /// first step a reloading-wave regeneration.
+    /// Replace the liveness view with full `(node label, generation, up)`
+    /// triples in ring order — the live host's shape, where a relaunched
+    /// slot's generation floor ranks its anchor below nobody it outlived.
+    /// Segments are re-derived immediately: new arcs get fresh walkers,
+    /// re-joined arcs merge under the `(generation, slot)` anchor
+    /// tie-break, and fully dead arcs drop their walker.
+    pub fn set_view_full(&mut self, view: Vec<(usize, u64, bool)>, now_us: u64) {
+        self.view = view;
+        self.sync_segments(now_us);
+    }
+
+    /// Re-derive the walker population from the current view.
+    fn sync_segments(&mut self, now_us: u64) {
+        let up: Vec<bool> = self.view.iter().map(|v| v.2).collect();
+        let segments = live_segments(&up);
+        let walkers = std::mem::take(&mut self.walkers);
+        let mut buckets: Vec<Vec<SegmentWalker>> =
+            (0..segments.len()).map(|_| Vec::new()).collect();
+        for w in walkers {
+            // A walker follows its current position into the new geometry;
+            // if its host died, it follows any still-live member of its old
+            // arc. A walker whose whole arc died has nothing to hand over.
+            let target =
+                segments.iter().position(|s| s.contains(&w.walker.position())).or_else(|| {
+                    segments.iter().position(|s| w.positions.iter().any(|p| s.contains(p)))
+                });
+            match target {
+                Some(t) => buckets[t].push(w),
+                None => {
+                    self.retired_steps += w.walker.steps;
+                    self.retired_regens += w.walker.regenerations;
+                }
+            }
+        }
+        for (segment, mut bucket) in segments.into_iter().zip(buckets) {
+            let anchor = self.segment_anchor(&segment);
+            if bucket.is_empty() {
+                let id = self.next_walker;
+                self.next_walker += 1;
+                self.stats.walkers += 1;
+                let seed = self.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                self.walkers.push(SegmentWalker {
+                    id,
+                    walker: RandomWalker::new(seed, segment[0]),
+                    positions: segment,
+                    anchor,
+                    eligible_us: now_us.saturating_add(self.quiesce_us),
+                });
+                continue;
+            }
+            // Merge-on-heal: the walker with the lowest (generation, slot)
+            // anchor survives; the rest retire. The survivor re-quiesces
+            // before its first grant over the merged domain, so a retired
+            // walker's open dwell can never overlap it.
+            bucket.sort_by_key(|w| (w.anchor, w.id));
+            let mut survivor = bucket.remove(0);
+            for retired in bucket {
+                self.merges.push(MergeEvent {
+                    at_us: now_us,
+                    survivor: survivor.id,
+                    retired: retired.id,
+                    anchor: survivor.anchor,
+                });
+                self.stats.merges += 1;
+                self.retired_steps += retired.walker.steps;
+                self.retired_regens += retired.walker.regenerations;
+                survivor.eligible_us =
+                    survivor.eligible_us.max(now_us.saturating_add(self.quiesce_us));
+            }
+            survivor.anchor = anchor;
+            survivor.positions = segment;
+            self.walkers.push(survivor);
+        }
+        self.walkers.sort_by_key(|w| w.id);
+    }
+
+    /// The `(generation, slot)` anchor of a segment: the minimum over its
+    /// members.
+    fn segment_anchor(&self, segment: &[usize]) -> (u64, usize) {
+        segment.iter().map(|&p| (self.view[p].1, self.view[p].0)).min().unwrap_or((0, 0))
+    }
+
+    /// Mint the walker serving ring position `pos` there — where the
+    /// handshake token last was when the break opened. A dead `pos` makes
+    /// that walker's first step a reloading-wave regeneration.
     pub fn seed_walker(&mut self, pos: usize) {
-        self.walker.reposition(pos);
+        let at = self.walkers.iter().position(|w| w.positions.contains(&pos)).unwrap_or(0);
+        if let Some(w) = self.walkers.get_mut(at) {
+            w.walker.reposition(pos);
+        }
     }
 
     /// Whether the ring is currently degraded.
     pub fn degraded(&self) -> bool {
         self.holds > 0
+    }
+
+    /// Number of live degraded-service domains (arcs with a walker).
+    pub fn segment_count(&self) -> usize {
+        self.walkers.len()
+    }
+
+    /// Snapshot of every live segment: domain id, arc, anchor, walker
+    /// position and step count.
+    pub fn segments(&self) -> Vec<SegmentInfo> {
+        self.walkers
+            .iter()
+            .map(|w| SegmentInfo {
+                domain: w.id,
+                positions: w.positions.clone(),
+                anchor: w.anchor,
+                position: w.walker.position(),
+                steps: w.walker.steps,
+            })
+            .collect()
+    }
+
+    /// Every merge-on-heal so far, in time order.
+    pub fn merges(&self) -> &[MergeEvent] {
+        &self.merges
     }
 
     /// Take one degraded hold (crash opened, splice began, ...). The first
@@ -245,38 +469,60 @@ impl FallbackArbiter {
     }
 
     /// One walker tick at `now_us`: in degraded mode (past the quiesce
-    /// margin) forward the walker over the current view and grant its
-    /// position a CS window of `dwell_us`. Returns the granted node label.
-    pub fn tick(&mut self, now_us: u64, dwell_us: u64) -> Option<usize> {
+    /// margin) every eligible segment walker forwards over its own arc and
+    /// grants its position a CS window of `dwell_us`. Returns the granted
+    /// node labels — one per served segment, pairwise distinct because
+    /// arcs are disjoint.
+    pub fn tick(&mut self, now_us: u64, dwell_us: u64) -> Vec<usize> {
+        let mut granted = Vec::new();
         if self.holds == 0 || now_us < self.eligible_us {
-            return None;
+            return granted;
         }
-        let up: Vec<bool> = self.view.iter().map(|&(_, u)| u).collect();
-        let pos = self.walker.step(&up)?;
-        self.stats.steps = self.walker.steps;
-        self.stats.regenerations = self.walker.regenerations;
-        let node = self.view[pos].0;
-        self.stats.grants += 1;
-        self.windows.push(GrantWindow {
-            node,
-            mode: GrantMode::Walker,
-            from_us: now_us,
-            to_us: now_us.saturating_add(dwell_us),
-        });
-        Some(node)
+        let up: Vec<bool> = self.view.iter().map(|v| v.2).collect();
+        let mut masked = vec![false; up.len()];
+        for i in 0..self.walkers.len() {
+            if now_us < self.walkers[i].eligible_us {
+                continue;
+            }
+            // Each walker steps over its arc alone: the mask keeps the
+            // reloading wave from regenerating into a foreign segment.
+            masked.iter_mut().for_each(|m| *m = false);
+            for &p in &self.walkers[i].positions {
+                masked[p] = up[p];
+            }
+            let Some(pos) = self.walkers[i].walker.step(&masked) else { continue };
+            let node = self.view[pos].0;
+            self.stats.grants += 1;
+            self.windows.push(GrantWindow {
+                node,
+                mode: GrantMode::Walker,
+                domain: self.walkers[i].id,
+                from_us: now_us,
+                to_us: now_us.saturating_add(dwell_us),
+            });
+            granted.push(node);
+        }
+        granted
     }
 
     /// Record a handshake-mode grant (the DES twin's token dwell; the live
     /// host derives these from its activity trace instead).
     pub fn grant_handshake(&mut self, node: usize, from_us: u64, to_us: u64) {
-        self.windows.push(GrantWindow { node, mode: GrantMode::Handshake, from_us, to_us });
+        self.windows.push(GrantWindow {
+            node,
+            mode: GrantMode::Handshake,
+            domain: HANDSHAKE_DOMAIN,
+            from_us,
+            to_us,
+        });
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> FallbackStats {
         let mut stats = self.stats;
-        stats.steps = self.walker.steps;
-        stats.regenerations = self.walker.regenerations;
+        stats.steps = self.retired_steps + self.walkers.iter().map(|w| w.walker.steps).sum::<u64>();
+        stats.regenerations =
+            self.retired_regens + self.walkers.iter().map(|w| w.walker.regenerations).sum::<u64>();
         stats
     }
 
@@ -291,17 +537,9 @@ impl FallbackArbiter {
     }
 
     /// The handover audit: prove that exclusivity survived every mode
-    /// switch. Returns human-readable violations (empty = clean):
-    ///
-    /// 1. mode switches alternate enter/exit in nondecreasing time order;
-    /// 2. walker grants never overlap any other grant (walker or
-    ///    handshake) — the walker is the sole CS authority while it runs;
-    /// 3. every walker grant lies inside a degraded interval, at or after
-    ///    the quiesce margin;
-    /// 4. no handshake grant intrudes into the grant-eligible part of a
-    ///    degraded interval.
+    /// switch and every split/merge. See [`audit_handover`].
     pub fn audit(&self) -> Vec<String> {
-        audit_handover(&self.windows, &self.switches, self.quiesce_us)
+        audit_handover(&self.windows, &self.switches, &self.merges, self.quiesce_us)
     }
 }
 
@@ -326,11 +564,25 @@ fn degraded_intervals(switches: &[ModeSwitch]) -> Vec<(u64, u64)> {
     intervals
 }
 
-/// The standalone handover audit over a grant ledger and a mode-switch
-/// history (see [`FallbackArbiter::audit`]).
+/// The standalone handover audit over a grant ledger, a mode-switch
+/// history and a merge ledger (see [`FallbackArbiter::audit`]). Returns
+/// human-readable violations (empty = clean):
+///
+/// 1. mode switches alternate enter/exit in nondecreasing time order;
+/// 2. walker grants of one domain are pairwise disjoint (≤ 1 grantor per
+///    domain at every instant), overlapping walker grants of *different*
+///    domains never grant the same node (domains are disjoint arcs), and a
+///    walker grant never overlaps a handshake grant — no (1,2)-CS
+///    violation survives any split/merge interleaving;
+/// 3. every walker grant lies inside a degraded interval, at or after
+///    the quiesce margin;
+/// 4. no handshake grant intrudes into the grant-eligible part of a
+///    degraded interval;
+/// 5. a retired walker domain issues no grant at or after its merge.
 pub fn audit_handover(
     windows: &[GrantWindow],
     switches: &[ModeSwitch],
+    merges: &[MergeEvent],
     quiesce_us: u64,
 ) -> Vec<String> {
     let mut violations = Vec::new();
@@ -353,19 +605,39 @@ pub fn audit_handover(
         last_at = s.at_us;
     }
 
-    // 2. No overlap involving a walker grant. Handshake grants may overlap
-    // each other: SSRmin's (1,2)-CS allows two privileged nodes.
+    // 2. Overlap sweep. Handshake grants may overlap each other: SSRmin's
+    // (1,2)-CS allows two privileged nodes. Walker grants of different
+    // domains may overlap each other (disjoint arcs), but never the same
+    // node; within one domain the walker is the sole CS authority.
     let mut sorted: Vec<GrantWindow> = windows.to_vec();
     sorted.sort_by_key(|w| (w.from_us, w.to_us));
-    for pair in sorted.windows(2) {
-        let (a, b) = (pair[0], pair[1]);
-        let walker_involved = a.mode == GrantMode::Walker || b.mode == GrantMode::Walker;
-        if walker_involved && b.from_us < a.to_us {
-            violations.push(format!(
-                "grant overlap across modes: node {} [{}..{}us, {:?}] vs node {} \
-                 [{}..{}us, {:?}]",
-                a.node, a.from_us, a.to_us, a.mode, b.node, b.from_us, b.to_us, b.mode
-            ));
+    for i in 0..sorted.len() {
+        let a = sorted[i];
+        for &b in sorted[i + 1..].iter().take_while(|b| b.from_us < a.to_us) {
+            match (a.mode, b.mode) {
+                (GrantMode::Handshake, GrantMode::Handshake) => {}
+                (GrantMode::Walker, GrantMode::Walker) if a.domain == b.domain => {
+                    violations.push(format!(
+                        "two walker grants overlap in domain {}: node {} [{}..{}us] vs \
+                         node {} [{}..{}us]",
+                        a.domain, a.node, a.from_us, a.to_us, b.node, b.from_us, b.to_us
+                    ));
+                }
+                (GrantMode::Walker, GrantMode::Walker) => {
+                    if a.node == b.node {
+                        violations.push(format!(
+                            "node {} granted by walker domains {} and {} at once \
+                             [{}..{}us vs {}..{}us]",
+                            a.node, a.domain, b.domain, a.from_us, a.to_us, b.from_us, b.to_us
+                        ));
+                    }
+                }
+                _ => violations.push(format!(
+                    "grant overlap across modes: node {} [{}..{}us, {:?}] vs node {} \
+                     [{}..{}us, {:?}]",
+                    a.node, a.from_us, a.to_us, a.mode, b.node, b.from_us, b.to_us, b.mode
+                )),
+            }
         }
     }
 
@@ -390,14 +662,29 @@ pub fn audit_handover(
             _ => {}
         }
     }
+
+    // 5. Retired domains are silent from their merge onward.
+    for m in merges {
+        for w in windows {
+            if w.mode == GrantMode::Walker && w.domain == m.retired && w.from_us >= m.at_us {
+                violations.push(format!(
+                    "retired walker domain {} granted node {} at {}us, after its merge \
+                     into domain {} at {}us",
+                    m.retired, w.node, w.from_us, m.survivor, m.at_us
+                ));
+            }
+        }
+    }
     violations
 }
 
 /// Discrete-event twin of the degraded-mode arrangement: an `n`-ring whose
 /// token circulates one position per tick in normal mode (the handshake,
 /// abstracted to its grant schedule), with seeded break/heal events that
-/// switch the segment to the random walker and back. Time is µs; every
-/// tick advances `step_us`.
+/// switch service to per-segment random walkers and back. An arbitrarily
+/// broken ring is served arc by arc: every live segment owns a walker, and
+/// heals merge walkers under the anchor tie-break. Time is µs; every tick
+/// advances `step_us`.
 #[derive(Debug, Clone)]
 pub struct FallbackSim {
     n: usize,
@@ -415,7 +702,7 @@ impl FallbackSim {
     pub fn new(n: usize, seed: u64, step_us: u64) -> FallbackSim {
         let step_us = step_us.max(1);
         let mut arb = FallbackArbiter::new(seed, step_us);
-        arb.set_view((0..n).map(|i| (i, true)).collect());
+        arb.set_view((0..n).map(|i| (i, true)).collect(), 0);
         FallbackSim { n, step_us, now_us: 0, up: vec![true; n], token: Some(0), arb }
     }
 
@@ -439,16 +726,32 @@ impl FallbackSim {
         self.up.iter().filter(|&&u| u).count()
     }
 
+    /// Number of live degraded-service domains.
+    pub fn segments(&self) -> usize {
+        self.arb.segment_count()
+    }
+
+    /// Snapshot of every live segment.
+    pub fn segment_detail(&self) -> Vec<SegmentInfo> {
+        self.arb.segments()
+    }
+
+    /// Every merge-on-heal so far.
+    pub fn merges(&self) -> &[MergeEvent] {
+        self.arb.merges()
+    }
+
     /// Crash ring position `node`. Refused (returning false) when it is
-    /// already down or when it is the last live node — the walker needs a
+    /// already down or when it is the last live node — the walkers need a
     /// segment to serve.
     pub fn break_node(&mut self, node: usize) -> bool {
         if node >= self.n || !self.up[node] || self.live() <= 1 {
             return false;
         }
         self.up[node] = false;
-        self.arb.set_view((0..self.n).map(|i| (i, self.up[i])).collect());
-        if !self.arb.degraded() {
+        let entering = !self.arb.degraded();
+        self.arb.set_view((0..self.n).map(|i| (i, self.up[i])).collect(), self.now_us);
+        if entering {
             // Mint the walker where the handshake token last was; if the
             // token died with this very host the walker's first step runs
             // the reloading wave.
@@ -461,16 +764,17 @@ impl FallbackSim {
         true
     }
 
-    /// Heal ring position `node`. When the last hole closes the segment
-    /// hands back to the handshake: the token resumes at the walker's last
-    /// position (graceful handover), or regenerates at the anchor if the
-    /// walker never ran.
+    /// Heal ring position `node`. Re-joined arcs merge their walkers under
+    /// the anchor tie-break; when the last hole closes the segment hands
+    /// back to the handshake: the token resumes at the last walker grant's
+    /// position (graceful handover), or regenerates at the anchor if no
+    /// walker ever ran.
     pub fn heal_node(&mut self, node: usize) -> bool {
         if node >= self.n || self.up[node] {
             return false;
         }
         self.up[node] = true;
-        self.arb.set_view((0..self.n).map(|i| (i, self.up[i])).collect());
+        self.arb.set_view((0..self.n).map(|i| (i, self.up[i])).collect(), self.now_us);
         self.arb.exit(self.now_us);
         if !self.arb.degraded() {
             let resume = self.arb.windows().iter().rev().find(|w| w.mode == GrantMode::Walker);
@@ -483,9 +787,9 @@ impl FallbackSim {
         true
     }
 
-    /// One simulation tick: the walker steps in degraded mode, the token
-    /// advances to the next live position in normal mode; either way the
-    /// visited node gets a half-tick CS grant.
+    /// One simulation tick: every segment walker steps in degraded mode,
+    /// the token advances to the next live position in normal mode; either
+    /// way the visited nodes get a half-tick CS grant.
     pub fn tick(&mut self) {
         let dwell = self.step_us / 2;
         if self.arb.degraded() {
@@ -571,20 +875,103 @@ mod tests {
     }
 
     #[test]
+    fn segments_partition_the_ring_at_its_holes() {
+        assert_eq!(live_segments(&[true; 5]), vec![vec![0, 1, 2, 3, 4]]);
+        assert!(live_segments(&[false; 3]).is_empty());
+        // One hole: one arc, wrapping past the anchor.
+        assert_eq!(live_segments(&[true, true, false, true]), vec![vec![3, 0, 1]]);
+        // Two holes: two arcs.
+        let segs = live_segments(&[true, true, false, true, true, false, true, true, true]);
+        assert_eq!(segs, vec![vec![6, 7, 8, 0, 1], vec![3, 4]]);
+        // Adjacent holes collapse into one.
+        assert_eq!(live_segments(&[true, false, false, true]), vec![vec![3, 0]]);
+    }
+
+    #[test]
     fn arbiter_confines_walker_grants_to_quiesced_degraded_intervals() {
         let mut arb = FallbackArbiter::new(1, 10);
-        arb.set_view(vec![(0, true), (1, true), (2, false), (3, true)]);
-        assert!(arb.tick(0, 5).is_none(), "no grants in normal mode");
+        arb.set_view(vec![(0, true), (1, true), (2, false), (3, true)], 0);
+        assert!(arb.tick(0, 5).is_empty(), "no grants in normal mode");
         arb.enter(100);
-        assert!(arb.tick(105, 5).is_none(), "no grants inside the quiesce margin");
-        assert!(arb.tick(110, 5).is_some());
-        assert!(arb.tick(120, 5).is_some());
+        assert!(arb.tick(105, 5).is_empty(), "no grants inside the quiesce margin");
+        assert!(!arb.tick(110, 5).is_empty());
+        assert!(!arb.tick(120, 5).is_empty());
         arb.exit(130);
-        assert!(arb.tick(140, 5).is_none(), "no grants after hand-back");
+        assert!(arb.tick(140, 5).is_empty(), "no grants after hand-back");
         arb.grant_handshake(1, 150, 155);
         assert!(arb.audit().is_empty(), "{:?}", arb.audit());
         let stats = arb.stats();
         assert_eq!((stats.entries, stats.exits, stats.grants), (1, 1, 2));
+    }
+
+    #[test]
+    fn every_live_arc_gets_its_own_walker_and_grants() {
+        // Ring of 9 with holes at 2 and 6: arcs {3,4,5} and {7,8,0,1}.
+        let mut arb = FallbackArbiter::new(5, 10);
+        let up = |p: usize| p != 2 && p != 6;
+        arb.set_view((0..9).map(|p| (p, up(p))).collect(), 0);
+        assert_eq!(arb.segment_count(), 2);
+        arb.enter(0);
+        let mut granted: Vec<Vec<usize>> = vec![Vec::new(); 2];
+        for t in 0..200u64 {
+            arb.tick(10 + t * 10, 4);
+        }
+        for w in arb.windows() {
+            assert_eq!(w.mode, GrantMode::Walker);
+            let arc = if [3, 4, 5].contains(&w.node) { 1 } else { 0 };
+            granted[arc].push(w.node);
+        }
+        assert!(!granted[0].is_empty(), "the wrapping arc starved");
+        assert!(!granted[1].is_empty(), "the inner arc starved");
+        // Both domains served on the same ticks: overlapping grants across
+        // domains are legitimate and the audit must accept them.
+        arb.exit(10_000);
+        assert!(arb.audit().is_empty(), "{:?}", arb.audit());
+    }
+
+    #[test]
+    fn merge_on_heal_retires_the_higher_anchor_walker() {
+        let mut arb = FallbackArbiter::new(9, 10);
+        // Holes at 2 and 6 → two domains.
+        let broken: Vec<(usize, bool)> = (0..9).map(|p| (p, p != 2 && p != 6)).collect();
+        arb.set_view(broken, 0);
+        arb.enter(0);
+        assert_eq!(arb.segment_count(), 2);
+        let before = arb.segments();
+        // Heal position 2: arcs {3,4,5} and {7,8,0,1} join into one.
+        arb.set_view((0..9).map(|p| (p, p != 6)).collect(), 500);
+        arb.exit(500);
+        assert_eq!(arb.segment_count(), 1);
+        let merges = arb.merges();
+        assert_eq!(merges.len(), 1);
+        let low = before.iter().map(|s| s.anchor).min().unwrap();
+        let survivor_id = before.iter().find(|s| s.anchor == low).map(|s| s.domain).unwrap();
+        assert_eq!(merges[0].survivor, survivor_id, "lower anchor must survive");
+        assert_eq!(arb.segments()[0].anchor, (0, 0), "merged arc contains the anchor slot");
+        assert_eq!(arb.stats().merges, 1);
+        assert!(arb.audit().is_empty(), "{:?}", arb.audit());
+    }
+
+    #[test]
+    fn generation_ranks_anchors_before_slot_labels() {
+        let mut arb = FallbackArbiter::new(4, 10);
+        // Slots 0 and 4 have been relaunched (generation 7); slot 2 never
+        // has. The arc holding slot 2 owns the lower anchor despite the
+        // higher slot label.
+        let view: Vec<(usize, u64, bool)> =
+            vec![(0, 7, true), (1, 0, false), (2, 0, true), (3, 0, false), (4, 7, true)];
+        arb.set_view_full(view, 0);
+        assert_eq!(arb.segment_count(), 2);
+        arb.enter(0);
+        // Heal position 3 → arcs {2} ∪ {4,0} join.
+        arb.set_view_full(
+            vec![(0, 7, true), (1, 0, false), (2, 0, true), (3, 0, true), (4, 7, true)],
+            100,
+        );
+        arb.exit(100);
+        let merges = arb.merges();
+        assert_eq!(merges.len(), 1);
+        assert_eq!(merges[0].anchor, (0, 2), "generation outranks the slot label");
     }
 
     #[test]
@@ -593,22 +980,61 @@ mod tests {
             [ModeSwitch { at_us: 100, degraded: true }, ModeSwitch { at_us: 200, degraded: false }];
         // A handshake grant overlapping a walker grant inside the window.
         let windows = [
-            GrantWindow { node: 1, mode: GrantMode::Walker, from_us: 120, to_us: 130 },
-            GrantWindow { node: 2, mode: GrantMode::Handshake, from_us: 125, to_us: 135 },
+            GrantWindow { node: 1, mode: GrantMode::Walker, domain: 1, from_us: 120, to_us: 130 },
+            GrantWindow {
+                node: 2,
+                mode: GrantMode::Handshake,
+                domain: HANDSHAKE_DOMAIN,
+                from_us: 125,
+                to_us: 135,
+            },
         ];
-        let v = audit_handover(&windows, &switches, 10);
+        let v = audit_handover(&windows, &switches, &[], 10);
         assert!(v.iter().any(|m| m.contains("overlap")), "{v:?}");
         assert!(v.iter().any(|m| m.contains("inside a degraded interval")), "{v:?}");
 
         // A walker grant outside any degraded interval.
-        let stray = [GrantWindow { node: 0, mode: GrantMode::Walker, from_us: 300, to_us: 310 }];
-        let v = audit_handover(&stray, &switches, 10);
+        let stray =
+            [GrantWindow { node: 0, mode: GrantMode::Walker, domain: 1, from_us: 300, to_us: 310 }];
+        let v = audit_handover(&stray, &switches, &[], 10);
         assert!(v.iter().any(|m| m.contains("outside any quiesced")), "{v:?}");
 
         // Unbalanced switches.
         let bad =
             [ModeSwitch { at_us: 10, degraded: true }, ModeSwitch { at_us: 20, degraded: true }];
-        assert!(!audit_handover(&[], &bad, 0).is_empty());
+        assert!(!audit_handover(&[], &bad, &[], 0).is_empty());
+    }
+
+    #[test]
+    fn audit_flags_per_domain_violations() {
+        let switches = [ModeSwitch { at_us: 0, degraded: true }];
+        // Two overlapping grants in one domain: a double grant.
+        let same_domain = [
+            GrantWindow { node: 1, mode: GrantMode::Walker, domain: 1, from_us: 100, to_us: 120 },
+            GrantWindow { node: 2, mode: GrantMode::Walker, domain: 1, from_us: 110, to_us: 130 },
+        ];
+        let v = audit_handover(&same_domain, &switches, &[], 10);
+        assert!(v.iter().any(|m| m.contains("overlap in domain 1")), "{v:?}");
+
+        // Overlapping grants of two domains are fine — unless to one node.
+        let cross = [
+            GrantWindow { node: 1, mode: GrantMode::Walker, domain: 1, from_us: 100, to_us: 120 },
+            GrantWindow { node: 2, mode: GrantMode::Walker, domain: 2, from_us: 110, to_us: 130 },
+        ];
+        assert!(audit_handover(&cross, &switches, &[], 10).is_empty());
+        let collide = [
+            GrantWindow { node: 1, mode: GrantMode::Walker, domain: 1, from_us: 100, to_us: 120 },
+            GrantWindow { node: 1, mode: GrantMode::Walker, domain: 2, from_us: 110, to_us: 130 },
+        ];
+        let v = audit_handover(&collide, &switches, &[], 10);
+        assert!(v.iter().any(|m| m.contains("granted by walker domains")), "{v:?}");
+
+        // A retired domain granting after its merge.
+        let merges = [MergeEvent { at_us: 150, survivor: 1, retired: 2, anchor: (0, 0) }];
+        let late =
+            [GrantWindow { node: 3, mode: GrantMode::Walker, domain: 2, from_us: 160, to_us: 170 }];
+        let v = audit_handover(&late, &switches, &merges, 10);
+        assert!(v.iter().any(|m| m.contains("retired walker domain 2")), "{v:?}");
     }
 
     #[test]
@@ -628,6 +1054,36 @@ mod tests {
         assert!(sim.audit().is_empty(), "{:?}", sim.audit());
         let s = sim.stats();
         assert_eq!((s.entries, s.exits), (1, 1));
+    }
+
+    #[test]
+    fn sim_double_partition_serves_both_arcs_and_merges_on_heal() {
+        let mut sim = FallbackSim::new(9, 17, 1_000);
+        sim.run(10);
+        assert!(sim.break_node(2));
+        assert!(sim.break_node(6));
+        assert_eq!(sim.segments(), 2, "two holes must cut two arcs");
+        sim.run(400);
+        let domains: std::collections::BTreeSet<u64> = sim
+            .windows()
+            .iter()
+            .filter(|w| w.mode == GrantMode::Walker)
+            .map(|w| w.domain)
+            .collect();
+        assert_eq!(domains.len(), 2, "both arcs must be served, got {domains:?}");
+        // Staggered heal: the first heal merges the arcs, the second
+        // closes the ring.
+        assert!(sim.heal_node(2));
+        assert_eq!(sim.segments(), 1);
+        assert_eq!(sim.merges().len(), 1);
+        assert!(!sim.mode_normal(), "one hole still open");
+        sim.run(100);
+        assert!(sim.heal_node(6));
+        sim.run(20);
+        assert!(sim.mode_normal());
+        assert!(sim.token().is_some());
+        assert!(sim.audit().is_empty(), "{:?}", sim.audit());
+        assert_eq!(sim.stats().merges, 1);
     }
 
     #[test]

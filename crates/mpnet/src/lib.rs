@@ -60,8 +60,9 @@ pub mod transcript;
 pub use csv::{per_node_transitions_to_csv, timeline_to_csv};
 pub use event::{DelayModel, EventKind, EventQueue, Time};
 pub use fallback::{
-    audit_handover, cover_time_envelope, FallbackArbiter, FallbackSim, FallbackStats, GrantMode,
-    GrantWindow, ModeSwitch, RandomWalker,
+    audit_handover, cover_time_envelope, live_segments, FallbackArbiter, FallbackSim,
+    FallbackStats, GrantMode, GrantWindow, MergeEvent, ModeSwitch, RandomWalker, SegmentInfo,
+    HANDSHAKE_DOMAIN,
 };
 pub use faults::{
     ChurnPlan, FaultEvent, FaultKind, FaultParseError, FaultPlan, FaultSchedule,

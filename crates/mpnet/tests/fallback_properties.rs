@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 
-use ssr_mpnet::fallback::{cover_time_envelope, FallbackSim, GrantMode};
+use ssr_mpnet::fallback::{cover_time_envelope, FallbackSim, GrantMode, HANDSHAKE_DOMAIN};
 
 /// Drive one op against the sim: `true` breaks the node, `false` heals it.
 /// Refusals (already down, already up, last live node) are no-ops by
@@ -45,11 +45,84 @@ proptest! {
         sim.run(20);
         prop_assert!(sim.mode_normal(), "all holes closed but still degraded");
         prop_assert_eq!(sim.live(), n);
+        prop_assert_eq!(sim.segments(), 1, "a fully healed ring is one service domain");
         prop_assert!(sim.token().is_some(), "hand-back lost the token");
         let violations = sim.audit();
         prop_assert!(violations.is_empty(), "audit violations: {:?}", violations);
         let stats = sim.stats();
         prop_assert_eq!(stats.entries, stats.exits, "unbalanced degraded holds");
+        // Merge-ledger sanity over the whole interleaving: a merge always
+        // retires a walker other than its survivor, and the committed
+        // ledger is what the stats report.
+        for m in sim.merges() {
+            prop_assert_ne!(m.survivor, m.retired, "a merge cannot retire its survivor");
+            prop_assert_ne!(m.survivor, HANDSHAKE_DOMAIN);
+            prop_assert_ne!(m.retired, HANDSHAKE_DOMAIN);
+        }
+        prop_assert_eq!(stats.merges, sim.merges().len() as u64);
+    }
+
+    /// Two non-adjacent holes split the ring into two arcs; each arc's
+    /// walker covers every live node of its own segment within a generous
+    /// multiple of its per-segment cover envelope, and no walker ever
+    /// grants outside its segment — the Dastidar–Herman separation holds
+    /// under the split.
+    #[test]
+    fn split_ring_covers_every_arc_separately(
+        seed in any::<u64>(),
+        n in 5usize..=9,
+        first in 0usize..9,
+        spread in 2usize..=4,
+    ) {
+        // Holes are non-adjacent iff their ring gap is in [2, n - 2]; fold
+        // the drawn spread into that range so every case is valid.
+        let a = first % n;
+        let gap = 2 + (spread - 2) % (n - 3);
+        let b = (a + gap) % n;
+        let step_us = 1_000u64;
+        let mut sim = FallbackSim::new(n, seed, step_us);
+        sim.run(5);
+        prop_assert!(sim.break_node(a));
+        prop_assert!(sim.break_node(b));
+        let detail = sim.segment_detail();
+        prop_assert_eq!(detail.len(), 2, "two non-adjacent holes cut two arcs");
+        let split_at = sim.windows().len();
+        // 20x the larger per-segment envelope, in ticks.
+        let m = detail.iter().map(|s| s.positions.len()).max().unwrap();
+        let envelope_ticks =
+            cover_time_envelope(m, std::time::Duration::from_micros(step_us)).as_micros() as u64
+                / step_us;
+        sim.run(20 * envelope_ticks.max(1));
+        for seg in &detail {
+            let mut visited = vec![false; n];
+            for w in sim.windows()[split_at..]
+                .iter()
+                .filter(|w| w.mode == GrantMode::Walker && w.domain == seg.domain)
+            {
+                prop_assert!(
+                    seg.positions.contains(&w.node),
+                    "domain {} granted node {} outside its arc {:?}",
+                    seg.domain, w.node, seg.positions
+                );
+                visited[w.node] = true;
+            }
+            for &p in &seg.positions {
+                prop_assert!(
+                    visited[p],
+                    "segment node {} starved in 20x its cover envelope (arc {:?})",
+                    p, seg.positions
+                );
+            }
+        }
+        sim.heal_node(a);
+        prop_assert_eq!(sim.segments(), 1, "the first heal re-joins the arcs");
+        prop_assert_eq!(sim.merges().len(), 1, "one merge per re-joined pair");
+        sim.heal_node(b);
+        sim.run(10);
+        prop_assert!(sim.mode_normal());
+        prop_assert_eq!(sim.merges().len(), 1, "the closing heal hands back, it does not merge");
+        let violations = sim.audit();
+        prop_assert!(violations.is_empty(), "audit violations: {:?}", violations);
     }
 
     /// During a single-hole break the walker serves every live node within
@@ -106,11 +179,12 @@ proptest! {
                 apply(&mut sim, node % n, brk);
                 sim.run(gap);
             }
-            (sim.windows().to_vec(), sim.stats())
+            (sim.windows().to_vec(), sim.merges().to_vec(), sim.stats())
         };
-        let (windows_a, stats_a) = run();
-        let (windows_b, stats_b) = run();
+        let (windows_a, merges_a, stats_a) = run();
+        let (windows_b, merges_b, stats_b) = run();
         prop_assert_eq!(windows_a, windows_b);
+        prop_assert_eq!(merges_a, merges_b, "the merge ledger must replay identically");
         prop_assert_eq!(stats_a, stats_b);
     }
 

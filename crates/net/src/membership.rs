@@ -40,7 +40,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use ssr_core::{Replica, RingParams, SsrMin, SsrState};
-use ssr_mpnet::fallback::{FallbackArbiter, FallbackStats};
+use ssr_mpnet::fallback::{FallbackArbiter, FallbackStats, MergeEvent, SegmentInfo};
 use ssr_mpnet::FaultKind;
 use ssr_runtime::activity::ActivityEvent;
 
@@ -326,7 +326,7 @@ impl RingMembership {
                 fb.seed,
                 u64::try_from(quiesce.as_micros()).unwrap_or(u64::MAX),
             );
-            arbiter.set_view((0..n).map(|i| (i, true)).collect());
+            arbiter.set_view((0..n).map(|i| (i, true)).collect(), 0);
             let arbiter = Arc::new(Mutex::new(arbiter));
             let dwell = (fb.step / 2)
                 .max(Duration::from_micros(50))
@@ -483,6 +483,24 @@ impl RingMembership {
         self.fallback.as_ref().map(|fb| fb.quiesce)
     }
 
+    /// Number of live degraded-service domains: the maximal live arcs the
+    /// current holes cut the ring into, each owning its own walker. 1 on
+    /// an intact ring, 0 when the fallback is disabled.
+    pub fn fallback_segments(&self) -> usize {
+        self.fallback.as_ref().map(|fb| fb.arbiter.lock().segment_count()).unwrap_or(0)
+    }
+
+    /// Snapshot of every live segment: domain id, arc positions, anchor,
+    /// walker position and step count.
+    pub fn fallback_segment_detail(&self) -> Vec<SegmentInfo> {
+        self.fallback.as_ref().map(|fb| fb.arbiter.lock().segments()).unwrap_or_default()
+    }
+
+    /// Every merge-on-heal the arbiter has committed, in time order.
+    pub fn fallback_merges(&self) -> Vec<MergeEvent> {
+        self.fallback.as_ref().map(|fb| fb.arbiter.lock().merges().to_vec()).unwrap_or_default()
+    }
+
     /// How many graceful drains escalated to a forced splice-out.
     pub fn drain_timeouts(&self) -> u64 {
         self.drain_timeouts
@@ -575,15 +593,33 @@ impl RingMembership {
         (0..self.slots.len()).map(|i| NodeMetrics::get(&self.metrics.node(i).rule_firings)).sum()
     }
 
-    /// Refresh the arbiter's liveness view mid-degraded-window (a park or
-    /// launch changed who is up). No-op in normal mode: `fallback_enter`
-    /// sets the view itself.
+    /// The arbiter's liveness view in ring order: `(slot, generation, up)`
+    /// per position. The generation is the slot's incarnation counter, so
+    /// anchors of never-relaunched members outrank relaunched ones in the
+    /// merge tie-break.
+    fn fallback_view(&self) -> Vec<(usize, u64, bool)> {
+        self.ring
+            .iter()
+            .map(|&s| {
+                let generation = self
+                    .slots
+                    .get(s)
+                    .and_then(|o| o.as_ref())
+                    .map(|m| u64::from(m.incarnation))
+                    .unwrap_or(0);
+                (s, generation, self.node_up(s))
+            })
+            .collect()
+    }
+
+    /// Refresh the arbiter's liveness view (a park, launch or splice
+    /// changed who is up or where the ring's arcs lie). Runs in every mode:
+    /// segment membership must track the geometry even between degraded
+    /// windows so the next entry starts from the right arcs.
     fn fallback_sync_view(&self) {
+        let view = self.fallback_view();
         if let Some(fb) = &self.fallback {
-            let mut arb = fb.arbiter.lock();
-            if arb.degraded() {
-                arb.set_view(self.ring.iter().map(|&s| (s, self.node_up(s))).collect());
-            }
+            fb.arbiter.lock().set_view_full(view, self.now_us());
         }
     }
 
@@ -601,10 +637,10 @@ impl RingMembership {
                 self.node_up(s) && NodeMetrics::get(&self.metrics.node(s).token_primary) == 1
             })
             .unwrap_or(0);
-        let view: Vec<(usize, bool)> = self.ring.iter().map(|&s| (s, self.node_up(s))).collect();
+        let view = self.fallback_view();
         if let Some(fb) = &mut self.fallback {
             let mut arb = fb.arbiter.lock();
-            arb.set_view(view);
+            arb.set_view_full(view, now);
             if !arb.degraded() {
                 fb.firings_at_enter = firings;
                 arb.seed_walker(seed_pos);
@@ -622,13 +658,13 @@ impl RingMembership {
         let start = self.start;
         let firings_now = self.total_rule_firings();
         let live = self.ring.iter().filter(|&&s| self.node_up(s)).count() as u64;
-        let view: Vec<(usize, bool)> = self.ring.iter().map(|&s| (s, self.node_up(s))).collect();
+        let view = self.fallback_view();
         if let Some(fb) = &mut self.fallback {
             let mut arb = fb.arbiter.lock();
-            arb.set_view(view);
+            let now = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            arb.set_view_full(view, now);
             // Holding the arbiter lock blocks the walker thread, so no new
             // grant can open while we wait out the last one.
-            let now = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
             let open_until = arb
                 .windows()
                 .iter()

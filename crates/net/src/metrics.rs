@@ -53,6 +53,11 @@ pub struct NodeMetrics {
     /// tenant id (multi-tenant hosting; stays out of the frozen
     /// [`MetricsReport`] like the gauges).
     pub tenant_drops: AtomicU64,
+    /// Times this node's rule engine entered a ring-wide suspension (a
+    /// degraded window opened while it was live) — the counted proof that
+    /// engines actually paused while segment walkers served their arcs.
+    /// Live introspection only, out of the frozen [`MetricsReport`].
+    pub suspensions: AtomicU64,
 }
 
 impl NodeMetrics {

@@ -208,6 +208,7 @@ where
     // whether the stage-1 resync already ran for the current starvation.
     let mut last_progress = Instant::now();
     let mut resynced = false;
+    let mut was_suspended = false;
 
     // Live-introspection gauges: locally-evaluated privilege and token
     // holdings, refreshed on every replica change. Relaxed stores on the hot
@@ -299,10 +300,15 @@ where
         // degraded-mode suspension pauses the clock: the engine is idle by
         // design, not starving, and a stage-2 amnesia restart mid-fallback
         // would mint handshake privileges against the walker's exclusivity.
-        if control.suspended.load(Ordering::Relaxed) {
+        let suspended_now = control.suspended.load(Ordering::Relaxed);
+        if suspended_now {
             last_progress = Instant::now();
             resynced = false;
+            if !was_suspended {
+                NodeMetrics::inc(&metrics.suspensions);
+            }
         }
+        was_suspended = suspended_now;
         if let Some(wd) = &control.watchdog {
             if last_progress.elapsed() >= wd.budget.current() {
                 if !resynced {

@@ -25,7 +25,8 @@
 //! POST   /tenants/{id}/faults      per-tenant fault grammar (crash 2, restart 2, ...)
 //! POST   /tenants/{id}/nodes       splice one node in at the ring tail
 //! DELETE /tenants/{id}/nodes/{idx} splice node `idx` (slot id) out of the ring
-//! POST   /tenants/{id}/k           renegotiate the ring's K upward (body: new k)
+//! POST   /tenants/{id}/k           renegotiate K upward (body: new k, or "k=N grow=M"
+//!                                  to batch M tail adds under the same park window)
 //! GET    /status · /top · /metrics aggregate views with per-tenant labels
 //! ```
 //!
@@ -350,6 +351,10 @@ impl ServePlane {
                 ring.k_renegotiations(),
             )
         };
+        let (segments, walker_merges) = {
+            let ring = entry.ring.lock();
+            (ring.fallback_segments(), ring.walker_merges())
+        };
         let audit = entry.audit();
         let lease = entry.lease.counters();
         let held = entry.lease.current();
@@ -366,6 +371,8 @@ impl ServePlane {
             ("token_count_ok", Json::Bool(entry.spec.cs_spec().satisfied_by(privileged))),
             ("holder", holder.map(|h| Json::num(h as f64)).unwrap_or(Json::Null)),
             ("watchdog_escalations", Json::num(escalations as f64)),
+            ("fallback_segments", Json::num(segments as f64)),
+            ("walker_merges", Json::num(walker_merges as f64)),
             ("spec", Json::str(entry.spec.render())),
             (
                 "audit",
@@ -390,6 +397,7 @@ impl ServePlane {
                     ("conflicts", Json::num(lease.conflicts as f64)),
                     ("unavailable", Json::num(lease.unavailable as f64)),
                     ("parked", Json::num(lease.parked as f64)),
+                    ("park_saves", Json::num(lease.park_saves as f64)),
                     ("parked_now", Json::Bool(entry.lease.is_parked())),
                 ]),
             ),
@@ -549,7 +557,36 @@ const SERVE_INDEX: &str = "ssr-serve control endpoints:\n\
   POST   /tenants/{id}/faults     fault grammar (crash 2 | restart 2 | ...)\n\
   POST   /tenants/{id}/nodes      splice one node in at the ring tail\n\
   DELETE /tenants/{id}/nodes/{idx} splice node {idx} (slot id) out\n\
-  POST   /tenants/{id}/k          renegotiate K upward (body: new k)\n";
+  POST   /tenants/{id}/k          renegotiate K upward (body: new k, or k=N grow=M)\n";
+
+/// Parse the `/k` request body: either a bare integer (`8`) or the batched
+/// `k=8 grow=2` form that renegotiates and then splices `grow` members in
+/// at the tail, all under one lease park window.
+fn parse_k_request(body: &str) -> Result<(u32, usize), String> {
+    let body = body.trim();
+    if let Ok(k) = body.parse::<u32>() {
+        return Ok((k, 0));
+    }
+    let mut k = None;
+    let mut grow = 0usize;
+    for token in body.split_whitespace() {
+        match token.split_once('=') {
+            Some(("k", v)) => {
+                k = Some(v.parse::<u32>().map_err(|_| format!("bad k value '{v}'"))?);
+            }
+            Some(("grow", v)) => {
+                grow = v.parse::<usize>().map_err(|_| format!("bad grow value '{v}'"))?;
+            }
+            _ => {
+                return Err(format!(
+                    "k body must be an integer or 'k=N grow=M' tokens, got '{token}'"
+                ))
+            }
+        }
+    }
+    let k = k.ok_or_else(|| format!("k body must name k, got '{body}'"))?;
+    Ok((k, grow))
+}
 
 impl ControlPlane for ServePlane {
     fn status(&self) -> RingStatus {
@@ -624,6 +661,9 @@ impl ControlPlane for ServePlane {
         let mut revocations = Vec::new();
         let mut conflicts = Vec::new();
         let mut parked = Vec::new();
+        let mut park_saves = Vec::new();
+        let mut segments = Vec::new();
+        let mut walker_merges = Vec::new();
         let mut renegotiations = Vec::new();
         let mut held = Vec::new();
         let mut sends = Vec::new();
@@ -657,6 +697,9 @@ impl ControlPlane for ServePlane {
             revocations.push(one(lease.revocations as f64));
             conflicts.push(one(lease.conflicts as f64));
             parked.push(one(lease.parked as f64));
+            park_saves.push(one(lease.park_saves as f64));
+            segments.push(one(ring.fallback_segments() as f64));
+            walker_merges.push(one(ring.walker_merges() as f64));
             renegotiations.push(one(ring.k_renegotiations() as f64));
             held.push(one(if t.lease.current().is_some() { 1.0 } else { 0.0 }));
             // Per-node counters cover every slot ever created: a spliced-out
@@ -752,6 +795,29 @@ impl ControlPlane for ServePlane {
                  TTL clock stopped, plus acquires refused 503 mid-splice, per tenant",
                 MetricKind::Counter,
                 parked,
+            ),
+            Family::new(
+                "ssr_lease_park_saved_total",
+                "Lease park windows saved by scheduling: membership operations that \
+                 rode an already open park (batched k+grow) or skipped parking because \
+                 their splice touched a different degraded segment than the lease \
+                 holder's, per tenant",
+                MetricKind::Counter,
+                park_saves,
+            ),
+            Family::new(
+                "ssr_fallback_segments",
+                "Degraded-service segments: maximal live arcs the current holes cut \
+                 the tenant ring into (1 while intact), per tenant",
+                MetricKind::Gauge,
+                segments,
+            ),
+            Family::new(
+                "ssr_walker_merges_total",
+                "Merge-on-heal events: liveness changes that re-joined two live arcs \
+                 and retired the higher-anchor walker, per tenant",
+                MetricKind::Counter,
+                walker_merges,
             ),
             Family::new(
                 "ssr_k_renegotiations_total",
@@ -867,33 +933,56 @@ impl ControlPlane for ServePlane {
                     }
                     "acquire" => self.acquire(&entry, &request.body_str()),
                     "release" => self.release(&entry, &request.body_str()),
-                    "k" => match request.body_str().trim().parse::<u32>() {
-                        Ok(new_k) => {
+                    "k" => match parse_k_request(&request.body_str()) {
+                        Ok((new_k, grow)) => {
+                            // One park window covers the renegotiation AND
+                            // any batched grows: each add that would have
+                            // parked the lease on its own rides the open
+                            // park instead, and is counted as saved.
                             let renegotiated = self.with_parked_lease(&entry, || {
                                 let mut ring = entry.ring.lock();
-                                ring.renegotiate_k(new_k)
-                                    .map(|k| (k, ring.k_renegotiations(), ring.n()))
+                                let k = ring.renegotiate_k(new_k)?;
+                                let mut grown = Vec::new();
+                                for _ in 0..grow {
+                                    match ring.add_node() {
+                                        Ok(slot) => grown.push(slot),
+                                        Err(e) => {
+                                            return Err(format!(
+                                                "renegotiated to k={k} but grow stopped \
+                                                 after {} of {grow} adds: {e}",
+                                                grown.len()
+                                            ))
+                                        }
+                                    }
+                                }
+                                Ok((k, ring.k_renegotiations(), ring.n(), grown))
                             });
                             match renegotiated {
-                                Ok((k, renegotiations, n)) => {
+                                Ok((k, renegotiations, n, grown)) => {
+                                    for _ in &grown {
+                                        entry.lease.note_park_saved();
+                                    }
                                     let doc = Json::obj(vec![
                                         ("k", Json::num(k as f64)),
                                         ("n", Json::num(n as f64)),
                                         ("renegotiations", Json::num(renegotiations as f64)),
+                                        (
+                                            "grown",
+                                            Json::Arr(
+                                                grown
+                                                    .iter()
+                                                    .map(|&s| Json::num(s as f64))
+                                                    .collect(),
+                                            ),
+                                        ),
+                                        ("park_windows_saved", Json::num(grown.len() as f64)),
                                     ]);
                                     (200, "application/json", doc.render())
                                 }
                                 Err(e) => (422, "text/plain", e),
                             }
                         }
-                        Err(_) => (
-                            400,
-                            "text/plain",
-                            format!(
-                                "k body must be an integer, got '{}'",
-                                request.body_str().trim()
-                            ),
-                        ),
+                        Err(e) => (400, "text/plain", e),
                     },
                     "chaos" => match parse_chaos_cmd(&request.body_str()) {
                         Ok(cmd) => match entry.ring.lock().chaos(cmd) {
@@ -924,8 +1013,28 @@ impl ControlPlane for ServePlane {
                         format!("node index must be a slot id, got '{idx}'"),
                     ));
                 };
-                let removed =
-                    self.with_parked_lease(&entry, || entry.ring.lock().remove_node(slot));
+                // Segment-scoped parking: when holes have already cut the
+                // ring into several degraded-service segments, a splice in
+                // one segment cannot disturb the lease backed by a walker
+                // in another — only park the lease when the splice touches
+                // the holder's own segment (or the geometry is ambiguous).
+                let splice_is_remote = {
+                    let ring = entry.ring.lock();
+                    ring.fallback_segments() > 1
+                        && match (
+                            ring.primary_holder().and_then(|h| ring.segment_of(h)),
+                            ring.segment_of(slot),
+                        ) {
+                            (Some(holder_seg), Some(slot_seg)) => holder_seg != slot_seg,
+                            _ => false,
+                        }
+                };
+                let removed = if splice_is_remote {
+                    entry.lease.note_park_saved();
+                    entry.ring.lock().remove_node(slot)
+                } else {
+                    self.with_parked_lease(&entry, || entry.ring.lock().remove_node(slot))
+                };
                 Some(match removed {
                     Ok(line) => (200, "text/plain", format!("{line}\n")),
                     Err(e) => (422, "text/plain", e),

@@ -79,6 +79,11 @@ pub struct LeaseCounters {
     /// stopped) plus acquire attempts refused with HTTP 503 while the
     /// tenant's ring was mid-splice.
     pub parked: u64,
+    /// Park windows *saved* by scheduling: membership operations that
+    /// would each have parked the lease on their own but rode an already
+    /// open park instead (batched K renegotiation, segment-scoped splice
+    /// parking). Each saved window is one fewer 503 storm for clients.
+    pub park_saves: u64,
 }
 
 /// Outcome of an acquire attempt.
@@ -118,6 +123,10 @@ struct LeaseInner {
     counters: LeaseCounters,
     history: Vec<LeaseWindow>,
     park: Option<ParkState>,
+    /// xorshift64 state behind the parked retry-hint jitter; per-manager
+    /// and advanced per refusal, so concurrent clients draw different
+    /// offsets without any global randomness source.
+    jitter: u64,
 }
 
 /// The per-tenant lease authority.
@@ -140,6 +149,7 @@ impl LeaseManager {
                 counters: LeaseCounters::default(),
                 history: Vec::new(),
                 park: None,
+                jitter: 0x9E37_79B9_7F4A_7C15,
             }),
         }
     }
@@ -203,9 +213,20 @@ impl LeaseManager {
         let now = Instant::now();
         let mut inner = self.inner.lock();
         if let Some(park) = &inner.park {
-            let retry_in = park.hint.saturating_sub(park.since.elapsed());
+            let base = park.hint.saturating_sub(park.since.elapsed()).max(Duration::from_millis(5));
+            // Bounded jitter past the unpark instant: every refused client
+            // gets a distinct retry offset within a quarter of the park
+            // hint, so they do not thundering-herd the exact moment the
+            // splice is expected to finish.
+            let spread_us = (park.hint.as_micros() as u64 / 4).max(1_000);
+            let mut x = inner.jitter;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            inner.jitter = x;
+            let retry_in = base + Duration::from_micros(x % spread_us);
             inner.counters.parked += 1;
-            return Acquire::Parked { retry_in: retry_in.max(Duration::from_millis(5)) };
+            return Acquire::Parked { retry_in };
         }
         self.refresh_locked(&mut inner, holder, now);
         if let Some(expires_at) = inner.current.as_ref().map(|l| l.expires_at) {
@@ -308,6 +329,14 @@ impl LeaseManager {
             lease.expires_at += parked_for;
         }
         self.refresh_locked(&mut inner, holder, now);
+    }
+
+    /// Record a park window *saved* by scheduling: a membership operation
+    /// that rode an already open park (or skipped parking entirely because
+    /// its splice touched a different segment) instead of opening a park
+    /// window of its own.
+    pub fn note_park_saved(&self) {
+        self.inner.lock().counters.park_saves += 1;
     }
 
     /// Snapshot of the traffic counters.
@@ -455,6 +484,37 @@ mod tests {
         assert!(m.is_parked(), "inner unpark keeps the outer park");
         m.unpark(None);
         assert!(!m.is_parked());
+    }
+
+    #[test]
+    fn parked_retry_hints_carry_bounded_jitter() {
+        let m = manager(10_000);
+        let hint = Duration::from_millis(100);
+        m.park(hint);
+        let hints: Vec<Duration> = (0..16)
+            .map(|_| match m.acquire("client", Some(0)) {
+                Acquire::Parked { retry_in } => retry_in,
+                other => panic!("expected parked, got {other:?}"),
+            })
+            .collect();
+        for &h in &hints {
+            assert!(h >= Duration::from_millis(5), "floor breached: {h:?}");
+            // base (≤ hint) + jitter (< hint / 4): the herd spreads over a
+            // bounded window after the expected unpark, never unboundedly.
+            assert!(h < hint + hint / 4, "jitter unbounded: {h:?}");
+        }
+        assert!(hints.iter().any(|&h| h != hints[0]), "all retry hints identical: {hints:?}");
+        m.unpark(None);
+        assert_eq!(m.counters().parked, 16);
+    }
+
+    #[test]
+    fn saved_park_windows_are_counted() {
+        let m = manager(10_000);
+        assert_eq!(m.counters().park_saves, 0);
+        m.note_park_saved();
+        m.note_park_saved();
+        assert_eq!(m.counters().park_saves, 2);
     }
 
     #[test]

@@ -31,7 +31,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use ssr_core::{Replica, RingParams, SsrMin, SsrState};
 use ssr_ctl::ChaosCmd;
-use ssr_mpnet::FaultKind;
+use ssr_mpnet::{live_segments, FaultKind};
 use ssr_net::chaos::{ChaosConfig, ChaosHandle, ChaosProxy};
 use ssr_net::convergence_envelope;
 use ssr_net::metrics::{MetricsRegistry, NodeMetrics};
@@ -94,6 +94,14 @@ pub struct HostedRing {
     suspended: Arc<AtomicBool>,
     /// Lifetime count of committed K-renegotiations.
     k_renegotiations: u64,
+    /// Degraded-service segment count after the last liveness change: the
+    /// maximal live arcs the current holes cut the ring into (1 while
+    /// intact; the walker layer under `ssr_net` serves each arc its own
+    /// token).
+    segments_last: usize,
+    /// Lifetime count of merge-on-heal events: liveness changes that
+    /// reduced the segment count, retiring the higher-anchor walker(s).
+    walker_merges: u64,
 }
 
 impl HostedRing {
@@ -145,6 +153,8 @@ impl HostedRing {
             watchdog_outbox,
             suspended: Arc::new(AtomicBool::new(false)),
             k_renegotiations: 0,
+            segments_last: 1,
+            walker_merges: 0,
         };
 
         // Phase 2: wire the ring, through chaos proxies when asked for, and
@@ -337,6 +347,42 @@ impl HostedRing {
         self.watchdog_outbox.lock().len() as u64
     }
 
+    /// Ring liveness in ring order (position-indexed, anchor first).
+    fn live_view(&self) -> Vec<bool> {
+        self.ring.iter().map(|&s| self.node_up(s)).collect()
+    }
+
+    /// Re-derive the degraded-service segment count after a liveness or
+    /// geometry change; a decrease is a merge-on-heal (two arcs re-joined,
+    /// retiring the higher-anchor walker).
+    fn note_liveness_change(&mut self) {
+        let segments = live_segments(&self.live_view()).len().max(1);
+        if segments < self.segments_last {
+            self.walker_merges += (self.segments_last - segments) as u64;
+        }
+        self.segments_last = segments;
+    }
+
+    /// Current degraded-service segment count (1 while the ring is intact).
+    pub fn fallback_segments(&self) -> usize {
+        self.segments_last
+    }
+
+    /// Lifetime count of merge-on-heal events for this tenant.
+    pub fn walker_merges(&self) -> u64 {
+        self.walker_merges
+    }
+
+    /// The degraded-service segment currently containing live member
+    /// `slot`: an index into the `live_segments` partition of the ring, or
+    /// `None` for members that are down or not in the ring. Two slots in
+    /// different segments are served by different walkers, so a splice in
+    /// one segment does not disturb the other's token service.
+    pub fn segment_of(&self, slot: usize) -> Option<usize> {
+        let position = self.ring.iter().position(|&s| s == slot)?;
+        live_segments(&self.live_view()).into_iter().position(|seg| seg.contains(&position))
+    }
+
     /// Splice one member in at the tail of the ring (between the current
     /// last member and the anchor). Returns the new member's slot id.
     pub fn add_node(&mut self) -> Result<usize, String> {
@@ -440,6 +486,7 @@ impl HostedRing {
         self.ring.push(slot);
         self.ring_size.store(self.ring.len(), Ordering::Relaxed);
         self.resplices += 1;
+        self.note_liveness_change();
         Ok(slot)
     }
 
@@ -534,6 +581,7 @@ impl HostedRing {
         self.ring.remove(position);
         self.ring_size.store(self.ring.len(), Ordering::Relaxed);
         self.resplices += 1;
+        self.note_liveness_change();
         Ok(format!("slot {slot} spliced out; ring is now {} nodes", self.ring.len()))
     }
 
@@ -757,6 +805,7 @@ impl HostedRing {
         self.slots[node].parked = Some(remains);
         // The privilege this node was logging is gone with the process.
         self.log.lock().push(ActivityEvent { node, at: self.start.elapsed(), active: false });
+        self.note_liveness_change();
         Ok(format!("node {node} crashed"))
     }
 
@@ -771,6 +820,7 @@ impl HostedRing {
         let replica = amnesia(node, slot.incarnation);
         let incarnation = slot.incarnation;
         self.launch(node, replica, transport);
+        self.note_liveness_change();
         Ok(format!("node {node} restarted (amnesia, incarnation {incarnation})"))
     }
 

@@ -172,12 +172,68 @@ pub fn ctl_listener(opts: &Opts) -> Result<Option<CtlListener>, String> {
     Ok(Some(listener))
 }
 
+/// Pick `holes` crash victims on an `n`-ring such that the victims are
+/// pairwise non-adjacent (each hole cuts its own segment — `holes` crashes
+/// yield exactly `holes` live arcs) and never the anchor at position 0.
+/// Deterministic per seed. Requires `n >= 2 * holes + 1` so every victim
+/// has a live gap on both sides *and* position 0 stays live.
+pub fn spaced_victims(n: usize, holes: usize, seed: u64) -> Result<Vec<usize>, String> {
+    if holes == 0 {
+        return Err("need at least one hole".to_string());
+    }
+    if n < 2 * holes + 1 {
+        return Err(format!(
+            "{holes} pairwise non-adjacent holes need n >= {}, got n = {n}",
+            2 * holes + 1
+        ));
+    }
+    let spacing = n / holes;
+    // Victims sit at offset + i·spacing with 1 <= offset <= spacing - 1:
+    // never position 0, and consecutive victims are spacing >= 2 apart.
+    // The wrap gap (last victim to position 0) is also >= 1 live node by
+    // the n >= 2·holes + 1 bound.
+    let offset = 1 + (seed as usize % (spacing - 1).max(1));
+    let victims: Vec<usize> = (0..holes).map(|i| offset + i * spacing).collect();
+    debug_assert!(victims.iter().all(|&v| v > 0 && v < n));
+    Ok(victims)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn opts(pairs: &[(&str, &str)]) -> Opts {
         pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn spaced_victims_are_non_adjacent_and_spare_the_anchor() {
+        for n in [5usize, 7, 9, 12, 25] {
+            for holes in 1..=3usize {
+                if n < 2 * holes + 1 {
+                    assert!(spaced_victims(n, holes, 1).is_err());
+                    continue;
+                }
+                for seed in 0..8u64 {
+                    let v = spaced_victims(n, holes, seed).unwrap();
+                    assert_eq!(v.len(), holes);
+                    assert!(v.iter().all(|&p| p != 0), "anchor crashed: {v:?}");
+                    for (i, &a) in v.iter().enumerate() {
+                        for &b in &v[i + 1..] {
+                            let d = a.abs_diff(b).min(n - a.abs_diff(b));
+                            assert!(d >= 2, "adjacent victims {a},{b} on n={n}: {v:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spaced_victims_vary_with_the_seed_when_room_allows() {
+        let a = spaced_victims(12, 2, 0).unwrap();
+        let b = spaced_victims(12, 2, 3).unwrap();
+        assert_ne!(a, b, "different seeds should shift the victim offset");
     }
 
     #[test]

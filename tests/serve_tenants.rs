@@ -294,6 +294,61 @@ fn k_capacity_is_renegotiated_over_http() {
     host.shutdown();
 }
 
+/// Acceptance (batched renegotiation): `POST /k` with `k=N grow=M`
+/// renegotiates the bound AND adds M nodes under one parked lease window —
+/// each batched add is a park window saved, counted in the lease document
+/// and in `ssr_lease_park_saved_total`, and the partition gauges report an
+/// intact single-segment ring with zero merges throughout.
+#[test]
+fn batched_k_and_grow_park_the_lease_once() {
+    let _turn = exclusive();
+    // k = 0 resolves to the minimal K = n + 1 = 4: no growth headroom.
+    let spec = TenantSpec { nodes: 3, seed: 43, ..TenantSpec::named("batch") };
+    let (host, _server, url) = serve(vec![spec]);
+    wait_tenant(&url, "batch", "tenant circulating", |doc| {
+        doc.get("nodes_up").and_then(Json::as_u64) == Some(3)
+            && doc.get("token_count_ok") == Some(&Json::Bool(true))
+    });
+
+    // Malformed batched bodies are rejected typed, before any parking.
+    let reply = post(&url, "/tenants/batch/k", "k=8 grow=two").unwrap();
+    assert_eq!(reply.status, 400, "{}", reply.body);
+    let reply = post(&url, "/tenants/batch/k", "grow=2").unwrap();
+    assert_eq!(reply.status, 400, "{}", reply.body);
+
+    // One request: renegotiate to K = 8 and grow by two nodes. Both adds
+    // ride the renegotiation's park window instead of opening their own.
+    let reply = post(&url, "/tenants/batch/k", "k=8 grow=2").unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let doc = Json::parse(&reply.body).unwrap();
+    assert_eq!(doc.get("k").and_then(Json::as_u64), Some(8), "{}", reply.body);
+    assert_eq!(doc.get("n").and_then(Json::as_u64), Some(5), "{}", reply.body);
+    assert_eq!(doc.get("renegotiations").and_then(Json::as_u64), Some(1), "{}", reply.body);
+    assert_eq!(doc.get("park_windows_saved").and_then(Json::as_u64), Some(2), "{}", reply.body);
+    let grown = doc.get("grown").and_then(Json::as_arr).expect("grown array");
+    assert_eq!(grown.len(), 2, "{}", reply.body);
+
+    let doc = wait_tenant(&url, "batch", "grown ring circulating", |doc| {
+        doc.get("nodes_up").and_then(Json::as_u64) == Some(5)
+            && doc.get("token_count_ok") == Some(&Json::Bool(true))
+    });
+    let lease = doc.get("lease").expect("lease doc");
+    assert_eq!(lease.get("park_saves").and_then(Json::as_u64), Some(2), "{doc:?}");
+    assert_eq!(doc.get("fallback_segments").and_then(Json::as_u64), Some(1), "{doc:?}");
+    assert_eq!(doc.get("walker_merges").and_then(Json::as_u64), Some(0), "{doc:?}");
+
+    let reply = get(&url, "/metrics").unwrap();
+    assert_eq!(reply.status, 200);
+    assert!(
+        reply.body.contains("ssr_lease_park_saved_total{tenant=\"batch\"} 2"),
+        "{}",
+        reply.body
+    );
+    assert!(reply.body.contains("ssr_fallback_segments{tenant=\"batch\"} 1"), "{}", reply.body);
+    assert!(reply.body.contains("ssr_walker_merges_total{tenant=\"batch\"} 0"), "{}", reply.body);
+    host.shutdown();
+}
+
 /// Acceptance (lease survival across re-splice): while the lease authority
 /// is parked — exactly what every membership route does around its splice —
 /// acquires answer 503 with a retry-after hint, the park surfaces in the

@@ -1,0 +1,230 @@
+//! End-to-end partition tests of the live UDP ring: multiple simultaneous
+//! crash windows splitting the ring into several live arcs, one segment
+//! walker granting per arc, staggered heals exercising the merge-on-heal
+//! protocol (lower-anchor walker survives, the other retires under a
+//! quiesced hand-over), and the exclusivity audit across the whole
+//! split/merge interleaving.
+//!
+//! Every test binds real sockets and spawns a thread per member, and the
+//! walker timing assertions assume the walker thread is scheduled at its
+//! step cadence — so the tests take turns through a shared mutex (CI runs
+//! the suite with `--test-threads=1` as well, belt and braces).
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use ssrmin::core::RingParams;
+use ssrmin::mpnet::GrantMode;
+use ssrmin::net::{convergence_envelope, FallbackConfig, MembershipConfig, RingMembership};
+
+use std::sync::{Mutex, MutexGuard};
+
+static HEAVY: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    HEAVY.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+const TICK: Duration = Duration::from_millis(4);
+
+fn config(seed: u64) -> MembershipConfig {
+    MembershipConfig {
+        tick: TICK,
+        seed,
+        fallback: Some(FallbackConfig { step: Duration::from_millis(1), seed }),
+        ..MembershipConfig::default()
+    }
+}
+
+fn wait(ring: &RingMembership, what: &str) {
+    let settle = (convergence_envelope(ring.n(), TICK) * 4).max(Duration::from_secs(2));
+    ring.wait_reconverged(settle)
+        .unwrap_or_else(|| panic!("{what}: ring (n = {}) did not re-converge", ring.n()));
+}
+
+/// Poll until every listed walker domain has issued at least `min` grants
+/// past ledger index `from`, then return the grant counts per domain.
+fn wait_grants(ring: &RingMembership, domains: &[u64], min: usize, from: usize) -> Vec<usize> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let windows = ring.fallback_windows();
+        let counts: Vec<usize> = domains
+            .iter()
+            .map(|&d| {
+                windows[from.min(windows.len())..]
+                    .iter()
+                    .filter(|w| w.mode == GrantMode::Walker && w.domain == d)
+                    .count()
+            })
+            .collect();
+        if counts.iter().all(|&c| c >= min) {
+            return counts;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "domains {domains:?} never reached {min} grants each (got {counts:?})"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Acceptance (tentpole): two non-adjacent crashes cut the 9-node ring into
+/// two live arcs, each arc gets its own walker domain and keeps receiving
+/// token grants, the staggered heals merge the walkers back to one (lower
+/// anchor survives), and the final heal hands back to the handshake with a
+/// clean per-domain exclusivity audit.
+#[test]
+fn double_partition_serves_both_arcs_and_merges_on_heal() {
+    let _turn = exclusive();
+    let params = RingParams::new(9, 12).unwrap();
+    let mut ring = RingMembership::spawn(params, config(51)).unwrap();
+    wait(&ring, "initial convergence");
+    assert_eq!(ring.fallback_segments(), 1, "an intact ring is one service domain");
+
+    ring.crash(2).unwrap();
+    ring.crash(6).unwrap();
+    // Windows granted between the two crashes (if any) belong to the
+    // pre-split single-arc era; the per-arc checks start after the split.
+    let split_at = ring.fallback_windows().len();
+    assert!(ring.degraded());
+    assert_eq!(ring.fallback_segments(), 2, "two non-adjacent holes cut two arcs");
+
+    let detail = ring.fallback_segment_detail();
+    assert_eq!(detail.len(), 2);
+    let arcs: Vec<BTreeSet<usize>> =
+        detail.iter().map(|s| s.positions.iter().copied().collect()).collect();
+    assert!(arcs.contains(&BTreeSet::from([3, 4, 5])), "short arc {arcs:?}");
+    assert!(arcs.contains(&BTreeSet::from([7, 8, 0, 1])), "anchor arc {arcs:?}");
+    let domains: Vec<u64> = detail.iter().map(|s| s.domain).collect();
+    assert_ne!(domains[0], domains[1], "each arc must be its own grant domain");
+
+    // Both arcs must be served concurrently: wait until each domain has
+    // real grant traffic, then confirm every grant lands inside its own
+    // arc (a walker must never step across a hole).
+    wait_grants(&ring, &domains, 8, split_at);
+    for (seg, arc) in detail.iter().zip(&arcs) {
+        let stray = ring.fallback_windows()[split_at..]
+            .iter()
+            .filter(|w| w.mode == GrantMode::Walker && w.domain == seg.domain)
+            .find(|w| !arc.contains(&w.node))
+            .map(|w| w.node);
+        assert_eq!(stray, None, "domain {} granted outside its arc {arc:?}", seg.domain);
+    }
+
+    // First heal: the two arcs re-join, one walker retires. The ring is
+    // still degraded (position 6 is down) but is one domain again.
+    ring.restart(2).unwrap();
+    assert!(ring.degraded(), "one hole remains after the first heal");
+    assert_eq!(ring.fallback_segments(), 1, "healing the split point re-joins the arcs");
+    let merges = ring.fallback_merges();
+    assert_eq!(merges.len(), 1, "exactly one merge per re-joined pair of arcs");
+    assert!(
+        domains.contains(&merges[0].survivor) && domains.contains(&merges[0].retired),
+        "the merge must be between the two split-era walkers: {merges:?}"
+    );
+    assert_ne!(merges[0].survivor, merges[0].retired);
+
+    // The survivor keeps granting across the merged domain; the retired
+    // walker must stay silent (the audit enforces this too).
+    let merged_at = ring.fallback_windows().len();
+    wait_grants(&ring, &[merges[0].survivor], 8, merged_at);
+
+    // Final heal: the ring is whole, the hand-back closes the degraded
+    // window, and no further merge is committed (there was nothing left
+    // to merge with).
+    ring.restart(6).unwrap();
+    assert!(!ring.degraded(), "the last heal must close the degraded window");
+    assert_eq!(ring.fallback_merges().len(), 1, "the final heal hands back, it does not merge");
+    wait(&ring, "after the hand-back");
+
+    let stats = ring.fallback_stats().unwrap();
+    assert_eq!((stats.entries, stats.exits), (1, 1), "one counted degraded window");
+    assert_eq!(stats.walkers, 2, "one walker minted per arc");
+    assert_eq!(stats.merges, 1);
+    let violations = ring.fallback_audit();
+    assert!(violations.is_empty(), "handover audit: {violations:?}");
+    ring.stop();
+}
+
+/// Acceptance: three holes cut three arcs with three disjoint walker
+/// domains; healing them one by one commits exactly one merge per arc
+/// re-join (two total) and the audit stays clean across the whole
+/// interleaving.
+#[test]
+fn triple_partition_merges_once_per_rejoin() {
+    let _turn = exclusive();
+    let params = RingParams::new(9, 12).unwrap();
+    let mut ring = RingMembership::spawn(params, config(67)).unwrap();
+    wait(&ring, "initial convergence");
+
+    for v in [1, 4, 7] {
+        ring.crash(v).unwrap();
+    }
+    let split_at = ring.fallback_windows().len();
+    assert_eq!(ring.fallback_segments(), 3, "three non-adjacent holes cut three arcs");
+    let domains: Vec<u64> = ring.fallback_segment_detail().iter().map(|s| s.domain).collect();
+    wait_grants(&ring, &domains, 4, split_at);
+
+    ring.restart(1).unwrap();
+    assert_eq!(ring.fallback_segments(), 2);
+    assert_eq!(ring.fallback_merges().len(), 1);
+    std::thread::sleep(Duration::from_millis(60));
+
+    ring.restart(4).unwrap();
+    assert_eq!(ring.fallback_segments(), 1);
+    assert_eq!(ring.fallback_merges().len(), 2);
+    std::thread::sleep(Duration::from_millis(60));
+
+    ring.restart(7).unwrap();
+    assert!(!ring.degraded());
+    assert_eq!(ring.fallback_merges().len(), 2, "closing the ring is a hand-back, not a merge");
+    wait(&ring, "after the hand-back");
+
+    let stats = ring.fallback_stats().unwrap();
+    assert_eq!((stats.entries, stats.exits), (1, 1));
+    assert_eq!(stats.walkers, 3);
+    assert_eq!(stats.merges, 2);
+    let violations = ring.fallback_audit();
+    assert!(violations.is_empty(), "handover audit: {violations:?}");
+    ring.stop();
+}
+
+/// The CLI front-end: `ssrmin partition` runs a seeded multi-hole soak,
+/// reports per-domain service and merge latencies, and writes the
+/// benchmark JSON with the partition schema.
+#[test]
+fn partition_cli_reports_and_writes_bench_json() {
+    let _turn = exclusive();
+    let dir = std::env::temp_dir().join(format!("ssrmin-partition-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_path = dir.join("BENCH_partition.json");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_ssrmin"))
+        .args([
+            "partition",
+            "--nodes",
+            "9",
+            "--holes",
+            "2",
+            "--ms",
+            "4000",
+            "--rounds",
+            "1",
+            "--seed",
+            "3",
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("partition soak: 9 nodes, 2 holes"), "{stdout}");
+    assert!(stdout.contains("-> 2 segments"), "{stdout}");
+    assert!(stdout.contains("handover audit: clean"), "{stdout}");
+    assert!(!stdout.contains("** STALL **"), "{stdout}");
+    let json = std::fs::read_to_string(&out_path).unwrap();
+    assert!(json.contains("\"schema\":\"ssrmin-partition/v1\""), "{json}");
+    assert!(json.contains("\"audit_violations\":[]"), "{json}");
+    assert!(json.contains("\"merge_latencies_us\""), "{json}");
+    std::fs::remove_dir_all(&dir).ok();
+}
